@@ -1,0 +1,38 @@
+# Convenience targets for the gobd reproduction.
+
+GO ?= go
+
+.PHONY: all build test short bench repro artifacts fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skip the slow analog experiments (seconds instead of a minute).
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# All 26 experiments with shape checks, paper-style text.
+repro:
+	$(GO) run ./cmd/obdrepro
+
+# CSV curves, VCD trace and SPICE deck for the data figures.
+artifacts:
+	$(GO) run ./cmd/obdrepro -experiment sets -out artifacts
+
+# Short fuzzing sessions on the parsers.
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/logic/
+	$(GO) test -fuzz FuzzParsePair -fuzztime 30s ./internal/fault/
+
+clean:
+	$(GO) clean -testcache
+	rm -rf artifacts

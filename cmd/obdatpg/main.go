@@ -1,0 +1,210 @@
+// Command obdatpg generates test patterns for a gate-level netlist under a
+// chosen fault model and reports coverage — including how well the
+// traditional models' test sets cover the OBD fault universe (the paper's
+// central comparison).
+//
+// Examples:
+//
+//	obdatpg -fulladder -model obd -v
+//	obdatpg -netlist mydesign.net -model transition -grade-obd
+//	obdatpg -fulladder -model ndetect -n 3 -o tests.vec
+//	obdatpg -fulladder -apply tests.vec
+//	obdatpg -fulladder -model los
+//	obdatpg -fulladder -model bist -cycles 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gobd/internal/atpg"
+	"gobd/internal/bist"
+	"gobd/internal/cells"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+func main() {
+	var (
+		netlist   = flag.String("netlist", "", "gate-level netlist file (.v = structural Verilog, otherwise the internal/logic format)")
+		fulladder = flag.Bool("fulladder", false, "use the built-in Fig. 8 full-adder sum circuit")
+		model     = flag.String("model", "obd", "fault model: obd, transition, stuckat, ndetect, los, bist")
+		nDetect   = flag.Int("n", 3, "detection multiplicity for -model ndetect")
+		cycles    = flag.Int("cycles", 256, "stream length for -model bist")
+		gradeOBD  = flag.Bool("grade-obd", false, "also grade the generated set against the OBD universe")
+		outFile   = flag.String("o", "", "write the generated vector pairs to this file")
+		applyFile = flag.String("apply", "", "skip generation: grade a saved vector-pair file against the OBD universe")
+		verbose   = flag.Bool("v", false, "print every generated vector")
+	)
+	flag.Parse()
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "obdatpg:", err)
+		os.Exit(1)
+	}
+	var lc *logic.Circuit
+	switch {
+	case *fulladder:
+		lc = cells.FullAdderSumLogic()
+	case *netlist != "":
+		f, err := os.Open(*netlist)
+		if err != nil {
+			die(err)
+		}
+		var c *logic.Circuit
+		if strings.HasSuffix(*netlist, ".v") {
+			c, err = logic.ParseVerilog(f)
+		} else {
+			c, err = logic.Parse(f)
+		}
+		f.Close()
+		if err != nil {
+			die(err)
+		}
+		lc = c
+	default:
+		die(fmt.Errorf("need -netlist FILE or -fulladder"))
+	}
+	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates, depth %d\n",
+		lc.Name, len(lc.Inputs), len(lc.Outputs), len(lc.Gates), lc.Depth())
+
+	if *applyFile != "" {
+		f, err := os.Open(*applyFile)
+		if err != nil {
+			die(err)
+		}
+		saved, err := atpg.ReadTests(f, lc)
+		f.Close()
+		if err != nil {
+			die(err)
+		}
+		faults, _ := fault.OBDUniverse(lc)
+		cov := atpg.GradeOBD(lc, faults, saved)
+		fmt.Printf("applied %d saved pairs: OBD coverage %s\n", len(saved), cov)
+		if *verbose {
+			for _, u := range cov.Undetected {
+				fmt.Println("  missed: " + u)
+			}
+		}
+		return
+	}
+
+	var pairs []atpg.TwoPattern
+	switch *model {
+	case "obd":
+		faults, skipped := fault.OBDUniverse(lc)
+		if len(skipped) > 0 {
+			fmt.Printf("note: %d composite gates carry no OBD faults\n", len(skipped))
+		}
+		ts := atpg.GenerateOBDTests(lc, faults, nil)
+		pairs = ts.Tests
+		report2(lc, ts, *verbose)
+	case "ndetect":
+		faults, _ := fault.OBDUniverse(lc)
+		ts := atpg.GenerateNDetectOBDTests(lc, faults, *nDetect)
+		pairs = ts.Tests
+		report2(lc, ts, *verbose)
+	case "los":
+		faults, _ := fault.OBDUniverse(lc)
+		res := atpg.GenerateLOSTests(lc, faults, nil)
+		pairs = res.Tests
+		exact := ""
+		if res.Exact {
+			exact = " (exact)"
+		}
+		fmt.Printf("generated %d launch-on-shift pairs, coverage %s%s\n",
+			len(res.Tests), res.Coverage, exact)
+		if *verbose {
+			for _, tp := range res.Tests {
+				fmt.Println("  " + tp.StringFor(lc))
+			}
+		}
+	case "bist":
+		faults, _ := fault.OBDUniverse(lc)
+		s, err := bist.NewSession(lc, 0xACE1, *cycles)
+		if err != nil {
+			die(err)
+		}
+		golden, err := s.GoldenSignature()
+		if err != nil {
+			die(err)
+		}
+		detected, aliased := 0, 0
+		for _, fl := range faults {
+			res, err := s.RunFault(fl, golden)
+			if err != nil {
+				die(err)
+			}
+			if res.DetectedCycles > 0 {
+				detected++
+				if res.Aliased {
+					aliased++
+				}
+			}
+		}
+		fmt.Printf("%d-cycle BIST (golden signature %04x): %d/%d detected, %d aliased\n",
+			*cycles, golden, detected, len(faults), aliased)
+		pairs = s.Pairs()
+	case "transition":
+		ts := atpg.GenerateTransitionTests(lc, fault.TransitionUniverse(lc), nil)
+		pairs = ts.Tests
+		report2(lc, ts, *verbose)
+	case "stuckat":
+		ts := atpg.GenerateStuckAtTests(lc, fault.StuckAtUniverse(lc), nil)
+		fmt.Printf("generated %d patterns, coverage %s\n", len(ts.Tests), ts.Coverage)
+		if *verbose {
+			for _, p := range ts.Tests {
+				fmt.Println("  " + p.KeyFor(lc))
+			}
+		}
+		for i := 1; i < len(ts.Tests); i++ {
+			pairs = append(pairs, atpg.TwoPattern{V1: ts.Tests[i-1], V2: ts.Tests[i]})
+		}
+	default:
+		die(fmt.Errorf("unknown model %q", *model))
+	}
+	if *gradeOBD {
+		faults, _ := fault.OBDUniverse(lc)
+		cov := atpg.GradeOBD(lc, faults, pairs)
+		fmt.Printf("OBD universe coverage of this set: %s\n", cov)
+		if *verbose {
+			for _, f := range cov.Undetected {
+				fmt.Println("  missed: " + f)
+			}
+		}
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			die(err)
+		}
+		err = atpg.WriteTests(f, lc, pairs)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %d pairs to %s\n", len(pairs), *outFile)
+	}
+}
+
+func report2(lc *logic.Circuit, ts *atpg.TestSet, verbose bool) {
+	nUnt, nAb := 0, 0
+	for _, r := range ts.Results {
+		switch r.Status {
+		case atpg.Untestable:
+			nUnt++
+		case atpg.Aborted:
+			nAb++
+		}
+	}
+	fmt.Printf("generated %d vector pairs, coverage %s (%d untestable, %d aborted)\n",
+		len(ts.Tests), ts.Coverage, nUnt, nAb)
+	if verbose {
+		for _, tp := range ts.Tests {
+			fmt.Println("  " + tp.StringFor(lc))
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Command obdsim runs a single OBD experiment on a driven-gate harness
+// (the paper's Fig. 5 NAND set-up, or its NOR dual): inject a breakdown at
+// a chosen transistor and stage, apply an input sequence, and print the
+// measured delay (and optionally waveforms or the SPICE deck).
+//
+// Examples:
+//
+//	obdsim -fault PB -stage MBD2 -seq "(11,10)" -plot
+//	obdsim -cell nor -fault NB -stage MBD1 -seq "(00,01)"
+//	obdsim -fault NA -stage HBD -deck
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gobd/internal/cells"
+	"gobd/internal/exper"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/obd"
+	"gobd/internal/spice"
+	"gobd/internal/waveform"
+)
+
+func parseFault(s string) (fault.Side, int, error) {
+	switch strings.ToUpper(s) {
+	case "NA":
+		return fault.PullDown, 0, nil
+	case "NB":
+		return fault.PullDown, 1, nil
+	case "PA":
+		return fault.PullUp, 0, nil
+	case "PB":
+		return fault.PullUp, 1, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown fault %q (want NA, NB, PA or PB)", s)
+	}
+}
+
+func parseStage(s string) (obd.Stage, error) {
+	for _, st := range obd.Stages() {
+		if strings.EqualFold(st.String(), s) {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown stage %q (want FaultFree, MBD1, MBD2, MBD3 or HBD)", s)
+}
+
+func main() {
+	var (
+		cellName  = flag.String("cell", "nand", "device under test: nand or nor")
+		faultName = flag.String("fault", "NA", "defective transistor: NA, NB, PA or PB")
+		stageName = flag.String("stage", "MBD2", "breakdown stage: FaultFree, MBD1, MBD2, MBD3, HBD")
+		seq       = flag.String("seq", "(01,11)", "input sequence in paper notation")
+		plot      = flag.Bool("plot", false, "print an ASCII plot of the output waveform")
+		csv       = flag.Bool("csv", false, "print the input/output waveforms as CSV")
+		chain     = flag.Int("chain", 2, "NAND only: driver inverter stages (even; 0 = ideal sources)")
+		deck      = flag.Bool("deck", false, "also print the injected circuit as a SPICE deck")
+	)
+	flag.Parse()
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "obdsim:", err)
+		os.Exit(1)
+	}
+	side, input, err := parseFault(*faultName)
+	if err != nil {
+		die(err)
+	}
+	stage, err := parseStage(*stageName)
+	if err != nil {
+		die(err)
+	}
+	pr, err := fault.ParsePair(*seq)
+	if err != nil {
+		die(err)
+	}
+	if len(pr.V1) != 2 {
+		die(fmt.Errorf("sequence must have two inputs, got %s", pr))
+	}
+	p := spice.Default350()
+
+	// Harness access points, unified over the two DUT kinds.
+	var (
+		ckt        *spice.Circuit
+		outputNode string
+		inputNode  func(int) string
+		run        func() (*spice.TranResult, error)
+		measure    func(*spice.TranResult) (waveform.DelayMeasurement, error)
+	)
+	switch strings.ToLower(*cellName) {
+	case "nand":
+		h := cells.NewNANDHarness(p, *chain)
+		obd.Inject(h.B.C, "f", h.FETFor(side, input), stage)
+		h.Apply(pr, exper.TSwitch, exper.TEdge)
+		ckt, outputNode, inputNode = h.B.C, h.OutputNode(), h.InputNode
+		run = func() (*spice.TranResult, error) { return h.Run(exper.TStop, exper.TStep) }
+		measure = func(r *spice.TranResult) (waveform.DelayMeasurement, error) {
+			return h.Measure(r, pr, exper.TSwitch, exper.TEdge)
+		}
+	case "nor":
+		h, err := cells.NewGateHarness(p, logic.Nor, 2)
+		if err != nil {
+			die(err)
+		}
+		obd.Inject(h.B.C, "f", h.FETFor(side, input), stage)
+		if err := h.Apply(pr, exper.TSwitch, exper.TEdge); err != nil {
+			die(err)
+		}
+		ckt, outputNode = h.B.C, h.OutputNode()
+		inputNode = func(i int) string { return fmt.Sprintf("drv%db", i) }
+		run = func() (*spice.TranResult, error) { return h.Run(exper.TStop, exper.TStep) }
+		measure = func(r *spice.TranResult) (waveform.DelayMeasurement, error) {
+			return h.Measure(r, pr, exper.TSwitch, exper.TEdge)
+		}
+	default:
+		die(fmt.Errorf("unknown cell %q (want nand or nor)", *cellName))
+	}
+
+	res, err := run()
+	if err != nil {
+		die(err)
+	}
+	m, err := measure(res)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("%s fault %s at %v, sequence %s: ", strings.ToUpper(*cellName), strings.ToUpper(*faultName), stage, pr)
+	if m.Kind == waveform.TransitionOK {
+		fmt.Printf("delay %.1f ps\n", m.Delay*1e12)
+	} else {
+		fmt.Printf("%v (no transition within %.0f ns)\n", m.Kind, exper.TStop*1e9)
+	}
+	out := waveform.MustNew("out", res.Times, res.V(outputNode))
+	if *plot {
+		inA := waveform.MustNew("inA", res.Times, res.V(inputNode(0)))
+		inB := waveform.MustNew("inB", res.Times, res.V(inputNode(1)))
+		fmt.Print(waveform.ASCIIPlot(inA, 8, 72))
+		fmt.Print(waveform.ASCIIPlot(inB, 8, 72))
+		fmt.Print(waveform.ASCIIPlot(out, 8, 72))
+	}
+	if *csv {
+		inA := waveform.MustNew("inA", res.Times, res.V(inputNode(0)))
+		inB := waveform.MustNew("inB", res.Times, res.V(inputNode(1)))
+		fmt.Print(waveform.CSV(inA, inB, out))
+	}
+	if *deck {
+		fmt.Print(spice.Netlist(ckt))
+	}
+}

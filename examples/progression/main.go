@@ -1,0 +1,73 @@
+// Progression: the paper's Section 4.2 scheduling story. The breakdown
+// parameters evolve exponentially from soft to hard breakdown over ~27
+// hours (Linder et al.); re-simulating the Fig. 5 NAND along that
+// trajectory gives delay-versus-time, from which the detection window —
+// and the concurrent test period a fault-tolerance scheme needs — follows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gobd"
+)
+
+func main() {
+	p := gobd.DefaultProcess()
+	prog := gobd.NewProgression(gobd.NMOS)
+	fmt.Printf("SBD -> HBD window: %.1f hours (exponential growth)\n", prog.Window/3600)
+
+	h := gobd.NewNANDHarness(p, 2)
+	inj := gobd.Inject(h.B.C, "defect", h.FETFor(gobd.PullDown, 0), gobd.FaultFree)
+	pair, err := gobd.ParsePair("(01,11)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure := func() (float64, bool) {
+		h.Apply(pair, 1e-9, 50e-12)
+		res, err := h.Run(4e-9, 1e-12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := h.Measure(res, pair, 1e-9, 50e-12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m.Delay, m.Kind.String() == "ok"
+	}
+	nominal, ok := measure()
+	if !ok {
+		log.Fatal("nominal measurement stuck")
+	}
+	fmt.Printf("fault-free delay: %.0f ps\n\n", nominal*1e12)
+
+	const points = 9
+	var curve []gobd.DelayPoint
+	fmt.Println("delay along the progression:")
+	for i := 0; i < points; i++ {
+		t := prog.Window * float64(i) / float64(points-1)
+		inj.SetParams(prog.ParamsAt(t))
+		d, ok := measure()
+		if !ok {
+			d = 1 // stuck: effectively infinite delay
+			fmt.Printf("  t = %5.1f h: output stuck\n", t/3600)
+		} else {
+			fmt.Printf("  t = %5.1f h: %.0f ps\n", t/3600, d*1e12)
+		}
+		curve = append(curve, gobd.DelayPoint{T: t, Delay: d})
+	}
+
+	fmt.Println("\ndetection windows by detector slack:")
+	for _, frac := range []float64{0.1, 0.25, 0.5, 1.0} {
+		w, err := gobd.ComputeWindow(curve, nominal, nominal*frac, prog.Window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !w.Detectable {
+			fmt.Printf("  slack %3.0f%%: never detectable before HBD\n", frac*100)
+			continue
+		}
+		fmt.Printf("  slack %3.0f%%: observable from %5.1f h, window %5.1f h -> test every <= %.1f h\n",
+			frac*100, w.Start/3600, w.Length()/3600, w.MaxTestPeriod()/3600)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: inject a gate-oxide-breakdown defect into a NAND gate's
+// pull-down transistor and watch the transition delay grow through the
+// breakdown stages until the gate sticks — the paper's Table 1 in ten
+// lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gobd"
+)
+
+func main() {
+	p := gobd.DefaultProcess()
+	// The paper's Fig. 5 set-up: the defective NAND driven by real gates.
+	h := gobd.NewNANDHarness(p, 2)
+	// Breakdown in the NMOS transistor driven by input A.
+	inj := gobd.Inject(h.B.C, "defect", h.FETFor(gobd.PullDown, 0), gobd.FaultFree)
+
+	// A falling-output sequence: inputs go 01 -> 11.
+	pair, err := gobd.ParsePair("(01,11)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		tSwitch = 1e-9
+		tEdge   = 50e-12
+	)
+	fmt.Println("NAND NMOS@A breakdown progression, sequence (01,11):")
+	for _, stage := range gobd.Stages() {
+		inj.SetStage(stage)
+		h.Apply(pair, tSwitch, tEdge)
+		res, err := h.Run(4e-9, 1e-12)
+		if err != nil {
+			log.Fatalf("%v: transient failed: %v", stage, err)
+		}
+		m, err := h.Measure(res, pair, tSwitch, tEdge)
+		if err != nil {
+			log.Fatalf("%v: measurement failed: %v", stage, err)
+		}
+		if m.Kind.String() == "ok" {
+			fmt.Printf("  %-10s output falls %.0f ps after the input edge\n", stage, m.Delay*1e12)
+		} else {
+			fmt.Printf("  %-10s output never falls (%v)\n", stage, m.Kind)
+		}
+	}
+}

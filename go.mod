@@ -1,0 +1,3 @@
+module gobd
+
+go 1.22

@@ -1,0 +1,370 @@
+// Package gobd is a from-scratch Go reproduction of "Circuit-Level
+// Modeling for Concurrent Testing of Operational Defects due to Gate Oxide
+// Breakdown" (Carter, Ozev, Sorin — DATE 2005).
+//
+// It bundles five layers, re-exported here as a single public surface:
+//
+//   - an analog circuit simulator (MNA + Newton-Raphson: DC operating
+//     point, DC sweep, trapezoidal transient) with Level-1 MOSFETs,
+//     pn-junction diodes, R/C and PWL sources;
+//   - the paper's diode-resistor gate-oxide-breakdown (OBD) model, its
+//     Table 1 stage parameters and the exponential SBD→HBD progression;
+//   - transistor-level CMOS cell builders, the Fig. 5 measurement harness
+//     and the reconstructed Fig. 8 full-adder sum circuit;
+//   - gate-level combinational circuits with stuck-at, transition, EM and
+//     per-transistor OBD fault models, including the series-parallel
+//     excitation rule of Section 5;
+//   - PODEM-based ATPG: single-pattern stuck-at, two-pattern transition,
+//     and OBD-aware two-pattern generation, with exact fault simulation,
+//     exhaustive pair analysis and test-set covering;
+//   - the Section 4.2 detection-window scheduler.
+//
+// The exper subpackage regenerates every table and figure of the paper;
+// cmd/obdrepro prints them all, and EXPERIMENTS.md records paper-versus-
+// measured values.
+//
+// Quick start (see examples/quickstart):
+//
+//	p := gobd.DefaultProcess()
+//	h := gobd.NewNANDHarness(p, 2)
+//	inj := gobd.Inject(h.B.C, "f", h.FETFor(gobd.PullDown, 0), gobd.MBD2)
+//	pr, _ := gobd.ParsePair("(01,11)")
+//	h.Apply(pr, 1e-9, 50e-12)
+//	res, _ := h.Run(4e-9, 1e-12)
+//	m, _ := h.Measure(res, pr, 1e-9, 50e-12)
+//	fmt.Printf("%v delay: %.0f ps\n", inj.Stage, m.Delay*1e12)
+package gobd
+
+import (
+	"gobd/internal/atpg"
+	"gobd/internal/bist"
+	"gobd/internal/cells"
+	"gobd/internal/diag"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/obd"
+	"gobd/internal/sched"
+	"gobd/internal/seq"
+	"gobd/internal/spice"
+	"gobd/internal/timing"
+	"gobd/internal/waveform"
+)
+
+// Analog simulator layer.
+type (
+	// AnalogCircuit is a flat transistor-level netlist.
+	AnalogCircuit = spice.Circuit
+	// Process is the synthetic CMOS process card.
+	Process = spice.Process
+	// Solution is a committed DC solution.
+	Solution = spice.Solution
+	// TranResult is a committed transient simulation.
+	TranResult = spice.TranResult
+	// Waveform drives independent sources.
+	Waveform = spice.Waveform
+	// MOSFET is the Level-1 transistor device.
+	MOSFET = spice.MOSFET
+)
+
+// DefaultProcess returns the calibrated 3.3 V process card used by every
+// experiment in the repository.
+func DefaultProcess() *Process { return spice.Default350() }
+
+// NewAnalogCircuit creates an empty analog netlist (ground pre-defined).
+func NewAnalogCircuit() *AnalogCircuit { return spice.NewCircuit() }
+
+// OperatingPoint solves the DC bias point of an analog circuit.
+func OperatingPoint(c *AnalogCircuit) (*Solution, error) { return spice.OperatingPoint(c, nil) }
+
+// Transient runs a transient analysis with the default solver options.
+func Transient(c *AnalogCircuit, tstop, dt float64) (*TranResult, error) {
+	return spice.Transient(c, tstop, dt, nil)
+}
+
+// OBD model layer.
+type (
+	// Stage is a breakdown progression point (FaultFree … HBD).
+	Stage = obd.Stage
+	// Injection is a breakdown network wired around one transistor.
+	Injection = obd.Injection
+	// Progression is the exponential SBD→HBD parameter trajectory.
+	Progression = obd.Progression
+)
+
+// Breakdown stages (the paper's Table 1 rows).
+const (
+	FaultFree = obd.FaultFree
+	MBD1      = obd.MBD1
+	MBD2      = obd.MBD2
+	MBD3      = obd.MBD3
+	HBD       = obd.HBD
+)
+
+// Inject attaches the diode-resistor breakdown network to a transistor.
+func Inject(c *AnalogCircuit, name string, m *MOSFET, stage Stage) *Injection {
+	return obd.Inject(c, name, m, stage)
+}
+
+// Stages lists all breakdown stages in progression order.
+func Stages() []Stage { return obd.Stages() }
+
+// MOSPolarity distinguishes NMOS and PMOS devices.
+type MOSPolarity = spice.MOSPolarity
+
+// Device polarities.
+const (
+	NMOS = spice.NMOS
+	PMOS = spice.PMOS
+)
+
+// NewProgression builds the default exponential SBD→HBD trajectory for a
+// device polarity (27 h window, per Linder et al.).
+func NewProgression(pol MOSPolarity) *Progression { return obd.NewProgression(pol) }
+
+// Cell library layer.
+type (
+	// CellBuilder accumulates transistor-level cells into one circuit.
+	CellBuilder = cells.Builder
+	// Cell is one gate instance at transistor level.
+	Cell = cells.Cell
+	// NANDHarness is the paper's Fig. 5 measurement set-up.
+	NANDHarness = cells.NANDHarness
+	// FullAdderRig is the transistor-level Fig. 8 circuit.
+	FullAdderRig = cells.FullAdderRig
+)
+
+// NewCellBuilder creates a builder with a powered supply rail.
+func NewCellBuilder(p *Process) *CellBuilder { return cells.NewBuilder(p) }
+
+// NewNANDHarness builds the Fig. 5 harness (driveChain=2 reproduces the
+// paper; 0 is the ideal-source ablation).
+func NewNANDHarness(p *Process, driveChain int) *NANDHarness {
+	return cells.NewNANDHarness(p, driveChain)
+}
+
+// FullAdderSumLogic returns the reconstructed Fig. 8 gate-level netlist
+// (14 NAND2 + 11 INV, depth 9, intentional redundancy).
+func FullAdderSumLogic() *Circuit { return cells.FullAdderSumLogic() }
+
+// FullAdderTarget names the NAND gate with four upstream and four
+// downstream stages — the paper's Fig. 9 injection site.
+const FullAdderTarget = cells.FullAdderTarget
+
+// NewFullAdderRig elaborates the Fig. 8 circuit to transistors.
+func NewFullAdderRig(p *Process) (*FullAdderRig, error) { return cells.NewFullAdderRig(p) }
+
+// CalibrateDelays measures the primitive cells on the analog simulator and
+// returns a gate-level delay model grounded in the same process card.
+var CalibrateDelays = cells.CalibrateDelays
+
+// Gate-level layer.
+type (
+	// Circuit is a gate-level combinational netlist.
+	Circuit = logic.Circuit
+	// Gate is one gate instance.
+	Gate = logic.Gate
+	// GateType enumerates gate functions.
+	GateType = logic.GateType
+	// Value is a three-valued logic level.
+	Value = logic.Value
+)
+
+// Gate-level constructors and parsing.
+var (
+	// NewCircuit creates an empty gate-level circuit.
+	NewCircuit = logic.New
+	// ParseNetlist reads the textual netlist format.
+	ParseNetlist = logic.ParseString
+	// FormatNetlist writes the textual netlist format.
+	FormatNetlist = logic.Format
+	// ParseVerilog reads a structural Verilog module.
+	ParseVerilog = logic.ParseVerilogString
+	// FormatVerilog writes a structural Verilog module.
+	FormatVerilog = logic.FormatVerilog
+	// ComputeTestability runs SCOAP controllability/observability analysis.
+	ComputeTestability = logic.ComputeTestability
+)
+
+// Fault model layer.
+type (
+	// OBDFault is a per-transistor gate-oxide-breakdown fault.
+	OBDFault = fault.OBD
+	// StuckAtFault is the classical stuck-at fault.
+	StuckAtFault = fault.StuckAt
+	// TransitionFault is the classical slow-to-rise/fall fault.
+	TransitionFault = fault.Transition
+	// EMFault is an intra-gate electromigration fault.
+	EMFault = fault.EM
+	// Pair is a two-pattern local input assignment, e.g. (01,11).
+	Pair = fault.Pair
+	// Side distinguishes pull-up (PMOS) and pull-down (NMOS) networks.
+	Side = fault.Side
+)
+
+// Network sides.
+const (
+	PullUp   = fault.PullUp
+	PullDown = fault.PullDown
+)
+
+// Fault-universe generators and the Section 4.1/5 analyses.
+var (
+	// OBDUniverse enumerates all per-transistor OBD faults of a circuit.
+	OBDUniverse = fault.OBDUniverse
+	// StuckAtUniverse enumerates stuck-at faults on every net.
+	StuckAtUniverse = fault.StuckAtUniverse
+	// TransitionUniverse enumerates transition faults on every net.
+	TransitionUniverse = fault.TransitionUniverse
+	// ParsePair parses the paper's pair notation, e.g. "(11,01)".
+	ParsePair = fault.ParsePair
+	// GatePairTable maps each OBD fault of a gate type to its pairs.
+	GatePairTable = fault.GatePairTable
+	// MinimalPairCover computes the exact minimum exciting pair set.
+	MinimalPairCover = fault.MinimalPairCover
+)
+
+// ATPG layer.
+type (
+	// Pattern is a primary-input assignment.
+	Pattern = atpg.Pattern
+	// TwoPattern is an ordered vector pair.
+	TwoPattern = atpg.TwoPattern
+	// ATPGOptions tunes the generators.
+	ATPGOptions = atpg.Options
+	// Coverage summarizes a fault-grading run.
+	Coverage = atpg.Coverage
+)
+
+// Test generation and fault simulation.
+var (
+	// GenerateOBDTest produces a two-pattern test for one OBD fault.
+	GenerateOBDTest = atpg.GenerateOBDTest
+	// GenerateOBDTests runs the OBD generator over a fault list.
+	GenerateOBDTests = atpg.GenerateOBDTests
+	// GenerateTransitionTests runs the classical transition generator.
+	GenerateTransitionTests = atpg.GenerateTransitionTests
+	// GenerateStuckAtTests runs the classical stuck-at generator.
+	GenerateStuckAtTests = atpg.GenerateStuckAtTests
+	// DetectsOBD fault-simulates one vector pair against one OBD fault.
+	DetectsOBD = atpg.DetectsOBD
+	// GradeOBD fault-simulates a test set against an OBD fault list.
+	GradeOBD = atpg.GradeOBD
+	// AnalyzeExhaustive enumerates all input transitions of a circuit.
+	AnalyzeExhaustive = atpg.AnalyzeExhaustive
+)
+
+// Scheduling layer (Section 4.2).
+type (
+	// DelayPoint is one sample of a delay-versus-time trajectory.
+	DelayPoint = sched.DelayPoint
+	// Window is a detection window for one detector slack.
+	Window = sched.Window
+)
+
+// ComputeWindow locates the detection window for a given slack.
+var ComputeWindow = sched.ComputeWindow
+
+// Measurement layer.
+type (
+	// Series is a sampled waveform.
+	Series = waveform.Series
+	// DelayMeasurement is a measured transition (delay or sa-0/sa-1).
+	DelayMeasurement = waveform.DelayMeasurement
+)
+
+// Diagnosis layer.
+type (
+	// FaultDictionary maps test-set responses back to candidate defects.
+	FaultDictionary = diag.Dictionary
+	// FaultResponse is a pass/fail observation of a test set.
+	FaultResponse = diag.Response
+)
+
+// Diagnosis constructors.
+var (
+	// BuildDictionary simulates every fault against a test set.
+	BuildDictionary = diag.Build
+	// SimulateResponse computes one fault's response signature.
+	SimulateResponse = diag.SimulateResponse
+)
+
+// Sequential/DFT layer.
+type (
+	// SeqCircuit is a combinational core with a scan chain.
+	SeqCircuit = seq.Circuit
+	// ScanFF is one scan flip-flop (Q feeds a core input, D captures a net).
+	ScanFF = seq.FF
+	// ScanMode is a two-pattern test-application style.
+	ScanMode = seq.Mode
+)
+
+// Scan application modes.
+const (
+	EnhancedScanMode    = seq.EnhancedScan
+	LaunchOnShiftMode   = seq.LaunchOnShift
+	LaunchOnCaptureMode = seq.LaunchOnCapture
+)
+
+// Sequential constructors.
+var (
+	// NewSeqCircuit wraps a combinational core with a scan chain.
+	NewSeqCircuit = seq.New
+	// Accumulator builds the n-bit accumulator testbed.
+	Accumulator = seq.Accumulator
+)
+
+// Gate-level timing layer.
+type (
+	// TimingSimulator is the event-driven gate-level timing simulator.
+	TimingSimulator = timing.Simulator
+	// TimingTrace is a simulated per-net waveform set.
+	TimingTrace = timing.Trace
+	// DelayPenalty injects a directional per-gate delay (an OBD defect).
+	DelayPenalty = timing.Penalty
+)
+
+// Timing constructors and helpers.
+var (
+	// NewTimingSimulator builds a simulator over a gate-level circuit.
+	NewTimingSimulator = timing.New
+	// DetectsAtCapture compares good/faulty traces at a capture time.
+	DetectsAtCapture = timing.DetectsAt
+	// TraceVCD renders a timing trace as a Value Change Dump.
+	TraceVCD = timing.VCD
+)
+
+// Benchmark circuits.
+var (
+	// C17 is the ISCAS-85 c17 benchmark.
+	C17 = logic.C17
+	// RippleCarryAdder builds an n-bit NAND-only adder.
+	RippleCarryAdder = logic.RippleCarryAdder
+	// ParityTree builds an n-input XOR tree.
+	ParityTree = logic.ParityTree
+	// Mux41 builds a 4:1 multiplexer.
+	Mux41 = logic.Mux41
+)
+
+// AnalogNetlist renders a transistor-level circuit as SPICE-deck text.
+var AnalogNetlist = spice.Netlist
+
+// BIST layer.
+type (
+	// BISTSession is an LFSR test-per-clock self-test run with MISR
+	// signature compaction.
+	BISTSession = bist.Session
+	// LFSR is a maximal-length Galois linear-feedback shift register.
+	LFSR = bist.LFSR
+	// MISR is a multiple-input signature register.
+	MISR = bist.MISR
+)
+
+// BIST constructors.
+var (
+	// NewBISTSession prepares an n-clock self-test session.
+	NewBISTSession = bist.NewSession
+	// NewLFSR builds a maximal-length LFSR (widths 2–16).
+	NewLFSR = bist.NewLFSR
+	// NewMISR builds a signature register (widths 2–16).
+	NewMISR = bist.NewMISR
+)

@@ -1,0 +1,59 @@
+package atpg_test
+
+import (
+	"fmt"
+
+	"gobd/internal/atpg"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// ExampleGenerateOBDTest justifies a two-pattern test through logic: the
+// PMOS defect on the first NAND of a 4-NAND XOR needs its (11,01) local
+// excitation delivered from the primary inputs and its slow rise
+// propagated to the output.
+func ExampleGenerateOBDTest() {
+	c, _ := logic.ParseString(`circuit xor4
+input a b
+output y
+nand n1 n1 a b
+nand n2 n2 a n1
+nand n3 n3 b n1
+nand n4 y n2 n3
+`)
+	f := fault.OBD{Gate: c.Gates[0], Input: 0, Side: fault.PullUp}
+	tp, status := atpg.GenerateOBDTest(c, f, nil)
+	fmt.Println(status)
+	fmt.Println(atpg.DetectsOBD(c, f, *tp))
+	// Output:
+	// detected
+	// true
+}
+
+// ExampleGradeOBD shows the paper's central comparison in miniature: a
+// transition-fault test for the NAND output's slow rise uses (11,00),
+// which turns on both PMOS devices and therefore misses each individual
+// PMOS defect.
+func ExampleGradeOBD() {
+	c, _ := logic.ParseString("circuit g\ninput a b\noutput y\nnand g1 y a b\n")
+	faults, _ := fault.OBDUniverse(c)
+	one := func(s string) atpg.Pattern {
+		p := atpg.Pattern{}
+		for i, in := range c.Inputs {
+			p[in] = logic.FromBool(s[i] == '1')
+		}
+		return p
+	}
+	transitionStyle := []atpg.TwoPattern{
+		{V1: one("11"), V2: one("00")}, // slow-to-rise, input-insensitive
+		{V1: one("00"), V2: one("11")}, // slow-to-fall
+	}
+	fmt.Println("transition-style:", atpg.GradeOBD(c, faults, transitionStyle))
+	obdAware := append(transitionStyle,
+		atpg.TwoPattern{V1: one("11"), V2: one("01")},
+		atpg.TwoPattern{V1: one("11"), V2: one("10")})
+	fmt.Println("OBD-aware:       ", atpg.GradeOBD(c, faults, obdAware))
+	// Output:
+	// transition-style: 2/4 (50.0%)
+	// OBD-aware:        4/4 (100.0%)
+}

@@ -1,0 +1,264 @@
+package atpg
+
+import (
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// guidance returns the SCOAP testability measures for PODEM steering, or
+// nil when disabled.
+func guidance(c *logic.Circuit, opt *Options) *logic.Testability {
+	if opt.DisableSCOAP {
+		return nil
+	}
+	return logic.ComputeTestability(c)
+}
+
+// drain accumulates an engine's backtracks into the configured sink.
+func drain(opt *Options, engines ...*podemEngine) {
+	if opt.BacktrackSink == nil {
+		return
+	}
+	for _, e := range engines {
+		*opt.BacktrackSink += e.backtracks
+	}
+}
+
+// GenerateStuckAtTest produces a single pattern detecting the stuck-at
+// fault, or reports Untestable/Aborted.
+func GenerateStuckAtTest(c *logic.Circuit, f fault.StuckAt, opt *Options) (Pattern, Status) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	req := map[string]logic.Value{f.Net: f.V.Not()}
+	e := newPodem(c, req, f.Net, f.V, true, opt.MaxBacktracks, guidance(c, opt))
+	p, st := e.run()
+	drain(opt, e)
+	if st != Detected {
+		return nil, st
+	}
+	return p.Filled(c, opt.Fill), Detected
+}
+
+// GenerateTransitionTest produces a two-pattern test for a classical
+// transition fault: frame 2 detects the site holding its old value
+// (a stuck-at test with the required final value), frame 1 justifies the
+// initial value. Frame 2 is free to cause the transition with any input
+// change — the insensitivity that separates this model from OBD.
+func GenerateTransitionTest(c *logic.Circuit, f fault.Transition, opt *Options) (*TwoPattern, Status) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	var from, to logic.Value
+	if f.Rising {
+		from, to = logic.Zero, logic.One
+	} else {
+		from, to = logic.One, logic.Zero
+	}
+	tb := guidance(c, opt)
+	e2 := newPodem(c, map[string]logic.Value{f.Net: to}, f.Net, from, true, opt.MaxBacktracks, tb)
+	v2, st := e2.run()
+	drain(opt, e2)
+	if st != Detected {
+		return nil, st
+	}
+	e1 := newPodem(c, map[string]logic.Value{f.Net: from}, "", logic.X, false, opt.MaxBacktracks, tb)
+	v1, st1 := e1.run()
+	drain(opt, e1)
+	if st1 != Detected {
+		return nil, st1
+	}
+	return &TwoPattern{V1: v1.Filled(c, opt.Fill), V2: v2.Filled(c, opt.Fill)}, Detected
+}
+
+// GenerateOBDTest produces a two-pattern test for an OBD fault by
+// enumerating the gate's local excitation pairs (Section 4.1 of the
+// paper), justifying the first pattern and justifying-and-propagating the
+// second. The generated test is validated with the independent fault
+// simulator before being returned.
+func GenerateOBDTest(c *logic.Circuit, f fault.OBD, opt *Options) (*TwoPattern, Status) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	pairs := f.ExcitationPairs()
+	if len(pairs) == 0 {
+		return nil, Untestable
+	}
+	tb := guidance(c, opt)
+	anyAborted := false
+	for _, pr := range pairs {
+		o1 := f.Gate.Eval(pr.V1)
+		o2 := f.Gate.Eval(pr.V2)
+		req2 := map[string]logic.Value{f.Gate.Output: o2}
+		conflict := false
+		for i, in := range f.Gate.Inputs {
+			if prev, ok := req2[in]; ok && prev != pr.V2[i] {
+				conflict = true // same net feeds two gate pins with different demands
+				break
+			}
+			req2[in] = pr.V2[i]
+		}
+		if conflict {
+			continue
+		}
+		e2 := newPodem(c, req2, f.Gate.Output, o1, true, opt.MaxBacktracks, tb)
+		v2, st := e2.run()
+		drain(opt, e2)
+		if st == Aborted {
+			anyAborted = true
+			continue
+		}
+		if st != Detected {
+			continue
+		}
+		req1 := map[string]logic.Value{}
+		for i, in := range f.Gate.Inputs {
+			if prev, ok := req1[in]; ok && prev != pr.V1[i] {
+				conflict = true
+				break
+			}
+			req1[in] = pr.V1[i]
+		}
+		if conflict {
+			continue
+		}
+		e1 := newPodem(c, req1, "", logic.X, false, opt.MaxBacktracks, tb)
+		v1, st1 := e1.run()
+		drain(opt, e1)
+		if st1 == Aborted {
+			anyAborted = true
+			continue
+		}
+		if st1 != Detected {
+			continue
+		}
+		tp := &TwoPattern{V1: v1.Filled(c, opt.Fill), V2: v2.Filled(c, opt.Fill)}
+		if DetectsOBD(c, f, *tp) {
+			return tp, Detected
+		}
+		// The pair justified locally but the filled vectors do not detect
+		// (possible when fills disturb reconvergent excitation); try the
+		// next excitation pair.
+		anyAborted = true
+	}
+	if anyAborted {
+		return nil, Aborted
+	}
+	return nil, Untestable
+}
+
+// Result pairs a fault name with the generation outcome.
+type Result struct {
+	Fault  string
+	Status Status
+	Test   *TwoPattern // nil unless Status == Detected and not drop-covered
+}
+
+// TestSet is the outcome of a batch generation run.
+type TestSet struct {
+	Tests    []TwoPattern
+	Results  []Result
+	Coverage Coverage
+}
+
+// GenerateOBDTests runs the OBD generator over a fault list with optional
+// fault dropping.
+func GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *Options) *TestSet {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	ts := &TestSet{}
+	covered := make([]bool, len(faults))
+	for i, f := range faults {
+		if covered[i] {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
+			continue
+		}
+		tp, st := GenerateOBDTest(c, f, opt)
+		res := Result{Fault: f.String(), Status: st}
+		if st == Detected {
+			res.Test = tp
+			ts.Tests = append(ts.Tests, *tp)
+			if opt.FaultDropping {
+				for j := i; j < len(faults); j++ {
+					if !covered[j] && DetectsOBD(c, faults[j], *tp) {
+						covered[j] = true
+					}
+				}
+			}
+		}
+		ts.Results = append(ts.Results, res)
+	}
+	ts.Coverage = GradeOBD(c, faults, ts.Tests)
+	return ts
+}
+
+// GenerateTransitionTests runs the transition-fault generator over a fault
+// list with optional fault dropping.
+func GenerateTransitionTests(c *logic.Circuit, faults []fault.Transition, opt *Options) *TestSet {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	ts := &TestSet{}
+	covered := make([]bool, len(faults))
+	for i, f := range faults {
+		if covered[i] {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
+			continue
+		}
+		tp, st := GenerateTransitionTest(c, f, opt)
+		res := Result{Fault: f.String(), Status: st}
+		if st == Detected {
+			res.Test = tp
+			ts.Tests = append(ts.Tests, *tp)
+			if opt.FaultDropping {
+				for j := i; j < len(faults); j++ {
+					if !covered[j] && DetectsTransition(c, faults[j], *tp) {
+						covered[j] = true
+					}
+				}
+			}
+		}
+		ts.Results = append(ts.Results, res)
+	}
+	ts.Coverage = GradeTransition(c, faults, ts.Tests)
+	return ts
+}
+
+// StuckAtTestSet is the single-pattern analogue of TestSet.
+type StuckAtTestSet struct {
+	Tests    []Pattern
+	Results  []Result
+	Coverage Coverage
+}
+
+// GenerateStuckAtTests runs the stuck-at generator over a fault list with
+// optional fault dropping.
+func GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckAt, opt *Options) *StuckAtTestSet {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	ts := &StuckAtTestSet{}
+	covered := make([]bool, len(faults))
+	for i, f := range faults {
+		if covered[i] {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
+			continue
+		}
+		p, st := GenerateStuckAtTest(c, f, opt)
+		res := Result{Fault: f.String(), Status: st}
+		if st == Detected {
+			ts.Tests = append(ts.Tests, p)
+			if opt.FaultDropping {
+				for j := i; j < len(faults); j++ {
+					if !covered[j] && DetectsStuckAt(c, faults[j], p) {
+						covered[j] = true
+					}
+				}
+			}
+		}
+		ts.Results = append(ts.Results, res)
+	}
+	ts.Coverage = GradeStuckAt(c, faults, ts.Tests)
+	return ts
+}

@@ -1,0 +1,107 @@
+package atpg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gobd/internal/logic"
+)
+
+// WriteTests renders a two-pattern test set in the text exchange format:
+//
+//	# comment
+//	circuit <name>
+//	inputs <in> [<in> ...]
+//	pair <v1bits> <v2bits>
+//
+// Bits follow the declared input order; X marks don't-care.
+func WriteTests(w io.Writer, c *logic.Circuit, tests []TwoPattern) error {
+	if _, err := fmt.Fprintf(w, "circuit %s\ninputs %s\n", c.Name, strings.Join(c.Inputs, " ")); err != nil {
+		return err
+	}
+	for _, tp := range tests {
+		if _, err := fmt.Fprintf(w, "pair %s %s\n", tp.V1.KeyFor(c), tp.V2.KeyFor(c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTests parses the WriteTests format and validates it against the
+// circuit (the input list must match the circuit's, in order).
+func ReadTests(r io.Reader, c *logic.Circuit) ([]TwoPattern, error) {
+	sc := bufio.NewScanner(r)
+	var tests []TwoPattern
+	sawInputs := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		f := strings.Fields(text)
+		switch f[0] {
+		case "circuit":
+			// Informational; mismatches are tolerated deliberately so sets
+			// can be replayed on renamed circuits.
+		case "inputs":
+			if len(f)-1 != len(c.Inputs) {
+				return nil, fmt.Errorf("atpg: line %d: %d inputs, circuit has %d", line, len(f)-1, len(c.Inputs))
+			}
+			for i, in := range f[1:] {
+				if in != c.Inputs[i] {
+					return nil, fmt.Errorf("atpg: line %d: input %d is %q, circuit has %q", line, i, in, c.Inputs[i])
+				}
+			}
+			sawInputs = true
+		case "pair":
+			if !sawInputs {
+				return nil, fmt.Errorf("atpg: line %d: pair before inputs declaration", line)
+			}
+			if len(f) != 3 {
+				return nil, fmt.Errorf("atpg: line %d: pair wants two vectors", line)
+			}
+			v1, err := parseBits(f[1], c)
+			if err != nil {
+				return nil, fmt.Errorf("atpg: line %d: %w", line, err)
+			}
+			v2, err := parseBits(f[2], c)
+			if err != nil {
+				return nil, fmt.Errorf("atpg: line %d: %w", line, err)
+			}
+			tests = append(tests, TwoPattern{V1: v1, V2: v2})
+		default:
+			return nil, fmt.Errorf("atpg: line %d: unknown directive %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tests, nil
+}
+
+func parseBits(s string, c *logic.Circuit) (Pattern, error) {
+	if len(s) != len(c.Inputs) {
+		return nil, fmt.Errorf("vector %q has %d bits, circuit has %d inputs", s, len(s), len(c.Inputs))
+	}
+	p := make(Pattern, len(s))
+	for i, ch := range s {
+		switch ch {
+		case '0':
+			p[c.Inputs[i]] = logic.Zero
+		case '1':
+			p[c.Inputs[i]] = logic.One
+		case 'X', 'x':
+			p[c.Inputs[i]] = logic.X
+		default:
+			return nil, fmt.Errorf("bad bit %q in vector %q", string(ch), s)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,122 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// This file models the paper's Section 5 design-for-testability remark:
+// two-pattern OBD tests need two specific vectors on consecutive cycles,
+// which scan infrastructure constrains. Enhanced scan (hold-scan cells)
+// can apply arbitrary vector pairs — that is the unconstrained generator
+// in this package — while standard scan with launch-on-shift (LOS) can
+// only launch a 1-bit shift of the first vector, shrinking the reachable
+// pair space and therefore the OBD coverage.
+
+// ShiftPattern returns the launch-on-shift successor of v1: the scan chain
+// (the circuit's inputs in declaration order) shifts by one position and
+// scanIn enters at the head. v1 must be complete.
+func ShiftPattern(c *logic.Circuit, v1 Pattern, scanIn logic.Value) Pattern {
+	v2 := make(Pattern, len(c.Inputs))
+	prev := scanIn
+	for _, in := range c.Inputs {
+		v2[in] = prev
+		prev = v1[in]
+	}
+	return v2
+}
+
+// LOSOptions configures the launch-on-shift generator.
+type LOSOptions struct {
+	// SampleBudget bounds the random search used beyond ExhaustiveMaxIn
+	// inputs.
+	SampleBudget int
+	// ExhaustiveMaxIn is the input count up to which the (v1, scanIn)
+	// space is enumerated exhaustively.
+	ExhaustiveMaxIn int
+	// Seed drives the random sampling.
+	Seed int64
+}
+
+// DefaultLOSOptions returns the settings used by the experiments.
+func DefaultLOSOptions() *LOSOptions {
+	return &LOSOptions{SampleBudget: 4096, ExhaustiveMaxIn: 14, Seed: 1}
+}
+
+// GenerateLOSTest searches for a launch-on-shift pair detecting the OBD
+// fault. Status Untestable is exact when the search was exhaustive and a
+// best-effort verdict otherwise.
+func GenerateLOSTest(c *logic.Circuit, f fault.OBD, opt *LOSOptions) (*TwoPattern, Status) {
+	if opt == nil {
+		opt = DefaultLOSOptions()
+	}
+	n := len(c.Inputs)
+	try := func(v1 Pattern, scanIn logic.Value) *TwoPattern {
+		tp := TwoPattern{V1: v1, V2: ShiftPattern(c, v1, scanIn)}
+		if DetectsOBD(c, f, tp) {
+			return &tp
+		}
+		return nil
+	}
+	if n <= opt.ExhaustiveMaxIn {
+		for m := 0; m < 1<<n; m++ {
+			v1 := make(Pattern, n)
+			for i, in := range c.Inputs {
+				v1[in] = logic.FromBool(m&(1<<i) != 0)
+			}
+			for _, s := range []logic.Value{logic.Zero, logic.One} {
+				if tp := try(v1, s); tp != nil {
+					return tp, Detected
+				}
+			}
+		}
+		return nil, Untestable
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for k := 0; k < opt.SampleBudget; k++ {
+		v1 := make(Pattern, n)
+		for _, in := range c.Inputs {
+			v1[in] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		if tp := try(v1, logic.FromBool(rng.Intn(2) == 1)); tp != nil {
+			return tp, Detected
+		}
+	}
+	return nil, Aborted
+}
+
+// LOSResult summarizes a batch launch-on-shift run.
+type LOSResult struct {
+	Tests    []TwoPattern
+	Coverage Coverage
+	Exact    bool // the untestable verdicts are exhaustive
+}
+
+// GenerateLOSTests runs the LOS generator over a fault list with fault
+// dropping.
+func GenerateLOSTests(c *logic.Circuit, faults []fault.OBD, opt *LOSOptions) *LOSResult {
+	if opt == nil {
+		opt = DefaultLOSOptions()
+	}
+	out := &LOSResult{Exact: len(c.Inputs) <= opt.ExhaustiveMaxIn}
+	covered := make([]bool, len(faults))
+	for i, f := range faults {
+		if covered[i] {
+			continue
+		}
+		tp, st := GenerateLOSTest(c, f, opt)
+		if st != Detected {
+			continue
+		}
+		out.Tests = append(out.Tests, *tp)
+		for j := i; j < len(faults); j++ {
+			if !covered[j] && DetectsOBD(c, faults[j], *tp) {
+				covered[j] = true
+			}
+		}
+	}
+	out.Coverage = GradeOBD(c, faults, out.Tests)
+	return out
+}

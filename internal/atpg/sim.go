@@ -1,0 +1,250 @@
+package atpg
+
+import (
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// localValues extracts a gate's input values from a full net-value map.
+func localValues(g *logic.Gate, vals map[string]logic.Value) []logic.Value {
+	out := make([]logic.Value, len(g.Inputs))
+	for i, in := range g.Inputs {
+		out[i] = vals[in]
+	}
+	return out
+}
+
+// DetectsOBD reports whether the ordered vector pair detects the OBD fault
+// under the gross-delay assumption: if the local excitation condition
+// holds, the defective gate's output fails to complete its transition by
+// capture time, so the faulty second-frame value at the fault site is the
+// first-frame value; the fault is detected if that difference reaches a
+// primary output.
+func DetectsOBD(c *logic.Circuit, f fault.OBD, tp TwoPattern) bool {
+	g1 := c.Eval(tp.V1, nil)
+	g2 := c.Eval(tp.V2, nil)
+	lv1 := localValues(f.Gate, g1)
+	lv2 := localValues(f.Gate, g2)
+	for _, v := range lv1 {
+		if !v.IsKnown() {
+			return false
+		}
+	}
+	for _, v := range lv2 {
+		if !v.IsKnown() {
+			return false
+		}
+	}
+	if !f.Excited(lv1, lv2) {
+		return false
+	}
+	site := f.Gate.Output
+	faulty := c.Eval(tp.V2, map[string]logic.Value{site: g1[site]})
+	for _, po := range c.Outputs {
+		a, b := g2[po], faulty[po]
+		if a.IsKnown() && b.IsKnown() && a != b {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectsEM grades an EM fault with the shared series-parallel excitation
+// rule.
+func DetectsEM(c *logic.Circuit, f fault.EM, tp TwoPattern) bool {
+	return DetectsOBD(c, fault.OBD(f), tp)
+}
+
+// DetectsTransition reports whether the vector pair detects a classical
+// transition fault (slow-to-rise/fall at a net) under the gross-delay
+// assumption: the net must make the slow transition between the frames,
+// and holding the old value in frame 2 must be observable at an output.
+func DetectsTransition(c *logic.Circuit, f fault.Transition, tp TwoPattern) bool {
+	g1 := c.Eval(tp.V1, nil)
+	g2 := c.Eval(tp.V2, nil)
+	var from, to logic.Value
+	if f.Rising {
+		from, to = logic.Zero, logic.One
+	} else {
+		from, to = logic.One, logic.Zero
+	}
+	if g1[f.Net] != from || g2[f.Net] != to {
+		return false
+	}
+	faulty := c.Eval(tp.V2, map[string]logic.Value{f.Net: from})
+	for _, po := range c.Outputs {
+		a, b := g2[po], faulty[po]
+		if a.IsKnown() && b.IsKnown() && a != b {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectsStuckAt reports whether the single pattern detects the stuck-at
+// fault.
+func DetectsStuckAt(c *logic.Circuit, f fault.StuckAt, p Pattern) bool {
+	good := c.Eval(p, nil)
+	if v := good[f.Net]; !v.IsKnown() || v == f.V {
+		return false
+	}
+	faulty := c.Eval(p, map[string]logic.Value{f.Net: f.V})
+	for _, po := range c.Outputs {
+		a, b := good[po], faulty[po]
+		if a.IsKnown() && b.IsKnown() && a != b {
+			return true
+		}
+	}
+	return false
+}
+
+// GradeOBD fault-simulates a test set against an OBD fault list.
+func GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) Coverage {
+	cov := Coverage{Total: len(faults)}
+	for _, f := range faults {
+		hit := false
+		for _, tp := range tests {
+			if DetectsOBD(c, f, tp) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			cov.Detected++
+		} else {
+			cov.Undetected = append(cov.Undetected, f.String())
+		}
+	}
+	return cov
+}
+
+// GradeTransition fault-simulates a test set against transition faults.
+func GradeTransition(c *logic.Circuit, faults []fault.Transition, tests []TwoPattern) Coverage {
+	cov := Coverage{Total: len(faults)}
+	for _, f := range faults {
+		hit := false
+		for _, tp := range tests {
+			if DetectsTransition(c, f, tp) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			cov.Detected++
+		} else {
+			cov.Undetected = append(cov.Undetected, f.String())
+		}
+	}
+	return cov
+}
+
+// GradeStuckAt fault-simulates single patterns against stuck-at faults.
+func GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests []Pattern) Coverage {
+	cov := Coverage{Total: len(faults)}
+	for _, f := range faults {
+		hit := false
+		for _, p := range tests {
+			if DetectsStuckAt(c, f, p) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			cov.Detected++
+		} else {
+			cov.Undetected = append(cov.Undetected, f.String())
+		}
+	}
+	return cov
+}
+
+// ExhaustiveOBDAnalysis enumerates every ordered pair of distinct complete
+// input vectors (the paper's "input transitions") and records which OBD
+// faults each pair detects. It requires ≤16 primary inputs.
+type ExhaustiveOBDAnalysis struct {
+	Circuit    *logic.Circuit
+	Faults     []fault.OBD
+	Pairs      []TwoPattern
+	DetectedBy [][]int // DetectedBy[p] = indices of faults detected by pair p
+	Testable   []bool  // Testable[f] = some pair detects fault f
+}
+
+// AnalyzeExhaustive runs the full-enumeration analysis used for the
+// Section 4.3 full-adder counts.
+func AnalyzeExhaustive(c *logic.Circuit, faults []fault.OBD) *ExhaustiveOBDAnalysis {
+	if len(c.Inputs) > 16 {
+		panic("atpg: exhaustive analysis limited to 16 inputs")
+	}
+	n := 1 << len(c.Inputs)
+	mk := func(m int) Pattern {
+		p := make(Pattern, len(c.Inputs))
+		for i, in := range c.Inputs {
+			p[in] = logic.FromBool(m&(1<<i) != 0)
+		}
+		return p
+	}
+	a := &ExhaustiveOBDAnalysis{Circuit: c, Faults: faults, Testable: make([]bool, len(faults))}
+	for m1 := 0; m1 < n; m1++ {
+		for m2 := 0; m2 < n; m2++ {
+			if m1 == m2 {
+				continue
+			}
+			tp := TwoPattern{V1: mk(m1), V2: mk(m2)}
+			var det []int
+			for fi, f := range faults {
+				if DetectsOBD(c, f, tp) {
+					det = append(det, fi)
+					a.Testable[fi] = true
+				}
+			}
+			a.Pairs = append(a.Pairs, tp)
+			a.DetectedBy = append(a.DetectedBy, det)
+		}
+	}
+	return a
+}
+
+// TestableCount returns the number of faults detectable by at least one
+// pair.
+func (a *ExhaustiveOBDAnalysis) TestableCount() int {
+	n := 0
+	for _, t := range a.Testable {
+		if t {
+			n++
+		}
+	}
+	return n
+}
+
+// GreedyCover returns a small pair set covering every testable fault,
+// chosen greedily by marginal coverage (ties broken by pair order).
+func (a *ExhaustiveOBDAnalysis) GreedyCover() []TwoPattern {
+	covered := make([]bool, len(a.Faults))
+	need := a.TestableCount()
+	var out []TwoPattern
+	for need > 0 {
+		best, bestGain := -1, 0
+		for pi, det := range a.DetectedBy {
+			gain := 0
+			for _, fi := range det {
+				if !covered[fi] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = pi, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		for _, fi := range a.DetectedBy[best] {
+			if !covered[fi] {
+				covered[fi] = true
+				need--
+			}
+		}
+		out = append(out, a.Pairs[best])
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+// Package cells builds transistor-level realizations of static CMOS gates
+// on top of the spice simulator: inverters, NAND/NOR stacks, AOI gates,
+// the paper's Fig. 5 measurement harness (the defective gate driven by
+// real gates, not ideal sources), and the Fig. 8 full-adder sum circuit.
+// It also elaborates whole gate-level logic.Circuits down to transistors,
+// which is how the paper's Section 4.3 propagation experiment is run.
+package cells
+
+import (
+	"fmt"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/spice"
+)
+
+// Builder accumulates cells into one spice circuit with a shared supply.
+type Builder struct {
+	C   *spice.Circuit
+	P   *spice.Process
+	VDD spice.NodeID
+
+	cells map[string]*Cell
+	seq   int
+}
+
+// NewBuilder creates a circuit containing the VDD supply source.
+func NewBuilder(p *spice.Process) *Builder {
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	c.AddVSource("VDD", vdd, spice.Ground, spice.DC(p.VDD))
+	return &Builder{C: c, P: p, VDD: vdd, cells: make(map[string]*Cell)}
+}
+
+// Node resolves a named node in the underlying circuit.
+func (b *Builder) Node(name string) spice.NodeID { return b.C.Node(name) }
+
+// Cell returns a previously built cell by name, or nil.
+func (b *Builder) Cell(name string) *Cell { return b.cells[name] }
+
+// Cell is one gate instance at transistor level.
+type Cell struct {
+	Name   string
+	Type   logic.GateType
+	Inputs []string // node names, in gate-input order
+	Output string   // node name
+
+	fets map[string]*spice.MOSFET
+}
+
+// FET returns the transistor on the given network side driven by the
+// idx-th gate input. It panics if the cell has no such transistor (a
+// programming error in experiment code).
+func (c *Cell) FET(side fault.Side, idx int) *spice.MOSFET {
+	key := fetKey(side, idx)
+	m, ok := c.fets[key]
+	if !ok {
+		panic(fmt.Sprintf("cells: cell %s has no transistor %s", c.Name, key))
+	}
+	return m
+}
+
+// FETCount returns the number of transistors in the cell.
+func (c *Cell) FETCount() int { return len(c.fets) }
+
+func fetKey(side fault.Side, idx int) string {
+	if side == fault.PullUp {
+		return fmt.Sprintf("P%d", idx)
+	}
+	return fmt.Sprintf("N%d", idx)
+}
+
+func (b *Builder) register(c *Cell) *Cell {
+	if _, dup := b.cells[c.Name]; dup {
+		panic(fmt.Sprintf("cells: duplicate cell name %q", c.Name))
+	}
+	b.cells[c.Name] = c
+	return c
+}
+
+// internal returns a fresh uniquely named internal node.
+func (b *Builder) internal(cell, tag string) spice.NodeID {
+	b.seq++
+	return b.C.Node(fmt.Sprintf("%s.%s%d", cell, tag, b.seq))
+}
+
+// wireCap is the parasitic capacitance added to every cell output node.
+const wireCap = 1e-15
+
+// Inverter builds a static CMOS inverter.
+func (b *Builder) Inverter(name, in, out string) *Cell {
+	inN, outN := b.Node(in), b.Node(out)
+	c := &Cell{Name: name, Type: logic.Inv, Inputs: []string{in}, Output: out, fets: map[string]*spice.MOSFET{}}
+	c.fets["P0"] = b.C.AddMOSFET(name+".P0", outN, inN, b.VDD, b.VDD, b.P.PMOSParams(b.P.WPUnit))
+	c.fets["N0"] = b.C.AddMOSFET(name+".N0", outN, inN, spice.Ground, spice.Ground, b.P.NMOSParams(b.P.WNUnit))
+	b.C.AddCapacitor(name+".Cw", outN, spice.Ground, wireCap)
+	return b.register(c)
+}
+
+// NAND builds an n-input NAND: parallel PMOS to VDD, series NMOS stack with
+// the input-0 transistor at the output end of the stack.
+func (b *Builder) NAND(name string, out string, ins ...string) *Cell {
+	if len(ins) < 2 {
+		panic("cells: NAND needs at least 2 inputs")
+	}
+	outN := b.Node(out)
+	c := &Cell{Name: name, Type: logic.Nand, Inputs: ins, Output: out, fets: map[string]*spice.MOSFET{}}
+	for i, in := range ins {
+		c.fets[fetKey(fault.PullUp, i)] = b.C.AddMOSFET(
+			fmt.Sprintf("%s.P%d", name, i), outN, b.Node(in), b.VDD, b.VDD, b.P.PMOSParams(b.P.WPUnit))
+	}
+	top := outN
+	for i, in := range ins {
+		var src spice.NodeID
+		if i == len(ins)-1 {
+			src = spice.Ground
+		} else {
+			src = b.internal(name, "m")
+		}
+		c.fets[fetKey(fault.PullDown, i)] = b.C.AddMOSFET(
+			fmt.Sprintf("%s.N%d", name, i), top, b.Node(in), src, spice.Ground, b.P.NMOSParams(b.P.WNStack))
+		top = src
+	}
+	b.C.AddCapacitor(name+".Cw", outN, spice.Ground, wireCap)
+	return b.register(c)
+}
+
+// NANDWithEM builds a 2-input NAND with an intra-gate electromigration
+// defect modeled at circuit level: a series resistance of rEM ohms in the
+// source leg of the transistor on (side, idx) — the resistive contact
+// degradation EM produces. This is the analog counterpart of the
+// gate-level fault.EM model and powers the EM-vs-OBD divergence ablation.
+func (b *Builder) NANDWithEM(name string, out, in0, in1 string, side fault.Side, idx int, rEM float64) *Cell {
+	if idx < 0 || idx > 1 {
+		panic("cells: NANDWithEM input index must be 0 or 1")
+	}
+	if rEM <= 0 {
+		panic("cells: NANDWithEM needs a positive EM resistance")
+	}
+	outN := b.Node(out)
+	ins := []string{in0, in1}
+	c := &Cell{Name: name, Type: logic.Nand, Inputs: ins, Output: out, fets: map[string]*spice.MOSFET{}}
+	emNode := b.internal(name, "em")
+	for i, in := range ins {
+		src := b.VDD
+		if side == fault.PullUp && i == idx {
+			src = emNode
+			b.C.AddResistor(name+".Rem", b.VDD, emNode, rEM)
+		}
+		c.fets[fetKey(fault.PullUp, i)] = b.C.AddMOSFET(
+			fmt.Sprintf("%s.P%d", name, i), outN, b.Node(in), src, b.VDD, b.P.PMOSParams(b.P.WPUnit))
+	}
+	mid := b.internal(name, "m")
+	nmosSrc := func(i int) spice.NodeID {
+		if i == 0 {
+			return mid
+		}
+		return spice.Ground
+	}
+	for i, in := range ins {
+		drain := outN
+		if i == 1 {
+			drain = mid
+		}
+		src := nmosSrc(i)
+		if side == fault.PullDown && i == idx {
+			b.C.AddResistor(name+".Rem", src, emNode, rEM)
+			src = emNode
+		}
+		c.fets[fetKey(fault.PullDown, i)] = b.C.AddMOSFET(
+			fmt.Sprintf("%s.N%d", name, i), drain, b.Node(in), src, spice.Ground, b.P.NMOSParams(b.P.WNStack))
+	}
+	b.C.AddCapacitor(name+".Cw", outN, spice.Ground, wireCap)
+	return b.register(c)
+}
+
+// NOR builds an n-input NOR: series PMOS stack (input 0 at the output end)
+// and parallel NMOS.
+func (b *Builder) NOR(name string, out string, ins ...string) *Cell {
+	if len(ins) < 2 {
+		panic("cells: NOR needs at least 2 inputs")
+	}
+	outN := b.Node(out)
+	c := &Cell{Name: name, Type: logic.Nor, Inputs: ins, Output: out, fets: map[string]*spice.MOSFET{}}
+	top := outN
+	for i, in := range ins {
+		var src spice.NodeID
+		if i == len(ins)-1 {
+			src = b.VDD
+		} else {
+			src = b.internal(name, "m")
+		}
+		c.fets[fetKey(fault.PullUp, i)] = b.C.AddMOSFET(
+			fmt.Sprintf("%s.P%d", name, i), top, b.Node(in), src, b.VDD, b.P.PMOSParams(b.P.WPStack))
+		top = src
+	}
+	for i, in := range ins {
+		c.fets[fetKey(fault.PullDown, i)] = b.C.AddMOSFET(
+			fmt.Sprintf("%s.N%d", name, i), outN, b.Node(in), spice.Ground, spice.Ground, b.P.NMOSParams(b.P.WNUnit))
+	}
+	b.C.AddCapacitor(name+".Cw", outN, spice.Ground, wireCap)
+	return b.register(c)
+}
+
+// AOI21 builds out = !(a·b + c): NMOS parallel(series(a,b), c), PMOS
+// series(parallel(a,b), c).
+func (b *Builder) AOI21(name string, out, a, bIn, cIn string) *Cell {
+	outN := b.Node(out)
+	c := &Cell{Name: name, Type: logic.Aoi21, Inputs: []string{a, bIn, cIn}, Output: out, fets: map[string]*spice.MOSFET{}}
+	// Pull-down: na: out->m, nb: m->gnd, nc: out->gnd.
+	m := b.internal(name, "m")
+	c.fets["N0"] = b.C.AddMOSFET(name+".N0", outN, b.Node(a), m, spice.Ground, b.P.NMOSParams(b.P.WNStack))
+	c.fets["N1"] = b.C.AddMOSFET(name+".N1", m, b.Node(bIn), spice.Ground, spice.Ground, b.P.NMOSParams(b.P.WNStack))
+	c.fets["N2"] = b.C.AddMOSFET(name+".N2", outN, b.Node(cIn), spice.Ground, spice.Ground, b.P.NMOSParams(b.P.WNUnit))
+	// Pull-up: pa,pb parallel from VDD to k; pc from k to out.
+	k := b.internal(name, "k")
+	c.fets["P0"] = b.C.AddMOSFET(name+".P0", k, b.Node(a), b.VDD, b.VDD, b.P.PMOSParams(b.P.WPStack))
+	c.fets["P1"] = b.C.AddMOSFET(name+".P1", k, b.Node(bIn), b.VDD, b.VDD, b.P.PMOSParams(b.P.WPStack))
+	c.fets["P2"] = b.C.AddMOSFET(name+".P2", outN, b.Node(cIn), k, b.VDD, b.P.PMOSParams(b.P.WPStack))
+	b.C.AddCapacitor(name+".Cw", outN, spice.Ground, wireCap)
+	return b.register(c)
+}
+
+// Gate dispatches on a logic gate type.
+func (b *Builder) Gate(name string, t logic.GateType, out string, ins ...string) (*Cell, error) {
+	switch t {
+	case logic.Inv:
+		if len(ins) != 1 {
+			return nil, fmt.Errorf("cells: inverter %s needs 1 input", name)
+		}
+		return b.Inverter(name, ins[0], out), nil
+	case logic.Nand:
+		return b.NAND(name, out, ins...), nil
+	case logic.Nor:
+		return b.NOR(name, out, ins...), nil
+	case logic.Aoi21:
+		if len(ins) != 3 {
+			return nil, fmt.Errorf("cells: AOI21 %s needs 3 inputs", name)
+		}
+		return b.AOI21(name, out, ins[0], ins[1], ins[2]), nil
+	default:
+		return nil, fmt.Errorf("cells: gate type %v has no transistor-level builder", t)
+	}
+}
+
+// Elaborate builds every gate of a validated logic circuit at transistor
+// level, naming nodes after nets. Primary inputs become undriven nodes the
+// caller attaches sources to.
+func (b *Builder) Elaborate(lc *logic.Circuit) (map[string]*Cell, error) {
+	if err := lc.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Cell, len(lc.Gates))
+	for _, g := range lc.Gates {
+		cell, err := b.Gate(g.Name, g.Type, g.Output, g.Inputs...)
+		if err != nil {
+			return nil, fmt.Errorf("cells: elaborating %s: %w", g.Name, err)
+		}
+		out[g.Name] = cell
+	}
+	return out, nil
+}

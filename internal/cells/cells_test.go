@@ -1,0 +1,490 @@
+package cells
+
+import (
+	"fmt"
+	"testing"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/spice"
+	"gobd/internal/timing"
+	"gobd/internal/waveform"
+)
+
+// opGateCheck drives a cell's inputs with DC sources over every input
+// combination and checks the output settles to the gate function.
+func opGateCheck(t *testing.T, typ logic.GateType, arity int, build func(b *Builder, ins []string) *Cell) {
+	t.Helper()
+	p := spice.Default350()
+	for m := 0; m < 1<<arity; m++ {
+		b := NewBuilder(p)
+		ins := make([]string, arity)
+		vals := make([]logic.Value, arity)
+		for i := range ins {
+			ins[i] = fmt.Sprintf("in%d", i)
+			vals[i] = logic.FromBool(m&(1<<i) != 0)
+			lvl := 0.0
+			if vals[i] == logic.One {
+				lvl = p.VDD
+			}
+			b.C.AddVSource(fmt.Sprintf("V%d", i), b.Node(ins[i]), spice.Ground, spice.DC(lvl))
+		}
+		cell := build(b, ins)
+		s, err := spice.OperatingPoint(b.C, nil)
+		if err != nil {
+			t.Fatalf("%v inputs %v: op failed: %v", typ, vals, err)
+		}
+		g := &logic.Gate{Name: "x", Type: typ, Inputs: ins}
+		want := g.Eval(vals)
+		got := s.V(cell.Output)
+		if want == logic.One && got < p.VDD-0.15 {
+			t.Fatalf("%v%v: out %.3f V, want ~VDD", typ, vals, got)
+		}
+		if want == logic.Zero && got > 0.15 {
+			t.Fatalf("%v%v: out %.3f V, want ~0", typ, vals, got)
+		}
+	}
+}
+
+func TestInverterDC(t *testing.T) {
+	opGateCheck(t, logic.Inv, 1, func(b *Builder, ins []string) *Cell {
+		return b.Inverter("DUT", ins[0], "y")
+	})
+}
+
+func TestNAND2DC(t *testing.T) {
+	opGateCheck(t, logic.Nand, 2, func(b *Builder, ins []string) *Cell {
+		return b.NAND("DUT", "y", ins...)
+	})
+}
+
+func TestNAND3DC(t *testing.T) {
+	opGateCheck(t, logic.Nand, 3, func(b *Builder, ins []string) *Cell {
+		return b.NAND("DUT", "y", ins...)
+	})
+}
+
+func TestNOR2DC(t *testing.T) {
+	opGateCheck(t, logic.Nor, 2, func(b *Builder, ins []string) *Cell {
+		return b.NOR("DUT", "y", ins...)
+	})
+}
+
+func TestAOI21DC(t *testing.T) {
+	opGateCheck(t, logic.Aoi21, 3, func(b *Builder, ins []string) *Cell {
+		return b.AOI21("DUT", "y", ins[0], ins[1], ins[2])
+	})
+}
+
+func TestCellFETAccess(t *testing.T) {
+	p := spice.Default350()
+	b := NewBuilder(p)
+	c := b.NAND("DUT", "y", "a", "bb")
+	if c.FETCount() != 4 {
+		t.Fatalf("NAND2 has %d FETs, want 4", c.FETCount())
+	}
+	if m := c.FET(fault.PullUp, 0); m.P.Polarity != spice.PMOS {
+		t.Fatal("PullUp FET is not PMOS")
+	}
+	if m := c.FET(fault.PullDown, 1); m.P.Polarity != spice.NMOS {
+		t.Fatal("PullDown FET is not NMOS")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing FET")
+		}
+	}()
+	c.FET(fault.PullDown, 5)
+}
+
+func TestFullAdderSumLogicStructure(t *testing.T) {
+	c := FullAdderSumLogic()
+	nands, invs := 0, 0
+	for _, g := range c.Gates {
+		switch g.Type {
+		case logic.Nand:
+			nands++
+			if len(g.Inputs) != 2 {
+				t.Fatalf("gate %s has %d inputs, want 2", g.Name, len(g.Inputs))
+			}
+		case logic.Inv:
+			invs++
+		default:
+			t.Fatalf("unexpected gate type %v", g.Type)
+		}
+	}
+	if nands != 14 || invs != 11 {
+		t.Fatalf("gate counts %d NAND + %d INV, want 14 + 11", nands, invs)
+	}
+	if d := c.Depth(); d != 9 {
+		t.Fatalf("depth %d, want 9", d)
+	}
+	// The injection target has four upstream and four downstream stages.
+	var target *logic.Gate
+	for _, g := range c.Gates {
+		if g.Name == FullAdderTarget {
+			target = g
+		}
+	}
+	if target == nil || target.Level != 5 {
+		t.Fatalf("target gate level %v, want 5", target)
+	}
+	// 14 NAND2 gates provide the paper's 56 OBD locations.
+	faults, skipped := fault.OBDUniverse(c)
+	if len(skipped) != 0 {
+		t.Fatalf("skipped gates: %v", skipped)
+	}
+	nandFaults := 0
+	for _, f := range faults {
+		if f.Gate.Type == logic.Nand {
+			nandFaults++
+		}
+	}
+	if nandFaults != 56 {
+		t.Fatalf("NAND OBD locations %d, want 56", nandFaults)
+	}
+}
+
+func TestFullAdderSumLogicFunction(t *testing.T) {
+	c := FullAdderSumLogic()
+	tt := c.TruthTable("s")
+	// Input order A,B,C with index bit i = input i: parity of the bits.
+	for m, got := range tt {
+		par := (m ^ (m >> 1) ^ (m >> 2)) & 1
+		want := logic.FromBool(par == 1)
+		if got != want {
+			t.Fatalf("sum(%03b) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestElaborateRejectsComposite(t *testing.T) {
+	lc := logic.New("bad")
+	if err := lc.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.AddInput("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lc.AddGate("g1", logic.Xor, "y", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	lc.AddOutput("y")
+	b := NewBuilder(spice.Default350())
+	if _, err := b.Elaborate(lc); err == nil {
+		t.Fatal("composite gate elaboration should fail")
+	}
+}
+
+func TestHarnessFaultFreeDelays(t *testing.T) {
+	p := spice.Default350()
+	h := NewNANDHarness(p, 2)
+	const (
+		tSwitch = 1e-9
+		tEdge   = 50e-12
+		tStop   = 3e-9
+		dt      = 1e-12
+	)
+	for _, tc := range []struct {
+		pair   string
+		rising bool
+	}{
+		{"(01,11)", false},
+		{"(10,11)", false},
+		{"(11,01)", true},
+		{"(11,10)", true},
+	} {
+		pr, err := fault.ParsePair(tc.pair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Apply(pr, tSwitch, tEdge)
+		res, err := h.Run(tStop, dt)
+		if err != nil {
+			t.Fatalf("%s: transient: %v", tc.pair, err)
+		}
+		m, err := h.Measure(res, pr, tSwitch, tEdge)
+		if err != nil {
+			t.Fatalf("%s: measure: %v", tc.pair, err)
+		}
+		if m.Kind != waveform.TransitionOK {
+			t.Fatalf("%s: fault-free NAND classified %v", tc.pair, m.Kind)
+		}
+		if m.Delay < 10e-12 || m.Delay > 500e-12 {
+			t.Fatalf("%s: fault-free delay %.1f ps outside [10, 500] ps", tc.pair, m.Delay*1e12)
+		}
+	}
+}
+
+func TestHarnessRejectsNonTransitionPair(t *testing.T) {
+	p := spice.Default350()
+	h := NewNANDHarness(p, 2)
+	pr, err := fault.ParsePair("(00,01)") // output stays 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Apply(pr, 1e-9, 50e-12)
+	res, err := h.Run(1.5e-9, 2e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Measure(res, pr, 1e-9, 50e-12); err == nil {
+		t.Fatal("expected error for non-transition pair")
+	}
+}
+
+func TestInverterVTCRig(t *testing.T) {
+	p := spice.Default350()
+	v := NewInverterVTC(p)
+	in, out, err := v.Sweep(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != len(out) || len(in) < 30 {
+		t.Fatalf("sweep sizes %d/%d", len(in), len(out))
+	}
+	if out[0] < p.VDD-0.05 || out[len(out)-1] > 0.05 {
+		t.Fatalf("VTC endpoints wrong: %.3f .. %.3f", out[0], out[len(out)-1])
+	}
+}
+
+func TestFullAdderRigDC(t *testing.T) {
+	p := spice.Default350()
+	rig, err := NewFullAdderRig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive DC check of the 25-cell transistor netlist.
+	for m := 0; m < 8; m++ {
+		vals := map[string]logic.Value{
+			"A": logic.FromBool(m&1 != 0),
+			"B": logic.FromBool(m&2 != 0),
+			"C": logic.FromBool(m&4 != 0),
+		}
+		for in, v := range vals {
+			lvl := 0.0
+			if v == logic.One {
+				lvl = p.VDD
+			}
+			rig.Srcs[in].Wave = spice.DC(lvl)
+		}
+		s, err := spice.OperatingPoint(rig.B.C, nil)
+		if err != nil {
+			t.Fatalf("op(%03b): %v", m, err)
+		}
+		want := rig.Logic.Eval(vals, nil)["s"]
+		got := s.V("s")
+		if want == logic.One && got < p.VDD-0.2 {
+			t.Fatalf("sum(%03b) analog %.3f V, want high", m, got)
+		}
+		if want == logic.Zero && got > 0.2 {
+			t.Fatalf("sum(%03b) analog %.3f V, want low", m, got)
+		}
+	}
+}
+
+func TestFullAdderRigTransient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog full-adder transient is slow")
+	}
+	p := spice.Default350()
+	rig, err := NewFullAdderRig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, zero := logic.One, logic.Zero
+	// A:1->1, B:1->1, C:0->1 flips the sum 0 -> 1.
+	v1 := map[string]logic.Value{"A": one, "B": one, "C": zero}
+	v2 := map[string]logic.Value{"A": one, "B": one, "C": one}
+	if err := rig.Apply(v1, v2, 0.5e-9, 50e-12); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rig.Run(2.5e-9, 2e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := waveform.MustNew("s", res.Times, res.V("s"))
+	if s.V[0] > 0.2 {
+		t.Fatalf("initial sum %.3f, want low", s.V[0])
+	}
+	if got := s.Final(); got < p.VDD-0.2 {
+		t.Fatalf("final sum %.3f, want high", got)
+	}
+	if _, ok := s.Crossing(p.VDD/2, true, 0.5e-9); !ok {
+		t.Fatal("sum never crossed 50%")
+	}
+}
+
+func TestApplyRejectsX(t *testing.T) {
+	p := spice.Default350()
+	rig, err := NewFullAdderRig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := map[string]logic.Value{"A": logic.One, "B": logic.X, "C": logic.Zero}
+	if err := rig.Apply(v, v, 1e-9, 50e-12); err == nil {
+		t.Fatal("expected error for X stimulus")
+	}
+}
+
+func TestNANDWithEMStaysFunctional(t *testing.T) {
+	// The EM series resistance must not change the logic function.
+	p := spice.Default350()
+	for _, side := range []fault.Side{fault.PullUp, fault.PullDown} {
+		for idx := 0; idx < 2; idx++ {
+			for m := 0; m < 4; m++ {
+				b := NewBuilder(p)
+				ins := []string{"ia", "ib"}
+				vals := []logic.Value{logic.FromBool(m&1 != 0), logic.FromBool(m&2 != 0)}
+				for i, in := range ins {
+					lvl := 0.0
+					if vals[i] == logic.One {
+						lvl = p.VDD
+					}
+					b.C.AddVSource(fmt.Sprintf("V%d", i), b.Node(in), spice.Ground, spice.DC(lvl))
+				}
+				cell := b.NANDWithEM("DUT", "y", "ia", "ib", side, idx, 1000)
+				if cell.FETCount() != 4 {
+					t.Fatalf("EM NAND has %d FETs", cell.FETCount())
+				}
+				s, err := spice.OperatingPoint(b.C, nil)
+				if err != nil {
+					t.Fatalf("op: %v", err)
+				}
+				g := &logic.Gate{Name: "x", Type: logic.Nand, Inputs: ins}
+				want := g.Eval(vals)
+				got := s.V("y")
+				if want == logic.One && got < p.VDD-0.2 {
+					t.Fatalf("EM NAND %v/%d inputs %v: %f", side, idx, vals, got)
+				}
+				if want == logic.Zero && got > 0.2 {
+					t.Fatalf("EM NAND %v/%d inputs %v: %f", side, idx, vals, got)
+				}
+			}
+		}
+	}
+}
+
+func TestGateHarnessNOR(t *testing.T) {
+	p := spice.Default350()
+	h, err := NewGateHarness(p, logic.Nor, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := fault.ParsePair("(10,00)") // output rises
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Apply(pr, 1e-9, 50e-12); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Run(3e-9, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.Measure(res, pr, 1e-9, 50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != waveform.TransitionOK || m.Delay < 10e-12 || m.Delay > 600e-12 {
+		t.Fatalf("NOR rise measurement %+v", m)
+	}
+	// Width mismatch rejected.
+	bad, err := fault.ParsePair("(101,000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Apply(bad, 1e-9, 50e-12); err == nil {
+		t.Fatal("wrong-arity pair accepted")
+	}
+}
+
+func TestElaborateC17AnalogMatchesLogic(t *testing.T) {
+	// Cross-layer check: the transistor-level elaboration of c17 computes
+	// the same function as the gate-level model for all 32 input vectors.
+	p := spice.Default350()
+	lc := logic.C17()
+	b := NewBuilder(p)
+	if _, err := b.Elaborate(lc); err != nil {
+		t.Fatal(err)
+	}
+	srcs := make(map[string]*spice.VSource, len(lc.Inputs))
+	for _, in := range lc.Inputs {
+		srcs[in] = b.C.AddVSource("V"+in, b.Node(in), spice.Ground, spice.DC(0))
+	}
+	for m := 0; m < 32; m++ {
+		assign := make(map[string]logic.Value, 5)
+		for i, in := range lc.Inputs {
+			v := logic.FromBool(m&(1<<i) != 0)
+			assign[in] = v
+			lvl := 0.0
+			if v == logic.One {
+				lvl = p.VDD
+			}
+			srcs[in].Wave = spice.DC(lvl)
+		}
+		sol, err := spice.OperatingPoint(b.C, nil)
+		if err != nil {
+			t.Fatalf("op(%05b): %v", m, err)
+		}
+		want := lc.Eval(assign, nil)
+		for _, po := range lc.Outputs {
+			got := sol.V(po)
+			if want[po] == logic.One && got < p.VDD-0.2 {
+				t.Fatalf("c17(%05b) %s analog %.2f, want high", m, po, got)
+			}
+			if want[po] == logic.Zero && got > 0.2 {
+				t.Fatalf("c17(%05b) %s analog %.2f, want low", m, po, got)
+			}
+		}
+	}
+}
+
+func TestCalibrateDelays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10 calibration transients")
+	}
+	p := spice.Default350()
+	dm, err := CalibrateDelays(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every primitive and composite type the timing simulator needs must
+	// be present and plausible (1..500 ps).
+	for _, typ := range []logic.GateType{
+		logic.Inv, logic.Buf, logic.Nand, logic.Nor, logic.And,
+		logic.Or, logic.Xor, logic.Xnor, logic.Aoi21, logic.Oai21,
+	} {
+		g := &logic.Gate{Name: "x", Type: typ}
+		for _, rising := range []bool{true, false} {
+			d, err := dm.Delay(g, rising)
+			if err != nil {
+				t.Fatalf("%v rising=%v: %v", typ, rising, err)
+			}
+			if d < 1e-12 || d > 500e-12 {
+				t.Fatalf("%v rising=%v delay %.1f ps implausible", typ, rising, d*1e12)
+			}
+		}
+	}
+	// Stacked/compound gates must be slower than the inverter.
+	if dm.Fall[logic.Nand] <= dm.Fall[logic.Inv] {
+		t.Fatalf("NAND fall %.1f ps not above INV %.1f ps",
+			dm.Fall[logic.Nand]*1e12, dm.Fall[logic.Inv]*1e12)
+	}
+	// The calibrated model must drive the timing simulator.
+	lc := FullAdderSumLogic()
+	sim, err := timing.New(lc, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := map[string]logic.Value{"A": logic.One, "B": logic.One, "C": logic.Zero}
+	v2 := map[string]logic.Value{"A": logic.One, "B": logic.One, "C": logic.One}
+	tr, err := sim.Run(v1, v2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settle := tr.SettleTime()
+	if settle < 100e-12 || settle > 3e-9 {
+		t.Fatalf("calibrated critical path %.0f ps implausible", settle*1e12)
+	}
+}

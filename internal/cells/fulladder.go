@@ -1,0 +1,140 @@
+package cells
+
+import (
+	"fmt"
+
+	"gobd/internal/logic"
+	"gobd/internal/spice"
+)
+
+// FullAdderSumLogic reconstructs the paper's Fig. 8 experimental circuit:
+// the sum bit of a full adder implemented "without any optimizations" from
+// exactly 14 two-input NAND gates and 11 inverters with logic depth 9 and
+// intentional redundancy. The paper gives only these structural properties
+// (gate counts, depth, redundancy, and that the injected NAND has four
+// logic stages both upstream and downstream); this netlist satisfies all
+// of them and computes S = A⊕B⊕C:
+//
+//	first XOR   g  = A⊕B      via inverter-heavy sum-of-products (p,q paths)
+//	complement  gb = !(A⊕B)   via a parallel XNOR built from t1,t2
+//	second XOR  s  = g⊕C      via r1 = !(g·!C), r2 = !(gb·C), s = !(r1·r2)
+//	redundancy  d1..d3        recompute A·!B and join a constant-1 into the
+//	                          r2 path through the u1/u2 NAND pair, leaving
+//	                          several OBD sites structurally untestable
+//
+// Gate g sits at level 5 of 9 — four stages of upstream and four stages of
+// downstream logic — and is the OBD injection target of the Fig. 9
+// experiment.
+func FullAdderSumLogic() *logic.Circuit {
+	c := logic.New("fulladder_sum")
+	for _, in := range []string{"A", "B", "C"} {
+		if err := c.AddInput(in); err != nil {
+			panic(err)
+		}
+	}
+	c.AddOutput("s")
+	type gd struct {
+		t    logic.GateType
+		name string
+		ins  []string
+	}
+	gates := []gd{
+		// Inverters (11).
+		{logic.Inv, "an", []string{"A"}},
+		{logic.Inv, "bn", []string{"B"}},
+		{logic.Inv, "cn", []string{"C"}},
+		{logic.Inv, "pi", []string{"p"}},
+		{logic.Inv, "qi", []string{"q"}},
+		{logic.Inv, "pii", []string{"pi"}},
+		{logic.Inv, "qii", []string{"qi"}},
+		{logic.Inv, "r1i", []string{"r1"}},
+		{logic.Inv, "r1ii", []string{"r1i"}},
+		{logic.Inv, "r2i", []string{"r2"}},
+		{logic.Inv, "r2ii", []string{"r2i"}},
+		// Two-input NANDs (14).
+		{logic.Nand, "t2", []string{"A", "B"}},
+		{logic.Nand, "p", []string{"A", "bn"}},
+		{logic.Nand, "q", []string{"an", "B"}},
+		{logic.Nand, "t1", []string{"an", "bn"}},
+		{logic.Nand, "d1", []string{"A", "bn"}},
+		{logic.Nand, "gbar", []string{"t1", "t2"}},
+		{logic.Nand, "d2", []string{"d1", "d1"}},
+		{logic.Nand, "r2", []string{"gbar", "C"}},
+		{logic.Nand, "d3", []string{"d2", "qi"}},
+		{logic.Nand, "g", []string{"pii", "qii"}},
+		{logic.Nand, "r1", []string{"g", "cn"}},
+		{logic.Nand, "u1", []string{"r2ii", "d3"}},
+		{logic.Nand, "u2", []string{"u1", "u1"}},
+		{logic.Nand, "s", []string{"r1ii", "u2"}},
+	}
+	for _, g := range gates {
+		if _, err := c.AddGate(g.name, g.t, g.name, g.ins...); err != nil {
+			panic(err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FullAdderTarget is the name of the NAND gate with four upstream and four
+// downstream stages — the injection site of the paper's Fig. 9 experiment.
+const FullAdderTarget = "g"
+
+// FullAdderRig is the transistor-level elaboration of the Fig. 8 circuit
+// with PWL-drivable sources on A, B and C.
+type FullAdderRig struct {
+	B     *Builder
+	Logic *logic.Circuit
+	Cells map[string]*Cell
+	Srcs  map[string]*spice.VSource
+}
+
+// NewFullAdderRig elaborates FullAdderSumLogic to transistors.
+func NewFullAdderRig(p *spice.Process) (*FullAdderRig, error) {
+	lc := FullAdderSumLogic()
+	b := NewBuilder(p)
+	cellsByGate, err := b.Elaborate(lc)
+	if err != nil {
+		return nil, err
+	}
+	rig := &FullAdderRig{B: b, Logic: lc, Cells: cellsByGate, Srcs: make(map[string]*spice.VSource)}
+	for _, in := range lc.Inputs {
+		rig.Srcs[in] = b.C.AddVSource("V"+in, b.Node(in), spice.Ground, spice.DC(0))
+	}
+	return rig, nil
+}
+
+// Apply programs the input sources with a two-pattern stimulus given as
+// per-input (v1, v2) logic values.
+func (r *FullAdderRig) Apply(v1, v2 map[string]logic.Value, tSwitch, tEdge float64) error {
+	vdd := r.B.P.VDD
+	level := func(v logic.Value) (float64, error) {
+		switch v {
+		case logic.One:
+			return vdd, nil
+		case logic.Zero:
+			return 0, nil
+		default:
+			return 0, fmt.Errorf("cells: analog stimulus needs complete vectors, got X")
+		}
+	}
+	for _, in := range r.Logic.Inputs {
+		l1, err := level(v1[in])
+		if err != nil {
+			return fmt.Errorf("%w (input %s, frame 1)", err, in)
+		}
+		l2, err := level(v2[in])
+		if err != nil {
+			return fmt.Errorf("%w (input %s, frame 2)", err, in)
+		}
+		r.Srcs[in].Wave = spice.NewPWL(0, l1, tSwitch, l1, tSwitch+tEdge, l2)
+	}
+	return nil
+}
+
+// Run runs the transient analysis.
+func (r *FullAdderRig) Run(tstop, dt float64) (*spice.TranResult, error) {
+	return spice.Transient(r.B.C, tstop, dt, nil)
+}

@@ -1,0 +1,99 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"gobd/internal/cells"
+	"gobd/internal/fault"
+	"gobd/internal/obd"
+	"gobd/internal/spice"
+)
+
+// EnergyRow is one stage's supply-charge measurement.
+type EnergyRow struct {
+	Stage       obd.Stage
+	EdgeCharge  float64 // supply charge delivered around one falling-output launch (C)
+	StaticPower float64 // quiescent supply power in the leaky state (W)
+}
+
+// Energy quantifies the power cost of a progressing OBD defect — the
+// observable behind the paper's IDDQ-related citations and the physical
+// driver of the progression itself (the leakage current that "continuously
+// increases" is supply charge): per breakdown stage, the quiescent supply
+// power in the defect-biasing state and the charge drawn around a
+// switching event on the Fig. 5 harness.
+type Energy struct {
+	Rows []EnergyRow
+}
+
+// RunEnergy measures an NMOS OBD on input A of the NAND.
+func RunEnergy(p *spice.Process) (*Energy, error) {
+	out := &Energy{}
+	h := cells.NewNANDHarness(p, 2)
+	inj := obd.Inject(h.B.C, "f", h.FETFor(fault.PullDown, 0), obd.FaultFree)
+	vdd, ok := h.B.C.Device("VDD").(*spice.VSource)
+	if !ok {
+		return nil, fmt.Errorf("exper: harness has no VDD source")
+	}
+	pr, err := fault.ParsePair("(01,11)")
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range []obd.Stage{obd.FaultFree, obd.MBD1, obd.MBD2, obd.MBD3} {
+		inj.SetStage(st)
+		h.Apply(pr, TSwitch, TEdge)
+		res, err := h.Run(TStop, TStep)
+		if err != nil {
+			return nil, fmt.Errorf("exper: energy %v: %w", st, err)
+		}
+		// Supply current flows out of the + terminal into the circuit, so
+		// the branch current is negative while delivering charge.
+		q := -res.ChargeThrough(vdd, TSwitch, TSwitch+1.5e-9)
+		// Quiescent power in the final (leaky: A=1,B=1) state.
+		iq := res.SourceCurrent(vdd)
+		pq := -iq[len(iq)-1] * p.VDD
+		out.Rows = append(out.Rows, EnergyRow{Stage: st, EdgeCharge: q, StaticPower: pq})
+	}
+	return out, nil
+}
+
+// Format prints the per-stage energy table.
+func (e *Energy) Format() string {
+	var b strings.Builder
+	b.WriteString("Energy: supply cost of a progressing NMOS OBD (NAND, seq (01,11))\n")
+	fmt.Fprintf(&b, "  %-10s %14s %14s\n", "Stage", "edge charge", "static power")
+	for _, r := range e.Rows {
+		fmt.Fprintf(&b, "  %-10s %11.2f pC %11.2f mW\n", r.Stage, r.EdgeCharge*1e12, r.StaticPower*1e3)
+	}
+	return b.String()
+}
+
+// Check verifies both observables grow monotonically with breakdown stage
+// and that MBD3 draws at least twice the fault-free static power — the
+// "continuously increasing leakage" the progression literature reports.
+func (e *Energy) Check() []string {
+	var bad []string
+	var prev *EnergyRow
+	for i := range e.Rows {
+		r := &e.Rows[i]
+		if r.EdgeCharge <= 0 || r.StaticPower < 0 {
+			bad = append(bad, fmt.Sprintf("%v: implausible measurements %g C, %g W", r.Stage, r.EdgeCharge, r.StaticPower))
+		}
+		if prev != nil {
+			if r.EdgeCharge < prev.EdgeCharge*0.98 {
+				bad = append(bad, fmt.Sprintf("%v: edge charge fell", r.Stage))
+			}
+			if r.StaticPower < prev.StaticPower*0.98 {
+				bad = append(bad, fmt.Sprintf("%v: static power fell", r.Stage))
+			}
+		}
+		prev = r
+	}
+	first, last := e.Rows[0], e.Rows[len(e.Rows)-1]
+	if last.StaticPower < 2*first.StaticPower {
+		bad = append(bad, fmt.Sprintf("MBD3 static power %.2g not clearly above fault-free %.2g",
+			last.StaticPower, first.StaticPower))
+	}
+	return bad
+}

@@ -1,0 +1,385 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"gobd/internal/atpg"
+	"gobd/internal/cells"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/obd"
+	"gobd/internal/spice"
+	"gobd/internal/waveform"
+)
+
+// Figure4 reproduces the inverter voltage-transfer characteristics under a
+// progressing NMOS OBD defect: the VOL value shifts upward with stage.
+type Figure4 struct {
+	In     []float64               // swept input voltage
+	Curves map[obd.Stage][]float64 // stage -> output voltage
+	VOL    map[obd.Stage]float64   // output at full-high input
+	Stages []obd.Stage
+}
+
+// RunFigure4 sweeps the inverter VTC at every breakdown stage.
+func RunFigure4(p *spice.Process) (*Figure4, error) {
+	f := &Figure4{
+		Curves: make(map[obd.Stage][]float64),
+		VOL:    make(map[obd.Stage]float64),
+		Stages: obd.Stages(),
+	}
+	rig := cells.NewInverterVTC(p)
+	inj := obd.Inject(rig.B.C, "f", rig.Inv.FET(fault.PullDown, 0), obd.FaultFree)
+	for _, st := range f.Stages {
+		inj.SetStage(st)
+		in, out, err := rig.Sweep(0.05)
+		if err != nil {
+			return nil, fmt.Errorf("exper: figure 4 at %v: %w", st, err)
+		}
+		f.In = in
+		f.Curves[st] = out
+		f.VOL[st] = out[len(out)-1]
+	}
+	return f, nil
+}
+
+// Format prints the VOL trend and an ASCII rendition of the curves.
+func (f *Figure4) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: inverter VTC under NMOS OBD (VOL shift)\n")
+	for _, st := range f.Stages {
+		fmt.Fprintf(&b, "  %-10s VOL = %.3f V\n", st, f.VOL[st])
+	}
+	for _, st := range f.Stages {
+		s := waveform.MustNew(st.String(), f.In, f.Curves[st])
+		b.WriteString(waveform.ASCIIPlot(s, 8, 60))
+	}
+	return b.String()
+}
+
+// Check verifies the paper's claim: VOL rises monotonically with stage.
+func (f *Figure4) Check() []string {
+	var bad []string
+	prev := -1.0
+	for _, st := range f.Stages {
+		if f.VOL[st] < prev-1e-3 {
+			bad = append(bad, fmt.Sprintf("VOL not monotone at %v: %.3f after %.3f", st, f.VOL[st], prev))
+		}
+		prev = f.VOL[st]
+	}
+	if f.VOL[obd.FaultFree] > 0.1 {
+		bad = append(bad, fmt.Sprintf("fault-free VOL %.3f too high", f.VOL[obd.FaultFree]))
+	}
+	if f.VOL[obd.HBD] < f.VOL[obd.FaultFree]+0.2 {
+		bad = append(bad, "HBD VOL shift too small")
+	}
+	return bad
+}
+
+// Figure6 reproduces the NMOS OBD progression transients for the NAND:
+// per-stage output waveforms and delays under both falling sequences,
+// showing the fault is independent of which input switches.
+type Figure6 struct {
+	Stages []obd.Stage
+	Waves  map[obd.Stage]*waveform.Series                     // (01,11) output waveforms
+	Delays map[obd.Stage]map[string]waveform.DelayMeasurement // stage -> seq -> measurement
+}
+
+// RunFigure6 runs the progression transients.
+func RunFigure6(p *spice.Process) (*Figure6, error) {
+	f := &Figure6{
+		Stages: obd.Stages(),
+		Waves:  make(map[obd.Stage]*waveform.Series),
+		Delays: make(map[obd.Stage]map[string]waveform.DelayMeasurement),
+	}
+	h := cells.NewNANDHarness(p, 2)
+	inj := obd.Inject(h.B.C, "f", h.FETFor(fault.PullDown, 0), obd.FaultFree)
+	for _, st := range f.Stages {
+		inj.SetStage(st)
+		f.Delays[st] = make(map[string]waveform.DelayMeasurement)
+		for _, seq := range []string{"(01,11)", "(10,11)"} {
+			pr, err := fault.ParsePair(seq)
+			if err != nil {
+				return nil, err
+			}
+			h.Apply(pr, TSwitch, TEdge)
+			res, err := h.Run(TStop, TStep)
+			if err != nil {
+				return nil, fmt.Errorf("exper: figure 6 %v %s: %w", st, seq, err)
+			}
+			m, err := h.Measure(res, pr, TSwitch, TEdge)
+			if err != nil {
+				return nil, err
+			}
+			f.Delays[st][seq] = m
+			if seq == "(01,11)" {
+				f.Waves[st] = waveform.MustNew(st.String(), res.Times, res.V(h.OutputNode()))
+			}
+		}
+	}
+	return f, nil
+}
+
+// Format renders delays and waveforms.
+func (f *Figure6) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: NMOS OBD progression for NAND (defect on input A)\n")
+	for _, st := range f.Stages {
+		m1, m2 := f.Delays[st]["(01,11)"], f.Delays[st]["(10,11)"]
+		fmt.Fprintf(&b, "  %-10s (01,11): %-8s (10,11): %-8s\n", st,
+			Table1Cell{Meas: m1}.EntryString(), Table1Cell{Meas: m2}.EntryString())
+	}
+	for _, st := range f.Stages {
+		b.WriteString(waveform.ASCIIPlot(f.Waves[st], 8, 60))
+	}
+	return b.String()
+}
+
+// Check verifies the progression grows monotonically, ends stuck, and is
+// insensitive to which input switches (pre-HBD delays within 20% across
+// the two sequences).
+func (f *Figure6) Check() []string {
+	var bad []string
+	prev := 0.0
+	for _, st := range []obd.Stage{obd.FaultFree, obd.MBD1, obd.MBD2, obd.MBD3} {
+		m1, m2 := f.Delays[st]["(01,11)"], f.Delays[st]["(10,11)"]
+		if m1.Kind != waveform.TransitionOK || m2.Kind != waveform.TransitionOK {
+			bad = append(bad, fmt.Sprintf("stuck before HBD at %v", st))
+			continue
+		}
+		if m1.Delay < prev*0.98 {
+			bad = append(bad, fmt.Sprintf("delay not monotone at %v", st))
+		}
+		prev = m1.Delay
+		ratio := m1.Delay / m2.Delay
+		if ratio < 0.8 || ratio > 1.25 {
+			bad = append(bad, fmt.Sprintf("input dependence at %v: %.0f vs %.0f ps", st, m1.Delay*1e12, m2.Delay*1e12))
+		}
+	}
+	if m := f.Delays[obd.HBD]["(01,11)"]; m.Kind != waveform.StuckHigh {
+		bad = append(bad, fmt.Sprintf("HBD classified %v, want sa-1", m.Kind))
+	}
+	return bad
+}
+
+// Figure7 reproduces the input-specific PMOS detection experiment: OBD on
+// PMOS A or B, measured under both rising sequences at a mid progression
+// stage.
+type Figure7 struct {
+	Stage  obd.Stage
+	Delays map[string]map[string]waveform.DelayMeasurement // defect ("PA"/"PB") -> seq -> measurement
+	Waves  map[string]map[string]*waveform.Series
+}
+
+// RunFigure7 runs the experiment at MBD2.
+func RunFigure7(p *spice.Process) (*Figure7, error) {
+	f := &Figure7{
+		Stage:  obd.MBD2,
+		Delays: make(map[string]map[string]waveform.DelayMeasurement),
+		Waves:  make(map[string]map[string]*waveform.Series),
+	}
+	for input, name := range map[int]string{0: "PA", 1: "PB"} {
+		h := cells.NewNANDHarness(p, 2)
+		inj := obd.Inject(h.B.C, "f", h.FETFor(fault.PullUp, input), obd.FaultFree)
+		inj.SetStage(f.Stage)
+		f.Delays[name] = make(map[string]waveform.DelayMeasurement)
+		f.Waves[name] = make(map[string]*waveform.Series)
+		for _, seq := range []string{"(11,01)", "(11,10)"} {
+			pr, err := fault.ParsePair(seq)
+			if err != nil {
+				return nil, err
+			}
+			h.Apply(pr, TSwitch, TEdge)
+			res, err := h.Run(TStop, TStep)
+			if err != nil {
+				return nil, fmt.Errorf("exper: figure 7 %s %s: %w", name, seq, err)
+			}
+			m, err := h.Measure(res, pr, TSwitch, TEdge)
+			if err != nil {
+				return nil, err
+			}
+			f.Delays[name][seq] = m
+			f.Waves[name][seq] = waveform.MustNew(name+seq, res.Times, res.V(h.OutputNode()))
+		}
+	}
+	return f, nil
+}
+
+// Format prints the 2×2 delay matrix.
+func (f *Figure7) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: input-specific PMOS OBD detection (stage %v)\n", f.Stage)
+	for _, name := range []string{"PA", "PB"} {
+		for _, seq := range []string{"(11,01)", "(11,10)"} {
+			fmt.Fprintf(&b, "  defect %s under %s: %s\n", name, seq,
+				Table1Cell{Meas: f.Delays[name][seq]}.EntryString())
+		}
+	}
+	return b.String()
+}
+
+// Check verifies each PMOS defect is slowed only by its own sequence
+// (≥25% slower than the other defect's reading under that sequence).
+func (f *Figure7) Check() []string {
+	var bad []string
+	get := func(name, seq string) float64 {
+		m := f.Delays[name][seq]
+		if m.Kind != waveform.TransitionOK {
+			bad = append(bad, fmt.Sprintf("%s %s unexpectedly stuck", name, seq))
+			return 0
+		}
+		return m.Delay
+	}
+	paOwn, paOther := get("PA", "(11,01)"), get("PA", "(11,10)")
+	pbOwn, pbOther := get("PB", "(11,10)"), get("PB", "(11,01)")
+	if len(bad) > 0 {
+		return bad
+	}
+	if paOwn < 1.25*paOther {
+		bad = append(bad, fmt.Sprintf("PA not input-specific: own %.0f vs other %.0f ps", paOwn*1e12, paOther*1e12))
+	}
+	if pbOwn < 1.25*pbOther {
+		bad = append(bad, fmt.Sprintf("PB not input-specific: own %.0f vs other %.0f ps", pbOwn*1e12, pbOther*1e12))
+	}
+	return bad
+}
+
+// Figure9Case is one fault of the full-adder propagation experiment.
+type Figure9Case struct {
+	Fault      string
+	Pair       atpg.TwoPattern
+	PairText   string
+	FaultFree  waveform.DelayMeasurement
+	Faulty     waveform.DelayMeasurement
+	Wave       *waveform.Series // faulty sum waveform
+	WaveGolden *waveform.Series // fault-free sum waveform under the same stimulus
+}
+
+// Figure9 reproduces the propagation experiment: OBD injected (one at a
+// time) into the four transistors of the NAND gate with four stages of
+// upstream and downstream logic; the justified input sequences come from
+// the OBD ATPG and the delay is observed at the primary output.
+type Figure9 struct {
+	Stage obd.Stage
+	Cases []Figure9Case
+}
+
+// RunFigure9 runs the four injections at the given stage (the paper plots
+// a visible-but-not-stuck stage; MBD2 works well).
+func RunFigure9(p *spice.Process, stage obd.Stage) (*Figure9, error) {
+	lc := cells.FullAdderSumLogic()
+	var target *logic.Gate
+	for _, g := range lc.Gates {
+		if g.Name == cells.FullAdderTarget {
+			target = g
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("exper: full adder target gate missing")
+	}
+	out := &Figure9{Stage: stage}
+	targets := []struct {
+		name  string
+		side  fault.Side
+		input int
+	}{
+		{"NMOS OBD1", fault.PullDown, 0},
+		{"NMOS OBD2", fault.PullDown, 1},
+		{"PMOS OBD1", fault.PullUp, 0},
+		{"PMOS OBD2", fault.PullUp, 1},
+	}
+	for _, tg := range targets {
+		fl := fault.OBD{Gate: target, Input: tg.input, Side: tg.side}
+		tp, st := atpg.GenerateOBDTest(lc, fl, nil)
+		if st != atpg.Detected {
+			return nil, fmt.Errorf("exper: figure 9: ATPG failed for %s: %v", fl, st)
+		}
+		// Fault-free reference run under the justified stimulus.
+		rigFF, err := cells.NewFullAdderRig(p)
+		if err != nil {
+			return nil, err
+		}
+		mFF, wFF, err := runFullAdderOnce(rigFF, *tp)
+		if err != nil {
+			return nil, fmt.Errorf("exper: figure 9 fault-free (%s): %w", tg.name, err)
+		}
+		// Faulty run.
+		rig, err := cells.NewFullAdderRig(p)
+		if err != nil {
+			return nil, err
+		}
+		cell := rig.Cells[cells.FullAdderTarget]
+		inj := obd.Inject(rig.B.C, "f", cell.FET(tg.side, tg.input), obd.FaultFree)
+		inj.SetStage(stage)
+		m, w, err := runFullAdderOnce(rig, *tp)
+		if err != nil {
+			return nil, fmt.Errorf("exper: figure 9 %s: %w", tg.name, err)
+		}
+		out.Cases = append(out.Cases, Figure9Case{
+			Fault: tg.name, Pair: *tp, PairText: tp.StringFor(lc),
+			FaultFree: mFF, Faulty: m, Wave: w, WaveGolden: wFF,
+		})
+	}
+	return out, nil
+}
+
+// runFullAdderOnce applies a two-pattern stimulus to the rig, runs the
+// transient and measures the sum output against the analytic edge time.
+func runFullAdderOnce(rig *cells.FullAdderRig, tp atpg.TwoPattern) (waveform.DelayMeasurement, *waveform.Series, error) {
+	if err := rig.Apply(tp.V1, tp.V2, TSwitch, TEdge); err != nil {
+		return waveform.DelayMeasurement{}, nil, err
+	}
+	res, err := rig.Run(TStop, 2e-12)
+	if err != nil {
+		return waveform.DelayMeasurement{}, nil, err
+	}
+	s := waveform.MustNew("s", res.Times, res.V("s"))
+	o1 := rig.Logic.Eval(tp.V1, nil)["s"]
+	o2 := rig.Logic.Eval(tp.V2, nil)["s"]
+	if o1 == o2 {
+		return waveform.DelayMeasurement{}, nil, fmt.Errorf("stimulus does not toggle the sum")
+	}
+	m, err := waveform.MeasureTransitionFrom(s, rig.B.P.VDD, o2 == logic.One, TSwitch+TEdge/2)
+	return m, s, err
+}
+
+// Format prints the per-fault delays.
+func (f *Figure9) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: OBD fault propagation through the full adder (stage %v)\n", f.Stage)
+	for _, c := range f.Cases {
+		fmt.Fprintf(&b, "  %-10s stimulus %s: fault-free %s -> faulty %s\n",
+			c.Fault, c.PairText,
+			Table1Cell{Meas: c.FaultFree}.EntryString(),
+			Table1Cell{Meas: c.Faulty}.EntryString())
+	}
+	return b.String()
+}
+
+// Check verifies every injected defect shows up as extra delay at the
+// primary output (≥15%) while the final logic value is restored to the
+// rails (the paper: the degraded level is restored, the delay survives).
+func (f *Figure9) Check() []string {
+	var bad []string
+	for _, c := range f.Cases {
+		if c.FaultFree.Kind != waveform.TransitionOK {
+			bad = append(bad, fmt.Sprintf("%s: fault-free run did not transition", c.Fault))
+			continue
+		}
+		if c.Faulty.Kind != waveform.TransitionOK {
+			bad = append(bad, fmt.Sprintf("%s: faulty run stuck at stage %v", c.Fault, f.Stage))
+			continue
+		}
+		if c.Faulty.Delay < 1.15*c.FaultFree.Delay {
+			bad = append(bad, fmt.Sprintf("%s: no observable delay increase (%.0f vs %.0f ps)",
+				c.Fault, c.Faulty.Delay*1e12, c.FaultFree.Delay*1e12))
+		}
+		final := c.Wave.Final()
+		vdd := 3.3
+		if final > 0.3 && final < vdd-0.3 {
+			bad = append(bad, fmt.Sprintf("%s: final value %.2f V not restored to a rail", c.Fault, final))
+		}
+	}
+	return bad
+}

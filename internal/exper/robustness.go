@@ -1,0 +1,114 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"gobd/internal/cells"
+	"gobd/internal/fault"
+	"gobd/internal/obd"
+	"gobd/internal/spice"
+	"gobd/internal/waveform"
+)
+
+// SupplyPoint is one supply-voltage corner of the robustness sweep.
+type SupplyPoint struct {
+	VDD      float64
+	Nominal  waveform.DelayMeasurement // fault-free falling delay
+	NMOSMBD2 waveform.DelayMeasurement // NMOS@A defect at MBD2
+	PMOSMBD2 waveform.DelayMeasurement // PMOS@B defect at MBD2 (own sequence)
+	PMOSOpp  waveform.DelayMeasurement // PMOS@B defect under the other sequence
+}
+
+// RatioN returns the NMOS MBD2/nominal delay ratio.
+func (s SupplyPoint) RatioN() float64 { return s.NMOSMBD2.Delay / s.Nominal.Delay }
+
+// SupplyRobustness checks that the paper's qualitative conclusions are
+// not artifacts of the chosen supply voltage: the Table 1 orderings
+// (defect slower than nominal, PMOS input-specificity) must hold across
+// VDD corners, because the diode-resistor network competes with drivers
+// whose strength scales with VDD.
+type SupplyRobustness struct {
+	Points []SupplyPoint
+}
+
+// RunSupplyRobustness sweeps VDD over ±10% corners.
+func RunSupplyRobustness(base *spice.Process) (*SupplyRobustness, error) {
+	out := &SupplyRobustness{}
+	for _, vdd := range []float64{base.VDD * 0.9, base.VDD, base.VDD * 1.1} {
+		p := *base
+		p.VDD = vdd
+		pt := SupplyPoint{VDD: vdd}
+
+		measure := func(side fault.Side, input int, stage obd.Stage, seq string) (waveform.DelayMeasurement, error) {
+			h := cells.NewNANDHarness(&p, 2)
+			inj := obd.Inject(h.B.C, "f", h.FETFor(side, input), obd.FaultFree)
+			inj.SetStage(stage)
+			pr, err := fault.ParsePair(seq)
+			if err != nil {
+				return waveform.DelayMeasurement{}, err
+			}
+			h.Apply(pr, TSwitch, TEdge)
+			res, err := h.Run(TStop, TStep)
+			if err != nil {
+				return waveform.DelayMeasurement{}, err
+			}
+			return h.Measure(res, pr, TSwitch, TEdge)
+		}
+		var err error
+		if pt.Nominal, err = measure(fault.PullDown, 0, obd.FaultFree, "(01,11)"); err != nil {
+			return nil, fmt.Errorf("exper: robustness VDD=%.2f nominal: %w", vdd, err)
+		}
+		if pt.NMOSMBD2, err = measure(fault.PullDown, 0, obd.MBD2, "(01,11)"); err != nil {
+			return nil, err
+		}
+		if pt.PMOSMBD2, err = measure(fault.PullUp, 1, obd.MBD2, "(11,10)"); err != nil {
+			return nil, err
+		}
+		if pt.PMOSOpp, err = measure(fault.PullUp, 1, obd.MBD2, "(11,01)"); err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Format prints the corner table.
+func (r *SupplyRobustness) Format() string {
+	var b strings.Builder
+	b.WriteString("Robustness: Table 1 orderings across supply corners\n")
+	fmt.Fprintf(&b, "  %6s %10s %12s %14s %14s %8s\n",
+		"VDD", "nominal", "NMOS MBD2", "PMOS own-seq", "PMOS other", "N-ratio")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "  %5.2fV %10s %12s %14s %14s %8.2f\n",
+			pt.VDD,
+			Table1Cell{Meas: pt.Nominal}.EntryString(),
+			Table1Cell{Meas: pt.NMOSMBD2}.EntryString(),
+			Table1Cell{Meas: pt.PMOSMBD2}.EntryString(),
+			Table1Cell{Meas: pt.PMOSOpp}.EntryString(),
+			pt.RatioN())
+	}
+	return b.String()
+}
+
+// Check verifies at every corner: the NMOS defect slows the gate by at
+// least 20%, the PMOS defect slows its own sequence by at least 15%, and
+// the PMOS defect leaves the other sequence within 5% of itself across
+// corners (input-specificity is supply-independent).
+func (r *SupplyRobustness) Check() []string {
+	var bad []string
+	for _, pt := range r.Points {
+		if pt.Nominal.Kind != waveform.TransitionOK || pt.NMOSMBD2.Kind != waveform.TransitionOK ||
+			pt.PMOSMBD2.Kind != waveform.TransitionOK || pt.PMOSOpp.Kind != waveform.TransitionOK {
+			bad = append(bad, fmt.Sprintf("VDD=%.2f: unexpected stuck measurement", pt.VDD))
+			continue
+		}
+		if pt.RatioN() < 1.2 {
+			bad = append(bad, fmt.Sprintf("VDD=%.2f: NMOS ratio %.2f below 1.2", pt.VDD, pt.RatioN()))
+		}
+		if pt.PMOSMBD2.Delay < 1.15*pt.PMOSOpp.Delay {
+			bad = append(bad, fmt.Sprintf("VDD=%.2f: PMOS input-specificity lost", pt.VDD))
+		}
+	}
+	return bad
+}

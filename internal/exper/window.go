@@ -1,0 +1,146 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"gobd/internal/cells"
+	"gobd/internal/fault"
+	"gobd/internal/obd"
+	"gobd/internal/sched"
+	"gobd/internal/spice"
+	"gobd/internal/waveform"
+)
+
+// WindowSample is one point of the delay-versus-time characterization.
+type WindowSample struct {
+	T     float64 // seconds after SBD onset
+	Meas  waveform.DelayMeasurement
+	Param obd.Params
+}
+
+// DetectionWindow reproduces the Section 4.2 analysis: the diode-resistor
+// model determines the delay at each progression stage, which in turn
+// determines when a concurrent detection mechanism with a given timing
+// slack first sees the defect — and therefore how often it must test.
+type DetectionWindow struct {
+	Nominal  float64 // fault-free delay (s)
+	Samples  []WindowSample
+	Windows  []sched.Window // per-slack detection windows
+	Progress *obd.Progression
+}
+
+// RunDetectionWindow characterizes an NMOS OBD on the Fig. 5 NAND along
+// the progression trajectory and computes windows for several slacks.
+func RunDetectionWindow(p *spice.Process, points int) (*DetectionWindow, error) {
+	if points < 3 {
+		points = 3
+	}
+	prog := obd.NewProgression(spice.NMOS)
+	out := &DetectionWindow{Progress: prog}
+	h := cells.NewNANDHarness(p, 2)
+	inj := obd.Inject(h.B.C, "f", h.FETFor(fault.PullDown, 0), obd.FaultFree)
+	pr, err := fault.ParsePair("(01,11)")
+	if err != nil {
+		return nil, err
+	}
+	measure := func() (waveform.DelayMeasurement, error) {
+		h.Apply(pr, TSwitch, TEdge)
+		res, err := h.Run(TStop, TStep)
+		if err != nil {
+			return waveform.DelayMeasurement{}, err
+		}
+		return h.Measure(res, pr, TSwitch, TEdge)
+	}
+	m0, err := measure()
+	if err != nil {
+		return nil, fmt.Errorf("exper: window nominal: %w", err)
+	}
+	if m0.Kind != waveform.TransitionOK {
+		return nil, fmt.Errorf("exper: nominal measurement stuck")
+	}
+	out.Nominal = m0.Delay
+	for i := 0; i < points; i++ {
+		t := prog.Window * float64(i) / float64(points-1)
+		par := prog.ParamsAt(t)
+		inj.SetParams(par)
+		m, err := measure()
+		if err != nil {
+			return nil, fmt.Errorf("exper: window sample %d: %w", i, err)
+		}
+		out.Samples = append(out.Samples, WindowSample{T: t, Meas: m, Param: par})
+	}
+	curve := make([]sched.DelayPoint, 0, len(out.Samples))
+	for _, s := range out.Samples {
+		d := s.Meas.Delay
+		if s.Meas.Kind != waveform.TransitionOK {
+			d = 1 // effectively infinite against ps-scale slacks
+		}
+		curve = append(curve, sched.DelayPoint{T: s.T, Delay: d})
+	}
+	for _, frac := range []float64{0.10, 0.25, 0.50, 1.00} {
+		w, err := sched.ComputeWindow(curve, out.Nominal, out.Nominal*frac, prog.Window)
+		if err != nil {
+			return nil, err
+		}
+		w.SlackFraction = frac
+		out.Windows = append(out.Windows, w)
+	}
+	return out, nil
+}
+
+// Format prints the characterization and the schedule table.
+func (d *DetectionWindow) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4.2: detection window (nominal delay %.0f ps, SBD->HBD %.1f h)\n",
+		d.Nominal*1e12, d.Progress.Window/3600)
+	for _, s := range d.Samples {
+		fmt.Fprintf(&b, "  t=%6.1f h  Isat=%8.2e R=%7.1f  delay=%s\n",
+			s.T/3600, s.Param.Isat, s.Param.R, Table1Cell{Meas: s.Meas}.EntryString())
+	}
+	for _, w := range d.Windows {
+		if !w.Detectable {
+			fmt.Fprintf(&b, "  slack %3.0f%%: defect never exceeds slack before HBD\n", w.SlackFraction*100)
+			continue
+		}
+		fmt.Fprintf(&b, "  slack %3.0f%%: first detectable at %5.1f h, window %5.1f h, max test period %5.1f h\n",
+			w.SlackFraction*100, w.Start/3600, w.Length()/3600, w.MaxTestPeriod()/3600)
+	}
+	return b.String()
+}
+
+// Check verifies the qualitative Section 4.2 claims: delay grows with
+// time, and tighter detection slack yields a longer usable window (so a
+// faster detector can test less often, while a slow detector's window can
+// vanish entirely).
+func (d *DetectionWindow) Check() []string {
+	var bad []string
+	prev := 0.0
+	for i, s := range d.Samples {
+		if s.Meas.Kind != waveform.TransitionOK {
+			continue // stuck tail of the progression
+		}
+		if s.Meas.Delay < prev*0.98 {
+			bad = append(bad, fmt.Sprintf("delay not monotone at sample %d", i))
+		}
+		prev = s.Meas.Delay
+	}
+	var lengths []float64
+	for _, w := range d.Windows {
+		if !w.Detectable {
+			lengths = append(lengths, 0)
+			continue
+		}
+		lengths = append(lengths, w.Length())
+	}
+	for i := 1; i < len(lengths); i++ {
+		if lengths[i] > lengths[i-1]+1 {
+			bad = append(bad, fmt.Sprintf("window grew with looser slack: %v", lengths))
+			break
+		}
+	}
+	if len(lengths) > 0 && lengths[0] <= 0 {
+		bad = append(bad, "10%-slack detector sees no window at all")
+	}
+	return bad
+}

@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"sort"
+	"strings"
+)
+
+// CollapseOBD partitions an OBD fault list into local-equivalence classes:
+// two faults of the SAME gate are equivalent when their excitation pair
+// sets are identical, because they then produce exactly the same slowed
+// transition at the same site for every possible vector pair — no test can
+// tell them apart anywhere in any circuit. For a NAND this merges the
+// series NMOS defects (all excited by every falling pair) while keeping
+// each parallel PMOS defect distinct, mirroring the paper's Table 1
+// structure. The first fault of each class is its representative.
+func CollapseOBD(faults []OBD) [][]OBD {
+	byKey := make(map[string][]OBD)
+	var order []string
+	for _, f := range faults {
+		key := f.Gate.Name + "\x00" + pairSetKey(f)
+		if _, ok := byKey[key]; !ok {
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], f)
+	}
+	out := make([][]OBD, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// Representatives returns one fault per equivalence class.
+func Representatives(classes [][]OBD) []OBD {
+	out := make([]OBD, 0, len(classes))
+	for _, cl := range classes {
+		out = append(out, cl[0])
+	}
+	return out
+}
+
+// pairSetKey canonicalizes a fault's excitation pair set.
+func pairSetKey(f OBD) string {
+	ps := f.ExcitationPairs()
+	ss := make([]string, len(ps))
+	for i, p := range ps {
+		ss[i] = p.String()
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, ";")
+}

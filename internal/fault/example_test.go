@@ -1,0 +1,43 @@
+package fault_test
+
+import (
+	"fmt"
+	"sort"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// ExampleGatePairTable reproduces the paper's Section 4.1 derivation for
+// the NAND gate: NMOS defects are excited by any falling-output pair,
+// PMOS defects only by the pair where their own input switches alone.
+func ExampleGatePairTable() {
+	table, _ := fault.GatePairTable(logic.Nand, 2)
+	var names []string
+	for f := range table {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		var ps []string
+		for _, p := range table[f] {
+			ps = append(ps, p.String())
+		}
+		sort.Strings(ps)
+		fmt.Println(f, ps)
+	}
+	// Output:
+	// nand/NMOS@a [(00,11) (01,11) (10,11)]
+	// nand/NMOS@b [(00,11) (01,11) (10,11)]
+	// nand/PMOS@a [(11,01)]
+	// nand/PMOS@b [(11,10)]
+}
+
+// ExampleMinimalPairCover computes the paper's "necessary and sufficient"
+// sequence count for NOR2: three sequences cover all four OBD defects.
+func ExampleMinimalPairCover() {
+	cover, _ := fault.MinimalPairCover(logic.Nor, 2)
+	fmt.Println(len(cover), "sequences suffice")
+	// Output:
+	// 3 sequences suffice
+}

@@ -1,0 +1,523 @@
+package fault
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gobd/internal/logic"
+)
+
+func pairsToStrings(ps []Pair) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNANDExcitationSetsMatchPaper checks the Section 4.1 result exactly:
+// NMOS defects are excited by every falling-output pair, while a PMOS
+// defect needs its own input to be the only one that switches the output.
+func TestNANDExcitationSetsMatchPaper(t *testing.T) {
+	table, err := GatePairTable(logic.Nand, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"nand/NMOS@a": {"(00,11)", "(01,11)", "(10,11)"},
+		"nand/NMOS@b": {"(00,11)", "(01,11)", "(10,11)"},
+		"nand/PMOS@a": {"(11,01)"},
+		"nand/PMOS@b": {"(11,10)"},
+	}
+	if len(table) != len(want) {
+		t.Fatalf("fault table has %d entries: %v", len(table), table)
+	}
+	for f, pairs := range table {
+		got := pairsToStrings(pairs)
+		if !equalStrings(got, want[f]) {
+			t.Errorf("%s: pairs %v, want %v", f, got, want[f])
+		}
+	}
+}
+
+// TestNORExcitationSetsMatchPaper checks the Section 5 NOR result: one of
+// {(10,00),(01,00),(11,00)} plus {(00,01)} and {(00,10)}.
+func TestNORExcitationSetsMatchPaper(t *testing.T) {
+	table, err := GatePairTable(logic.Nor, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"nor/PMOS@a": {"(01,00)", "(10,00)", "(11,00)"},
+		"nor/PMOS@b": {"(01,00)", "(10,00)", "(11,00)"},
+		"nor/NMOS@a": {"(00,10)"},
+		"nor/NMOS@b": {"(00,01)"},
+	}
+	for f, pairs := range table {
+		got := pairsToStrings(pairs)
+		if !equalStrings(got, want[f]) {
+			t.Errorf("%s: pairs %v, want %v", f, got, want[f])
+		}
+	}
+}
+
+func TestInverterExcitationSets(t *testing.T) {
+	table, err := GatePairTable(logic.Inv, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pairsToStrings(table["inv/NMOS@a"]); !equalStrings(got, []string{"(0,1)"}) {
+		t.Errorf("inv NMOS pairs %v", got)
+	}
+	if got := pairsToStrings(table["inv/PMOS@a"]); !equalStrings(got, []string{"(1,0)"}) {
+		t.Errorf("inv PMOS pairs %v", got)
+	}
+}
+
+func TestMinimalCoverNAND2(t *testing.T) {
+	cover, err := MinimalPairCover(logic.Nand, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 3 {
+		t.Fatalf("NAND2 minimal cover size %d, want 3 (%v)", len(cover), cover)
+	}
+	ss := pairsToStrings(cover)
+	has := func(s string) bool {
+		for _, x := range ss {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("(11,01)") || !has("(11,10)") {
+		t.Fatalf("cover %v must contain the two PMOS-specific pairs", ss)
+	}
+	falling := map[string]bool{"(00,11)": true, "(01,11)": true, "(10,11)": true}
+	found := false
+	for _, s := range ss {
+		if falling[s] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cover %v lacks a falling-output pair", ss)
+	}
+}
+
+func TestMinimalCoverNOR2(t *testing.T) {
+	cover, err := MinimalPairCover(logic.Nor, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 3 {
+		t.Fatalf("NOR2 minimal cover size %d, want 3 (%v)", len(cover), cover)
+	}
+}
+
+func TestMinimalCoverNAND3(t *testing.T) {
+	// 3-input NAND: three PMOS in parallel need three dedicated rising
+	// pairs, plus any one falling pair: minimum 4.
+	cover, err := MinimalPairCover(logic.Nand, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 4 {
+		t.Fatalf("NAND3 minimal cover size %d, want 4 (%v)", len(cover), pairsToStrings(cover))
+	}
+}
+
+func TestAOI21FaultsAndCover(t *testing.T) {
+	faults, err := GateOBDFaults(logic.Aoi21, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 6 {
+		t.Fatalf("AOI21 has %d OBD faults, want 6", len(faults))
+	}
+	table, err := GatePairTable(logic.Aoi21, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, pairs := range table {
+		if len(pairs) == 0 {
+			t.Errorf("AOI21 fault %s has no excitation pair", f)
+		}
+	}
+	cover, err := MinimalPairCover(logic.Aoi21, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) == 0 || len(cover) > 6 {
+		t.Fatalf("AOI21 cover size %d implausible", len(cover))
+	}
+	// Every fault must be excited by some cover member.
+	for _, f := range faults {
+		hit := false
+		for _, p := range cover {
+			if f.Excited(p.V1, p.V2) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("cover misses %s", f)
+		}
+	}
+}
+
+// TestEMSetsEqualOBDForNAND reproduces the paper's Section 5 statement that
+// the intra-gate EM test sequences coincide with OBD's for a NAND gate.
+func TestEMSetsEqualOBDForNAND(t *testing.T) {
+	faults, err := GateOBDFaults(logic.Nand, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range faults {
+		em := EM(f)
+		for _, v1 := range enumAssignments(2) {
+			for _, v2 := range enumAssignments(2) {
+				if f.Excited(v1, v2) != em.Excited(v1, v2) {
+					t.Fatalf("EM and OBD disagree on %s at (%v,%v)", f, v1, v2)
+				}
+			}
+		}
+	}
+}
+
+func TestCompositeGateRejected(t *testing.T) {
+	if _, err := GateOBDFaults(logic.Xor, 2); err == nil {
+		t.Fatal("XOR should have no primitive CMOS realization")
+	}
+	if _, ok := GateNetworks(logic.Buf, 1); ok {
+		t.Fatal("BUF should not be primitive")
+	}
+}
+
+func TestNetworkConduction(t *testing.T) {
+	nets, ok := GateNetworks(logic.Nand, 2)
+	if !ok {
+		t.Fatal("NAND2 not primitive?")
+	}
+	v := func(a, b logic.Value) []logic.Value { return []logic.Value{a, b} }
+	// Pull-down (series NMOS): conducts only at 11.
+	if nets.PullDown.Conducts(v(logic.One, logic.One), PullDown, -1) != logic.One {
+		t.Fatal("PD should conduct at 11")
+	}
+	if nets.PullDown.Conducts(v(logic.One, logic.Zero), PullDown, -1) != logic.Zero {
+		t.Fatal("PD should block at 10")
+	}
+	// Removing either series transistor breaks conduction.
+	if nets.PullDown.Conducts(v(logic.One, logic.One), PullDown, 0) != logic.Zero {
+		t.Fatal("removing series leaf should block")
+	}
+	// Pull-up (parallel PMOS) at 01: conducts via a; removing a blocks.
+	if nets.PullUp.Conducts(v(logic.Zero, logic.One), PullUp, -1) != logic.One {
+		t.Fatal("PU should conduct at 01")
+	}
+	if nets.PullUp.Conducts(v(logic.Zero, logic.One), PullUp, 0) != logic.Zero {
+		t.Fatal("removing sole conductor should block")
+	}
+	// At 00 both conduct; removing one still conducts.
+	if nets.PullUp.Conducts(v(logic.Zero, logic.Zero), PullUp, 0) != logic.One {
+		t.Fatal("parallel sibling should keep conducting")
+	}
+	// X handling.
+	if nets.PullDown.Conducts(v(logic.One, logic.X), PullDown, -1) != logic.X {
+		t.Fatal("1,X series should be X")
+	}
+	if nets.PullDown.Conducts(v(logic.Zero, logic.X), PullDown, -1) != logic.Zero {
+		t.Fatal("0,X series should be 0")
+	}
+}
+
+func TestTransistorCount(t *testing.T) {
+	for _, tc := range []struct {
+		t     logic.GateType
+		arity int
+		want  int
+	}{
+		{logic.Inv, 1, 2},
+		{logic.Nand, 2, 4},
+		{logic.Nor, 2, 4},
+		{logic.Nand, 3, 6},
+		{logic.Aoi21, 3, 6},
+		{logic.Oai21, 3, 6},
+	} {
+		nets, ok := GateNetworks(tc.t, tc.arity)
+		if !ok {
+			t.Fatalf("%v not primitive", tc.t)
+		}
+		if n := nets.PullUp.TransistorCount() + nets.PullDown.TransistorCount(); n != tc.want {
+			t.Errorf("%v/%d has %d transistors, want %d", tc.t, tc.arity, n, tc.want)
+		}
+	}
+}
+
+func TestOBDUniverseCounts(t *testing.T) {
+	c := logic.New("mix")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInput("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g1", logic.Nand, "n1", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g2", logic.Inv, "n2", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g3", logic.Xor, "n3", "n2", "a"); err != nil {
+		t.Fatal(err)
+	}
+	c.AddOutput("n3")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	faults, skipped := OBDUniverse(c)
+	if len(faults) != 4+2 {
+		t.Fatalf("universe has %d faults, want 6", len(faults))
+	}
+	if len(skipped) != 1 || skipped[0].Name != "g3" {
+		t.Fatalf("skipped = %v, want [g3]", skipped)
+	}
+	sa := StuckAtUniverse(c)
+	if len(sa) != 2*(2+3) {
+		t.Fatalf("stuck-at universe %d, want 10", len(sa))
+	}
+	tr := TransitionUniverse(c)
+	if len(tr) != 2*(2+3) {
+		t.Fatalf("transition universe %d, want 10", len(tr))
+	}
+}
+
+func TestParsePairRoundTrip(t *testing.T) {
+	for _, s := range []string{"(01,11)", "(11,10)", "(0,1)", "(0X1,111)"} {
+		p, err := ParsePair(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if p.String() != s {
+			t.Fatalf("round trip %q -> %q", s, p.String())
+		}
+	}
+	for _, s := range []string{"01,11", "(01;11)", "(0,11)", "(2,1)", "()"} {
+		if _, err := ParsePair(s); err == nil {
+			t.Errorf("accepted bad pair %q", s)
+		}
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	g := syntheticGate(logic.Nand, 2)
+	f := OBD{Gate: g, Input: 1, Side: PullUp}
+	if f.String() != "nand/PMOS@b" {
+		t.Fatalf("OBD string %q", f.String())
+	}
+	if !f.SlowRising() {
+		t.Fatal("PMOS fault should be slow-to-rise")
+	}
+	if (OBD{Gate: g, Input: 0, Side: PullDown}).SlowRising() {
+		t.Fatal("NMOS fault should be slow-to-fall")
+	}
+	if s := (StuckAt{Net: "n1", V: logic.One}).String(); s != "n1/sa1" {
+		t.Fatalf("stuck-at string %q", s)
+	}
+	if s := (Transition{Net: "n1", Rising: true}).String(); s != "n1/str" {
+		t.Fatalf("transition string %q", s)
+	}
+	if s := (EM{Gate: g, Input: 0, Side: PullDown}).String(); s != "nand/EM-NMOS@a" {
+		t.Fatalf("EM string %q", s)
+	}
+}
+
+// TestQuickExcitationImpliesSwitch: for random primitive gates and random
+// pairs, excitation implies the output switches and the defective side
+// drives the final value.
+func TestQuickExcitationImpliesSwitch(t *testing.T) {
+	types := []struct {
+		t     logic.GateType
+		arity int
+	}{
+		{logic.Inv, 1}, {logic.Nand, 2}, {logic.Nand, 3}, {logic.Nor, 2},
+		{logic.Nor, 3}, {logic.Aoi21, 3}, {logic.Oai21, 3},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tc := types[rng.Intn(len(types))]
+		faults, err := GateOBDFaults(tc.t, tc.arity)
+		if err != nil {
+			return false
+		}
+		ft := faults[rng.Intn(len(faults))]
+		mk := func() []logic.Value {
+			vs := make([]logic.Value, tc.arity)
+			for i := range vs {
+				vs[i] = logic.FromBool(rng.Intn(2) == 1)
+			}
+			return vs
+		}
+		v1, v2 := mk(), mk()
+		if !ft.Excited(v1, v2) {
+			return true // nothing to verify
+		}
+		o1, o2 := ft.Gate.Eval(v1), ft.Gate.Eval(v2)
+		if o1 == o2 {
+			return false
+		}
+		if (o2 == logic.One) != (ft.Side == PullUp) {
+			return false
+		}
+		// The defective transistor itself must conduct in v2.
+		if leafOn(v2[ft.Input], ft.Side) != logic.One {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSeriesAlwaysEssential: in a pure series network (NAND pull-down)
+// every conducting transistor is essential, so every falling pair excites
+// every NMOS fault.
+func TestQuickSeriesAlwaysEssential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arity := 2 + rng.Intn(3)
+		faults, err := GateOBDFaults(logic.Nand, arity)
+		if err != nil {
+			return false
+		}
+		all1 := make([]logic.Value, arity)
+		for i := range all1 {
+			all1[i] = logic.One
+		}
+		// Any v1 with at least one zero gives output 1 -> 0 transition.
+		v1 := make([]logic.Value, arity)
+		for i := range v1 {
+			v1[i] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		v1[rng.Intn(arity)] = logic.Zero
+		for _, ft := range faults {
+			if ft.Side != PullDown {
+				continue
+			}
+			if !ft.Excited(v1, all1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollapseNAND(t *testing.T) {
+	faults, err := GateOBDFaults(logic.Nand, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := CollapseOBD(faults)
+	// Series NMOS pair merges; each PMOS stays alone: 3 classes.
+	if len(classes) != 3 {
+		t.Fatalf("NAND2 collapses to %d classes, want 3", len(classes))
+	}
+	sizes := map[int]int{}
+	for _, cl := range classes {
+		sizes[len(cl)]++
+	}
+	if sizes[2] != 1 || sizes[1] != 2 {
+		t.Fatalf("class sizes %v, want one pair and two singletons", sizes)
+	}
+	reps := Representatives(classes)
+	if len(reps) != 3 {
+		t.Fatalf("representatives %d", len(reps))
+	}
+}
+
+func TestCollapseNAND3(t *testing.T) {
+	faults, err := GateOBDFaults(logic.Nand, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := CollapseOBD(faults)
+	// Three series NMOS merge; three PMOS distinct: 4 classes of 6 faults.
+	if len(classes) != 4 {
+		t.Fatalf("NAND3 collapses to %d classes, want 4", len(classes))
+	}
+}
+
+// TestQuickCollapseSoundness: faults in the same class are detected by
+// exactly the same vector pairs on random circuits (local equivalence is
+// global equivalence).
+func TestQuickCollapseSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := logicRandom(rng)
+		faults, _ := OBDUniverse(c)
+		if len(faults) == 0 {
+			return true
+		}
+		classes := CollapseOBD(faults)
+		// Pick a multi-fault class if any.
+		var cl []OBD
+		for _, cand := range classes {
+			if len(cand) > 1 {
+				cl = cand
+				break
+			}
+		}
+		if cl == nil {
+			return true
+		}
+		// Random pairs must agree across the class members via the local
+		// excitation rule (global detection follows since the site and the
+		// slowed direction coincide).
+		mk := func() []logic.Value {
+			vs := make([]logic.Value, len(cl[0].Gate.Inputs))
+			for i := range vs {
+				vs[i] = logic.FromBool(rng.Intn(2) == 1)
+			}
+			return vs
+		}
+		for k := 0; k < 20; k++ {
+			v1, v2 := mk(), mk()
+			e0 := cl[0].Excited(v1, v2)
+			for _, other := range cl[1:] {
+				if other.Excited(v1, v2) != e0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func logicRandom(rng *rand.Rand) *logic.Circuit {
+	return logic.RandomCircuit(rng, logic.RandomOptions{
+		Inputs: 2 + rng.Intn(4), Gates: 2 + rng.Intn(12), Primitive: true,
+	})
+}

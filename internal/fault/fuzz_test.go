@@ -1,0 +1,26 @@
+package fault
+
+import "testing"
+
+// FuzzParsePair hardens the pair-notation parser: arbitrary strings must
+// either error or round-trip through String.
+func FuzzParsePair(f *testing.F) {
+	for _, s := range []string{
+		"(01,11)", "(1,0)", "(0X1,111)", "(,)", "((,))", "(01;11)", "(01,1)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePair(src)
+		if err != nil {
+			return
+		}
+		back, err := ParsePair(p.String())
+		if err != nil {
+			t.Fatalf("String output does not re-parse: %q -> %q: %v", src, p.String(), err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip changed pair: %q", src)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package logic
+
+import "fmt"
+
+// This file provides standard combinational benchmark circuits built from
+// the primitive CMOS gate set (NAND/NOR/INV), so every gate carries OBD
+// fault sites. They widen the experiments beyond the paper's full adder.
+
+// C17 returns the ISCAS-85 c17 benchmark: six NAND2 gates, five inputs,
+// two outputs.
+func C17() *Circuit {
+	c := New("c17")
+	for _, in := range []string{"i1", "i2", "i3", "i6", "i7"} {
+		if err := c.AddInput(in); err != nil {
+			panic(err)
+		}
+	}
+	type gd struct{ name, a, b string }
+	for _, g := range []gd{
+		{"n10", "i1", "i3"},
+		{"n11", "i3", "i6"},
+		{"n16", "i2", "n11"},
+		{"n19", "n11", "i7"},
+		{"n22", "n10", "n16"},
+		{"n23", "n16", "n19"},
+	} {
+		if _, err := c.AddGate(g.name, Nand, g.name, g.a, g.b); err != nil {
+			panic(err)
+		}
+	}
+	c.AddOutput("n22")
+	c.AddOutput("n23")
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// addXor4 adds the classic 4-NAND XOR computing out = a ⊕ b.
+func addXor4(c *Circuit, prefix, out, a, b string) {
+	m := prefix + "_m"
+	p := prefix + "_p"
+	q := prefix + "_q"
+	mustAdd(c, m, Nand, m, a, b)
+	mustAdd(c, p, Nand, p, a, m)
+	mustAdd(c, q, Nand, q, b, m)
+	mustAdd(c, prefix+"_o", Nand, out, p, q)
+}
+
+func mustAdd(c *Circuit, name string, t GateType, out string, ins ...string) {
+	if _, err := c.AddGate(name, t, out, ins...); err != nil {
+		panic(err)
+	}
+}
+
+// RippleCarryAdder returns an n-bit ripple-carry adder over inputs
+// a0..a{n-1}, b0..b{n-1}, cin with outputs s0..s{n-1} and cout, built
+// entirely from NAND2 gates (9 per bit).
+func RippleCarryAdder(n int) *Circuit {
+	if n < 1 {
+		panic("logic: adder needs at least one bit")
+	}
+	c := New(fmt.Sprintf("rca%d", n))
+	for i := 0; i < n; i++ {
+		if err := c.AddInput(fmt.Sprintf("a%d", i)); err != nil {
+			panic(err)
+		}
+		if err := c.AddInput(fmt.Sprintf("b%d", i)); err != nil {
+			panic(err)
+		}
+	}
+	if err := c.AddInput("cin"); err != nil {
+		panic(err)
+	}
+	carry := "cin"
+	for i := 0; i < n; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		x := fmt.Sprintf("x%d", i)
+		s := fmt.Sprintf("s%d", i)
+		addXor4(c, fmt.Sprintf("u%d", i), x, a, b)
+		addXor4(c, fmt.Sprintf("v%d", i), s, x, carry)
+		// cout = !( !(a·b) · !(x·carry) ): the 4-NAND XOR already computed
+		// !(a·b) as u<i>_m and !(x·carry) as v<i>_m.
+		next := fmt.Sprintf("c%d", i+1)
+		mustAdd(c, fmt.Sprintf("w%d", i), Nand, next, fmt.Sprintf("u%d_m", i), fmt.Sprintf("v%d_m", i))
+		c.AddOutput(s)
+		carry = next
+	}
+	c.AddOutput(carry)
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParityTree returns an n-input parity (XOR) tree built from 4-NAND XOR
+// blocks.
+func ParityTree(n int) *Circuit {
+	if n < 2 {
+		panic("logic: parity tree needs at least two inputs")
+	}
+	c := New(fmt.Sprintf("parity%d", n))
+	level := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		in := fmt.Sprintf("i%d", i)
+		if err := c.AddInput(in); err != nil {
+			panic(err)
+		}
+		level = append(level, in)
+	}
+	stage := 0
+	for len(level) > 1 {
+		var next []string
+		for i := 0; i+1 < len(level); i += 2 {
+			out := fmt.Sprintf("p%d_%d", stage, i/2)
+			addXor4(c, out+"x", out, level[i], level[i+1])
+			next = append(next, out)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		stage++
+	}
+	c.AddOutput(level[0])
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Mux41 returns a 4-to-1 multiplexer (data d0..d3, selects s0, s1) built
+// from inverters and NAND gates.
+func Mux41() *Circuit {
+	c := New("mux41")
+	for _, in := range []string{"d0", "d1", "d2", "d3", "s0", "s1"} {
+		if err := c.AddInput(in); err != nil {
+			panic(err)
+		}
+	}
+	mustAdd(c, "s0n", Inv, "s0n", "s0")
+	mustAdd(c, "s1n", Inv, "s1n", "s1")
+	sel := [][2]string{{"s0n", "s1n"}, {"s0", "s1n"}, {"s0n", "s1"}, {"s0", "s1"}}
+	for i, s := range sel {
+		e := fmt.Sprintf("e%d", i)
+		t := fmt.Sprintf("t%d", i)
+		mustAdd(c, e, Nand, e, s[0], s[1]) // !(sel term)
+		en := fmt.Sprintf("en%d", i)
+		mustAdd(c, en, Inv, en, e)
+		mustAdd(c, t, Nand, t, en, fmt.Sprintf("d%d", i))
+	}
+	// y = t0·t1·t2·t3 inverted twice: OR of the enabled terms.
+	mustAdd(c, "m0", Nand, "m0", "t0", "t1")
+	mustAdd(c, "m1", Nand, "m1", "t2", "t3")
+	mustAdd(c, "m0n", Inv, "m0n", "m0")
+	mustAdd(c, "m1n", Inv, "m1n", "m1")
+	mustAdd(c, "y", Nand, "y", "m0n", "m1n")
+	c.AddOutput("y")
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}

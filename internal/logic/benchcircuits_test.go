@@ -1,0 +1,127 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func evalWith(c *Circuit, bits map[string]bool) map[string]Value {
+	assign := make(map[string]Value, len(bits))
+	for k, v := range bits {
+		assign[k] = FromBool(v)
+	}
+	return c.Eval(assign, nil)
+}
+
+func TestC17Function(t *testing.T) {
+	c := C17()
+	if len(c.Gates) != 6 {
+		t.Fatalf("c17 has %d gates, want 6", len(c.Gates))
+	}
+	for m := 0; m < 32; m++ {
+		in := map[string]bool{
+			"i1": m&1 != 0, "i2": m&2 != 0, "i3": m&4 != 0,
+			"i6": m&8 != 0, "i7": m&16 != 0,
+		}
+		vals := evalWith(c, in)
+		nand := func(a, b bool) bool { return !(a && b) }
+		n10 := nand(in["i1"], in["i3"])
+		n11 := nand(in["i3"], in["i6"])
+		n16 := nand(in["i2"], n11)
+		n19 := nand(n11, in["i7"])
+		if vals["n22"] != FromBool(nand(n10, n16)) {
+			t.Fatalf("c17 n22 wrong at %05b", m)
+		}
+		if vals["n23"] != FromBool(nand(n16, n19)) {
+			t.Fatalf("c17 n23 wrong at %05b", m)
+		}
+	}
+}
+
+// TestQuickRippleCarryAdder: the NAND-only adder matches integer addition
+// for random widths and operands.
+func TestQuickRippleCarryAdder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		c := RippleCarryAdder(n)
+		a := rng.Intn(1 << n)
+		b := rng.Intn(1 << n)
+		cin := rng.Intn(2)
+		in := map[string]bool{"cin": cin == 1}
+		for i := 0; i < n; i++ {
+			in[key("a", i)] = a&(1<<i) != 0
+			in[key("b", i)] = b&(1<<i) != 0
+		}
+		vals := evalWith(c, in)
+		sum := a + b + cin
+		for i := 0; i < n; i++ {
+			if vals[key("s", i)] != FromBool(sum&(1<<i) != 0) {
+				return false
+			}
+		}
+		return vals[key("c", n)] == FromBool(sum&(1<<n) != 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func key(p string, i int) string {
+	return p + string(rune('0'+i))
+}
+
+// TestQuickParityTree: the XOR tree computes the parity of its inputs.
+func TestQuickParityTree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		c := ParityTree(n)
+		in := make(map[string]bool, n)
+		par := false
+		for i := 0; i < n; i++ {
+			b := rng.Intn(2) == 1
+			in[c.Inputs[i]] = b
+			par = par != b
+		}
+		vals := evalWith(c, in)
+		return vals[c.Outputs[0]] == FromBool(par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMux41Function(t *testing.T) {
+	c := Mux41()
+	for m := 0; m < 64; m++ {
+		in := map[string]bool{
+			"d0": m&1 != 0, "d1": m&2 != 0, "d2": m&4 != 0, "d3": m&8 != 0,
+			"s0": m&16 != 0, "s1": m&32 != 0,
+		}
+		sel := 0
+		if in["s0"] {
+			sel |= 1
+		}
+		if in["s1"] {
+			sel |= 2
+		}
+		want := in[[]string{"d0", "d1", "d2", "d3"}[sel]]
+		if got := evalWith(c, in)["y"]; got != FromBool(want) {
+			t.Fatalf("mux(%06b) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestBenchCircuitsArePrimitive(t *testing.T) {
+	for _, c := range []*Circuit{C17(), RippleCarryAdder(3), ParityTree(5), Mux41()} {
+		for _, g := range c.Gates {
+			switch g.Type {
+			case Nand, Nor, Inv:
+			default:
+				t.Errorf("%s gate %s has composite type %v", c.Name, g.Name, g.Type)
+			}
+		}
+	}
+}

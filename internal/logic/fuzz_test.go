@@ -1,0 +1,79 @@
+package logic
+
+import (
+	"testing"
+)
+
+// FuzzParse hardens the netlist parser: arbitrary input must either error
+// or yield a circuit that validates and survives a format/parse round trip
+// with its function intact.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"circuit x\ninput a b\noutput y\nnand g1 y a b\n",
+		"input a\noutput y\ninv g1 y a\n",
+		"# only a comment\n",
+		"circuit c\ninput a b c\noutput y\naoi21 g y a b c\n",
+		"input a\ninv g1 n1 a\ninv g2 y n1\noutput y\n",
+		"garbage line\n",
+		"circuit\n",
+		"input a a\n",
+		"nand g y a b\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parsed circuit does not validate: %v", err)
+		}
+		back, err := ParseString(Format(c))
+		if err != nil {
+			t.Fatalf("format output does not re-parse: %v", err)
+		}
+		if len(back.Gates) != len(c.Gates) || len(back.Inputs) != len(c.Inputs) {
+			t.Fatalf("round trip changed structure")
+		}
+		if len(c.Inputs) <= 12 && len(c.Outputs) > 0 {
+			a := c.TruthTable(c.Outputs[0])
+			b := back.TruthTable(back.Outputs[0])
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round trip changed function at %d", i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzEval hardens the evaluator against arbitrary (possibly partial)
+// assignments on a fixed circuit: it must never panic and must be
+// monotone in the information order (completing Xs never flips a known
+// output).
+func FuzzEval(f *testing.F) {
+	f.Add(uint8(0b01), uint8(0b10))
+	f.Add(uint8(0xFF), uint8(0x00))
+	f.Fuzz(func(t *testing.T, known, vals uint8) {
+		c, err := ParseString("circuit x\ninput a b\noutput y\nnand n1 n1 a b\nnand n2 y n1 a\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		partial := map[string]Value{}
+		full := map[string]Value{}
+		for i, in := range c.Inputs {
+			v := FromBool(vals&(1<<i) != 0)
+			full[in] = v
+			if known&(1<<i) != 0 {
+				partial[in] = v
+			}
+		}
+		py := c.Eval(partial, nil)["y"]
+		fy := c.Eval(full, nil)["y"]
+		if py.IsKnown() && py != fy {
+			t.Fatalf("X-completion flipped a known output: %v -> %v", py, fy)
+		}
+	})
+}

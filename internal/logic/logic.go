@@ -1,0 +1,413 @@
+// Package logic models gate-level combinational circuits: construction and
+// validation, levelization, three-valued and 64-way bit-parallel
+// evaluation, and a small netlist text format. It is the structural layer
+// under the fault model and ATPG packages, mirroring how the paper lifts
+// its transistor-level OBD analysis to gate-level test generation.
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the supported gate functions.
+type GateType int
+
+// Gate types. NAND/NOR/AND/OR accept 2+ inputs; INV and BUF exactly one;
+// XOR/XNOR exactly two; AOI21/OAI21 exactly three (inputs a, b, c with
+// AOI21 = !(a·b + c) and OAI21 = !((a+b)·c)).
+const (
+	Inv GateType = iota
+	Buf
+	Nand
+	Nor
+	And
+	Or
+	Xor
+	Xnor
+	Aoi21
+	Oai21
+)
+
+var gateTypeNames = map[GateType]string{
+	Inv: "inv", Buf: "buf", Nand: "nand", Nor: "nor", And: "and",
+	Or: "or", Xor: "xor", Xnor: "xnor", Aoi21: "aoi21", Oai21: "oai21",
+}
+
+// String implements fmt.Stringer.
+func (t GateType) String() string {
+	if s, ok := gateTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("GateType(%d)", int(t))
+}
+
+// ParseGateType resolves a lower-case gate type name.
+func ParseGateType(s string) (GateType, error) {
+	for t, n := range gateTypeNames {
+		if n == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("logic: unknown gate type %q", s)
+}
+
+// arityOK validates the input count for a gate type.
+func arityOK(t GateType, n int) bool {
+	switch t {
+	case Inv, Buf:
+		return n == 1
+	case Xor, Xnor:
+		return n == 2
+	case Aoi21, Oai21:
+		return n == 3
+	default:
+		return n >= 2
+	}
+}
+
+// Gate is one gate instance. The output net shares the gate's name space
+// with all other nets; a net is driven by at most one gate.
+type Gate struct {
+	Name    string
+	Type    GateType
+	Inputs  []string
+	Output  string
+	Level   int // topological level, assigned by Validate
+	Ordinal int // insertion index
+}
+
+// Eval computes the gate function over three-valued inputs.
+func (g *Gate) Eval(in []Value) Value {
+	switch g.Type {
+	case Inv:
+		return in[0].Not()
+	case Buf:
+		return in[0]
+	case Nand:
+		return and3(in).Not()
+	case And:
+		return and3(in)
+	case Nor:
+		return or3(in).Not()
+	case Or:
+		return or3(in)
+	case Xor:
+		return xor3(in)
+	case Xnor:
+		return xor3(in).Not()
+	case Aoi21:
+		return or3([]Value{and3(in[:2]), in[2]}).Not()
+	case Oai21:
+		return and3([]Value{or3(in[:2]), in[2]}).Not()
+	default:
+		panic(fmt.Sprintf("logic: gate %s has unknown type", g.Name))
+	}
+}
+
+// EvalBits computes the gate function over 64 parallel two-valued patterns.
+func (g *Gate) EvalBits(in []uint64) uint64 {
+	andAll := func(vs []uint64) uint64 {
+		r := ^uint64(0)
+		for _, v := range vs {
+			r &= v
+		}
+		return r
+	}
+	orAll := func(vs []uint64) uint64 {
+		r := uint64(0)
+		for _, v := range vs {
+			r |= v
+		}
+		return r
+	}
+	switch g.Type {
+	case Inv:
+		return ^in[0]
+	case Buf:
+		return in[0]
+	case Nand:
+		return ^andAll(in)
+	case And:
+		return andAll(in)
+	case Nor:
+		return ^orAll(in)
+	case Or:
+		return orAll(in)
+	case Xor:
+		return in[0] ^ in[1]
+	case Xnor:
+		return ^(in[0] ^ in[1])
+	case Aoi21:
+		return ^((in[0] & in[1]) | in[2])
+	case Oai21:
+		return ^((in[0] | in[1]) & in[2])
+	default:
+		panic(fmt.Sprintf("logic: gate %s has unknown type", g.Name))
+	}
+}
+
+// Circuit is a combinational gate-level netlist.
+type Circuit struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Gates   []*Gate
+
+	driver    map[string]*Gate   // net -> driving gate
+	fanout    map[string][]*Gate // net -> consuming gates
+	isInput   map[string]bool
+	ordered   []*Gate // topological order, built by Validate
+	validated bool
+}
+
+// New creates an empty circuit.
+func New(name string) *Circuit {
+	return &Circuit{
+		Name:    name,
+		driver:  make(map[string]*Gate),
+		fanout:  make(map[string][]*Gate),
+		isInput: make(map[string]bool),
+	}
+}
+
+// AddInput declares a primary input net.
+func (c *Circuit) AddInput(name string) error {
+	if c.isInput[name] {
+		return fmt.Errorf("logic: duplicate input %q", name)
+	}
+	if _, driven := c.driver[name]; driven {
+		return fmt.Errorf("logic: input %q is already driven by a gate", name)
+	}
+	c.isInput[name] = true
+	c.Inputs = append(c.Inputs, name)
+	c.validated = false
+	return nil
+}
+
+// AddOutput declares a primary output net (it must be driven by Validate
+// time).
+func (c *Circuit) AddOutput(name string) {
+	c.Outputs = append(c.Outputs, name)
+	c.validated = false
+}
+
+// AddGate adds a gate driving net output from the input nets.
+func (c *Circuit) AddGate(name string, t GateType, output string, inputs ...string) (*Gate, error) {
+	if !arityOK(t, len(inputs)) {
+		return nil, fmt.Errorf("logic: gate %q type %v cannot take %d inputs", name, t, len(inputs))
+	}
+	if _, dup := c.driver[output]; dup {
+		return nil, fmt.Errorf("logic: net %q driven by more than one gate", output)
+	}
+	if c.isInput[output] {
+		return nil, fmt.Errorf("logic: gate %q drives primary input %q", name, output)
+	}
+	g := &Gate{Name: name, Type: t, Inputs: append([]string(nil), inputs...), Output: output, Ordinal: len(c.Gates)}
+	c.Gates = append(c.Gates, g)
+	c.driver[output] = g
+	for _, in := range inputs {
+		c.fanout[in] = append(c.fanout[in], g)
+	}
+	c.validated = false
+	return g, nil
+}
+
+// Driver returns the gate driving a net, or nil for primary inputs.
+func (c *Circuit) Driver(net string) *Gate { return c.driver[net] }
+
+// Fanout returns the gates consuming a net.
+func (c *Circuit) Fanout(net string) []*Gate { return c.fanout[net] }
+
+// IsInput reports whether net is a primary input.
+func (c *Circuit) IsInput(net string) bool { return c.isInput[net] }
+
+// Validate checks structural sanity (every used net driven or an input, no
+// combinational cycles, outputs resolvable) and computes the topological
+// order and gate levels. It must be called before evaluation; evaluation
+// helpers call it implicitly.
+func (c *Circuit) Validate() error {
+	// Every gate input must be a PI or driven.
+	for _, g := range c.Gates {
+		for _, in := range g.Inputs {
+			if !c.isInput[in] {
+				if _, ok := c.driver[in]; !ok {
+					return fmt.Errorf("logic: gate %q input net %q is undriven", g.Name, in)
+				}
+			}
+		}
+	}
+	for _, out := range c.Outputs {
+		if !c.isInput[out] {
+			if _, ok := c.driver[out]; !ok {
+				return fmt.Errorf("logic: output net %q is undriven", out)
+			}
+		}
+	}
+	// Kahn levelization.
+	indeg := make(map[*Gate]int, len(c.Gates))
+	var ready []*Gate
+	for _, g := range c.Gates {
+		n := 0
+		for _, in := range g.Inputs {
+			if _, ok := c.driver[in]; ok {
+				n++
+			}
+		}
+		indeg[g] = n
+		if n == 0 {
+			g.Level = 1
+			ready = append(ready, g)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].Ordinal < ready[j].Ordinal })
+	ordered := make([]*Gate, 0, len(c.Gates))
+	for len(ready) > 0 {
+		g := ready[0]
+		ready = ready[1:]
+		ordered = append(ordered, g)
+		for _, succ := range c.fanout[g.Output] {
+			indeg[succ]--
+			if lvl := g.Level + 1; lvl > succ.Level {
+				succ.Level = lvl
+			}
+			if indeg[succ] == 0 {
+				ready = append(ready, succ)
+			}
+		}
+	}
+	if len(ordered) != len(c.Gates) {
+		return fmt.Errorf("logic: circuit %q has a combinational cycle", c.Name)
+	}
+	c.ordered = ordered
+	c.validated = true
+	return nil
+}
+
+// Ordered returns the gates in topological order (Validate must have
+// succeeded).
+func (c *Circuit) Ordered() []*Gate {
+	c.mustValidate()
+	return c.ordered
+}
+
+// Depth returns the maximum gate level (logic depth).
+func (c *Circuit) Depth() int {
+	c.mustValidate()
+	d := 0
+	for _, g := range c.Gates {
+		if g.Level > d {
+			d = g.Level
+		}
+	}
+	return d
+}
+
+func (c *Circuit) mustValidate() {
+	if c.validated {
+		return
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// Eval evaluates the circuit under a PI assignment, returning every net's
+// value. Unassigned inputs evaluate to X. The optional override map forces
+// net values regardless of their drivers — the hook used by fault
+// simulation to impose a faulty value at a fault site.
+func (c *Circuit) Eval(assign map[string]Value, override map[string]Value) map[string]Value {
+	c.mustValidate()
+	vals := make(map[string]Value, len(c.Gates)+len(c.Inputs))
+	for _, in := range c.Inputs {
+		v, ok := assign[in]
+		if !ok {
+			v = X
+		}
+		if ov, ok := override[in]; ok {
+			v = ov
+		}
+		vals[in] = v
+	}
+	buf := make([]Value, 0, 4)
+	for _, g := range c.ordered {
+		buf = buf[:0]
+		for _, in := range g.Inputs {
+			buf = append(buf, vals[in])
+		}
+		v := g.Eval(buf)
+		if ov, ok := override[g.Output]; ok {
+			v = ov
+		}
+		vals[g.Output] = v
+	}
+	return vals
+}
+
+// EvalBits evaluates 64 parallel two-valued patterns. overrideMask/Value,
+// when non-nil, force (per net) the bits selected by the mask to the given
+// values.
+func (c *Circuit) EvalBits(assign map[string]uint64, overrideMask, overrideValue map[string]uint64) map[string]uint64 {
+	c.mustValidate()
+	vals := make(map[string]uint64, len(c.Gates)+len(c.Inputs))
+	apply := func(net string, v uint64) uint64 {
+		if overrideMask == nil {
+			return v
+		}
+		if m, ok := overrideMask[net]; ok {
+			return (v &^ m) | (overrideValue[net] & m)
+		}
+		return v
+	}
+	for _, in := range c.Inputs {
+		vals[in] = apply(in, assign[in])
+	}
+	buf := make([]uint64, 0, 4)
+	for _, g := range c.ordered {
+		buf = buf[:0]
+		for _, in := range g.Inputs {
+			buf = append(buf, vals[in])
+		}
+		vals[g.Output] = apply(g.Output, g.EvalBits(buf))
+	}
+	return vals
+}
+
+// TruthTable exhaustively evaluates one output over all PI assignments
+// (inputs in declaration order, index bit i = value of input i). It panics
+// beyond 20 inputs.
+func (c *Circuit) TruthTable(output string) []Value {
+	if len(c.Inputs) > 20 {
+		panic("logic: TruthTable limited to 20 inputs")
+	}
+	n := 1 << len(c.Inputs)
+	out := make([]Value, n)
+	assign := make(map[string]Value, len(c.Inputs))
+	for i := 0; i < n; i++ {
+		for b, in := range c.Inputs {
+			assign[in] = FromBool(i&(1<<b) != 0)
+		}
+		out[i] = c.Eval(assign, nil)[output]
+	}
+	return out
+}
+
+// Nets returns all net names (inputs plus gate outputs), sorted.
+func (c *Circuit) Nets() []string {
+	seen := make(map[string]bool)
+	var nets []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nets = append(nets, n)
+		}
+	}
+	for _, in := range c.Inputs {
+		add(in)
+	}
+	for _, g := range c.Gates {
+		add(g.Output)
+	}
+	sort.Strings(nets)
+	return nets
+}

@@ -1,0 +1,359 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustGate(t *testing.T, c *Circuit, name string, typ GateType, out string, ins ...string) *Gate {
+	t.Helper()
+	g, err := c.AddGate(name, typ, out, ins...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func buildXorNand(t *testing.T) *Circuit {
+	// XOR via 4 NANDs.
+	c := New("xor4nand")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInput("b"); err != nil {
+		t.Fatal(err)
+	}
+	c.AddOutput("y")
+	mustGate(t, c, "n1", Nand, "n1", "a", "b")
+	mustGate(t, c, "n2", Nand, "n2", "a", "n1")
+	mustGate(t, c, "n3", Nand, "n3", "b", "n1")
+	mustGate(t, c, "n4", Nand, "y", "n2", "n3")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestXorFromNands(t *testing.T) {
+	c := buildXorNand(t)
+	tt := c.TruthTable("y")
+	want := []Value{Zero, One, One, Zero}
+	for i := range want {
+		if tt[i] != want[i] {
+			t.Fatalf("tt[%d] = %v, want %v", i, tt[i], want[i])
+		}
+	}
+	if d := c.Depth(); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+}
+
+func TestGateEvalAllTypes(t *testing.T) {
+	cases := []struct {
+		t    GateType
+		in   []Value
+		want Value
+	}{
+		{Inv, []Value{One}, Zero},
+		{Inv, []Value{X}, X},
+		{Buf, []Value{Zero}, Zero},
+		{Nand, []Value{One, One}, Zero},
+		{Nand, []Value{Zero, X}, One}, // controlling value beats X
+		{Nand, []Value{One, X}, X},
+		{And, []Value{One, One, One}, One},
+		{And, []Value{One, Zero, X}, Zero},
+		{Nor, []Value{Zero, Zero}, One},
+		{Nor, []Value{One, X}, Zero},
+		{Nor, []Value{Zero, X}, X},
+		{Or, []Value{Zero, One}, One},
+		{Xor, []Value{One, Zero}, One},
+		{Xor, []Value{One, X}, X},
+		{Xnor, []Value{One, One}, One},
+		{Aoi21, []Value{One, One, Zero}, Zero},
+		{Aoi21, []Value{Zero, One, Zero}, One},
+		{Aoi21, []Value{Zero, Zero, One}, Zero},
+		{Oai21, []Value{Zero, Zero, One}, One},
+		{Oai21, []Value{One, Zero, One}, Zero},
+		{Oai21, []Value{One, One, Zero}, One},
+	}
+	for _, cse := range cases {
+		g := &Gate{Name: "g", Type: cse.t}
+		if got := g.Eval(cse.in); got != cse.want {
+			t.Errorf("%v%v = %v, want %v", cse.t, cse.in, got, cse.want)
+		}
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Fatal("Not broken")
+	}
+	if !One.IsKnown() || !Zero.IsKnown() || X.IsKnown() {
+		t.Fatal("IsKnown broken")
+	}
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Fatal("FromBool broken")
+	}
+	if One.String() != "1" || Zero.String() != "0" || X.String() != "X" {
+		t.Fatal("String broken")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	c := New("bad")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "g1", Inv, "y", "missing")
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "undriven") {
+		t.Fatalf("undriven input not caught: %v", err)
+	}
+
+	c2 := New("bad2")
+	if err := c2.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	c2.AddOutput("nowhere")
+	if err := c2.Validate(); err == nil {
+		t.Fatal("undriven output not caught")
+	}
+
+	// Cycle: g1 -> g2 -> g1.
+	c3 := New("cycle")
+	if err := c3.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c3, "g1", Nand, "x", "a", "y")
+	mustGate(t, c3, "g2", Inv, "y", "x")
+	if err := c3.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not caught: %v", err)
+	}
+}
+
+func TestConstructionErrors(t *testing.T) {
+	c := New("c")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInput("a"); err == nil {
+		t.Fatal("duplicate input accepted")
+	}
+	if _, err := c.AddGate("g", Inv, "y", "a", "a"); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+	if _, err := c.AddGate("g", Xor, "y", "a"); err == nil {
+		t.Fatal("bad xor arity accepted")
+	}
+	if _, err := c.AddGate("g", Inv, "a", "a"); err == nil {
+		t.Fatal("driving a primary input accepted")
+	}
+	if _, err := c.AddGate("g1", Inv, "y", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("g2", Inv, "y", "a"); err == nil {
+		t.Fatal("double-driven net accepted")
+	}
+}
+
+func TestEvalOverride(t *testing.T) {
+	c := buildXorNand(t)
+	assign := map[string]Value{"a": One, "b": One}
+	// Force internal net n1 (normally 0 for 11) to 1: y = nand(nand(a,1)=0.. )
+	vals := c.Eval(assign, map[string]Value{"n1": One})
+	// With n1 forced 1: n2 = nand(1,1)=0, n3 = nand(1,1)=0, y = nand(0,0)=1.
+	if vals["y"] != One {
+		t.Fatalf("override eval y = %v, want 1", vals["y"])
+	}
+	// Unforced: y = xor(1,1) = 0.
+	if v := c.Eval(assign, nil)["y"]; v != Zero {
+		t.Fatalf("plain eval y = %v, want 0", v)
+	}
+}
+
+func TestEvalUnassignedInputIsX(t *testing.T) {
+	c := buildXorNand(t)
+	vals := c.Eval(map[string]Value{"a": One}, nil)
+	if vals["y"] != X {
+		t.Fatalf("y = %v, want X with unassigned b", vals["y"])
+	}
+	// A controlling value still decides: NAND(0, X) = 1.
+	c2 := New("c2")
+	if err := c2.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.AddInput("b"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c2, "g", Nand, "y", "a", "b")
+	c2.AddOutput("y")
+	if err := c2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := c2.Eval(map[string]Value{"a": Zero}, nil)["y"]; v != One {
+		t.Fatalf("NAND(0,X) = %v, want 1", v)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	src := `# the 4-NAND XOR
+circuit xor4
+input a b
+output y
+nand n1 n1 a b
+nand n2 n2 a n1
+nand n3 n3 b n1
+nand n4 y n2 n3
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "xor4" || len(c.Gates) != 4 || c.Depth() != 3 {
+		t.Fatalf("parsed circuit wrong: name=%q gates=%d depth=%d", c.Name, len(c.Gates), c.Depth())
+	}
+	c2, err := ParseString(Format(c))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	tt1, tt2 := c.TruthTable("y"), c2.TruthTable("y")
+	for i := range tt1 {
+		if tt1[i] != tt2[i] {
+			t.Fatalf("round trip changed function at %d", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate g y a",      // unknown type
+		"inv g",                 // too few fields
+		"circuit a b",           // circuit arity
+		"input a\ninv g1 a a",   // drives an input
+		"input a\ninv g1 y zzz", // undriven used net
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("accepted bad netlist %q", src)
+		}
+	}
+}
+
+// TestQuickBitsMatchesScalar: the 64-way evaluator agrees with the scalar
+// evaluator on random circuits and random patterns.
+func TestQuickBitsMatchesScalar(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCircuit(rng, RandomOptions{Inputs: 1 + rng.Intn(6), Gates: 1 + rng.Intn(40)})
+		// 64 random patterns packed into words.
+		bits := make(map[string]uint64, len(c.Inputs))
+		for _, in := range c.Inputs {
+			bits[in] = rng.Uint64()
+		}
+		got := c.EvalBits(bits, nil, nil)
+		for k := 0; k < 64; k += 7 { // sample bit lanes
+			assign := make(map[string]Value, len(c.Inputs))
+			for _, in := range c.Inputs {
+				assign[in] = FromBool(bits[in]&(1<<k) != 0)
+			}
+			vals := c.Eval(assign, nil)
+			for _, out := range c.Outputs {
+				want := vals[out]
+				gotBit := FromBool(got[out]&(1<<k) != 0)
+				if want != gotBit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomCircuitsValid: generated circuits always validate, have
+// outputs, and levels respect topology.
+func TestQuickRandomCircuitsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCircuit(rng, RandomOptions{Inputs: 1 + rng.Intn(5), Gates: 1 + rng.Intn(30), Primitive: seed%2 == 0})
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		if len(c.Outputs) == 0 {
+			return false
+		}
+		for _, g := range c.Gates {
+			for _, in := range g.Inputs {
+				if d := c.Driver(in); d != nil && d.Level >= g.Level {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvalBitsOverride: the bitwise override hook behaves like the
+// scalar override.
+func TestQuickEvalBitsOverride(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCircuit(rng, RandomOptions{Inputs: 2 + rng.Intn(4), Gates: 2 + rng.Intn(20), Primitive: true})
+		g := c.Gates[rng.Intn(len(c.Gates))]
+		bits := make(map[string]uint64)
+		for _, in := range c.Inputs {
+			bits[in] = rng.Uint64()
+		}
+		forced := rng.Uint64()
+		got := c.EvalBits(bits,
+			map[string]uint64{g.Output: ^uint64(0)},
+			map[string]uint64{g.Output: forced})
+		k := rng.Intn(64)
+		assign := make(map[string]Value)
+		for _, in := range c.Inputs {
+			assign[in] = FromBool(bits[in]&(1<<uint(k)) != 0)
+		}
+		vals := c.Eval(assign, map[string]Value{g.Output: FromBool(forced&(1<<uint(k)) != 0)})
+		for _, out := range c.Outputs {
+			if FromBool(got[out]&(1<<uint(k)) != 0) != vals[out] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNets(t *testing.T) {
+	c := buildXorNand(t)
+	nets := c.Nets()
+	want := map[string]bool{"a": true, "b": true, "n1": true, "n2": true, "n3": true, "y": true}
+	if len(nets) != len(want) {
+		t.Fatalf("nets = %v", nets)
+	}
+	for _, n := range nets {
+		if !want[n] {
+			t.Fatalf("unexpected net %q", n)
+		}
+	}
+}
+
+func TestGateTypeStringParse(t *testing.T) {
+	for _, typ := range []GateType{Inv, Buf, Nand, Nor, And, Or, Xor, Xnor, Aoi21, Oai21} {
+		back, err := ParseGateType(typ.String())
+		if err != nil || back != typ {
+			t.Fatalf("round trip %v failed: %v %v", typ, back, err)
+		}
+	}
+	if _, err := ParseGateType("nope"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}

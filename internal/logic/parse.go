@@ -1,0 +1,92 @@
+package logic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads the netlist text format:
+//
+//	# comment
+//	circuit <name>
+//	input <net> [<net> ...]
+//	output <net> [<net> ...]
+//	<gatetype> <gatename> <outnet> <innet> [<innet> ...]
+//
+// Gate types are the lower-case names from GateType. Validate is run on
+// the result.
+func Parse(r io.Reader) (*Circuit, error) {
+	c := New("")
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "circuit":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("logic: line %d: circuit wants one name", lineNo)
+			}
+			c.Name = f[1]
+		case "input":
+			for _, n := range f[1:] {
+				if err := c.AddInput(n); err != nil {
+					return nil, fmt.Errorf("logic: line %d: %w", lineNo, err)
+				}
+			}
+		case "output":
+			for _, n := range f[1:] {
+				c.AddOutput(n)
+			}
+		default:
+			t, err := ParseGateType(f[0])
+			if err != nil {
+				return nil, fmt.Errorf("logic: line %d: %w", lineNo, err)
+			}
+			if len(f) < 4 {
+				return nil, fmt.Errorf("logic: line %d: gate needs name, output and inputs", lineNo)
+			}
+			if _, err := c.AddGate(f[1], t, f[2], f[3:]...); err != nil {
+				return nil, fmt.Errorf("logic: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Circuit, error) { return Parse(strings.NewReader(s)) }
+
+// Format renders the circuit in the Parse text format. Unnamed circuits
+// omit the circuit line (Parse treats the name as optional).
+func Format(c *Circuit) string {
+	var b strings.Builder
+	if c.Name != "" {
+		fmt.Fprintf(&b, "circuit %s\n", c.Name)
+	}
+	if len(c.Inputs) > 0 {
+		fmt.Fprintf(&b, "input %s\n", strings.Join(c.Inputs, " "))
+	}
+	if len(c.Outputs) > 0 {
+		fmt.Fprintf(&b, "output %s\n", strings.Join(c.Outputs, " "))
+	}
+	for _, g := range c.Gates {
+		fmt.Fprintf(&b, "%s %s %s %s\n", g.Type, g.Name, g.Output, strings.Join(g.Inputs, " "))
+	}
+	return b.String()
+}

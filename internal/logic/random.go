@@ -1,0 +1,71 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomOptions configures RandomCircuit.
+type RandomOptions struct {
+	Inputs int // number of primary inputs (>=1)
+	Gates  int // number of gates (>=1)
+	// Primitive restricts gate choice to INV/NAND2/NOR2 — the static-CMOS
+	// primitive set for which per-transistor OBD faults are defined.
+	Primitive bool
+}
+
+// RandomCircuit generates a random valid combinational circuit. Gate
+// inputs are drawn from earlier nets so the result is acyclic by
+// construction; every net with no fanout becomes a primary output, which
+// guarantees full structural observability.
+func RandomCircuit(rng *rand.Rand, opt RandomOptions) *Circuit {
+	if opt.Inputs < 1 || opt.Gates < 1 {
+		panic("logic: RandomCircuit needs at least one input and one gate")
+	}
+	c := New("random")
+	nets := make([]string, 0, opt.Inputs+opt.Gates)
+	for i := 0; i < opt.Inputs; i++ {
+		n := fmt.Sprintf("i%d", i)
+		if err := c.AddInput(n); err != nil {
+			panic(err)
+		}
+		nets = append(nets, n)
+	}
+	types := []GateType{Inv, Nand, Nand, Nor, Nor}
+	if !opt.Primitive {
+		types = append(types, And, Or, Xor, Xnor, Buf, Aoi21)
+	}
+	for i := 0; i < opt.Gates; i++ {
+		t := types[rng.Intn(len(types))]
+		var arity int
+		switch t {
+		case Inv, Buf:
+			arity = 1
+		case Aoi21, Oai21:
+			arity = 3
+		default:
+			arity = 2
+		}
+		ins := make([]string, arity)
+		for j := range ins {
+			ins[j] = nets[rng.Intn(len(nets))]
+		}
+		out := fmt.Sprintf("g%d", i)
+		if _, err := c.AddGate(out, t, out, ins...); err != nil {
+			panic(err)
+		}
+		nets = append(nets, out)
+	}
+	for _, n := range nets {
+		if len(c.Fanout(n)) == 0 && !c.IsInput(n) {
+			c.AddOutput(n)
+		}
+	}
+	if len(c.Outputs) == 0 {
+		c.AddOutput(nets[len(nets)-1])
+	}
+	if err := c.Validate(); err != nil {
+		panic(err) // impossible by construction
+	}
+	return c
+}

@@ -1,0 +1,173 @@
+package logic
+
+// This file implements SCOAP testability analysis (Goldstein's
+// controllability/observability program): CC0/CC1 estimate how many input
+// assignments it costs to force a net to 0/1, CO how hard a net's value is
+// to observe at an output. The ATPG package uses these measures to steer
+// PODEM's backtrace — a classical efficiency aid that leaves the search's
+// completeness untouched.
+
+// Testability holds per-net SCOAP measures.
+type Testability struct {
+	CC0 map[string]int // cost to set the net to 0
+	CC1 map[string]int // cost to set the net to 1
+	CO  map[string]int // cost to observe the net at a primary output
+}
+
+const coUnreachable = 1 << 28
+
+// ComputeTestability runs the SCOAP recurrences over a validated circuit.
+func ComputeTestability(c *Circuit) *Testability {
+	c.mustValidate()
+	t := &Testability{
+		CC0: make(map[string]int),
+		CC1: make(map[string]int),
+		CO:  make(map[string]int),
+	}
+	for _, in := range c.Inputs {
+		t.CC0[in] = 1
+		t.CC1[in] = 1
+	}
+	for _, g := range c.Ordered() {
+		t.CC0[g.Output], t.CC1[g.Output] = gateControllability(g, t)
+	}
+	// Observability: POs are free; walk gates in reverse topological order.
+	for _, n := range c.Nets() {
+		t.CO[n] = coUnreachable
+	}
+	for _, po := range c.Outputs {
+		t.CO[po] = 0
+	}
+	ordered := c.Ordered()
+	for i := len(ordered) - 1; i >= 0; i-- {
+		g := ordered[i]
+		outCO := t.CO[g.Output]
+		if outCO >= coUnreachable {
+			continue
+		}
+		for idx, in := range g.Inputs {
+			co := outCO + sensitizeCost(g, idx, t) + 1
+			if co < t.CO[in] {
+				t.CO[in] = co
+			}
+		}
+	}
+	return t
+}
+
+// sum clamps additions below the unreachable sentinel.
+func sum(vals ...int) int {
+	s := 0
+	for _, v := range vals {
+		s += v
+		if s >= coUnreachable {
+			return coUnreachable
+		}
+	}
+	return s
+}
+
+func minOf(vals []int) int {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// gateControllability returns (CC0, CC1) of the gate output.
+func gateControllability(g *Gate, t *Testability) (int, int) {
+	cc0 := make([]int, len(g.Inputs))
+	cc1 := make([]int, len(g.Inputs))
+	for i, in := range g.Inputs {
+		cc0[i], cc1[i] = t.CC0[in], t.CC1[in]
+	}
+	allPlus := func(v []int) int { return sum(append(append([]int{}, v...), 1)...) }
+	minPlus := func(v []int) int { return sum(minOf(v), 1) }
+	switch g.Type {
+	case Inv:
+		return cc1[0] + 1, cc0[0] + 1
+	case Buf:
+		return cc0[0] + 1, cc1[0] + 1
+	case And:
+		return minPlus(cc0), allPlus(cc1)
+	case Nand:
+		return allPlus(cc1), minPlus(cc0)
+	case Or:
+		return allPlus(cc0), minPlus(cc1)
+	case Nor:
+		return minPlus(cc1), allPlus(cc0)
+	case Xor:
+		// 0: equal inputs; 1: differing inputs.
+		even := minOf([]int{sum(cc0[0], cc0[1]), sum(cc1[0], cc1[1])})
+		odd := minOf([]int{sum(cc0[0], cc1[1]), sum(cc1[0], cc0[1])})
+		return even + 1, odd + 1
+	case Xnor:
+		even := minOf([]int{sum(cc0[0], cc0[1]), sum(cc1[0], cc1[1])})
+		odd := minOf([]int{sum(cc0[0], cc1[1]), sum(cc1[0], cc0[1])})
+		return odd + 1, even + 1
+	case Aoi21:
+		// out = !(a·b + c): out=0 needs (a·b) or c; out=1 needs c=0 and (a=0 or b=0).
+		set0 := minOf([]int{sum(cc1[0], cc1[1]), cc1[2]})
+		set1 := sum(cc0[2], minOf([]int{cc0[0], cc0[1]}))
+		return set0 + 1, set1 + 1
+	case Oai21:
+		// out = !((a+b)·c): out=0 needs c=1 and (a or b); out=1 needs c=0 or (a=0 and b=0).
+		set0 := sum(cc1[2], minOf([]int{cc1[0], cc1[1]}))
+		set1 := minOf([]int{cc0[2], sum(cc0[0], cc0[1])})
+		return set0 + 1, set1 + 1
+	default:
+		return coUnreachable, coUnreachable
+	}
+}
+
+// sensitizeCost estimates the cost of making gate g transparent from its
+// idx-th input to its output (non-controlling values on the side inputs).
+func sensitizeCost(g *Gate, idx int, t *Testability) int {
+	cost := 0
+	switch g.Type {
+	case Inv, Buf:
+		return 0
+	case And, Nand:
+		for i, in := range g.Inputs {
+			if i != idx {
+				cost = sum(cost, t.CC1[in])
+			}
+		}
+	case Or, Nor:
+		for i, in := range g.Inputs {
+			if i != idx {
+				cost = sum(cost, t.CC0[in])
+			}
+		}
+	case Xor, Xnor:
+		other := g.Inputs[1-idx]
+		cost = minOf([]int{t.CC0[other], t.CC1[other]})
+	case Aoi21, Oai21:
+		// Sensitize the AND/OR branch (idx 0/1: partner non-controlling,
+		// third input quiet) or the direct input (branch off).
+		a, b, c := g.Inputs[0], g.Inputs[1], g.Inputs[2]
+		quietAnd := map[GateType]map[string]int{
+			Aoi21: {"third": t.CC0[c], "pair0": t.CC1[b], "pair1": t.CC1[a]},
+			Oai21: {"third": t.CC1[c], "pair0": t.CC0[b], "pair1": t.CC0[a]},
+		}[g.Type]
+		switch idx {
+		case 0:
+			cost = sum(quietAnd["pair0"], quietAnd["third"])
+		case 1:
+			cost = sum(quietAnd["pair1"], quietAnd["third"])
+		default:
+			if g.Type == Aoi21 {
+				cost = minOf([]int{sum(t.CC0[a]), sum(t.CC0[b])})
+			} else {
+				cost = sum(t.CC1[a]) // one of a,b high opens the OR branch
+				if alt := sum(t.CC1[b]); alt < cost {
+					cost = alt
+				}
+			}
+		}
+	}
+	return cost
+}

@@ -1,0 +1,120 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCOAPInverterChain(t *testing.T) {
+	c := New("chain")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "g1", Inv, "n1", "a")
+	mustGate(t, c, "g2", Inv, "y", "n1")
+	c.AddOutput("y")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tb := ComputeTestability(c)
+	// a: 1/1; n1: CC0 = CC1(a)+1 = 2, CC1 = 2; y: 3/3.
+	if tb.CC0["a"] != 1 || tb.CC1["a"] != 1 {
+		t.Fatalf("PI controllability %d/%d", tb.CC0["a"], tb.CC1["a"])
+	}
+	if tb.CC0["n1"] != 2 || tb.CC1["n1"] != 2 {
+		t.Fatalf("n1 controllability %d/%d", tb.CC0["n1"], tb.CC1["n1"])
+	}
+	if tb.CC0["y"] != 3 || tb.CC1["y"] != 3 {
+		t.Fatalf("y controllability %d/%d", tb.CC0["y"], tb.CC1["y"])
+	}
+	// Observability: y=0; n1 = 0+0+1 = 1; a = 2.
+	if tb.CO["y"] != 0 || tb.CO["n1"] != 1 || tb.CO["a"] != 2 {
+		t.Fatalf("observability %d/%d/%d", tb.CO["y"], tb.CO["n1"], tb.CO["a"])
+	}
+}
+
+func TestSCOAPNand(t *testing.T) {
+	c := New("g")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInput("b"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "g1", Nand, "y", "a", "b")
+	c.AddOutput("y")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tb := ComputeTestability(c)
+	// CC0(y) = CC1(a)+CC1(b)+1 = 3; CC1(y) = min(CC0)+1 = 2.
+	if tb.CC0["y"] != 3 || tb.CC1["y"] != 2 {
+		t.Fatalf("NAND output controllability %d/%d", tb.CC0["y"], tb.CC1["y"])
+	}
+	// CO(a) = CO(y) + CC1(b) + 1 = 2.
+	if tb.CO["a"] != 2 || tb.CO["b"] != 2 {
+		t.Fatalf("NAND input observability %d/%d", tb.CO["a"], tb.CO["b"])
+	}
+}
+
+func TestSCOAPDeeperIsHarder(t *testing.T) {
+	c := RippleCarryAdder(2)
+	tb := ComputeTestability(c)
+	// The second sum bit sits behind more logic than the first XOR's
+	// internal NAND, so it must be harder to control.
+	if tb.CC0["s1"] <= tb.CC0["u0_m"] && tb.CC1["s1"] <= tb.CC1["u0_m"] {
+		t.Fatalf("deep net not harder to control: s1 %d/%d vs u0_m %d/%d",
+			tb.CC0["s1"], tb.CC1["s1"], tb.CC0["u0_m"], tb.CC1["u0_m"])
+	}
+	for _, po := range c.Outputs {
+		if tb.CO[po] != 0 {
+			t.Fatalf("PO %s observability %d", po, tb.CO[po])
+		}
+	}
+	if tb.CO["a0"] <= 0 {
+		t.Fatalf("input observability %d, want positive", tb.CO["a0"])
+	}
+}
+
+// TestQuickSCOAPBounds: on random circuits, every reachable net has
+// CC ≥ 1 and CO ≥ 0, and every net on a path to an output has finite CO.
+func TestQuickSCOAPBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCircuit(rng, RandomOptions{Inputs: 1 + rng.Intn(5), Gates: 1 + rng.Intn(25)})
+		tb := ComputeTestability(c)
+		for _, n := range c.Nets() {
+			if tb.CC0[n] < 1 || tb.CC1[n] < 1 {
+				return false
+			}
+			if tb.CO[n] < 0 {
+				return false
+			}
+		}
+		// POs are free to observe.
+		for _, po := range c.Outputs {
+			if tb.CO[po] != 0 {
+				return false
+			}
+		}
+		// Every gate output either is a PO or fans out to one (sinks become
+		// POs in RandomCircuit), so its CO must be finite; likewise any
+		// primary input that something reads. Unread inputs legitimately
+		// stay unobservable.
+		for _, g := range c.Gates {
+			if tb.CO[g.Output] >= 1<<28 {
+				return false
+			}
+		}
+		for _, in := range c.Inputs {
+			if len(c.Fanout(in)) > 0 && tb.CO[in] >= 1<<28 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

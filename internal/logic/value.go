@@ -1,0 +1,98 @@
+package logic
+
+import "fmt"
+
+// Value is a three-valued logic level: 0, 1 or X (unknown/unassigned).
+type Value uint8
+
+// Logic values.
+const (
+	Zero Value = iota
+	One
+	X
+)
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Value(%d)", uint8(v))
+	}
+}
+
+// Not returns the three-valued complement.
+func (v Value) Not() Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// IsKnown reports whether v is 0 or 1.
+func (v Value) IsKnown() bool { return v == Zero || v == One }
+
+// FromBool converts a bool to a Value.
+func FromBool(b bool) Value {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// and3 is the n-ary three-valued AND.
+func and3(vs []Value) Value {
+	sawX := false
+	for _, v := range vs {
+		switch v {
+		case Zero:
+			return Zero
+		case X:
+			sawX = true
+		}
+	}
+	if sawX {
+		return X
+	}
+	return One
+}
+
+// or3 is the n-ary three-valued OR.
+func or3(vs []Value) Value {
+	sawX := false
+	for _, v := range vs {
+		switch v {
+		case One:
+			return One
+		case X:
+			sawX = true
+		}
+	}
+	if sawX {
+		return X
+	}
+	return Zero
+}
+
+// xor3 is the n-ary three-valued XOR (X-pessimistic).
+func xor3(vs []Value) Value {
+	p := Zero
+	for _, v := range vs {
+		if v == X {
+			return X
+		}
+		if v == One {
+			p = p.Not()
+		}
+	}
+	return p
+}

@@ -1,0 +1,214 @@
+package logic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements import/export of a small structural Verilog subset
+// — the interchange format downstream users actually have netlists in.
+// Supported: one module; `input`, `output`, `wire` declarations (comma
+// lists); gate-primitive instantiations `nand g1 (out, in1, in2);` for
+// not/buf/nand/nor/and/or/xor/xnor; `//` and `/* */` comments. Everything
+// else is rejected with a line-numbered error.
+
+var verilogPrimitives = map[string]GateType{
+	"not": Inv, "buf": Buf, "nand": Nand, "nor": Nor,
+	"and": And, "or": Or, "xor": Xor, "xnor": Xnor,
+}
+
+var verilogNames = map[GateType]string{
+	Inv: "not", Buf: "buf", Nand: "nand", Nor: "nor",
+	And: "and", Or: "or", Xor: "xor", Xnor: "xnor",
+}
+
+// ParseVerilog reads a structural Verilog module into a Circuit.
+func ParseVerilog(r io.Reader) (*Circuit, error) {
+	raw, err := io.ReadAll(bufio.NewReader(r))
+	if err != nil {
+		return nil, err
+	}
+	src := stripVerilogComments(string(raw))
+	c := New("")
+	sawModule := false
+	sawEnd := false
+	// Statements end with ';' except module/endmodule handling.
+	rest := src
+	line := func(s string) string { return strings.TrimSpace(s) }
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if strings.HasPrefix(rest, "endmodule") {
+			sawEnd = true
+			rest = rest[len("endmodule"):]
+			continue
+		}
+		semi := strings.IndexByte(rest, ';')
+		if semi < 0 {
+			return nil, fmt.Errorf("verilog: unterminated statement near %q", trunc(rest))
+		}
+		stmt := line(rest[:semi])
+		rest = rest[semi+1:]
+		switch {
+		case strings.HasPrefix(stmt, "module"):
+			if sawModule {
+				return nil, fmt.Errorf("verilog: multiple modules are not supported")
+			}
+			sawModule = true
+			header := strings.TrimSpace(stmt[len("module"):])
+			if i := strings.IndexByte(header, '('); i >= 0 {
+				header = header[:i]
+			}
+			c.Name = strings.TrimSpace(header)
+			if c.Name == "" {
+				return nil, fmt.Errorf("verilog: module without a name")
+			}
+		case strings.HasPrefix(stmt, "input"):
+			for _, n := range splitNames(stmt[len("input"):]) {
+				if err := c.AddInput(n); err != nil {
+					return nil, fmt.Errorf("verilog: %w", err)
+				}
+			}
+		case strings.HasPrefix(stmt, "output"):
+			for _, n := range splitNames(stmt[len("output"):]) {
+				c.AddOutput(n)
+			}
+		case strings.HasPrefix(stmt, "wire"):
+			// Declarations only; connectivity comes from the instances.
+		default:
+			f := strings.Fields(stmt)
+			if len(f) < 2 {
+				return nil, fmt.Errorf("verilog: cannot parse statement %q", trunc(stmt))
+			}
+			typ, ok := verilogPrimitives[f[0]]
+			if !ok {
+				return nil, fmt.Errorf("verilog: unsupported primitive or construct %q", f[0])
+			}
+			rest2 := strings.TrimSpace(stmt[len(f[0]):])
+			open := strings.IndexByte(rest2, '(')
+			closeP := strings.LastIndexByte(rest2, ')')
+			if open < 0 || closeP < open {
+				return nil, fmt.Errorf("verilog: malformed port list in %q", trunc(stmt))
+			}
+			name := strings.TrimSpace(rest2[:open])
+			if name == "" {
+				return nil, fmt.Errorf("verilog: unnamed gate instance in %q", trunc(stmt))
+			}
+			ports := splitNames(rest2[open+1 : closeP])
+			if len(ports) < 2 {
+				return nil, fmt.Errorf("verilog: gate %q needs an output and inputs", name)
+			}
+			if _, err := c.AddGate(name, typ, ports[0], ports[1:]...); err != nil {
+				return nil, fmt.Errorf("verilog: %w", err)
+			}
+		}
+	}
+	if !sawModule {
+		return nil, fmt.Errorf("verilog: no module declaration found")
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("verilog: missing endmodule")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseVerilogString is ParseVerilog over a string.
+func ParseVerilogString(s string) (*Circuit, error) {
+	return ParseVerilog(strings.NewReader(s))
+}
+
+// FormatVerilog renders the circuit as a structural Verilog module. Gate
+// types without a Verilog primitive (AOI21/OAI21) are rejected.
+func FormatVerilog(c *Circuit) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	name := c.Name
+	if name == "" {
+		name = "top"
+	}
+	var ports []string
+	ports = append(ports, c.Inputs...)
+	ports = append(ports, c.Outputs...)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (%s);\n", name, strings.Join(ports, ", "))
+	if len(c.Inputs) > 0 {
+		fmt.Fprintf(&b, "  input %s;\n", strings.Join(c.Inputs, ", "))
+	}
+	if len(c.Outputs) > 0 {
+		fmt.Fprintf(&b, "  output %s;\n", strings.Join(c.Outputs, ", "))
+	}
+	isPort := make(map[string]bool)
+	for _, n := range ports {
+		isPort[n] = true
+	}
+	var wires []string
+	for _, g := range c.Gates {
+		if !isPort[g.Output] {
+			wires = append(wires, g.Output)
+		}
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(&b, "  wire %s;\n", strings.Join(wires, ", "))
+	}
+	for _, g := range c.Gates {
+		prim, ok := verilogNames[g.Type]
+		if !ok {
+			return "", fmt.Errorf("verilog: gate %q type %v has no Verilog primitive", g.Name, g.Type)
+		}
+		fmt.Fprintf(&b, "  %s %s (%s, %s);\n", prim, g.Name, g.Output, strings.Join(g.Inputs, ", "))
+	}
+	b.WriteString("endmodule\n")
+	return b.String(), nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if n := strings.TrimSpace(part); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func stripVerilogComments(src string) string {
+	var b strings.Builder
+	for i := 0; i < len(src); {
+		if strings.HasPrefix(src[i:], "//") {
+			j := strings.IndexByte(src[i:], '\n')
+			if j < 0 {
+				break
+			}
+			i += j
+			continue
+		}
+		if strings.HasPrefix(src[i:], "/*") {
+			j := strings.Index(src[i+2:], "*/")
+			if j < 0 {
+				return b.String() // unterminated: let the parser complain
+			}
+			i += 2 + j + 2
+			b.WriteByte(' ')
+			continue
+		}
+		b.WriteByte(src[i])
+		i++
+	}
+	return b.String()
+}
+
+func trunc(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}

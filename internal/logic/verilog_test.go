@@ -1,0 +1,148 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const verilogXor = `// 4-NAND XOR
+module xor4 (a, b, y);
+  input a, b;
+  output y;
+  wire n1, n2, n3;
+  nand g1 (n1, a, b);
+  nand g2 (n2, a, n1);
+  nand g3 (n3, b, n1);
+  nand g4 (y, n2, n3);
+endmodule
+`
+
+func TestParseVerilogXor(t *testing.T) {
+	c, err := ParseVerilogString(verilogXor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "xor4" || len(c.Gates) != 4 || len(c.Inputs) != 2 {
+		t.Fatalf("structure: %s %d gates %d inputs", c.Name, len(c.Gates), len(c.Inputs))
+	}
+	tt := c.TruthTable("y")
+	want := []Value{Zero, One, One, Zero}
+	for i := range want {
+		if tt[i] != want[i] {
+			t.Fatalf("function wrong at %d", i)
+		}
+	}
+}
+
+func TestVerilogComments(t *testing.T) {
+	src := `/* block
+comment */ module m (a, y); // ports
+  input a; output y;
+  not g1 (y, a); /* inline */
+endmodule`
+	c, err := ParseVerilogString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Type != Inv {
+		t.Fatalf("gates: %v", c.Gates)
+	}
+}
+
+func TestVerilogErrors(t *testing.T) {
+	bad := []string{
+		"",                                     // no module
+		"module m (a);\n input a;\n",           // missing endmodule
+		"module m (); foo g (y, a); endmodule", // unknown primitive
+		"module m (); nand (y, a, b); endmodule\nmodule n (); endmodule",  // unnamed + two modules
+		"module m (a, y); input a; output y; nand g1 (y); endmodule",      // too few ports
+		"module m (a, y); input a; output y; not g1 (y, a) endmodule",     // unterminated... ends up unsupported
+		"module m (a, y); input a; output y; not g1 (y, zzz); endmodule",  // undriven
+		"module m (a, y); input a, a; output y; not g1 (y, a); endmodule", // dup input
+		"module (a, y); input a; output y; not g1 (y, a); endmodule",      // unnamed module
+	}
+	for _, src := range bad {
+		if _, err := ParseVerilogString(src); err == nil {
+			t.Errorf("accepted bad verilog %q", src)
+		}
+	}
+}
+
+func TestFormatVerilogRoundTrip(t *testing.T) {
+	c, err := ParseVerilogString(verilogXor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FormatVerilog(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilogString(out)
+	if err != nil {
+		t.Fatalf("formatted Verilog does not re-parse: %v\n%s", err, out)
+	}
+	a, b := c.TruthTable("y"), back.TruthTable("y")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round trip changed function at %d", i)
+		}
+	}
+	if !strings.Contains(out, "wire n1, n2, n3;") {
+		t.Fatalf("wires not declared:\n%s", out)
+	}
+}
+
+func TestFormatVerilogRejectsAOI(t *testing.T) {
+	c := New("m")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInput("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInput("d"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "g1", Aoi21, "y", "a", "b", "d")
+	c.AddOutput("y")
+	if _, err := FormatVerilog(c); err == nil {
+		t.Fatal("AOI21 export should fail (no Verilog primitive)")
+	}
+}
+
+// TestQuickVerilogRoundTrip: random primitive circuits survive a Verilog
+// export/import cycle with structure and function intact.
+func TestQuickVerilogRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCircuit(rng, RandomOptions{Inputs: 1 + rng.Intn(5), Gates: 1 + rng.Intn(20), Primitive: true})
+		out, err := FormatVerilog(c)
+		if err != nil {
+			return false
+		}
+		back, err := ParseVerilogString(out)
+		if err != nil {
+			return false
+		}
+		if len(back.Gates) != len(c.Gates) || len(back.Inputs) != len(c.Inputs) ||
+			len(back.Outputs) != len(c.Outputs) {
+			return false
+		}
+		if len(c.Inputs) <= 10 {
+			for _, po := range c.Outputs {
+				a, b := c.TruthTable(po), back.TruthTable(po)
+				for i := range a {
+					if a[i] != b[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package numeric provides the small dense linear-algebra kernel used by the
+// analog simulator: an n×n real matrix with LU factorization (partial
+// pivoting) and the usual vector helpers. Circuits in this repository stay
+// below a few hundred nodes, so a dense direct solver is both simpler and
+// faster than a sparse one would be at this scale.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when factorization encounters a pivot smaller than
+// the singularity threshold, i.e. the system has no unique solution.
+var ErrSingular = errors.New("numeric: matrix is singular to working precision")
+
+// pivotTol is the absolute pivot magnitude below which a matrix is treated
+// as singular. MNA matrices of well-formed circuits (every node has a DC
+// path to ground through gmin) stay far above this.
+const pivotTol = 1e-300
+
+// Matrix is a dense row-major n×n real matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N, Data[i*N+j] = element (i,j)
+}
+
+// NewMatrix returns a zeroed n×n matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add accumulates v into element (i, j). This is the primitive used by
+// device stamps.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Zero clears every element in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			s += fmt.Sprintf("% .4e ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// MulVec computes y = m·x. x must have length N; y is freshly allocated.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.N {
+		panic("numeric: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		row := m.Data[i*m.N : (i+1)*m.N]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// LU holds an LU factorization with partial pivoting of an n×n matrix:
+// P·A = L·U, stored compactly in lu with the permutation in piv.
+type LU struct {
+	n   int
+	lu  []float64
+	piv []int
+}
+
+// Factor computes the LU factorization of a copy of a. The receiver matrix
+// is not modified. Returns ErrSingular for numerically singular input.
+func Factor(a *Matrix) (*LU, error) {
+	n := a.N
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n)}
+	copy(f.lu, a.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at/below diagonal.
+		p := k
+		max := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > max {
+				max, p = v, i
+			}
+		}
+		if max < pivotTol || math.IsNaN(max) {
+			return nil, fmt.Errorf("%w (pivot %g at column %d)", ErrSingular, max, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+		}
+		pivv := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i*n+k] / pivv
+			lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= l * lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b using the factorization. b is not modified; x is
+// freshly allocated.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic("numeric: Solve dimension mismatch")
+	}
+	n := f.n
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has implicit unit diagonal).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.lu[i*n : i*n+i]
+		for j, l := range row {
+			s -= l * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// SolveLinear is a convenience wrapper: factor a and solve a·x = b.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|; the vectors must be equal length.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: MaxAbsDiff dimension mismatch")
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// InfNorm returns max_i |v[i]|.
+func InfNorm(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,182 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	n := 5
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if d := MaxAbsDiff(x, b); d > 1e-15 {
+		t.Fatalf("identity solve error %g", d)
+	}
+}
+
+func TestSolveKnown2x2(t *testing.T) {
+	// [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("got %v want [1 3]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero on the first diagonal entry forces a row swap.
+	a := NewMatrix(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("got %v want [3 2]", x)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := NewMatrix(3)
+	// Rank-1 matrix.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, float64((i+1)*(j+1)))
+		}
+	}
+	_, err := Factor(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestFactorDoesNotModifyInput(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	before := a.Clone()
+	if _, err := Factor(a); err != nil {
+		t.Fatalf("factor: %v", err)
+	}
+	if MaxAbsDiff(a.Data, before.Data) != 0 {
+		t.Fatal("Factor modified its input")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	y := a.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("got %v", y)
+	}
+}
+
+// randomDiagDominant builds a random strictly diagonally dominant matrix,
+// which is always nonsingular — the property-test workhorse.
+func randomDiagDominant(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			sum += math.Abs(v)
+		}
+		a.Set(i, i, sum+1+rng.Float64())
+	}
+	return a
+}
+
+// TestQuickSolveResidual: for random nonsingular systems, A·x ≈ b.
+func TestQuickSolveResidual(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(szRaw%20) + 1
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		r := a.MulVec(x)
+		scale := InfNorm(b) + 1
+		return MaxAbsDiff(r, b)/scale < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFactorReuse: one factorization solves many RHS consistently.
+func TestQuickFactorReuse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		a := randomDiagDominant(rng, n)
+		lu, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 4; k++ {
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			x := lu.Solve(b)
+			if MaxAbsDiff(a.MulVec(x), b) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp broken")
+	}
+}
+
+func TestInfNorm(t *testing.T) {
+	if InfNorm([]float64{1, -7, 3}) != 7 {
+		t.Fatal("InfNorm broken")
+	}
+	if InfNorm(nil) != 0 {
+		t.Fatal("InfNorm(nil) should be 0")
+	}
+}

@@ -1,0 +1,197 @@
+// Package obd implements the paper's circuit-level model for gate oxide
+// breakdown (OBD): a diode–resistor network attached to a MOSFET's gate
+// (Fig. 3 of the paper) whose parameters — the junction saturation current
+// Isat and the breakdown-path resistance R — track the progression from
+// soft breakdown (SBD) through medium breakdown (MBD) to the final hard
+// breakdown (HBD).
+//
+// The network topology follows Fig. 3b: a resistor from the gate to an
+// internal breakdown node, pn junctions from that node to the source and
+// drain diffusions, and a high-resistance path to the substrate. For an
+// NMOS device the junctions point from the breakdown spot (p-type bulk
+// under the gate) into the n+ source/drain, so the network conducts only
+// while the gate is driven high — which is why NMOS OBD in a NAND disturbs
+// only falling output transitions. For a PMOS device the junctions point
+// from the p+ diffusions into the breakdown node, so the network conducts
+// while the gate is driven low, disturbing only rising output transitions.
+package obd
+
+import (
+	"fmt"
+
+	"gobd/internal/spice"
+)
+
+// Stage enumerates the breakdown progression points used in the paper's
+// Table 1.
+type Stage int
+
+// Breakdown stages. FaultFree carries the inert network parameters from
+// Table 1's "Fault Free" row, so a breakdown network can always be present
+// and merely re-parameterized when sweeping stages.
+const (
+	FaultFree Stage = iota
+	MBD1
+	MBD2
+	MBD3
+	HBD
+)
+
+// Stages lists all stages in progression order.
+func Stages() []Stage { return []Stage{FaultFree, MBD1, MBD2, MBD3, HBD} }
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case FaultFree:
+		return "FaultFree"
+	case MBD1:
+		return "MBD1"
+	case MBD2:
+		return "MBD2"
+	case MBD3:
+		return "MBD3"
+	case HBD:
+		return "HBD"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Params are the breakdown-network parameters at one progression point.
+// Isat and R are the paper's Table 1 values. RShort models the final
+// melted ohmic path of hard breakdown (the paper: "a persistent
+// low-resistance path is formed"; hard OBD is the classical gate oxide
+// short): an additional resistive connection from the breakdown node to
+// source and drain that bypasses the pn junctions. Zero means no ohmic
+// path (the pre-HBD regime, where conduction is junction-limited).
+type Params struct {
+	Isat   float64 // junction saturation current (A)
+	R      float64 // breakdown path resistance (Ω)
+	RShort float64 // ohmic short to source/drain at HBD (Ω); 0 = none
+}
+
+// Table 1 of the paper: per-polarity (Isat, R) used in the HSPICE model.
+// The paper gives no HBD row for PMOS (marked N/A — the MBD3 parameters
+// already produce stuck-at behaviour); we extrapolate the NMOS HBD values
+// so progression sweeps are total.
+var (
+	nmosStageParams = map[Stage]Params{
+		FaultFree: {Isat: 1e-30, R: 10e3},
+		MBD1:      {Isat: 2e-28, R: 500},
+		MBD2:      {Isat: 1e-27, R: 100},
+		MBD3:      {Isat: 5e-27, R: 20},
+		HBD:       {Isat: 2e-24, R: 0.05, RShort: 50},
+	}
+	pmosStageParams = map[Stage]Params{
+		FaultFree: {Isat: 1e-30, R: 10e3},
+		MBD1:      {Isat: 1e-29, R: 1e3},
+		MBD2:      {Isat: 1.1e-29, R: 900},
+		MBD3:      {Isat: 1.2e-29, R: 830},
+		HBD:       {Isat: 2e-24, R: 0.05, RShort: 50},
+	}
+)
+
+// StageParams returns the Table 1 network parameters for a polarity/stage.
+func StageParams(pol spice.MOSPolarity, s Stage) Params {
+	var p Params
+	var ok bool
+	if pol == spice.PMOS {
+		p, ok = pmosStageParams[s]
+	} else {
+		p, ok = nmosStageParams[s]
+	}
+	if !ok {
+		panic(fmt.Sprintf("obd: no parameters for stage %v", s))
+	}
+	return p
+}
+
+// RSubstrate is the resistance of the breakdown node's path to the
+// substrate. The paper assumes the substrate contact is far from the
+// breakdown spot, making this path high-resistance.
+const RSubstrate = 10e6
+
+// Injection is a breakdown network wired around one MOSFET. Its stage can
+// be re-parameterized in place, so one built circuit serves a whole
+// progression sweep.
+type Injection struct {
+	Target *spice.MOSFET
+	Stage  Stage
+	Node   spice.NodeID // internal breakdown node
+
+	rbd          *spice.Resistor
+	dSrc, dDrn   *spice.Diode
+	rsub         *spice.Resistor
+	rshort       *spice.Resistor
+	polarity     spice.MOSPolarity
+	injectedName string
+}
+
+// rShortOff is the resistance used for the (inert) ohmic-short resistors
+// while the breakdown has not yet reached HBD.
+const rShortOff = 1e12
+
+// Inject attaches a breakdown network to m inside circuit c at the given
+// stage. The name seeds the created device/node names and must be unique
+// per injection.
+func Inject(c *spice.Circuit, name string, m *spice.MOSFET, stage Stage) *Injection {
+	pol := m.P.Polarity
+	p := StageParams(pol, stage)
+	x := c.Node(name + ".bd")
+	inj := &Injection{Target: m, Stage: stage, Node: x, polarity: pol, injectedName: name}
+	inj.rbd = c.AddResistor(name+".Rbd", m.G, x, p.R)
+	dp := spice.DiodeParams{Isat: p.Isat}
+	if pol == spice.NMOS {
+		// Junctions from the breakdown spot (p bulk) into the n+ diffusions:
+		// conduct while the gate is pulled high.
+		inj.dSrc = c.AddDiode(name+".Ds", x, m.S, dp)
+		inj.dDrn = c.AddDiode(name+".Dd", x, m.D, dp)
+	} else {
+		// Junctions from the p+ diffusions into the breakdown spot (n well):
+		// conduct while the gate is pulled low.
+		inj.dSrc = c.AddDiode(name+".Ds", m.S, x, dp)
+		inj.dDrn = c.AddDiode(name+".Dd", m.D, x, dp)
+	}
+	inj.rsub = c.AddResistor(name+".Rsub", x, m.B, RSubstrate)
+	rs := p.RShort
+	if rs <= 0 {
+		rs = rShortOff
+	}
+	// The melted HBD path forms toward the source diffusion: the defective
+	// device's gate collapses to its source rail, which is what turns the
+	// defect into the stuck-at-like behaviour of the paper's HBD rows (and
+	// what endangers the upstream driver, Fig. 2).
+	inj.rshort = c.AddResistor(name+".Rs", x, m.S, rs)
+	return inj
+}
+
+// SetStage re-parameterizes the network to another progression point.
+func (inj *Injection) SetStage(s Stage) {
+	p := StageParams(inj.polarity, s)
+	inj.SetParams(p)
+	inj.Stage = s
+}
+
+// SetParams sets raw network parameters (used by the progression model,
+// which interpolates between the tabulated stages).
+func (inj *Injection) SetParams(p Params) {
+	inj.rbd.SetR(p.R)
+	inj.dSrc.SetIsat(p.Isat)
+	inj.dDrn.SetIsat(p.Isat)
+	rs := p.RShort
+	if rs <= 0 {
+		rs = rShortOff
+	}
+	inj.rshort.SetR(rs)
+}
+
+// LeakageCurrent returns the total current leaving the breakdown node into
+// the source/drain diffusions (junction plus ohmic-short paths) for a
+// committed solution — the observable the progression literature tracks.
+func (inj *Injection) LeakageCurrent(s *spice.Solution) float64 {
+	x := s.Raw()
+	i := inj.dSrc.Current(x) + inj.dDrn.Current(x)
+	i += (s.VID(inj.Node) - s.VID(inj.Target.S)) / inj.rshort.R
+	return i
+}

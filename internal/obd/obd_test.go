@@ -1,0 +1,295 @@
+package obd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gobd/internal/spice"
+)
+
+func TestStageParamsTable1(t *testing.T) {
+	// Spot-check against the paper's Table 1.
+	if p := StageParams(spice.NMOS, MBD2); p.Isat != 1e-27 || p.R != 100 {
+		t.Fatalf("NMOS MBD2 = %+v", p)
+	}
+	if p := StageParams(spice.PMOS, MBD3); p.Isat != 1.2e-29 || p.R != 830 {
+		t.Fatalf("PMOS MBD3 = %+v", p)
+	}
+	if p := StageParams(spice.NMOS, FaultFree); p.Isat != 1e-30 || p.R != 10e3 {
+		t.Fatalf("NMOS FaultFree = %+v", p)
+	}
+}
+
+func TestStageOrderingMonotone(t *testing.T) {
+	// Breakdown progression means Isat non-decreasing and R non-increasing.
+	for _, pol := range []spice.MOSPolarity{spice.NMOS, spice.PMOS} {
+		prev := StageParams(pol, FaultFree)
+		for _, s := range []Stage{MBD1, MBD2, MBD3, HBD} {
+			p := StageParams(pol, s)
+			if p.Isat < prev.Isat {
+				t.Fatalf("%v %v: Isat decreased %g -> %g", pol, s, prev.Isat, p.Isat)
+			}
+			if p.R > prev.R {
+				t.Fatalf("%v %v: R increased %g -> %g", pol, s, prev.R, p.R)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := []string{"FaultFree", "MBD1", "MBD2", "MBD3", "HBD"}
+	for i, s := range Stages() {
+		if s.String() != want[i] {
+			t.Fatalf("stage %d string %q, want %q", i, s.String(), want[i])
+		}
+	}
+}
+
+// buildNMOSLeakRig wires a driver resistor to an NMOS gate with an OBD
+// network, so the gate-side leakage can be observed directly.
+func buildNMOSLeakRig(stage Stage, gateV float64) (leak float64, vGate float64, err error) {
+	p := spice.Default350()
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	drv := c.Node("drv")
+	g := c.Node("g")
+	d := c.Node("d")
+	c.AddVSource("VDD", vdd, spice.Ground, spice.DC(p.VDD))
+	c.AddVSource("VDRV", drv, spice.Ground, spice.DC(gateV))
+	c.AddResistor("Rdrv", drv, g, 2e3) // stands in for the driving gate's output resistance
+	c.AddResistor("Rload", vdd, d, 10e3)
+	m := c.AddMOSFET("M1", d, g, spice.Ground, spice.Ground, p.NMOSParams(p.WNUnit))
+	inj := Inject(c, "f1", m, stage)
+	s, err := spice.OperatingPoint(c, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return inj.LeakageCurrent(s), s.V("g"), nil
+}
+
+func TestNMOSInjectionLeaksOnlyWhenGateHigh(t *testing.T) {
+	p := spice.Default350()
+	leakHigh, vg, err := buildNMOSLeakRig(MBD2, p.VDD)
+	if err != nil {
+		t.Fatalf("gate-high op: %v", err)
+	}
+	if leakHigh < 1e-4 {
+		t.Fatalf("MBD2 gate-high leakage %g A, want substantial (>0.1mA)", leakHigh)
+	}
+	if vg > p.VDD-0.3 {
+		t.Fatalf("gate voltage %g not degraded by leakage (VDD=%g)", vg, p.VDD)
+	}
+	leakLow, _, err := buildNMOSLeakRig(MBD2, 0)
+	if err != nil {
+		t.Fatalf("gate-low op: %v", err)
+	}
+	if math.Abs(leakLow) > 1e-9 {
+		t.Fatalf("gate-low leakage %g A, want ~0 (junctions reverse biased)", leakLow)
+	}
+}
+
+func TestFaultFreeInjectionIsMild(t *testing.T) {
+	// The Table 1 "Fault Free" parameters keep the network present but its
+	// effect mild: the tiny Isat pushes the junction turn-on to ~1.6 V, so
+	// a static sub-mA trickle remains, small against the driver's mA-class
+	// strength. The MBD stages must leak at least an order of magnitude
+	// more than this baseline.
+	p := spice.Default350()
+	leak, vg, err := buildNMOSLeakRig(FaultFree, p.VDD)
+	if err != nil {
+		t.Fatalf("op: %v", err)
+	}
+	if leak > 1e-3 {
+		t.Fatalf("fault-free network leaks %g A, want sub-mA", leak)
+	}
+	if vg < p.VDD-0.6 {
+		t.Fatalf("fault-free network degrades gate to %g (VDD=%g)", vg, p.VDD)
+	}
+	leakMBD2, _, err := buildNMOSLeakRig(MBD2, p.VDD)
+	if err != nil {
+		t.Fatalf("MBD2 op: %v", err)
+	}
+	if leakMBD2 < 3*leak {
+		t.Fatalf("MBD2 leakage %g not clearly above fault-free %g", leakMBD2, leak)
+	}
+}
+
+func TestLeakageGrowsWithStage(t *testing.T) {
+	p := spice.Default350()
+	prev := -1.0
+	for _, s := range []Stage{FaultFree, MBD1, MBD2, MBD3, HBD} {
+		leak, _, err := buildNMOSLeakRig(s, p.VDD)
+		if err != nil {
+			t.Fatalf("%v op: %v", s, err)
+		}
+		if leak < prev {
+			t.Fatalf("leakage not monotone at %v: %g after %g", s, leak, prev)
+		}
+		prev = leak
+	}
+}
+
+func TestPMOSInjectionLeaksOnlyWhenGateLow(t *testing.T) {
+	p := spice.Default350()
+	build := func(gateV float64) (float64, error) {
+		c := spice.NewCircuit()
+		vdd := c.Node("vdd")
+		drv := c.Node("drv")
+		g := c.Node("g")
+		d := c.Node("d")
+		c.AddVSource("VDD", vdd, spice.Ground, spice.DC(p.VDD))
+		c.AddVSource("VDRV", drv, spice.Ground, spice.DC(gateV))
+		c.AddResistor("Rdrv", drv, g, 2e3)
+		c.AddResistor("Rload", d, spice.Ground, 10e3)
+		m := c.AddMOSFET("M1", d, g, vdd, vdd, p.PMOSParams(p.WPUnit))
+		inj := Inject(c, "f1", m, MBD2)
+		s, err := spice.OperatingPoint(c, nil)
+		if err != nil {
+			return 0, err
+		}
+		return inj.LeakageCurrent(s), nil
+	}
+	leakLow, err := build(0)
+	if err != nil {
+		t.Fatalf("gate-low op: %v", err)
+	}
+	if leakLow < 1e-4 {
+		t.Fatalf("PMOS MBD2 gate-low leakage %g A, want substantial", leakLow)
+	}
+	leakHigh, err := build(p.VDD)
+	if err != nil {
+		t.Fatalf("gate-high op: %v", err)
+	}
+	if math.Abs(leakHigh) > 1e-9 {
+		t.Fatalf("PMOS gate-high leakage %g A, want ~0", leakHigh)
+	}
+}
+
+func TestSetStageReparameterizes(t *testing.T) {
+	p := spice.Default350()
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	g := c.Node("g")
+	d := c.Node("d")
+	c.AddVSource("VDD", vdd, spice.Ground, spice.DC(p.VDD))
+	c.AddVSource("VG", g, spice.Ground, spice.DC(p.VDD))
+	c.AddResistor("Rload", vdd, d, 10e3)
+	m := c.AddMOSFET("M1", d, g, spice.Ground, spice.Ground, p.NMOSParams(p.WNUnit))
+	inj := Inject(c, "f1", m, FaultFree)
+	s1, err := spice.OperatingPoint(c, nil)
+	if err != nil {
+		t.Fatalf("op1: %v", err)
+	}
+	l1 := inj.LeakageCurrent(s1)
+	inj.SetStage(HBD)
+	if inj.Stage != HBD {
+		t.Fatalf("stage not updated")
+	}
+	s2, err := spice.OperatingPoint(c, nil)
+	if err != nil {
+		t.Fatalf("op2: %v", err)
+	}
+	l2 := inj.LeakageCurrent(s2)
+	if l2 < 1e3*math.Max(l1, 1e-15) {
+		t.Fatalf("HBD leakage %g not >> fault-free %g", l2, l1)
+	}
+}
+
+func TestProgressionEndpoints(t *testing.T) {
+	pr := NewProgression(spice.NMOS)
+	if got := pr.ParamsAt(0); got != StageParams(spice.NMOS, MBD1) {
+		t.Fatalf("t=0 params %+v", got)
+	}
+	if got := pr.ParamsAt(pr.Window); got != StageParams(spice.NMOS, HBD) {
+		t.Fatalf("t=Window params %+v", got)
+	}
+	if got := pr.ParamsAt(-5); got != pr.Start {
+		t.Fatalf("clamping before 0 broken: %+v", got)
+	}
+	if got := pr.ParamsAt(pr.Window * 2); got != pr.End {
+		t.Fatalf("clamping after window broken: %+v", got)
+	}
+}
+
+func TestProgressionMonotone(t *testing.T) {
+	pr := NewProgression(spice.NMOS)
+	prev := pr.ParamsAt(0)
+	for i := 1; i <= 100; i++ {
+		p := pr.ParamsAt(float64(i) / 100 * pr.Window)
+		if p.Isat < prev.Isat || p.R > prev.R {
+			t.Fatalf("progression not monotone at step %d: %+v after %+v", i, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestProgressionStageTimesOrdered(t *testing.T) {
+	pr := NewProgression(spice.NMOS)
+	times := pr.StageTimes()
+	if !(times[MBD1] < times[MBD2] && times[MBD2] < times[MBD3] && times[MBD3] < times[HBD]) {
+		t.Fatalf("stage times not ordered: %+v", times)
+	}
+}
+
+func TestTimeForIsatRoundTrip(t *testing.T) {
+	pr := NewProgression(spice.PMOS)
+	f := func(fraw uint16) bool {
+		frac := float64(fraw) / 65535
+		tt := frac * pr.Window
+		p := pr.ParamsAt(tt)
+		back, err := pr.TimeForIsat(p.Isat)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-tt) < 1e-6*pr.Window+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeForIsatOutOfRange(t *testing.T) {
+	pr := NewProgression(spice.NMOS)
+	if _, err := pr.TimeForIsat(1e-40); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := pr.TimeForIsat(1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestDualInjectionComposes(t *testing.T) {
+	// Two independent breakdown networks in one circuit: each leaks in its
+	// own biasing state without disturbing the other's observability.
+	p := spice.Default350()
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	c.AddVSource("VDD", vdd, spice.Ground, spice.DC(p.VDD))
+	g1 := c.Node("g1")
+	g2 := c.Node("g2")
+	d1 := c.Node("d1")
+	d2 := c.Node("d2")
+	c.AddVSource("VG1", c.Node("s1"), spice.Ground, spice.DC(p.VDD))
+	c.AddResistor("Rd1", c.Node("s1"), g1, 2e3)
+	c.AddVSource("VG2", c.Node("s2"), spice.Ground, spice.DC(0))
+	c.AddResistor("Rd2", c.Node("s2"), g2, 2e3)
+	c.AddResistor("RL1", vdd, d1, 10e3)
+	c.AddResistor("RL2", vdd, d2, 10e3)
+	m1 := c.AddMOSFET("M1", d1, g1, spice.Ground, spice.Ground, p.NMOSParams(p.WNUnit))
+	m2 := c.AddMOSFET("M2", d2, g2, spice.Ground, spice.Ground, p.NMOSParams(p.WNUnit))
+	i1 := Inject(c, "f1", m1, MBD2)
+	i2 := Inject(c, "f2", m2, MBD2)
+	s, err := spice.OperatingPoint(c, nil)
+	if err != nil {
+		t.Fatalf("op: %v", err)
+	}
+	// M1's gate is high: its network leaks; M2's gate is low: silent.
+	if l1 := i1.LeakageCurrent(s); l1 < 1e-4 {
+		t.Fatalf("active injection leaks only %g A", l1)
+	}
+	if l2 := i2.LeakageCurrent(s); math.Abs(l2) > 1e-9 {
+		t.Fatalf("inactive injection leaks %g A", l2)
+	}
+}

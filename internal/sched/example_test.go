@@ -1,0 +1,26 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"gobd/internal/sched"
+)
+
+// ExampleComputeWindow schedules concurrent testing for a defect whose
+// delay grows linearly over ten hours: a detector with 250 ps of slack
+// first sees it at 2.5 h, leaving a 7.5 h window before hard breakdown —
+// so testing every ≤3.75 h guarantees detection with margin.
+func ExampleComputeWindow() {
+	var curve []sched.DelayPoint
+	for h := 0; h <= 10; h++ {
+		curve = append(curve, sched.DelayPoint{
+			T:     float64(h) * 3600,
+			Delay: 100e-12 + float64(h)*100e-12,
+		})
+	}
+	w, _ := sched.ComputeWindow(curve, 100e-12, 250e-12, 10*3600)
+	fmt.Printf("detectable from %.1f h, window %.1f h, test every <= %.2f h\n",
+		w.Start/3600, w.Length()/3600, w.MaxTestPeriod()/3600)
+	// Output:
+	// detectable from 2.5 h, window 7.5 h, test every <= 3.75 h
+}

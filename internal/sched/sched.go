@@ -1,0 +1,117 @@
+// Package sched implements the Section 4.2 scheduling analysis: given a
+// delay-versus-time characterization of a progressing OBD defect (from the
+// diode-resistor circuit model) and the timing slack of a concurrent
+// detection mechanism, it computes the window of opportunity — the span
+// between the defect first being observable and hard breakdown — and the
+// test period a test/diagnose/repair scheme must keep to catch the defect
+// inside that window.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DelayPoint is one sample of the defect-induced delay trajectory.
+type DelayPoint struct {
+	T     float64 // seconds after SBD onset
+	Delay float64 // measured path delay (s)
+}
+
+// Window is a detection window for one detector slack.
+type Window struct {
+	SlackFraction float64 // slack as a fraction of nominal (bookkeeping)
+	Slack         float64 // absolute slack (s of path delay)
+	Detectable    bool    // the trajectory exceeds nominal+slack before HBD
+	Start         float64 // first time the defect is observable (s)
+	End           float64 // hard breakdown time (s)
+}
+
+// Length returns the usable window duration.
+func (w Window) Length() float64 {
+	if !w.Detectable {
+		return 0
+	}
+	return w.End - w.Start
+}
+
+// MaxTestPeriod returns the largest concurrent-test period that still
+// guarantees at least one test lands inside the window (with one period of
+// margin, so a test scheduled just before Start still recurs before End).
+func (w Window) MaxTestPeriod() float64 { return w.Length() / 2 }
+
+// ComputeWindow locates the first time the delay trajectory exceeds
+// nominal+slack, interpolating between samples. hbd is the hard-breakdown
+// time ending the window. The samples must be time-sorted; a single
+// sample is an error.
+func ComputeWindow(curve []DelayPoint, nominal, slack, hbd float64) (Window, error) {
+	if len(curve) < 2 {
+		return Window{}, fmt.Errorf("sched: need at least 2 delay samples, got %d", len(curve))
+	}
+	if !sort.SliceIsSorted(curve, func(i, j int) bool { return curve[i].T < curve[j].T }) {
+		return Window{}, fmt.Errorf("sched: delay samples not time-sorted")
+	}
+	w := Window{Slack: slack, End: hbd}
+	thresh := nominal + slack
+	for i, p := range curve {
+		if p.Delay < thresh {
+			continue
+		}
+		w.Detectable = true
+		if i == 0 {
+			w.Start = p.T
+			return w, nil
+		}
+		a, b := curve[i-1], p
+		if b.Delay == a.Delay {
+			w.Start = b.T
+			return w, nil
+		}
+		f := (thresh - a.Delay) / (b.Delay - a.Delay)
+		if f < 0 {
+			f = 0
+		}
+		w.Start = a.T + f*(b.T-a.T)
+		return w, nil
+	}
+	return w, nil // never detectable before HBD
+}
+
+// RequiredSlack inverts the analysis: given a desired window length,
+// return the largest detector slack that still yields it, by scanning the
+// trajectory. Returns ok=false if even a zero-slack detector sees less
+// than the desired window.
+func RequiredSlack(curve []DelayPoint, nominal, wantWindow, hbd float64) (slack float64, ok bool) {
+	if len(curve) < 2 {
+		return 0, false
+	}
+	deadline := hbd - wantWindow
+	if deadline < curve[0].T {
+		return 0, false
+	}
+	// The delay trajectory value at the deadline bounds the usable slack.
+	var dAt float64
+	found := false
+	for i := 1; i < len(curve); i++ {
+		a, b := curve[i-1], curve[i]
+		if deadline < a.T || deadline > b.T {
+			continue
+		}
+		if b.T == a.T {
+			dAt = b.Delay
+		} else {
+			f := (deadline - a.T) / (b.T - a.T)
+			dAt = a.Delay + f*(b.Delay-a.Delay)
+		}
+		found = true
+		break
+	}
+	if !found {
+		dAt = curve[len(curve)-1].Delay
+	}
+	s := dAt - nominal
+	if s <= 0 {
+		return 0, false
+	}
+	return s, true
+}

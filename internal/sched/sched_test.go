@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func linCurve() []DelayPoint {
+	// Delay grows linearly from 100ps to 1100ps over 10 hours.
+	var c []DelayPoint
+	for i := 0; i <= 10; i++ {
+		c = append(c, DelayPoint{T: float64(i) * 3600, Delay: 100e-12 + float64(i)*100e-12})
+	}
+	return c
+}
+
+func TestComputeWindowLinear(t *testing.T) {
+	c := linCurve()
+	nominal := 100e-12
+	hbd := 10 * 3600.0
+	// Slack 250ps -> threshold 350ps -> crossed at t=2.5h.
+	w, err := ComputeWindow(c, nominal, 250e-12, hbd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Detectable {
+		t.Fatal("should be detectable")
+	}
+	if math.Abs(w.Start-2.5*3600) > 1 {
+		t.Fatalf("start %.1f h, want 2.5 h", w.Start/3600)
+	}
+	if math.Abs(w.Length()-7.5*3600) > 1 {
+		t.Fatalf("length %.1f h, want 7.5 h", w.Length()/3600)
+	}
+	if math.Abs(w.MaxTestPeriod()-3.75*3600) > 1 {
+		t.Fatalf("period %.2f h, want 3.75 h", w.MaxTestPeriod()/3600)
+	}
+}
+
+func TestComputeWindowNeverDetectable(t *testing.T) {
+	c := linCurve()
+	w, err := ComputeWindow(c, 100e-12, 5e-9, 10*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Detectable || w.Length() != 0 {
+		t.Fatalf("expected undetectable, got %+v", w)
+	}
+}
+
+func TestComputeWindowImmediate(t *testing.T) {
+	c := linCurve()
+	w, err := ComputeWindow(c, 100e-12, 0, 10*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Detectable || w.Start != 0 {
+		t.Fatalf("zero slack should detect immediately: %+v", w)
+	}
+}
+
+func TestComputeWindowErrors(t *testing.T) {
+	if _, err := ComputeWindow([]DelayPoint{{T: 0, Delay: 1}}, 0, 0, 1); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	bad := []DelayPoint{{T: 5, Delay: 1}, {T: 1, Delay: 2}}
+	if _, err := ComputeWindow(bad, 0, 0, 10); err == nil {
+		t.Fatal("unsorted samples accepted")
+	}
+}
+
+func TestRequiredSlackLinear(t *testing.T) {
+	c := linCurve()
+	nominal := 100e-12
+	hbd := 10 * 3600.0
+	// Want a 7.5h window -> deadline at 2.5h -> delay there 350ps -> slack 250ps.
+	s, ok := RequiredSlack(c, nominal, 7.5*3600, hbd)
+	if !ok {
+		t.Fatal("should be feasible")
+	}
+	if math.Abs(s-250e-12) > 1e-12 {
+		t.Fatalf("slack %.0f ps, want 250", s*1e12)
+	}
+	// A window longer than the whole progression is infeasible.
+	if _, ok := RequiredSlack(c, nominal, 11*3600, hbd); ok {
+		t.Fatal("impossible window accepted")
+	}
+}
+
+// TestQuickWindowMonotoneInSlack: on monotone trajectories, larger slack
+// never yields an earlier start or a longer window.
+func TestQuickWindowMonotoneInSlack(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c []DelayPoint
+		d := 100e-12
+		tt := 0.0
+		for i := 0; i < 12; i++ {
+			c = append(c, DelayPoint{T: tt, Delay: d})
+			tt += 1000 + rng.Float64()*5000
+			d += rng.Float64() * 200e-12
+		}
+		hbd := tt
+		prevLen := math.Inf(1)
+		for _, frac := range []float64{0.05, 0.2, 0.5, 1, 2} {
+			w, err := ComputeWindow(c, 100e-12, frac*100e-12, hbd)
+			if err != nil {
+				return false
+			}
+			if w.Length() > prevLen+1e-9 {
+				return false
+			}
+			prevLen = w.Length()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRoundTrip: the slack computed by RequiredSlack produces a
+// window at least as long as requested.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c []DelayPoint
+		d := 100e-12
+		tt := 0.0
+		for i := 0; i < 10; i++ {
+			c = append(c, DelayPoint{T: tt, Delay: d})
+			tt += 3600
+			d += (50 + rng.Float64()*300) * 1e-12
+		}
+		hbd := c[len(c)-1].T
+		want := hbd * (0.2 + 0.6*rng.Float64())
+		s, ok := RequiredSlack(c, 100e-12, want, hbd)
+		if !ok {
+			return true
+		}
+		w, err := ComputeWindow(c, 100e-12, s, hbd)
+		if err != nil || !w.Detectable {
+			return false
+		}
+		return w.Length() >= want-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package seq models sequential circuits as a combinational core plus a
+// scan chain of flip-flops, and implements the test-application styles the
+// paper's Section 5 DFT discussion contrasts: two-pattern OBD tests need
+// two specific vectors on consecutive clocks, which standard scan cannot
+// deliver freely. Enhanced scan applies arbitrary pairs; launch-on-shift
+// derives the second vector by shifting the chain; launch-on-capture
+// (broadside) derives it through the circuit's own next-state function —
+// each tighter constraint shrinks the reachable pair space and with it the
+// OBD coverage.
+package seq
+
+import (
+	"fmt"
+
+	"gobd/internal/atpg"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// FF is one scan flip-flop: its output Q feeds a core input (present
+// state) and its input D is driven by a core net (next state).
+type FF struct {
+	Q string // core input net carrying the present state
+	D string // core net captured as the next state
+}
+
+// Circuit is a sequential circuit: a combinational core whose inputs are
+// the primary inputs plus the FF outputs, and whose nets drive the primary
+// outputs and the FF inputs. FFs are listed in scan-chain order (index 0
+// is the scan-in end).
+type Circuit struct {
+	Core *logic.Circuit
+	FFs  []FF
+	PIs  []string // core inputs that are true primary inputs
+	POs  []string // observable core outputs
+}
+
+// New validates and builds the sequential wrapper: every FF.Q must be a
+// core input, every FF.D a driven core net; the primary inputs are the
+// remaining core inputs and the primary outputs the declared core outputs.
+func New(core *logic.Circuit, ffs []FF) (*Circuit, error) {
+	if err := core.Validate(); err != nil {
+		return nil, err
+	}
+	isQ := make(map[string]bool, len(ffs))
+	for _, ff := range ffs {
+		if !core.IsInput(ff.Q) {
+			return nil, fmt.Errorf("seq: FF output %q is not a core input", ff.Q)
+		}
+		if isQ[ff.Q] {
+			return nil, fmt.Errorf("seq: core input %q fed by two flip-flops", ff.Q)
+		}
+		isQ[ff.Q] = true
+		if core.Driver(ff.D) == nil && !core.IsInput(ff.D) {
+			return nil, fmt.Errorf("seq: FF input net %q is undriven", ff.D)
+		}
+	}
+	s := &Circuit{Core: core, FFs: ffs}
+	for _, in := range core.Inputs {
+		if !isQ[in] {
+			s.PIs = append(s.PIs, in)
+		}
+	}
+	s.POs = append(s.POs, core.Outputs...)
+	return s, nil
+}
+
+// State is a present-state assignment in scan-chain order.
+type State []logic.Value
+
+// CoreAssign merges a state and a primary-input assignment into a complete
+// core input pattern.
+func (s *Circuit) CoreAssign(st State, pi atpg.Pattern) (atpg.Pattern, error) {
+	if len(st) != len(s.FFs) {
+		return nil, fmt.Errorf("seq: state width %d, want %d", len(st), len(s.FFs))
+	}
+	p := make(atpg.Pattern, len(s.Core.Inputs))
+	for i, ff := range s.FFs {
+		p[ff.Q] = st[i]
+	}
+	for _, in := range s.PIs {
+		v, ok := pi[in]
+		if !ok {
+			return nil, fmt.Errorf("seq: primary input %q unassigned", in)
+		}
+		p[in] = v
+	}
+	return p, nil
+}
+
+// NextState evaluates the core under (state, pi) and returns the values
+// captured by the flip-flops.
+func (s *Circuit) NextState(st State, pi atpg.Pattern) (State, error) {
+	assign, err := s.CoreAssign(st, pi)
+	if err != nil {
+		return nil, err
+	}
+	vals := s.Core.Eval(assign, nil)
+	next := make(State, len(s.FFs))
+	for i, ff := range s.FFs {
+		next[i] = vals[ff.D]
+	}
+	return next, nil
+}
+
+// Mode is a two-pattern test-application style.
+type Mode int
+
+// Test-application styles.
+const (
+	EnhancedScan    Mode = iota // arbitrary vector pairs (hold-scan cells)
+	LaunchOnShift               // second state = 1-bit chain shift of the first
+	LaunchOnCapture             // second state = the circuit's own next state
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case EnhancedScan:
+		return "enhanced-scan"
+	case LaunchOnShift:
+		return "launch-on-shift"
+	case LaunchOnCapture:
+		return "launch-on-capture"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// enumPatterns yields all complete 0/1 assignments of the named nets.
+func enumPatterns(nets []string) []atpg.Pattern {
+	n := len(nets)
+	if n > 20 {
+		panic("seq: enumeration limited to 20 nets")
+	}
+	out := make([]atpg.Pattern, 0, 1<<uint(n))
+	for m := 0; m < 1<<uint(n); m++ {
+		p := make(atpg.Pattern, n)
+		for i, net := range nets {
+			p[net] = logic.FromBool(m&(1<<uint(i)) != 0)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// maxPairSpaceBits bounds the enumerated pair spaces.
+const maxPairSpaceBits = 18
+
+// PairSpace enumerates every vector pair the application mode can deliver
+// to the combinational core. The total search space must stay within
+// maxPairSpaceBits bits.
+func (s *Circuit) PairSpace(mode Mode) ([]atpg.TwoPattern, error) {
+	nFF, nPI := len(s.FFs), len(s.PIs)
+	bits := map[Mode]int{
+		EnhancedScan:    2*nFF + 2*nPI,
+		LaunchOnShift:   nFF + 2*nPI + 1,
+		LaunchOnCapture: nFF + 2*nPI,
+	}[mode]
+	if bits > maxPairSpaceBits {
+		return nil, fmt.Errorf("seq: %s pair space needs %d bits (limit %d)", mode, bits, maxPairSpaceBits)
+	}
+	v1s := enumPatterns(s.Core.Inputs)
+	pi2s := enumPatterns(s.PIs)
+	stateOf := func(p atpg.Pattern) State {
+		st := make(State, nFF)
+		for i, ff := range s.FFs {
+			st[i] = p[ff.Q]
+		}
+		return st
+	}
+	var out []atpg.TwoPattern
+	switch mode {
+	case EnhancedScan:
+		for _, v1 := range v1s {
+			for _, v2 := range v1s {
+				out = append(out, atpg.TwoPattern{V1: v1, V2: v2})
+			}
+		}
+	case LaunchOnShift:
+		for _, v1 := range v1s {
+			st1 := stateOf(v1)
+			for _, scanIn := range []logic.Value{logic.Zero, logic.One} {
+				st2 := make(State, nFF)
+				prev := scanIn
+				for i := range st1 {
+					st2[i] = prev
+					prev = st1[i]
+				}
+				for _, pi2 := range pi2s {
+					v2, err := s.CoreAssign(st2, pi2)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, atpg.TwoPattern{V1: v1, V2: v2})
+				}
+			}
+		}
+	case LaunchOnCapture:
+		for _, v1 := range v1s {
+			st1 := stateOf(v1)
+			pi1 := make(atpg.Pattern, nPI)
+			for _, in := range s.PIs {
+				pi1[in] = v1[in]
+			}
+			st2, err := s.NextState(st1, pi1)
+			if err != nil {
+				return nil, err
+			}
+			complete := true
+			for _, v := range st2 {
+				if !v.IsKnown() {
+					complete = false
+				}
+			}
+			if !complete {
+				continue
+			}
+			for _, pi2 := range pi2s {
+				v2, err := s.CoreAssign(st2, pi2)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, atpg.TwoPattern{V1: v1, V2: v2})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("seq: unknown mode %v", mode)
+	}
+	return out, nil
+}
+
+// GenerateTest searches the mode's pair space for a test of the core OBD
+// fault.
+func (s *Circuit) GenerateTest(f fault.OBD, mode Mode) (*atpg.TwoPattern, atpg.Status) {
+	space, err := s.PairSpace(mode)
+	if err != nil {
+		return nil, atpg.Aborted
+	}
+	pg := atpg.NewPairGrader(s.Core, space)
+	if i := pg.FirstDetecting(f); i >= 0 {
+		return &space[i], atpg.Detected
+	}
+	return nil, atpg.Untestable
+}
+
+// ModeCoverage grades every OBD fault of the core against the full pair
+// space of one application mode (exhaustive, via the bit-parallel fault
+// simulator).
+func (s *Circuit) ModeCoverage(mode Mode) (atpg.Coverage, error) {
+	space, err := s.PairSpace(mode)
+	if err != nil {
+		return atpg.Coverage{}, err
+	}
+	faults, _ := fault.OBDUniverse(s.Core)
+	pg := atpg.NewPairGrader(s.Core, space)
+	cov := atpg.Coverage{Total: len(faults)}
+	for _, f := range faults {
+		if pg.Detects(f) {
+			cov.Detected++
+		} else {
+			cov.Undetected = append(cov.Undetected, f.String())
+		}
+	}
+	return cov, nil
+}

@@ -1,0 +1,403 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gobd/internal/numeric"
+)
+
+// Options configures the solver. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	RelTol  float64 // relative convergence tolerance on unknowns
+	VnTol   float64 // absolute voltage tolerance (V)
+	AbsTol  float64 // absolute current tolerance on branch unknowns (A)
+	MaxIter int     // Newton iteration limit per solve
+	Gmin    float64 // final minimum junction conductance (S)
+
+	// Adaptive enables delta-V transient step control: the step shrinks
+	// so no node moves more than DVMax per step and grows (up to the
+	// nominal dt) through quiet regions. Edges stay densely sampled —
+	// which is what the 50%-crossing measurements need — while flat tails
+	// cost almost nothing.
+	Adaptive bool
+	DVMax    float64 // max per-node voltage change per step (V); 0 = 0.1
+}
+
+// DefaultOptions returns SPICE-like solver settings.
+func DefaultOptions() *Options {
+	return &Options{
+		RelTol:  1e-3,
+		VnTol:   1e-6,
+		AbsTol:  1e-12,
+		MaxIter: 150,
+		Gmin:    1e-12,
+		DVMax:   0.1,
+	}
+}
+
+// ErrNoConvergence is returned when Newton iteration fails even after the
+// gmin and source-stepping continuation strategies.
+var ErrNoConvergence = errors.New("spice: Newton iteration did not converge")
+
+// Solution is a committed solver result for one bias/timepoint.
+type Solution struct {
+	ckt *Circuit
+	x   []float64
+}
+
+// V returns the voltage of the named node.
+func (s *Solution) V(node string) float64 {
+	id, ok := s.ckt.nodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown node %q", node))
+	}
+	return nodeV(s.x, id)
+}
+
+// VID returns the voltage of a node by ID.
+func (s *Solution) VID(n NodeID) float64 { return nodeV(s.x, n) }
+
+// Raw returns the underlying unknown vector (node voltages then branch
+// currents). Callers must not modify it.
+func (s *Solution) Raw() []float64 { return s.x }
+
+// SourceCurrent returns the branch current of a voltage source (positive
+// flowing from the + terminal through the source to the − terminal).
+func (s *Solution) SourceCurrent(v *VSource) float64 {
+	return s.x[len(s.ckt.nodeNames)-1+v.branch]
+}
+
+// solveContext bundles the per-solve mutable state.
+type solveContext struct {
+	ckt *Circuit
+	opt *Options
+	m   *numeric.Matrix
+	rhs []float64
+}
+
+func newSolveContext(c *Circuit, opt *Options) *solveContext {
+	n := c.matrixSize()
+	return &solveContext{ckt: c, opt: opt, m: numeric.NewMatrix(n), rhs: make([]float64, n)}
+}
+
+// newton runs Newton–Raphson from the starting vector x (modified in
+// place), returning nil on convergence.
+func (sc *solveContext) newton(x []float64, mode analysisMode, t, dt, gmin, gshunt, scale float64) error {
+	c := sc.ckt
+	nNodes := len(c.nodeNames) - 1
+	st := &Stamper{ckt: c, m: sc.m, rhs: sc.rhs, mode: mode, time: t, dt: dt, gmin: gmin, gshunt: gshunt, scale: scale}
+	for iter := 0; iter < sc.opt.MaxIter; iter++ {
+		sc.m.Zero()
+		for i := range sc.rhs {
+			sc.rhs[i] = 0
+		}
+		st.x = x
+		st.limitHit = false
+		for _, d := range c.devices {
+			d.Stamp(st)
+		}
+		// Node-to-ground shunt: keeps the matrix nonsingular for floating
+		// nodes and is the gmin-stepping continuation handle.
+		if gshunt > 0 {
+			for i := 0; i < nNodes; i++ {
+				sc.m.Add(i, i, gshunt)
+			}
+		}
+		lu, err := numeric.Factor(sc.m)
+		if err != nil {
+			return fmt.Errorf("spice: MNA factorization failed: %w", err)
+		}
+		xNew := lu.Solve(sc.rhs)
+		converged := iter > 0 && !st.limitHit
+		for i := 0; i < nNodes; i++ {
+			tol := sc.opt.VnTol + sc.opt.RelTol*math.Max(math.Abs(xNew[i]), math.Abs(x[i]))
+			if math.Abs(xNew[i]-x[i]) > tol {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			for i := nNodes; i < len(x); i++ {
+				tol := sc.opt.AbsTol + sc.opt.RelTol*math.Max(math.Abs(xNew[i]), math.Abs(x[i]))
+				if math.Abs(xNew[i]-x[i]) > tol {
+					converged = false
+					break
+				}
+			}
+		}
+		copy(x, xNew)
+		for i := range x {
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return fmt.Errorf("%w: non-finite iterate", ErrNoConvergence)
+			}
+		}
+		if converged {
+			return nil
+		}
+	}
+	return ErrNoConvergence
+}
+
+// resetLimits re-seeds all device limiting state from x.
+func resetLimits(c *Circuit, x []float64) {
+	for _, d := range c.devices {
+		if ld, ok := d.(limitedDevice); ok {
+			ld.ResetLimit(x)
+		}
+	}
+}
+
+// OperatingPoint solves the DC bias point using gmin stepping with a
+// source-stepping fallback.
+func OperatingPoint(c *Circuit, opt *Options) (*Solution, error) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	sc := newSolveContext(c, opt)
+	x := make([]float64, c.matrixSize())
+	if err := opSolve(sc, x); err != nil {
+		return nil, err
+	}
+	return &Solution{ckt: c, x: x}, nil
+}
+
+// opSolve finds the DC operating point into x (also used by sweeps and the
+// transient initial condition). x is used as the starting guess.
+func opSolve(sc *solveContext, x []float64) error {
+	c, opt := sc.ckt, sc.opt
+	resetLimits(c, x)
+	// Direct attempt from the supplied guess (fast path for warm starts).
+	warm := append([]float64(nil), x...)
+	if err := sc.newton(x, modeDC, 0, 0, opt.Gmin, opt.Gmin, 1); err == nil {
+		return nil
+	}
+	// Gmin stepping: relax junctions with a large shunt, then tighten.
+	copy(x, warm)
+	for i := range x {
+		x[i] = 0
+	}
+	resetLimits(c, x)
+	ok := true
+	for g := 1e-2; g >= opt.Gmin; g /= 10 {
+		if err := sc.newton(x, modeDC, 0, 0, math.Max(g, opt.Gmin), g, 1); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		if err := sc.newton(x, modeDC, 0, 0, opt.Gmin, opt.Gmin, 1); err == nil {
+			return nil
+		}
+	}
+	// Source stepping: ramp all independent sources from zero.
+	for i := range x {
+		x[i] = 0
+	}
+	resetLimits(c, x)
+	steps := 50
+	for i := 1; i <= steps; i++ {
+		scale := float64(i) / float64(steps)
+		if err := sc.newton(x, modeDC, 0, 0, opt.Gmin, opt.Gmin, scale); err != nil {
+			return fmt.Errorf("%w (source stepping failed at scale %.2f)", ErrNoConvergence, scale)
+		}
+	}
+	return nil
+}
+
+// SweepResult holds a DC sweep: one committed solution per sweep value.
+type SweepResult struct {
+	ckt    *Circuit
+	Values []float64
+	Points []*Solution
+}
+
+// V returns the voltage series of the named node across the sweep.
+func (r *SweepResult) V(node string) []float64 {
+	out := make([]float64, len(r.Points))
+	for i, s := range r.Points {
+		out[i] = s.V(node)
+	}
+	return out
+}
+
+// DCSweep steps the waveform of src over [from, to] with the given step and
+// solves the operating point at each value, warm-starting from the previous
+// point. The source's waveform is restored afterwards.
+func DCSweep(c *Circuit, src *VSource, from, to, step float64, opt *Options) (*SweepResult, error) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	if step <= 0 || to < from {
+		return nil, fmt.Errorf("spice: bad sweep range [%g, %g] step %g", from, to, step)
+	}
+	saved := src.Wave
+	defer func() { src.Wave = saved }()
+
+	sc := newSolveContext(c, opt)
+	x := make([]float64, c.matrixSize())
+	res := &SweepResult{ckt: c}
+	for v := from; v <= to+step/2; v += step {
+		src.Wave = DC(v)
+		if err := opSolve(sc, x); err != nil {
+			return nil, fmt.Errorf("spice: DC sweep failed at %g V: %w", v, err)
+		}
+		res.Values = append(res.Values, v)
+		res.Points = append(res.Points, &Solution{ckt: c, x: append([]float64(nil), x...)})
+	}
+	return res, nil
+}
+
+// TranResult holds a transient simulation: a time axis and one committed
+// unknown vector per accepted timepoint.
+type TranResult struct {
+	ckt   *Circuit
+	Times []float64
+	xs    [][]float64
+}
+
+// V returns the voltage series of the named node.
+func (r *TranResult) V(node string) []float64 {
+	id, ok := r.ckt.nodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown node %q", node))
+	}
+	out := make([]float64, len(r.xs))
+	for i, x := range r.xs {
+		out[i] = nodeV(x, id)
+	}
+	return out
+}
+
+// At returns the solution at timepoint index i.
+func (r *TranResult) At(i int) *Solution { return &Solution{ckt: r.ckt, x: r.xs[i]} }
+
+// SourceCurrent returns the branch-current series of a voltage source
+// (positive flowing from the + terminal through the source to −).
+func (r *TranResult) SourceCurrent(v *VSource) []float64 {
+	idx := len(r.ckt.nodeNames) - 1 + v.branch
+	out := make([]float64, len(r.xs))
+	for i, x := range r.xs {
+		out[i] = x[idx]
+	}
+	return out
+}
+
+// ChargeThrough integrates a voltage source's branch current over
+// [t0, t1] by the trapezoidal rule, returning the transported charge in
+// coulombs.
+func (r *TranResult) ChargeThrough(v *VSource, t0, t1 float64) float64 {
+	is := r.SourceCurrent(v)
+	q := 0.0
+	for i := 1; i < len(r.Times); i++ {
+		a, b := r.Times[i-1], r.Times[i]
+		if b <= t0 || a >= t1 {
+			continue
+		}
+		lo, hi := a, b
+		ia, ib := is[i-1], is[i]
+		if lo < t0 {
+			f := (t0 - a) / (b - a)
+			ia = ia + f*(ib-ia)
+			lo = t0
+		}
+		if hi > t1 {
+			f := (t1 - a) / (b - a)
+			ib = is[i-1] + f*(is[i]-is[i-1])
+			hi = t1
+		}
+		q += 0.5 * (ia + ib) * (hi - lo)
+	}
+	return q
+}
+
+// Len returns the number of accepted timepoints.
+func (r *TranResult) Len() int { return len(r.Times) }
+
+// Transient runs a transient analysis from t=0 to tstop with nominal step
+// dt, halving the step (down to dt/1024) on Newton failure. The initial
+// condition is the DC operating point with sources at their t=0 values.
+func Transient(c *Circuit, tstop, dt float64, opt *Options) (*TranResult, error) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	if tstop <= 0 || dt <= 0 {
+		return nil, fmt.Errorf("spice: bad transient range tstop=%g dt=%g", tstop, dt)
+	}
+	sc := newSolveContext(c, opt)
+	x := make([]float64, c.matrixSize())
+	if err := opSolve(sc, x); err != nil {
+		return nil, fmt.Errorf("spice: transient initial operating point: %w", err)
+	}
+	for _, d := range c.devices {
+		if td, ok := d.(transientDevice); ok {
+			td.StartTransient(x)
+		}
+	}
+	res := &TranResult{ckt: c}
+	record := func(t float64) {
+		res.Times = append(res.Times, t)
+		res.xs = append(res.xs, append([]float64(nil), x...))
+	}
+	record(0)
+
+	t := 0.0
+	minDt := dt / 1024
+	maxDt := dt
+	if opt.Adaptive {
+		maxDt = dt * 64
+		minDt = dt / 64
+	}
+	dvMax := opt.DVMax
+	if dvMax <= 0 {
+		dvMax = 0.1
+	}
+	nNodes := len(c.nodeNames) - 1
+	h := dt
+	xTry := make([]float64, len(x))
+	for t < tstop-dt*1e-9 {
+		if t+h > tstop {
+			h = tstop - t
+		}
+		copy(xTry, x)
+		resetLimits(c, xTry)
+		err := sc.newton(xTry, modeTransient, t+h, h, opt.Gmin, opt.Gmin, 1)
+		if err != nil {
+			if h/2 < minDt {
+				return nil, fmt.Errorf("spice: transient stalled at t=%.4g s: %w", t, err)
+			}
+			h /= 2
+			continue
+		}
+		dv := 0.0
+		if opt.Adaptive {
+			for i := 0; i < nNodes; i++ {
+				if d := math.Abs(xTry[i] - x[i]); d > dv {
+					dv = d
+				}
+			}
+			if dv > dvMax && h/2 >= minDt {
+				h /= 2
+				continue
+			}
+		}
+		copy(x, xTry)
+		t += h
+		for _, d := range c.devices {
+			if td, ok := d.(transientDevice); ok {
+				td.AcceptStep(x, h)
+			}
+		}
+		record(t)
+		if opt.Adaptive {
+			if dv < dvMax/4 {
+				h = math.Min(h*1.5, maxDt)
+			}
+		} else if h < dt {
+			h = math.Min(h*2, dt)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package spice
+
+import "fmt"
+
+// Resistor is a linear two-terminal resistance.
+type Resistor struct {
+	name string
+	A, B NodeID
+	R    float64
+}
+
+// AddResistor creates a resistor of r ohms between a and b.
+func (c *Circuit) AddResistor(name string, a, b NodeID, r float64) *Resistor {
+	if r <= 0 {
+		panic(fmt.Sprintf("spice: resistor %s has non-positive resistance %g", name, r))
+	}
+	d := &Resistor{name: name, A: a, B: b, R: r}
+	c.addDevice(d)
+	return d
+}
+
+// DeviceName implements Device.
+func (r *Resistor) DeviceName() string { return r.name }
+
+// Stamp implements Device.
+func (r *Resistor) Stamp(st *Stamper) { st.AddG(r.A, r.B, 1/r.R) }
+
+// SetR changes the resistance (used when sweeping breakdown stages on an
+// already-built circuit).
+func (r *Resistor) SetR(v float64) {
+	if v <= 0 {
+		panic(fmt.Sprintf("spice: resistor %s set to non-positive resistance %g", r.name, v))
+	}
+	r.R = v
+}
+
+// Capacitor is a linear two-terminal capacitance, integrated with the
+// trapezoidal rule in transient analysis and open in DC.
+type Capacitor struct {
+	name string
+	A, B NodeID
+	C    float64
+
+	vPrev float64 // committed voltage at previous timepoint
+	iPrev float64 // committed current at previous timepoint
+}
+
+// AddCapacitor creates a capacitor of f farads between a and b.
+func (c *Circuit) AddCapacitor(name string, a, b NodeID, f float64) *Capacitor {
+	if f < 0 {
+		panic(fmt.Sprintf("spice: capacitor %s has negative capacitance %g", name, f))
+	}
+	d := &Capacitor{name: name, A: a, B: b, C: f}
+	c.addDevice(d)
+	return d
+}
+
+// DeviceName implements Device.
+func (cp *Capacitor) DeviceName() string { return cp.name }
+
+// Stamp implements Device.
+func (cp *Capacitor) Stamp(st *Stamper) {
+	if !st.Transient() || cp.C == 0 {
+		return // open circuit in DC
+	}
+	// Trapezoidal companion: i = geq*v - (geq*vPrev + iPrev).
+	geq := 2 * cp.C / st.Dt()
+	ieq := geq*cp.vPrev + cp.iPrev
+	st.AddG(cp.A, cp.B, geq)
+	st.AddCurrent(cp.A, cp.B, -ieq)
+}
+
+// StartTransient implements transientDevice.
+func (cp *Capacitor) StartTransient(x []float64) {
+	cp.vPrev = nodeV(x, cp.A) - nodeV(x, cp.B)
+	cp.iPrev = 0
+}
+
+// AcceptStep implements transientDevice.
+func (cp *Capacitor) AcceptStep(x []float64, dt float64) {
+	v := nodeV(x, cp.A) - nodeV(x, cp.B)
+	geq := 2 * cp.C / dt
+	cp.iPrev = geq*(v-cp.vPrev) - cp.iPrev
+	cp.vPrev = v
+}
+
+// VSource is an independent voltage source with an arbitrary waveform.
+type VSource struct {
+	name   string
+	P, N   NodeID
+	Wave   Waveform
+	branch int
+}
+
+// AddVSource creates a voltage source forcing V(p)-V(n) = wave(t).
+func (c *Circuit) AddVSource(name string, p, n NodeID, wave Waveform) *VSource {
+	d := &VSource{name: name, P: p, N: n, Wave: wave, branch: c.allocBranch()}
+	c.addDevice(d)
+	return d
+}
+
+// DeviceName implements Device.
+func (v *VSource) DeviceName() string { return v.name }
+
+// Stamp implements Device.
+func (v *VSource) Stamp(st *Stamper) {
+	st.StampVoltageSource(v.branch, v.P, v.N, v.Wave.At(st.Time())*st.SourceScale())
+}
+
+// Branch returns the MNA branch index carrying this source's current.
+func (v *VSource) Branch() int { return v.branch }
+
+// ISource is an independent current source pushing current from P to N
+// through the external circuit (i.e. out of N's terminal into P's).
+type ISource struct {
+	name string
+	P, N NodeID
+	Wave Waveform
+}
+
+// AddISource creates a current source of wave(t) amps flowing from node p
+// through the source to node n (conventional SPICE direction).
+func (c *Circuit) AddISource(name string, p, n NodeID, wave Waveform) *ISource {
+	d := &ISource{name: name, P: p, N: n, Wave: wave}
+	c.addDevice(d)
+	return d
+}
+
+// DeviceName implements Device.
+func (i *ISource) DeviceName() string { return i.name }
+
+// Stamp implements Device.
+func (i *ISource) Stamp(st *Stamper) {
+	st.AddCurrent(i.P, i.N, i.Wave.At(st.Time())*st.SourceScale())
+}
+
+// nodeV reads a node voltage out of a raw solution vector.
+func nodeV(x []float64, n NodeID) float64 {
+	if n == Ground {
+		return 0
+	}
+	return x[int(n)-1]
+}

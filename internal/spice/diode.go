@@ -1,0 +1,134 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Thermal voltage kT/q at 300 K, used by all junction devices.
+const thermalVoltage = 0.025852
+
+// maxExpArg bounds the exponent in junction equations; beyond it the
+// exponential is extended linearly so derivatives stay finite.
+const maxExpArg = 300.0
+
+// DiodeParams holds pn-junction model parameters. The OBD breakdown network
+// manipulates Isat directly — the paper models breakdown progression as an
+// increase in the junction saturation current.
+type DiodeParams struct {
+	Isat float64 // saturation current (A)
+	N    float64 // emission coefficient (ideality factor); 0 means 1
+}
+
+// Diode is a pn junction from anode A to cathode K, using the Shockley
+// equation with SPICE3-style pnjlim junction-voltage limiting for Newton
+// robustness. A gmin conductance is always stamped in parallel.
+type Diode struct {
+	name string
+	A, K NodeID
+	P    DiodeParams
+
+	vLim float64 // limited junction voltage from the previous iterate
+}
+
+// AddDiode creates a diode from anode a to cathode k.
+func (c *Circuit) AddDiode(name string, a, k NodeID, p DiodeParams) *Diode {
+	if p.Isat <= 0 {
+		panic(fmt.Sprintf("spice: diode %s has non-positive Isat %g", name, p.Isat))
+	}
+	if p.N == 0 {
+		p.N = 1
+	}
+	d := &Diode{name: name, A: a, K: k, P: p}
+	c.addDevice(d)
+	return d
+}
+
+// DeviceName implements Device.
+func (d *Diode) DeviceName() string { return d.name }
+
+// SetIsat changes the saturation current (breakdown-stage sweeps).
+func (d *Diode) SetIsat(isat float64) {
+	if isat <= 0 {
+		panic(fmt.Sprintf("spice: diode %s Isat set to non-positive %g", d.name, isat))
+	}
+	d.P.Isat = isat
+}
+
+// vte returns the effective thermal voltage N*Vt.
+func (d *Diode) vte() float64 { return d.P.N * thermalVoltage }
+
+// vcrit returns the critical voltage used by pnjlim.
+func (d *Diode) vcrit() float64 {
+	vte := d.vte()
+	return vte * math.Log(vte/(math.Sqrt2*d.P.Isat))
+}
+
+// ResetLimit implements limitedDevice: seed the limiting state from the
+// starting solution so the first iteration limits against something sane.
+func (d *Diode) ResetLimit(x []float64) {
+	v := nodeV(x, d.A) - nodeV(x, d.K)
+	d.vLim = numericClampDiode(v, d.vcrit())
+}
+
+func numericClampDiode(v, vcrit float64) float64 {
+	if v > vcrit {
+		return vcrit
+	}
+	return v
+}
+
+// pnjlim is the SPICE3 junction-voltage limiting algorithm: it prevents the
+// exponential from exploding between Newton iterations while guaranteeing
+// the limited sequence converges to the true solution.
+func pnjlim(vnew, vold, vt, vcrit float64) float64 {
+	if vnew <= vcrit || math.Abs(vnew-vold) <= 2*vt {
+		return vnew
+	}
+	if vold > 0 {
+		arg := 1 + (vnew-vold)/vt
+		if arg > 0 {
+			return vold + vt*math.Log(arg)
+		}
+		return vcrit
+	}
+	return vt * math.Log(vnew/vt)
+}
+
+// current returns (id, gd) at junction voltage v, with the exponential
+// linearly extended beyond maxExpArg.
+func (d *Diode) current(v float64) (id, gd float64) {
+	vte := d.vte()
+	arg := v / vte
+	if arg > maxExpArg {
+		e := math.Exp(maxExpArg)
+		id = d.P.Isat * (e*(1+arg-maxExpArg) - 1)
+		gd = d.P.Isat * e / vte
+		return id, gd
+	}
+	if arg < -maxExpArg {
+		return -d.P.Isat, d.P.Isat / vte * math.Exp(-maxExpArg)
+	}
+	e := math.Exp(arg)
+	return d.P.Isat * (e - 1), d.P.Isat * e / vte
+}
+
+// Stamp implements Device.
+func (d *Diode) Stamp(st *Stamper) {
+	vraw := st.V(d.A) - st.V(d.K)
+	v := pnjlim(vraw, d.vLim, d.vte(), d.vcrit())
+	st.NoteLimited(vraw, v)
+	d.vLim = v
+	id, gd := d.current(v)
+	g := gd + st.Gmin()
+	ieq := id - gd*v
+	st.AddG(d.A, d.K, g)
+	st.AddCurrent(d.A, d.K, ieq)
+}
+
+// Current returns the diode current for a committed solution vector
+// (observability helper for tests and experiments).
+func (d *Diode) Current(x []float64) float64 {
+	id, _ := d.current(nodeV(x, d.A) - nodeV(x, d.K))
+	return id
+}

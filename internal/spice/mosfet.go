@@ -1,0 +1,234 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// MOSPolarity distinguishes NMOS from PMOS devices.
+type MOSPolarity int
+
+// MOSFET polarities.
+const (
+	NMOS MOSPolarity = iota
+	PMOS
+)
+
+// String implements fmt.Stringer.
+func (p MOSPolarity) String() string {
+	if p == PMOS {
+		return "PMOS"
+	}
+	return "NMOS"
+}
+
+// MOSParams holds Level-1 (Shichman–Hodges) model parameters plus the
+// constant intrinsic capacitances used for timing.
+type MOSParams struct {
+	Polarity MOSPolarity
+	VT0      float64 // threshold voltage magnitude (V), positive for both polarities
+	KP       float64 // transconductance parameter µCox (A/V²)
+	Lambda   float64 // channel-length modulation (1/V)
+	W        float64 // channel width (m)
+	L        float64 // channel length (m)
+	Cgs      float64 // gate-source capacitance (F)
+	Cgd      float64 // gate-drain capacitance (F)
+	Cdb      float64 // drain-bulk junction capacitance (F)
+}
+
+// beta returns KP·W/L.
+func (p *MOSParams) beta() float64 { return p.KP * p.W / p.L }
+
+// MOSFET is a four-terminal Level-1 MOS transistor. The body terminal is
+// used only as the reference for the drain-bulk capacitance and as the
+// attachment point for the OBD substrate resistance; the body effect on
+// threshold voltage is not modeled (gamma = 0), which is sufficient for the
+// rail-tied bulks in static CMOS gates.
+type MOSFET struct {
+	name       string
+	D, G, S, B NodeID
+	P          MOSParams
+
+	// Per-iteration limiting state.
+	vgsLim, vdsLim float64
+
+	// Intrinsic capacitor companion states (trapezoidal).
+	cgs, cgd, cdb capState
+}
+
+type capState struct {
+	vPrev, iPrev float64
+}
+
+// AddMOSFET creates a MOSFET with terminals drain, gate, source, bulk.
+func (c *Circuit) AddMOSFET(name string, d, g, s, b NodeID, p MOSParams) *MOSFET {
+	if p.W <= 0 || p.L <= 0 || p.KP <= 0 {
+		panic(fmt.Sprintf("spice: MOSFET %s needs positive W, L, KP", name))
+	}
+	m := &MOSFET{name: name, D: d, G: g, S: s, B: b, P: p}
+	c.addDevice(m)
+	return m
+}
+
+// DeviceName implements Device.
+func (m *MOSFET) DeviceName() string { return m.name }
+
+// sign returns +1 for NMOS, -1 for PMOS; the PMOS equations are the NMOS
+// equations evaluated on negated terminal voltages.
+func (m *MOSFET) sign() float64 {
+	if m.P.Polarity == PMOS {
+		return -1
+	}
+	return 1
+}
+
+// ids computes the drain-source channel current and its derivatives in the
+// NMOS frame: vgs, vds are already polarity-normalized and vds >= 0.
+func (m *MOSFET) ids(vgs, vds float64) (id, gm, gds float64) {
+	vov := vgs - m.P.VT0
+	if vov <= 0 {
+		return 0, 0, 0 // cutoff; gmin is added by the caller
+	}
+	b := m.P.beta()
+	lam := m.P.Lambda
+	if vds < vov {
+		// Triode region.
+		cl := 1 + lam*vds
+		id = b * (vov*vds - 0.5*vds*vds) * cl
+		gm = b * vds * cl
+		gds = b*(vov-vds)*cl + b*(vov*vds-0.5*vds*vds)*lam
+		return id, gm, gds
+	}
+	// Saturation.
+	cl := 1 + lam*vds
+	id = 0.5 * b * vov * vov * cl
+	gm = b * vov * cl
+	gds = 0.5 * b * vov * vov * lam
+	return id, gm, gds
+}
+
+// ResetLimit implements limitedDevice.
+func (m *MOSFET) ResetLimit(x []float64) {
+	sg := m.sign()
+	m.vgsLim = sg * (nodeV(x, m.G) - nodeV(x, m.S))
+	m.vdsLim = sg * (nodeV(x, m.D) - nodeV(x, m.S))
+}
+
+// limitStep bounds the per-iteration change of a controlling voltage; a
+// simple symmetric clamp is robust for the rail-to-rail digital circuits
+// this simulator targets.
+func limitStep(vnew, vold, maxDelta float64) float64 {
+	if vnew > vold+maxDelta {
+		return vold + maxDelta
+	}
+	if vnew < vold-maxDelta {
+		return vold - maxDelta
+	}
+	return vnew
+}
+
+// Stamp implements Device.
+func (m *MOSFET) Stamp(st *Stamper) {
+	sg := m.sign()
+	vgsRaw := sg * (st.V(m.G) - st.V(m.S))
+	vdsRaw := sg * (st.V(m.D) - st.V(m.S))
+	vgs := limitStep(vgsRaw, m.vgsLim, 1.0)
+	vds := limitStep(vdsRaw, m.vdsLim, 1.0)
+	st.NoteLimited(vgsRaw, vgs)
+	st.NoteLimited(vdsRaw, vds)
+	m.vgsLim, m.vdsLim = vgs, vds
+
+	// Normalize to vds >= 0 by swapping source and drain roles; the
+	// controlling voltage in the swapped frame is vgd.
+	dNode, sNode := m.D, m.S
+	if vds < 0 {
+		dNode, sNode = m.S, m.D
+		vgs -= vds
+		vds = -vds
+	}
+	id, gm, gds := m.ids(vgs, vds)
+
+	// Physical channel current flowing dNode→sNode is sg·id(vgs, vds) with
+	// vgs = sg·(Vg−Vsrc), so dI/dVg = gm and dI/dVd = gds for both
+	// polarities — the two sign factors cancel in the conductance stamps —
+	// while the Newton equivalent current keeps a single sg factor.
+	st.AddG4(dNode, sNode, m.G, sNode, gm)
+	st.AddG(dNode, sNode, gds+st.Gmin())
+	st.AddCurrent(dNode, sNode, sg*(id-gm*vgs-gds*vds))
+
+	// Intrinsic capacitances.
+	if st.Transient() {
+		m.stampCap(st, &m.cgs, m.G, m.S, m.P.Cgs)
+		m.stampCap(st, &m.cgd, m.G, m.D, m.P.Cgd)
+		m.stampCap(st, &m.cdb, m.D, m.B, m.P.Cdb)
+	}
+}
+
+// stampCap stamps one intrinsic capacitance with the trapezoidal companion.
+func (m *MOSFET) stampCap(st *Stamper, cs *capState, a, b NodeID, c float64) {
+	if c == 0 {
+		return
+	}
+	geq := 2 * c / st.Dt()
+	ieq := geq*cs.vPrev + cs.iPrev
+	st.AddG(a, b, geq)
+	st.AddCurrent(a, b, -ieq)
+}
+
+// StartTransient implements transientDevice.
+func (m *MOSFET) StartTransient(x []float64) {
+	m.cgs = capState{vPrev: nodeV(x, m.G) - nodeV(x, m.S)}
+	m.cgd = capState{vPrev: nodeV(x, m.G) - nodeV(x, m.D)}
+	m.cdb = capState{vPrev: nodeV(x, m.D) - nodeV(x, m.B)}
+}
+
+// AcceptStep implements transientDevice.
+func (m *MOSFET) AcceptStep(x []float64, dt float64) {
+	accept := func(cs *capState, a, b NodeID, c float64) {
+		if c == 0 {
+			return
+		}
+		v := nodeV(x, a) - nodeV(x, b)
+		geq := 2 * c / dt
+		cs.iPrev = geq*(v-cs.vPrev) - cs.iPrev
+		cs.vPrev = v
+	}
+	accept(&m.cgs, m.G, m.S, m.P.Cgs)
+	accept(&m.cgd, m.G, m.D, m.P.Cgd)
+	accept(&m.cdb, m.D, m.B, m.P.Cdb)
+}
+
+// ChannelCurrent returns the DC channel current (positive into the drain
+// for NMOS) at a committed solution — an observability helper.
+func (m *MOSFET) ChannelCurrent(x []float64) float64 {
+	sg := m.sign()
+	vgs := sg * (nodeV(x, m.G) - nodeV(x, m.S))
+	vds := sg * (nodeV(x, m.D) - nodeV(x, m.S))
+	flip := 1.0
+	if vds < 0 {
+		vgs -= vds
+		vds = -vds
+		flip = -1
+	}
+	id, _, _ := m.ids(vgs, vds)
+	return sg * flip * id
+}
+
+// OperatingRegion names the DC region for diagnostics.
+func (m *MOSFET) OperatingRegion(x []float64) string {
+	sg := m.sign()
+	vgs := sg * (nodeV(x, m.G) - nodeV(x, m.S))
+	vds := math.Abs(sg * (nodeV(x, m.D) - nodeV(x, m.S)))
+	if vds == 0 {
+		vds = 0
+	}
+	vov := vgs - m.P.VT0
+	switch {
+	case vov <= 0:
+		return "cutoff"
+	case vds < vov:
+		return "triode"
+	default:
+		return "saturation"
+	}
+}

@@ -1,0 +1,97 @@
+package spice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Netlist renders the circuit in a SPICE-deck-like text form — one card
+// per device with node names and parameters. It exists for debuggability
+// and interchange: the decks built programmatically by the cells package
+// can be inspected, diffed, or fed to an external simulator for
+// cross-checking.
+func Netlist(c *Circuit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %d nodes, %d devices\n", c.NumNodes(), len(c.Devices()))
+	for _, d := range c.Devices() {
+		switch dev := d.(type) {
+		case *Resistor:
+			fmt.Fprintf(&b, "R%s %s %s %g\n", dev.name, c.NodeName(dev.A), c.NodeName(dev.B), dev.R)
+		case *Capacitor:
+			fmt.Fprintf(&b, "C%s %s %s %g\n", dev.name, c.NodeName(dev.A), c.NodeName(dev.B), dev.C)
+		case *VSource:
+			fmt.Fprintf(&b, "V%s %s %s %s\n", dev.name, c.NodeName(dev.P), c.NodeName(dev.N), waveString(dev.Wave))
+		case *ISource:
+			fmt.Fprintf(&b, "I%s %s %s %s\n", dev.name, c.NodeName(dev.P), c.NodeName(dev.N), waveString(dev.Wave))
+		case *Diode:
+			fmt.Fprintf(&b, "D%s %s %s IS=%g N=%g\n", dev.name, c.NodeName(dev.A), c.NodeName(dev.K), dev.P.Isat, dev.P.N)
+		case *MOSFET:
+			fmt.Fprintf(&b, "M%s %s %s %s %s %v VT0=%g KP=%g LAMBDA=%g W=%g L=%g\n",
+				dev.name, c.NodeName(dev.D), c.NodeName(dev.G), c.NodeName(dev.S), c.NodeName(dev.B),
+				dev.P.Polarity, dev.P.VT0, dev.P.KP, dev.P.Lambda, dev.P.W, dev.P.L)
+		default:
+			fmt.Fprintf(&b, "* unknown device %s\n", d.DeviceName())
+		}
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}
+
+func waveString(w Waveform) string {
+	switch wf := w.(type) {
+	case DC:
+		return fmt.Sprintf("DC %g", float64(wf))
+	case *PWL:
+		parts := make([]string, 0, 2*len(wf.Points))
+		for _, p := range wf.Points {
+			parts = append(parts, fmt.Sprintf("%g %g", p.T, p.V))
+		}
+		return "PWL(" + strings.Join(parts, " ") + ")"
+	case *Pulse:
+		return fmt.Sprintf("PULSE(%g %g %g %g %g %g %g)",
+			wf.V1, wf.V2, wf.Delay, wf.Rise, wf.Fall, wf.Width, wf.Period)
+	default:
+		return "DC 0"
+	}
+}
+
+// Stats summarizes a circuit's device census by type — a quick structural
+// fingerprint used in logs and tests.
+func Stats(c *Circuit) map[string]int {
+	out := make(map[string]int)
+	for _, d := range c.Devices() {
+		switch d.(type) {
+		case *Resistor:
+			out["R"]++
+		case *Capacitor:
+			out["C"]++
+		case *VSource:
+			out["V"]++
+		case *ISource:
+			out["I"]++
+		case *Diode:
+			out["D"]++
+		case *MOSFET:
+			out["M"]++
+		default:
+			out["?"]++
+		}
+	}
+	return out
+}
+
+// SortedStats renders Stats deterministically.
+func SortedStats(c *Circuit) string {
+	st := Stats(c)
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, st[k]))
+	}
+	return strings.Join(parts, " ")
+}

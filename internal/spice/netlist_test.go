@@ -1,0 +1,46 @@
+package spice
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNetlistRendersAllDeviceTypes(t *testing.T) {
+	p := Default350()
+	c := NewCircuit()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("VDD", vdd, Ground, DC(p.VDD))
+	c.AddVSource("VIN", in, Ground, NewPWL(0, 0, 1e-9, 3.3))
+	c.AddISource("IB", vdd, out, &Pulse{V1: 0, V2: 1e-3, Rise: 1e-9, Fall: 1e-9, Width: 2e-9})
+	c.AddResistor("R1", in, out, 1e3)
+	c.AddCapacitor("C1", out, Ground, 1e-15)
+	c.AddDiode("D1", out, Ground, DiodeParams{Isat: 1e-14})
+	c.AddMOSFET("M1", out, in, Ground, Ground, p.NMOSParams(1e-6))
+	nl := Netlist(c)
+	for _, want := range []string{
+		"RR1 in out 1000", "CC1 out 0 1e-15", "VVDD vdd 0 DC 3.3",
+		"PWL(0 0 1e-09 3.3)", "PULSE(", "DD1 out 0 IS=1e-14",
+		"MM1 out in 0 0 NMOS", ".end",
+	} {
+		if !strings.Contains(nl, want) {
+			t.Fatalf("netlist missing %q:\n%s", want, nl)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := NewCircuit()
+	a := c.Node("a")
+	c.AddVSource("V", a, Ground, DC(1))
+	c.AddResistor("R1", a, Ground, 1)
+	c.AddResistor("R2", a, Ground, 1)
+	st := Stats(c)
+	if st["R"] != 2 || st["V"] != 1 {
+		t.Fatalf("stats %v", st)
+	}
+	if s := SortedStats(c); s != "R=2 V=1" {
+		t.Fatalf("sorted stats %q", s)
+	}
+}

@@ -1,0 +1,68 @@
+package spice
+
+// Process is a synthetic CMOS process card. It plays the role of the
+// 0.35 µm-class, 3.3 V technology behind the paper's HSPICE results: only
+// the relative timing behaviour matters for the reproduction, so the card
+// is calibrated (see cells package tests) to give ≈100 ps fault-free NAND
+// transitions in the Fig. 5 measurement harness.
+type Process struct {
+	VDD       float64 // supply voltage (V)
+	L         float64 // drawn channel length (m)
+	NVT0      float64 // NMOS threshold (V)
+	PVT0      float64 // PMOS threshold magnitude (V)
+	NKP       float64 // NMOS transconductance µnCox (A/V²)
+	PKP       float64 // PMOS transconductance µpCox (A/V²)
+	Lambda    float64 // channel-length modulation (1/V)
+	CoxArea   float64 // gate oxide capacitance per area (F/m²)
+	COverlap  float64 // gate overlap capacitance per width (F/m)
+	CJunction float64 // drain junction capacitance per width (F/m)
+	WNUnit    float64 // default NMOS width (m)
+	WPUnit    float64 // default PMOS width (m)
+	WNStack   float64 // NMOS width used in series stacks (m)
+	WPStack   float64 // PMOS width used in series stacks (m)
+}
+
+// Default350 returns the process card used throughout the reproduction.
+func Default350() *Process {
+	return &Process{
+		VDD:       3.3,
+		L:         0.35e-6,
+		NVT0:      0.60,
+		PVT0:      0.70,
+		NKP:       120e-6,
+		PKP:       45e-6,
+		Lambda:    0.05,
+		CoxArea:   4.6e-3,
+		COverlap:  3.0e-10,
+		CJunction: 8.0e-10,
+		WNUnit:    1.0e-6,
+		WPUnit:    2.0e-6,
+		WNStack:   2.0e-6,
+		WPStack:   4.0e-6,
+	}
+}
+
+// NMOSParams builds Level-1 parameters for an NMOS of width w.
+func (p *Process) NMOSParams(w float64) MOSParams {
+	return p.mos(NMOS, p.NVT0, p.NKP, w)
+}
+
+// PMOSParams builds Level-1 parameters for a PMOS of width w.
+func (p *Process) PMOSParams(w float64) MOSParams {
+	return p.mos(PMOS, p.PVT0, p.PKP, w)
+}
+
+func (p *Process) mos(pol MOSPolarity, vt0, kp, w float64) MOSParams {
+	half := 0.5 * p.CoxArea * w * p.L
+	return MOSParams{
+		Polarity: pol,
+		VT0:      vt0,
+		KP:       kp,
+		Lambda:   p.Lambda,
+		W:        w,
+		L:        p.L,
+		Cgs:      half + p.COverlap*w,
+		Cgd:      half + p.COverlap*w,
+		Cdb:      p.CJunction * w,
+	}
+}

@@ -1,0 +1,247 @@
+// Package spice implements a small SPICE-class analog circuit simulator:
+// modified nodal analysis (MNA) with Newton–Raphson iteration for the
+// nonlinear devices, a DC operating-point solver with gmin and source
+// stepping, DC sweeps, and trapezoidal transient analysis.
+//
+// It exists because the paper reproduced by this repository (Carter, Ozev,
+// Sorin, DATE 2005) derives its results from HSPICE simulations of CMOS
+// gates whose transistors are augmented with a diode–resistor gate-oxide
+// breakdown network. The simulator supports exactly the device set that
+// analysis needs — resistors, capacitors, independent sources, pn-junction
+// diodes and Level-1 MOSFETs — and is deliberately dense-matrix and
+// single-threaded: the largest circuit in the reproduction is ~120 nodes.
+package spice
+
+import (
+	"fmt"
+
+	"gobd/internal/numeric"
+)
+
+// NodeID identifies a circuit node. Ground is always NodeID 0.
+type NodeID int
+
+// Ground is the reference node; its voltage is 0 by definition.
+const Ground NodeID = 0
+
+// analysisMode distinguishes DC (capacitors open) from transient stamping.
+type analysisMode int
+
+const (
+	modeDC analysisMode = iota
+	modeTransient
+)
+
+// Device is the interface all circuit elements implement. Stamp must add
+// the device's linearized contribution for the current Newton iterate into
+// the stamper's matrix and right-hand side.
+type Device interface {
+	// DeviceName returns the instance name (unique within a circuit).
+	DeviceName() string
+	// Stamp adds the device contribution for the current iterate.
+	Stamp(st *Stamper)
+}
+
+// transientDevice is implemented by devices with time-dependent state
+// (capacitors, MOSFET internal capacitances).
+type transientDevice interface {
+	// StartTransient initializes state from the DC operating point x.
+	StartTransient(x []float64)
+	// AcceptStep commits the just-solved timepoint x (step size dt).
+	AcceptStep(x []float64, dt float64)
+}
+
+// limitedDevice is implemented by devices that carry per-iteration limiting
+// state (diodes, MOSFETs). ResetLimit clears it before a fresh solve.
+type limitedDevice interface {
+	ResetLimit(x []float64)
+}
+
+// Circuit is a flat netlist of named nodes and devices.
+type Circuit struct {
+	nodeNames []string
+	nodeIndex map[string]NodeID
+	devices   []Device
+	deviceIdx map[string]int
+	branches  int // number of voltage-source branch currents
+}
+
+// NewCircuit returns an empty circuit containing only the ground node "0".
+func NewCircuit() *Circuit {
+	c := &Circuit{nodeIndex: make(map[string]NodeID), deviceIdx: make(map[string]int)}
+	c.nodeNames = append(c.nodeNames, "0")
+	c.nodeIndex["0"] = Ground
+	return c
+}
+
+// Node returns the NodeID for name, creating the node on first use.
+// The names "0", "gnd" and "GND" all alias the ground node.
+func (c *Circuit) Node(name string) NodeID {
+	if name == "gnd" || name == "GND" {
+		name = "0"
+	}
+	if id, ok := c.nodeIndex[name]; ok {
+		return id
+	}
+	id := NodeID(len(c.nodeNames))
+	c.nodeNames = append(c.nodeNames, name)
+	c.nodeIndex[name] = id
+	return id
+}
+
+// NodeName returns the name of a node.
+func (c *Circuit) NodeName(id NodeID) string { return c.nodeNames[id] }
+
+// NumNodes returns the node count including ground.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// Devices returns the device list in insertion order.
+func (c *Circuit) Devices() []Device { return c.devices }
+
+// Device returns the device with the given instance name, or nil.
+func (c *Circuit) Device(name string) Device {
+	if i, ok := c.deviceIdx[name]; ok {
+		return c.devices[i]
+	}
+	return nil
+}
+
+// addDevice registers a device, panicking on duplicate instance names
+// (a construction bug, not a runtime condition).
+func (c *Circuit) addDevice(d Device) {
+	name := d.DeviceName()
+	if _, dup := c.deviceIdx[name]; dup {
+		panic(fmt.Sprintf("spice: duplicate device name %q", name))
+	}
+	c.deviceIdx[name] = len(c.devices)
+	c.devices = append(c.devices, d)
+}
+
+// allocBranch reserves an MNA branch-current unknown (voltage sources).
+func (c *Circuit) allocBranch() int {
+	b := c.branches
+	c.branches++
+	return b
+}
+
+// matrixSize is the MNA system dimension: non-ground nodes plus branches.
+func (c *Circuit) matrixSize() int { return len(c.nodeNames) - 1 + c.branches }
+
+// Stamper carries the MNA system being assembled for one Newton iteration.
+// Devices read the current iterate through V/Branch and write through
+// AddG/AddRHS and the voltage-source helpers. Ground rows/columns are
+// dropped implicitly: stamps mentioning ground are discarded.
+type Stamper struct {
+	ckt    *Circuit
+	m      *numeric.Matrix
+	rhs    []float64
+	x      []float64 // current iterate: node voltages then branch currents
+	mode   analysisMode
+	time   float64
+	dt     float64
+	gmin   float64 // junction/channel minimum conductance (gmin stepping)
+	gshunt float64 // node-to-ground shunt used only while gmin stepping
+	scale  float64 // independent-source scale factor (source stepping)
+
+	limitHit bool // a device materially limited its controlling voltage
+}
+
+// NoteLimited is called by devices whose controlling voltage was clipped by
+// per-iteration limiting. While limiting is active the iterate can look
+// stationary without satisfying the device equations, so the Newton loop
+// must not declare convergence.
+func (st *Stamper) NoteLimited(vraw, vlim float64) {
+	if d := vraw - vlim; d > 1e-6 || d < -1e-6 {
+		st.limitHit = true
+	}
+}
+
+// V returns the voltage of node n in the current iterate.
+func (st *Stamper) V(n NodeID) float64 {
+	if n == Ground {
+		return 0
+	}
+	return st.x[int(n)-1]
+}
+
+// Branch returns the current of MNA branch b in the current iterate.
+func (st *Stamper) Branch(b int) float64 {
+	return st.x[len(st.ckt.nodeNames)-1+b]
+}
+
+// Gmin returns the active minimum junction conductance.
+func (st *Stamper) Gmin() float64 { return st.gmin }
+
+// SourceScale returns the independent-source scale factor (1 except during
+// source stepping).
+func (st *Stamper) SourceScale() float64 { return st.scale }
+
+// Time returns the transient timepoint being solved (0 in DC).
+func (st *Stamper) Time() float64 { return st.time }
+
+// Dt returns the transient step size (0 in DC).
+func (st *Stamper) Dt() float64 { return st.dt }
+
+// Transient reports whether the stamp is for a transient timepoint.
+func (st *Stamper) Transient() bool { return st.mode == modeTransient }
+
+// row maps a node to its matrix row, or -1 for ground.
+func (st *Stamper) row(n NodeID) int { return int(n) - 1 }
+
+// AddG stamps a conductance g between nodes a and b.
+func (st *Stamper) AddG(a, b NodeID, g float64) {
+	ra, rb := st.row(a), st.row(b)
+	if ra >= 0 {
+		st.m.Add(ra, ra, g)
+	}
+	if rb >= 0 {
+		st.m.Add(rb, rb, g)
+	}
+	if ra >= 0 && rb >= 0 {
+		st.m.Add(ra, rb, -g)
+		st.m.Add(rb, ra, -g)
+	}
+}
+
+// AddG4 stamps a transconductance: current g*(Vc - Vd) flowing into node a
+// and out of node b.
+func (st *Stamper) AddG4(a, b, cNode, dNode NodeID, g float64) {
+	ra, rb, rc, rd := st.row(a), st.row(b), st.row(cNode), st.row(dNode)
+	if ra >= 0 && rc >= 0 {
+		st.m.Add(ra, rc, g)
+	}
+	if ra >= 0 && rd >= 0 {
+		st.m.Add(ra, rd, -g)
+	}
+	if rb >= 0 && rc >= 0 {
+		st.m.Add(rb, rc, -g)
+	}
+	if rb >= 0 && rd >= 0 {
+		st.m.Add(rb, rd, g)
+	}
+}
+
+// AddCurrent stamps a constant current i flowing from node a to node b
+// through the device (i.e. out of a, into b).
+func (st *Stamper) AddCurrent(a, b NodeID, i float64) {
+	if ra := st.row(a); ra >= 0 {
+		st.rhs[ra] -= i
+	}
+	if rb := st.row(b); rb >= 0 {
+		st.rhs[rb] += i
+	}
+}
+
+// StampVoltageSource stamps branch b forcing V(p) - V(n) = v.
+func (st *Stamper) StampVoltageSource(b int, p, n NodeID, v float64) {
+	br := len(st.ckt.nodeNames) - 1 + b
+	if rp := st.row(p); rp >= 0 {
+		st.m.Add(rp, br, 1)
+		st.m.Add(br, rp, 1)
+	}
+	if rn := st.row(n); rn >= 0 {
+		st.m.Add(rn, br, -1)
+		st.m.Add(br, rn, -1)
+	}
+	st.rhs[br] += v
+}

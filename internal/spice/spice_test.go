@@ -1,0 +1,520 @@
+package spice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVoltageDividerOP(t *testing.T) {
+	c := NewCircuit()
+	in := c.Node("in")
+	mid := c.Node("mid")
+	c.AddVSource("V1", in, Ground, DC(10))
+	c.AddResistor("R1", in, mid, 1e3)
+	c.AddResistor("R2", mid, Ground, 3e3)
+	s, err := OperatingPoint(c, nil)
+	if err != nil {
+		t.Fatalf("op: %v", err)
+	}
+	if got := s.V("mid"); math.Abs(got-7.5) > 1e-6 {
+		t.Fatalf("divider mid = %g, want 7.5", got)
+	}
+	// Source current: 10V over 4k = 2.5mA flowing + to - through source.
+	v1 := c.Device("V1").(*VSource)
+	if got := s.SourceCurrent(v1); math.Abs(got+2.5e-3) > 1e-8 {
+		t.Fatalf("source current = %g, want -2.5e-3", got)
+	}
+}
+
+func TestRCTransientMatchesAnalytic(t *testing.T) {
+	// Step a 1V source into R=1k, C=1n: v(t) = 1 - exp(-t/RC), tau = 1 µs.
+	c := NewCircuit()
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("V1", in, Ground, NewPWL(0, 0, 1e-9, 1))
+	c.AddResistor("R1", in, out, 1e3)
+	c.AddCapacitor("C1", out, Ground, 1e-9)
+	res, err := Transient(c, 5e-6, 5e-9, nil)
+	if err != nil {
+		t.Fatalf("tran: %v", err)
+	}
+	vs := res.V("out")
+	tau := 1e-6
+	worst := 0.0
+	for i, tm := range res.Times {
+		if tm < 10e-9 {
+			continue
+		}
+		want := 1 - math.Exp(-(tm-1e-9)/tau)
+		if d := math.Abs(vs[i] - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 5e-3 {
+		t.Fatalf("RC transient max error %g V", worst)
+	}
+	if final := vs[len(vs)-1]; math.Abs(final-1) > 1e-2 {
+		t.Fatalf("RC final value %g, want ~1", final)
+	}
+}
+
+func TestDiodeResistorOP(t *testing.T) {
+	// 5V -> 1k -> diode to ground. Drop should be ~0.7V for Isat=1e-14.
+	c := NewCircuit()
+	in := c.Node("in")
+	a := c.Node("a")
+	c.AddVSource("V1", in, Ground, DC(5))
+	c.AddResistor("R1", in, a, 1e3)
+	d := c.AddDiode("D1", a, Ground, DiodeParams{Isat: 1e-14})
+	s, err := OperatingPoint(c, nil)
+	if err != nil {
+		t.Fatalf("op: %v", err)
+	}
+	vd := s.V("a")
+	if vd < 0.55 || vd > 0.85 {
+		t.Fatalf("diode drop %g V outside [0.55, 0.85]", vd)
+	}
+	// KCL: resistor current equals diode current.
+	ir := (5 - vd) / 1e3
+	id := d.Current(s.Raw())
+	if math.Abs(ir-id)/ir > 1e-3 {
+		t.Fatalf("KCL violated: iR=%g iD=%g", ir, id)
+	}
+}
+
+func TestDiodeReverseBias(t *testing.T) {
+	c := NewCircuit()
+	in := c.Node("in")
+	a := c.Node("a")
+	c.AddVSource("V1", in, Ground, DC(-5))
+	c.AddResistor("R1", in, a, 1e3)
+	c.AddDiode("D1", a, Ground, DiodeParams{Isat: 1e-14})
+	s, err := OperatingPoint(c, nil)
+	if err != nil {
+		t.Fatalf("op: %v", err)
+	}
+	// Essentially all of -5V appears across the diode.
+	if vd := s.V("a"); vd > -4.9 {
+		t.Fatalf("reverse-biased diode should block: v(a)=%g", vd)
+	}
+}
+
+func TestTinyIsatDiodeLargeTurnOn(t *testing.T) {
+	// The OBD model uses extremely small saturation currents; the effective
+	// turn-on voltage then exceeds 1V. 3.3V -> 500Ω -> diode.
+	c := NewCircuit()
+	in := c.Node("in")
+	a := c.Node("a")
+	c.AddVSource("V1", in, Ground, DC(3.3))
+	c.AddResistor("R1", in, a, 500)
+	d := c.AddDiode("D1", a, Ground, DiodeParams{Isat: 2e-28})
+	s, err := OperatingPoint(c, nil)
+	if err != nil {
+		t.Fatalf("op: %v", err)
+	}
+	vd := s.V("a")
+	if vd < 1.2 || vd > 2.2 {
+		t.Fatalf("tiny-Isat diode drop %g V outside [1.2, 2.2]", vd)
+	}
+	if id := d.Current(s.Raw()); id < 1e-3 {
+		t.Fatalf("leakage current %g A, want mA-scale", id)
+	}
+}
+
+func TestNMOSSaturationCurrent(t *testing.T) {
+	p := Default350()
+	c := NewCircuit()
+	vd := c.Node("d")
+	vg := c.Node("g")
+	c.AddVSource("VD", vd, Ground, DC(3.3))
+	c.AddVSource("VG", vg, Ground, DC(2.0))
+	mp := p.NMOSParams(1e-6)
+	mp.Lambda = 0 // exact square law for the check
+	m := c.AddMOSFET("M1", vd, vg, Ground, Ground, mp)
+	s, err := OperatingPoint(c, nil)
+	if err != nil {
+		t.Fatalf("op: %v", err)
+	}
+	beta := mp.KP * mp.W / mp.L
+	want := 0.5 * beta * (2.0 - mp.VT0) * (2.0 - mp.VT0)
+	got := m.ChannelCurrent(s.Raw())
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("Idsat = %g, want %g", got, want)
+	}
+	if r := m.OperatingRegion(s.Raw()); r != "saturation" {
+		t.Fatalf("region %q, want saturation", r)
+	}
+}
+
+func TestPMOSSymmetry(t *testing.T) {
+	// A PMOS biased with mirrored voltages must carry the mirrored current.
+	p := Default350()
+	build := func(pol MOSPolarity) float64 {
+		c := NewCircuit()
+		d := c.Node("d")
+		g := c.Node("g")
+		s := c.Node("s")
+		var mp MOSParams
+		if pol == NMOS {
+			c.AddVSource("VS", s, Ground, DC(0))
+			c.AddVSource("VG", g, Ground, DC(2.5))
+			c.AddVSource("VD", d, Ground, DC(1.0))
+			mp = p.NMOSParams(1e-6)
+		} else {
+			c.AddVSource("VS", s, Ground, DC(0))
+			c.AddVSource("VG", g, Ground, DC(-2.5))
+			c.AddVSource("VD", d, Ground, DC(-1.0))
+			mp = p.PMOSParams(1e-6)
+			mp.VT0 = p.NVT0 // match thresholds for the symmetry check
+			mp.KP = p.NKP
+		}
+		m := c.AddMOSFET("M1", d, g, s, Ground, mp)
+		sol, err := OperatingPoint(c, nil)
+		if err != nil {
+			t.Fatalf("op(%v): %v", pol, err)
+		}
+		return m.ChannelCurrent(sol.Raw())
+	}
+	in := build(NMOS)
+	ip := build(PMOS)
+	if math.Abs(in+ip)/math.Abs(in) > 1e-6 {
+		t.Fatalf("PMOS current %g is not the mirror of NMOS %g", ip, in)
+	}
+}
+
+func TestMOSFETDrainSourceSwap(t *testing.T) {
+	// Driving the "source" above the "drain" must conduct symmetrically.
+	p := Default350()
+	c := NewCircuit()
+	d := c.Node("d")
+	g := c.Node("g")
+	c.AddVSource("VG", g, Ground, DC(3.3))
+	c.AddVSource("VD", d, Ground, DC(-1.0)) // drain below source
+	m := c.AddMOSFET("M1", d, g, Ground, Ground, p.NMOSParams(1e-6))
+	s, err := OperatingPoint(c, nil)
+	if err != nil {
+		t.Fatalf("op: %v", err)
+	}
+	// Current must flow source->drain (negative drain current).
+	if i := m.ChannelCurrent(s.Raw()); i >= 0 {
+		t.Fatalf("expected reverse conduction, got %g", i)
+	}
+}
+
+func buildInverter(t *testing.T, p *Process) (*Circuit, *VSource) {
+	t.Helper()
+	c := NewCircuit()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("VDD", vdd, Ground, DC(p.VDD))
+	vin := c.AddVSource("VIN", in, Ground, DC(0))
+	c.AddMOSFET("MP", out, in, vdd, vdd, p.PMOSParams(p.WPUnit))
+	c.AddMOSFET("MN", out, in, Ground, Ground, p.NMOSParams(p.WNUnit))
+	return c, vin
+}
+
+func TestInverterVTC(t *testing.T) {
+	p := Default350()
+	c, vin := buildInverter(t, p)
+	res, err := DCSweep(c, vin, 0, p.VDD, 0.05, nil)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	out := res.V("out")
+	if out[0] < p.VDD-0.01 {
+		t.Fatalf("VOH %g, want ~%g", out[0], p.VDD)
+	}
+	if last := out[len(out)-1]; last > 0.05 {
+		t.Fatalf("VOL %g, want ~0", last)
+	}
+	// The VTC must be non-increasing (within solver tolerance).
+	for i := 1; i < len(out); i++ {
+		if out[i] > out[i-1]+1e-3 {
+			t.Fatalf("VTC not monotonic at %g V: %g -> %g", res.Values[i], out[i-1], out[i])
+		}
+	}
+	// The switching threshold should be mid-rail-ish.
+	mid := -1.0
+	for i := 1; i < len(out); i++ {
+		if out[i-1] >= p.VDD/2 && out[i] < p.VDD/2 {
+			mid = res.Values[i]
+			break
+		}
+	}
+	if mid < 0.8 || mid > 2.5 {
+		t.Fatalf("switching threshold %g V implausible", mid)
+	}
+}
+
+func TestInverterTransient(t *testing.T) {
+	p := Default350()
+	c := NewCircuit()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("VDD", vdd, Ground, DC(p.VDD))
+	c.AddVSource("VIN", in, Ground, NewPWL(0, 0, 1e-9, 0, 1.05e-9, p.VDD))
+	c.AddMOSFET("MP", out, in, vdd, vdd, p.PMOSParams(p.WPUnit))
+	c.AddMOSFET("MN", out, in, Ground, Ground, p.NMOSParams(p.WNUnit))
+	c.AddCapacitor("CL", out, Ground, 10e-15)
+	res, err := Transient(c, 3e-9, 1e-12, nil)
+	if err != nil {
+		t.Fatalf("tran: %v", err)
+	}
+	vs := res.V("out")
+	if vs[0] < p.VDD-0.05 {
+		t.Fatalf("initial output %g, want ~VDD", vs[0])
+	}
+	if final := vs[len(vs)-1]; final > 0.05 {
+		t.Fatalf("final output %g, want ~0", final)
+	}
+}
+
+func TestPWLWaveform(t *testing.T) {
+	w := NewPWL(0, 0, 1, 1, 2, -1)
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 0}, {2, -1}, {3, -1},
+	}
+	for _, cse := range cases {
+		if got := w.At(cse.t); math.Abs(got-cse.want) > 1e-12 {
+			t.Fatalf("PWL at %g = %g, want %g", cse.t, got, cse.want)
+		}
+	}
+}
+
+func TestPulseWaveform(t *testing.T) {
+	w := &Pulse{V1: 0, V2: 3, Delay: 1, Rise: 1, Fall: 1, Width: 2, Period: 10}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {1, 0}, {1.5, 1.5}, {2, 3}, {3.9, 3}, {4.5, 1.5}, {6, 0},
+		{11.5, 1.5}, // periodic repeat
+	}
+	for _, cse := range cases {
+		if got := w.At(cse.t); math.Abs(got-cse.want) > 1e-9 {
+			t.Fatalf("Pulse at %g = %g, want %g", cse.t, got, cse.want)
+		}
+	}
+}
+
+// TestQuickResistorLadder: random resistive ladders driven by one source —
+// every node voltage must lie within the source range, and KCL must hold at
+// the source (total current equals voltage over equivalent resistance > 0).
+func TestQuickResistorLadder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		c := NewCircuit()
+		prev := c.Node("n0")
+		vsrc := 1 + 9*rng.Float64()
+		c.AddVSource("V", prev, Ground, DC(vsrc))
+		for i := 1; i <= n; i++ {
+			cur := c.Node("n" + string(rune('0'+i)))
+			c.AddResistor("Rs"+string(rune('0'+i)), prev, cur, 100+1e4*rng.Float64())
+			c.AddResistor("Rg"+string(rune('0'+i)), cur, Ground, 100+1e4*rng.Float64())
+			prev = cur
+		}
+		s, err := OperatingPoint(c, nil)
+		if err != nil {
+			return false
+		}
+		for i := 1; i <= n; i++ {
+			v := s.V("n" + string(rune('0'+i)))
+			if v < -1e-9 || v > vsrc+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPWLMonotoneSegments: PWL evaluation stays within the convex hull
+// of its defining values.
+func TestQuickPWLMonotoneSegments(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tv []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		tm := 0.0
+		for i := 0; i < 5; i++ {
+			tm += rng.Float64() + 0.01
+			v := rng.NormFloat64() * 5
+			tv = append(tv, tm, v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		w := NewPWL(tv...)
+		for i := 0; i < 50; i++ {
+			x := rng.Float64() * (tm + 1)
+			v := w.At(x)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateDeviceNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate device name")
+		}
+	}()
+	c := NewCircuit()
+	a := c.Node("a")
+	c.AddResistor("R1", a, Ground, 1)
+	c.AddResistor("R1", a, Ground, 1)
+}
+
+func TestGroundAliases(t *testing.T) {
+	c := NewCircuit()
+	if c.Node("gnd") != Ground || c.Node("GND") != Ground || c.Node("0") != Ground {
+		t.Fatal("ground aliases broken")
+	}
+}
+
+func TestAdaptiveTransientMatchesFixed(t *testing.T) {
+	// The adaptive stepper must agree with the fixed stepper on an RC
+	// charging curve while taking far fewer steps over the flat tail.
+	build := func() *Circuit {
+		c := NewCircuit()
+		in := c.Node("in")
+		out := c.Node("out")
+		c.AddVSource("V1", in, Ground, NewPWL(0, 0, 1e-9, 1))
+		c.AddResistor("R1", in, out, 1e3)
+		c.AddCapacitor("C1", out, Ground, 1e-9)
+		return c
+	}
+	fixed, err := Transient(build(), 5e-6, 5e-9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Adaptive = true
+	opt.DVMax = 0.02
+	adaptive, err := Transient(build(), 5e-6, 5e-9, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Len() >= fixed.Len() {
+		t.Fatalf("adaptive took %d points vs fixed %d", adaptive.Len(), fixed.Len())
+	}
+	// Compare against the analytic curve.
+	va := adaptive.V("out")
+	worst := 0.0
+	for i, tm := range adaptive.Times {
+		if tm < 10e-9 {
+			continue
+		}
+		want := 1 - math.Exp(-(tm-1e-9)/1e-6)
+		if d := math.Abs(va[i] - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2e-2 {
+		t.Fatalf("adaptive transient max error %g", worst)
+	}
+}
+
+func TestAdaptiveInverterDelayAgreesWithFixed(t *testing.T) {
+	// Delay measurements must be step-control independent to within the
+	// measurement tolerance.
+	p := Default350()
+	build := func() *Circuit {
+		c := NewCircuit()
+		vdd := c.Node("vdd")
+		in := c.Node("in")
+		out := c.Node("out")
+		c.AddVSource("VDD", vdd, Ground, DC(p.VDD))
+		c.AddVSource("VIN", in, Ground, NewPWL(0, 0, 0.5e-9, 0, 0.55e-9, p.VDD))
+		c.AddMOSFET("MP", out, in, vdd, vdd, p.PMOSParams(p.WPUnit))
+		c.AddMOSFET("MN", out, in, Ground, Ground, p.NMOSParams(p.WNUnit))
+		c.AddCapacitor("CL", out, Ground, 10e-15)
+		return c
+	}
+	cross := func(res *TranResult) float64 {
+		vs := res.V("out")
+		for i := 1; i < len(res.Times); i++ {
+			if vs[i-1] >= p.VDD/2 && vs[i] < p.VDD/2 {
+				f := (p.VDD/2 - vs[i-1]) / (vs[i] - vs[i-1])
+				return res.Times[i-1] + f*(res.Times[i]-res.Times[i-1])
+			}
+		}
+		return -1
+	}
+	fixed, err := Transient(build(), 2e-9, 1e-12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Adaptive = true
+	opt.DVMax = 0.05
+	adaptive, err := Transient(build(), 2e-9, 1e-12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, ta := cross(fixed), cross(adaptive)
+	if tf < 0 || ta < 0 {
+		t.Fatalf("missing crossings %g %g", tf, ta)
+	}
+	if math.Abs(tf-ta) > 2e-12 {
+		t.Fatalf("delay disagreement: fixed %.1f ps vs adaptive %.1f ps", tf*1e12, ta*1e12)
+	}
+}
+
+func TestChargeThroughRC(t *testing.T) {
+	// Charging C=1nF to 1V through the source moves Q = C·ΔV = 1 nC.
+	c := NewCircuit()
+	in := c.Node("in")
+	out := c.Node("out")
+	v1 := c.AddVSource("V1", in, Ground, NewPWL(0, 0, 1e-9, 1))
+	c.AddResistor("R1", in, out, 1e3)
+	c.AddCapacitor("C1", out, Ground, 1e-9)
+	res, err := Transient(c, 10e-6, 5e-9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch current is negative while the source delivers charge.
+	q := -res.ChargeThrough(v1, 0, 10e-6)
+	if math.Abs(q-1e-9) > 2e-11 {
+		t.Fatalf("delivered charge %.3g C, want 1e-9", q)
+	}
+	// A window before the edge moves (almost) nothing.
+	if q0 := res.ChargeThrough(v1, 0, 0.5e-9); math.Abs(q0) > 1e-12 {
+		t.Fatalf("pre-edge charge %.3g C, want ~0", q0)
+	}
+	// Sub-windows add up to the whole.
+	qa := res.ChargeThrough(v1, 0, 3e-6)
+	qb := res.ChargeThrough(v1, 3e-6, 10e-6)
+	if math.Abs((qa+qb)-res.ChargeThrough(v1, 0, 10e-6)) > 1e-14 {
+		t.Fatal("charge windows do not add up")
+	}
+}
+
+func TestSourceCurrentSeries(t *testing.T) {
+	c := NewCircuit()
+	in := c.Node("in")
+	v1 := c.AddVSource("V1", in, Ground, DC(2))
+	c.AddResistor("R1", in, Ground, 1e3)
+	res, err := Transient(c, 1e-8, 1e-9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is := res.SourceCurrent(v1)
+	if len(is) != res.Len() {
+		t.Fatalf("series length %d vs %d", len(is), res.Len())
+	}
+	for _, i := range is {
+		if math.Abs(i+2e-3) > 1e-6 {
+			t.Fatalf("source current %g, want -2mA", i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package spice
+
+import "sort"
+
+// Waveform describes the time behaviour of an independent source.
+type Waveform interface {
+	// At returns the source value at time t (t=0 is used for DC analyses).
+	At(t float64) float64
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// PWLPoint is one (time, value) corner of a piecewise-linear waveform.
+type PWLPoint struct {
+	T float64
+	V float64
+}
+
+// PWL is a piecewise-linear waveform. Before the first point it holds the
+// first value; after the last point it holds the last value.
+type PWL struct {
+	Points []PWLPoint
+}
+
+// NewPWL builds a PWL waveform from alternating time/value pairs, sorting
+// by time. It panics on an odd argument count (a construction bug).
+func NewPWL(tv ...float64) *PWL {
+	if len(tv)%2 != 0 {
+		panic("spice: NewPWL needs time/value pairs")
+	}
+	p := &PWL{}
+	for i := 0; i < len(tv); i += 2 {
+		p.Points = append(p.Points, PWLPoint{T: tv[i], V: tv[i+1]})
+	}
+	sort.Slice(p.Points, func(i, j int) bool { return p.Points[i].T < p.Points[j].T })
+	return p
+}
+
+// At implements Waveform.
+func (p *PWL) At(t float64) float64 {
+	pts := p.Points
+	if len(pts) == 0 {
+		return 0
+	}
+	if t <= pts[0].T {
+		return pts[0].V
+	}
+	if t >= pts[len(pts)-1].T {
+		return pts[len(pts)-1].V
+	}
+	// Binary search for the segment containing t.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].T > t }) - 1
+	a, b := pts[i], pts[i+1]
+	if b.T == a.T {
+		return b.V
+	}
+	f := (t - a.T) / (b.T - a.T)
+	return a.V + f*(b.V-a.V)
+}
+
+// Pulse is a SPICE-style periodic pulse waveform.
+type Pulse struct {
+	V1     float64 // initial value
+	V2     float64 // pulsed value
+	Delay  float64 // time of first edge start
+	Rise   float64 // rise time
+	Fall   float64 // fall time
+	Width  float64 // pulse width (time at V2)
+	Period float64 // repetition period (0 means single pulse)
+}
+
+// At implements Waveform.
+func (p *Pulse) At(t float64) float64 {
+	t -= p.Delay
+	if t < 0 {
+		return p.V1
+	}
+	if p.Period > 0 {
+		n := int(t / p.Period)
+		t -= float64(n) * p.Period
+	}
+	switch {
+	case t < p.Rise:
+		if p.Rise == 0 {
+			return p.V2
+		}
+		return p.V1 + (p.V2-p.V1)*t/p.Rise
+	case t < p.Rise+p.Width:
+		return p.V2
+	case t < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(t-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V1
+	}
+}

@@ -1,0 +1,288 @@
+// Package timing is an event-driven gate-level timing simulator with
+// transport delays. It exists for the paper's Section 4.2 discussion: an
+// OBD defect manifests as extra transition delay at one gate, so whether a
+// two-pattern test detects it depends on when the outputs are captured —
+// "the detection of this fault may necessitate output capture earlier than
+// the designated clock frequency". The simulator propagates a two-pattern
+// stimulus through a logic circuit, adds a per-fault delay penalty at the
+// defective gate, and reports each net's waveform so a capture-time sweep
+// can be evaluated exactly.
+package timing
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"gobd/internal/logic"
+)
+
+// DelayModel assigns rise/fall propagation delays per gate type.
+type DelayModel struct {
+	Rise map[logic.GateType]float64
+	Fall map[logic.GateType]float64
+}
+
+// DefaultDelays returns a delay model loosely calibrated against the
+// analog cell library (inverters ≈ 35 ps, NAND/NOR ≈ 55/65 ps): only
+// ratios matter for the capture-window experiments.
+func DefaultDelays() *DelayModel {
+	return &DelayModel{
+		Rise: map[logic.GateType]float64{
+			logic.Inv: 35e-12, logic.Buf: 35e-12,
+			logic.Nand: 60e-12, logic.Nor: 75e-12,
+			logic.And: 95e-12, logic.Or: 110e-12,
+			logic.Xor: 120e-12, logic.Xnor: 120e-12,
+			logic.Aoi21: 80e-12, logic.Oai21: 80e-12,
+		},
+		Fall: map[logic.GateType]float64{
+			logic.Inv: 30e-12, logic.Buf: 30e-12,
+			logic.Nand: 55e-12, logic.Nor: 60e-12,
+			logic.And: 90e-12, logic.Or: 100e-12,
+			logic.Xor: 115e-12, logic.Xnor: 115e-12,
+			logic.Aoi21: 75e-12, logic.Oai21: 75e-12,
+		},
+	}
+}
+
+// Delay returns the propagation delay of gate g for an output edge in the
+// given direction.
+func (m *DelayModel) Delay(g *logic.Gate, rising bool) (float64, error) {
+	tbl := m.Fall
+	if rising {
+		tbl = m.Rise
+	}
+	d, ok := tbl[g.Type]
+	if !ok {
+		return 0, fmt.Errorf("timing: no delay for gate type %v", g.Type)
+	}
+	return d, nil
+}
+
+// Penalty is extra delay injected at one gate's output in one transition
+// direction — the gate-level image of an OBD defect at a given breakdown
+// stage (derived from the Table 1 analog measurements).
+type Penalty struct {
+	GateName string
+	Rising   bool    // direction that is slowed
+	Extra    float64 // additional seconds; use Stuck for hard breakdown
+	Stuck    bool    // the slowed transition never completes
+}
+
+// Edge is one value change on a net.
+type Edge struct {
+	T float64
+	V logic.Value
+}
+
+// Trace is the result of a timing simulation: per-net waveforms starting
+// from the settled first-pattern state at t=0⁻.
+type Trace struct {
+	Initial map[string]logic.Value
+	Edges   map[string][]Edge
+}
+
+// At returns the value of a net at time t (edges are effective at their
+// timestamp).
+func (tr *Trace) At(net string, t float64) logic.Value {
+	v := tr.Initial[net]
+	for _, e := range tr.Edges[net] {
+		if e.T > t {
+			break
+		}
+		v = e.V
+	}
+	return v
+}
+
+// SettleTime returns the time of the last edge anywhere in the trace.
+func (tr *Trace) SettleTime() float64 {
+	last := 0.0
+	for _, es := range tr.Edges {
+		if n := len(es); n > 0 && es[n-1].T > last {
+			last = es[n-1].T
+		}
+	}
+	return last
+}
+
+// event is a scheduled net value change.
+type event struct {
+	t   float64
+	seq int // tie-break for determinism
+	net string
+	v   logic.Value
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator runs two-pattern timing simulations over one circuit.
+type Simulator struct {
+	C  *logic.Circuit
+	DM *DelayModel
+}
+
+// New creates a simulator (the circuit must validate).
+func New(c *logic.Circuit, dm *DelayModel) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if dm == nil {
+		dm = DefaultDelays()
+	}
+	for _, g := range c.Gates {
+		if _, err := dm.Delay(g, true); err != nil {
+			return nil, err
+		}
+	}
+	return &Simulator{C: c, DM: dm}, nil
+}
+
+// Run simulates: the circuit settles under v1 (taken as the state at
+// t=0⁻), the inputs change to v2 at t=0, and events propagate with
+// transport delays. penalties (optional) add per-gate directional delay.
+// Both patterns must be complete.
+func (s *Simulator) Run(v1, v2 map[string]logic.Value, penalties []Penalty) (*Trace, error) {
+	for _, in := range s.C.Inputs {
+		a, okA := v1[in]
+		b, okB := v2[in]
+		if !okA || !okB || !a.IsKnown() || !b.IsKnown() {
+			return nil, fmt.Errorf("timing: input %s not fully specified", in)
+		}
+	}
+	pen := make(map[string]Penalty, len(penalties))
+	for _, p := range penalties {
+		if s.C.Driver(p.GateName) == nil && !s.hasGate(p.GateName) {
+			return nil, fmt.Errorf("timing: penalty names unknown gate %q", p.GateName)
+		}
+		pen[p.GateName] = p
+	}
+	init := s.C.Eval(v1, nil)
+	tr := &Trace{Initial: init, Edges: make(map[string][]Edge)}
+	cur := make(map[string]logic.Value, len(init))
+	for k, v := range init {
+		cur[k] = v
+	}
+	// Inertial-delay scheduling: at most one pending (unapplied) event per
+	// net. When a gate re-evaluates, any in-flight event on its output is
+	// superseded — a pulse shorter than the gate delay is filtered, which
+	// is exactly the inertial semantics.
+	var q eventQueue
+	seq := 0
+	pending := make(map[string]int) // net -> seq of its live pending event
+	push := func(t float64, net string, v logic.Value) {
+		pending[net] = seq
+		heap.Push(&q, event{t: t, seq: seq, net: net, v: v})
+		seq++
+	}
+	cancel := func(net string) { delete(pending, net) }
+	for _, in := range s.C.Inputs {
+		if v2[in] != v1[in] {
+			push(0, in, v2[in])
+		}
+	}
+	const maxEvents = 1 << 20
+	processed := 0
+	buf := make([]logic.Value, 0, 4)
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		if live, ok := pending[e.net]; !ok || live != e.seq {
+			continue // superseded
+		}
+		delete(pending, e.net)
+		if processed++; processed > maxEvents {
+			return nil, fmt.Errorf("timing: event budget exceeded (oscillating circuit?)")
+		}
+		if cur[e.net] == e.v {
+			continue
+		}
+		cur[e.net] = e.v
+		tr.Edges[e.net] = append(tr.Edges[e.net], Edge{T: e.t, V: e.v})
+		for _, g := range s.C.Fanout(e.net) {
+			buf = buf[:0]
+			for _, in := range g.Inputs {
+				buf = append(buf, cur[in])
+			}
+			nv := g.Eval(buf)
+			if nv == cur[g.Output] {
+				// The output is already right: filter any in-flight pulse.
+				cancel(g.Output)
+				continue
+			}
+			rising := nv == logic.One
+			d, err := s.DM.Delay(g, rising)
+			if err != nil {
+				return nil, err
+			}
+			if p, ok := pen[g.Name]; ok && p.Rising == rising {
+				if p.Stuck {
+					cancel(g.Output) // the transition never happens
+					continue
+				}
+				d += p.Extra
+			}
+			push(e.t+d, g.Output, nv)
+		}
+	}
+	// Heap pops are time-ordered; keep the per-net invariant explicit.
+	for net := range tr.Edges {
+		es := tr.Edges[net]
+		sort.Slice(es, func(i, j int) bool { return es[i].T < es[j].T })
+	}
+	return tr, nil
+}
+
+func (s *Simulator) hasGate(name string) bool {
+	for _, g := range s.C.Gates {
+		if g.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CriticalPathDelay returns the worst settle time over a set of two-pattern
+// stimuli (the designed capture reference for those tests).
+func (s *Simulator) CriticalPathDelay(stimuli [][2]map[string]logic.Value) (float64, error) {
+	worst := 0.0
+	for _, st := range stimuli {
+		tr, err := s.Run(st[0], st[1], nil)
+		if err != nil {
+			return 0, err
+		}
+		if t := tr.SettleTime(); t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// DetectsAt reports whether capturing the primary outputs at time tCapture
+// distinguishes the faulty trace from the good trace.
+func DetectsAt(c *logic.Circuit, good, faulty *Trace, tCapture float64) bool {
+	for _, po := range c.Outputs {
+		g := good.At(po, tCapture)
+		f := faulty.At(po, tCapture)
+		if g.IsKnown() && f.IsKnown() && g != f {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,283 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gobd/internal/logic"
+)
+
+func mustParse(t *testing.T, src string) *logic.Circuit {
+	t.Helper()
+	c, err := logic.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func pat(c *logic.Circuit, bits ...logic.Value) map[string]logic.Value {
+	m := make(map[string]logic.Value, len(c.Inputs))
+	for i, in := range c.Inputs {
+		m[in] = bits[i]
+	}
+	return m
+}
+
+func TestInverterChainArrival(t *testing.T) {
+	c := mustParse(t, `circuit chain
+input a
+output y
+inv g1 n1 a
+inv g2 n2 n1
+inv g3 y n2
+`)
+	s, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(pat(c, logic.Zero), pat(c, logic.One), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a rises at 0: n1 falls (+30), n2 rises (+35), y falls (+30): 95 ps.
+	dm := DefaultDelays()
+	want := dm.Fall[logic.Inv]*2 + dm.Rise[logic.Inv]
+	es := tr.Edges["y"]
+	if len(es) != 1 {
+		t.Fatalf("y edges = %v", es)
+	}
+	if math.Abs(es[0].T-want) > 1e-15 {
+		t.Fatalf("y arrival %.0f ps, want %.0f ps", es[0].T*1e12, want*1e12)
+	}
+	if es[0].V != logic.Zero {
+		t.Fatalf("y final %v, want 0", es[0].V)
+	}
+	if st := tr.SettleTime(); math.Abs(st-es[0].T) > 1e-15 {
+		t.Fatalf("settle %v", st)
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	tr := &Trace{
+		Initial: map[string]logic.Value{"y": logic.Zero},
+		Edges:   map[string][]Edge{"y": {{T: 10, V: logic.One}, {T: 20, V: logic.Zero}}},
+	}
+	if tr.At("y", 5) != logic.Zero || tr.At("y", 10) != logic.One ||
+		tr.At("y", 15) != logic.One || tr.At("y", 25) != logic.Zero {
+		t.Fatal("At interpolation broken")
+	}
+}
+
+func TestPenaltyAddsDelay(t *testing.T) {
+	c := mustParse(t, `circuit g
+input a b
+output y
+nand g1 n1 a b
+inv g2 y n1
+`)
+	s, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := pat(c, logic.Zero, logic.One)
+	v2 := pat(c, logic.One, logic.One) // n1 falls, y rises
+	good, err := s.Run(v1, v2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := 200e-12
+	bad, err := s.Run(v1, v2, []Penalty{{GateName: "g1", Rising: false, Extra: extra}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gy, by := good.Edges["y"], bad.Edges["y"]
+	if len(gy) != 1 || len(by) != 1 {
+		t.Fatalf("edges %v %v", gy, by)
+	}
+	if d := by[0].T - gy[0].T; math.Abs(d-extra) > 1e-15 {
+		t.Fatalf("penalty propagated as %.0f ps, want %.0f", d*1e12, extra*1e12)
+	}
+	// A penalty in the non-excited direction does nothing.
+	same, err := s.Run(v1, v2, []Penalty{{GateName: "g1", Rising: true, Extra: extra}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Edges["y"][0].T != gy[0].T {
+		t.Fatal("wrong-direction penalty changed timing")
+	}
+}
+
+func TestStuckPenalty(t *testing.T) {
+	c := mustParse(t, `circuit g
+input a b
+output y
+nand g1 y a b
+`)
+	s, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := pat(c, logic.Zero, logic.One)
+	v2 := pat(c, logic.One, logic.One)
+	tr, err := s.Run(v1, v2, []Penalty{{GateName: "g1", Rising: false, Stuck: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Edges["y"]) != 0 {
+		t.Fatalf("stuck gate still transitioned: %v", tr.Edges["y"])
+	}
+	if tr.At("y", 1) != logic.One {
+		t.Fatal("stuck output should hold the old value")
+	}
+}
+
+func TestHazardFiltered(t *testing.T) {
+	// y = AND(a, INV(a)): a rising creates a static-0 hazard candidate.
+	// The input skew (~30 ps) is far below the AND delay (90 ps), so the
+	// inertial simulator must filter the pulse entirely.
+	c := mustParse(t, `circuit hz
+input a
+output y
+inv g1 n1 a
+and g2 y a n1
+`)
+	s, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(pat(c, logic.Zero), pat(c, logic.One), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Edges["y"]) != 0 {
+		t.Fatalf("hazard not filtered: %v", tr.Edges["y"])
+	}
+}
+
+func TestDetectsAtCaptureSweep(t *testing.T) {
+	c := mustParse(t, `circuit g
+input a b
+output y
+nand g1 y a b
+`)
+	s, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := pat(c, logic.Zero, logic.One)
+	v2 := pat(c, logic.One, logic.One)
+	good, err := s.Run(v1, v2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := s.Run(v1, v2, []Penalty{{GateName: "g1", Rising: false, Extra: 100e-12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := good.Edges["y"][0].T
+	// Capture between the good and faulty arrivals: detected.
+	if !DetectsAt(c, good, faulty, nominal+50e-12) {
+		t.Fatal("capture inside the window should detect")
+	}
+	// Capture after the faulty arrival: missed.
+	if DetectsAt(c, good, faulty, nominal+150e-12) {
+		t.Fatal("late capture should miss")
+	}
+	// Capture before the good arrival: nothing distinguishes yet.
+	if DetectsAt(c, good, faulty, nominal-20e-12) {
+		t.Fatal("too-early capture should not detect")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := mustParse(t, "circuit g\ninput a b\noutput y\nnand g1 y a b\n")
+	s, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(map[string]logic.Value{"a": logic.One}, pat(c, logic.One, logic.One), nil); err == nil {
+		t.Fatal("incomplete v1 accepted")
+	}
+	if _, err := s.Run(pat(c, logic.One, logic.One), pat(c, logic.One, logic.Zero),
+		[]Penalty{{GateName: "nope"}}); err == nil {
+		t.Fatal("unknown penalty gate accepted")
+	}
+}
+
+// TestQuickFinalValuesMatchEval: after settling, every net equals the
+// static evaluation of the second pattern, for random circuits and random
+// pattern pairs — the core correctness invariant of the event simulator.
+func TestQuickFinalValuesMatchEval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 1 + rng.Intn(5), Gates: 1 + rng.Intn(30)})
+		s, err := New(c, nil)
+		if err != nil {
+			return false
+		}
+		mk := func() map[string]logic.Value {
+			m := make(map[string]logic.Value, len(c.Inputs))
+			for _, in := range c.Inputs {
+				m[in] = logic.FromBool(rng.Intn(2) == 1)
+			}
+			return m
+		}
+		v1, v2 := mk(), mk()
+		tr, err := s.Run(v1, v2, nil)
+		if err != nil {
+			return false
+		}
+		want := c.Eval(v2, nil)
+		end := tr.SettleTime() + 1
+		for _, net := range c.Nets() {
+			if tr.At(net, end) != want[net] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEdgesOrderedAndAlternating: per-net edge lists are strictly
+// time-ordered and strictly alternating in value.
+func TestQuickEdgesOrderedAndAlternating(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 2 + rng.Intn(4), Gates: 5 + rng.Intn(25)})
+		s, err := New(c, nil)
+		if err != nil {
+			return false
+		}
+		mk := func() map[string]logic.Value {
+			m := make(map[string]logic.Value, len(c.Inputs))
+			for _, in := range c.Inputs {
+				m[in] = logic.FromBool(rng.Intn(2) == 1)
+			}
+			return m
+		}
+		tr, err := s.Run(mk(), mk(), nil)
+		if err != nil {
+			return false
+		}
+		for net, es := range tr.Edges {
+			prevV := tr.Initial[net]
+			prevT := -1.0
+			for _, e := range es {
+				if e.T <= prevT || e.V == prevV {
+					return false
+				}
+				prevT, prevV = e.T, e.V
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package timing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gobd/internal/logic"
+)
+
+// VCD renders a trace as a Value Change Dump viewable in standard waveform
+// viewers. Timescale is 1 ps; nets are emitted in sorted order.
+func VCD(tr *Trace, module string) string {
+	var nets []string
+	for n := range tr.Initial {
+		nets = append(nets, n)
+	}
+	sort.Strings(nets)
+	ids := make(map[string]string, len(nets))
+	for i, n := range nets {
+		ids[n] = vcdID(i)
+	}
+	var b strings.Builder
+	b.WriteString("$timescale 1ps $end\n")
+	fmt.Fprintf(&b, "$scope module %s $end\n", module)
+	for _, n := range nets {
+		fmt.Fprintf(&b, "$var wire 1 %s %s $end\n", ids[n], n)
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+	b.WriteString("#0\n$dumpvars\n")
+	for _, n := range nets {
+		b.WriteString(vcdValue(tr.Initial[n]) + ids[n] + "\n")
+	}
+	b.WriteString("$end\n")
+	// Merge all edges into one time-ordered stream.
+	type change struct {
+		t   float64
+		net string
+		v   logic.Value
+	}
+	var all []change
+	for _, n := range nets {
+		for _, e := range tr.Edges[n] {
+			all = append(all, change{t: e.T, net: n, v: e.V})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].t < all[j].t })
+	last := -1.0
+	for _, ch := range all {
+		ps := int64(ch.t * 1e12)
+		if float64(ps) != last {
+			fmt.Fprintf(&b, "#%d\n", ps)
+			last = float64(ps)
+		}
+		b.WriteString(vcdValue(ch.v) + ids[ch.net] + "\n")
+	}
+	return b.String()
+}
+
+// vcdID builds a compact printable identifier from an index.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(alphabet) {
+		return string(alphabet[i])
+	}
+	return string(alphabet[i%len(alphabet)]) + vcdID(i/len(alphabet)-1)
+}
+
+func vcdValue(v logic.Value) string {
+	switch v {
+	case logic.Zero:
+		return "0"
+	case logic.One:
+		return "1"
+	default:
+		return "x"
+	}
+}

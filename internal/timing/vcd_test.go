@@ -1,0 +1,56 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+
+	"gobd/internal/logic"
+)
+
+func TestVCDOutput(t *testing.T) {
+	c := mustParse(t, `circuit chain
+input a
+output y
+inv g1 n1 a
+inv g2 y n1
+`)
+	s, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(pat(c, logic.Zero), pat(c, logic.One), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := VCD(tr, "chain")
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$scope module chain $end",
+		"$var wire 1",
+		"$dumpvars",
+		"#0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The input edge at t=0 and two gate edges must appear as timestamps.
+	if !strings.Contains(out, "#30") || !strings.Contains(out, "#65") {
+		t.Fatalf("VCD missing expected edge timestamps:\n%s", out)
+	}
+	// All three variables declared.
+	if n := strings.Count(out, "$var wire 1"); n != 3 {
+		t.Fatalf("VCD declares %d nets, want 3", n)
+	}
+}
+
+func TestVCDIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		id := vcdID(i)
+		if id == "" || seen[id] {
+			t.Fatalf("vcdID collision or empty at %d: %q", i, id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,263 @@
+// Package waveform provides time-series containers and the measurement
+// primitives the reproduction uses to turn transient simulations into the
+// paper's numbers: threshold crossings, 50%-to-50% transition delays, and
+// stuck-at classification of outputs that never complete a transition.
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a sampled signal: V[i] observed at T[i], with T strictly
+// increasing.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// New builds a Series, validating that the axes match and time increases.
+func New(name string, t, v []float64) (*Series, error) {
+	if len(t) != len(v) {
+		return nil, fmt.Errorf("waveform: %s: time/value length mismatch %d vs %d", name, len(t), len(v))
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i] <= t[i-1] {
+			return nil, fmt.Errorf("waveform: %s: time axis not increasing at index %d", name, i)
+		}
+	}
+	return &Series{Name: name, T: t, V: v}, nil
+}
+
+// MustNew is New that panics on error (for construction from simulator
+// output, which is increasing by construction).
+func MustNew(name string, t, v []float64) *Series {
+	s, err := New(name, t, v)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// At linearly interpolates the signal value at time t, clamping outside the
+// domain.
+func (s *Series) At(t float64) float64 {
+	n := len(s.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= s.T[0] {
+		return s.V[0]
+	}
+	if t >= s.T[n-1] {
+		return s.V[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (t - s.T[lo]) / (s.T[hi] - s.T[lo])
+	return s.V[lo] + f*(s.V[hi]-s.V[lo])
+}
+
+// Final returns the last sample value.
+func (s *Series) Final() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// Min and Max return the value extremes.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.V {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+// Max returns the largest sample value.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.V {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// Crossing returns the first time at/after tMin where the signal crosses
+// level in the given direction (rising: from below to at-or-above), using
+// linear interpolation between samples. ok is false if no crossing exists.
+func (s *Series) Crossing(level float64, rising bool, tMin float64) (t float64, ok bool) {
+	for i := 1; i < len(s.T); i++ {
+		if s.T[i] < tMin {
+			continue
+		}
+		a, b := s.V[i-1], s.V[i]
+		var hit bool
+		if rising {
+			hit = a < level && b >= level
+		} else {
+			hit = a > level && b <= level
+		}
+		if !hit {
+			continue
+		}
+		tc := s.T[i]
+		if b != a {
+			f := (level - a) / (b - a)
+			tc = s.T[i-1] + f*(s.T[i]-s.T[i-1])
+		}
+		if tc < tMin {
+			continue
+		}
+		return tc, true
+	}
+	return 0, false
+}
+
+// TransitionKind classifies a measured output transition.
+type TransitionKind int
+
+// Transition classifications. StuckHigh/StuckLow mean the output failed to
+// complete the expected transition — the paper reports these as "sa-1" and
+// "sa-0" table entries once breakdown is severe enough.
+const (
+	TransitionOK TransitionKind = iota
+	StuckHigh
+	StuckLow
+)
+
+// String implements fmt.Stringer.
+func (k TransitionKind) String() string {
+	switch k {
+	case StuckHigh:
+		return "sa-1"
+	case StuckLow:
+		return "sa-0"
+	default:
+		return "ok"
+	}
+}
+
+// DelayMeasurement is the result of MeasureTransition.
+type DelayMeasurement struct {
+	Kind    TransitionKind
+	Delay   float64 // 50%-to-50% delay (s); valid when Kind == TransitionOK
+	CrossAt float64 // absolute output crossing time (s)
+}
+
+// MeasureTransition measures the delay from the stimulus 50% crossing to the
+// output 50% crossing. rising refers to the OUTPUT transition direction.
+// If the output never completes the transition (no crossing, or the final
+// value remains on the wrong side of 50%), the result is classified
+// StuckHigh or StuckLow, mirroring the paper's sa-1/sa-0 entries in Table 1.
+func MeasureTransition(stimulus, output *Series, vdd float64, rising bool, tMin float64) (DelayMeasurement, error) {
+	half := vdd / 2
+	// The stimulus edge may be rising or falling; find whichever 50%
+	// crossing occurs first at/after tMin.
+	tr, okr := stimulus.Crossing(half, true, tMin)
+	tf, okf := stimulus.Crossing(half, false, tMin)
+	var t0 float64
+	switch {
+	case okr && okf:
+		t0 = math.Min(tr, tf)
+	case okr:
+		t0 = tr
+	case okf:
+		t0 = tf
+	default:
+		return DelayMeasurement{}, fmt.Errorf("waveform: stimulus %s has no 50%% crossing after %g", stimulus.Name, tMin)
+	}
+	return MeasureTransitionFrom(output, vdd, rising, t0)
+}
+
+// MeasureTransitionFrom measures the output's 50% crossing delay relative
+// to an explicit reference time t0 (e.g. the analytic midpoint of an input
+// edge), with the same stuck-at classification as MeasureTransition.
+func MeasureTransitionFrom(output *Series, vdd float64, rising bool, t0 float64) (DelayMeasurement, error) {
+	half := vdd / 2
+	tOut, ok := output.Crossing(half, rising, t0)
+	if ok {
+		// A crossing alone is not enough: the output must also settle on
+		// the correct side (a glitch that returns does not count).
+		finalOK := (rising && output.Final() >= half) || (!rising && output.Final() <= half)
+		if finalOK {
+			return DelayMeasurement{Kind: TransitionOK, Delay: tOut - t0, CrossAt: tOut}, nil
+		}
+	}
+	if rising {
+		return DelayMeasurement{Kind: StuckLow}, nil
+	}
+	return DelayMeasurement{Kind: StuckHigh}, nil
+}
+
+// CSV renders one or more series sharing a time axis as CSV text. All
+// series are resampled onto the first series' time axis via interpolation.
+func CSV(series ...*Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("t")
+	for _, s := range series {
+		b.WriteString(",")
+		b.WriteString(s.Name)
+	}
+	b.WriteString("\n")
+	for _, t := range series[0].T {
+		fmt.Fprintf(&b, "%.6e", t)
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%.6e", s.At(t))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ASCIIPlot renders the series as a rows×cols character plot — enough to
+// eyeball the reproduced figures from a terminal.
+func ASCIIPlot(s *Series, rows, cols int) string {
+	if s.Len() == 0 || rows < 2 || cols < 2 {
+		return ""
+	}
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	t0, t1 := s.T[0], s.T[s.Len()-1]
+	for c := 0; c < cols; c++ {
+		t := t0 + (t1-t0)*float64(c)/float64(cols-1)
+		v := s.At(t)
+		r := int(math.Round((hi - v) / (hi - lo) * float64(rows-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%.3g, %.3g] V over [%.3g, %.3g] s\n", s.Name, lo, hi, t0, t1)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

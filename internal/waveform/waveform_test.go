@@ -1,0 +1,220 @@
+package waveform
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ramp(name string, n int, f func(t float64) float64) *Series {
+	t := make([]float64, n)
+	v := make([]float64, n)
+	for i := range t {
+		t[i] = float64(i) * 1e-12
+		v[i] = f(t[i])
+	}
+	return MustNew(name, t, v)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", []float64{0, 1}, []float64{0}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := New("x", []float64{0, 0}, []float64{0, 1}); err == nil {
+		t.Fatal("non-increasing time not rejected")
+	}
+	if _, err := New("x", []float64{0, 1}, []float64{0, 1}); err != nil {
+		t.Fatalf("valid series rejected: %v", err)
+	}
+}
+
+func TestAtInterpolation(t *testing.T) {
+	s := MustNew("s", []float64{0, 1, 2}, []float64{0, 10, 0})
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.25, 7.5}, {2, 0}, {3, 0},
+	}
+	for _, c := range cases {
+		if got := s.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCrossing(t *testing.T) {
+	s := MustNew("s", []float64{0, 1, 2, 3}, []float64{0, 2, 0, 2})
+	if x, ok := s.Crossing(1, true, 0); !ok || math.Abs(x-0.5) > 1e-12 {
+		t.Fatalf("rising crossing = %g, %v", x, ok)
+	}
+	if x, ok := s.Crossing(1, false, 0); !ok || math.Abs(x-1.5) > 1e-12 {
+		t.Fatalf("falling crossing = %g, %v", x, ok)
+	}
+	if x, ok := s.Crossing(1, true, 1.0); !ok || math.Abs(x-2.5) > 1e-12 {
+		t.Fatalf("rising crossing after tMin = %g, %v", x, ok)
+	}
+	if _, ok := s.Crossing(5, true, 0); ok {
+		t.Fatal("crossing above range should not exist")
+	}
+}
+
+func TestMeasureTransitionDelay(t *testing.T) {
+	vdd := 3.3
+	stim := ramp("in", 1000, func(x float64) float64 {
+		return vdd * math.Min(1, x/200e-12) // rising, crosses 50% at 100ps
+	})
+	out := ramp("out", 1000, func(x float64) float64 {
+		if x < 250e-12 {
+			return vdd
+		}
+		return vdd * math.Max(0, 1-(x-250e-12)/100e-12) // falls, 50% at 300ps
+	})
+	m, err := MeasureTransition(stim, out, vdd, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != TransitionOK {
+		t.Fatalf("kind %v", m.Kind)
+	}
+	if math.Abs(m.Delay-200e-12) > 2e-12 {
+		t.Fatalf("delay %g, want 200ps", m.Delay)
+	}
+}
+
+func TestMeasureTransitionStuck(t *testing.T) {
+	vdd := 3.3
+	stim := ramp("in", 100, func(x float64) float64 { return vdd * math.Min(1, x/10e-12) })
+	flatHigh := ramp("out", 100, func(float64) float64 { return vdd })
+	m, err := MeasureTransition(stim, flatHigh, vdd, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != StuckHigh {
+		t.Fatalf("kind %v, want sa-1", m.Kind)
+	}
+	if m.Kind.String() != "sa-1" {
+		t.Fatalf("string %q", m.Kind.String())
+	}
+	flatLow := ramp("out2", 100, func(float64) float64 { return 0 })
+	m, err = MeasureTransition(stim, flatLow, vdd, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != StuckLow || m.Kind.String() != "sa-0" {
+		t.Fatalf("kind %v, want sa-0", m.Kind)
+	}
+}
+
+func TestMeasureTransitionGlitchDoesNotCount(t *testing.T) {
+	vdd := 3.3
+	stim := ramp("in", 400, func(x float64) float64 { return vdd * math.Min(1, x/10e-12) })
+	// Output dips below 50% briefly but recovers high: must classify sa-1
+	// for an expected falling transition.
+	out := ramp("out", 400, func(x float64) float64 {
+		if x > 100e-12 && x < 150e-12 {
+			return 0.2
+		}
+		return vdd
+	})
+	m, err := MeasureTransition(stim, out, vdd, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != StuckHigh {
+		t.Fatalf("glitch wrongly accepted as transition: %v", m.Kind)
+	}
+}
+
+func TestMeasureTransitionNoStimulusEdge(t *testing.T) {
+	vdd := 3.3
+	flat := ramp("in", 10, func(float64) float64 { return 0 })
+	out := ramp("out", 10, func(float64) float64 { return vdd })
+	if _, err := MeasureTransition(flat, out, vdd, false, 0); err == nil {
+		t.Fatal("expected error for stimulus without an edge")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := MustNew("a", []float64{0, 1}, []float64{0, 1})
+	b := MustNew("b", []float64{0, 1}, []float64{1, 0})
+	out := CSV(a, b)
+	if !strings.HasPrefix(out, "t,a,b\n") {
+		t.Fatalf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, "0.000000e+00,0.000000e+00,1.000000e+00") {
+		t.Fatalf("csv first row wrong: %q", out)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := ramp("sine", 100, func(x float64) float64 { return math.Sin(x * 1e12) })
+	p := ASCIIPlot(s, 10, 40)
+	if !strings.Contains(p, "*") || !strings.Contains(p, "sine") {
+		t.Fatalf("plot missing content:\n%s", p)
+	}
+	lines := strings.Split(strings.TrimRight(p, "\n"), "\n")
+	if len(lines) != 11 { // header + 10 rows
+		t.Fatalf("plot has %d lines, want 11", len(lines))
+	}
+}
+
+// TestQuickAtWithinHull: interpolation never leaves the sample value hull.
+func TestQuickAtWithinHull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		tt := make([]float64, n)
+		vv := make([]float64, n)
+		acc := 0.0
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range tt {
+			acc += rng.Float64() + 1e-3
+			tt[i] = acc
+			vv[i] = rng.NormFloat64()
+			lo = math.Min(lo, vv[i])
+			hi = math.Max(hi, vv[i])
+		}
+		s := MustNew("q", tt, vv)
+		for k := 0; k < 50; k++ {
+			x := rng.Float64() * (acc + 1)
+			v := s.At(x)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCrossingConsistent: any reported crossing point interpolates to
+// the crossing level.
+func TestQuickCrossingConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		tt := make([]float64, n)
+		vv := make([]float64, n)
+		acc := 0.0
+		for i := range tt {
+			acc += rng.Float64() + 1e-3
+			tt[i] = acc
+			vv[i] = rng.NormFloat64()
+		}
+		s := MustNew("q", tt, vv)
+		level := rng.NormFloat64() * 0.5
+		for _, rising := range []bool{true, false} {
+			if x, ok := s.Crossing(level, rising, 0); ok {
+				if math.Abs(s.At(x)-level) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
