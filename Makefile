@@ -2,16 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build test short bench repro artifacts fuzz clean
+.PHONY: all build vet test test-race short bench repro artifacts fuzz clean
 
-all: build test
+all: build test test-race
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
+
+# The scheduler's determinism contract under the race detector.
+test-race:
+	$(GO) test -race ./...
 
 # Skip the slow analog experiments (seconds instead of a minute).
 short:

@@ -5,6 +5,8 @@
 package gobd_test
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"gobd/internal/atpg"
@@ -221,6 +223,41 @@ func BenchmarkScaleRCA8(b *testing.B) {
 		if par.Detected != ts.Coverage.Detected {
 			b.Fatalf("parallel grading disagrees: %v vs %v", par, ts.Coverage)
 		}
+	}
+}
+
+// BenchmarkGradeOBDWorkers measures multicore fault-simulation scaling on
+// the 16-bit ripple-carry adder: one fixed test set (the generated pairs
+// widened with random complete fills to several 64-lane blocks), graded
+// with pools of 1, 2, 4 and 8 workers. The Coverage is bit-identical at
+// every width; only the wall clock should move.
+func BenchmarkGradeOBDWorkers(b *testing.B) {
+	lc := logic.RippleCarryAdder(16)
+	faults, _ := fault.OBDUniverse(lc)
+	ts := atpg.GenerateOBDTests(lc, faults, nil)
+	tests := ts.Tests
+	rng := rand.New(rand.NewSource(1))
+	for len(tests) < 512 {
+		mk := func() atpg.Pattern {
+			p := make(atpg.Pattern, len(lc.Inputs))
+			for _, in := range lc.Inputs {
+				p[in] = logic.FromBool(rng.Intn(2) == 1)
+			}
+			return p
+		}
+		tests = append(tests, atpg.TwoPattern{V1: mk(), V2: mk()})
+	}
+	want := atpg.NewScheduler(1).GradeOBD(lc, faults, tests)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(w), func(b *testing.B) {
+			s := atpg.NewScheduler(w)
+			for i := 0; i < b.N; i++ {
+				cov := s.GradeOBD(lc, faults, tests)
+				if cov.Detected != want.Detected {
+					b.Fatalf("workers %d: coverage %v, want %v", w, cov, want)
+				}
+			}
+		})
 	}
 }
 

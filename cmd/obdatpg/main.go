@@ -37,11 +37,19 @@ func main() {
 		outFile   = flag.String("o", "", "write the generated vector pairs to this file")
 		applyFile = flag.String("apply", "", "skip generation: grade a saved vector-pair file against the OBD universe")
 		verbose   = flag.Bool("v", false, "print every generated vector")
+		workers   = flag.Int("workers", 0, "fault-simulation worker count (0 = GOMAXPROCS)")
+		stats     = flag.Bool("stats", false, "print per-worker scheduler statistics on exit")
 	)
 	flag.Parse()
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "obdatpg:", err)
 		os.Exit(1)
+	}
+	sched := atpg.NewScheduler(*workers)
+	sched.CollectStats = *stats
+	atpg.SetDefaultScheduler(sched)
+	if *stats {
+		defer printStats(sched)
 	}
 	var lc *logic.Circuit
 	switch {
@@ -80,7 +88,7 @@ func main() {
 			die(err)
 		}
 		faults, _ := fault.OBDUniverse(lc)
-		cov := atpg.GradeOBD(lc, faults, saved)
+		cov := atpg.GradeOBDParallel(lc, faults, saved)
 		fmt.Printf("applied %d saved pairs: OBD coverage %s\n", len(saved), cov)
 		if *verbose {
 			for _, u := range cov.Undetected {
@@ -130,12 +138,12 @@ func main() {
 		if err != nil {
 			die(err)
 		}
+		results, err := s.RunFaults(faults, golden, sched)
+		if err != nil {
+			die(err)
+		}
 		detected, aliased := 0, 0
-		for _, fl := range faults {
-			res, err := s.RunFault(fl, golden)
-			if err != nil {
-				die(err)
-			}
+		for _, res := range results {
 			if res.DetectedCycles > 0 {
 				detected++
 				if res.Aliased {
@@ -166,7 +174,7 @@ func main() {
 	}
 	if *gradeOBD {
 		faults, _ := fault.OBDUniverse(lc)
-		cov := atpg.GradeOBD(lc, faults, pairs)
+		cov := atpg.GradeOBDParallel(lc, faults, pairs)
 		fmt.Printf("OBD universe coverage of this set: %s\n", cov)
 		if *verbose {
 			for _, f := range cov.Undetected {
@@ -187,6 +195,12 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("wrote %d pairs to %s\n", len(pairs), *outFile)
+	}
+}
+
+func printStats(sched *atpg.Scheduler) {
+	for _, ws := range sched.Stats() {
+		fmt.Println("  " + ws.String())
 	}
 }
 

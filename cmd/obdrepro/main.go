@@ -342,8 +342,10 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		outDir   = flag.String("out", "", "also write CSV/VCD/SPICE artifacts for the data figures into this directory")
 		jsonMode = flag.Bool("json", false, "emit a JSON summary instead of the paper-style text")
+		workers  = flag.Int("workers", 0, "fault-simulation worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	atpg.SetDefaultWorkers(*workers)
 	if *outDir != "" {
 		if err := writeArtifacts(*outDir, spice.Default350()); err != nil {
 			fmt.Fprintf(os.Stderr, "obdrepro: artifacts: %v\n", err)

@@ -233,6 +233,11 @@ type (
 	ATPGOptions = atpg.Options
 	// Coverage summarizes a fault-grading run.
 	Coverage = atpg.Coverage
+	// Scheduler is the deterministic worker pool behind the batch graders
+	// and generators.
+	Scheduler = atpg.Scheduler
+	// WorkerStats is one worker's share of a scheduler run.
+	WorkerStats = atpg.WorkerStats
 )
 
 // Test generation and fault simulation.
@@ -247,8 +252,17 @@ var (
 	GenerateStuckAtTests = atpg.GenerateStuckAtTests
 	// DetectsOBD fault-simulates one vector pair against one OBD fault.
 	DetectsOBD = atpg.DetectsOBD
-	// GradeOBD fault-simulates a test set against an OBD fault list.
+	// GradeOBD fault-simulates a test set against an OBD fault list
+	// (scalar reference engine).
 	GradeOBD = atpg.GradeOBD
+	// GradeOBDParallel is the bit-parallel multicore grader; its Coverage
+	// is bit-identical to GradeOBD for any worker count.
+	GradeOBDParallel = atpg.GradeOBDParallel
+	// NewScheduler builds a scheduler with an explicit worker count.
+	NewScheduler = atpg.NewScheduler
+	// SetDefaultWorkers resizes the pool behind the package-level
+	// graders and generators.
+	SetDefaultWorkers = atpg.SetDefaultWorkers
 	// AnalyzeExhaustive enumerates all input transitions of a circuit.
 	AnalyzeExhaustive = atpg.AnalyzeExhaustive
 )

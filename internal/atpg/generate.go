@@ -30,8 +30,15 @@ func GenerateStuckAtTest(c *logic.Circuit, f fault.StuckAt, opt *Options) (Patte
 	if opt == nil {
 		opt = DefaultOptions()
 	}
+	return generateStuckAtTestWith(c, f, opt, guidance(c, opt))
+}
+
+// generateStuckAtTestWith is GenerateStuckAtTest with the SCOAP guidance
+// precomputed, so batch drivers share one testability analysis across
+// faults (and workers).
+func generateStuckAtTestWith(c *logic.Circuit, f fault.StuckAt, opt *Options, tb *logic.Testability) (Pattern, Status) {
 	req := map[string]logic.Value{f.Net: f.V.Not()}
-	e := newPodem(c, req, f.Net, f.V, true, opt.MaxBacktracks, guidance(c, opt))
+	e := newPodem(c, req, f.Net, f.V, true, opt.MaxBacktracks, tb)
 	p, st := e.run()
 	drain(opt, e)
 	if st != Detected {
@@ -49,13 +56,18 @@ func GenerateTransitionTest(c *logic.Circuit, f fault.Transition, opt *Options) 
 	if opt == nil {
 		opt = DefaultOptions()
 	}
+	return generateTransitionTestWith(c, f, opt, guidance(c, opt))
+}
+
+// generateTransitionTestWith is GenerateTransitionTest with the SCOAP
+// guidance precomputed.
+func generateTransitionTestWith(c *logic.Circuit, f fault.Transition, opt *Options, tb *logic.Testability) (*TwoPattern, Status) {
 	var from, to logic.Value
 	if f.Rising {
 		from, to = logic.Zero, logic.One
 	} else {
 		from, to = logic.One, logic.Zero
 	}
-	tb := guidance(c, opt)
 	e2 := newPodem(c, map[string]logic.Value{f.Net: to}, f.Net, from, true, opt.MaxBacktracks, tb)
 	v2, st := e2.run()
 	drain(opt, e2)
@@ -80,11 +92,16 @@ func GenerateOBDTest(c *logic.Circuit, f fault.OBD, opt *Options) (*TwoPattern, 
 	if opt == nil {
 		opt = DefaultOptions()
 	}
+	return generateOBDTestWith(c, f, opt, guidance(c, opt))
+}
+
+// generateOBDTestWith is GenerateOBDTest with the SCOAP guidance
+// precomputed.
+func generateOBDTestWith(c *logic.Circuit, f fault.OBD, opt *Options, tb *logic.Testability) (*TwoPattern, Status) {
 	pairs := f.ExcitationPairs()
 	if len(pairs) == 0 {
 		return nil, Untestable
 	}
-	tb := guidance(c, opt)
 	anyAborted := false
 	for _, pr := range pairs {
 		o1 := f.Gate.Eval(pr.V1)
@@ -162,67 +179,16 @@ type TestSet struct {
 }
 
 // GenerateOBDTests runs the OBD generator over a fault list with optional
-// fault dropping.
+// fault dropping, speculating across the default scheduler's worker pool
+// (results are bit-identical to the sequential loop for any worker count).
 func GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *Options) *TestSet {
-	if opt == nil {
-		opt = DefaultOptions()
-	}
-	ts := &TestSet{}
-	covered := make([]bool, len(faults))
-	for i, f := range faults {
-		if covered[i] {
-			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
-			continue
-		}
-		tp, st := GenerateOBDTest(c, f, opt)
-		res := Result{Fault: f.String(), Status: st}
-		if st == Detected {
-			res.Test = tp
-			ts.Tests = append(ts.Tests, *tp)
-			if opt.FaultDropping {
-				for j := i; j < len(faults); j++ {
-					if !covered[j] && DetectsOBD(c, faults[j], *tp) {
-						covered[j] = true
-					}
-				}
-			}
-		}
-		ts.Results = append(ts.Results, res)
-	}
-	ts.Coverage = GradeOBD(c, faults, ts.Tests)
-	return ts
+	return DefaultScheduler().GenerateOBDTests(c, faults, opt)
 }
 
 // GenerateTransitionTests runs the transition-fault generator over a fault
-// list with optional fault dropping.
+// list with optional fault dropping across the default scheduler's pool.
 func GenerateTransitionTests(c *logic.Circuit, faults []fault.Transition, opt *Options) *TestSet {
-	if opt == nil {
-		opt = DefaultOptions()
-	}
-	ts := &TestSet{}
-	covered := make([]bool, len(faults))
-	for i, f := range faults {
-		if covered[i] {
-			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
-			continue
-		}
-		tp, st := GenerateTransitionTest(c, f, opt)
-		res := Result{Fault: f.String(), Status: st}
-		if st == Detected {
-			res.Test = tp
-			ts.Tests = append(ts.Tests, *tp)
-			if opt.FaultDropping {
-				for j := i; j < len(faults); j++ {
-					if !covered[j] && DetectsTransition(c, faults[j], *tp) {
-						covered[j] = true
-					}
-				}
-			}
-		}
-		ts.Results = append(ts.Results, res)
-	}
-	ts.Coverage = GradeTransition(c, faults, ts.Tests)
-	return ts
+	return DefaultScheduler().GenerateTransitionTests(c, faults, opt)
 }
 
 // StuckAtTestSet is the single-pattern analogue of TestSet.
@@ -233,32 +199,7 @@ type StuckAtTestSet struct {
 }
 
 // GenerateStuckAtTests runs the stuck-at generator over a fault list with
-// optional fault dropping.
+// optional fault dropping across the default scheduler's pool.
 func GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckAt, opt *Options) *StuckAtTestSet {
-	if opt == nil {
-		opt = DefaultOptions()
-	}
-	ts := &StuckAtTestSet{}
-	covered := make([]bool, len(faults))
-	for i, f := range faults {
-		if covered[i] {
-			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
-			continue
-		}
-		p, st := GenerateStuckAtTest(c, f, opt)
-		res := Result{Fault: f.String(), Status: st}
-		if st == Detected {
-			ts.Tests = append(ts.Tests, p)
-			if opt.FaultDropping {
-				for j := i; j < len(faults); j++ {
-					if !covered[j] && DetectsStuckAt(c, faults[j], p) {
-						covered[j] = true
-					}
-				}
-			}
-		}
-		ts.Results = append(ts.Results, res)
-	}
-	ts.Coverage = GradeStuckAt(c, faults, ts.Tests)
-	return ts
+	return DefaultScheduler().GenerateStuckAtTests(c, faults, opt)
 }

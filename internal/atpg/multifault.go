@@ -47,30 +47,21 @@ func DetectsOBDMulti(c *logic.Circuit, fs []fault.OBD, tp TwoPattern) bool {
 	return false
 }
 
-// GradeOBDMulti fault-simulates a test set against a list of fault
-// ENSEMBLES (each a multi-defect scenario).
-func GradeOBDMulti(c *logic.Circuit, ensembles [][]fault.OBD, tests []TwoPattern) Coverage {
-	cov := Coverage{Total: len(ensembles)}
-	for _, fs := range ensembles {
-		hit := false
-		for _, tp := range tests {
-			if DetectsOBDMulti(c, fs, tp) {
-				hit = true
-				break
-			}
+// ensembleName joins the member fault names of a multi-defect scenario.
+func ensembleName(fs []fault.OBD) string {
+	name := ""
+	for i, f := range fs {
+		if i > 0 {
+			name += "+"
 		}
-		if hit {
-			cov.Detected++
-		} else {
-			name := ""
-			for i, f := range fs {
-				if i > 0 {
-					name += "+"
-				}
-				name += f.String()
-			}
-			cov.Undetected = append(cov.Undetected, name)
-		}
+		name += f.String()
 	}
-	return cov
+	return name
+}
+
+// GradeOBDMulti fault-simulates a test set against a list of fault
+// ENSEMBLES (each a multi-defect scenario), sharding the ensemble list
+// across the default scheduler's pool.
+func GradeOBDMulti(c *logic.Circuit, ensembles [][]fault.OBD, tests []TwoPattern) Coverage {
+	return DefaultScheduler().GradeOBDMulti(c, ensembles, tests)
 }

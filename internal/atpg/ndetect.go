@@ -69,15 +69,7 @@ func GenerateNDetectOBDTests(c *logic.Circuit, faults []fault.OBD, n int) *TestS
 }
 
 // DetectionCounts returns, per fault, how many pairs of the test set
-// detect it.
+// detect it, sharding the fault list across the default scheduler's pool.
 func DetectionCounts(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) []int {
-	out := make([]int, len(faults))
-	for fi, f := range faults {
-		for _, tp := range tests {
-			if DetectsOBD(c, f, tp) {
-				out[fi]++
-			}
-		}
-	}
-	return out
+	return DefaultScheduler().DetectionCounts(c, faults, tests)
 }

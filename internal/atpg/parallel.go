@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"math/bits"
+
 	"gobd/internal/fault"
 	"gobd/internal/logic"
 )
@@ -8,26 +10,69 @@ import (
 // This file implements 64-way bit-parallel two-pattern OBD fault
 // simulation: 64 vector pairs are packed into machine words and graded
 // against each fault with bitwise evaluations of both frames, the
-// series-parallel excitation rule and the forced-value faulty frame. It
-// produces exactly the same verdicts as DetectsOBD (see the property
-// test) at a fraction of the cost — the substrate that makes test-set
+// series-parallel excitation rule and the forced-value faulty frame. The
+// packing is dual-rail (a value word plus a known word per net), so
+// partial patterns are carried as X rather than silently coerced to 0 —
+// every lane verdict agrees with DetectsOBD, which rejects unknown local
+// values (see the property test). It is the substrate that makes test-set
 // grading on larger circuits cheap.
 
-// PackPatterns packs up to 64 complete patterns into per-input words
-// (bit k = pattern k).
-func PackPatterns(c *logic.Circuit, pats []Pattern) map[string]uint64 {
+// PackedPatterns is the dual-rail image of up to 64 (possibly partial)
+// patterns: bit k of Val[net] is set when pattern k assigns One, bit k of
+// Known[net] when it assigns Zero or One. Unassigned and X inputs leave
+// both bits clear.
+type PackedPatterns struct {
+	Val, Known map[string]uint64
+}
+
+// laneMask returns the mask selecting the first n of 64 lanes.
+func laneMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// Complete reports whether all n packed patterns assign every input.
+func (pp PackedPatterns) Complete(c *logic.Circuit, n int) bool {
+	full := laneMask(n)
+	for _, in := range c.Inputs {
+		if pp.Known[in]&full != full {
+			return false
+		}
+	}
+	return true
+}
+
+// PackPatterns packs up to 64 patterns into per-input dual-rail words
+// (bit k = pattern k). Incomplete patterns are explicitly X-masked, never
+// coerced to 0: lanes whose local values are unknown at a fault site are
+// excluded from detection exactly as DetectsOBD refuses them.
+func PackPatterns(c *logic.Circuit, pats []Pattern) PackedPatterns {
 	if len(pats) > 64 {
 		panic("atpg: PackPatterns takes at most 64 patterns")
 	}
-	words := make(map[string]uint64, len(c.Inputs))
+	pp := PackedPatterns{
+		Val:   make(map[string]uint64, len(c.Inputs)),
+		Known: make(map[string]uint64, len(c.Inputs)),
+	}
 	for k, p := range pats {
+		bit := uint64(1) << uint(k)
 		for _, in := range c.Inputs {
-			if p[in] == logic.One {
-				words[in] |= 1 << uint(k)
+			v, ok := p[in]
+			if !ok {
+				v = logic.X
+			}
+			switch v {
+			case logic.One:
+				pp.Val[in] |= bit
+				pp.Known[in] |= bit
+			case logic.Zero:
+				pp.Known[in] |= bit
 			}
 		}
 	}
-	return words
+	return pp
 }
 
 // conductBits evaluates series-parallel conduction bitwise over 64
@@ -60,29 +105,32 @@ func conductBits(n *fault.Network, side fault.Side, in []uint64, removed int) ui
 }
 
 // DetectMaskOBD grades one OBD fault against 64 packed vector pairs at
-// once, returning the bitmask of detecting pairs. v1w and v2w are packed
-// complete first/second-frame input words.
-func DetectMaskOBD(c *logic.Circuit, f fault.OBD, v1w, v2w map[string]uint64) uint64 {
-	g1 := c.EvalBits(v1w, nil, nil)
-	g2 := c.EvalBits(v2w, nil, nil)
-	return detectMaskWithEvals(c, f, v1w, v2w, g1, g2)
+// once, returning the bitmask of detecting pairs. v1 and v2 are the packed
+// first/second-frame input words.
+func DetectMaskOBD(c *logic.Circuit, f fault.OBD, v1, v2 PackedPatterns) uint64 {
+	g1v, g1k := c.EvalBits3(v1.Val, v1.Known, nil, nil, nil)
+	g2v, g2k := c.EvalBits3(v2.Val, v2.Known, nil, nil, nil)
+	return detectMaskWithEvals(c, f, v2, g1v, g1k, g2v, g2k)
 }
 
 // detectMaskWithEvals is DetectMaskOBD with the good-machine frame
 // evaluations precomputed (shared across faults by PairGrader).
-func detectMaskWithEvals(c *logic.Circuit, f fault.OBD, v1w, v2w, g1, g2 map[string]uint64) uint64 {
-	_ = v1w
+func detectMaskWithEvals(c *logic.Circuit, f fault.OBD, v2 PackedPatterns, g1v, g1k, g2v, g2k map[string]uint64) uint64 {
 	nets, ok := fault.GateNetworks(f.Gate.Type, len(f.Gate.Inputs))
 	if !ok {
 		return 0
 	}
 	site := f.Gate.Output
-	o1, o2 := g1[site], g2[site]
+	o1, o2 := g1v[site], g2v[site]
 
-	// Local second-frame gate-input words.
+	// Local second-frame gate-input words, and the lanes where every local
+	// value of both frames is known — the bit-parallel image of the
+	// IsKnown rejection in DetectsOBD.
+	localKnown := ^uint64(0)
 	lv2 := make([]uint64, len(f.Gate.Inputs))
 	for i, in := range f.Gate.Inputs {
-		lv2[i] = g2[in]
+		localKnown &= g1k[in] & g2k[in]
+		lv2[i] = g2v[in]
 	}
 	net := nets.PullUp
 	driveMask := o2 // pull-up drives when the new value is 1
@@ -92,37 +140,43 @@ func detectMaskWithEvals(c *logic.Circuit, f fault.OBD, v1w, v2w, g1, g2 map[str
 	}
 	excited := (o1 ^ o2) &
 		driveMask &
+		localKnown &
 		conductBits(net, f.Side, lv2, -1) &
 		^conductBits(net, f.Side, lv2, f.Input)
 	if excited == 0 {
 		return 0
 	}
 	// Faulty frame 2: the site holds its frame-1 value in the excited
-	// lanes.
-	faulty := c.EvalBits(v2w,
+	// lanes (o1 is known there, localKnown being a subset of g1k[site]).
+	fv, fk := c.EvalBits3(v2.Val, v2.Known,
 		map[string]uint64{site: excited},
-		map[string]uint64{site: o1})
+		map[string]uint64{site: o1},
+		map[string]uint64{site: g1k[site]})
 	detected := uint64(0)
 	for _, po := range c.Outputs {
-		detected |= g2[po] ^ faulty[po]
+		detected |= (g2v[po] ^ fv[po]) & g2k[po] & fk[po]
 	}
 	return detected & excited
 }
 
 // PairGrader precomputes the packed blocks and good-machine evaluations of
 // a test set, so many faults can be graded against it cheaply (the good
-// frames are evaluated once per block instead of once per fault).
+// frames are evaluated once per block instead of once per fault). It is
+// immutable after construction and safe for concurrent use by the
+// Scheduler's workers.
 type PairGrader struct {
 	c      *logic.Circuit
 	blocks []gradeBlock
 }
 
 type gradeBlock struct {
-	v1w, v2w, g1, g2 map[string]uint64
-	n                int
+	v2       PackedPatterns
+	g1v, g1k map[string]uint64
+	g2v, g2k map[string]uint64
+	n        int
 }
 
-// NewPairGrader packs complete vector pairs into 64-wide blocks.
+// NewPairGrader packs vector pairs into 64-wide dual-rail blocks.
 func NewPairGrader(c *logic.Circuit, tests []TwoPattern) *PairGrader {
 	pg := &PairGrader{c: c}
 	for start := 0; start < len(tests); start += 64 {
@@ -136,9 +190,10 @@ func NewPairGrader(c *logic.Circuit, tests []TwoPattern) *PairGrader {
 			v1s = append(v1s, tp.V1)
 			v2s = append(v2s, tp.V2)
 		}
-		b := gradeBlock{v1w: PackPatterns(c, v1s), v2w: PackPatterns(c, v2s), n: end - start}
-		b.g1 = c.EvalBits(b.v1w, nil, nil)
-		b.g2 = c.EvalBits(b.v2w, nil, nil)
+		v1 := PackPatterns(c, v1s)
+		b := gradeBlock{v2: PackPatterns(c, v2s), n: end - start}
+		b.g1v, b.g1k = c.EvalBits3(v1.Val, v1.Known, nil, nil, nil)
+		b.g2v, b.g2k = c.EvalBits3(b.v2.Val, b.v2.Known, nil, nil, nil)
 		pg.blocks = append(pg.blocks, b)
 	}
 	return pg
@@ -152,36 +207,19 @@ func (pg *PairGrader) Detects(f fault.OBD) bool {
 // FirstDetecting returns the index of the first detecting pair, or -1.
 func (pg *PairGrader) FirstDetecting(f fault.OBD) int {
 	for bi, b := range pg.blocks {
-		mask := detectMaskWithEvals(pg.c, f, b.v1w, b.v2w, b.g1, b.g2)
-		if b.n < 64 {
-			mask &= (uint64(1) << uint(b.n)) - 1
-		}
+		mask := detectMaskWithEvals(pg.c, f, b.v2, b.g1v, b.g1k, b.g2v, b.g2k)
+		mask &= laneMask(b.n)
 		if mask != 0 {
-			lane := 0
-			for mask&1 == 0 {
-				mask >>= 1
-				lane++
-			}
-			return bi*64 + lane
+			return bi*64 + bits.TrailingZeros64(mask)
 		}
 	}
 	return -1
 }
 
 // GradeOBDParallel fault-simulates a test set against an OBD fault list
-// using the 64-way engine; it returns the same Coverage as GradeOBD.
+// using the 64-way engine sharded across the default scheduler's worker
+// pool; it returns the same Coverage as GradeOBD (including the order of
+// Undetected) for any worker count.
 func GradeOBDParallel(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) Coverage {
-	cov := Coverage{Total: len(faults)}
-	if len(faults) == 0 {
-		return cov
-	}
-	pg := NewPairGrader(c, tests)
-	for _, f := range faults {
-		if pg.Detects(f) {
-			cov.Detected++
-		} else {
-			cov.Undetected = append(cov.Undetected, f.String())
-		}
-	}
-	return cov
+	return DefaultScheduler().GradeOBD(c, faults, tests)
 }

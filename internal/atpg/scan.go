@@ -95,28 +95,9 @@ type LOSResult struct {
 }
 
 // GenerateLOSTests runs the LOS generator over a fault list with fault
-// dropping.
+// dropping across the default scheduler's pool; the final set is graded
+// with the (now X-aware) bit-parallel engine, so dropped-fault bookkeeping
+// and the returned Coverage come from the same verdicts.
 func GenerateLOSTests(c *logic.Circuit, faults []fault.OBD, opt *LOSOptions) *LOSResult {
-	if opt == nil {
-		opt = DefaultLOSOptions()
-	}
-	out := &LOSResult{Exact: len(c.Inputs) <= opt.ExhaustiveMaxIn}
-	covered := make([]bool, len(faults))
-	for i, f := range faults {
-		if covered[i] {
-			continue
-		}
-		tp, st := GenerateLOSTest(c, f, opt)
-		if st != Detected {
-			continue
-		}
-		out.Tests = append(out.Tests, *tp)
-		for j := i; j < len(faults); j++ {
-			if !covered[j] && DetectsOBD(c, faults[j], *tp) {
-				covered[j] = true
-			}
-		}
-	}
-	out.Coverage = GradeOBD(c, faults, out.Tests)
-	return out
+	return DefaultScheduler().GenerateLOSTests(c, faults, opt)
 }

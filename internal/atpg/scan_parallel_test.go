@@ -78,7 +78,9 @@ func TestGradeOBDParallelMatchesOnFullAdderTests(t *testing.T) {
 }
 
 // TestQuickParallelMatchesScalar: the 64-way fault simulator agrees with
-// DetectsOBD lane by lane on random circuits and random complete pairs.
+// DetectsOBD lane by lane on random circuits and random pairs — including
+// PARTIAL patterns, whose unassigned/X inputs must be X-masked rather than
+// coerced to 0.
 func TestQuickParallelMatchesScalar(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -90,7 +92,14 @@ func TestQuickParallelMatchesScalar(t *testing.T) {
 		mk := func() Pattern {
 			p := make(Pattern, len(c.Inputs))
 			for _, in := range c.Inputs {
-				p[in] = logic.FromBool(rng.Intn(2) == 1)
+				switch rng.Intn(8) {
+				case 0:
+					// leave unassigned (evaluates as X)
+				case 1:
+					p[in] = logic.X
+				default:
+					p[in] = logic.FromBool(rng.Intn(2) == 1)
+				}
 			}
 			return p
 		}

@@ -1,0 +1,647 @@
+package atpg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// This file is the goroutine-parallel driver layer over the scalar and
+// 64-way bit-parallel fault-simulation substrates. A Scheduler shards
+// fault lists (and the speculative test-generation work) across a worker
+// pool with a determinism contract: every method returns results
+// bit-identical to the single-worker sequential path regardless of worker
+// count. The contract holds because
+//
+//   - shards are index ranges pulled from an atomic cursor, and each
+//     worker writes only the result slots of its own range;
+//   - merges walk the slots in input order, so Coverage.Undetected, test
+//     lists and Results keep the sequential ordering;
+//   - the generation loops commit strictly in fault order: tests are
+//     produced speculatively in parallel, but a speculated test whose
+//     fault turns out to be drop-covered by an earlier committed test is
+//     discarded — exactly the test the sequential loop never generates.
+
+// WorkerStats aggregates one worker's share of the work.
+type WorkerStats struct {
+	Worker int           // worker index within the pool
+	Items  int64         // faults graded / generation attempts
+	Pairs  int64         // pattern(-pair) simulations, bit-parallel lanes counted individually
+	Busy   time.Duration // wall time spent inside work chunks
+}
+
+// String implements fmt.Stringer.
+func (ws WorkerStats) String() string {
+	return fmt.Sprintf("worker %d: %d items, %d pair-sims, busy %s",
+		ws.Worker, ws.Items, ws.Pairs, ws.Busy.Round(time.Microsecond))
+}
+
+// Scheduler is a deterministic multicore fault-simulation and ATPG
+// driver. The zero value is ready to use and sizes the pool to
+// runtime.GOMAXPROCS(0). A Scheduler may be reused across calls; the
+// methods themselves must not be invoked concurrently with each other
+// when CollectStats is set (the counters are merged under a mutex, but
+// interleaved runs would blur attribution).
+type Scheduler struct {
+	Workers      int  // pool size; <=0 means runtime.GOMAXPROCS(0)
+	ChunkSize    int  // faults per work unit; <=0 picks a per-call grain
+	CollectStats bool // accumulate per-worker counters (see Stats)
+
+	mu    sync.Mutex
+	stats []WorkerStats
+}
+
+// NewScheduler returns a scheduler with the given worker count
+// (0 = all cores).
+func NewScheduler(workers int) *Scheduler { return &Scheduler{Workers: workers} }
+
+var (
+	defaultMu    sync.Mutex
+	defaultSched = &Scheduler{}
+)
+
+// DefaultScheduler returns the process-wide scheduler used by the
+// package-level grading and generation functions.
+func DefaultScheduler() *Scheduler {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return defaultSched
+}
+
+// SetDefaultScheduler replaces the process-wide scheduler (nil restores a
+// GOMAXPROCS-sized default). Call it before starting work, not during.
+func SetDefaultScheduler(s *Scheduler) {
+	if s == nil {
+		s = &Scheduler{}
+	}
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultSched = s
+}
+
+// SetDefaultWorkers resizes the process-wide scheduler's pool
+// (0 restores GOMAXPROCS sizing).
+func SetDefaultWorkers(n int) { SetDefaultScheduler(&Scheduler{Workers: n}) }
+
+// WorkerCount returns the effective pool size.
+func (s *Scheduler) WorkerCount() int {
+	if s == nil || s.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Workers
+}
+
+// Stats returns a copy of the accumulated per-worker counters (empty
+// unless CollectStats is set).
+func (s *Scheduler) Stats() []WorkerStats {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]WorkerStats(nil), s.stats...)
+}
+
+// ResetStats clears the accumulated counters.
+func (s *Scheduler) ResetStats() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = nil
+}
+
+func (s *Scheduler) record(wk int, ws WorkerStats) {
+	if s == nil || !s.CollectStats {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.stats) <= wk {
+		s.stats = append(s.stats, WorkerStats{Worker: len(s.stats)})
+	}
+	s.stats[wk].Items += ws.Items
+	s.stats[wk].Pairs += ws.Pairs
+	s.stats[wk].Busy += ws.Busy
+}
+
+// gradeGrain picks a chunk size amortizing cursor contention without
+// starving the tail of the pool.
+func gradeGrain(n, workers int) int {
+	g := n / (8 * workers)
+	if g < 1 {
+		g = 1
+	}
+	if g > 256 {
+		g = 256
+	}
+	return g
+}
+
+// run partitions [0,n) into chunks pulled from an atomic cursor by the
+// pool. fn must write only to per-index state within [lo,hi); under that
+// discipline the overall result is independent of scheduling order.
+func (s *Scheduler) run(n, grain int, fn func(lo, hi int, ws *WorkerStats)) {
+	if n <= 0 {
+		return
+	}
+	w := s.WorkerCount()
+	if w > n {
+		w = n
+	}
+	chunk := grain
+	if s != nil && s.ChunkSize > 0 {
+		chunk = s.ChunkSize
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if w <= 1 {
+		var ws WorkerStats
+		start := time.Now()
+		fn(0, n, &ws)
+		ws.Busy += time.Since(start)
+		s.record(0, ws)
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			var ws WorkerStats
+			for {
+				hi := int(atomic.AddInt64(&next, int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					break
+				}
+				if hi > n {
+					hi = n
+				}
+				start := time.Now()
+				fn(lo, hi, &ws)
+				ws.Busy += time.Since(start)
+			}
+			s.record(wk, ws)
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0,n) across the pool. fn must only
+// write to per-index state; under that discipline the result is
+// deterministic for any worker count.
+func (s *Scheduler) ForEach(n int, fn func(i int)) {
+	s.run(n, gradeGrain(n, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+			ws.Items++
+		}
+	})
+}
+
+// mustValid levelizes the circuit up-front so the workers never race on
+// the lazy validation cache.
+func mustValid(c *logic.Circuit) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// mergeCoverage folds per-fault verdict slots into a Coverage, keeping
+// the fault-list order of Undetected.
+func mergeCoverage(det []bool, name func(i int) string) Coverage {
+	cov := Coverage{Total: len(det)}
+	for i, d := range det {
+		if d {
+			cov.Detected++
+		} else {
+			cov.Undetected = append(cov.Undetected, name(i))
+		}
+	}
+	return cov
+}
+
+// GradeOBD fault-simulates a test set against an OBD fault list with the
+// 64-way bit-parallel engine sharded across the pool. The Coverage —
+// including the order of Undetected — is identical to the scalar GradeOBD
+// for any worker count.
+func (s *Scheduler) GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) Coverage {
+	if len(faults) == 0 {
+		return Coverage{Total: 0}
+	}
+	mustValid(c)
+	pg := NewPairGrader(c, tests)
+	det := make([]bool, len(faults))
+	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			idx := pg.FirstDetecting(faults[i])
+			det[i] = idx >= 0
+			ws.Items++
+			if idx >= 0 {
+				ws.Pairs += int64(idx + 1)
+			} else {
+				ws.Pairs += int64(len(tests))
+			}
+		}
+	})
+	return mergeCoverage(det, func(i int) string { return faults[i].String() })
+}
+
+// GradeTransition fault-simulates a test set against transition faults,
+// sharding the fault list across the pool.
+func (s *Scheduler) GradeTransition(c *logic.Circuit, faults []fault.Transition, tests []TwoPattern) Coverage {
+	if len(faults) == 0 {
+		return Coverage{Total: 0}
+	}
+	mustValid(c)
+	det := make([]bool, len(faults))
+	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			scanned := len(tests)
+			for ti, tp := range tests {
+				if DetectsTransition(c, faults[i], tp) {
+					det[i] = true
+					scanned = ti + 1
+					break
+				}
+			}
+			ws.Items++
+			ws.Pairs += int64(scanned)
+		}
+	})
+	return mergeCoverage(det, func(i int) string { return faults[i].String() })
+}
+
+// GradeStuckAt fault-simulates single patterns against stuck-at faults,
+// sharding the fault list across the pool.
+func (s *Scheduler) GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests []Pattern) Coverage {
+	if len(faults) == 0 {
+		return Coverage{Total: 0}
+	}
+	mustValid(c)
+	det := make([]bool, len(faults))
+	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			scanned := len(tests)
+			for ti, p := range tests {
+				if DetectsStuckAt(c, faults[i], p) {
+					det[i] = true
+					scanned = ti + 1
+					break
+				}
+			}
+			ws.Items++
+			ws.Pairs += int64(scanned)
+		}
+	})
+	return mergeCoverage(det, func(i int) string { return faults[i].String() })
+}
+
+// GradeOBDMulti fault-simulates a test set against multi-defect
+// ensembles, sharding the ensemble list across the pool.
+func (s *Scheduler) GradeOBDMulti(c *logic.Circuit, ensembles [][]fault.OBD, tests []TwoPattern) Coverage {
+	if len(ensembles) == 0 {
+		return Coverage{Total: 0}
+	}
+	mustValid(c)
+	det := make([]bool, len(ensembles))
+	s.run(len(ensembles), gradeGrain(len(ensembles), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			scanned := len(tests)
+			for ti, tp := range tests {
+				if DetectsOBDMulti(c, ensembles[i], tp) {
+					det[i] = true
+					scanned = ti + 1
+					break
+				}
+			}
+			ws.Items++
+			ws.Pairs += int64(scanned)
+		}
+	})
+	return mergeCoverage(det, func(i int) string { return ensembleName(ensembles[i]) })
+}
+
+// DetectionCounts returns, per fault, how many pairs of the test set
+// detect it, sharding the fault list across the pool.
+func (s *Scheduler) DetectionCounts(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) []int {
+	out := make([]int, len(faults))
+	if len(faults) == 0 {
+		return out
+	}
+	mustValid(c)
+	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			for _, tp := range tests {
+				if DetectsOBD(c, faults[i], tp) {
+					out[i]++
+				}
+			}
+			ws.Items++
+			ws.Pairs += int64(len(tests))
+		}
+	})
+	return out
+}
+
+// AnalyzeExhaustive runs the full-enumeration analysis sharded over the
+// first-frame vectors; the merged Pairs/DetectedBy keep the sequential
+// (m1, m2) enumeration order.
+func (s *Scheduler) AnalyzeExhaustive(c *logic.Circuit, faults []fault.OBD) *ExhaustiveOBDAnalysis {
+	if len(c.Inputs) > 16 {
+		panic("atpg: exhaustive analysis limited to 16 inputs")
+	}
+	mustValid(c)
+	n := 1 << len(c.Inputs)
+	mk := func(m int) Pattern {
+		p := make(Pattern, len(c.Inputs))
+		for i, in := range c.Inputs {
+			p[in] = logic.FromBool(m&(1<<i) != 0)
+		}
+		return p
+	}
+	a := &ExhaustiveOBDAnalysis{Circuit: c, Faults: faults, Testable: make([]bool, len(faults))}
+	type slot struct {
+		pairs    []TwoPattern
+		det      [][]int
+		testable []bool // nil when this shard detected nothing
+	}
+	slots := make([]slot, n)
+	s.run(n, 1, func(lo, hi int, ws *WorkerStats) {
+		for m1 := lo; m1 < hi; m1++ {
+			sl := slot{}
+			for m2 := 0; m2 < n; m2++ {
+				if m1 == m2 {
+					continue
+				}
+				tp := TwoPattern{V1: mk(m1), V2: mk(m2)}
+				var det []int
+				for fi, f := range faults {
+					if DetectsOBD(c, f, tp) {
+						det = append(det, fi)
+						if sl.testable == nil {
+							sl.testable = make([]bool, len(faults))
+						}
+						sl.testable[fi] = true
+					}
+				}
+				sl.pairs = append(sl.pairs, tp)
+				sl.det = append(sl.det, det)
+				ws.Pairs += int64(len(faults))
+			}
+			slots[m1] = sl
+			ws.Items++
+		}
+	})
+	for m1 := 0; m1 < n; m1++ {
+		a.Pairs = append(a.Pairs, slots[m1].pairs...)
+		a.DetectedBy = append(a.DetectedBy, slots[m1].det...)
+		if t := slots[m1].testable; t != nil {
+			for fi, b := range t {
+				if b {
+					a.Testable[fi] = true
+				}
+			}
+		}
+	}
+	return a
+}
+
+// speculate fills the generation slots of the first up-to-batch uncovered,
+// not-yet-generated faults at or after index i, farming the work out to
+// the pool. gen(j) must write only slot j.
+func (s *Scheduler) speculate(i, batch int, covered, done []bool, gen func(j int)) {
+	idxs := make([]int, 0, batch)
+	for j := i; j < len(covered) && len(idxs) < batch; j++ {
+		if !covered[j] && !done[j] {
+			idxs = append(idxs, j)
+		}
+	}
+	s.run(len(idxs), 1, func(lo, hi int, ws *WorkerStats) {
+		for k := lo; k < hi; k++ {
+			gen(idxs[k])
+			done[idxs[k]] = true
+			ws.Items++
+		}
+	})
+}
+
+// genBatch returns the speculation depth for a pool: one fault ahead per
+// slot of headroom, and none at all for a single worker (which degrades
+// to the plain sequential loop).
+func genBatch(workers int) int {
+	if workers <= 1 {
+		return 1
+	}
+	return 2 * workers
+}
+
+// dropOBD marks every fault at or after index from that the new test
+// detects, sharding the drop simulation across the pool.
+func (s *Scheduler) dropOBD(c *logic.Circuit, faults []fault.OBD, covered []bool, from int, tp TwoPattern) {
+	m := len(faults) - from
+	s.run(m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for k := lo; k < hi; k++ {
+			j := from + k
+			if !covered[j] && DetectsOBD(c, faults[j], tp) {
+				covered[j] = true
+			}
+			ws.Pairs++
+		}
+	})
+}
+
+// GenerateOBDTests runs the OBD generator over a fault list with optional
+// fault dropping, speculatively generating ahead across the pool. Tests,
+// Results and Coverage are bit-identical to the sequential loop for any
+// worker count. When Options.BacktrackSink is set the loop stays
+// sequential so the backtrack census matches the single-threaded search.
+func (s *Scheduler) GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *Options) *TestSet {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	mustValid(c)
+	n := len(faults)
+	tb := guidance(c, opt)
+	ts := &TestSet{}
+	covered := make([]bool, n)
+	done := make([]bool, n)
+	specTP := make([]*TwoPattern, n)
+	specSt := make([]Status, n)
+	batch := genBatch(s.WorkerCount())
+	if opt.BacktrackSink != nil {
+		batch = 1
+	}
+	for i, f := range faults {
+		if covered[i] {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
+			continue
+		}
+		if !done[i] {
+			s.speculate(i, batch, covered, done, func(j int) {
+				specTP[j], specSt[j] = generateOBDTestWith(c, faults[j], opt, tb)
+			})
+		}
+		tp, st := specTP[i], specSt[i]
+		res := Result{Fault: f.String(), Status: st}
+		if st == Detected {
+			res.Test = tp
+			ts.Tests = append(ts.Tests, *tp)
+			if opt.FaultDropping {
+				s.dropOBD(c, faults, covered, i, *tp)
+			}
+		}
+		ts.Results = append(ts.Results, res)
+	}
+	ts.Coverage = s.GradeOBD(c, faults, ts.Tests)
+	return ts
+}
+
+// GenerateTransitionTests runs the transition-fault generator over a
+// fault list with optional fault dropping, speculating across the pool
+// under the same determinism contract as GenerateOBDTests.
+func (s *Scheduler) GenerateTransitionTests(c *logic.Circuit, faults []fault.Transition, opt *Options) *TestSet {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	mustValid(c)
+	n := len(faults)
+	tb := guidance(c, opt)
+	ts := &TestSet{}
+	covered := make([]bool, n)
+	done := make([]bool, n)
+	specTP := make([]*TwoPattern, n)
+	specSt := make([]Status, n)
+	batch := genBatch(s.WorkerCount())
+	if opt.BacktrackSink != nil {
+		batch = 1
+	}
+	for i, f := range faults {
+		if covered[i] {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
+			continue
+		}
+		if !done[i] {
+			s.speculate(i, batch, covered, done, func(j int) {
+				specTP[j], specSt[j] = generateTransitionTestWith(c, faults[j], opt, tb)
+			})
+		}
+		tp, st := specTP[i], specSt[i]
+		res := Result{Fault: f.String(), Status: st}
+		if st == Detected {
+			res.Test = tp
+			ts.Tests = append(ts.Tests, *tp)
+			if opt.FaultDropping {
+				m := n - i
+				s.run(m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+					for k := lo; k < hi; k++ {
+						j := i + k
+						if !covered[j] && DetectsTransition(c, faults[j], *tp) {
+							covered[j] = true
+						}
+						ws.Pairs++
+					}
+				})
+			}
+		}
+		ts.Results = append(ts.Results, res)
+	}
+	ts.Coverage = s.GradeTransition(c, faults, ts.Tests)
+	return ts
+}
+
+// GenerateStuckAtTests runs the stuck-at generator over a fault list with
+// optional fault dropping, speculating across the pool under the same
+// determinism contract as GenerateOBDTests.
+func (s *Scheduler) GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckAt, opt *Options) *StuckAtTestSet {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	mustValid(c)
+	n := len(faults)
+	tb := guidance(c, opt)
+	ts := &StuckAtTestSet{}
+	covered := make([]bool, n)
+	done := make([]bool, n)
+	specP := make([]Pattern, n)
+	specSt := make([]Status, n)
+	batch := genBatch(s.WorkerCount())
+	if opt.BacktrackSink != nil {
+		batch = 1
+	}
+	for i, f := range faults {
+		if covered[i] {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
+			continue
+		}
+		if !done[i] {
+			s.speculate(i, batch, covered, done, func(j int) {
+				specP[j], specSt[j] = generateStuckAtTestWith(c, faults[j], opt, tb)
+			})
+		}
+		p, st := specP[i], specSt[i]
+		res := Result{Fault: f.String(), Status: st}
+		if st == Detected {
+			ts.Tests = append(ts.Tests, p)
+			if opt.FaultDropping {
+				m := n - i
+				s.run(m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+					for k := lo; k < hi; k++ {
+						j := i + k
+						if !covered[j] && DetectsStuckAt(c, faults[j], p) {
+							covered[j] = true
+						}
+						ws.Pairs++
+					}
+				})
+			}
+		}
+		ts.Results = append(ts.Results, res)
+	}
+	ts.Coverage = s.GradeStuckAt(c, faults, ts.Tests)
+	return ts
+}
+
+// GenerateLOSTests runs the launch-on-shift generator over a fault list
+// with fault dropping, speculating across the pool, and grades the final
+// set with the bit-parallel engine. Deterministic for any worker count.
+func (s *Scheduler) GenerateLOSTests(c *logic.Circuit, faults []fault.OBD, opt *LOSOptions) *LOSResult {
+	if opt == nil {
+		opt = DefaultLOSOptions()
+	}
+	mustValid(c)
+	n := len(faults)
+	out := &LOSResult{Exact: len(c.Inputs) <= opt.ExhaustiveMaxIn}
+	covered := make([]bool, n)
+	done := make([]bool, n)
+	specTP := make([]*TwoPattern, n)
+	specSt := make([]Status, n)
+	batch := genBatch(s.WorkerCount())
+	for i := range faults {
+		if covered[i] {
+			continue
+		}
+		if !done[i] {
+			s.speculate(i, batch, covered, done, func(j int) {
+				specTP[j], specSt[j] = GenerateLOSTest(c, faults[j], opt)
+			})
+		}
+		if specSt[i] != Detected {
+			continue
+		}
+		tp := *specTP[i]
+		out.Tests = append(out.Tests, tp)
+		s.dropOBD(c, faults, covered, i, tp)
+	}
+	out.Coverage = s.GradeOBD(c, faults, out.Tests)
+	return out
+}

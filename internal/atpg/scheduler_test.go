@@ -1,0 +1,253 @@
+package atpg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// sweepWorkers are the pool sizes every equivalence sweep exercises.
+var sweepWorkers = []int{1, 2, 8}
+
+// randomTests builds a test set whose patterns are randomly complete,
+// partial or X-bearing, so the sweeps exercise the X-masking paths too.
+func randomTests(rng *rand.Rand, c *logic.Circuit, n int) []TwoPattern {
+	mk := func() Pattern {
+		p := make(Pattern, len(c.Inputs))
+		for _, in := range c.Inputs {
+			switch rng.Intn(10) {
+			case 0:
+				// unassigned
+			case 1:
+				p[in] = logic.X
+			default:
+				p[in] = logic.FromBool(rng.Intn(2) == 1)
+			}
+		}
+		return p
+	}
+	out := make([]TwoPattern, n)
+	for i := range out {
+		out[i] = TwoPattern{V1: mk(), V2: mk()}
+	}
+	return out
+}
+
+// randomFaultSubset samples a random non-empty subsequence of the universe.
+func randomFaultSubset(rng *rand.Rand, faults []fault.OBD) []fault.OBD {
+	var out []fault.OBD
+	for _, f := range faults {
+		if rng.Intn(4) > 0 {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		out = faults
+	}
+	return out
+}
+
+// TestWorkerSweepGradeOBD: for ≥20 random circuits × random fault lists ×
+// random (partially-X) test sets, every worker count yields a Coverage
+// DeepEqual to the scalar reference — Undetected ordering included.
+func TestWorkerSweepGradeOBD(t *testing.T) {
+	circuits := 0
+	for seed := int64(0); circuits < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 2 + rng.Intn(4), Gates: 2 + rng.Intn(14), Primitive: true})
+		universe, _ := fault.OBDUniverse(c)
+		if len(universe) == 0 {
+			continue
+		}
+		circuits++
+		faults := randomFaultSubset(rng, universe)
+		tests := randomTests(rng, c, 1+rng.Intn(150))
+		want := GradeOBD(c, faults, tests)
+		for _, w := range sweepWorkers {
+			got := NewScheduler(w).GradeOBD(c, faults, tests)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d workers %d: %+v != scalar %+v", seed, w, got, want)
+			}
+		}
+		// An adversarial chunk size must not change the result either.
+		s := NewScheduler(3)
+		s.ChunkSize = 2
+		if got := s.GradeOBD(c, faults, tests); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d chunked: %+v != scalar %+v", seed, got, want)
+		}
+	}
+}
+
+// TestWorkerSweepGradeTransition checks the transition grader against an
+// inline scalar loop across worker counts.
+func TestWorkerSweepGradeTransition(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 2 + rng.Intn(4), Gates: 2 + rng.Intn(10), Primitive: true})
+		faults := fault.TransitionUniverse(c)
+		tests := randomTests(rng, c, 1+rng.Intn(60))
+		want := Coverage{Total: len(faults)}
+		for _, f := range faults {
+			hit := false
+			for _, tp := range tests {
+				if DetectsTransition(c, f, tp) {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				want.Detected++
+			} else {
+				want.Undetected = append(want.Undetected, f.String())
+			}
+		}
+		for _, w := range sweepWorkers {
+			if got := NewScheduler(w).GradeTransition(c, faults, tests); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d workers %d: %+v != scalar %+v", seed, w, got, want)
+			}
+		}
+	}
+}
+
+// TestWorkerSweepGradeStuckAt checks the stuck-at grader against an inline
+// scalar loop across worker counts.
+func TestWorkerSweepGradeStuckAt(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 2 + rng.Intn(4), Gates: 2 + rng.Intn(10), Primitive: true})
+		faults := fault.StuckAtUniverse(c)
+		tps := randomTests(rng, c, 1+rng.Intn(40))
+		tests := make([]Pattern, len(tps))
+		for i, tp := range tps {
+			tests[i] = tp.V1
+		}
+		want := Coverage{Total: len(faults)}
+		for _, f := range faults {
+			hit := false
+			for _, p := range tests {
+				if DetectsStuckAt(c, f, p) {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				want.Detected++
+			} else {
+				want.Undetected = append(want.Undetected, f.String())
+			}
+		}
+		for _, w := range sweepWorkers {
+			if got := NewScheduler(w).GradeStuckAt(c, faults, tests); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d workers %d: %+v != scalar %+v", seed, w, got, want)
+			}
+		}
+	}
+}
+
+// TestWorkerSweepGeneration: the speculative generation loops must produce
+// bit-identical TestSets (Tests, Results and Coverage) for any worker
+// count — the fault-dropping commit order is part of the contract.
+func TestWorkerSweepGeneration(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 2 + rng.Intn(4), Gates: 2 + rng.Intn(10), Primitive: true})
+		obdFaults, _ := fault.OBDUniverse(c)
+		want := NewScheduler(1).GenerateOBDTests(c, obdFaults, nil)
+		for _, w := range sweepWorkers[1:] {
+			got := NewScheduler(w).GenerateOBDTests(c, obdFaults, nil)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d workers %d: OBD generation diverged", seed, w)
+			}
+		}
+		trWant := NewScheduler(1).GenerateTransitionTests(c, fault.TransitionUniverse(c), nil)
+		saWant := NewScheduler(1).GenerateStuckAtTests(c, fault.StuckAtUniverse(c), nil)
+		losWant := NewScheduler(1).GenerateLOSTests(c, obdFaults, nil)
+		for _, w := range sweepWorkers[1:] {
+			if got := NewScheduler(w).GenerateTransitionTests(c, fault.TransitionUniverse(c), nil); !reflect.DeepEqual(got, trWant) {
+				t.Fatalf("seed %d workers %d: transition generation diverged", seed, w)
+			}
+			if got := NewScheduler(w).GenerateStuckAtTests(c, fault.StuckAtUniverse(c), nil); !reflect.DeepEqual(got, saWant) {
+				t.Fatalf("seed %d workers %d: stuck-at generation diverged", seed, w)
+			}
+			if got := NewScheduler(w).GenerateLOSTests(c, obdFaults, nil); !reflect.DeepEqual(got, losWant) {
+				t.Fatalf("seed %d workers %d: LOS generation diverged", seed, w)
+			}
+		}
+	}
+}
+
+// TestWorkerSweepAnalyzeExhaustive: the sharded enumeration keeps the
+// sequential (m1, m2) pair order.
+func TestWorkerSweepAnalyzeExhaustive(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 2 + rng.Intn(3), Gates: 2 + rng.Intn(8), Primitive: true})
+		faults, _ := fault.OBDUniverse(c)
+		want := NewScheduler(1).AnalyzeExhaustive(c, faults)
+		for _, w := range sweepWorkers[1:] {
+			got := NewScheduler(w).AnalyzeExhaustive(c, faults)
+			if !reflect.DeepEqual(got.Pairs, want.Pairs) ||
+				!reflect.DeepEqual(got.DetectedBy, want.DetectedBy) ||
+				!reflect.DeepEqual(got.Testable, want.Testable) {
+				t.Fatalf("seed %d workers %d: exhaustive analysis diverged", seed, w)
+			}
+		}
+	}
+}
+
+// TestWorkerSweepDetectionCounts: per-fault counts are slot-stable.
+func TestWorkerSweepDetectionCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 4, Gates: 12, Primitive: true})
+	faults, _ := fault.OBDUniverse(c)
+	tests := randomTests(rng, c, 80)
+	want := NewScheduler(1).DetectionCounts(c, faults, tests)
+	for _, w := range sweepWorkers[1:] {
+		if got := NewScheduler(w).DetectionCounts(c, faults, tests); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers %d: counts diverged", w)
+		}
+	}
+}
+
+// TestSchedulerStats: the optional per-worker counters account for every
+// fault exactly once.
+func TestSchedulerStats(t *testing.T) {
+	c := mustCircuit(t, xorNandSrc)
+	faults, _ := fault.OBDUniverse(c)
+	ts := GenerateOBDTests(c, faults, nil)
+	s := NewScheduler(4)
+	s.CollectStats = true
+	s.GradeOBD(c, faults, ts.Tests)
+	var items int64
+	for _, ws := range s.Stats() {
+		items += ws.Items
+		if ws.Busy < 0 {
+			t.Fatalf("negative busy time in %s", ws)
+		}
+	}
+	if items != int64(len(faults)) {
+		t.Fatalf("stats account for %d items, want %d", items, len(faults))
+	}
+	s.ResetStats()
+	if len(s.Stats()) != 0 {
+		t.Fatal("ResetStats left counters behind")
+	}
+}
+
+// TestSchedulerForEachCoversAllIndices: the exported per-index primitive
+// visits every slot exactly once for any worker count.
+func TestSchedulerForEachCoversAllIndices(t *testing.T) {
+	for _, w := range sweepWorkers {
+		n := 1000
+		hits := make([]int32, n)
+		NewScheduler(w).ForEach(n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers %d: index %d visited %d times", w, i, h)
+			}
+		}
+	}
+}

@@ -98,7 +98,10 @@ func DetectsStuckAt(c *logic.Circuit, f fault.StuckAt, p Pattern) bool {
 	return false
 }
 
-// GradeOBD fault-simulates a test set against an OBD fault list.
+// GradeOBD fault-simulates a test set against an OBD fault list with the
+// scalar reference simulator, one fault and one pair at a time. It is the
+// semantic baseline the bit-parallel multicore path (Scheduler.GradeOBD /
+// GradeOBDParallel) is property-tested against.
 func GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) Coverage {
 	cov := Coverage{Total: len(faults)}
 	for _, f := range faults {
@@ -118,44 +121,17 @@ func GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) Coverage
 	return cov
 }
 
-// GradeTransition fault-simulates a test set against transition faults.
+// GradeTransition fault-simulates a test set against transition faults,
+// sharding the fault list across the default scheduler's worker pool
+// (results are identical to the sequential scan for any worker count).
 func GradeTransition(c *logic.Circuit, faults []fault.Transition, tests []TwoPattern) Coverage {
-	cov := Coverage{Total: len(faults)}
-	for _, f := range faults {
-		hit := false
-		for _, tp := range tests {
-			if DetectsTransition(c, f, tp) {
-				hit = true
-				break
-			}
-		}
-		if hit {
-			cov.Detected++
-		} else {
-			cov.Undetected = append(cov.Undetected, f.String())
-		}
-	}
-	return cov
+	return DefaultScheduler().GradeTransition(c, faults, tests)
 }
 
-// GradeStuckAt fault-simulates single patterns against stuck-at faults.
+// GradeStuckAt fault-simulates single patterns against stuck-at faults,
+// sharding the fault list across the default scheduler's worker pool.
 func GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests []Pattern) Coverage {
-	cov := Coverage{Total: len(faults)}
-	for _, f := range faults {
-		hit := false
-		for _, p := range tests {
-			if DetectsStuckAt(c, f, p) {
-				hit = true
-				break
-			}
-		}
-		if hit {
-			cov.Detected++
-		} else {
-			cov.Undetected = append(cov.Undetected, f.String())
-		}
-	}
-	return cov
+	return DefaultScheduler().GradeStuckAt(c, faults, tests)
 }
 
 // ExhaustiveOBDAnalysis enumerates every ordered pair of distinct complete
@@ -170,38 +146,10 @@ type ExhaustiveOBDAnalysis struct {
 }
 
 // AnalyzeExhaustive runs the full-enumeration analysis used for the
-// Section 4.3 full-adder counts.
+// Section 4.3 full-adder counts, sharded over the default scheduler's
+// worker pool (the enumeration order of Pairs/DetectedBy is preserved).
 func AnalyzeExhaustive(c *logic.Circuit, faults []fault.OBD) *ExhaustiveOBDAnalysis {
-	if len(c.Inputs) > 16 {
-		panic("atpg: exhaustive analysis limited to 16 inputs")
-	}
-	n := 1 << len(c.Inputs)
-	mk := func(m int) Pattern {
-		p := make(Pattern, len(c.Inputs))
-		for i, in := range c.Inputs {
-			p[in] = logic.FromBool(m&(1<<i) != 0)
-		}
-		return p
-	}
-	a := &ExhaustiveOBDAnalysis{Circuit: c, Faults: faults, Testable: make([]bool, len(faults))}
-	for m1 := 0; m1 < n; m1++ {
-		for m2 := 0; m2 < n; m2++ {
-			if m1 == m2 {
-				continue
-			}
-			tp := TwoPattern{V1: mk(m1), V2: mk(m2)}
-			var det []int
-			for fi, f := range faults {
-				if DetectsOBD(c, f, tp) {
-					det = append(det, fi)
-					a.Testable[fi] = true
-				}
-			}
-			a.Pairs = append(a.Pairs, tp)
-			a.DetectedBy = append(a.DetectedBy, det)
-		}
-	}
-	return a
+	return DefaultScheduler().AnalyzeExhaustive(c, faults)
 }
 
 // TestableCount returns the number of faults detectable by at least one

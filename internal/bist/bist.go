@@ -257,3 +257,24 @@ func (s *Session) RunFault(f fault.OBD, golden uint64) (FaultResult, error) {
 	res.Aliased = res.DetectedCycles > 0 && res.Signature == golden
 	return res, nil
 }
+
+// RunFaults simulates the stream against every fault in the list, sharding
+// the faults across the scheduler's worker pool (nil means the package
+// default). Results come back in fault-list order regardless of worker
+// count; the first error in that order, if any, is returned.
+func (s *Session) RunFaults(faults []fault.OBD, golden uint64, sched *atpg.Scheduler) ([]FaultResult, error) {
+	if sched == nil {
+		sched = atpg.DefaultScheduler()
+	}
+	out := make([]FaultResult, len(faults))
+	errs := make([]error, len(faults))
+	sched.ForEach(len(faults), func(i int) {
+		out[i], errs[i] = s.RunFault(faults[i], golden)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

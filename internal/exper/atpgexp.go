@@ -251,7 +251,7 @@ func RunCoverageGap(name string, lc *logic.Circuit) (*CoverageGap, error) {
 
 	trSet := atpg.GenerateTransitionTests(lc, fault.TransitionUniverse(lc), nil)
 	out.TransitionTests = len(trSet.Tests)
-	out.TransitionCov = atpg.GradeOBD(lc, obdFaults, trSet.Tests)
+	out.TransitionCov = atpg.GradeOBDParallel(lc, obdFaults, trSet.Tests)
 
 	// A stuck-at test set has no transition structure at all; pair each
 	// pattern with its predecessor to form vectors the way a scan chain
@@ -261,7 +261,7 @@ func RunCoverageGap(name string, lc *logic.Circuit) (*CoverageGap, error) {
 	for i := 1; i < len(saSet.Tests); i++ {
 		saPairs = append(saPairs, atpg.TwoPattern{V1: saSet.Tests[i-1], V2: saSet.Tests[i]})
 	}
-	out.StuckAtCov = atpg.GradeOBD(lc, obdFaults, saPairs)
+	out.StuckAtCov = atpg.GradeOBDParallel(lc, obdFaults, saPairs)
 
 	obdSet := atpg.GenerateOBDTests(lc, obdFaults, nil)
 	out.OBDTests = len(obdSet.Tests)

@@ -147,6 +147,73 @@ func (g *Gate) EvalBits(in []uint64) uint64 {
 	}
 }
 
+// EvalBits3 computes the gate function over 64 parallel three-valued
+// patterns in dual-rail encoding: bit k of val is set when lane k carries
+// One, bit k of known when lane k carries Zero or One. Unknown lanes must
+// carry a 0 val bit (the canonical form); the result is canonical again
+// and agrees lane-by-lane with Eval over three-valued inputs.
+func (g *Gate) EvalBits3(val, known []uint64) (uint64, uint64) {
+	switch g.Type {
+	case Inv:
+		return ^val[0] & known[0], known[0]
+	case Buf:
+		return val[0], known[0]
+	case Nand:
+		v, k := and3Bits(val, known)
+		return ^v & k, k
+	case And:
+		return and3Bits(val, known)
+	case Nor:
+		v, k := or3Bits(val, known)
+		return ^v & k, k
+	case Or:
+		return or3Bits(val, known)
+	case Xor:
+		k := known[0] & known[1]
+		return (val[0] ^ val[1]) & k, k
+	case Xnor:
+		k := known[0] & known[1]
+		return ^(val[0] ^ val[1]) & k, k
+	case Aoi21:
+		av, ak := and3Bits(val[:2], known[:2])
+		ov, ok := or3Bits([]uint64{av, val[2]}, []uint64{ak, known[2]})
+		return ^ov & ok, ok
+	case Oai21:
+		ov, ok := or3Bits(val[:2], known[:2])
+		av, ak := and3Bits([]uint64{ov, val[2]}, []uint64{ok, known[2]})
+		return ^av & ak, ak
+	default:
+		panic(fmt.Sprintf("logic: gate %s has unknown type", g.Name))
+	}
+}
+
+// and3Bits is the n-ary three-valued AND over dual-rail words: the result
+// is known where some input is a known Zero or where every input is known
+// (the bitwise image of and3).
+func and3Bits(val, known []uint64) (uint64, uint64) {
+	allKnown := ^uint64(0)
+	knownZero := uint64(0)
+	v := ^uint64(0)
+	for i := range val {
+		allKnown &= known[i]
+		knownZero |= known[i] &^ val[i]
+		v &= val[i]
+	}
+	return v, allKnown | knownZero
+}
+
+// or3Bits is the n-ary three-valued OR over dual-rail words (the bitwise
+// image of or3: known where some input is a known One or all are known).
+func or3Bits(val, known []uint64) (uint64, uint64) {
+	allKnown := ^uint64(0)
+	v := uint64(0)
+	for i := range val {
+		allKnown &= known[i]
+		v |= val[i]
+	}
+	return v, allKnown | v
+}
+
 // Circuit is a combinational gate-level netlist.
 type Circuit struct {
 	Name    string
@@ -371,6 +438,47 @@ func (c *Circuit) EvalBits(assign map[string]uint64, overrideMask, overrideValue
 		vals[g.Output] = apply(g.Output, g.EvalBits(buf))
 	}
 	return vals
+}
+
+// EvalBits3 evaluates 64 parallel three-valued patterns in dual-rail
+// encoding (see Gate.EvalBits3): per net, bit k of the first returned map
+// is the One-rail, bit k of the second the known-rail. Input lanes absent
+// from assignKnown are unknown — the bit-parallel image of Eval treating
+// unassigned inputs as X. overrideMask/Val/Known, when non-nil, force
+// (per net) the lanes selected by the mask to the given value and known
+// bits — the hook fault simulation uses to impose a faulty site value.
+func (c *Circuit) EvalBits3(assignVal, assignKnown map[string]uint64, overrideMask, overrideVal, overrideKnown map[string]uint64) (map[string]uint64, map[string]uint64) {
+	c.mustValidate()
+	vals := make(map[string]uint64, len(c.Gates)+len(c.Inputs))
+	knowns := make(map[string]uint64, len(c.Gates)+len(c.Inputs))
+	apply := func(net string, v, k uint64) (uint64, uint64) {
+		if overrideMask == nil {
+			return v, k
+		}
+		m, ok := overrideMask[net]
+		if !ok {
+			return v, k
+		}
+		return (v &^ m) | (overrideVal[net] & m), (k &^ m) | (overrideKnown[net] & m)
+	}
+	for _, in := range c.Inputs {
+		k := assignKnown[in]
+		v, k := apply(in, assignVal[in]&k, k)
+		vals[in], knowns[in] = v, k
+	}
+	vbuf := make([]uint64, 0, 4)
+	kbuf := make([]uint64, 0, 4)
+	for _, g := range c.ordered {
+		vbuf, kbuf = vbuf[:0], kbuf[:0]
+		for _, in := range g.Inputs {
+			vbuf = append(vbuf, vals[in])
+			kbuf = append(kbuf, knowns[in])
+		}
+		v, k := g.EvalBits3(vbuf, kbuf)
+		v, k = apply(g.Output, v, k)
+		vals[g.Output], knowns[g.Output] = v, k
+	}
+	return vals, knowns
 }
 
 // TruthTable exhaustively evaluates one output over all PI assignments
