@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race short bench repro artifacts fuzz clean
+.PHONY: all build vet detlint lint test test-race short bench repro artifacts fuzz clean
 
 all: build test test-race
 
@@ -10,8 +10,18 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-vet:
+# Standard vet plus the determinism analyzer over the scheduler/ATPG
+# layer (see tools/analyzers/detlint).
+vet: detlint
 	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/detlint ./internal/atpg/...
+
+detlint:
+	$(GO) build -o bin/detlint ./tools/analyzers/detlint
+
+# Static netlist analysis of the bench circuits (cmd/obdlint).
+lint:
+	$(GO) run ./cmd/obdlint -circuit fulladder -circuit c17 -circuit rca4 -circuit mux41
 
 test:
 	$(GO) test ./...
@@ -42,4 +52,4 @@ fuzz:
 
 clean:
 	$(GO) clean -testcache
-	rm -rf artifacts
+	rm -rf artifacts bin

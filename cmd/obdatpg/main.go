@@ -6,6 +6,7 @@
 // Examples:
 //
 //	obdatpg -fulladder -model obd -v
+//	obdatpg -fulladder -model obd -prune
 //	obdatpg -netlist mydesign.net -model transition -grade-obd
 //	obdatpg -fulladder -model ndetect -n 3 -o tests.vec
 //	obdatpg -fulladder -apply tests.vec
@@ -34,6 +35,7 @@ func main() {
 		nDetect   = flag.Int("n", 3, "detection multiplicity for -model ndetect")
 		cycles    = flag.Int("cycles", 256, "stream length for -model bist")
 		gradeOBD  = flag.Bool("grade-obd", false, "also grade the generated set against the OBD universe")
+		prune     = flag.Bool("prune", false, "statically prove OBD faults untestable (netcheck) before running PODEM on them")
 		outFile   = flag.String("o", "", "write the generated vector pairs to this file")
 		applyFile = flag.String("apply", "", "skip generation: grade a saved vector-pair file against the OBD universe")
 		verbose   = flag.Bool("v", false, "print every generated vector")
@@ -105,7 +107,9 @@ func main() {
 		if len(skipped) > 0 {
 			fmt.Printf("note: %d composite gates carry no OBD faults\n", len(skipped))
 		}
-		ts := atpg.GenerateOBDTests(lc, faults, nil)
+		opt := atpg.DefaultOptions()
+		opt.Prune = *prune
+		ts := atpg.GenerateOBDTests(lc, faults, opt)
 		pairs = ts.Tests
 		report2(lc, ts, *verbose)
 	case "ndetect":

@@ -42,6 +42,7 @@ import (
 	"gobd/internal/diag"
 	"gobd/internal/fault"
 	"gobd/internal/logic"
+	"gobd/internal/netcheck"
 	"gobd/internal/obd"
 	"gobd/internal/sched"
 	"gobd/internal/seq"
@@ -381,4 +382,34 @@ var (
 	NewLFSR = bist.NewLFSR
 	// NewMISR builds a signature register (widths 2–16).
 	NewMISR = bist.NewMISR
+)
+
+// Static netlist analysis layer (cmd/obdlint front-end).
+type (
+	// NetReport is a full netcheck analysis: lint diagnostics, constant
+	// nets, OBD untestability verdicts and a SCOAP hard-fault ranking.
+	NetReport = netcheck.Report
+	// NetDiagnostic is one structural lint finding.
+	NetDiagnostic = netcheck.Diagnostic
+	// NetcheckOptions tunes the analysis passes.
+	NetcheckOptions = netcheck.Options
+	// OBDVerdict is a per-fault untestability verdict with its proof.
+	OBDVerdict = netcheck.Verdict
+	// ImplicationProof is a machine-checkable implication chain.
+	ImplicationProof = netcheck.Proof
+)
+
+// Static analysis entry points.
+var (
+	// AnalyzeNetlist runs every netcheck pass over a circuit.
+	AnalyzeNetlist = netcheck.Analyze
+	// LintNetlist runs only the structural lint pass.
+	LintNetlist = netcheck.Lint
+	// ProveOBDUntestable attempts a static untestability proof for one
+	// OBD fault; the verdict is sound but one-sided (see DESIGN.md).
+	ProveOBDUntestable = netcheck.ProveOBD
+	// StaticConstants derives implication-proved constant nets.
+	StaticConstants = netcheck.Constants
+	// VerifyImplicationProof independently replays a proof chain.
+	VerifyImplicationProof = netcheck.VerifyProof
 )

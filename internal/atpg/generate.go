@@ -3,6 +3,7 @@ package atpg
 import (
 	"gobd/internal/fault"
 	"gobd/internal/logic"
+	"gobd/internal/netcheck"
 )
 
 // guidance returns the SCOAP testability measures for PODEM steering, or
@@ -91,6 +92,9 @@ func generateTransitionTestWith(c *logic.Circuit, f fault.Transition, opt *Optio
 func GenerateOBDTest(c *logic.Circuit, f fault.OBD, opt *Options) (*TwoPattern, Status) {
 	if opt == nil {
 		opt = DefaultOptions()
+	}
+	if opt.Prune && netcheck.ProveOBD(c, f).Untestable {
+		return nil, Untestable
 	}
 	return generateOBDTestWith(c, f, opt, guidance(c, opt))
 }

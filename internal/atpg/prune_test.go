@@ -1,0 +1,127 @@
+package atpg
+
+import (
+	"testing"
+
+	"gobd/internal/cells"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/netcheck"
+)
+
+// TestPruneAgreesWithSearch checks the Prune contract on the paper's
+// full adder: the pruned run must produce the same verdict for every
+// fault (the prover is sound, so the only permitted drift is a would-be
+// Aborted settling as Untestable) and identical coverage.
+func TestPruneAgreesWithSearch(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	faults, _ := fault.OBDUniverse(c)
+
+	plain := GenerateOBDTests(c, faults, DefaultOptions())
+	opt := DefaultOptions()
+	opt.Prune = true
+	pruned := GenerateOBDTests(c, faults, opt)
+
+	if len(plain.Results) != len(pruned.Results) {
+		t.Fatalf("result lengths differ: %d vs %d", len(plain.Results), len(pruned.Results))
+	}
+	for i := range plain.Results {
+		a, b := plain.Results[i], pruned.Results[i]
+		if a.Status == b.Status {
+			continue
+		}
+		if a.Status == Aborted && b.Status == Untestable {
+			continue // prover settled what the search gave up on
+		}
+		t.Errorf("%s: status %v without pruning, %v with", a.Fault, a.Status, b.Status)
+	}
+	if plain.Coverage.String() != pruned.Coverage.String() {
+		t.Errorf("coverage drifted: %v vs %v", plain.Coverage, pruned.Coverage)
+	}
+
+	// The statically discharged faults must surface as Untestable results.
+	mask := netcheck.UntestableOBD(c, faults)
+	for i, m := range mask {
+		if m && pruned.Results[i].Status != Untestable {
+			t.Errorf("%s: pruned but status %v", faults[i], pruned.Results[i].Status)
+		}
+	}
+}
+
+// TestPruneWorkerInvariance extends the scheduler's determinism contract
+// to pruned runs: any worker count, bit-identical output.
+func TestPruneWorkerInvariance(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	faults, _ := fault.OBDUniverse(c)
+	opt := DefaultOptions()
+	opt.Prune = true
+
+	ref := NewScheduler(1).GenerateOBDTests(c, faults, opt)
+	for _, workers := range []int{2, 4, 8} {
+		got := NewScheduler(workers).GenerateOBDTests(c, faults, opt)
+		if len(got.Results) != len(ref.Results) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got.Results), len(ref.Results))
+		}
+		for i := range ref.Results {
+			if got.Results[i] != ref.Results[i] && (got.Results[i].Status != ref.Results[i].Status ||
+				got.Results[i].Fault != ref.Results[i].Fault) {
+				t.Fatalf("workers=%d: result %d differs: %+v vs %+v", workers, i, got.Results[i], ref.Results[i])
+			}
+		}
+		if got.Coverage.String() != ref.Coverage.String() {
+			t.Fatalf("workers=%d: coverage %v, want %v", workers, got.Coverage, ref.Coverage)
+		}
+	}
+}
+
+// TestPruneSingleFault checks the single-fault entry point honors Prune.
+func TestPruneSingleFault(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	faults, _ := fault.OBDUniverse(c)
+	opt := DefaultOptions()
+	opt.Prune = true
+	for i, m := range netcheck.UntestableOBD(c, faults) {
+		if !m {
+			continue
+		}
+		if tp, st := GenerateOBDTest(c, faults[i], opt); st != Untestable || tp != nil {
+			t.Fatalf("%s: GenerateOBDTest with Prune returned (%v, %v)", faults[i], tp, st)
+		}
+	}
+}
+
+func benchGenerate(b *testing.B, c *logic.Circuit, prune bool) {
+	faults, _ := fault.OBDUniverse(c)
+	opt := DefaultOptions()
+	opt.Prune = prune
+	pruned := 0
+	if prune {
+		for _, m := range netcheck.UntestableOBD(c, faults) {
+			if m {
+				pruned++
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GenerateOBDTests(c, faults, opt)
+	}
+	b.StopTimer()
+	if prune {
+		b.ReportMetric(float64(pruned)/float64(len(faults)), "pruned-frac")
+	}
+}
+
+// BenchmarkGenerateUnpruned/Pruned measure what the static prover saves
+// (or costs) PODEM. The redundant full adder is where pruning pays —
+// 13/78 faults never enter the search; the irredundant ripple-carry
+// adder bounds the overhead of proving nothing (see EXPERIMENTS.md).
+func BenchmarkGenerateUnpruned(b *testing.B) {
+	b.Run("fulladder", func(b *testing.B) { benchGenerate(b, cells.FullAdderSumLogic(), false) })
+	b.Run("rca4", func(b *testing.B) { benchGenerate(b, logic.RippleCarryAdder(4), false) })
+}
+
+func BenchmarkGeneratePruned(b *testing.B) {
+	b.Run("fulladder", func(b *testing.B) { benchGenerate(b, cells.FullAdderSumLogic(), true) })
+	b.Run("rca4", func(b *testing.B) { benchGenerate(b, logic.RippleCarryAdder(4), true) })
+}

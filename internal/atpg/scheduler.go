@@ -9,6 +9,7 @@ import (
 
 	"gobd/internal/fault"
 	"gobd/internal/logic"
+	"gobd/internal/netcheck"
 )
 
 // This file is the goroutine-parallel driver layer over the scalar and
@@ -164,7 +165,7 @@ func (s *Scheduler) run(n, grain int, fn func(lo, hi int, ws *WorkerStats)) {
 	}
 	if w <= 1 {
 		var ws WorkerStats
-		start := time.Now()
+		start := time.Now() //detlint:allow timenow — Busy is a stats counter, never a result
 		fn(0, n, &ws)
 		ws.Busy += time.Since(start)
 		s.record(0, ws)
@@ -186,7 +187,7 @@ func (s *Scheduler) run(n, grain int, fn func(lo, hi int, ws *WorkerStats)) {
 				if hi > n {
 					hi = n
 				}
-				start := time.Now()
+				start := time.Now() //detlint:allow timenow — Busy is a stats counter, never a result
 				fn(lo, hi, &ws)
 				ws.Busy += time.Since(start)
 			}
@@ -480,6 +481,21 @@ func (s *Scheduler) GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *
 	batch := genBatch(s.WorkerCount())
 	if opt.BacktrackSink != nil {
 		batch = 1
+	}
+	if opt.Prune {
+		// Static untestability proofs settle faults before PODEM sees
+		// them. The mask is computed across the pool; marking done[] up
+		// front keeps the commit loop's speculation contract untouched.
+		pruned := make([]bool, n)
+		s.ForEach(n, func(i int) {
+			pruned[i] = netcheck.ProveOBD(c, faults[i]).Untestable
+		})
+		for i := range pruned {
+			if pruned[i] {
+				done[i] = true
+				specSt[i] = Untestable
+			}
+		}
 	}
 	for i, f := range faults {
 		if covered[i] {

@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"testing"
+
+	"gobd/internal/logic"
+)
+
+// TestExcitationPairs3Input pins the pair counts of every 3-input
+// primitive down to the series-parallel theory:
+//
+//   - a parallel transistor is excited only when it conducts alone, so a
+//     NAND3 PMOS has exactly one V2 (its input 0, siblings 1) and one V1
+//     (the single all-ones falling start): 1 pair;
+//   - a series transistor always carries the whole chain current, so a
+//     NAND3 NMOS is excited by every falling transition: 7 V1s × 1 V2;
+//   - AOI21 (pull-down (a·b)∥c, pull-up (a∥b)–c) mixes both: the a/b
+//     NMOS pair needs its branch to drive alone (V2=110, 3 rising V1s),
+//     the c devices are the series/parallel duals (9 and 15 pairs), and
+//     the a/b PMOS conduct alone only against the partner (5 pairs);
+//   - OAI21 is the exact dual of AOI21.
+func TestExcitationPairs3Input(t *testing.T) {
+	want := map[logic.GateType]map[string]int{
+		logic.Nand:  {"PMOS@a": 1, "NMOS@a": 7, "PMOS@b": 1, "NMOS@b": 7, "PMOS@c": 1, "NMOS@c": 7},
+		logic.Nor:   {"PMOS@a": 7, "NMOS@a": 1, "PMOS@b": 7, "NMOS@b": 1, "PMOS@c": 7, "NMOS@c": 1},
+		logic.Aoi21: {"PMOS@a": 5, "NMOS@a": 3, "PMOS@b": 5, "NMOS@b": 3, "PMOS@c": 15, "NMOS@c": 9},
+		logic.Oai21: {"PMOS@a": 3, "NMOS@a": 5, "PMOS@b": 3, "NMOS@b": 5, "PMOS@c": 9, "NMOS@c": 15},
+	}
+	for gt, counts := range want {
+		faults, err := GateOBDFaults(gt, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(faults) != 6 {
+			t.Fatalf("%v/3: %d faults, want 6", gt, len(faults))
+		}
+		for _, f := range faults {
+			key := f.Side.String() + "@" + f.Gate.Inputs[f.Input]
+			pairs := f.ExcitationPairs()
+			if len(pairs) != counts[key] {
+				t.Errorf("%v/3 %s: %d pairs, want %d", gt, key, len(pairs), counts[key])
+			}
+			// Every enumerated pair must satisfy the excitation rule.
+			for _, p := range pairs {
+				if !f.Excited(p.V1, p.V2) {
+					t.Errorf("%v/3 %s: pair %s not actually exciting", gt, key, p)
+				}
+			}
+		}
+	}
+
+	// Structure of the NAND3 extremes: the series NMOS shares the single
+	// all-ones V2 across all its pairs; the parallel PMOS pair starts from
+	// the all-ones state and ends with only its own input low.
+	faults, _ := GateOBDFaults(logic.Nand, 3)
+	for _, f := range faults {
+		for _, p := range f.ExcitationPairs() {
+			if f.Side == PullDown {
+				for i, v := range p.V2 {
+					if v != logic.One {
+						t.Fatalf("NAND3 NMOS pair %s: V2[%d] != 1", p, i)
+					}
+				}
+			} else {
+				for i, v := range p.V1 {
+					if v != logic.One {
+						t.Fatalf("NAND3 PMOS pair %s: V1[%d] != 1", p, i)
+					}
+				}
+				for i, v := range p.V2 {
+					if want := logic.FromBool(i != f.Input); v != want {
+						t.Fatalf("NAND3 PMOS@%d pair %s: V2[%d]=%v, want sole zero at the fault input", f.Input, p, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCollapseAOI21 checks collapsing inside a complex gate: the series
+// a/b NMOS pair is one class, everything else stays apart.
+func TestCollapseAOI21(t *testing.T) {
+	faults, err := GateOBDFaults(logic.Aoi21, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := CollapseOBD(faults)
+	if len(classes) != 5 {
+		t.Fatalf("AOI21 collapses to %d classes, want 5", len(classes))
+	}
+	var merged []OBD
+	for _, cl := range classes {
+		if len(cl) > 1 {
+			merged = cl
+		}
+	}
+	if len(merged) != 2 || merged[0].Side != PullDown || merged[1].Side != PullDown ||
+		merged[0].Input > 1 || merged[1].Input > 1 {
+		t.Fatalf("merged class %v, want the a/b NMOS series pair", merged)
+	}
+}
+
+// TestCollapseSingleGateCircuit runs collapsing over a one-gate circuit's
+// OBD universe (the smallest end of the spectrum).
+func TestCollapseSingleGateCircuit(t *testing.T) {
+	c := logic.New("single")
+	for _, in := range []string{"a", "b"} {
+		if err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.AddGate("g", logic.Nand, "y", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	c.AddOutput("y")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	faults, _ := OBDUniverse(c)
+	if len(faults) != 4 {
+		t.Fatalf("NAND2 universe has %d faults, want 4", len(faults))
+	}
+	classes := CollapseOBD(faults)
+	if len(classes) != 3 {
+		t.Fatalf("%d classes, want 3 (merged NMOS pair + 2 PMOS)", len(classes))
+	}
+	reps := Representatives(classes)
+	for i, cl := range classes {
+		if reps[i] != cl[0] {
+			t.Fatalf("representative %d is not its class's first member", i)
+		}
+	}
+}
+
+// TestCollapseFanoutHeavyCircuit: one input pair fans out to several
+// structurally identical gates. Their local pair sets coincide, but
+// collapsing must stay per-gate — the defects live at different sites and
+// are told apart by observation, so classes may never span gates.
+func TestCollapseFanoutHeavyCircuit(t *testing.T) {
+	c := logic.New("fanout")
+	for _, in := range []string{"x", "y"} {
+		if err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 4
+	for i := 0; i < n; i++ {
+		name := string(rune('p' + i))
+		if _, err := c.AddGate(name, logic.Nand, name+"_o", "x", "y"); err != nil {
+			t.Fatal(err)
+		}
+		c.AddOutput(name + "_o")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	faults, _ := OBDUniverse(c)
+	if len(faults) != 4*n {
+		t.Fatalf("universe has %d faults, want %d", len(faults), 4*n)
+	}
+	classes := CollapseOBD(faults)
+	if len(classes) != 3*n {
+		t.Fatalf("%d classes, want %d (3 per gate, never merged across gates)", len(classes), 3*n)
+	}
+	total := 0
+	for _, cl := range classes {
+		total += len(cl)
+		for _, f := range cl[1:] {
+			if f.Gate != cl[0].Gate {
+				t.Fatalf("class spans gates %s and %s", cl[0].Gate.Name, f.Gate.Name)
+			}
+		}
+	}
+	if total != 4*n {
+		t.Fatalf("classes cover %d faults, want %d", total, 4*n)
+	}
+	if got := len(Representatives(classes)); got != 3*n {
+		t.Fatalf("%d representatives, want %d", got, 3*n)
+	}
+}

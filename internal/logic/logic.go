@@ -8,6 +8,7 @@ package logic
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // GateType enumerates the supported gate functions.
@@ -280,11 +281,21 @@ func (c *Circuit) AddGate(name string, t GateType, output string, inputs ...stri
 	return g, nil
 }
 
-// Driver returns the gate driving a net, or nil for primary inputs.
-func (c *Circuit) Driver(net string) *Gate { return c.driver[net] }
+// Driver returns the gate driving a net, or nil for primary inputs. Like
+// Ordered and Depth it validates the circuit first (and panics when
+// validation fails), so structural queries never observe a half-built or
+// cyclic netlist.
+func (c *Circuit) Driver(net string) *Gate {
+	c.mustValidate()
+	return c.driver[net]
+}
 
-// Fanout returns the gates consuming a net.
-func (c *Circuit) Fanout(net string) []*Gate { return c.fanout[net] }
+// Fanout returns the gates consuming a net. Like Ordered and Depth it
+// validates the circuit first (and panics when validation fails).
+func (c *Circuit) Fanout(net string) []*Gate {
+	c.mustValidate()
+	return c.fanout[net]
+}
 
 // IsInput reports whether net is a primary input.
 func (c *Circuit) IsInput(net string) bool { return c.isInput[net] }
@@ -344,10 +355,84 @@ func (c *Circuit) Validate() error {
 		}
 	}
 	if len(ordered) != len(c.Gates) {
+		if cyc := c.FindCycle(); len(cyc) > 0 {
+			names := make([]string, 0, len(cyc)+1)
+			for _, g := range cyc {
+				names = append(names, g.Name)
+			}
+			names = append(names, cyc[0].Name)
+			return fmt.Errorf("logic: circuit %q has a combinational cycle: %s",
+				c.Name, strings.Join(names, " -> "))
+		}
 		return fmt.Errorf("logic: circuit %q has a combinational cycle", c.Name)
 	}
 	c.ordered = ordered
 	c.validated = true
+	return nil
+}
+
+// FindCycle returns the gates of one combinational cycle in driving order
+// (gate i drives an input of gate i+1, and the last drives the first), or
+// nil when the netlist is acyclic. It indexes the raw Gates slice rather
+// than the construction caches, so it works on unvalidated — even
+// hand-assembled — circuits; both Validate and the netcheck structural
+// lint report cycles through it.
+func (c *Circuit) FindCycle() []*Gate {
+	driver := make(map[string]*Gate, len(c.Gates))
+	for _, g := range c.Gates {
+		if _, dup := driver[g.Output]; !dup {
+			driver[g.Output] = g
+		}
+	}
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // fully explored, not on any cycle reachable from here
+	)
+	color := make(map[*Gate]int, len(c.Gates))
+	var stack []*Gate
+	// visit walks the "driven-by" edges; a grey hit closes a cycle. The
+	// returned slice is the cycle in driven-by order; callers reverse it.
+	var visit func(g *Gate) []*Gate
+	visit = func(g *Gate) []*Gate {
+		color[g] = grey
+		stack = append(stack, g)
+		for _, in := range g.Inputs {
+			d := driver[in]
+			if d == nil {
+				continue
+			}
+			switch color[d] {
+			case grey:
+				// Slice the stack from d to g: that is the cycle.
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i] == d {
+						return append([]*Gate(nil), stack[i:]...)
+					}
+				}
+			case white:
+				if cyc := visit(d); cyc != nil {
+					return cyc
+				}
+			}
+		}
+		color[g] = black
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+	for _, g := range c.Gates {
+		if color[g] != white {
+			continue
+		}
+		stack = stack[:0]
+		if cyc := visit(g); cyc != nil {
+			// The DFS followed driven-by edges, so reverse into driving order.
+			for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+				cyc[i], cyc[j] = cyc[j], cyc[i]
+			}
+			return cyc
+		}
+	}
 	return nil
 }
 

@@ -129,6 +129,83 @@ func TestValidateErrors(t *testing.T) {
 	mustGate(t, c3, "g2", Inv, "y", "x")
 	if err := c3.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
 		t.Fatalf("cycle not caught: %v", err)
+	} else {
+		// The error must name the gates on the cycle, not just report one.
+		for _, g := range []string{"g1", "g2"} {
+			if !strings.Contains(err.Error(), g) {
+				t.Fatalf("cycle error %q does not name gate %s", err, g)
+			}
+		}
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	c := New("cyc")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "front", Inv, "f", "a")
+	mustGate(t, c, "g1", Nand, "x", "f", "z")
+	mustGate(t, c, "g2", Inv, "y", "x")
+	mustGate(t, c, "g3", Inv, "z", "y")
+	cyc := c.FindCycle()
+	if len(cyc) != 3 {
+		t.Fatalf("FindCycle returned %d gates, want 3", len(cyc))
+	}
+	// Driving order: each gate drives an input of the next, wrapping.
+	for i, g := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		found := false
+		for _, in := range next.Inputs {
+			if in == g.Output {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cycle order broken: %s does not drive %s", g.Name, next.Name)
+		}
+	}
+
+	if got := C17().FindCycle(); got != nil {
+		t.Fatalf("FindCycle on acyclic c17 returned %v", got)
+	}
+}
+
+// Driver and Fanout must behave like Ordered/Depth: validate implicitly
+// and panic on structurally broken circuits instead of silently answering
+// from stale caches.
+func TestDriverFanoutValidate(t *testing.T) {
+	c := New("broken")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "g1", Inv, "y", "nosuch")
+	for name, probe := range map[string]func(){
+		"Driver": func() { c.Driver("y") },
+		"Fanout": func() { c.Fanout("a") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on an invalid circuit did not panic", name)
+				}
+			}()
+			probe()
+		}()
+	}
+
+	// On a valid but not-yet-validated circuit they validate implicitly.
+	ok := New("ok")
+	if err := ok.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, ok, "g1", Inv, "y", "a")
+	ok.AddOutput("y")
+	if g := ok.Driver("y"); g == nil || g.Name != "g1" {
+		t.Fatalf("Driver(y) = %v, want g1", g)
+	}
+	if fo := ok.Fanout("a"); len(fo) != 1 || fo[0].Name != "g1" {
+		t.Fatalf("Fanout(a) = %v, want [g1]", fo)
 	}
 }
 

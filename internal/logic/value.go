@@ -26,6 +26,25 @@ func (v Value) String() string {
 	}
 }
 
+// MarshalText renders the value as "0"/"1"/"X" so JSON reports stay
+// readable instead of exposing the raw uint8.
+func (v Value) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText parses "0", "1", "X"/"x".
+func (v *Value) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "0":
+		*v = Zero
+	case "1":
+		*v = One
+	case "X", "x":
+		*v = X
+	default:
+		return fmt.Errorf("logic: bad value %q", b)
+	}
+	return nil
+}
+
 // Not returns the three-valued complement.
 func (v Value) Not() Value {
 	switch v {

@@ -1,0 +1,135 @@
+package netcheck
+
+import (
+	"testing"
+
+	"gobd/internal/cells"
+	"gobd/internal/logic"
+)
+
+// nandPair builds inputs a,b -> g1 = NAND(a,b) -> output y.
+func nandPair(t *testing.T) *logic.Circuit {
+	t.Helper()
+	c := logic.New("np")
+	for _, in := range []string{"a", "b"} {
+		if err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGate(t, c, "g1", logic.Nand, "y", "a", "b")
+	c.AddOutput("y")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEngineBackwardImplication(t *testing.T) {
+	c := nandPair(t)
+	e := newEngine(c)
+	// NAND output 0 pins both inputs to 1 — the backward direction a
+	// forward evaluator cannot see.
+	if !e.Assume("y", logic.Zero, "test") {
+		t.Fatalf("consistent assumption refuted: %v", e.Proof())
+	}
+	if e.Value("a") != logic.One || e.Value("b") != logic.One {
+		t.Fatalf("backward implication missing: a=%v b=%v", e.Value("a"), e.Value("b"))
+	}
+	if err := VerifyProof(c, e.Proof()); err != nil {
+		t.Fatalf("proof does not replay: %v", err)
+	}
+}
+
+func TestEngineContradiction(t *testing.T) {
+	c := nandPair(t)
+	e := newEngine(c)
+	if !e.Assume("a", logic.Zero, "test") {
+		t.Fatal("a=0 alone cannot be contradictory")
+	}
+	// a=0 forces y=1; demanding y=0 must refute.
+	if e.Value("y") != logic.One {
+		t.Fatalf("forward implication missing: y=%v", e.Value("y"))
+	}
+	if e.Assume("y", logic.Zero, "test") {
+		t.Fatal("contradictory assumption accepted")
+	}
+	p := e.Proof()
+	if !p.Refutes() {
+		t.Fatalf("proof does not end in a conflict: %v", p)
+	}
+	if err := VerifyProof(c, p); err != nil {
+		t.Fatalf("refutation does not replay: %v", err)
+	}
+}
+
+func TestEngineTiedNets(t *testing.T) {
+	// g1 = NAND(x, x) is an inverter; output 0 forces x=1 and vice versa.
+	c := logic.New("tied")
+	if err := c.AddInput("x"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "g1", logic.Nand, "y", "x", "x")
+	c.AddOutput("y")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(c)
+	if !e.Assume("y", logic.Zero, "test") {
+		t.Fatal("refuted consistent assumption")
+	}
+	if e.Value("x") != logic.One {
+		t.Fatalf("tied-net implication missing: x=%v", e.Value("x"))
+	}
+}
+
+func TestConstantsFullAdder(t *testing.T) {
+	// The paper's redundant full-adder sum circuit: d2·qi = (A·!B)·(!A·B)
+	// can never be satisfied, so d3 = NAND(d2, qi) is structurally 1.
+	c := cells.FullAdderSumLogic()
+	consts := Constants(c)
+	if len(consts) != 1 {
+		t.Fatalf("constants = %v, want exactly d3", consts)
+	}
+	k := consts[0]
+	if k.Net != "d3" || k.Val != logic.One {
+		t.Fatalf("constant = %s=%v, want d3=1", k.Net, k.Val)
+	}
+	if !k.Proof.Refutes() {
+		t.Fatal("constant proof does not end in a contradiction")
+	}
+	if err := VerifyProof(c, k.Proof); err != nil {
+		t.Fatalf("constant proof does not replay: %v", err)
+	}
+}
+
+func TestConstantsCleanCircuits(t *testing.T) {
+	for _, c := range []*logic.Circuit{logic.C17(), logic.RippleCarryAdder(2), logic.Mux41()} {
+		if consts := Constants(c); len(consts) != 0 {
+			t.Fatalf("%s: unexpected constants %v", c.Name, consts)
+		}
+	}
+}
+
+func TestVerifyProofRejectsTampering(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	k := Constants(c)[0]
+
+	// Flipping a derived value must break replay.
+	bad := append(Proof(nil), k.Proof...)
+	for i := range bad {
+		if bad[i].Rule == RuleImply {
+			bad[i].Val = bad[i].Val.Not()
+			break
+		}
+	}
+	if err := VerifyProof(c, bad); err == nil {
+		t.Fatal("verifier accepted a proof with a flipped implication")
+	}
+
+	// A conflict step without the contradiction behind it must break too.
+	head := append(Proof(nil), k.Proof[0])
+	head = append(head, k.Proof[len(k.Proof)-1])
+	if err := VerifyProof(c, head); err == nil {
+		t.Fatal("verifier accepted a truncated refutation")
+	}
+}

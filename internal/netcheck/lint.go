@@ -1,0 +1,189 @@
+package netcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"gobd/internal/logic"
+)
+
+// Lint runs the structural checks over the raw gate list. It deliberately
+// avoids the Circuit's construction caches and validation APIs (Driver,
+// Fanout, Ordered all panic on broken circuits), so it can describe
+// exactly the netlists Validate refuses — including hand-assembled ones
+// that bypassed AddGate's invariants. Diagnostics come out in a
+// deterministic order: cycles, then per-net errors sorted by net, then
+// warnings.
+func Lint(c *logic.Circuit) []Diagnostic {
+	var diags []Diagnostic
+
+	// Index the raw slice: every driver of every net, and per-net readers.
+	drivers := make(map[string][]*logic.Gate)
+	readers := make(map[string][]*logic.Gate)
+	isInput := make(map[string]bool, len(c.Inputs))
+	for _, in := range c.Inputs {
+		isInput[in] = true
+	}
+	for _, g := range c.Gates {
+		drivers[g.Output] = append(drivers[g.Output], g)
+		for _, in := range g.Inputs {
+			readers[in] = append(readers[in], g)
+		}
+	}
+
+	// Combinational cycles, with the actual gate path named.
+	if cyc := c.FindCycle(); len(cyc) > 0 {
+		path := make([]string, 0, len(cyc))
+		for _, g := range cyc {
+			path = append(path, g.Name)
+		}
+		diags = append(diags, Diagnostic{
+			Code:     CodeCycle,
+			Severity: Error,
+			Gate:     cyc[0].Name,
+			Path:     path,
+			Message:  fmt.Sprintf("combinational cycle: %s -> %s", joinArrow(path), path[0]),
+		})
+	}
+
+	// Multi-driven nets (only constructible by mutating Gates directly,
+	// but that is precisely what a lint pass must not assume away) and
+	// gates driving declared primary inputs.
+	var multi []string
+	for net, ds := range drivers {
+		if len(ds) > 1 || isInput[net] {
+			multi = append(multi, net)
+		}
+	}
+	sort.Strings(multi)
+	for _, net := range multi {
+		names := make([]string, 0, len(drivers[net])+1)
+		if isInput[net] {
+			names = append(names, "primary input")
+		}
+		for _, g := range drivers[net] {
+			names = append(names, g.Name)
+		}
+		diags = append(diags, Diagnostic{
+			Code:     CodeMultiDriven,
+			Severity: Error,
+			Net:      net,
+			Path:     names,
+			Message:  fmt.Sprintf("net %q driven by %s", net, joinComma(names)),
+		})
+	}
+
+	// Floating nets: read by a gate or declared as an output, but neither
+	// a primary input nor driven.
+	type use struct{ net, by string }
+	var floating []use
+	seenFloat := make(map[string]bool)
+	for _, g := range c.Gates {
+		for _, in := range g.Inputs {
+			if !isInput[in] && len(drivers[in]) == 0 && !seenFloat[in] {
+				seenFloat[in] = true
+				floating = append(floating, use{in, "gate " + g.Name})
+			}
+		}
+	}
+	for _, out := range c.Outputs {
+		if !isInput[out] && len(drivers[out]) == 0 && !seenFloat[out] {
+			seenFloat[out] = true
+			floating = append(floating, use{out, "primary output list"})
+		}
+	}
+	sort.Slice(floating, func(i, j int) bool { return floating[i].net < floating[j].net })
+	for _, f := range floating {
+		diags = append(diags, Diagnostic{
+			Code:     CodeUndriven,
+			Severity: Error,
+			Net:      f.net,
+			Message:  fmt.Sprintf("net %q is floating: used by %s but never driven and not a primary input", f.net, f.by),
+		})
+	}
+
+	// Duplicate primary-output declarations.
+	seenPO := make(map[string]int)
+	for _, out := range c.Outputs {
+		seenPO[out]++
+	}
+	var dupPOs []string
+	for out, n := range seenPO {
+		if n > 1 {
+			dupPOs = append(dupPOs, out)
+		}
+	}
+	sort.Strings(dupPOs)
+	for _, out := range dupPOs {
+		diags = append(diags, Diagnostic{
+			Code:     CodeDupOutput,
+			Severity: Warning,
+			Net:      out,
+			Message:  fmt.Sprintf("net %q declared as a primary output %d times", out, seenPO[out]),
+		})
+	}
+
+	// Unreachable gates: outputs that reach no primary output. Walk
+	// backwards from the POs over the (possibly multi-)driver index.
+	reachesPO := make(map[string]bool)
+	var stack []string
+	for _, out := range c.Outputs {
+		if !reachesPO[out] {
+			reachesPO[out] = true
+			stack = append(stack, out)
+		}
+	}
+	for len(stack) > 0 {
+		net := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, g := range drivers[net] {
+			for _, in := range g.Inputs {
+				if !reachesPO[in] {
+					reachesPO[in] = true
+					stack = append(stack, in)
+				}
+			}
+		}
+	}
+	for _, g := range c.Gates {
+		if !reachesPO[g.Output] {
+			diags = append(diags, Diagnostic{
+				Code:     CodeUnreachable,
+				Severity: Warning,
+				Gate:     g.Name,
+				Net:      g.Output,
+				Message:  fmt.Sprintf("gate %q output %q reaches no primary output (dead logic)", g.Name, g.Output),
+			})
+		}
+	}
+
+	// Dangling primary inputs: declared but feeding nothing and not
+	// themselves outputs.
+	for _, in := range c.Inputs {
+		if len(readers[in]) == 0 && seenPO[in] == 0 {
+			diags = append(diags, Diagnostic{
+				Code:     CodeDanglingPI,
+				Severity: Warning,
+				Net:      in,
+				Message:  fmt.Sprintf("primary input %q feeds no gate and no output", in),
+			})
+		}
+	}
+
+	return diags
+}
+
+func joinArrow(parts []string) string { return join(parts, " -> ") }
+
+func joinComma(parts []string) string { return join(parts, ", ") }
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

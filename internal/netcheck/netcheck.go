@@ -1,0 +1,170 @@
+// Package netcheck is a multi-pass static analyzer over logic.Circuit
+// netlists. It turns the repo's implicit structural invariants into
+// checked, reported facts — before any simulation or PODEM search runs:
+//
+//   - a structural lint pass (Lint) producing typed diagnostics:
+//     combinational cycles with the gate path named, floating and
+//     multi-driven nets, gates whose output reaches no primary output,
+//     and dangling primary inputs;
+//   - a static implication engine (Implications) doing constant
+//     propagation from structurally tied nets and direct implications
+//     across gates, with every derived value carrying a machine-checkable
+//     proof step chain;
+//   - an OBD untestability prover (ProveOBD) that combines the paper's
+//     local excitation pairs with implication closure and structural
+//     dominators to prove faults untestable without invoking PODEM. The
+//     prover is one-sided by design: it may prove untestability, never
+//     testability (see DESIGN.md, "Static analysis");
+//   - a SCOAP-backed hard-fault report (HardFaults) ranking the surviving
+//     faults by controllability/observability cost.
+//
+// Analyze bundles all passes into one Report; cmd/obdlint surfaces it as
+// text or JSON, and atpg.Options.Prune feeds generator fault lists
+// through the prover.
+package netcheck
+
+import (
+	"fmt"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// Severity classifies a lint diagnostic.
+type Severity int
+
+// Severities. Errors break evaluation semantics (Validate would refuse
+// the circuit); warnings flag structure that simulates fine but usually
+// indicates a netlist bug or dead silicon.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalText makes severities render as words in JSON reports.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Diagnostic codes produced by the lint pass.
+const (
+	CodeCycle       = "combinational-cycle"
+	CodeUndriven    = "undriven-net"
+	CodeMultiDriven = "multi-driven-net"
+	CodeUnreachable = "unreachable-gate"
+	CodeDanglingPI  = "dangling-input"
+	CodeDupOutput   = "duplicate-output"
+	CodeConstantNet = "constant-net"
+)
+
+// Diagnostic is one typed lint finding.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Net      string   `json:"net,omitempty"`  // net the finding is about
+	Gate     string   `json:"gate,omitempty"` // gate the finding is about
+	Path     []string `json:"path,omitempty"` // e.g. the gates on a cycle
+	Message  string   `json:"message"`
+}
+
+// String implements fmt.Stringer.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%v[%s] %s", d.Severity, d.Code, d.Message)
+}
+
+// Report is the combined outcome of every netcheck pass over one circuit.
+type Report struct {
+	Circuit     string       `json:"circuit"`
+	Inputs      int          `json:"inputs"`
+	Outputs     int          `json:"outputs"`
+	Gates       int          `json:"gates"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Constants lists nets proved to hold one value under every input
+	// assignment (empty unless the circuit lints clean enough to run the
+	// implication engine).
+	Constants []Constant `json:"constants,omitempty"`
+	// Verdicts holds one OBD untestability verdict per fault of the
+	// circuit's OBD universe (nil when the universe was not analyzed).
+	Verdicts []Verdict `json:"verdicts,omitempty"`
+	// HardFaults ranks the faults the prover could NOT discharge by SCOAP
+	// effort, hardest first.
+	HardFaults []HardFault `json:"hard_faults,omitempty"`
+}
+
+// Errors reports how many Error-severity diagnostics the lint pass found.
+func (r *Report) Errors() int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// UntestableCount returns how many faults the prover discharged.
+func (r *Report) UntestableCount() int {
+	n := 0
+	for _, v := range r.Verdicts {
+		if v.Untestable {
+			n++
+		}
+	}
+	return n
+}
+
+// Options tunes Analyze.
+type Options struct {
+	// SkipFaults disables the OBD untestability and hard-fault passes
+	// (lint and constants only).
+	SkipFaults bool
+	// TopHard caps the hard-fault ranking length (0 = all).
+	TopHard int
+}
+
+// Analyze runs every pass that the circuit's structural health permits:
+// lint always; constants, OBD verdicts and the hard-fault ranking only
+// when lint found no Error diagnostics (the downstream passes assume a
+// circuit Validate accepts).
+func Analyze(c *logic.Circuit, opt Options) *Report {
+	r := &Report{
+		Circuit: c.Name,
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		Gates:   len(c.Gates),
+	}
+	r.Diagnostics = Lint(c)
+	if r.Errors() > 0 {
+		return r
+	}
+	consts := Constants(c)
+	r.Constants = consts
+	for _, k := range consts {
+		r.Diagnostics = append(r.Diagnostics, Diagnostic{
+			Code:     CodeConstantNet,
+			Severity: Warning,
+			Net:      k.Net,
+			Message: fmt.Sprintf("net %q is structurally constant %v (proved by a %d-step implication chain)",
+				k.Net, k.Val, len(k.Proof)),
+		})
+	}
+	if opt.SkipFaults {
+		return r
+	}
+	faults, _ := fault.OBDUniverse(c)
+	r.Verdicts = ProveOBDList(c, faults)
+	var surviving []fault.OBD
+	for i, v := range r.Verdicts {
+		if !v.Untestable {
+			surviving = append(surviving, faults[i])
+		}
+	}
+	r.HardFaults = HardFaults(c, surviving, opt.TopHard)
+	return r
+}

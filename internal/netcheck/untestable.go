@@ -1,0 +1,375 @@
+package netcheck
+
+import (
+	"fmt"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// This file proves OBD faults untestable without running PODEM. A fault
+// is discharged when one of four static arguments closes every escape:
+//
+//  1. the gate has no excitation pairs at all (series transistor whose
+//     conduction is never solitary);
+//  2. the gate output reaches no primary output (dead logic);
+//  3. some dominator on the propagation path blocks the fault effect for
+//     every side-input assignment;
+//  4. every excitation pair is individually refuted: the pair's V2 local
+//     values plus the side values forced by the structural dominators are
+//     contradictory under implication closure (frame 2), or the V1 values
+//     alone are unjustifiable (frame 1), or the pair demands two different
+//     values of one tied net.
+//
+// Every implication-based refutation carries the proof chain and can be
+// replayed with VerifyProof. The prover is ONE-SIDED: Untestable=false
+// means "not proven", not "testable" — implication closure without a
+// full decision procedure cannot certify justifiability. PODEM remains
+// the completeness authority; the prover only removes work from it.
+
+// Reason explains why a fault was proved untestable.
+type Reason string
+
+// Untestability reasons.
+const (
+	ReasonNoExcitation Reason = "no-excitation-pairs"
+	ReasonUnobservable Reason = "unobservable"
+	ReasonBlocked      Reason = "dominator-blocked"
+	ReasonPairsRefuted Reason = "all-pairs-refuted"
+)
+
+// PairRefutation records why one excitation pair cannot be realized.
+type PairRefutation struct {
+	Pair  string `json:"pair"`
+	Frame int    `json:"frame"` // 1: V1 unjustifiable, 2: V2 + propagation contradictory
+	// PinConflict marks pairs demanding two different values of one net
+	// that feeds several pins of the site gate; no implication needed.
+	PinConflict bool `json:"pin_conflict,omitempty"`
+	// Proof is the implication chain ending in the contradiction
+	// (machine-checkable via VerifyProof). Empty for pin conflicts.
+	Proof Proof `json:"proof,omitempty"`
+}
+
+// Verdict is the prover's outcome for one OBD fault.
+type Verdict struct {
+	Fault      string `json:"fault"`
+	Untestable bool   `json:"untestable"`
+	Reason     Reason `json:"reason,omitempty"`
+	// Dominators lists the gates every propagation path must pass (for
+	// ReasonBlocked: the single blocking gate).
+	Dominators []string `json:"dominators,omitempty"`
+	// Pairs holds the per-pair refutations when Reason is
+	// ReasonPairsRefuted; nil when the fault was not proved untestable.
+	Pairs []PairRefutation `json:"pairs,omitempty"`
+}
+
+// sideVal is one forced dominator side-input value.
+type sideVal struct {
+	net  string
+	val  logic.Value
+	gate string
+}
+
+// ProveOBD attempts a static untestability proof for one fault. The
+// circuit must validate.
+func ProveOBD(c *logic.Circuit, f fault.OBD) Verdict {
+	v := Verdict{Fault: f.String()}
+	pairs := f.ExcitationPairs()
+	if len(pairs) == 0 {
+		v.Untestable = true
+		v.Reason = ReasonNoExcitation
+		return v
+	}
+	reach := reachableNets(c, f.Gate.Output)
+	observable := false
+	for _, po := range c.Outputs {
+		if reach[po] {
+			observable = true
+			break
+		}
+	}
+	if !observable {
+		v.Untestable = true
+		v.Reason = ReasonUnobservable
+		return v
+	}
+	doms := dominators(c, f.Gate, reach)
+	var reqs []sideVal
+	for _, d := range doms {
+		v.Dominators = append(v.Dominators, d.Name)
+		forced, blocked := forcedSide(d, reach)
+		if blocked {
+			v.Untestable = true
+			v.Reason = ReasonBlocked
+			v.Dominators = []string{d.Name}
+			v.Pairs = nil
+			return v
+		}
+		reqs = append(reqs, forced...)
+	}
+	var refs []PairRefutation
+	for _, p := range pairs {
+		ref, refuted := refutePair(c, f, p, reqs)
+		if !refuted {
+			v.Untestable = false
+			return v
+		}
+		refs = append(refs, ref)
+	}
+	v.Untestable = true
+	v.Reason = ReasonPairsRefuted
+	v.Pairs = refs
+	return v
+}
+
+// ProveOBDList proves what it can over a fault list; the result is
+// index-aligned with faults.
+func ProveOBDList(c *logic.Circuit, faults []fault.OBD) []Verdict {
+	out := make([]Verdict, len(faults))
+	for i, f := range faults {
+		out[i] = ProveOBD(c, f)
+	}
+	return out
+}
+
+// UntestableOBD is the mask form of ProveOBDList, used by atpg's Prune
+// option: true where the prover discharged the fault.
+func UntestableOBD(c *logic.Circuit, faults []fault.OBD) []bool {
+	out := make([]bool, len(faults))
+	for i, f := range faults {
+		out[i] = ProveOBD(c, f).Untestable
+	}
+	return out
+}
+
+// refutePair tries to kill one excitation pair. Frame 2 first (it carries
+// the dominator constraints and refutes most often), then frame 1, which
+// is pure justification: V1 must merely be reachable as a stable state, so
+// no propagation constraint applies there.
+func refutePair(c *logic.Circuit, f fault.OBD, p fault.Pair, reqs []sideVal) (PairRefutation, bool) {
+	for _, frame := range []struct {
+		n    int
+		vals []logic.Value
+		side []sideVal
+	}{{2, p.V2, reqs}, {1, p.V1, nil}} {
+		demands, conflict := demandByNet(f.Gate, frame.vals)
+		if conflict {
+			return PairRefutation{Pair: p.String(), Frame: frame.n, PinConflict: true}, true
+		}
+		e := newEngine(c)
+		ok := true
+		for _, d := range demands {
+			if !e.Assume(d.net, d.val, fmt.Sprintf("excitation %s frame %d of %s", p, frame.n, f)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, r := range frame.side {
+				if !e.Assume(r.net, r.val, fmt.Sprintf("side value forced by dominator %s", r.gate)) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			return PairRefutation{Pair: p.String(), Frame: frame.n, Proof: e.Proof()}, true
+		}
+	}
+	return PairRefutation{}, false
+}
+
+// demandByNet folds per-pin values onto the gate's distinct input nets;
+// conflict is true when a tied net is asked for both values.
+func demandByNet(g *logic.Gate, pins []logic.Value) (out []sideVal, conflict bool) {
+	idx := make(map[string]int)
+	for pi, in := range g.Inputs {
+		v := pins[pi]
+		if !v.IsKnown() {
+			continue
+		}
+		if j, ok := idx[in]; ok {
+			if out[j].val != v {
+				return nil, true
+			}
+			continue
+		}
+		idx[in] = len(out)
+		out = append(out, sideVal{net: in, val: v})
+	}
+	return out, false
+}
+
+// reachableNets returns the transitive fanout cone of a net, including
+// the net itself.
+func reachableNets(c *logic.Circuit, root string) map[string]bool {
+	reach := map[string]bool{root: true}
+	stack := []string{root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, g := range c.Fanout(n) {
+			if !reach[g.Output] {
+				reach[g.Output] = true
+				stack = append(stack, g.Output)
+			}
+		}
+	}
+	return reach
+}
+
+// dominators returns the gates (excluding the site itself) that lie on
+// every path from the site gate's output to every reachable primary
+// output — computed as classical set-intersection dominators over the
+// fault-effect cone with a virtual sink joining all reachable POs. Output
+// order is topological.
+func dominators(c *logic.Circuit, site *logic.Gate, reach map[string]bool) []*logic.Gate {
+	var cone []*logic.Gate
+	idx := make(map[*logic.Gate]int)
+	for _, g := range c.Ordered() {
+		if reach[g.Output] {
+			idx[g] = len(cone)
+			cone = append(cone, g)
+		}
+	}
+	words := (len(cone) + 63) / 64
+	bit := func(set []uint64, i int) bool { return set[i/64]&(1<<(i%64)) != 0 }
+	set := func(s []uint64, i int) { s[i/64] |= 1 << (i % 64) }
+	dom := make([][]uint64, len(cone))
+	for i, g := range cone {
+		if g == site {
+			d := make([]uint64, words)
+			set(d, i)
+			dom[i] = d
+			continue
+		}
+		// Intersect the dominator sets of the in-cone predecessors. Every
+		// non-site cone gate has at least one input in the cone (that is
+		// why it is in the cone), and topological order guarantees the
+		// predecessor sets are already computed.
+		var acc []uint64
+		for _, in := range g.Inputs {
+			if !reach[in] {
+				continue
+			}
+			pd := dom[idx[c.Driver(in)]]
+			if acc == nil {
+				acc = append([]uint64(nil), pd...)
+			} else {
+				for w := range acc {
+					acc[w] &= pd[w]
+				}
+			}
+		}
+		set(acc, i)
+		dom[i] = acc
+	}
+	// Virtual sink: intersect over the driver gates of every reachable PO.
+	var sink []uint64
+	seen := make(map[int]bool)
+	for _, po := range c.Outputs {
+		if !reach[po] {
+			continue
+		}
+		j := idx[c.Driver(po)]
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		if sink == nil {
+			sink = append([]uint64(nil), dom[j]...)
+		} else {
+			for w := range sink {
+				sink[w] &= dom[j][w]
+			}
+		}
+	}
+	var out []*logic.Gate
+	for i, g := range cone {
+		if g != site && sink != nil && bit(sink, i) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// forcedSide derives the side-input values a dominator imposes on any
+// fault-propagating assignment. A side net (an input net outside the
+// fault-effect cone) is forced to v when the opposite value makes the
+// gate's output independent of every effect net no matter what the other
+// side nets hold — the classical non-controlling side-value condition,
+// derived here from the truth table so every gate type (including AOI/OAI
+// with the effect on multiple pins, and tied nets) is handled uniformly.
+// blocked is true when some side net kills propagation at BOTH values, so
+// no assignment lets a difference through the gate.
+func forcedSide(g *logic.Gate, reach map[string]bool) (forced []sideVal, blocked bool) {
+	nets := distinctInputs(g)
+	if len(nets) > maxEnumNets {
+		return nil, false // too wide to enumerate; claim nothing (sound)
+	}
+	var effIdx, sideIdx []int
+	for i, n := range nets {
+		if reach[n] {
+			effIdx = append(effIdx, i)
+		} else {
+			sideIdx = append(sideIdx, i)
+		}
+	}
+	if len(sideIdx) == 0 || len(effIdx) == 0 {
+		return nil, false
+	}
+	pins := make([]logic.Value, len(g.Inputs))
+	vals := make([]logic.Value, len(nets))
+	eval := func() logic.Value {
+		for pi, in := range g.Inputs {
+			for i, n := range nets {
+				if n == in {
+					pins[pi] = vals[i]
+				}
+			}
+		}
+		return g.Eval(pins)
+	}
+	// kills reports whether fixing side net s := v makes the output
+	// independent of the effect nets for every assignment of the other
+	// side nets.
+	kills := func(s int, v logic.Value) bool {
+		others := make([]int, 0, len(sideIdx)-1)
+		for _, i := range sideIdx {
+			if i != s {
+				others = append(others, i)
+			}
+		}
+		for sm := 0; sm < 1<<len(others); sm++ {
+			vals[s] = v
+			for k, i := range others {
+				vals[i] = logic.FromBool(sm&(1<<k) != 0)
+			}
+			first := logic.X
+			for em := 0; em < 1<<len(effIdx); em++ {
+				for k, i := range effIdx {
+					vals[i] = logic.FromBool(em&(1<<k) != 0)
+				}
+				out := eval()
+				if em == 0 {
+					first = out
+				} else if out != first {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, s := range sideIdx {
+		k0, k1 := kills(s, logic.Zero), kills(s, logic.One)
+		switch {
+		case k0 && k1:
+			return nil, true
+		case k0:
+			forced = append(forced, sideVal{net: nets[s], val: logic.One, gate: g.Name})
+		case k1:
+			forced = append(forced, sideVal{net: nets[s], val: logic.Zero, gate: g.Name})
+		}
+	}
+	return forced, false
+}

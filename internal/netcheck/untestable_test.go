@@ -1,0 +1,170 @@
+// Package netcheck_test cross-checks the static prover against the atpg
+// package. It lives in the external test package because atpg imports
+// netcheck for its Prune option; the internal tests cannot.
+package netcheck_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gobd/internal/atpg"
+	"gobd/internal/cells"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/netcheck"
+)
+
+// TestFullAdderVerdicts is the paper-circuit acceptance check: on the
+// redundant full-adder sum logic the prover must discharge a nonzero
+// subset of the OBD universe, and every verdict must agree with the
+// exhaustive two-pattern ground truth (3 inputs — all 8·7 ordered pairs).
+func TestFullAdderVerdicts(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	faults, skipped := fault.OBDUniverse(c)
+	if len(skipped) != 0 {
+		t.Fatalf("full adder has non-primitive gates: %v", skipped)
+	}
+	verdicts := netcheck.ProveOBDList(c, faults)
+	truth := atpg.AnalyzeExhaustive(c, faults)
+
+	proved := 0
+	for i, v := range verdicts {
+		if !v.Untestable {
+			continue
+		}
+		proved++
+		if truth.Testable[i] {
+			t.Errorf("%s: statically proved untestable but exhaustive analysis detects it", faults[i])
+		}
+		for _, pr := range v.Pairs {
+			if pr.PinConflict {
+				continue
+			}
+			if !pr.Proof.Refutes() {
+				t.Errorf("%s pair %s: refutation has no terminal conflict", faults[i], pr.Pair)
+			}
+			if err := netcheck.VerifyProof(c, pr.Proof); err != nil {
+				t.Errorf("%s pair %s: proof replay failed: %v", faults[i], pr.Pair, err)
+			}
+		}
+	}
+	if proved == 0 {
+		t.Fatal("prover discharged nothing on the full adder")
+	}
+	// The redundancy around d3 ≡ 1 pins the exact count: d1 (4), the tied
+	// d2 PMOS pair (2), d3 (4), u1 PMOS on the d3 pin (1), the tied u2
+	// PMOS pair (2).
+	if proved != 13 {
+		t.Errorf("prover discharged %d faults, want 13", proved)
+	}
+	// And the testable remainder must stay untouched: sanity that the
+	// prover's reach does not exceed the ground truth's untestable count.
+	exhaustiveUntestable := len(faults) - truth.TestableCount()
+	if proved > exhaustiveUntestable {
+		t.Errorf("proved %d > exhaustive untestable %d", proved, exhaustiveUntestable)
+	}
+}
+
+// TestStaticSubsetOfPODEM is the soundness property test: over random
+// primitive circuits, everything the prover discharges must also be
+// untestable for full PODEM (static-untestable ⊆ PODEM-untestable).
+func TestStaticSubsetOfPODEM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opt := atpg.DefaultOptions()
+	opt.FaultDropping = false
+	provedTotal := 0
+	for trial := 0; trial < 30; trial++ {
+		c := logic.RandomCircuit(rng, logic.RandomOptions{
+			Inputs:    3 + rng.Intn(4),
+			Gates:     6 + rng.Intn(10),
+			Primitive: true,
+		})
+		faults, _ := fault.OBDUniverse(c)
+		for i, v := range netcheck.ProveOBDList(c, faults) {
+			if !v.Untestable {
+				continue
+			}
+			provedTotal++
+			_, st := atpg.GenerateOBDTest(c, faults[i], opt)
+			switch st {
+			case atpg.Untestable:
+				// agreement
+			case atpg.Aborted:
+				// PODEM gave up; the property cannot be checked here.
+			default:
+				t.Errorf("trial %d: %s proved untestable statically but PODEM found a test", trial, faults[i])
+			}
+			for _, pr := range v.Pairs {
+				if pr.PinConflict {
+					continue
+				}
+				if err := netcheck.VerifyProof(c, pr.Proof); err != nil {
+					t.Errorf("trial %d: %s pair %s: proof replay failed: %v", trial, faults[i], pr.Pair, err)
+				}
+			}
+		}
+	}
+	if provedTotal == 0 {
+		t.Fatal("property test never exercised the prover (no fault proved untestable)")
+	}
+	t.Logf("statically discharged %d faults across 30 random circuits", provedTotal)
+}
+
+// TestHardFaultRanking checks the SCOAP report: sorted hardest-first and
+// covering exactly the undischarged faults.
+func TestHardFaultRanking(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	faults, _ := fault.OBDUniverse(c)
+	verdicts := netcheck.ProveOBDList(c, faults)
+	var surviving []fault.OBD
+	for i, v := range verdicts {
+		if !v.Untestable {
+			surviving = append(surviving, faults[i])
+		}
+	}
+	hard := netcheck.HardFaults(c, surviving, 0)
+	if len(hard) != len(surviving) {
+		t.Fatalf("ranking covers %d of %d surviving faults", len(hard), len(surviving))
+	}
+	for i := 1; i < len(hard); i++ {
+		if hard[i].Cost > hard[i-1].Cost {
+			t.Fatalf("ranking not sorted hardest-first at %d: %v > %v", i, hard[i], hard[i-1])
+		}
+	}
+	if top := netcheck.HardFaults(c, surviving, 5); len(top) != 5 {
+		t.Fatalf("top cap not applied: got %d", len(top))
+	}
+	for _, h := range hard {
+		if h.Cost != h.CC+h.CO {
+			t.Fatalf("cost decomposition broken: %+v", h)
+		}
+	}
+}
+
+// TestAnalyzeFullAdderReport exercises the bundled Analyze entry point.
+func TestAnalyzeFullAdderReport(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	r := netcheck.Analyze(c, netcheck.Options{TopHard: 10})
+	if r.Errors() != 0 {
+		t.Fatalf("full adder lints with errors: %v", r.Diagnostics)
+	}
+	if len(r.Constants) != 1 || r.Constants[0].Net != "d3" {
+		t.Fatalf("constants = %v, want d3", r.Constants)
+	}
+	if got := r.UntestableCount(); got != 13 {
+		t.Fatalf("untestable count = %d, want 13", got)
+	}
+	if len(r.HardFaults) != 10 {
+		t.Fatalf("TopHard not applied: %d", len(r.HardFaults))
+	}
+	// The constant net must surface as a warning diagnostic too.
+	found := false
+	for _, d := range r.Diagnostics {
+		if d.Code == netcheck.CodeConstantNet && d.Net == "d3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("constant net missing from diagnostics: %v", r.Diagnostics)
+	}
+}

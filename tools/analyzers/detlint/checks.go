@@ -1,0 +1,342 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The three determinism hazards detlint knows about, each named by the
+// rule string used in //detlint:allow annotations.
+const (
+	ruleRangeMap = "rangemap"
+	ruleTimeNow  = "timenow"
+	ruleRand     = "rand"
+)
+
+// Diag is one finding.
+type Diag struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+}
+
+// checker runs the determinism checks over one package's files. info may
+// be nil (standalone parse-only mode): map detection then falls back to
+// syntactic type inference from declarations, which covers parameters and
+// vars with literal map types or make(map[...]) initializers.
+type checker struct {
+	fset  *token.FileSet
+	info  *types.Info
+	diags []Diag
+	// allow[file][line] holds the rules suppressed at that line via a
+	// //detlint:allow comment on the same or the preceding line.
+	allow map[string]map[int]map[string]bool
+}
+
+func newChecker(fset *token.FileSet, info *types.Info) *checker {
+	return &checker{fset: fset, info: info, allow: make(map[string]map[int]map[string]bool)}
+}
+
+// File checks one file and accumulates diagnostics.
+func (c *checker) File(f *ast.File) {
+	c.collectAllows(f)
+	importsMathRand := fileImports(f, "math/rand")
+	importsTime := fileImports(f, "time")
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		c.checkRangeMap(fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if importsTime && c.isPkgCall(call, "time", "Now") {
+				c.report(call.Pos(), ruleTimeNow,
+					"time.Now is wall-clock nondeterminism; results depending on it will not replay")
+			}
+			if importsMathRand {
+				if name, banned := c.globalRandCall(call); banned {
+					c.report(call.Pos(), ruleRand,
+						fmt.Sprintf("rand.%s draws from the global math/rand source; use rand.New(rand.NewSource(seed)) for replayable results", name))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// Diags returns the findings in file/position order (the traversal order).
+func (c *checker) Diags() []Diag { return c.diags }
+
+// collectAllows scans comments for //detlint:allow annotations.
+func (c *checker) collectAllows(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			text := strings.TrimPrefix(cm.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "detlint:allow") {
+				continue
+			}
+			pos := c.fset.Position(cm.Pos())
+			lines := c.allow[pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				c.allow[pos.Filename] = lines
+			}
+			rules := lines[pos.Line]
+			if rules == nil {
+				rules = make(map[string]bool)
+				lines[pos.Line] = rules
+			}
+			// Rule names lead the annotation; anything after the first
+			// unknown token is free-form justification.
+			for _, r := range strings.FieldsFunc(strings.TrimPrefix(text, "detlint:allow"), func(r rune) bool {
+				return r == ',' || r == ' ' || r == '\t'
+			}) {
+				if r != ruleRangeMap && r != ruleTimeNow && r != ruleRand {
+					break
+				}
+				rules[r] = true
+			}
+		}
+	}
+}
+
+// allowed reports whether the rule is suppressed at the position (same
+// line or the line above).
+func (c *checker) allowed(pos token.Pos, rule string) bool {
+	p := c.fset.Position(pos)
+	lines := c.allow[p.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[p.Line][rule] || lines[p.Line-1][rule]
+}
+
+func (c *checker) report(pos token.Pos, rule, msg string) {
+	if c.allowed(pos, rule) {
+		return
+	}
+	c.diags = append(c.diags, Diag{Pos: c.fset.Position(pos), Rule: rule,
+		Msg: fmt.Sprintf("%s (suppress with //detlint:allow %s)", msg, rule)})
+}
+
+// checkRangeMap flags range statements over maps whose body feeds
+// order-sensitive sinks: appends to a slice, channel sends, or fmt
+// printing. An append target that is later passed to a sort call in the
+// same function is considered re-canonicalized and not flagged.
+func (c *checker) checkRangeMap(fn *ast.FuncDecl) {
+	sorted := make(map[string]bool) // ExprString of slices sorted in this function
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isSort := pkg.Name == "sort" || (pkg.Name == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort"))
+		if isSort {
+			sorted[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !c.isMapExpr(fn, rng.X) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.SendStmt:
+				c.report(rng.Pos(), ruleRangeMap,
+					fmt.Sprintf("iteration over map %s sends on a channel in map order, which is nondeterministic",
+						types.ExprString(rng.X)))
+				return false
+			case *ast.CallExpr:
+				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "append" && len(s.Args) > 0 {
+					target := types.ExprString(s.Args[0])
+					if !sorted[target] {
+						c.report(rng.Pos(), ruleRangeMap,
+							fmt.Sprintf("iteration over map %s appends to %s in map order, which is nondeterministic (sort it afterwards or iterate a sorted key slice)",
+								types.ExprString(rng.X), target))
+					}
+					return false
+				}
+				if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+					if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" &&
+						(strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")) {
+						c.report(rng.Pos(), ruleRangeMap,
+							fmt.Sprintf("iteration over map %s prints in map order, which is nondeterministic",
+								types.ExprString(rng.X)))
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isMapExpr reports whether the expression has map type, using full type
+// information when available and declaration syntax otherwise.
+func (c *checker) isMapExpr(fn *ast.FuncDecl, e ast.Expr) bool {
+	if c.info != nil {
+		if t := c.info.TypeOf(e); t != nil {
+			_, ok := t.Underlying().(*types.Map)
+			return ok
+		}
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	// Parameters and receivers with a literal map type.
+	if fn.Recv != nil {
+		if fieldHasMapType(fn.Recv, id.Name) {
+			return true
+		}
+	}
+	if fn.Type.Params != nil && fieldHasMapType(fn.Type.Params, id.Name) {
+		return true
+	}
+	// Local declarations: var x map[...]..., x := make(map[...]...),
+	// x := map[...]...{...}.
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if name.Name != id.Name {
+					continue
+				}
+				if _, ok := s.Type.(*ast.MapType); ok {
+					found = true
+				} else if i < len(s.Values) && exprMakesMap(s.Values[i]) {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				l, ok := lhs.(*ast.Ident)
+				if !ok || l.Name != id.Name || i >= len(s.Rhs) {
+					continue
+				}
+				if exprMakesMap(s.Rhs[i]) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// fieldHasMapType reports whether the field list declares name with a
+// literal map type.
+func fieldHasMapType(fields *ast.FieldList, name string) bool {
+	for _, f := range fields.List {
+		if _, ok := f.Type.(*ast.MapType); !ok {
+			continue
+		}
+		for _, n := range f.Names {
+			if n.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprMakesMap matches make(map[...]...) and map literal initializers.
+func exprMakesMap(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			_, ok := v.Args[0].(*ast.MapType)
+			return ok
+		}
+	case *ast.CompositeLit:
+		_, ok := v.Type.(*ast.MapType)
+		return ok
+	}
+	return false
+}
+
+// isPkgCall matches pkg.Fn(...) where pkg resolves to the named package
+// (by type information when available, by identifier otherwise).
+func (c *checker) isPkgCall(call *ast.CallExpr, pkg, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkg {
+		return false
+	}
+	if c.info != nil {
+		pn, ok := c.info.Uses[id].(*types.PkgName)
+		return ok && pn.Imported().Name() == pkg
+	}
+	return true
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared global source. Constructors (New, NewSource) are fine: a seeded
+// private source is exactly the replayable idiom.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// globalRandCall matches rand.<global-source func>(...).
+func (c *checker) globalRandCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !globalRandFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != "rand" {
+		return "", false
+	}
+	if c.info != nil {
+		pn, ok := c.info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "math/rand" {
+			return "", false
+		}
+	}
+	return sel.Sel.Name, true
+}
+
+// fileImports reports whether the file imports the given path.
+func fileImports(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}

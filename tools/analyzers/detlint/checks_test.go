@@ -1,0 +1,181 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// check parses one snippet and returns the rules fired, in order.
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := newChecker(fset, nil)
+	ch.File(f)
+	var rules []string
+	for _, d := range ch.Diags() {
+		rules = append(rules, d.Rule)
+	}
+	return rules
+}
+
+func one(t *testing.T, src, want string) {
+	t.Helper()
+	got := check(t, src)
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("want one %q finding, got %v", want, got)
+	}
+}
+
+func none(t *testing.T, src string) {
+	t.Helper()
+	if got := check(t, src); len(got) != 0 {
+		t.Fatalf("want no findings, got %v", got)
+	}
+}
+
+func TestRangeMapAppend(t *testing.T) {
+	one(t, `package p
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`, ruleRangeMap)
+}
+
+func TestRangeMapSortSuppression(t *testing.T) {
+	// The podem.go idiom: append in map order, canonicalize with sort.
+	none(t, `package p
+import "sort"
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}`)
+}
+
+func TestRangeMapLocalMakeAndSend(t *testing.T) {
+	one(t, `package p
+func f(ch chan int) {
+	m := make(map[int]int)
+	for _, v := range m {
+		ch <- v
+	}
+}`, ruleRangeMap)
+}
+
+func TestRangeMapPrint(t *testing.T) {
+	one(t, `package p
+import "fmt"
+func f() {
+	m := map[string]int{"a": 1}
+	for k := range m {
+		fmt.Println(k)
+	}
+}`, ruleRangeMap)
+}
+
+func TestRangeMapOrderInsensitiveBodyClean(t *testing.T) {
+	// Reductions (sum, max, map-to-map copies) are order-insensitive.
+	none(t, `package p
+func f(m map[string]int) int {
+	total := 0
+	q := make(map[string]int)
+	for k, v := range m {
+		total += v
+		q[k] = v
+	}
+	return total
+}`)
+}
+
+func TestRangeOverSliceClean(t *testing.T) {
+	none(t, `package p
+func f(s []int, ch chan int) {
+	for _, v := range s {
+		ch <- v
+	}
+}`)
+}
+
+func TestTimeNow(t *testing.T) {
+	one(t, `package p
+import "time"
+func f() int64 { return time.Now().Unix() }`, ruleTimeNow)
+}
+
+func TestGlobalRand(t *testing.T) {
+	one(t, `package p
+import "math/rand"
+func f() int { return rand.Intn(6) }`, ruleRand)
+}
+
+func TestSeededRandAllowed(t *testing.T) {
+	// The scan.go idiom: a private seeded source.
+	none(t, `package p
+import "math/rand"
+func f(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}`)
+}
+
+func TestAllowAnnotation(t *testing.T) {
+	none(t, `package p
+import "time"
+func f() int64 {
+	t := time.Now() //detlint:allow timenow stats only
+	return t.Unix()
+}`)
+	none(t, `package p
+import "time"
+func f() int64 {
+	//detlint:allow timenow
+	t := time.Now()
+	return t.Unix()
+}`)
+	// The annotation must name the right rule.
+	one(t, `package p
+import "time"
+func f() int64 {
+	t := time.Now() //detlint:allow rand
+	return t.Unix()
+}`, ruleTimeNow)
+}
+
+// TestVettoolOnATPG is the acceptance check: built as a vettool, detlint
+// must run clean over internal/atpg (the annotated scheduler timing, the
+// sorted podem requirement list and the seeded scan source all pass).
+func TestVettoolOnATPG(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "detlint")
+	build := exec.Command("go", "build", "-o", bin, "./tools/analyzers/detlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building detlint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/atpg/...")
+	vet.Dir = root
+	vet.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=detlint ./internal/atpg/... failed: %v\n%s", err, out)
+	}
+}

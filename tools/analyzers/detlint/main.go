@@ -1,0 +1,221 @@
+// Command detlint is a go vet analyzer (usable via -vettool) that flags
+// nondeterminism hazards in code governed by a determinism contract, such
+// as internal/atpg's scheduler ("results bit-identical for any worker
+// count"). It reports:
+//
+//   - rangemap: iteration over a map feeding an order-sensitive sink
+//     (append, channel send, fmt printing) without a subsequent sort;
+//   - timenow: time.Now calls;
+//   - rand: math/rand package-level functions drawing from the shared
+//     global source (rand.New(rand.NewSource(seed)) is the allowed idiom).
+//
+// Findings are suppressed by a "//detlint:allow <rule>" comment on the
+// same or the preceding line — the annotation that marks stats-only
+// timing and similar result-neutral uses.
+//
+// The tool speaks cmd/go's vettool protocol (-V=full, -flags, and a
+// *.cfg unit file) directly on the standard library, because the usual
+// golang.org/x/tools unitchecker scaffolding is not vendored here. It
+// also runs standalone over directories (parse-only, with syntactic map
+// inference) for quick use outside the build: detlint ./internal/atpg
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]") // no analyzer flags
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: detlint <dir>... (or via go vet -vettool=detlint)")
+		os.Exit(1)
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion answers cmd/go's -V=full tool-identity handshake: the
+// output doubles as the tool's build ID, so it hashes the executable the
+// same way the unitchecker convention does.
+func printVersion() {
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%x\n", os.Args[0], h.Sum(nil))
+}
+
+// vetConfig mirrors the JSON unit file cmd/go hands a vettool per
+// package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one vet unit. Exit codes follow the vettool contract:
+// 0 clean, nonzero with file:line:col messages on stderr otherwise.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go expects the facts file to exist even though detlint exports
+	// none; write it before anything can fail.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0666); err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue // the determinism contract governs shipped code only
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	info := typecheck(fset, files, &cfg)
+	if info == nil && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	ch := newChecker(fset, info) // info may be nil: fall back to syntax
+	for _, f := range files {
+		ch.File(f)
+	}
+	for _, d := range ch.Diags() {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(ch.Diags()) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheck resolves the unit against the export data cmd/go supplied.
+// On failure it returns nil and the caller decides whether syntax-only
+// checking is acceptable.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) *types.Info {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect as many files as possible
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	if _, err := tc.Check(cfg.ImportPath, fset, files, info); err != nil {
+		return nil
+	}
+	return info
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// standalone walks directories and checks every non-test .go file with
+// syntax-only analysis.
+func standalone(dirs []string) int {
+	fset := token.NewFileSet()
+	ch := newChecker(fset, nil)
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if perr != nil {
+				return perr
+			}
+			ch.File(f)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			return 1
+		}
+	}
+	for _, d := range ch.Diags() {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(ch.Diags()) > 0 {
+		return 2
+	}
+	return 0
+}
