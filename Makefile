@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet detlint lint test test-race short bench repro artifacts fuzz clean
+.PHONY: all build vet detlint lint test test-race short bench repro artifacts fuzz fuzz-smoke clean
 
 all: build test test-race
 
@@ -45,10 +45,22 @@ repro:
 artifacts:
 	$(GO) run ./cmd/obdrepro -experiment sets -out artifacts
 
-# Short fuzzing sessions on the parsers.
+# Short fuzzing sessions on the parsers, validators and BIST generator.
 fuzz:
-	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/logic/
-	$(GO) test -fuzz FuzzParsePair -fuzztime 30s ./internal/fault/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 30s ./internal/logic/
+	$(GO) test -run '^$$' -fuzz '^FuzzCircuitValidate$$' -fuzztime 30s ./internal/logic/
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePair$$' -fuzztime 30s ./internal/fault/
+	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 30s ./internal/netcheck/
+	$(GO) test -run '^$$' -fuzz '^FuzzLFSRPeriod$$' -fuzztime 30s ./internal/bist/
+
+# The CI smoke variant: every fuzz target for a few seconds, enough to
+# catch a target that breaks on its own seed corpus or first mutations.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/logic/
+	$(GO) test -run '^$$' -fuzz '^FuzzCircuitValidate$$' -fuzztime 5s ./internal/logic/
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePair$$' -fuzztime 5s ./internal/fault/
+	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 5s ./internal/netcheck/
+	$(GO) test -run '^$$' -fuzz '^FuzzLFSRPeriod$$' -fuzztime 5s ./internal/bist/
 
 clean:
 	$(GO) clean -testcache

@@ -215,11 +215,11 @@ func BenchmarkScaleRCA8(b *testing.B) {
 	lc := logic.RippleCarryAdder(8)
 	faults, _ := fault.OBDUniverse(lc)
 	for i := 0; i < b.N; i++ {
-		ts := atpg.GenerateOBDTests(lc, faults, nil)
+		ts := must(atpg.GenerateOBDTests(lc, faults, nil))
 		if ts.Coverage.Detected != ts.Coverage.Total {
 			b.Fatalf("RCA8 coverage %v, want complete", ts.Coverage)
 		}
-		par := atpg.GradeOBDParallel(lc, faults, ts.Tests)
+		par := must(atpg.GradeOBDParallel(lc, faults, ts.Tests))
 		if par.Detected != ts.Coverage.Detected {
 			b.Fatalf("parallel grading disagrees: %v vs %v", par, ts.Coverage)
 		}
@@ -234,7 +234,7 @@ func BenchmarkScaleRCA8(b *testing.B) {
 func BenchmarkGradeOBDWorkers(b *testing.B) {
 	lc := logic.RippleCarryAdder(16)
 	faults, _ := fault.OBDUniverse(lc)
-	ts := atpg.GenerateOBDTests(lc, faults, nil)
+	ts := must(atpg.GenerateOBDTests(lc, faults, nil))
 	tests := ts.Tests
 	rng := rand.New(rand.NewSource(1))
 	for len(tests) < 512 {
@@ -247,12 +247,12 @@ func BenchmarkGradeOBDWorkers(b *testing.B) {
 		}
 		tests = append(tests, atpg.TwoPattern{V1: mk(), V2: mk()})
 	}
-	want := atpg.NewScheduler(1).GradeOBD(lc, faults, tests)
+	want := must(atpg.NewScheduler(1).GradeOBD(lc, faults, tests))
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprint(w), func(b *testing.B) {
 			s := atpg.NewScheduler(w)
 			for i := 0; i < b.N; i++ {
-				cov := s.GradeOBD(lc, faults, tests)
+				cov := must(s.GradeOBD(lc, faults, tests))
 				if cov.Detected != want.Detected {
 					b.Fatalf("workers %d: coverage %v, want %v", w, cov, want)
 				}
@@ -330,4 +330,13 @@ func BenchmarkAblationInjection(b *testing.B) {
 		r, err := exper.RunAblationInjection(p)
 		requireClean(b, r.Check(), err)
 	}
+}
+
+// must unwraps a (value, error) return in tests, panicking on error; the
+// panic fails the calling test with the full error in the log.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -90,7 +90,10 @@ func main() {
 			die(err)
 		}
 		faults, _ := fault.OBDUniverse(lc)
-		cov := atpg.GradeOBDParallel(lc, faults, saved)
+		cov, err := atpg.GradeOBDParallel(lc, faults, saved)
+		if err != nil {
+			die(err)
+		}
 		fmt.Printf("applied %d saved pairs: OBD coverage %s\n", len(saved), cov)
 		if *verbose {
 			for _, u := range cov.Undetected {
@@ -109,17 +112,26 @@ func main() {
 		}
 		opt := atpg.DefaultOptions()
 		opt.Prune = *prune
-		ts := atpg.GenerateOBDTests(lc, faults, opt)
+		ts, err := atpg.GenerateOBDTests(lc, faults, opt)
+		if err != nil {
+			die(err)
+		}
 		pairs = ts.Tests
 		report2(lc, ts, *verbose)
 	case "ndetect":
 		faults, _ := fault.OBDUniverse(lc)
-		ts := atpg.GenerateNDetectOBDTests(lc, faults, *nDetect)
+		ts, err := atpg.GenerateNDetectOBDTests(lc, faults, *nDetect)
+		if err != nil {
+			die(err)
+		}
 		pairs = ts.Tests
 		report2(lc, ts, *verbose)
 	case "los":
 		faults, _ := fault.OBDUniverse(lc)
-		res := atpg.GenerateLOSTests(lc, faults, nil)
+		res, err := atpg.GenerateLOSTests(lc, faults, nil)
+		if err != nil {
+			die(err)
+		}
 		pairs = res.Tests
 		exact := ""
 		if res.Exact {
@@ -159,11 +171,17 @@ func main() {
 			*cycles, golden, detected, len(faults), aliased)
 		pairs = s.Pairs()
 	case "transition":
-		ts := atpg.GenerateTransitionTests(lc, fault.TransitionUniverse(lc), nil)
+		ts, err := atpg.GenerateTransitionTests(lc, fault.TransitionUniverse(lc), nil)
+		if err != nil {
+			die(err)
+		}
 		pairs = ts.Tests
 		report2(lc, ts, *verbose)
 	case "stuckat":
-		ts := atpg.GenerateStuckAtTests(lc, fault.StuckAtUniverse(lc), nil)
+		ts, err := atpg.GenerateStuckAtTests(lc, fault.StuckAtUniverse(lc), nil)
+		if err != nil {
+			die(err)
+		}
 		fmt.Printf("generated %d patterns, coverage %s\n", len(ts.Tests), ts.Coverage)
 		if *verbose {
 			for _, p := range ts.Tests {
@@ -178,7 +196,10 @@ func main() {
 	}
 	if *gradeOBD {
 		faults, _ := fault.OBDUniverse(lc)
-		cov := atpg.GradeOBDParallel(lc, faults, pairs)
+		cov, err := atpg.GradeOBDParallel(lc, faults, pairs)
+		if err != nil {
+			die(err)
+		}
 		fmt.Printf("OBD universe coverage of this set: %s\n", cov)
 		if *verbose {
 			for _, f := range cov.Undetected {

@@ -1,0 +1,122 @@
+// obdmission runs a deterministic concurrent-test mission: a seeded
+// population of chips develops OBD defects at random times, and the
+// periodic BIST/diagnose/repair policy of the paper must catch each one
+// before hard breakdown. Adversity profiles inject skipped and late test
+// intervals, transient signature-capture misses (with bounded backoff),
+// diagnosis ambiguity cost, and finite repair resources.
+//
+// Examples:
+//
+//	obdmission -circuit fulladder -chips 100 -duration 135h
+//	obdmission -chips 500 -inject heavy -workers 8 -json
+//	obdmission -inject miss=0.1,retries=4,spares=1 -period 6h
+//	obdmission -chips 100000 -timeout 2s   # deadline cuts a clean prefix
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gobd/internal/atpg"
+	"gobd/internal/cells"
+	"gobd/internal/logic"
+	"gobd/internal/mission"
+)
+
+var (
+	circuitName = flag.String("circuit", "fulladder", "circuit under test: fulladder, c17, mux41, or a netlist file")
+	seed        = flag.Uint64("seed", 1, "campaign seed; same seed, same report, any worker count")
+	chips       = flag.Int("chips", 100, "chip population size")
+	duration    = flag.Duration("duration", 135*time.Hour, "mission length in simulated time")
+	period      = flag.Duration("period", 0, "test interval in simulated time; 0 derives the max safe period from the observability window")
+	inject      = flag.String("inject", "off", "adversity profile: off, light, heavy, or key=value list (skip, late, latefrac, miss, retries, backoff, diagtime, repairtime, spares)")
+	rate        = flag.Float64("rate", 3, "expected defect initiations per chip (Poisson)")
+	cycles      = flag.Int("cycles", 64, "BIST stream length per test interval")
+	workers     = flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS")
+	timeout     = flag.Duration("timeout", 0, "wall-clock deadline for the run; 0 = none")
+	jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+	perChip     = flag.Bool("perchip", false, "include per-chip results in the report")
+	undet       = flag.Bool("undetectable", false, "also inject BIST-undetectable sites (reported as structural escapes)")
+)
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "obdmission:", err)
+	os.Exit(1)
+}
+
+func loadCircuit(name string) (*logic.Circuit, error) {
+	switch name {
+	case "fulladder":
+		return cells.FullAdderSumLogic(), nil
+	case "c17":
+		return logic.C17(), nil
+	case "mux41":
+		return logic.Mux41(), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return logic.Parse(f)
+}
+
+func main() {
+	flag.Parse()
+	lc, err := loadCircuit(*circuitName)
+	if err != nil {
+		die(err)
+	}
+	adv, err := mission.ParseAdversity(*inject)
+	if err != nil {
+		die(err)
+	}
+	m, err := mission.New(mission.Config{
+		Circuit:             lc,
+		Seed:                *seed,
+		Chips:               *chips,
+		Duration:            duration.Seconds(),
+		Period:              period.Seconds(),
+		FaultRate:           *rate,
+		BISTCycles:          *cycles,
+		Adversity:           adv,
+		IncludeUndetectable: *undet,
+		RecordPerChip:       *perChip,
+		Scheduler:           atpg.NewScheduler(*workers),
+	})
+	if err != nil {
+		die(err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, runErr := m.Run(ctx)
+	if runErr != nil && !errors.Is(runErr, context.DeadlineExceeded) && !errors.Is(runErr, context.Canceled) {
+		die(runErr)
+	}
+
+	if *jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(rep.Format())
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "obdmission: run cut short: %v (report covers the committed prefix)\n", runErr)
+		os.Exit(2)
+	}
+	if len(rep.Failed) > 0 {
+		os.Exit(3)
+	}
+}

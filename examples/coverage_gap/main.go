@@ -37,17 +37,26 @@ func main() {
 		if len(skipped) > 0 {
 			fmt.Printf("   (%d composite gates without OBD sites)\n", len(skipped))
 		}
-		ex := gobd.AnalyzeExhaustive(lc, obdFaults)
+		ex, err := gobd.AnalyzeExhaustive(lc, obdFaults)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("   OBD universe: %d faults, %d testable\n", len(obdFaults), ex.TestableCount())
 
 		// Traditional transition-fault ATPG, graded against OBD.
-		tr := gobd.GenerateTransitionTests(lc, gobd.TransitionUniverse(lc), nil)
+		tr, err := gobd.GenerateTransitionTests(lc, gobd.TransitionUniverse(lc), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
 		cov := gobd.GradeOBD(lc, obdFaults, tr.Tests)
 		fmt.Printf("   transition test set (%d pairs): transition coverage %s, OBD coverage %s\n",
 			len(tr.Tests), tr.Coverage, cov)
 
 		// Stuck-at patterns chained into pairs, graded against OBD.
-		sa := gobd.GenerateStuckAtTests(lc, gobd.StuckAtUniverse(lc), nil)
+		sa, err := gobd.GenerateStuckAtTests(lc, gobd.StuckAtUniverse(lc), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var chained []gobd.TwoPattern
 		for i := 1; i < len(sa.Tests); i++ {
 			chained = append(chained, gobd.TwoPattern{V1: sa.Tests[i-1], V2: sa.Tests[i]})
@@ -56,7 +65,10 @@ func main() {
 		fmt.Printf("   stuck-at set (%d patterns chained): OBD coverage %s\n", len(sa.Tests), saCov)
 
 		// The OBD-aware generator.
-		ob := gobd.GenerateOBDTests(lc, obdFaults, nil)
+		ob, err := gobd.GenerateOBDTests(lc, obdFaults, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("   OBD-aware ATPG (%d pairs): OBD coverage %s\n", len(ob.Tests), ob.Coverage)
 		for _, missed := range cov.Undetected {
 			detected := true

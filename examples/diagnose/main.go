@@ -19,7 +19,10 @@ import (
 func main() {
 	lc := gobd.FullAdderSumLogic()
 	faults, _ := fault.OBDUniverse(lc)
-	ts := atpg.GenerateOBDTests(lc, faults, nil)
+	ts, err := atpg.GenerateOBDTests(lc, faults, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	dict := diag.Build(lc, faults, ts.Tests)
 	fmt.Printf("dictionary: %d faults x %d tests, %d uniquely diagnosable\n",
 		len(faults), len(ts.Tests), dict.UniquelyDiagnosable())

@@ -20,7 +20,10 @@ func main() {
 	faults, _ := gobd.OBDUniverse(lc)
 	fmt.Printf("OBD fault universe: %d locations\n", len(faults))
 
-	ex := gobd.AnalyzeExhaustive(lc, faults)
+	ex, err := gobd.AnalyzeExhaustive(lc, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("exhaustive analysis: %d of %d faults testable over %d input transitions\n",
 		ex.TestableCount(), len(faults), len(ex.Pairs))
 
@@ -30,7 +33,10 @@ func main() {
 		fmt.Println("  " + tp.StringFor(lc))
 	}
 
-	ts := gobd.GenerateOBDTests(lc, faults, nil)
+	ts, err := gobd.GenerateOBDTests(lc, faults, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("PODEM-based OBD ATPG: %d vector pairs, coverage %s\n", len(ts.Tests), ts.Coverage)
 
 	// ---- Analog level: inject into the mid-path NAND and watch the sum ----

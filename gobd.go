@@ -42,6 +42,7 @@ import (
 	"gobd/internal/diag"
 	"gobd/internal/fault"
 	"gobd/internal/logic"
+	"gobd/internal/mission"
 	"gobd/internal/netcheck"
 	"gobd/internal/obd"
 	"gobd/internal/sched"
@@ -268,6 +269,31 @@ var (
 	AnalyzeExhaustive = atpg.AnalyzeExhaustive
 )
 
+// Hardened scheduler layer: typed errors, panic confinement and
+// context-aware batch runs.
+type (
+	// InvalidCircuitError reports a batch entry point given a circuit
+	// failing validation.
+	InvalidCircuitError = atpg.InvalidCircuitError
+	// InputLimitError reports an exhaustive enumeration beyond the
+	// supported primary-input count.
+	InputLimitError = atpg.InputLimitError
+	// PanicError is a worker panic confined to an ordinary error.
+	PanicError = atpg.PanicError
+	// ItemError ties a failure to its work-item index.
+	ItemError = atpg.ItemError
+	// RunReport is the outcome of a hardened ForEachCtx run.
+	RunReport = atpg.RunReport
+)
+
+// Context-aware generator variants: same results as their plain
+// counterparts, plus prompt cancellation with a deterministic prefix.
+var (
+	GenerateOBDTestsCtx        = atpg.GenerateOBDTestsCtx
+	GenerateTransitionTestsCtx = atpg.GenerateTransitionTestsCtx
+	GenerateStuckAtTestsCtx    = atpg.GenerateStuckAtTestsCtx
+)
+
 // Scheduling layer (Section 4.2).
 type (
 	// DelayPoint is one sample of a delay-versus-time trajectory.
@@ -382,6 +408,34 @@ var (
 	NewLFSR = bist.NewLFSR
 	// NewMISR builds a signature register (widths 2–16).
 	NewMISR = bist.NewMISR
+)
+
+// Mission layer (cmd/obdmission front-end): a deterministic, seeded
+// discrete-event simulation of a chip population running the paper's
+// concurrent test/diagnose/repair loop under injected adversity.
+type (
+	// MissionConfig parameterizes a campaign.
+	MissionConfig = mission.Config
+	// MissionCampaign is a configured, reusable campaign.
+	MissionCampaign = mission.Campaign
+	// MissionAdversity is the operational hazard profile.
+	MissionAdversity = mission.Adversity
+	// MissionReport is the aggregated campaign outcome.
+	MissionReport = mission.Report
+	// MissionChipResult is one chip's outcome.
+	MissionChipResult = mission.ChipResult
+)
+
+// Mission constructors and profiles.
+var (
+	// NewMission validates a config and precomputes the shared bench.
+	NewMission = mission.New
+	// ParseAdversity parses "off", "light", "heavy" or a key=value list.
+	ParseAdversity = mission.ParseAdversity
+	// AdversityOff/Light/Heavy are the canned hazard profiles.
+	AdversityOff   = mission.Off
+	AdversityLight = mission.Light
+	AdversityHeavy = mission.Heavy
 )
 
 // Static netlist analysis layer (cmd/obdlint front-end).

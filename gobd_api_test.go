@@ -21,7 +21,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if len(faults) != 4 {
 		t.Fatalf("universe %d", len(faults))
 	}
-	ts := gobd.GenerateOBDTests(c, faults, nil)
+	ts := must(gobd.GenerateOBDTests(c, faults, nil))
 	if ts.Coverage.Ratio() != 1 {
 		t.Fatalf("coverage %v", ts.Coverage)
 	}

@@ -105,14 +105,14 @@ func TestOBDThroughLogic(t *testing.T) {
 	if len(faults) != 16 {
 		t.Fatalf("%d faults, want 16", len(faults))
 	}
-	ts := GenerateOBDTests(c, faults, nil)
+	ts := must(GenerateOBDTests(c, faults, nil))
 	for _, r := range ts.Results {
 		if r.Status == Aborted {
 			t.Fatalf("%s aborted", r.Fault)
 		}
 	}
 	// Cross-check claimed coverage with exhaustive analysis.
-	ex := AnalyzeExhaustive(c, faults)
+	ex := must(AnalyzeExhaustive(c, faults))
 	if ts.Coverage.Detected != ex.TestableCount() {
 		t.Fatalf("ATPG coverage %v but exhaustively testable %d", ts.Coverage, ex.TestableCount())
 	}
@@ -142,7 +142,7 @@ func TestTransitionSingleNand(t *testing.T) {
 func TestCoverageGap(t *testing.T) {
 	c := mustCircuit(t, "circuit g\ninput a b\noutput y\nnand g1 y a b\n")
 	trFaults := fault.TransitionUniverse(c)
-	trSet := GenerateTransitionTests(c, trFaults, nil)
+	trSet := must(GenerateTransitionTests(c, trFaults, nil))
 	if trSet.Coverage.Ratio() != 1 {
 		t.Fatalf("transition coverage %v, want 100%%", trSet.Coverage)
 	}
@@ -151,12 +151,12 @@ func TestCoverageGap(t *testing.T) {
 	if gap.Ratio() >= 1 {
 		t.Fatalf("expected a coverage gap, transition tests cover OBD %v", gap)
 	}
-	obdSet := GenerateOBDTests(c, obdFaults, nil)
+	obdSet := must(GenerateOBDTests(c, obdFaults, nil))
 	if obdSet.Coverage.Ratio() != 1 {
 		t.Fatalf("OBD ATPG coverage %v, want 100%%", obdSet.Coverage)
 	}
 	// And the OBD set covers all transition faults too (it is stronger).
-	back := GradeTransition(c, trFaults, obdSet.Tests)
+	back := must(GradeTransition(c, trFaults, obdSet.Tests))
 	if back.Ratio() != 1 {
 		t.Fatalf("OBD set should subsume transition faults here, got %v", back)
 	}
@@ -165,7 +165,7 @@ func TestCoverageGap(t *testing.T) {
 func TestExhaustiveGreedyCover(t *testing.T) {
 	c := mustCircuit(t, xorNandSrc)
 	faults, _ := fault.OBDUniverse(c)
-	ex := AnalyzeExhaustive(c, faults)
+	ex := must(AnalyzeExhaustive(c, faults))
 	cover := ex.GreedyCover()
 	if len(cover) == 0 {
 		t.Fatal("empty cover")
@@ -259,7 +259,7 @@ func TestQuickOBDMatchesExhaustive(t *testing.T) {
 		if len(faults) == 0 {
 			return true
 		}
-		ex := AnalyzeExhaustive(c, faults)
+		ex := must(AnalyzeExhaustive(c, faults))
 		for k := 0; k < 4; k++ {
 			fi := rng.Intn(len(faults))
 			tp, st := GenerateOBDTest(c, faults[fi], nil)

@@ -1,0 +1,139 @@
+package atpg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file defines the typed errors of the hardened scheduler layer.
+// The batch drivers used to panic on misuse (an invalid circuit, an
+// oversized exhaustive enumeration) and to let a worker panic poison the
+// whole pool; every such condition is now a value a caller can match
+// with errors.As / errors.Is, and a panicking work item is confined to a
+// per-item *PanicError while the rest of the run commits normally.
+
+// InvalidCircuitError reports that a batch entry point was handed a
+// circuit that fails logic validation. It wraps the underlying
+// validation error.
+type InvalidCircuitError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *InvalidCircuitError) Error() string {
+	return fmt.Sprintf("atpg: invalid circuit: %v", e.Err)
+}
+
+// Unwrap exposes the underlying validation error.
+func (e *InvalidCircuitError) Unwrap() error { return e.Err }
+
+// InputLimitError reports that an exhaustive enumeration was requested
+// for a circuit with more primary inputs than the enumerator supports.
+type InputLimitError struct {
+	Inputs int // primary inputs of the offending circuit
+	Limit  int // maximum supported by the enumeration
+}
+
+// Error implements error.
+func (e *InputLimitError) Error() string {
+	return fmt.Sprintf("atpg: exhaustive analysis limited to %d inputs, circuit has %d", e.Limit, e.Inputs)
+}
+
+// PanicError is a panic recovered inside a scheduler worker, converted
+// into an ordinary error so one poisoned work item (e.g. a fault whose
+// gate pointer was corrupted) cannot abort the run or take down the
+// process. Stack holds the goroutine stack captured at recovery time.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack string // stack trace at the recovery point
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("atpg: worker panic: %v", e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As reach through recovered panic(err) sites.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ItemError ties a failure to the index of the work item that produced
+// it. Errors in a RunReport are ItemErrors in ascending index order.
+type ItemError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *ItemError) Error() string {
+	return fmt.Sprintf("item %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the per-item cause.
+func (e *ItemError) Unwrap() error { return e.Err }
+
+// RunReport is the outcome of a hardened ForEachCtx run: which items
+// completed, which failed (including recovered worker panics), and
+// whether the run was cut short by context cancellation.
+type RunReport struct {
+	N      int          // items requested
+	Done   []bool       // Done[i]: fn(i) ran to completion (with or without error)
+	Errors []*ItemError // per-item failures in ascending index order
+	Err    error        // context error when the run was cut short, else nil
+}
+
+// Prefix returns the length of the longest contiguous completed prefix
+// [0, k). After a cancelled run, the results for those k items are
+// bit-identical to the same prefix of an uncancelled run.
+func (r *RunReport) Prefix() int {
+	for i, d := range r.Done {
+		if !d {
+			return i
+		}
+	}
+	return r.N
+}
+
+// Complete reports whether every item ran (regardless of item errors).
+func (r *RunReport) Complete() bool { return r.Err == nil && r.Prefix() == r.N }
+
+// ErrAt returns the error recorded for item i, or nil.
+func (r *RunReport) ErrAt(i int) error {
+	for _, e := range r.Errors {
+		if e.Index == i {
+			return e.Err
+		}
+		if e.Index > i {
+			break
+		}
+	}
+	return nil
+}
+
+// FirstErr returns the lowest-index item error, the context error when
+// the run was cut short, or nil.
+func (r *RunReport) FirstErr() error {
+	if len(r.Errors) > 0 {
+		return r.Errors[0]
+	}
+	return r.Err
+}
+
+// AsError folds the report into a single error for callers that do not
+// need per-item attribution: nil when the run is complete and clean.
+func (r *RunReport) AsError() error {
+	switch {
+	case r.Err != nil && len(r.Errors) > 0:
+		return errors.Join(r.Err, r.Errors[0])
+	case r.Err != nil:
+		return r.Err
+	case len(r.Errors) > 0:
+		return r.Errors[0]
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"context"
+
 	"gobd/internal/fault"
 	"gobd/internal/logic"
 	"gobd/internal/netcheck"
@@ -173,6 +175,7 @@ type Result struct {
 	Fault  string
 	Status Status
 	Test   *TwoPattern // nil unless Status == Detected and not drop-covered
+	Err    error       // non-nil only for Status == Errored: the per-item *ItemError
 }
 
 // TestSet is the outcome of a batch generation run.
@@ -185,14 +188,26 @@ type TestSet struct {
 // GenerateOBDTests runs the OBD generator over a fault list with optional
 // fault dropping, speculating across the default scheduler's worker pool
 // (results are bit-identical to the sequential loop for any worker count).
-func GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *Options) *TestSet {
+func GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *Options) (*TestSet, error) {
 	return DefaultScheduler().GenerateOBDTests(c, faults, opt)
+}
+
+// GenerateOBDTestsCtx is GenerateOBDTests with cooperative cancellation
+// through ctx (see Scheduler.GenerateOBDTestsCtx).
+func GenerateOBDTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.OBD, opt *Options) (*TestSet, error) {
+	return DefaultScheduler().GenerateOBDTestsCtx(ctx, c, faults, opt)
 }
 
 // GenerateTransitionTests runs the transition-fault generator over a fault
 // list with optional fault dropping across the default scheduler's pool.
-func GenerateTransitionTests(c *logic.Circuit, faults []fault.Transition, opt *Options) *TestSet {
+func GenerateTransitionTests(c *logic.Circuit, faults []fault.Transition, opt *Options) (*TestSet, error) {
 	return DefaultScheduler().GenerateTransitionTests(c, faults, opt)
+}
+
+// GenerateTransitionTestsCtx is GenerateTransitionTests with cooperative
+// cancellation through ctx.
+func GenerateTransitionTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.Transition, opt *Options) (*TestSet, error) {
+	return DefaultScheduler().GenerateTransitionTestsCtx(ctx, c, faults, opt)
 }
 
 // StuckAtTestSet is the single-pattern analogue of TestSet.
@@ -204,6 +219,12 @@ type StuckAtTestSet struct {
 
 // GenerateStuckAtTests runs the stuck-at generator over a fault list with
 // optional fault dropping across the default scheduler's pool.
-func GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckAt, opt *Options) *StuckAtTestSet {
+func GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckAt, opt *Options) (*StuckAtTestSet, error) {
 	return DefaultScheduler().GenerateStuckAtTests(c, faults, opt)
+}
+
+// GenerateStuckAtTestsCtx is GenerateStuckAtTests with cooperative
+// cancellation through ctx.
+func GenerateStuckAtTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.StuckAt, opt *Options) (*StuckAtTestSet, error) {
+	return DefaultScheduler().GenerateStuckAtTestsCtx(ctx, c, faults, opt)
 }

@@ -11,7 +11,7 @@ import (
 func TestTestSetRoundTrip(t *testing.T) {
 	c := mustCircuit(t, xorNandSrc)
 	faults, _ := fault.OBDUniverse(c)
-	ts := GenerateOBDTests(c, faults, nil)
+	ts := must(GenerateOBDTests(c, faults, nil))
 	var buf bytes.Buffer
 	if err := WriteTests(&buf, c, ts.Tests); err != nil {
 		t.Fatal(err)

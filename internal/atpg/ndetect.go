@@ -12,11 +12,14 @@ import (
 // timing marginality and sharpens diagnosis. The generator enumerates each
 // fault's detecting pairs from the exhaustive space (so it requires ≤16
 // primary inputs) and greedily reuses pairs across faults.
-func GenerateNDetectOBDTests(c *logic.Circuit, faults []fault.OBD, n int) *TestSet {
+func GenerateNDetectOBDTests(c *logic.Circuit, faults []fault.OBD, n int) (*TestSet, error) {
 	if n < 1 {
 		n = 1
 	}
-	ex := AnalyzeExhaustive(c, faults)
+	ex, err := AnalyzeExhaustive(c, faults)
+	if err != nil {
+		return nil, err
+	}
 	// detectedBy[f] = pair indices detecting fault f.
 	detectedBy := make([][]int, len(faults))
 	for pi, det := range ex.DetectedBy {
@@ -64,12 +67,16 @@ func GenerateNDetectOBDTests(c *logic.Circuit, faults []fault.OBD, n int) *TestS
 		}
 		ts.Results = append(ts.Results, Result{Fault: f.String(), Status: st})
 	}
-	ts.Coverage = GradeOBDParallel(c, faults, ts.Tests)
-	return ts
+	cov, err := GradeOBDParallel(c, faults, ts.Tests)
+	if err != nil {
+		return nil, err
+	}
+	ts.Coverage = cov
+	return ts, nil
 }
 
 // DetectionCounts returns, per fault, how many pairs of the test set
 // detect it, sharding the fault list across the default scheduler's pool.
-func DetectionCounts(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) []int {
+func DetectionCounts(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) ([]int, error) {
 	return DefaultScheduler().DetectionCounts(c, faults, tests)
 }

@@ -219,7 +219,8 @@ func (pg *PairGrader) FirstDetecting(f fault.OBD) int {
 // GradeOBDParallel fault-simulates a test set against an OBD fault list
 // using the 64-way engine sharded across the default scheduler's worker
 // pool; it returns the same Coverage as GradeOBD (including the order of
-// Undetected) for any worker count.
-func GradeOBDParallel(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) Coverage {
+// Undetected) for any worker count. The error is a typed
+// *InvalidCircuitError when the circuit fails validation.
+func GradeOBDParallel(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) (Coverage, error) {
 	return DefaultScheduler().GradeOBD(c, faults, tests)
 }

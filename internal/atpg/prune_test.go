@@ -17,10 +17,10 @@ func TestPruneAgreesWithSearch(t *testing.T) {
 	c := cells.FullAdderSumLogic()
 	faults, _ := fault.OBDUniverse(c)
 
-	plain := GenerateOBDTests(c, faults, DefaultOptions())
+	plain := must(GenerateOBDTests(c, faults, DefaultOptions()))
 	opt := DefaultOptions()
 	opt.Prune = true
-	pruned := GenerateOBDTests(c, faults, opt)
+	pruned := must(GenerateOBDTests(c, faults, opt))
 
 	if len(plain.Results) != len(pruned.Results) {
 		t.Fatalf("result lengths differ: %d vs %d", len(plain.Results), len(pruned.Results))
@@ -56,9 +56,9 @@ func TestPruneWorkerInvariance(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Prune = true
 
-	ref := NewScheduler(1).GenerateOBDTests(c, faults, opt)
+	ref := must(NewScheduler(1).GenerateOBDTests(c, faults, opt))
 	for _, workers := range []int{2, 4, 8} {
-		got := NewScheduler(workers).GenerateOBDTests(c, faults, opt)
+		got := must(NewScheduler(workers).GenerateOBDTests(c, faults, opt))
 		if len(got.Results) != len(ref.Results) {
 			t.Fatalf("workers=%d: %d results, want %d", workers, len(got.Results), len(ref.Results))
 		}
@@ -104,7 +104,7 @@ func benchGenerate(b *testing.B, c *logic.Circuit, prune bool) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		GenerateOBDTests(c, faults, opt)
+		must(GenerateOBDTests(c, faults, opt))
 	}
 	b.StopTimer()
 	if prune {

@@ -98,6 +98,6 @@ type LOSResult struct {
 // dropping across the default scheduler's pool; the final set is graded
 // with the (now X-aware) bit-parallel engine, so dropped-fault bookkeeping
 // and the returned Coverage come from the same verdicts.
-func GenerateLOSTests(c *logic.Circuit, faults []fault.OBD, opt *LOSOptions) *LOSResult {
+func GenerateLOSTests(c *logic.Circuit, faults []fault.OBD, opt *LOSOptions) (*LOSResult, error) {
 	return DefaultScheduler().GenerateLOSTests(c, faults, opt)
 }

@@ -45,11 +45,11 @@ func TestLOSRespectsShiftConstraint(t *testing.T) {
 func TestLOSWeakerThanEnhancedScan(t *testing.T) {
 	c := mustCircuit(t, "circuit g\ninput a b\noutput y\nnand g1 y a b\n")
 	faults, _ := fault.OBDUniverse(c)
-	los := GenerateLOSTests(c, faults, nil)
+	los := must(GenerateLOSTests(c, faults, nil))
 	if !los.Exact {
 		t.Fatal("search should be exhaustive at 2 inputs")
 	}
-	enh := GenerateOBDTests(c, faults, nil)
+	enh := must(GenerateOBDTests(c, faults, nil))
 	if los.Coverage.Detected >= enh.Coverage.Detected {
 		t.Fatalf("LOS %v should be strictly below enhanced scan %v", los.Coverage, enh.Coverage)
 	}
@@ -69,9 +69,9 @@ func TestLOSWeakerThanEnhancedScan(t *testing.T) {
 func TestGradeOBDParallelMatchesOnFullAdderTests(t *testing.T) {
 	c := mustCircuit(t, xorNandSrc)
 	faults, _ := fault.OBDUniverse(c)
-	ts := GenerateOBDTests(c, faults, nil)
+	ts := must(GenerateOBDTests(c, faults, nil))
 	seq := GradeOBD(c, faults, ts.Tests)
-	par := GradeOBDParallel(c, faults, ts.Tests)
+	par := must(GradeOBDParallel(c, faults, ts.Tests))
 	if seq.Detected != par.Detected || seq.Total != par.Total {
 		t.Fatalf("parallel %v != sequential %v", par, seq)
 	}
@@ -161,7 +161,7 @@ func BenchmarkGradeOBDSequential(b *testing.B) {
 		b.Fatal(err)
 	}
 	faults, _ := fault.OBDUniverse(c)
-	ts := GenerateOBDTests(c, faults, nil)
+	ts := must(GenerateOBDTests(c, faults, nil))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		GradeOBD(c, faults, ts.Tests)
@@ -174,9 +174,9 @@ func BenchmarkGradeOBDParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	faults, _ := fault.OBDUniverse(c)
-	ts := GenerateOBDTests(c, faults, nil)
+	ts := must(GenerateOBDTests(c, faults, nil))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		GradeOBDParallel(c, faults, ts.Tests)
+		must(GradeOBDParallel(c, faults, ts.Tests))
 	}
 }

@@ -1,8 +1,10 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +29,16 @@ import (
 //     produced speculatively in parallel, but a speculated test whose
 //     fault turns out to be drop-covered by an earlier committed test is
 //     discarded — exactly the test the sequential loop never generates.
+//
+// The layer is additionally hardened for long-running campaigns:
+//
+//   - every batch entry point reports misuse (an invalid circuit, an
+//     oversized enumeration) as a typed error instead of panicking;
+//   - the Ctx variants observe context cancellation between work chunks
+//     and return promptly with a deterministic prefix of the results;
+//   - ForEachCtx recovers worker panics into per-item *PanicError values,
+//     so one poisoned item cannot abort the run or perturb the other
+//     items' result slots.
 
 // WorkerStats aggregates one worker's share of the work.
 type WorkerStats struct {
@@ -149,9 +161,18 @@ func gradeGrain(n, workers int) int {
 // pool. fn must write only to per-index state within [lo,hi); under that
 // discipline the overall result is independent of scheduling order.
 func (s *Scheduler) run(n, grain int, fn func(lo, hi int, ws *WorkerStats)) {
+	s.runCtx(context.Background(), n, grain, fn) //nolint:errcheck // Background is never cancelled
+}
+
+// runCtx is run with cooperative cancellation: workers stop pulling new
+// chunks once ctx is done (a chunk in flight still completes, so every
+// slot is either fully written or untouched). It returns ctx's error when
+// the run was cut short, else nil.
+func (s *Scheduler) runCtx(ctx context.Context, n, grain int, fn func(lo, hi int, ws *WorkerStats)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
+	done := ctx.Done()
 	w := s.WorkerCount()
 	if w > n {
 		w = n
@@ -166,10 +187,23 @@ func (s *Scheduler) run(n, grain int, fn func(lo, hi int, ws *WorkerStats)) {
 	if w <= 1 {
 		var ws WorkerStats
 		start := time.Now() //detlint:allow timenow — Busy is a stats counter, never a result
-		fn(0, n, &ws)
+		if done == nil {
+			fn(0, n, &ws)
+		} else {
+			for lo := 0; lo < n; lo += chunk {
+				if ctx.Err() != nil {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi, &ws)
+			}
+		}
 		ws.Busy += time.Since(start)
 		s.record(0, ws)
-		return
+		return ctx.Err()
 	}
 	var next int64
 	var wg sync.WaitGroup
@@ -179,6 +213,12 @@ func (s *Scheduler) run(n, grain int, fn func(lo, hi int, ws *WorkerStats)) {
 			defer wg.Done()
 			var ws WorkerStats
 			for {
+				select {
+				case <-done:
+					s.record(wk, ws)
+					return
+				default:
+				}
 				hi := int(atomic.AddInt64(&next, int64(chunk)))
 				lo := hi - chunk
 				if lo >= n {
@@ -195,11 +235,24 @@ func (s *Scheduler) run(n, grain int, fn func(lo, hi int, ws *WorkerStats)) {
 		}(wk)
 	}
 	wg.Wait()
+	return ctx.Err()
+}
+
+// protect runs fn, converting a panic into a *PanicError so a poisoned
+// work item is confined to its own result slot.
+func protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn()
 }
 
 // ForEach runs fn(i) for every i in [0,n) across the pool. fn must only
 // write to per-index state; under that discipline the result is
-// deterministic for any worker count.
+// deterministic for any worker count. It is the unhardened fast path:
+// fn must not panic and the run cannot be cancelled (see ForEachCtx).
 func (s *Scheduler) ForEach(n int, fn func(i int)) {
 	s.run(n, gradeGrain(n, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
 		for i := lo; i < hi; i++ {
@@ -209,12 +262,39 @@ func (s *Scheduler) ForEach(n int, fn func(i int)) {
 	})
 }
 
-// mustValid levelizes the circuit up-front so the workers never race on
-// the lazy validation cache.
-func mustValid(c *logic.Circuit) {
-	if err := c.Validate(); err != nil {
-		panic(err)
+// ForEachCtx is the hardened ForEach: fn may return an error or panic
+// (recovered into a *PanicError) without aborting the run or perturbing
+// the other items, and cancelling ctx stops the run promptly. The report
+// lists per-item failures in index order; after cancellation, the
+// completed items' side effects are bit-identical to the same items of
+// an uncancelled run.
+func (s *Scheduler) ForEachCtx(ctx context.Context, n int, fn func(i int) error) *RunReport {
+	rep := &RunReport{N: n, Done: make([]bool, n)}
+	errs := make([]error, n)
+	rep.Err = s.runCtx(ctx, n, gradeGrain(n, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			i := i
+			errs[i] = protect(func() error { return fn(i) })
+			rep.Done[i] = true
+			ws.Items++
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			rep.Errors = append(rep.Errors, &ItemError{Index: i, Err: err})
+		}
 	}
+	return rep
+}
+
+// ensureValid levelizes the circuit up-front so the workers never race on
+// the lazy validation cache. An invalid circuit is reported as a typed
+// *InvalidCircuitError instead of the panic earlier revisions threw.
+func ensureValid(c *logic.Circuit) error {
+	if err := c.Validate(); err != nil {
+		return &InvalidCircuitError{Err: err}
+	}
+	return nil
 }
 
 // mergeCoverage folds per-fault verdict slots into a Coverage, keeping
@@ -235,11 +315,13 @@ func mergeCoverage(det []bool, name func(i int) string) Coverage {
 // 64-way bit-parallel engine sharded across the pool. The Coverage —
 // including the order of Undetected — is identical to the scalar GradeOBD
 // for any worker count.
-func (s *Scheduler) GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) Coverage {
-	if len(faults) == 0 {
-		return Coverage{Total: 0}
+func (s *Scheduler) GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) (Coverage, error) {
+	if err := ensureValid(c); err != nil {
+		return Coverage{}, err
 	}
-	mustValid(c)
+	if len(faults) == 0 {
+		return Coverage{Total: 0}, nil
+	}
 	pg := NewPairGrader(c, tests)
 	det := make([]bool, len(faults))
 	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
@@ -254,16 +336,18 @@ func (s *Scheduler) GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPa
 			}
 		}
 	})
-	return mergeCoverage(det, func(i int) string { return faults[i].String() })
+	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
 }
 
 // GradeTransition fault-simulates a test set against transition faults,
 // sharding the fault list across the pool.
-func (s *Scheduler) GradeTransition(c *logic.Circuit, faults []fault.Transition, tests []TwoPattern) Coverage {
-	if len(faults) == 0 {
-		return Coverage{Total: 0}
+func (s *Scheduler) GradeTransition(c *logic.Circuit, faults []fault.Transition, tests []TwoPattern) (Coverage, error) {
+	if err := ensureValid(c); err != nil {
+		return Coverage{}, err
 	}
-	mustValid(c)
+	if len(faults) == 0 {
+		return Coverage{Total: 0}, nil
+	}
 	det := make([]bool, len(faults))
 	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
 		for i := lo; i < hi; i++ {
@@ -279,16 +363,18 @@ func (s *Scheduler) GradeTransition(c *logic.Circuit, faults []fault.Transition,
 			ws.Pairs += int64(scanned)
 		}
 	})
-	return mergeCoverage(det, func(i int) string { return faults[i].String() })
+	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
 }
 
 // GradeStuckAt fault-simulates single patterns against stuck-at faults,
 // sharding the fault list across the pool.
-func (s *Scheduler) GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests []Pattern) Coverage {
-	if len(faults) == 0 {
-		return Coverage{Total: 0}
+func (s *Scheduler) GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests []Pattern) (Coverage, error) {
+	if err := ensureValid(c); err != nil {
+		return Coverage{}, err
 	}
-	mustValid(c)
+	if len(faults) == 0 {
+		return Coverage{Total: 0}, nil
+	}
 	det := make([]bool, len(faults))
 	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
 		for i := lo; i < hi; i++ {
@@ -304,16 +390,18 @@ func (s *Scheduler) GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests
 			ws.Pairs += int64(scanned)
 		}
 	})
-	return mergeCoverage(det, func(i int) string { return faults[i].String() })
+	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
 }
 
 // GradeOBDMulti fault-simulates a test set against multi-defect
 // ensembles, sharding the ensemble list across the pool.
-func (s *Scheduler) GradeOBDMulti(c *logic.Circuit, ensembles [][]fault.OBD, tests []TwoPattern) Coverage {
-	if len(ensembles) == 0 {
-		return Coverage{Total: 0}
+func (s *Scheduler) GradeOBDMulti(c *logic.Circuit, ensembles [][]fault.OBD, tests []TwoPattern) (Coverage, error) {
+	if err := ensureValid(c); err != nil {
+		return Coverage{}, err
 	}
-	mustValid(c)
+	if len(ensembles) == 0 {
+		return Coverage{Total: 0}, nil
+	}
 	det := make([]bool, len(ensembles))
 	s.run(len(ensembles), gradeGrain(len(ensembles), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
 		for i := lo; i < hi; i++ {
@@ -329,17 +417,19 @@ func (s *Scheduler) GradeOBDMulti(c *logic.Circuit, ensembles [][]fault.OBD, tes
 			ws.Pairs += int64(scanned)
 		}
 	})
-	return mergeCoverage(det, func(i int) string { return ensembleName(ensembles[i]) })
+	return mergeCoverage(det, func(i int) string { return ensembleName(ensembles[i]) }), nil
 }
 
 // DetectionCounts returns, per fault, how many pairs of the test set
 // detect it, sharding the fault list across the pool.
-func (s *Scheduler) DetectionCounts(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) []int {
+func (s *Scheduler) DetectionCounts(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) ([]int, error) {
 	out := make([]int, len(faults))
-	if len(faults) == 0 {
-		return out
+	if err := ensureValid(c); err != nil {
+		return nil, err
 	}
-	mustValid(c)
+	if len(faults) == 0 {
+		return out, nil
+	}
 	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
 		for i := lo; i < hi; i++ {
 			for _, tp := range tests {
@@ -351,17 +441,24 @@ func (s *Scheduler) DetectionCounts(c *logic.Circuit, faults []fault.OBD, tests 
 			ws.Pairs += int64(len(tests))
 		}
 	})
-	return out
+	return out, nil
 }
+
+// exhaustiveInputLimit bounds the 2^n first-frame enumeration of
+// AnalyzeExhaustive.
+const exhaustiveInputLimit = 16
 
 // AnalyzeExhaustive runs the full-enumeration analysis sharded over the
 // first-frame vectors; the merged Pairs/DetectedBy keep the sequential
-// (m1, m2) enumeration order.
-func (s *Scheduler) AnalyzeExhaustive(c *logic.Circuit, faults []fault.OBD) *ExhaustiveOBDAnalysis {
-	if len(c.Inputs) > 16 {
-		panic("atpg: exhaustive analysis limited to 16 inputs")
+// (m1, m2) enumeration order. Circuits with more than 16 primary inputs
+// are rejected with a typed *InputLimitError.
+func (s *Scheduler) AnalyzeExhaustive(c *logic.Circuit, faults []fault.OBD) (*ExhaustiveOBDAnalysis, error) {
+	if len(c.Inputs) > exhaustiveInputLimit {
+		return nil, &InputLimitError{Inputs: len(c.Inputs), Limit: exhaustiveInputLimit}
 	}
-	mustValid(c)
+	if err := ensureValid(c); err != nil {
+		return nil, err
+	}
 	n := 1 << len(c.Inputs)
 	mk := func(m int) Pattern {
 		p := make(Pattern, len(c.Inputs))
@@ -414,20 +511,21 @@ func (s *Scheduler) AnalyzeExhaustive(c *logic.Circuit, faults []fault.OBD) *Exh
 			}
 		}
 	}
-	return a
+	return a, nil
 }
 
 // speculate fills the generation slots of the first up-to-batch uncovered,
 // not-yet-generated faults at or after index i, farming the work out to
-// the pool. gen(j) must write only slot j.
-func (s *Scheduler) speculate(i, batch int, covered, done []bool, gen func(j int)) {
+// the pool. gen(j) must write only slot j. Cancelling ctx stops the
+// speculation early; slots whose chunks never ran keep done[j] == false.
+func (s *Scheduler) speculate(ctx context.Context, i, batch int, covered, done []bool, gen func(j int)) {
 	idxs := make([]int, 0, batch)
 	for j := i; j < len(covered) && len(idxs) < batch; j++ {
 		if !covered[j] && !done[j] {
 			idxs = append(idxs, j)
 		}
 	}
-	s.run(len(idxs), 1, func(lo, hi int, ws *WorkerStats) {
+	s.runCtx(ctx, len(idxs), 1, func(lo, hi int, ws *WorkerStats) { //nolint:errcheck // commit loop re-checks ctx
 		for k := lo; k < hi; k++ {
 			gen(idxs[k])
 			done[idxs[k]] = true
@@ -466,11 +564,24 @@ func (s *Scheduler) dropOBD(c *logic.Circuit, faults []fault.OBD, covered []bool
 // Results and Coverage are bit-identical to the sequential loop for any
 // worker count. When Options.BacktrackSink is set the loop stays
 // sequential so the backtrack census matches the single-threaded search.
-func (s *Scheduler) GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *Options) *TestSet {
+func (s *Scheduler) GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *Options) (*TestSet, error) {
+	return s.GenerateOBDTestsCtx(context.Background(), c, faults, opt)
+}
+
+// GenerateOBDTestsCtx is GenerateOBDTests with cooperative cancellation:
+// when ctx is cancelled the commit loop stops and the partial TestSet is
+// returned together with ctx's error. The committed Results are a
+// deterministic prefix of the uncancelled run (the partial set's Coverage
+// is left zero — grading a cut-short test list would be misleading). A
+// per-fault generator panic is confined to that fault's Result (Status
+// Errored, Err carrying the *PanicError) without perturbing the others.
+func (s *Scheduler) GenerateOBDTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.OBD, opt *Options) (*TestSet, error) {
 	if opt == nil {
 		opt = DefaultOptions()
 	}
-	mustValid(c)
+	if err := ensureValid(c); err != nil {
+		return nil, err
+	}
 	n := len(faults)
 	tb := guidance(c, opt)
 	ts := &TestSet{}
@@ -478,6 +589,7 @@ func (s *Scheduler) GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *
 	done := make([]bool, n)
 	specTP := make([]*TwoPattern, n)
 	specSt := make([]Status, n)
+	specErr := make([]error, n)
 	batch := genBatch(s.WorkerCount())
 	if opt.BacktrackSink != nil {
 		batch = 1
@@ -498,16 +610,29 @@ func (s *Scheduler) GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *
 		}
 	}
 	for i, f := range faults {
+		if err := ctx.Err(); err != nil {
+			return ts, err
+		}
 		if covered[i] {
 			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
 			continue
 		}
 		if !done[i] {
-			s.speculate(i, batch, covered, done, func(j int) {
-				specTP[j], specSt[j] = generateOBDTestWith(c, faults[j], opt, tb)
+			s.speculate(ctx, i, batch, covered, done, func(j int) {
+				specErr[j] = protect(func() error {
+					specTP[j], specSt[j] = generateOBDTestWith(c, faults[j], opt, tb)
+					return nil
+				})
 			})
+			if !done[i] { // speculation cut short by cancellation
+				return ts, ctx.Err()
+			}
 		}
 		tp, st := specTP[i], specSt[i]
+		if specErr[i] != nil {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
+			continue
+		}
 		res := Result{Fault: f.String(), Status: st}
 		if st == Detected {
 			res.Test = tp
@@ -518,18 +643,30 @@ func (s *Scheduler) GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *
 		}
 		ts.Results = append(ts.Results, res)
 	}
-	ts.Coverage = s.GradeOBD(c, faults, ts.Tests)
-	return ts
+	cov, err := s.GradeOBD(c, faults, ts.Tests)
+	if err != nil {
+		return ts, err
+	}
+	ts.Coverage = cov
+	return ts, nil
 }
 
 // GenerateTransitionTests runs the transition-fault generator over a
 // fault list with optional fault dropping, speculating across the pool
 // under the same determinism contract as GenerateOBDTests.
-func (s *Scheduler) GenerateTransitionTests(c *logic.Circuit, faults []fault.Transition, opt *Options) *TestSet {
+func (s *Scheduler) GenerateTransitionTests(c *logic.Circuit, faults []fault.Transition, opt *Options) (*TestSet, error) {
+	return s.GenerateTransitionTestsCtx(context.Background(), c, faults, opt)
+}
+
+// GenerateTransitionTestsCtx is GenerateTransitionTests with cooperative
+// cancellation and per-fault panic confinement (see GenerateOBDTestsCtx).
+func (s *Scheduler) GenerateTransitionTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.Transition, opt *Options) (*TestSet, error) {
 	if opt == nil {
 		opt = DefaultOptions()
 	}
-	mustValid(c)
+	if err := ensureValid(c); err != nil {
+		return nil, err
+	}
 	n := len(faults)
 	tb := guidance(c, opt)
 	ts := &TestSet{}
@@ -537,21 +674,35 @@ func (s *Scheduler) GenerateTransitionTests(c *logic.Circuit, faults []fault.Tra
 	done := make([]bool, n)
 	specTP := make([]*TwoPattern, n)
 	specSt := make([]Status, n)
+	specErr := make([]error, n)
 	batch := genBatch(s.WorkerCount())
 	if opt.BacktrackSink != nil {
 		batch = 1
 	}
 	for i, f := range faults {
+		if err := ctx.Err(); err != nil {
+			return ts, err
+		}
 		if covered[i] {
 			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
 			continue
 		}
 		if !done[i] {
-			s.speculate(i, batch, covered, done, func(j int) {
-				specTP[j], specSt[j] = generateTransitionTestWith(c, faults[j], opt, tb)
+			s.speculate(ctx, i, batch, covered, done, func(j int) {
+				specErr[j] = protect(func() error {
+					specTP[j], specSt[j] = generateTransitionTestWith(c, faults[j], opt, tb)
+					return nil
+				})
 			})
+			if !done[i] {
+				return ts, ctx.Err()
+			}
 		}
 		tp, st := specTP[i], specSt[i]
+		if specErr[i] != nil {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
+			continue
+		}
 		res := Result{Fault: f.String(), Status: st}
 		if st == Detected {
 			res.Test = tp
@@ -571,18 +722,30 @@ func (s *Scheduler) GenerateTransitionTests(c *logic.Circuit, faults []fault.Tra
 		}
 		ts.Results = append(ts.Results, res)
 	}
-	ts.Coverage = s.GradeTransition(c, faults, ts.Tests)
-	return ts
+	cov, err := s.GradeTransition(c, faults, ts.Tests)
+	if err != nil {
+		return ts, err
+	}
+	ts.Coverage = cov
+	return ts, nil
 }
 
 // GenerateStuckAtTests runs the stuck-at generator over a fault list with
 // optional fault dropping, speculating across the pool under the same
 // determinism contract as GenerateOBDTests.
-func (s *Scheduler) GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckAt, opt *Options) *StuckAtTestSet {
+func (s *Scheduler) GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckAt, opt *Options) (*StuckAtTestSet, error) {
+	return s.GenerateStuckAtTestsCtx(context.Background(), c, faults, opt)
+}
+
+// GenerateStuckAtTestsCtx is GenerateStuckAtTests with cooperative
+// cancellation and per-fault panic confinement (see GenerateOBDTestsCtx).
+func (s *Scheduler) GenerateStuckAtTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.StuckAt, opt *Options) (*StuckAtTestSet, error) {
 	if opt == nil {
 		opt = DefaultOptions()
 	}
-	mustValid(c)
+	if err := ensureValid(c); err != nil {
+		return nil, err
+	}
 	n := len(faults)
 	tb := guidance(c, opt)
 	ts := &StuckAtTestSet{}
@@ -590,21 +753,35 @@ func (s *Scheduler) GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckA
 	done := make([]bool, n)
 	specP := make([]Pattern, n)
 	specSt := make([]Status, n)
+	specErr := make([]error, n)
 	batch := genBatch(s.WorkerCount())
 	if opt.BacktrackSink != nil {
 		batch = 1
 	}
 	for i, f := range faults {
+		if err := ctx.Err(); err != nil {
+			return ts, err
+		}
 		if covered[i] {
 			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
 			continue
 		}
 		if !done[i] {
-			s.speculate(i, batch, covered, done, func(j int) {
-				specP[j], specSt[j] = generateStuckAtTestWith(c, faults[j], opt, tb)
+			s.speculate(ctx, i, batch, covered, done, func(j int) {
+				specErr[j] = protect(func() error {
+					specP[j], specSt[j] = generateStuckAtTestWith(c, faults[j], opt, tb)
+					return nil
+				})
 			})
+			if !done[i] {
+				return ts, ctx.Err()
+			}
 		}
 		p, st := specP[i], specSt[i]
+		if specErr[i] != nil {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
+			continue
+		}
 		res := Result{Fault: f.String(), Status: st}
 		if st == Detected {
 			ts.Tests = append(ts.Tests, p)
@@ -623,18 +800,30 @@ func (s *Scheduler) GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckA
 		}
 		ts.Results = append(ts.Results, res)
 	}
-	ts.Coverage = s.GradeStuckAt(c, faults, ts.Tests)
-	return ts
+	cov, err := s.GradeStuckAt(c, faults, ts.Tests)
+	if err != nil {
+		return ts, err
+	}
+	ts.Coverage = cov
+	return ts, nil
 }
 
 // GenerateLOSTests runs the launch-on-shift generator over a fault list
 // with fault dropping, speculating across the pool, and grades the final
 // set with the bit-parallel engine. Deterministic for any worker count.
-func (s *Scheduler) GenerateLOSTests(c *logic.Circuit, faults []fault.OBD, opt *LOSOptions) *LOSResult {
+func (s *Scheduler) GenerateLOSTests(c *logic.Circuit, faults []fault.OBD, opt *LOSOptions) (*LOSResult, error) {
+	return s.GenerateLOSTestsCtx(context.Background(), c, faults, opt)
+}
+
+// GenerateLOSTestsCtx is GenerateLOSTests with cooperative cancellation
+// (see GenerateOBDTestsCtx for the partial-result contract).
+func (s *Scheduler) GenerateLOSTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.OBD, opt *LOSOptions) (*LOSResult, error) {
 	if opt == nil {
 		opt = DefaultLOSOptions()
 	}
-	mustValid(c)
+	if err := ensureValid(c); err != nil {
+		return nil, err
+	}
 	n := len(faults)
 	out := &LOSResult{Exact: len(c.Inputs) <= opt.ExhaustiveMaxIn}
 	covered := make([]bool, n)
@@ -643,13 +832,19 @@ func (s *Scheduler) GenerateLOSTests(c *logic.Circuit, faults []fault.OBD, opt *
 	specSt := make([]Status, n)
 	batch := genBatch(s.WorkerCount())
 	for i := range faults {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		if covered[i] {
 			continue
 		}
 		if !done[i] {
-			s.speculate(i, batch, covered, done, func(j int) {
+			s.speculate(ctx, i, batch, covered, done, func(j int) {
 				specTP[j], specSt[j] = GenerateLOSTest(c, faults[j], opt)
 			})
+			if !done[i] {
+				return out, ctx.Err()
+			}
 		}
 		if specSt[i] != Detected {
 			continue
@@ -658,6 +853,10 @@ func (s *Scheduler) GenerateLOSTests(c *logic.Circuit, faults []fault.OBD, opt *
 		out.Tests = append(out.Tests, tp)
 		s.dropOBD(c, faults, covered, i, tp)
 	}
-	out.Coverage = s.GradeOBD(c, faults, out.Tests)
-	return out
+	cov, err := s.GradeOBD(c, faults, out.Tests)
+	if err != nil {
+		return out, err
+	}
+	out.Coverage = cov
+	return out, nil
 }

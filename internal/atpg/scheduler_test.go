@@ -67,7 +67,7 @@ func TestWorkerSweepGradeOBD(t *testing.T) {
 		tests := randomTests(rng, c, 1+rng.Intn(150))
 		want := GradeOBD(c, faults, tests)
 		for _, w := range sweepWorkers {
-			got := NewScheduler(w).GradeOBD(c, faults, tests)
+			got := must(NewScheduler(w).GradeOBD(c, faults, tests))
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("seed %d workers %d: %+v != scalar %+v", seed, w, got, want)
 			}
@@ -75,7 +75,7 @@ func TestWorkerSweepGradeOBD(t *testing.T) {
 		// An adversarial chunk size must not change the result either.
 		s := NewScheduler(3)
 		s.ChunkSize = 2
-		if got := s.GradeOBD(c, faults, tests); !reflect.DeepEqual(got, want) {
+		if got := must(s.GradeOBD(c, faults, tests)); !reflect.DeepEqual(got, want) {
 			t.Fatalf("seed %d chunked: %+v != scalar %+v", seed, got, want)
 		}
 	}
@@ -105,7 +105,7 @@ func TestWorkerSweepGradeTransition(t *testing.T) {
 			}
 		}
 		for _, w := range sweepWorkers {
-			if got := NewScheduler(w).GradeTransition(c, faults, tests); !reflect.DeepEqual(got, want) {
+			if got := must(NewScheduler(w).GradeTransition(c, faults, tests)); !reflect.DeepEqual(got, want) {
 				t.Fatalf("seed %d workers %d: %+v != scalar %+v", seed, w, got, want)
 			}
 		}
@@ -140,7 +140,7 @@ func TestWorkerSweepGradeStuckAt(t *testing.T) {
 			}
 		}
 		for _, w := range sweepWorkers {
-			if got := NewScheduler(w).GradeStuckAt(c, faults, tests); !reflect.DeepEqual(got, want) {
+			if got := must(NewScheduler(w).GradeStuckAt(c, faults, tests)); !reflect.DeepEqual(got, want) {
 				t.Fatalf("seed %d workers %d: %+v != scalar %+v", seed, w, got, want)
 			}
 		}
@@ -155,24 +155,24 @@ func TestWorkerSweepGeneration(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 2 + rng.Intn(4), Gates: 2 + rng.Intn(10), Primitive: true})
 		obdFaults, _ := fault.OBDUniverse(c)
-		want := NewScheduler(1).GenerateOBDTests(c, obdFaults, nil)
+		want := must(NewScheduler(1).GenerateOBDTests(c, obdFaults, nil))
 		for _, w := range sweepWorkers[1:] {
-			got := NewScheduler(w).GenerateOBDTests(c, obdFaults, nil)
+			got := must(NewScheduler(w).GenerateOBDTests(c, obdFaults, nil))
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("seed %d workers %d: OBD generation diverged", seed, w)
 			}
 		}
-		trWant := NewScheduler(1).GenerateTransitionTests(c, fault.TransitionUniverse(c), nil)
-		saWant := NewScheduler(1).GenerateStuckAtTests(c, fault.StuckAtUniverse(c), nil)
-		losWant := NewScheduler(1).GenerateLOSTests(c, obdFaults, nil)
+		trWant := must(NewScheduler(1).GenerateTransitionTests(c, fault.TransitionUniverse(c), nil))
+		saWant := must(NewScheduler(1).GenerateStuckAtTests(c, fault.StuckAtUniverse(c), nil))
+		losWant := must(NewScheduler(1).GenerateLOSTests(c, obdFaults, nil))
 		for _, w := range sweepWorkers[1:] {
-			if got := NewScheduler(w).GenerateTransitionTests(c, fault.TransitionUniverse(c), nil); !reflect.DeepEqual(got, trWant) {
+			if got := must(NewScheduler(w).GenerateTransitionTests(c, fault.TransitionUniverse(c), nil)); !reflect.DeepEqual(got, trWant) {
 				t.Fatalf("seed %d workers %d: transition generation diverged", seed, w)
 			}
-			if got := NewScheduler(w).GenerateStuckAtTests(c, fault.StuckAtUniverse(c), nil); !reflect.DeepEqual(got, saWant) {
+			if got := must(NewScheduler(w).GenerateStuckAtTests(c, fault.StuckAtUniverse(c), nil)); !reflect.DeepEqual(got, saWant) {
 				t.Fatalf("seed %d workers %d: stuck-at generation diverged", seed, w)
 			}
-			if got := NewScheduler(w).GenerateLOSTests(c, obdFaults, nil); !reflect.DeepEqual(got, losWant) {
+			if got := must(NewScheduler(w).GenerateLOSTests(c, obdFaults, nil)); !reflect.DeepEqual(got, losWant) {
 				t.Fatalf("seed %d workers %d: LOS generation diverged", seed, w)
 			}
 		}
@@ -186,9 +186,9 @@ func TestWorkerSweepAnalyzeExhaustive(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 2 + rng.Intn(3), Gates: 2 + rng.Intn(8), Primitive: true})
 		faults, _ := fault.OBDUniverse(c)
-		want := NewScheduler(1).AnalyzeExhaustive(c, faults)
+		want := must(NewScheduler(1).AnalyzeExhaustive(c, faults))
 		for _, w := range sweepWorkers[1:] {
-			got := NewScheduler(w).AnalyzeExhaustive(c, faults)
+			got := must(NewScheduler(w).AnalyzeExhaustive(c, faults))
 			if !reflect.DeepEqual(got.Pairs, want.Pairs) ||
 				!reflect.DeepEqual(got.DetectedBy, want.DetectedBy) ||
 				!reflect.DeepEqual(got.Testable, want.Testable) {
@@ -204,9 +204,9 @@ func TestWorkerSweepDetectionCounts(t *testing.T) {
 	c := logic.RandomCircuit(rng, logic.RandomOptions{Inputs: 4, Gates: 12, Primitive: true})
 	faults, _ := fault.OBDUniverse(c)
 	tests := randomTests(rng, c, 80)
-	want := NewScheduler(1).DetectionCounts(c, faults, tests)
+	want := must(NewScheduler(1).DetectionCounts(c, faults, tests))
 	for _, w := range sweepWorkers[1:] {
-		if got := NewScheduler(w).DetectionCounts(c, faults, tests); !reflect.DeepEqual(got, want) {
+		if got := must(NewScheduler(w).DetectionCounts(c, faults, tests)); !reflect.DeepEqual(got, want) {
 			t.Fatalf("workers %d: counts diverged", w)
 		}
 	}
@@ -217,7 +217,7 @@ func TestWorkerSweepDetectionCounts(t *testing.T) {
 func TestSchedulerStats(t *testing.T) {
 	c := mustCircuit(t, xorNandSrc)
 	faults, _ := fault.OBDUniverse(c)
-	ts := GenerateOBDTests(c, faults, nil)
+	ts := must(GenerateOBDTests(c, faults, nil))
 	s := NewScheduler(4)
 	s.CollectStats = true
 	s.GradeOBD(c, faults, ts.Tests)
@@ -250,4 +250,13 @@ func TestSchedulerForEachCoversAllIndices(t *testing.T) {
 			}
 		}
 	}
+}
+
+// must unwraps a (value, error) return in tests, panicking on error; the
+// panic fails the calling test with the full error in the log.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -124,13 +124,13 @@ func GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) Coverage
 // GradeTransition fault-simulates a test set against transition faults,
 // sharding the fault list across the default scheduler's worker pool
 // (results are identical to the sequential scan for any worker count).
-func GradeTransition(c *logic.Circuit, faults []fault.Transition, tests []TwoPattern) Coverage {
+func GradeTransition(c *logic.Circuit, faults []fault.Transition, tests []TwoPattern) (Coverage, error) {
 	return DefaultScheduler().GradeTransition(c, faults, tests)
 }
 
 // GradeStuckAt fault-simulates single patterns against stuck-at faults,
 // sharding the fault list across the default scheduler's worker pool.
-func GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests []Pattern) Coverage {
+func GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests []Pattern) (Coverage, error) {
 	return DefaultScheduler().GradeStuckAt(c, faults, tests)
 }
 
@@ -148,7 +148,9 @@ type ExhaustiveOBDAnalysis struct {
 // AnalyzeExhaustive runs the full-enumeration analysis used for the
 // Section 4.3 full-adder counts, sharded over the default scheduler's
 // worker pool (the enumeration order of Pairs/DetectedBy is preserved).
-func AnalyzeExhaustive(c *logic.Circuit, faults []fault.OBD) *ExhaustiveOBDAnalysis {
+// A circuit with more than 16 primary inputs is rejected with a typed
+// *InputLimitError instead of the panic earlier revisions threw.
+func AnalyzeExhaustive(c *logic.Circuit, faults []fault.OBD) (*ExhaustiveOBDAnalysis, error) {
 	return DefaultScheduler().AnalyzeExhaustive(c, faults)
 }
 

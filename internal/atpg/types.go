@@ -72,6 +72,7 @@ const (
 	Detected   Status = iota // a test was produced (or the fault was caught by fault dropping)
 	Untestable               // search space exhausted without a test
 	Aborted                  // backtrack limit hit
+	Errored                  // the generator failed on this fault (see Result.Err)
 )
 
 // String implements fmt.Stringer.
@@ -83,6 +84,8 @@ func (s Status) String() string {
 		return "untestable"
 	case Aborted:
 		return "aborted"
+	case Errored:
+		return "errored"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}

@@ -83,7 +83,7 @@ func TestPartialPatternCanStillDetect(t *testing.T) {
 func TestLOSCoverageMatchesScalarOnFullAdder(t *testing.T) {
 	c := cells.FullAdderSumLogic()
 	faults, _ := fault.OBDUniverse(c)
-	res := GenerateLOSTests(c, faults, nil)
+	res := must(GenerateLOSTests(c, faults, nil))
 	scalar := GradeOBD(c, faults, res.Tests)
 	if !reflect.DeepEqual(res.Coverage, scalar) {
 		t.Fatalf("LOS coverage %+v != scalar regrade %+v", res.Coverage, scalar)

@@ -8,6 +8,7 @@
 package bist
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -195,8 +196,12 @@ func NewSession(c *logic.Circuit, seed uint64, n int) (*Session, error) {
 	return &Session{Circuit: c, Pats: PatternSequence(c, l, n, 2), pos: pos, misrW: misrW}, nil
 }
 
-// Pairs returns the consecutive launch pairs of the stream.
+// Pairs returns the consecutive launch pairs of the stream. A session
+// with fewer than two patterns has no launch pairs.
 func (s *Session) Pairs() []atpg.TwoPattern {
+	if len(s.Pats) == 0 {
+		return nil
+	}
 	out := make([]atpg.TwoPattern, 0, len(s.Pats)-1)
 	for i := 1; i < len(s.Pats); i++ {
 		out = append(out, atpg.TwoPattern{V1: s.Pats[i-1], V2: s.Pats[i]})
@@ -263,18 +268,26 @@ func (s *Session) RunFault(f fault.OBD, golden uint64) (FaultResult, error) {
 // default). Results come back in fault-list order regardless of worker
 // count; the first error in that order, if any, is returned.
 func (s *Session) RunFaults(faults []fault.OBD, golden uint64, sched *atpg.Scheduler) ([]FaultResult, error) {
+	out, rep := s.RunFaultsCtx(context.Background(), faults, golden, sched)
+	if err := rep.AsError(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunFaultsCtx is RunFaults under the hardened scheduler contract: the
+// run honors ctx cancellation (completed slots form a deterministic
+// prefix), a panicking fault simulation is confined to a per-item error,
+// and the RunReport carries per-fault attribution.
+func (s *Session) RunFaultsCtx(ctx context.Context, faults []fault.OBD, golden uint64, sched *atpg.Scheduler) ([]FaultResult, *atpg.RunReport) {
 	if sched == nil {
 		sched = atpg.DefaultScheduler()
 	}
 	out := make([]FaultResult, len(faults))
-	errs := make([]error, len(faults))
-	sched.ForEach(len(faults), func(i int) {
-		out[i], errs[i] = s.RunFault(faults[i], golden)
+	rep := sched.ForEachCtx(ctx, len(faults), func(i int) error {
+		var err error
+		out[i], err = s.RunFault(faults[i], golden)
+		return err
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return out, rep
 }

@@ -1,0 +1,37 @@
+package bist
+
+import "testing"
+
+// FuzzLFSRPeriod hardens the pattern generator's core invariant: for
+// every supported width and any seed, the Galois LFSR built from the
+// maximal tap table must traverse the full 2^w − 1 non-zero state cycle
+// — a mis-entered tap mask would shrink the period and silently gut the
+// pattern stream's coverage.
+func FuzzLFSRPeriod(f *testing.F) {
+	f.Add(uint(4), uint64(0xACE1))
+	f.Add(uint(2), uint64(0))  // zero seed is folded to 1
+	f.Add(uint(16), uint64(1))
+	f.Add(uint(7), uint64(0xFFFFFFFFFFFFFFFF))
+	f.Add(uint(1), uint64(5))  // below the supported range
+	f.Add(uint(40), uint64(5)) // above the supported range
+	f.Fuzz(func(t *testing.T, width uint, seed uint64) {
+		l, err := NewLFSR(int(width), seed)
+		if err != nil {
+			if width >= 2 && width <= 16 {
+				t.Fatalf("width %d rejected: %v", width, err)
+			}
+			return
+		}
+		if l.State() == 0 {
+			t.Fatal("LFSR seeded to the all-zero lock-up state")
+		}
+		mask := uint64(1)<<width - 1
+		if l.State()&^mask != 0 {
+			t.Fatalf("state %#x exceeds width %d", l.State(), width)
+		}
+		want := int(mask) // 2^w − 1
+		if got := l.Period(); got != want {
+			t.Fatalf("width %d seed %#x: period %d, want %d", width, seed, got, want)
+		}
+	})
+}

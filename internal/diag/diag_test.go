@@ -15,7 +15,7 @@ func buildFullAdderDict(t *testing.T) *Dictionary {
 	t.Helper()
 	c := cells.FullAdderSumLogic()
 	faults, _ := fault.OBDUniverse(c)
-	ts := atpg.GenerateOBDTests(c, faults, nil)
+	ts := must(atpg.GenerateOBDTests(c, faults, nil))
 	return Build(c, faults, ts.Tests)
 }
 
@@ -192,4 +192,13 @@ func TestQuickDictionaryConsistency(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// must unwraps a (value, error) return in tests, panicking on error; the
+// panic fails the calling test with the full error in the log.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -153,7 +153,10 @@ func RunFullAdderCounts() (*FullAdderCounts, error) {
 		}
 	}
 	out.CollapsedTotal = len(fault.CollapseOBD(faults))
-	ex := atpg.AnalyzeExhaustive(lc, faults)
+	ex, err := atpg.AnalyzeExhaustive(lc, faults)
+	if err != nil {
+		return nil, err
+	}
 	out.TransitionPairs = len(ex.Pairs)
 	out.TestableTotal = ex.TestableCount()
 	for _, i := range nandIdx {
@@ -163,7 +166,10 @@ func RunFullAdderCounts() (*FullAdderCounts, error) {
 	}
 	out.Cover = ex.GreedyCover()
 	out.CoverSize = len(out.Cover)
-	ts := atpg.GenerateOBDTests(lc, faults, nil)
+	ts, err := atpg.GenerateOBDTests(lc, faults, nil)
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range ts.Results {
 		switch r.Status {
 		case atpg.Detected:
@@ -246,24 +252,40 @@ type CoverageGap struct {
 // RunCoverageGap runs the comparison for one gate-level circuit.
 func RunCoverageGap(name string, lc *logic.Circuit) (*CoverageGap, error) {
 	obdFaults, _ := fault.OBDUniverse(lc)
-	ex := atpg.AnalyzeExhaustive(lc, obdFaults)
+	ex, err := atpg.AnalyzeExhaustive(lc, obdFaults)
+	if err != nil {
+		return nil, err
+	}
 	out := &CoverageGap{Name: name, OBDUniverse: len(obdFaults), OBDTestable: ex.TestableCount()}
 
-	trSet := atpg.GenerateTransitionTests(lc, fault.TransitionUniverse(lc), nil)
+	trSet, err := atpg.GenerateTransitionTests(lc, fault.TransitionUniverse(lc), nil)
+	if err != nil {
+		return nil, err
+	}
 	out.TransitionTests = len(trSet.Tests)
-	out.TransitionCov = atpg.GradeOBDParallel(lc, obdFaults, trSet.Tests)
+	if out.TransitionCov, err = atpg.GradeOBDParallel(lc, obdFaults, trSet.Tests); err != nil {
+		return nil, err
+	}
 
 	// A stuck-at test set has no transition structure at all; pair each
 	// pattern with its predecessor to form vectors the way a scan chain
 	// would stream them.
-	saSet := atpg.GenerateStuckAtTests(lc, fault.StuckAtUniverse(lc), nil)
+	saSet, err := atpg.GenerateStuckAtTests(lc, fault.StuckAtUniverse(lc), nil)
+	if err != nil {
+		return nil, err
+	}
 	var saPairs []atpg.TwoPattern
 	for i := 1; i < len(saSet.Tests); i++ {
 		saPairs = append(saPairs, atpg.TwoPattern{V1: saSet.Tests[i-1], V2: saSet.Tests[i]})
 	}
-	out.StuckAtCov = atpg.GradeOBDParallel(lc, obdFaults, saPairs)
+	if out.StuckAtCov, err = atpg.GradeOBDParallel(lc, obdFaults, saPairs); err != nil {
+		return nil, err
+	}
 
-	obdSet := atpg.GenerateOBDTests(lc, obdFaults, nil)
+	obdSet, err := atpg.GenerateOBDTests(lc, obdFaults, nil)
+	if err != nil {
+		return nil, err
+	}
 	out.OBDTests = len(obdSet.Tests)
 	out.OBDCov = obdSet.Coverage
 	return out, nil

@@ -41,8 +41,14 @@ func RunBIST() (*BIST, error) {
 		logic.Mux41(),
 	} {
 		faults, _ := fault.OBDUniverse(lc)
-		ex := atpg.AnalyzeExhaustive(lc, faults)
-		det := atpg.GenerateOBDTests(lc, faults, nil)
+		ex, err := atpg.AnalyzeExhaustive(lc, faults)
+		if err != nil {
+			return nil, err
+		}
+		det, err := atpg.GenerateOBDTests(lc, faults, nil)
+		if err != nil {
+			return nil, err
+		}
 		for _, cycles := range []int{16, 64, 256} {
 			s, err := bist.NewSession(lc, 0xACE1, cycles)
 			if err != nil {

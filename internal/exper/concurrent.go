@@ -101,7 +101,10 @@ func RunConcurrentSim(p *spice.Process) (*ConcurrentSim, error) {
 
 	// The BIST test set and its designed capture time.
 	faults, _ := fault.OBDUniverse(lc)
-	ts := atpg.GenerateOBDTests(lc, faults, nil)
+	ts, err := atpg.GenerateOBDTests(lc, faults, nil)
+	if err != nil {
+		return nil, err
+	}
 	critical := 0.0
 	goodTraces := make([]*timing.Trace, len(ts.Tests))
 	for i, tp := range ts.Tests {

@@ -45,7 +45,10 @@ func RunDiagnosis() (*Diagnosis, error) {
 		logic.Mux41(),
 	} {
 		faults, _ := fault.OBDUniverse(lc)
-		ts := atpg.GenerateOBDTests(lc, faults, nil)
+		ts, err := atpg.GenerateOBDTests(lc, faults, nil)
+		if err != nil {
+			return nil, err
+		}
 		d := diag.Build(lc, faults, ts.Tests)
 		row := DiagRow{Name: lc.Name, TestCount: len(ts.Tests)}
 		classes := d.Classes()
@@ -60,7 +63,10 @@ func RunDiagnosis() (*Diagnosis, error) {
 			}
 		}
 		// Diagnosis-oriented set: every ordered input transition.
-		ex := atpg.AnalyzeExhaustive(lc, faults)
+		ex, err := atpg.AnalyzeExhaustive(lc, faults)
+		if err != nil {
+			return nil, err
+		}
 		dFull := diag.Build(lc, faults, ex.Pairs)
 		row.FullTests = len(ex.Pairs)
 		for _, cl := range dFull.Classes() {

@@ -43,12 +43,20 @@ func RunATPGGuidance() (*ATPGGuidance, error) {
 
 		optG := atpg.DefaultOptions()
 		optG.BacktrackSink = &row.GuidedBT
-		row.GuidedCov = atpg.GenerateOBDTests(lc, faults, optG).Coverage
+		tsG, err := atpg.GenerateOBDTests(lc, faults, optG)
+		if err != nil {
+			return nil, err
+		}
+		row.GuidedCov = tsG.Coverage
 
 		optU := atpg.DefaultOptions()
 		optU.DisableSCOAP = true
 		optU.BacktrackSink = &row.UnguidedBT
-		row.UnguidedCov = atpg.GenerateOBDTests(lc, faults, optU).Coverage
+		tsU, err := atpg.GenerateOBDTests(lc, faults, optU)
+		if err != nil {
+			return nil, err
+		}
+		row.UnguidedCov = tsU.Coverage
 
 		out.Rows = append(out.Rows, row)
 	}

@@ -31,7 +31,10 @@ type DetectProfile struct {
 func RunDetectProfile() (*DetectProfile, error) {
 	lc := cells.FullAdderSumLogic()
 	faults, _ := fault.OBDUniverse(lc)
-	ex := atpg.AnalyzeExhaustive(lc, faults)
+	ex, err := atpg.AnalyzeExhaustive(lc, faults)
+	if err != nil {
+		return nil, err
+	}
 	counts := make([]int, len(faults))
 	for _, det := range ex.DetectedBy {
 		for _, fi := range det {

@@ -35,7 +35,10 @@ func RunNDetect() (*NDetect, error) {
 	lc := cells.FullAdderSumLogic()
 	faults, _ := fault.OBDUniverse(lc)
 	// Two-defect ensembles over the testable faults.
-	ex := atpg.AnalyzeExhaustive(lc, faults)
+	ex, err := atpg.AnalyzeExhaustive(lc, faults)
+	if err != nil {
+		return nil, err
+	}
 	var testable []fault.OBD
 	for i, ok := range ex.Testable {
 		if ok {
@@ -50,9 +53,15 @@ func RunNDetect() (*NDetect, error) {
 	}
 	out := &NDetect{}
 	for _, n := range []int{1, 3, 5} {
-		ts := atpg.GenerateNDetectOBDTests(lc, faults, n)
+		ts, err := atpg.GenerateNDetectOBDTests(lc, faults, n)
+		if err != nil {
+			return nil, err
+		}
 		row := NDetectRow{N: n, Tests: len(ts.Tests), Coverage: ts.Coverage}
-		counts := atpg.DetectionCounts(lc, faults, ts.Tests)
+		counts, err := atpg.DetectionCounts(lc, faults, ts.Tests)
+		if err != nil {
+			return nil, err
+		}
 		row.MinDetected = 1 << 30
 		for fi := range faults {
 			if counts[fi] > 0 && counts[fi] < row.MinDetected {
@@ -61,7 +70,9 @@ func RunNDetect() (*NDetect, error) {
 		}
 		d := diag.Build(lc, faults, ts.Tests)
 		row.Unique = d.UniquelyDiagnosable()
-		row.DoubleCov = atpg.GradeOBDMulti(lc, ensembles, ts.Tests)
+		if row.DoubleCov, err = atpg.GradeOBDMulti(lc, ensembles, ts.Tests); err != nil {
+			return nil, err
+		}
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil

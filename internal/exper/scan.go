@@ -46,8 +46,14 @@ func RunScanComparison() (*ScanComparison, error) {
 	out := &ScanComparison{}
 	for _, lc := range scanSuite() {
 		faults, _ := fault.OBDUniverse(lc)
-		enh := atpg.GenerateOBDTests(lc, faults, nil)
-		los := atpg.GenerateLOSTests(lc, faults, nil)
+		enh, err := atpg.GenerateOBDTests(lc, faults, nil)
+		if err != nil {
+			return nil, err
+		}
+		los, err := atpg.GenerateLOSTests(lc, faults, nil)
+		if err != nil {
+			return nil, err
+		}
 		out.Rows = append(out.Rows, ScanRow{
 			Name:       lc.Name,
 			Universe:   len(faults),

@@ -4,6 +4,65 @@ import (
 	"testing"
 )
 
+// FuzzCircuitValidate hardens Validate against hand-assembled circuits
+// that bypass AddGate's invariants (multiple drivers, cycles, dangling
+// nets, arity violations): whatever the structure, Validate must return
+// a verdict rather than panic, the verdict must be stable across calls,
+// and an accepted circuit must actually evaluate.
+func FuzzCircuitValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x11, 0x22})                         // single gate
+	f.Add([]byte{0x21, 0x03, 0x30, 0x21, 0x30, 0x03})       // 2-cycle
+	f.Add([]byte{0x02, 0x45, 0x67, 0x02, 0x54, 0x76})       // duplicate driver
+	f.Add([]byte{0x80, 0x01, 0x23, 0x91, 0x45, 0x67, 0xff}) // aoi/oai mix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Nets n0..n7; n0 and n1 are primary inputs, n7 the primary
+		// output. Each 3-byte group requests one gate; arity violations
+		// and duplicate drivers are rejected by AddGate, while cycles,
+		// undriven inputs and undriven outputs get through to Validate.
+		net := func(b byte) string { return "n" + string(rune('0'+b%8)) }
+		types := []GateType{Inv, Buf, Nand, Nor, And, Or, Xor, Xnor, Aoi21, Oai21}
+		c := New("fuzz")
+		if err := c.AddInput("n0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddInput("n1"); err != nil {
+			t.Fatal(err)
+		}
+		c.AddOutput("n7")
+		for i := 0; i+2 < len(data) && i < 3*24; i += 3 {
+			ty := types[int(data[i])%len(types)]
+			nIn := 1 + int(data[i]>>4)%3
+			ins := make([]string, nIn)
+			for j := range ins {
+				ins[j] = net(data[i+1] >> (2 * j))
+			}
+			// A rejected gate (arity, duplicate driver, drives a PI) is
+			// simply dropped, as a netlist generator would.
+			_, _ = c.AddGate("g"+string(rune('a'+byte(i/3))), ty, net(data[i+2]), ins...)
+		}
+		err1 := c.Validate()
+		err2 := c.Validate()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Validate verdict unstable: %v then %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		p := map[string]Value{}
+		for _, in := range c.Inputs {
+			p[in] = Zero
+		}
+		vals := c.Eval(p, nil)
+		for _, po := range c.Outputs {
+			if _, ok := vals[po]; !ok {
+				t.Fatalf("validated circuit did not evaluate output %q", po)
+			}
+		}
+		_ = c.Depth()
+	})
+}
+
 // FuzzParse hardens the netlist parser: arbitrary input must either error
 // or yield a circuit that validates and survives a format/parse round trip
 // with its function intact.

@@ -1,0 +1,135 @@
+package mission
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Adversity parameterizes the operational hazards injected into a
+// campaign: the concurrent test policy of the paper assumes every test
+// interval runs on time and every failing signature is captured; a
+// fielded system gets neither. All times are simulated seconds.
+type Adversity struct {
+	// SkipProb is the probability a scheduled test interval is skipped
+	// entirely (the system was busy and the BIST slot was forfeited).
+	SkipProb float64
+	// LateProb is the probability a test interval slips, and LateFrac is
+	// the slip as a fraction of the test period.
+	LateProb float64
+	LateFrac float64
+	// MissProb is the per-attempt probability of a transient
+	// signature-capture miss; a missed capture is retried after
+	// RetryBackoff simulated seconds, doubling per retry, at most
+	// MaxRetries times per fault.
+	MissProb     float64
+	MaxRetries   int
+	RetryBackoff float64
+	// DiagTimePerCand is the diagnosis cost per candidate defect in the
+	// dictionary class of the captured signature: ambiguous diagnoses
+	// delay the repair proportionally.
+	DiagTimePerCand float64
+	// RepairTime is the time from a completed diagnosis to a completed
+	// repair (spare row/column swap-in).
+	RepairTime float64
+	// Spares is the per-chip repair resource budget; a detection with no
+	// spare left puts the chip into degraded mode (the defect stays,
+	// tracked as unrepaired). Negative means unlimited.
+	Spares int
+}
+
+// Off is the zero-adversity profile: every test runs on time, every
+// capture succeeds, diagnosis and repair are instant, spares unlimited.
+func Off() Adversity { return Adversity{Spares: -1} }
+
+// Light is a mildly hostile profile: occasional skipped or late
+// intervals, rare capture misses with generous retry budget, unlimited
+// spares.
+func Light() Adversity {
+	return Adversity{
+		SkipProb: 0.05, LateProb: 0.10, LateFrac: 0.25,
+		MissProb: 0.05, MaxRetries: 3, RetryBackoff: 60,
+		DiagTimePerCand: 10, RepairTime: 300,
+		Spares: -1,
+	}
+}
+
+// Heavy is a hostile profile: frequent schedule disruption, lossy
+// signature capture with a tight retry budget, slow diagnosis and
+// repair, and only two spares per chip.
+func Heavy() Adversity {
+	return Adversity{
+		SkipProb: 0.20, LateProb: 0.30, LateFrac: 0.50,
+		MissProb: 0.25, MaxRetries: 2, RetryBackoff: 120,
+		DiagTimePerCand: 30, RepairTime: 900,
+		Spares: 2,
+	}
+}
+
+// ParseAdversity parses a profile spec: "off", "light", "heavy", or a
+// comma-separated key=value list overriding the off profile, e.g.
+// "miss=0.1,retries=4,backoff=30,spares=1". Keys: skip, late, latefrac,
+// miss, retries, backoff, diagtime, repairtime, spares.
+func ParseAdversity(spec string) (Adversity, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "off", "none":
+		return Off(), nil
+	case "light":
+		return Light(), nil
+	case "heavy":
+		return Heavy(), nil
+	}
+	adv := Off()
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return adv, fmt.Errorf("mission: adversity term %q is not key=value", kv)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return adv, fmt.Errorf("mission: adversity %s: %v", k, err)
+		}
+		switch strings.ToLower(k) {
+		case "skip":
+			adv.SkipProb = f
+		case "late":
+			adv.LateProb = f
+		case "latefrac":
+			adv.LateFrac = f
+		case "miss":
+			adv.MissProb = f
+		case "retries":
+			adv.MaxRetries = int(f)
+		case "backoff":
+			adv.RetryBackoff = f
+		case "diagtime":
+			adv.DiagTimePerCand = f
+		case "repairtime":
+			adv.RepairTime = f
+		case "spares":
+			adv.Spares = int(f)
+		default:
+			return adv, fmt.Errorf("mission: unknown adversity key %q", k)
+		}
+	}
+	return adv.validate()
+}
+
+// validate rejects out-of-range probabilities.
+func (a Adversity) validate() (Adversity, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"skip", a.SkipProb}, {"late", a.LateProb}, {"miss", a.MissProb},
+	} {
+		if p.v < 0 || p.v >= 1 {
+			return a, fmt.Errorf("mission: adversity %s=%g outside [0,1)", p.name, p.v)
+		}
+	}
+	if a.LateFrac < 0 || a.MaxRetries < 0 || a.RetryBackoff < 0 ||
+		a.DiagTimePerCand < 0 || a.RepairTime < 0 {
+		return a, fmt.Errorf("mission: negative adversity parameter")
+	}
+	return a, nil
+}

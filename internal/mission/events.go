@@ -1,0 +1,47 @@
+package mission
+
+import "container/heap"
+
+// The per-chip simulator is a discrete-event loop over simulated time.
+// Ties are broken by (kind, fault ordinal) so the replay order is a pure
+// function of the chip's draws: a repair completing at the instant of a
+// test lands first, an HBD crossing at the instant of a test wins the
+// race (the paper's window is half-open — detection strictly before hard
+// breakdown), and retries run after the periodic test of the same
+// instant.
+
+type eventKind int
+
+const (
+	evRepair eventKind = iota // repair completes for fault idx
+	evHBD                     // fault idx crosses into hard breakdown
+	evTest                    // a periodic BIST interval runs (idx unused)
+	evRetry                   // bounded-backoff capture retry for fault idx
+)
+
+type event struct {
+	t    float64
+	kind eventKind
+	idx  int // fault ordinal for evRepair/evHBD/evRetry; -1 for evTest
+}
+
+// before is the deterministic total order of the event queue.
+func (e event) before(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	if e.kind != o.kind {
+		return e.kind < o.kind
+	}
+	return e.idx < o.idx
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].before(q[j]) }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)         { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any           { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q *eventQueue) push(e event)       { heap.Push(q, e) }
+func (q *eventQueue) pop() event         { return heap.Pop(q).(event) }

@@ -1,0 +1,236 @@
+package mission
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"gobd/internal/atpg"
+)
+
+// ChipResult is one chip's mission outcome. Latencies (capture instant
+// minus first-observable instant) and Margins (HBD crossing minus
+// capture instant) are in simulated seconds, in capture order.
+type ChipResult struct {
+	Chip              int       `json:"chip"`
+	Faults            int       `json:"faults"`
+	Detected          int       `json:"detected"`
+	Repaired          int       `json:"repaired"`
+	Escapes           int       `json:"escapes"`
+	StructuralEscapes int       `json:"structural_escapes,omitempty"`
+	LateRepairs       int       `json:"late_repairs,omitempty"`
+	ActiveAtEnd       int       `json:"active_at_end,omitempty"`
+	Retries           int       `json:"retries,omitempty"`
+	SkippedTests      int       `json:"skipped_tests,omitempty"`
+	LateTests         int       `json:"late_tests,omitempty"`
+	Ambiguous         int       `json:"ambiguous_diagnoses,omitempty"`
+	Degraded          bool      `json:"degraded,omitempty"`
+	Latencies         []float64 `json:"latencies,omitempty"`
+	Margins           []float64 `json:"margins,omitempty"`
+}
+
+// LatencyStats summarizes the detection-latency distribution.
+type LatencyStats struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// ChipFailure is the JSON-friendly face of a per-chip worker error.
+type ChipFailure struct {
+	Chip  int    `json:"chip"`
+	Error string `json:"error"`
+}
+
+// Report is the aggregated campaign outcome. It contains no wall-clock
+// or worker-count dependent field, so two runs of the same seeded
+// campaign compare equal with reflect.DeepEqual whatever the pool size.
+type Report struct {
+	Seed     uint64  `json:"seed"`
+	Chips    int     `json:"chips"`
+	Complete int     `json:"complete"` // chips whose simulation committed
+	Duration float64 `json:"duration"`
+	Period   float64 `json:"period"`
+	// MaxTestPeriod is the sched.Window bound the period must respect for
+	// the zero-escape guarantee, and Margin is Period's headroom under it.
+	MaxTestPeriod float64 `json:"max_test_period"`
+
+	Faults             int `json:"faults"`
+	Detected           int `json:"detected"`
+	Repaired           int `json:"repaired"`
+	Escapes            int `json:"escapes"`
+	StructuralEscapes  int `json:"structural_escapes,omitempty"`
+	LateRepairs        int `json:"late_repairs,omitempty"`
+	ActiveAtEnd        int `json:"active_at_end,omitempty"`
+	Retries            int `json:"retries,omitempty"`
+	SkippedTests       int `json:"skipped_tests,omitempty"`
+	LateTests          int `json:"late_tests,omitempty"`
+	AmbiguousDiagnoses int `json:"ambiguous_diagnoses,omitempty"`
+	DegradedChips      int `json:"degraded_chips,omitempty"`
+
+	Latency LatencyStats `json:"latency"`
+	// MinMargin is the smallest HBD-crossing margin of any detection; a
+	// campaign that ever detects with MinMargin near zero is one missed
+	// interval from an escape. NaN-free: zero when nothing was detected.
+	MinMargin float64 `json:"min_margin"`
+
+	// Failed lists chips whose worker failed (e.g. a confined panic);
+	// Errors carries the typed per-chip errors for programmatic use.
+	Failed []ChipFailure     `json:"failed,omitempty"`
+	Errors []*atpg.ItemError `json:"-"`
+	// Cancelled is set when the run was cut short by its context; the
+	// per-chip slots then cover a deterministic prefix of the campaign.
+	Cancelled bool `json:"cancelled,omitempty"`
+
+	PerChip []ChipResult `json:"per_chip,omitempty"`
+}
+
+// quantile returns the q-quantile of sorted xs (nearest-rank).
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+// aggregate folds per-chip slots into a Report, counting only chips the
+// scheduler committed (Done and error-free), so a cancelled or partially
+// failed run still yields an internally consistent report.
+func aggregate(cfg *Config, b *bench, results []ChipResult, rep *atpg.RunReport) *Report {
+	r := &Report{
+		Seed:          cfg.Seed,
+		Chips:         cfg.Chips,
+		Duration:      cfg.Duration,
+		Period:        cfg.Period,
+		MaxTestPeriod: b.window.MaxTestPeriod(),
+		MinMargin:     math.MaxFloat64,
+		Cancelled:     rep.Err != nil,
+		Errors:        rep.Errors,
+	}
+	for _, e := range rep.Errors {
+		r.Failed = append(r.Failed, ChipFailure{Chip: e.Index, Error: e.Err.Error()})
+	}
+	var lat []float64
+	for i := range results {
+		if i < len(rep.Done) && (!rep.Done[i] || rep.ErrAt(i) != nil) {
+			continue
+		}
+		c := &results[i]
+		r.Complete++
+		r.Faults += c.Faults
+		r.Detected += c.Detected
+		r.Repaired += c.Repaired
+		r.Escapes += c.Escapes
+		r.StructuralEscapes += c.StructuralEscapes
+		r.LateRepairs += c.LateRepairs
+		r.ActiveAtEnd += c.ActiveAtEnd
+		r.Retries += c.Retries
+		r.SkippedTests += c.SkippedTests
+		r.LateTests += c.LateTests
+		r.AmbiguousDiagnoses += c.Ambiguous
+		if c.Degraded {
+			r.DegradedChips++
+		}
+		lat = append(lat, c.Latencies...)
+		for _, m := range c.Margins {
+			if m < r.MinMargin {
+				r.MinMargin = m
+			}
+		}
+		if cfg.RecordPerChip {
+			r.PerChip = append(r.PerChip, *c)
+		}
+	}
+	if len(lat) == 0 {
+		r.MinMargin = 0
+	} else {
+		sort.Float64s(lat)
+		sum := 0.0
+		for _, v := range lat {
+			sum += v
+		}
+		r.Latency = LatencyStats{
+			Count: len(lat),
+			Min:   lat[0],
+			Mean:  sum / float64(len(lat)),
+			P50:   quantile(lat, 0.50),
+			P90:   quantile(lat, 0.90),
+			P99:   quantile(lat, 0.99),
+			Max:   lat[len(lat)-1],
+		}
+	}
+	return r
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// hours formats simulated seconds compactly.
+func hours(s float64) string {
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%.2fh", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1fm", s/60)
+	default:
+		return fmt.Sprintf("%.0fs", s)
+	}
+}
+
+// Format renders a human-readable mission summary.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mission: %d chips, %s, test period %s (max safe %s), seed %d\n",
+		r.Chips, hours(r.Duration), hours(r.Period), hours(r.MaxTestPeriod), r.Seed)
+	if r.Cancelled || r.Complete < r.Chips {
+		fmt.Fprintf(&b, "  PARTIAL: %d/%d chips committed", r.Complete, r.Chips)
+		if r.Cancelled {
+			b.WriteString(" (cancelled)")
+		}
+		b.WriteString("\n")
+	}
+	for _, f := range r.Failed {
+		fmt.Fprintf(&b, "  chip %d FAILED: %s\n", f.Chip, f.Error)
+	}
+	fmt.Fprintf(&b, "  defects: %d initiated, %d detected, %d repaired, %d escaped",
+		r.Faults, r.Detected, r.Repaired, r.Escapes)
+	if r.StructuralEscapes > 0 {
+		fmt.Fprintf(&b, " (%d structural)", r.StructuralEscapes)
+	}
+	if r.ActiveAtEnd > 0 {
+		fmt.Fprintf(&b, ", %d still latent at mission end", r.ActiveAtEnd)
+	}
+	b.WriteString("\n")
+	if r.Latency.Count > 0 {
+		fmt.Fprintf(&b, "  detection latency: min %s  p50 %s  p90 %s  p99 %s  max %s  (n=%d)\n",
+			hours(r.Latency.Min), hours(r.Latency.P50), hours(r.Latency.P90),
+			hours(r.Latency.P99), hours(r.Latency.Max), r.Latency.Count)
+		fmt.Fprintf(&b, "  window margin: min %s before hard breakdown\n", hours(r.MinMargin))
+	}
+	if r.Retries+r.SkippedTests+r.LateTests+r.AmbiguousDiagnoses > 0 {
+		fmt.Fprintf(&b, "  adversity: %d skipped tests, %d late tests, %d capture retries, %d ambiguous diagnoses\n",
+			r.SkippedTests, r.LateTests, r.Retries, r.AmbiguousDiagnoses)
+	}
+	if r.LateRepairs > 0 {
+		fmt.Fprintf(&b, "  %d repairs completed after the HBD crossing\n", r.LateRepairs)
+	}
+	if r.DegradedChips > 0 {
+		fmt.Fprintf(&b, "  %d chips in degraded mode (repair resources exhausted)\n", r.DegradedChips)
+	}
+	return b.String()
+}

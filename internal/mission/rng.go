@@ -1,0 +1,65 @@
+package mission
+
+import "math"
+
+// Determinism is the load-bearing property of the mission runtime: a
+// campaign must replay bit-identically for the same seed, whatever the
+// worker count and whatever order events happen to interleave. Every
+// random draw therefore comes from a keyed splitmix64 stream whose
+// sequence depends only on its key — (seed, chip) for chip-level draws,
+// (seed, chip, fault ordinal) for per-fault draws — never on which
+// goroutine consumes it or what other streams have drawn.
+
+// mix is the SplitMix64 output function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// stream is a SplitMix64 generator over a key-derived state.
+type stream struct{ state uint64 }
+
+// newStream derives an independent stream from a key tuple.
+func newStream(keys ...uint64) *stream {
+	s := uint64(0x6a09e667f3bcc909)
+	for _, k := range keys {
+		s = mix(s + 0x9e3779b97f4a7c15 + k)
+	}
+	return &stream{state: s}
+}
+
+// next returns the next 64 pseudo-random bits.
+func (s *stream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix(s.state)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *stream) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n). The modulo bias is far below
+// anything a fault-injection campaign can resolve.
+func (s *stream) intn(n int) int {
+	return int(s.next() % uint64(n))
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's product method; campaign fault rates are small enough that the
+// exp(-mean) underflow region is unreachable (New rejects large rates).
+func (s *stream) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= s.float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

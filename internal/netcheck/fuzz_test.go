@@ -1,0 +1,52 @@
+package netcheck_test
+
+import (
+	"reflect"
+	"testing"
+
+	"gobd/internal/logic"
+	"gobd/internal/netcheck"
+)
+
+// FuzzLint hardens the linter against arbitrary netlist text: whatever
+// parses must lint without panicking, diagnostics must come out in the
+// documented deterministic order (a second run is identical), and the
+// lint/Validate verdicts must agree on error-severity findings —
+// a circuit Validate accepts must produce no Error diagnostics.
+func FuzzLint(f *testing.F) {
+	seeds := []string{
+		"circuit x\ninput a b\noutput y\nnand g1 y a b\n",
+		"input a\noutput y\ninv g1 y a\n",
+		"input a b\noutput y\nnand g1 y a b\nnand g2 z a y\n", // dead gate g2
+		"input a\noutput y\ninv g1 y q\n",                     // undriven q
+		"input a\ninv g1 n1 n2\ninv g2 n2 n1\noutput n1\n",    // cycle
+		"input a b c\noutput y\naoi21 g y a b c\n",
+		"input a\noutput a\n", // PI as PO, no gates
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := logic.ParseString(src)
+		if err != nil {
+			return
+		}
+		d1 := netcheck.Lint(c)
+		d2 := netcheck.Lint(c)
+		if !reflect.DeepEqual(d1, d2) {
+			t.Fatalf("lint is not deterministic:\n%v\n%v", d1, d2)
+		}
+		hasError := false
+		for _, d := range d1 {
+			if d.Severity == netcheck.Error {
+				hasError = true
+			}
+			if d.Code == "" || d.Message == "" {
+				t.Fatalf("diagnostic missing code/message: %+v", d)
+			}
+		}
+		if c.Validate() == nil && hasError {
+			t.Fatalf("Validate accepts but lint reports errors: %v", d1)
+		}
+	})
+}

@@ -25,7 +25,7 @@ func TestFullAdderVerdicts(t *testing.T) {
 		t.Fatalf("full adder has non-primitive gates: %v", skipped)
 	}
 	verdicts := netcheck.ProveOBDList(c, faults)
-	truth := atpg.AnalyzeExhaustive(c, faults)
+	truth := must(atpg.AnalyzeExhaustive(c, faults))
 
 	proved := 0
 	for i, v := range verdicts {
@@ -167,4 +167,13 @@ func TestAnalyzeFullAdderReport(t *testing.T) {
 	if !found {
 		t.Fatalf("constant net missing from diagnostics: %v", r.Diagnostics)
 	}
+}
+
+// must unwraps a (value, error) return in tests, panicking on error; the
+// panic fails the calling test with the full error in the log.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -260,6 +260,37 @@ func TestTimeForIsatOutOfRange(t *testing.T) {
 	}
 }
 
+// TestTimeForIsatRangeBoundaries: the endpoints of the modeled Isat range
+// are inside it (t=0 and t=Window), values just past them are rejected
+// with a descriptive error, and non-finite queries never map to a time —
+// for both polarities.
+func TestTimeForIsatRangeBoundaries(t *testing.T) {
+	for _, pol := range []spice.MOSPolarity{spice.NMOS, spice.PMOS} {
+		pr := NewProgression(pol)
+		t0, err := pr.TimeForIsat(pr.Start.Isat)
+		if err != nil || math.Abs(t0) > 1e-9 {
+			t.Fatalf("%v: Start.Isat -> (%g, %v), want (0, nil)", pol, t0, err)
+		}
+		t1, err := pr.TimeForIsat(pr.End.Isat)
+		if err != nil || math.Abs(t1-pr.Window) > 1e-6*pr.Window {
+			t.Fatalf("%v: End.Isat -> (%g, %v), want (Window, nil)", pol, t1, err)
+		}
+		lo := math.Min(pr.Start.Isat, pr.End.Isat)
+		hi := math.Max(pr.Start.Isat, pr.End.Isat)
+		if _, err := pr.TimeForIsat(lo * (1 - 1e-9)); err == nil {
+			t.Fatalf("%v: just below range accepted", pol)
+		}
+		if _, err := pr.TimeForIsat(hi * (1 + 1e-9)); err == nil {
+			t.Fatalf("%v: just above range accepted", pol)
+		}
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 0} {
+			if tt, err := pr.TimeForIsat(bad); err == nil {
+				t.Fatalf("%v: Isat %g accepted as time %g", pol, bad, tt)
+			}
+		}
+	}
+}
+
 func TestDualInjectionComposes(t *testing.T) {
 	// Two independent breakdown networks in one circuit: each leaks in its
 	// own biasing state without disturbing the other's observability.

@@ -56,7 +56,9 @@ func (p *Progression) ParamsAt(t float64) Params {
 // scale reaches isat. Returns an error outside the modeled range.
 func (p *Progression) TimeForIsat(isat float64) (float64, error) {
 	lo, hi := p.Start.Isat, p.End.Isat
-	if isat < math.Min(lo, hi) || isat > math.Max(lo, hi) {
+	// The explicit IsNaN guard matters: NaN compares false against both
+	// bounds and would otherwise sail through to a NaN time.
+	if math.IsNaN(isat) || isat < math.Min(lo, hi) || isat > math.Max(lo, hi) {
 		return 0, fmt.Errorf("obd: Isat %g outside progression range [%g, %g]", isat, lo, hi)
 	}
 	f := math.Log(isat/lo) / math.Log(hi/lo)

@@ -89,6 +89,48 @@ func TestRequiredSlackLinear(t *testing.T) {
 	}
 }
 
+// TestRequiredSlackNegativePaths pins every ok=false branch: degenerate
+// curves, deadlines before the trajectory starts, and windows only a
+// negative-slack (impossible) detector could see.
+func TestRequiredSlackNegativePaths(t *testing.T) {
+	c := linCurve()
+	nominal := 100e-12
+	hbd := 10 * 3600.0
+
+	// Fewer than two samples carries no trajectory at all.
+	if _, ok := RequiredSlack(nil, nominal, 3600, hbd); ok {
+		t.Fatal("nil curve accepted")
+	}
+	if _, ok := RequiredSlack(c[:1], nominal, 3600, hbd); ok {
+		t.Fatal("single-sample curve accepted")
+	}
+	// A wanted window reaching before the first sample is unreachable.
+	if _, ok := RequiredSlack(c, nominal, hbd-c[0].T+1, hbd); ok {
+		t.Fatal("deadline before the curve start accepted")
+	}
+	// Exactly at the feasibility edge: the curve still sits at the
+	// nominal delay, so the required slack would be zero or negative.
+	flat := []DelayPoint{{T: 0, Delay: nominal}, {T: hbd, Delay: nominal}}
+	if _, ok := RequiredSlack(flat, nominal, 3600, hbd); ok {
+		t.Fatal("flat-at-nominal trajectory cannot yield positive slack")
+	}
+	// A trajectory below nominal (mischaracterized detector) must also
+	// report infeasible rather than a negative slack.
+	below := []DelayPoint{{T: 0, Delay: nominal / 2}, {T: hbd, Delay: nominal * 0.9}}
+	if s, ok := RequiredSlack(below, nominal, 3600, hbd); ok || s != 0 {
+		t.Fatalf("below-nominal trajectory returned slack %g, ok=%v", s, ok)
+	}
+	// A duplicate-time segment at the deadline must not divide by zero.
+	dup := []DelayPoint{
+		{T: 0, Delay: nominal}, {T: 5 * 3600, Delay: 300e-12},
+		{T: 5 * 3600, Delay: 400e-12}, {T: hbd, Delay: 500e-12},
+	}
+	s, ok := RequiredSlack(dup, nominal, hbd-5*3600, hbd)
+	if !ok || s <= 0 {
+		t.Fatalf("duplicate-time segment: slack %g ok=%v", s, ok)
+	}
+}
+
 // TestQuickWindowMonotoneInSlack: on monotone trajectories, larger slack
 // never yields an earlier start or a longer window.
 func TestQuickWindowMonotoneInSlack(t *testing.T) {
