@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet detlint lint test test-race short bench repro artifacts fuzz fuzz-smoke clean
+.PHONY: all build vet obdcheck detlint lint test test-race short bench repro artifacts fuzz fuzz-smoke clean
 
 all: build test test-race
 
@@ -10,14 +10,22 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-# Standard vet plus the determinism analyzer over the scheduler/ATPG
-# layer (see tools/analyzers/detlint).
-vet: detlint
+# Standard vet plus the obdcheck multi-rule suite (determinism,
+# enum exhaustiveness, typed-error panic contract, scheduler closure
+# discipline, suppression hygiene) over the whole module — see
+# tools/analyzers/obdcheck. Exits non-zero on any unsuppressed finding.
+vet: obdcheck
 	$(GO) vet ./...
-	$(GO) vet -vettool=$(CURDIR)/bin/detlint ./internal/atpg/...
+	$(GO) vet -vettool=$(CURDIR)/bin/obdcheck ./...
 
+obdcheck:
+	$(GO) build -o bin/obdcheck ./tools/analyzers/obdcheck
+
+# Deprecated: detlint grew into obdcheck (PR 4). This alias remains for
+# one release; switch scripts to `make vet` / `make obdcheck`.
 detlint:
-	$(GO) build -o bin/detlint ./tools/analyzers/detlint
+	@echo "make detlint is deprecated: the analyzer is now obdcheck (building bin/obdcheck)" >&2
+	$(GO) build -o bin/obdcheck ./tools/analyzers/obdcheck
 
 # Static netlist analysis of the bench circuits (cmd/obdlint).
 lint:

@@ -230,17 +230,21 @@ func printStats(sched *atpg.Scheduler) {
 }
 
 func report2(lc *logic.Circuit, ts *atpg.TestSet, verbose bool) {
-	nUnt, nAb := 0, 0
+	nUnt, nAb, nErr := 0, 0, 0
 	for _, r := range ts.Results {
 		switch r.Status {
 		case atpg.Untestable:
 			nUnt++
 		case atpg.Aborted:
 			nAb++
+		case atpg.Errored:
+			nErr++
+		case atpg.Detected:
+			// Reflected in len(ts.Tests) and the coverage figure.
 		}
 	}
-	fmt.Printf("generated %d vector pairs, coverage %s (%d untestable, %d aborted)\n",
-		len(ts.Tests), ts.Coverage, nUnt, nAb)
+	fmt.Printf("generated %d vector pairs, coverage %s (%d untestable, %d aborted, %d errored)\n",
+		len(ts.Tests), ts.Coverage, nUnt, nAb, nErr)
 	if verbose {
 		for _, tp := range ts.Tests {
 			fmt.Println("  " + tp.StringFor(lc))

@@ -363,9 +363,8 @@ func main() {
 	want := map[string]bool{}
 	if *which != "all" {
 		for _, n := range strings.Split(*which, ",") {
-			want[strings.TrimSpace(n)] = true
-		}
-		for n := range want {
+			n = strings.TrimSpace(n)
+			want[n] = true
 			found := false
 			for _, e := range exps {
 				if e.name == n {
@@ -385,7 +384,7 @@ func main() {
 		if len(want) > 0 && !want[e.name] {
 			continue
 		}
-		start := time.Now()
+		start := time.Now() //obdcheck:allow timenow — per-experiment wall-clock timing is progress reporting, never a result
 		out, bad, err := e.run(p)
 		elapsed := time.Since(start).Seconds()
 		res := jsonResult{Name: e.name, Desc: e.desc, OK: err == nil && len(bad) == 0, Violations: bad, Seconds: elapsed}

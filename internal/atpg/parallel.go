@@ -50,6 +50,7 @@ func (pp PackedPatterns) Complete(c *logic.Circuit, n int) bool {
 // excluded from detection exactly as DetectsOBD refuses them.
 func PackPatterns(c *logic.Circuit, pats []Pattern) PackedPatterns {
 	if len(pats) > 64 {
+		//obdcheck:allow paniccontract — documented hard precondition: callers shard into 64-pattern words before packing
 		panic("atpg: PackPatterns takes at most 64 patterns")
 	}
 	pp := PackedPatterns{
@@ -69,6 +70,9 @@ func PackPatterns(c *logic.Circuit, pats []Pattern) PackedPatterns {
 				pp.Known[in] |= bit
 			case logic.Zero:
 				pp.Known[in] |= bit
+			case logic.X:
+				// Lane stays unknown: the Known bit is left clear, which is
+				// exactly the X-masking the package contract promises.
 			}
 		}
 	}

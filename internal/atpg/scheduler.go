@@ -186,7 +186,7 @@ func (s *Scheduler) runCtx(ctx context.Context, n, grain int, fn func(lo, hi int
 	}
 	if w <= 1 {
 		var ws WorkerStats
-		start := time.Now() //detlint:allow timenow — Busy is a stats counter, never a result
+		start := time.Now() //obdcheck:allow timenow — Busy is a stats counter, never a result
 		if done == nil {
 			fn(0, n, &ws)
 		} else {
@@ -227,7 +227,7 @@ func (s *Scheduler) runCtx(ctx context.Context, n, grain int, fn func(lo, hi int
 				if hi > n {
 					hi = n
 				}
-				start := time.Now() //detlint:allow timenow — Busy is a stats counter, never a result
+				start := time.Now() //obdcheck:allow timenow — Busy is a stats counter, never a result
 				fn(lo, hi, &ws)
 				ws.Busy += time.Since(start)
 			}

@@ -9,7 +9,7 @@ import "testing"
 // pattern stream's coverage.
 func FuzzLFSRPeriod(f *testing.F) {
 	f.Add(uint(4), uint64(0xACE1))
-	f.Add(uint(2), uint64(0))  // zero seed is folded to 1
+	f.Add(uint(2), uint64(0)) // zero seed is folded to 1
 	f.Add(uint(16), uint64(1))
 	f.Add(uint(7), uint64(0xFFFFFFFFFFFFFFFF))
 	f.Add(uint(1), uint64(5))  // below the supported range

@@ -110,7 +110,8 @@ func (b *BIST) Check() []string {
 			bad = append(bad, fmt.Sprintf("%s/%d: aliasing %d of %d detections", r.Name, r.Cycles, r.Aliased, r.Detected))
 		}
 	}
-	for name, r := range last {
+	for _, name := range sortedKeys(last) {
+		r := last[name]
 		if r.Detected*10 < r.Testable*9 {
 			bad = append(bad, fmt.Sprintf("%s: %d-cycle BIST reaches only %d of %d testable", name, r.Cycles, r.Detected, r.Testable))
 		}

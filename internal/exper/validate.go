@@ -197,8 +197,9 @@ func (v *RuleValidation) Format() string {
 		}
 		fmt.Fprintf(&b, "  %-16s %-10s %-7s %s\n", s.Fault, s.Pair, tag, entry)
 	}
-	for f, sep := range v.FaultSeparation() {
-		fmt.Fprintf(&b, "  %-16s min excited %+.1f%%, max non-excited %+.1f%%\n", f, sep[0]*100, sep[1]*100)
+	sep := v.FaultSeparation()
+	for _, f := range sortedKeys(sep) {
+		fmt.Fprintf(&b, "  %-16s min excited %+.1f%%, max non-excited %+.1f%%\n", f, sep[f][0]*100, sep[f][1]*100)
 	}
 	if sc := v.StaticCorruptions(); len(sc) > 0 {
 		fmt.Fprintf(&b, "  %d static-level corruptions outside the excitation set (Fig. 4 mechanism):\n", len(sc))
@@ -219,8 +220,9 @@ func (v *RuleValidation) Format() string {
 // anticipates).
 func (v *RuleValidation) Check() []string {
 	var bad []string
-	for f, sep := range v.FaultSeparation() {
-		mp, mo := sep[0], sep[1]
+	seps := v.FaultSeparation()
+	for _, f := range sortedKeys(seps) {
+		mp, mo := seps[f][0], seps[f][1]
 		if mp == 1e9 {
 			continue // fault has no predicted pair at this gate (untestable)
 		}
@@ -232,4 +234,15 @@ func (v *RuleValidation) Check() []string {
 		}
 	}
 	return bad
+}
+
+// sortedKeys returns the map's keys in sorted order, so per-fault output
+// is reproducible run to run.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -170,6 +170,8 @@ func andAll(vs []logic.Value) logic.Value {
 			return logic.Zero
 		case logic.X:
 			sawX = true
+		case logic.One:
+			// Neutral for AND: contributes nothing.
 		}
 	}
 	if sawX {
@@ -186,6 +188,8 @@ func orAll(vs []logic.Value) logic.Value {
 			return logic.One
 		case logic.X:
 			sawX = true
+		case logic.Zero:
+			// Neutral for OR: contributes nothing.
 		}
 	}
 	if sawX {

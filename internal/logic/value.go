@@ -77,6 +77,8 @@ func and3(vs []Value) Value {
 			return Zero
 		case X:
 			sawX = true
+		case One:
+			// Neutral for AND: contributes nothing.
 		}
 	}
 	if sawX {
@@ -94,6 +96,8 @@ func or3(vs []Value) Value {
 			return One
 		case X:
 			sawX = true
+		case Zero:
+			// Neutral for OR: contributes nothing.
 		}
 	}
 	if sawX {

@@ -38,10 +38,10 @@ func (e event) before(o event) bool {
 
 type eventQueue []event
 
-func (q eventQueue) Len() int            { return len(q) }
-func (q eventQueue) Less(i, j int) bool  { return q[i].before(q[j]) }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)         { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any           { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
-func (q *eventQueue) push(e event)       { heap.Push(q, e) }
-func (q *eventQueue) pop() event         { return heap.Pop(q).(event) }
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].before(q[j]) }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q *eventQueue) push(e event)      { heap.Push(q, e) }
+func (q *eventQueue) pop() event        { return heap.Pop(q).(event) }

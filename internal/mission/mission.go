@@ -71,11 +71,11 @@ type bench struct {
 	c        *logic.Circuit
 	universe []fault.OBD
 	pairs    []atpg.TwoPattern
-	detect   []bool // universe-indexed: non-aliased BIST detection
-	cands    []int  // universe-indexed: diagnosis candidates for the site's signature
-	inject   []int  // universe indices eligible for injection
-	obsStart [2]float64 // fault.Side-indexed: time after initiation the defect becomes observable (MBD2)
-	hbdAt    [2]float64 // fault.Side-indexed: time after initiation of hard breakdown
+	detect   []bool       // universe-indexed: non-aliased BIST detection
+	cands    []int        // universe-indexed: diagnosis candidates for the site's signature
+	inject   []int        // universe indices eligible for injection
+	obsStart [2]float64   // fault.Side-indexed: time after initiation the defect becomes observable (MBD2)
+	hbdAt    [2]float64   // fault.Side-indexed: time after initiation of hard breakdown
 	window   sched.Window // tightest observability window across sides
 }
 
@@ -350,6 +350,10 @@ func simulateChip(cfg *Config, b *bench, chip int) ChipResult {
 				if f.repAt > f.hbdAt {
 					res.LateRepairs++
 				}
+			default:
+				// stateRepaired/stateUnrepaired: the breakdown was already
+				// resolved (or accounted as degraded) before its HBD instant;
+				// stateEscaped cannot recur — each fault has one evHBD event.
 			}
 		case evRepair:
 			f := faults[e.idx]

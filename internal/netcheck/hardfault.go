@@ -77,6 +77,8 @@ func pairCC(g *logic.Gate, p fault.Pair, tb *logic.Testability) int {
 				cost += tb.CC0[in]
 			case logic.One:
 				cost += tb.CC1[in]
+			case logic.X:
+				// Unconstrained input: costs nothing to justify.
 			}
 		}
 	}

@@ -70,6 +70,7 @@ func (m *Matrix) String() string {
 // MulVec computes y = m·x. x must have length N; y is freshly allocated.
 func (m *Matrix) MulVec(x []float64) []float64 {
 	if len(x) != m.N {
+		//obdcheck:allow paniccontract — dimension mismatch is a programming error, not an input condition (the gonum convention)
 		panic("numeric: MulVec dimension mismatch")
 	}
 	y := make([]float64, m.N)
@@ -139,6 +140,7 @@ func Factor(a *Matrix) (*LU, error) {
 // freshly allocated.
 func (f *LU) Solve(b []float64) []float64 {
 	if len(b) != f.n {
+		//obdcheck:allow paniccontract — dimension mismatch is a programming error, not an input condition (the gonum convention)
 		panic("numeric: Solve dimension mismatch")
 	}
 	n := f.n
@@ -179,6 +181,7 @@ func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
 // MaxAbsDiff returns max_i |a[i]-b[i]|; the vectors must be equal length.
 func MaxAbsDiff(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//obdcheck:allow paniccontract — dimension mismatch is a programming error, not an input condition (the gonum convention)
 		panic("numeric: MaxAbsDiff dimension mismatch")
 	}
 	m := 0.0

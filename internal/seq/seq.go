@@ -127,11 +127,25 @@ func (m Mode) String() string {
 	}
 }
 
+// enumLimit caps the number of nets a full 0/1 enumeration may span.
+const enumLimit = 20
+
+// EnumLimitError reports an enumeration request over more nets than the
+// package's hard cap allows; the pair space would be at least 2^Nets.
+type EnumLimitError struct {
+	Nets  int // nets requested
+	Limit int // the enumLimit cap
+}
+
+func (e *EnumLimitError) Error() string {
+	return fmt.Sprintf("seq: enumeration over %d nets exceeds the %d-net limit", e.Nets, e.Limit)
+}
+
 // enumPatterns yields all complete 0/1 assignments of the named nets.
-func enumPatterns(nets []string) []atpg.Pattern {
+func enumPatterns(nets []string) ([]atpg.Pattern, error) {
 	n := len(nets)
-	if n > 20 {
-		panic("seq: enumeration limited to 20 nets")
+	if n > enumLimit {
+		return nil, &EnumLimitError{Nets: n, Limit: enumLimit}
 	}
 	out := make([]atpg.Pattern, 0, 1<<uint(n))
 	for m := 0; m < 1<<uint(n); m++ {
@@ -141,7 +155,7 @@ func enumPatterns(nets []string) []atpg.Pattern {
 		}
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // maxPairSpaceBits bounds the enumerated pair spaces.
@@ -160,8 +174,14 @@ func (s *Circuit) PairSpace(mode Mode) ([]atpg.TwoPattern, error) {
 	if bits > maxPairSpaceBits {
 		return nil, fmt.Errorf("seq: %s pair space needs %d bits (limit %d)", mode, bits, maxPairSpaceBits)
 	}
-	v1s := enumPatterns(s.Core.Inputs)
-	pi2s := enumPatterns(s.PIs)
+	v1s, err := enumPatterns(s.Core.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	pi2s, err := enumPatterns(s.PIs)
+	if err != nil {
+		return nil, err
+	}
 	stateOf := func(p atpg.Pattern) State {
 		st := make(State, nFF)
 		for i, ff := range s.FFs {

@@ -1,6 +1,8 @@
 package seq
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -222,5 +224,25 @@ func TestQuickNextStateMatchesAddition(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEnumLimitError: oversized enumerations surface as a matchable
+// *EnumLimitError instead of the panic they used to raise.
+func TestEnumLimitError(t *testing.T) {
+	nets := make([]string, enumLimit+1)
+	for i := range nets {
+		nets[i] = fmt.Sprintf("n%d", i)
+	}
+	_, err := enumPatterns(nets)
+	var ele *EnumLimitError
+	if !errors.As(err, &ele) {
+		t.Fatalf("got %T (%v), want *EnumLimitError", err, err)
+	}
+	if ele.Nets != enumLimit+1 || ele.Limit != enumLimit {
+		t.Fatalf("EnumLimitError fields = %+v", *ele)
+	}
+	if ps, err := enumPatterns(nets[:3]); err != nil || len(ps) != 8 {
+		t.Fatalf("in-limit enumeration: %d patterns, err %v", len(ps), err)
 	}
 }

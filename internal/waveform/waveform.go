@@ -18,14 +18,37 @@ type Series struct {
 	V    []float64
 }
 
+// LengthError reports a Series whose time and value axes differ in length.
+type LengthError struct {
+	Name     string // series name
+	TimeLen  int    // len(T)
+	ValueLen int    // len(V)
+}
+
+func (e *LengthError) Error() string {
+	return fmt.Sprintf("waveform: %s: time/value length mismatch %d vs %d", e.Name, e.TimeLen, e.ValueLen)
+}
+
+// TimeOrderError reports a time axis that fails to strictly increase:
+// T[Index] <= T[Index-1].
+type TimeOrderError struct {
+	Name  string // series name
+	Index int    // first offending sample
+}
+
+func (e *TimeOrderError) Error() string {
+	return fmt.Sprintf("waveform: %s: time axis not increasing at index %d", e.Name, e.Index)
+}
+
 // New builds a Series, validating that the axes match and time increases.
+// Violations surface as *LengthError and *TimeOrderError.
 func New(name string, t, v []float64) (*Series, error) {
 	if len(t) != len(v) {
-		return nil, fmt.Errorf("waveform: %s: time/value length mismatch %d vs %d", name, len(t), len(v))
+		return nil, &LengthError{Name: name, TimeLen: len(t), ValueLen: len(v)}
 	}
 	for i := 1; i < len(t); i++ {
 		if t[i] <= t[i-1] {
-			return nil, fmt.Errorf("waveform: %s: time axis not increasing at index %d", name, i)
+			return nil, &TimeOrderError{Name: name, Index: i}
 		}
 	}
 	return &Series{Name: name, T: t, V: v}, nil
@@ -36,6 +59,7 @@ func New(name string, t, v []float64) (*Series, error) {
 func MustNew(name string, t, v []float64) *Series {
 	s, err := New(name, t, v)
 	if err != nil {
+		//obdcheck:allow paniccontract — Must-constructor contract: callers feed simulator output whose axes are valid by construction
 		panic(err)
 	}
 	return s

@@ -1,6 +1,7 @@
 package waveform
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -217,4 +218,46 @@ func TestQuickCrossingConsistent(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestTypedErrors: New's failures are matchable typed values carrying the
+// offending dimensions, per the repo's typed-error contract.
+func TestTypedErrors(t *testing.T) {
+	_, err := New("mis", []float64{0, 1, 2}, []float64{0})
+	var le *LengthError
+	if !errors.As(err, &le) {
+		t.Fatalf("length mismatch: got %T (%v), want *LengthError", err, err)
+	}
+	if le.Name != "mis" || le.TimeLen != 3 || le.ValueLen != 1 {
+		t.Fatalf("LengthError fields = %+v", *le)
+	}
+
+	_, err = New("ord", []float64{0, 2, 2, 3}, []float64{0, 1, 2, 3})
+	var te *TimeOrderError
+	if !errors.As(err, &te) {
+		t.Fatalf("non-increasing axis: got %T (%v), want *TimeOrderError", err, err)
+	}
+	if te.Name != "ord" || te.Index != 2 {
+		t.Fatalf("TimeOrderError fields = %+v", *te)
+	}
+}
+
+// TestMustNewPanics: the Must-constructor contract converts the typed
+// error into a panic carrying that same error value.
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustNew accepted a length mismatch")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %T, want error", r)
+		}
+		var le *LengthError
+		if !errors.As(err, &le) {
+			t.Fatalf("panic error %T, want *LengthError", err)
+		}
+	}()
+	MustNew("bad", []float64{0, 1}, nil)
 }

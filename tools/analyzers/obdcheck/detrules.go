@@ -3,50 +3,19 @@ package main
 import (
 	"fmt"
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 )
 
-// The three determinism hazards detlint knows about, each named by the
-// rule string used in //detlint:allow annotations.
-const (
-	ruleRangeMap = "rangemap"
-	ruleTimeNow  = "timenow"
-	ruleRand     = "rand"
-)
+// The three determinism rules migrated from detlint: map-range into
+// order-sensitive sinks, wall-clock reads, and draws from the global
+// math/rand source. They are syntax-first (they work without type
+// information, using declaration inference for map detection) so the
+// standalone mode stays useful on packages that fail to typecheck.
 
-// Diag is one finding.
-type Diag struct {
-	Pos  token.Position
-	Rule string
-	Msg  string
-}
-
-func (d Diag) String() string {
-	return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
-}
-
-// checker runs the determinism checks over one package's files. info may
-// be nil (standalone parse-only mode): map detection then falls back to
-// syntactic type inference from declarations, which covers parameters and
-// vars with literal map types or make(map[...]) initializers.
-type checker struct {
-	fset  *token.FileSet
-	info  *types.Info
-	diags []Diag
-	// allow[file][line] holds the rules suppressed at that line via a
-	// //detlint:allow comment on the same or the preceding line.
-	allow map[string]map[int]map[string]bool
-}
-
-func newChecker(fset *token.FileSet, info *types.Info) *checker {
-	return &checker{fset: fset, info: info, allow: make(map[string]map[int]map[string]bool)}
-}
-
-// File checks one file and accumulates diagnostics.
-func (c *checker) File(f *ast.File) {
-	c.collectAllows(f)
+// checkDeterminism runs rangemap/timenow/rand over one file, honoring
+// the per-rule enable flags.
+func (p *pass) checkDeterminism(f *ast.File) {
 	importsMathRand := fileImports(f, "math/rand")
 	importsTime := fileImports(f, "time")
 	for _, decl := range f.Decls {
@@ -54,19 +23,24 @@ func (c *checker) File(f *ast.File) {
 		if !ok || fn.Body == nil {
 			continue
 		}
-		c.checkRangeMap(fn)
+		if p.cfg.enabled[ruleRangeMap] {
+			p.checkRangeMap(fn)
+		}
+		if !p.cfg.enabled[ruleTimeNow] && !p.cfg.enabled[ruleRand] {
+			continue
+		}
 		ast.Inspect(fn.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			if importsTime && c.isPkgCall(call, "time", "Now") {
-				c.report(call.Pos(), ruleTimeNow,
+			if importsTime && p.cfg.enabled[ruleTimeNow] && p.isPkgCall(call, "time", "Now") {
+				p.report(call.Pos(), ruleTimeNow,
 					"time.Now is wall-clock nondeterminism; results depending on it will not replay")
 			}
-			if importsMathRand {
-				if name, banned := c.globalRandCall(call); banned {
-					c.report(call.Pos(), ruleRand,
+			if importsMathRand && p.cfg.enabled[ruleRand] {
+				if name, banned := p.globalRandCall(call); banned {
+					p.report(call.Pos(), ruleRand,
 						fmt.Sprintf("rand.%s draws from the global math/rand source; use rand.New(rand.NewSource(seed)) for replayable results", name))
 				}
 			}
@@ -75,67 +49,11 @@ func (c *checker) File(f *ast.File) {
 	}
 }
 
-// Diags returns the findings in file/position order (the traversal order).
-func (c *checker) Diags() []Diag { return c.diags }
-
-// collectAllows scans comments for //detlint:allow annotations.
-func (c *checker) collectAllows(f *ast.File) {
-	for _, cg := range f.Comments {
-		for _, cm := range cg.List {
-			text := strings.TrimPrefix(cm.Text, "//")
-			text = strings.TrimSpace(text)
-			if !strings.HasPrefix(text, "detlint:allow") {
-				continue
-			}
-			pos := c.fset.Position(cm.Pos())
-			lines := c.allow[pos.Filename]
-			if lines == nil {
-				lines = make(map[int]map[string]bool)
-				c.allow[pos.Filename] = lines
-			}
-			rules := lines[pos.Line]
-			if rules == nil {
-				rules = make(map[string]bool)
-				lines[pos.Line] = rules
-			}
-			// Rule names lead the annotation; anything after the first
-			// unknown token is free-form justification.
-			for _, r := range strings.FieldsFunc(strings.TrimPrefix(text, "detlint:allow"), func(r rune) bool {
-				return r == ',' || r == ' ' || r == '\t'
-			}) {
-				if r != ruleRangeMap && r != ruleTimeNow && r != ruleRand {
-					break
-				}
-				rules[r] = true
-			}
-		}
-	}
-}
-
-// allowed reports whether the rule is suppressed at the position (same
-// line or the line above).
-func (c *checker) allowed(pos token.Pos, rule string) bool {
-	p := c.fset.Position(pos)
-	lines := c.allow[p.Filename]
-	if lines == nil {
-		return false
-	}
-	return lines[p.Line][rule] || lines[p.Line-1][rule]
-}
-
-func (c *checker) report(pos token.Pos, rule, msg string) {
-	if c.allowed(pos, rule) {
-		return
-	}
-	c.diags = append(c.diags, Diag{Pos: c.fset.Position(pos), Rule: rule,
-		Msg: fmt.Sprintf("%s (suppress with //detlint:allow %s)", msg, rule)})
-}
-
 // checkRangeMap flags range statements over maps whose body feeds
 // order-sensitive sinks: appends to a slice, channel sends, or fmt
 // printing. An append target that is later passed to a sort call in the
 // same function is considered re-canonicalized and not flagged.
-func (c *checker) checkRangeMap(fn *ast.FuncDecl) {
+func (p *pass) checkRangeMap(fn *ast.FuncDecl) {
 	sorted := make(map[string]bool) // ExprString of slices sorted in this function
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -162,13 +80,13 @@ func (c *checker) checkRangeMap(fn *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		if !c.isMapExpr(fn, rng.X) {
+		if !p.isMapExpr(fn, rng.X) {
 			return true
 		}
 		ast.Inspect(rng.Body, func(m ast.Node) bool {
 			switch s := m.(type) {
 			case *ast.SendStmt:
-				c.report(rng.Pos(), ruleRangeMap,
+				p.report(rng.Pos(), ruleRangeMap,
 					fmt.Sprintf("iteration over map %s sends on a channel in map order, which is nondeterministic",
 						types.ExprString(rng.X)))
 				return false
@@ -176,7 +94,7 @@ func (c *checker) checkRangeMap(fn *ast.FuncDecl) {
 				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "append" && len(s.Args) > 0 {
 					target := types.ExprString(s.Args[0])
 					if !sorted[target] {
-						c.report(rng.Pos(), ruleRangeMap,
+						p.report(rng.Pos(), ruleRangeMap,
 							fmt.Sprintf("iteration over map %s appends to %s in map order, which is nondeterministic (sort it afterwards or iterate a sorted key slice)",
 								types.ExprString(rng.X), target))
 					}
@@ -185,7 +103,7 @@ func (c *checker) checkRangeMap(fn *ast.FuncDecl) {
 				if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
 					if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" &&
 						(strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")) {
-						c.report(rng.Pos(), ruleRangeMap,
+						p.report(rng.Pos(), ruleRangeMap,
 							fmt.Sprintf("iteration over map %s prints in map order, which is nondeterministic",
 								types.ExprString(rng.X)))
 						return false
@@ -200,23 +118,21 @@ func (c *checker) checkRangeMap(fn *ast.FuncDecl) {
 
 // isMapExpr reports whether the expression has map type, using full type
 // information when available and declaration syntax otherwise.
-func (c *checker) isMapExpr(fn *ast.FuncDecl, e ast.Expr) bool {
-	if c.info != nil {
-		if t := c.info.TypeOf(e); t != nil {
+func (p *pass) isMapExpr(fn *ast.FuncDecl, e ast.Expr) bool {
+	if p.info != nil {
+		if t := p.info.TypeOf(e); t != nil {
 			_, ok := t.Underlying().(*types.Map)
 			return ok
 		}
-		return false
+		// Unresolved under a partial typecheck: fall through to syntax.
 	}
 	id, ok := e.(*ast.Ident)
 	if !ok {
 		return false
 	}
 	// Parameters and receivers with a literal map type.
-	if fn.Recv != nil {
-		if fieldHasMapType(fn.Recv, id.Name) {
-			return true
-		}
+	if fn.Recv != nil && fieldHasMapType(fn.Recv, id.Name) {
+		return true
 	}
 	if fn.Type.Params != nil && fieldHasMapType(fn.Type.Params, id.Name) {
 		return true
@@ -286,7 +202,7 @@ func exprMakesMap(e ast.Expr) bool {
 
 // isPkgCall matches pkg.Fn(...) where pkg resolves to the named package
 // (by type information when available, by identifier otherwise).
-func (c *checker) isPkgCall(call *ast.CallExpr, pkg, fn string) bool {
+func (p *pass) isPkgCall(call *ast.CallExpr, pkg, fn string) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != fn {
 		return false
@@ -295,9 +211,10 @@ func (c *checker) isPkgCall(call *ast.CallExpr, pkg, fn string) bool {
 	if !ok || id.Name != pkg {
 		return false
 	}
-	if c.info != nil {
-		pn, ok := c.info.Uses[id].(*types.PkgName)
-		return ok && pn.Imported().Name() == pkg
+	if p.info != nil {
+		if pn, ok := p.info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Name() == pkg
+		}
 	}
 	return true
 }
@@ -312,8 +229,10 @@ var globalRandFuncs = map[string]bool{
 	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
 }
 
-// globalRandCall matches rand.<global-source func>(...).
-func (c *checker) globalRandCall(call *ast.CallExpr) (string, bool) {
+// globalRandCall matches rand.<global-source func>(...). Calls through a
+// seeded *rand.Rand (rng.Intn) have a non-package receiver and never
+// match, so the seeded idiom passes without annotation.
+func (p *pass) globalRandCall(call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || !globalRandFuncs[sel.Sel.Name] {
 		return "", false
@@ -322,21 +241,13 @@ func (c *checker) globalRandCall(call *ast.CallExpr) (string, bool) {
 	if !ok || id.Name != "rand" {
 		return "", false
 	}
-	if c.info != nil {
-		pn, ok := c.info.Uses[id].(*types.PkgName)
-		if !ok || pn.Imported().Path() != "math/rand" {
-			return "", false
+	if p.info != nil {
+		if obj, resolved := p.info.Uses[id]; resolved {
+			pn, ok := obj.(*types.PkgName)
+			if !ok || pn.Imported().Path() != "math/rand" {
+				return "", false
+			}
 		}
 	}
 	return sel.Sel.Name, true
-}
-
-// fileImports reports whether the file imports the given path.
-func fileImports(f *ast.File, path string) bool {
-	for _, imp := range f.Imports {
-		if strings.Trim(imp.Path.Value, `"`) == path {
-			return true
-		}
-	}
-	return false
 }

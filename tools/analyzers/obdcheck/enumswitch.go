@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The enumswitch rule: a switch over a declared enum (a defined integer
+// type with two or more constants of exactly that type) must either cover
+// every declared constant or carry a default that actually handles the
+// unexpected value. A default whose body only panics is an exhaustiveness
+// assertion, not a handler — it is exactly the failure mode that hides a
+// newly added obd.Stage or logic.GateType until the panic fires in
+// production — so such switches are held to full coverage.
+//
+// False-positive policy: the rule needs type information (vettool and
+// typechecking standalone runs have it; syntax-only fallback skips the
+// rule). Switches over non-enum types, types with fewer than two
+// constants, and switches with a genuine default are never flagged.
+// Matching is by constant value, so aliased constants (A = B) count as
+// covered when either name appears.
+
+// enumSwitchInfo is the per-switch analysis shared by enumswitch and
+// paniccontract (which exempts panics inside verified-exhaustive
+// defaults).
+type enumSwitchInfo struct {
+	sw          *ast.SwitchStmt
+	typeName    string   // display name of the enum type
+	missing     []string // names of uncovered constants, declaration order
+	defaultBody *ast.CaseClause
+	panicOnly   bool // the default body is a single panic call
+}
+
+// analyzeEnumSwitch inspects one switch statement; ok is false when the
+// statement is not a checkable enum switch.
+func analyzeEnumSwitch(p *pass, sw *ast.SwitchStmt) (enumSwitchInfo, bool) {
+	out := enumSwitchInfo{sw: sw}
+	if p.info == nil || sw.Tag == nil {
+		return out, false
+	}
+	tagType := p.info.TypeOf(sw.Tag)
+	if tagType == nil {
+		return out, false
+	}
+	named, ok := tagType.(*types.Named)
+	if !ok {
+		return out, false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return out, false
+	}
+	declPkg := named.Obj().Pkg()
+	if declPkg == nil {
+		return out, false // builtin-scoped type (e.g. error) — not an enum
+	}
+	// Every constant of exactly this named type, in declaration order.
+	type enumConst struct {
+		name string
+		val  string
+		pos  int
+	}
+	var consts []enumConst
+	scope := declPkg.Scope()
+	for _, name := range scope.Names() { // Names() is sorted: deterministic
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		consts = append(consts, enumConst{name: name, val: c.Val().ExactString(), pos: int(c.Pos())})
+	}
+	if len(consts) < 2 {
+		return out, false
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].pos < consts[j].pos })
+
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			out.defaultBody = clause
+			out.panicOnly = panicOnlyBody(clause.Body)
+			continue
+		}
+		for _, expr := range clause.List {
+			if tv, ok := p.info.Types[expr]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	seenVal := make(map[string]bool)
+	for _, c := range consts {
+		if covered[c.val] || seenVal[c.val] {
+			continue
+		}
+		seenVal[c.val] = true
+		out.missing = append(out.missing, c.name)
+	}
+	if declPkg == p.pkg {
+		out.typeName = named.Obj().Name()
+	} else {
+		out.typeName = declPkg.Name() + "." + named.Obj().Name()
+	}
+	return out, true
+}
+
+// panicOnlyBody reports whether the statement list is exactly one
+// panic(...) call — the defensive-default idiom.
+func panicOnlyBody(body []ast.Stmt) bool {
+	if len(body) != 1 {
+		return false
+	}
+	expr, ok := body[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// findExhaustiveDefaults records the default-clause spans of enum
+// switches that cover every constant, for paniccontract's exemption. It
+// runs regardless of which rules are enabled so disabling enumswitch
+// does not change paniccontract's verdicts.
+func findExhaustiveDefaults(p *pass) []span {
+	var spans []span
+	if p.info == nil {
+		return spans
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			info, ok := analyzeEnumSwitch(p, sw)
+			if ok && len(info.missing) == 0 && info.defaultBody != nil {
+				spans = append(spans, span{pos: info.defaultBody.Pos(), end: info.defaultBody.End()})
+			}
+			return true
+		})
+	}
+	return spans
+}
+
+// checkEnumSwitch runs the rule over one file.
+func (p *pass) checkEnumSwitch(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		info, ok := analyzeEnumSwitch(p, sw)
+		if !ok || len(info.missing) == 0 {
+			return true
+		}
+		if info.defaultBody != nil && !info.panicOnly {
+			return true // a genuine default handles future values
+		}
+		miss := strings.Join(info.missing, ", ")
+		if info.defaultBody == nil {
+			p.report(sw.Pos(), ruleEnumSwitch,
+				fmt.Sprintf("switch over %s does not cover %s and has no default", info.typeName, miss))
+		} else {
+			p.report(sw.Pos(), ruleEnumSwitch,
+				fmt.Sprintf("switch over %s does not cover %s; its default only panics, which hides newly added values until they crash", info.typeName, miss))
+		}
+		return true
+	})
+}

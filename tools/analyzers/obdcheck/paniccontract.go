@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The paniccontract rule: in packages that adopted the typed-error
+// contract (CHANGES.md PR 3), a panic statement reachable from an
+// exported function is a contract violation — misuse and overflow
+// conditions must surface as matchable error values, not process-killing
+// panics. Reachability is a same-package static call graph seeded at the
+// exported functions and methods, so a panic in an unexported helper
+// called by exported API is caught (the internal/seq enumPatterns case),
+// while a panic in purely internal plumbing nobody exported is not.
+//
+// False-positive policy:
+//   - Packages named by -paniccontract.exempt (path-segment match;
+//     default spice,cells,logic — the analog layer until it migrates,
+//     and logic's documented structural-query panic contract) are
+//     skipped entirely.
+//   - A panic inside the default clause of an enum switch that covers
+//     every declared constant is a machine-verified unreachability
+//     assertion and exempt (see enumswitch).
+//   - Deliberate contracts (Must* constructors, documented preconditions)
+//     are annotated //obdcheck:allow paniccontract — <reason> at the
+//     panic site.
+//
+// The rule requires type information and reports nothing without it.
+
+// checkPanicContract runs the rule over the package.
+func (p *pass) checkPanicContract() {
+	if p.info == nil || p.panicExempt() {
+		return
+	}
+	type fnInfo struct {
+		decl    *ast.FuncDecl
+		panics  []ast.Node     // panic call sites outside exhaustive defaults
+		callees []types.Object // same-package functions invoked directly
+	}
+	var decls []*fnInfo // file/declaration order, for deterministic output
+	byObj := make(map[types.Object]*fnInfo)
+	for _, f := range p.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := p.info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			fi := &fnInfo{decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := p.info.Uses[id].(*types.Builtin); isBuiltin || p.info.Uses[id] == nil {
+						if !p.inExhaustiveDefault(call.Pos()) {
+							fi.panics = append(fi.panics, call)
+						}
+						return true
+					}
+				}
+				if callee := p.calleeObject(call); callee != nil {
+					fi.callees = append(fi.callees, callee)
+				}
+				return true
+			})
+			decls = append(decls, fi)
+			byObj[obj] = fi
+		}
+	}
+
+	// BFS from the exported functions and methods; rootOf remembers one
+	// exported entry point per reachable function for the message.
+	rootOf := make(map[*fnInfo]string)
+	var queue []*fnInfo
+	for _, fi := range decls {
+		if fi.decl.Name.IsExported() {
+			rootOf[fi] = exportedName(fi.decl)
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, callee := range fi.callees {
+			target, ok := byObj[callee]
+			if !ok {
+				continue
+			}
+			if _, seen := rootOf[target]; seen {
+				continue
+			}
+			rootOf[target] = rootOf[fi]
+			queue = append(queue, target)
+		}
+	}
+
+	for _, fi := range decls {
+		root, reachable := rootOf[fi]
+		if !reachable {
+			continue
+		}
+		for _, site := range fi.panics {
+			p.report(site.Pos(), rulePanicContract,
+				fmt.Sprintf("panic reachable from exported %s in a typed-error package; return a matchable error value instead", root))
+		}
+	}
+}
+
+// calleeObject resolves a direct call to a same-package function or
+// method object, or nil.
+func (p *pass) calleeObject(call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, ok := p.info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg() != p.pkg {
+		return nil
+	}
+	return obj
+}
+
+// exportedName renders a function or method name for diagnostics.
+func exportedName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := types.ExprString(fd.Recv.List[0].Type)
+	return "(" + recv + ")." + fd.Name.Name
+}
+
+// panicExempt reports whether the package path contains an exempt
+// segment.
+func (p *pass) panicExempt() bool {
+	segments := strings.Split(strings.Trim(p.pkgPath, "/"), "/")
+	for _, seg := range segments {
+		for _, ex := range p.cfg.panicExempt {
+			if seg == ex {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The obdcheck rule set. The first three are the determinism rules grown
+// out of detlint; the rest enforce the repo's exhaustiveness, typed-error
+// and scheduler contracts. Rule names double as the identifiers used in
+// //obdcheck:allow annotations and per-rule enable flags.
+const (
+	ruleRangeMap      = "rangemap"
+	ruleTimeNow       = "timenow"
+	ruleRand          = "rand"
+	ruleEnumSwitch    = "enumswitch"
+	rulePanicContract = "paniccontract"
+	ruleSchedMisuse   = "schedmisuse"
+	ruleAllowCheck    = "allowcheck"
+)
+
+// ruleInfo describes one registered rule for the -flags handshake, the
+// enable flags and the documentation.
+type ruleInfo struct {
+	Name string
+	Doc  string
+}
+
+// registry lists every rule in reporting-priority order. Adding a rule
+// here is all that is needed for flag registration and allow validation.
+var registry = []ruleInfo{
+	{ruleRangeMap, "map iteration feeding an order-sensitive sink (append, channel send, fmt printing) without a canonicalizing sort"},
+	{ruleTimeNow, "time.Now calls (wall-clock nondeterminism)"},
+	{ruleRand, "math/rand package-level functions drawing from the shared global source; rand.New(rand.NewSource(seed)) is the allowed idiom"},
+	{ruleEnumSwitch, "switches over declared enums must cover every constant or carry a non-panicking default"},
+	{rulePanicContract, "panic reachable from an exported function in a package under the typed-error contract"},
+	{ruleSchedMisuse, "scheduler ForEach/ForEachCtx closures writing captured state outside their own index slot"},
+	{ruleAllowCheck, "malformed, unknown-rule, deprecated or (with -staleallows) stale suppression annotations"},
+}
+
+// knownRule reports whether name is a registered rule.
+func knownRule(name string) bool {
+	for _, r := range registry {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// config carries the driver options shared by the vettool and standalone
+// modes.
+type config struct {
+	enabled       map[string]bool
+	format        string // "text" or "json"
+	baselinePath  string
+	writeBaseline string
+	staleAllows   bool
+	panicExempt   []string // package-path segments exempt from paniccontract
+}
+
+func defaultConfig() *config {
+	c := &config{
+		enabled: make(map[string]bool, len(registry)),
+		format:  "text",
+		panicExempt: []string{
+			// The analog layer keeps its construction panics until it
+			// migrates to typed errors; logic predates the contract and
+			// documents its structural-query panics (mustValidate).
+			"spice", "cells", "logic",
+		},
+	}
+	for _, r := range registry {
+		c.enabled[r.Name] = true
+	}
+	return c
+}
+
+// finding is one diagnostic.
+type finding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Msg, f.Rule)
+}
+
+// key is the baseline identity of a finding: positions shift with every
+// edit, so the key is rule + file basename + message.
+func (f finding) key() string {
+	return f.Rule + "|" + filepath.Base(f.File) + "|" + f.Msg
+}
+
+// span is a half-open position range.
+type span struct{ pos, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return p >= s.pos && p < s.end }
+
+// pass analyzes one package (all its non-test files together, so
+// cross-file constant declarations and call graphs resolve).
+type pass struct {
+	cfg     *config
+	fset    *token.FileSet
+	files   []*ast.File
+	info    *types.Info    // may be nil (syntax-only) or partially filled
+	pkg     *types.Package // may be nil
+	pkgPath string
+
+	findings []finding
+	allows   *allowSet
+	// exhaustiveDefaults are default-clause bodies of enum switches whose
+	// cases cover every declared constant: a panic there is a machine-
+	// verified unreachability assertion, not a contract violation.
+	exhaustiveDefaults []span
+}
+
+func newPass(cfg *config, fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package, pkgPath string) *pass {
+	return &pass{cfg: cfg, fset: fset, files: files, info: info, pkg: pkg, pkgPath: pkgPath}
+}
+
+// run executes every enabled rule over the package and returns the
+// findings sorted by position.
+func (p *pass) run() []finding {
+	p.allows = collectAllows(p)
+	p.exhaustiveDefaults = findExhaustiveDefaults(p)
+	for _, f := range p.files {
+		if p.cfg.enabled[ruleRangeMap] || p.cfg.enabled[ruleTimeNow] || p.cfg.enabled[ruleRand] {
+			p.checkDeterminism(f)
+		}
+		if p.cfg.enabled[ruleEnumSwitch] {
+			p.checkEnumSwitch(f)
+		}
+		if p.cfg.enabled[ruleSchedMisuse] {
+			p.checkSchedMisuse(f)
+		}
+	}
+	if p.cfg.enabled[rulePanicContract] {
+		p.checkPanicContract()
+	}
+	if p.cfg.enabled[ruleAllowCheck] {
+		p.reportAllowFindings()
+	}
+	sort.Slice(p.findings, func(i, j int) bool {
+		a, b := p.findings[i], p.findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	// Drop exact duplicates: a rule may fire more than once at the same
+	// position (e.g. two appends inside one map-range body).
+	dedup := p.findings[:0]
+	for i, f := range p.findings {
+		if i > 0 && f == p.findings[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	p.findings = dedup
+	return p.findings
+}
+
+// report records a finding unless an allow annotation suppresses it.
+func (p *pass) report(pos token.Pos, rule, msg string) {
+	position := p.fset.Position(pos)
+	if p.allows != nil && p.allows.suppress(position, rule) {
+		return
+	}
+	p.findings = append(p.findings, finding{
+		File: position.Filename, Line: position.Line, Col: position.Column,
+		Rule: rule, Msg: msg,
+	})
+}
+
+// inExhaustiveDefault reports whether pos falls inside the default clause
+// of a switch proven to cover its whole enum.
+func (p *pass) inExhaustiveDefault(pos token.Pos) bool {
+	for _, s := range p.exhaustiveDefaults {
+		if s.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// baseline maps finding keys to the number of occurrences tolerated. A
+// run consumes matching findings up to the count; anything beyond fails.
+type baseline struct {
+	Findings map[string]int `json:"findings"`
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obdcheck: reading baseline: %w", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("obdcheck: parsing baseline %s: %w", path, err)
+	}
+	if b.Findings == nil {
+		b.Findings = make(map[string]int)
+	}
+	return &b, nil
+}
+
+// filter drops findings covered by the baseline and returns the rest.
+func (b *baseline) filter(fs []finding) []finding {
+	remaining := make(map[string]int, len(b.Findings))
+	for k, v := range b.Findings {
+		remaining[k] = v
+	}
+	var out []finding
+	for _, f := range fs {
+		if remaining[f.key()] > 0 {
+			remaining[f.key()]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// writeBaselineFile records the findings as the new tolerated baseline.
+func writeBaselineFile(path string, fs []finding) error {
+	b := baseline{Findings: make(map[string]int)}
+	for _, f := range fs {
+		b.Findings[f.key()]++
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// emit prints findings in the configured format. Text goes to stderr
+// (the vet convention); JSON to stdout.
+func emit(cfg *config, fs []finding) {
+	if cfg.format == "json" {
+		data, err := json.MarshalIndent(fs, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obdcheck: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stdout, "%s\n", data)
+		return
+	}
+	for _, f := range fs {
+		fmt.Fprintln(os.Stderr, f)
+	}
+}
+
+// fileImports reports whether the file imports the given path.
+func fileImports(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}

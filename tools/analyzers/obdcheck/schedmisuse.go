@@ -1,0 +1,222 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// The schedmisuse rule: closures handed to the atpg scheduler's
+// ForEach/ForEachCtx must only commit to their own index slot. The
+// scheduler's determinism contract ("bit-identical for any worker
+// count") holds exactly because fn(i) writes per-index state; a closure
+// that appends to a captured slice, bumps a captured counter, writes a
+// captured map at a fixed key, or sends on a channel re-introduces the
+// scheduling-order dependence the contract forbids — the race the
+// property tests only catch probabilistically, caught statically here.
+//
+// Detection: for each call <recv>.ForEach(...)/<recv>.ForEachCtx(...)
+// whose receiver's named type is Scheduler (type-checked; the rule is
+// silent without type information) and whose last argument is a func
+// literal, every assignment target inside the literal must be local to
+// the literal or an index expression whose index is derived from a
+// local (the loop index or anything computed from it). Channel sends on
+// captured channels are always flagged.
+//
+// False-positive policy: writes through method calls on captured values
+// (x.Add(i)) are not modeled — the rule is a linter, not an escape
+// analysis; the race detector and property tests remain the backstop.
+// Result-neutral accumulation (e.g. stats counters merged under a lock)
+// is annotated //obdcheck:allow schedmisuse — <reason>.
+
+// schedMethods are the Scheduler entry points taking a per-index closure.
+var schedMethods = map[string]bool{"ForEach": true, "ForEachCtx": true}
+
+// checkSchedMisuse runs the rule over one file.
+func (p *pass) checkSchedMisuse(f *ast.File) {
+	if p.info == nil {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !schedMethods[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		if !p.isSchedulerRecv(sel.X) {
+			return true
+		}
+		lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		p.checkSchedClosure(sel.Sel.Name, lit)
+		return true
+	})
+}
+
+// isSchedulerRecv reports whether the expression's named type (through
+// pointers) is called Scheduler.
+func (p *pass) isSchedulerRecv(e ast.Expr) bool {
+	t := p.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Scheduler"
+}
+
+// checkSchedClosure verifies the slot-commit discipline of one closure.
+func (p *pass) checkSchedClosure(method string, lit *ast.FuncLit) {
+	locals := closureLocals(lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested closure's writes are out of scope (documented)
+		case *ast.AssignStmt:
+			if s.Tok.String() == ":=" {
+				return true // definitions create locals, collected by closureLocals
+			}
+			for _, lhs := range s.Lhs {
+				p.checkSchedTarget(method, lhs, locals)
+			}
+		case *ast.IncDecStmt:
+			p.checkSchedTarget(method, s.X, locals)
+		case *ast.SendStmt:
+			if root := rootIdent(s.Chan); root != nil && !locals[root.Name] {
+				p.report(s.Chan.Pos(), ruleSchedMisuse,
+					fmt.Sprintf("%s closure sends on captured channel %s; send order is scheduling-dependent, breaking the determinism contract",
+						method, types.ExprString(s.Chan)))
+			}
+		}
+		return true
+	})
+}
+
+// checkSchedTarget validates one assignment target: fine when it bottoms
+// out in a closure-local variable or passes through an index derived
+// from a closure-local (the slot commit); otherwise flagged.
+func (p *pass) checkSchedTarget(method string, lhs ast.Expr, locals map[string]bool) {
+	indexed := false // saw an index expression mentioning a local
+	e := lhs
+walk:
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			if t.Name == "_" || locals[t.Name] {
+				return
+			}
+			break walk
+		case *ast.IndexExpr:
+			if mentionsLocal(t.Index, locals) {
+				indexed = true
+			}
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return // unrecognized shape: stay quiet rather than guess
+		}
+	}
+	if indexed {
+		return
+	}
+	p.report(lhs.Pos(), ruleSchedMisuse,
+		fmt.Sprintf("%s closure writes captured %s outside its own index slot; the determinism contract requires per-index commits (or an //obdcheck:allow %s — reason)",
+			method, types.ExprString(lhs), ruleSchedMisuse))
+}
+
+// closureLocals collects the names defined inside the literal: its
+// parameters and every := / var / range definition (including those of
+// nested literals — a conservative over-approximation that avoids false
+// positives).
+func closureLocals(lit *ast.FuncLit) map[string]bool {
+	locals := make(map[string]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				locals[n.Name] = true
+			}
+		}
+	}
+	addFields(lit.Type.Params)
+	addFields(lit.Type.Results)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok.String() == ":=" {
+				for _, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						locals[id.Name] = true
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range s.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						locals[name.Name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					locals[id.Name] = true
+				}
+			}
+		case *ast.FuncLit:
+			addFields(s.Type.Params)
+			addFields(s.Type.Results)
+		}
+		return true
+	})
+	return locals
+}
+
+// mentionsLocal reports whether the expression references any
+// closure-local identifier.
+func mentionsLocal(e ast.Expr, locals map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && locals[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdent walks selector/index/paren/star chains to the base
+// identifier, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}

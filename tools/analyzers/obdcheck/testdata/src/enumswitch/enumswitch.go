@@ -1,0 +1,90 @@
+// Package enumswitch is an obdcheck fixture: exhaustiveness over
+// declared enums.
+package enumswitch
+
+// Color is a three-valued enum; Crimson aliases Red.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+const Crimson = Red
+
+// bad misses Blue and has no default.
+func bad(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return "?"
+}
+
+// badPanic misses Blue behind a panic-only default — the failure mode
+// that hides newly added constants until they crash.
+func badPanic(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	default:
+		panic("unknown color")
+	}
+}
+
+// goodAll covers every constant.
+func goodAll(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return "?"
+}
+
+// goodDefault handles future values with a genuine default.
+func goodDefault(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+// goodExhaustivePanic covers everything; its panic default is a verified
+// unreachability assertion, not a hole.
+func goodExhaustivePanic(c Color) string {
+	switch c {
+	case Red, Green, Blue:
+		return "colorful"
+	default:
+		panic("unreachable")
+	}
+}
+
+// goodAlias covers Red through its alias Crimson (matching is by value).
+func goodAlias(c Color) string {
+	switch c {
+	case Crimson, Green, Blue:
+		return "ok"
+	}
+	return "?"
+}
+
+// goodNonEnum switches over a plain int, which is not an enum.
+func goodNonEnum(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	}
+	return "?"
+}

@@ -1,0 +1,55 @@
+// Package paniccontract is an obdcheck fixture: panics reachable from
+// exported API in a typed-error package.
+package paniccontract
+
+// Direct panics straight from exported API.
+func Direct(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// Indirect reaches a panic through an unexported helper.
+func Indirect(n int) int { return helper(n) }
+
+func helper(n int) int {
+	if n > 10 {
+		panic("too big")
+	}
+	return n
+}
+
+// isolated is unreachable from any exported function and not flagged.
+func isolated() { panic("internal only") }
+
+// MustPositive carries a reasoned suppression for its Must contract.
+func MustPositive(n int) int {
+	if n <= 0 {
+		//obdcheck:allow paniccontract — fixture: documented Must-constructor contract
+		panic("not positive")
+	}
+	return n
+}
+
+// stage is a two-valued enum whose exhaustive switch makes the panic
+// default a machine-verified unreachability assertion (auto-exempt).
+type stage int
+
+const (
+	s0 stage = iota
+	s1
+)
+
+// Name is exported yet clean: its only panic sits in an exhaustive
+// enum switch's default.
+func Name(s stage) string {
+	switch s {
+	case s0:
+		return "s0"
+	case s1:
+		return "s1"
+	default:
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,18 @@
+// Package rand is an obdcheck fixture: global vs seeded math/rand.
+package rand
+
+import "math/rand"
+
+// bad draws from the shared global source.
+func bad() int { return rand.Intn(6) }
+
+// badShuffle shuffles with the global source.
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// good is the replayable idiom: a private seeded source.
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}

@@ -1,0 +1,70 @@
+// Package rangemap is an obdcheck fixture: map iteration feeding
+// order-sensitive sinks.
+package rangemap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// bad appends in map order without a canonicalizing sort.
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// badTwice appends twice to the same slice in one body; the driver
+// dedups the identical reports into one finding.
+func badTwice(m map[string]int) []string {
+	var a []string
+	for k := range m {
+		a = append(a, k)
+		a = append(a, k+"!")
+	}
+	return a
+}
+
+// badPrint prints in map order.
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// badSend sends in map order.
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// goodSorted appends but re-canonicalizes with a sort afterwards.
+func goodSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goodCount only accumulates an order-insensitive count.
+func goodCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// goodSlice ranges a slice, not a map.
+func goodSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Package schedmisuse is an obdcheck fixture: ForEach/ForEachCtx closure
+// discipline. The local Scheduler type mimics the atpg scheduler's shape;
+// the rule matches by receiver type name.
+package schedmisuse
+
+type Scheduler struct{}
+
+func (s *Scheduler) ForEach(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func (s *Scheduler) ForEachCtx(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadCounter bumps a captured accumulator.
+func BadCounter(s *Scheduler, n int) int {
+	total := 0
+	s.ForEach(n, func(i int) {
+		total += i
+	})
+	return total
+}
+
+// BadAppend appends to a captured slice in completion order.
+func BadAppend(s *Scheduler, n int) []int {
+	var out []int
+	s.ForEach(n, func(i int) {
+		out = append(out, i)
+	})
+	return out
+}
+
+// BadSend sends on a captured channel.
+func BadSend(s *Scheduler, ch chan int, n int) {
+	s.ForEach(n, func(i int) {
+		ch <- i
+	})
+}
+
+// GoodSlot commits to its own index slot.
+func GoodSlot(s *Scheduler, n int) []int {
+	out := make([]int, n)
+	s.ForEach(n, func(i int) {
+		out[i] = i * i
+	})
+	return out
+}
+
+// GoodCtx commits through a local into its slot and returns an error.
+func GoodCtx(s *Scheduler, n int) ([]float64, error) {
+	res := make([]float64, n)
+	err := s.ForEachCtx(n, func(i int) error {
+		v := float64(i)
+		res[i] = 2 * v
+		return nil
+	})
+	return res, err
+}
+
+// GoodOtherType is not a Scheduler; the rule does not apply.
+type pool struct{}
+
+func (p *pool) ForEach(n int, fn func(i int)) {}
+
+func GoodOtherType(p *pool, n int) int {
+	total := 0
+	p.ForEach(n, func(i int) {
+		total += i
+	})
+	return total
+}

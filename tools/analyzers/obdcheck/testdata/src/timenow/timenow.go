@@ -1,0 +1,15 @@
+// Package timenow is an obdcheck fixture: wall-clock reads.
+package timenow
+
+import "time"
+
+// bad reads the wall clock.
+func bad() int64 { return time.Now().UnixNano() }
+
+// good uses time only for arithmetic.
+func good() time.Duration { return 42 * time.Millisecond }
+
+// allowed carries a reasoned suppression and passes.
+func allowed() time.Time {
+	return time.Now() //obdcheck:allow timenow — fixture: annotated reads pass
+}
