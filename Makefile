@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet obdcheck detlint lint test test-race short bench repro artifacts fuzz fuzz-smoke clean
+.PHONY: all build vet obdcheck detlint lint serve serve-smoke test test-race short bench repro artifacts fuzz fuzz-smoke clean
 
 all: build test test-race
 
@@ -30,6 +30,16 @@ detlint:
 # Static netlist analysis of the bench circuits (cmd/obdlint).
 lint:
 	$(GO) run ./cmd/obdlint -circuit fulladder -circuit c17 -circuit rca4 -circuit mux41
+
+# The HTTP/JSON grading service (cmd/obdserve) on :8080.
+serve:
+	$(GO) run ./cmd/obdserve
+
+# CI smoke: start obdserve, wait for /healthz, run one grade request,
+# then drain it with SIGTERM. Fails on any non-2xx or if the server
+# never comes up.
+serve-smoke:
+	./tools/serve_smoke.sh
 
 test:
 	$(GO) test ./...

@@ -70,7 +70,9 @@ func main() {
 		if strings.HasSuffix(*netlist, ".v") {
 			c, err = logic.ParseVerilog(f)
 		} else {
-			c, err = logic.Parse(f)
+			// Lenient: structurally broken circuits are exactly what the
+			// lint passes are for; only line-level syntax errors die here.
+			c, err = logic.ParseLenient(f)
 		}
 		f.Close()
 		if err != nil {

@@ -1,0 +1,92 @@
+// Command obdserve runs the HTTP/JSON grading service: the repository's
+// deterministic compute core (OBD/transition/stuck-at grading, ATPG,
+// static netlist analysis, mission campaigns) behind versioned /v1/*
+// endpoints with a result cache, single-flight coalescing and bounded
+// backpressure. See README.md "Serving" and DESIGN.md §10.
+//
+// Examples:
+//
+//	obdserve -addr :8080
+//	obdserve -addr :8080 -workers 4 -queue 8 -cache 512 -timeout 30s
+//	obdserve -addr localhost:6060 -pprof
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gobd/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "scheduler worker count per request (0 = GOMAXPROCS; changes speed, never results)")
+		queue   = flag.Int("queue", 0, "max concurrently admitted computations before 429 (0 = 2x GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, "result cache entries (0 = 256, negative disables)")
+		timeout = flag.Duration("timeout", 0, "per-request compute deadline (0 = 60s)")
+		body    = flag.Int64("max-body", 0, "max request body bytes (0 = 8 MiB)")
+		pprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before in-flight work is cancelled")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		MaxInFlight:    *queue,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *body,
+		EnablePprof:    *pprof,
+	})
+	// Publish the counters on the process-global expvar map exactly once
+	// (the serve package keeps them instance-scoped so tests can build
+	// servers freely).
+	expvar.Publish("obdserve", expvar.Func(func() any { return srv.Snapshot() }))
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "obdserve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "obdserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful drain: stop accepting, let admitted computations finish
+	// inside the budget, then cancel whatever is left.
+	fmt.Fprintf(os.Stderr, "obdserve: draining (budget %s)\n", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err := hs.Shutdown(shutCtx)
+	srv.Close()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "obdserve:", err)
+		os.Exit(1)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		hs.Close() //nolint:errcheck // force-close after drain budget
+		fmt.Fprintln(os.Stderr, "obdserve: drain budget exceeded; in-flight work cancelled")
+	}
+	fmt.Fprintln(os.Stderr, "obdserve: bye")
+}

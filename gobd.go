@@ -19,9 +19,26 @@
 //     exhaustive pair analysis and test-set covering;
 //   - the Section 4.2 detection-window scheduler.
 //
+// The facade is organized by layer:
+//
+//   - gobd_analog.go — analog simulator, OBD injection model, cell library
+//     and waveform measurement;
+//   - gobd_logic.go — gate-level circuits, parsing, fingerprints,
+//     benchmarks, timing simulation, scan/DFT and static netlist analysis;
+//   - gobd_fault.go — fault universes, excitation pairs, diagnosis and
+//     BIST;
+//   - gobd_atpg.go — test generation, fault grading, the deterministic
+//     scheduler and its hardened error types;
+//   - gobd_mission.go — detection-window scheduling and mission campaigns.
+//
+// The exported surface is locked by a golden file
+// (testdata/api.golden); TestExportedAPILock explains how to regenerate
+// it after an intentional change.
+//
 // The exper subpackage regenerates every table and figure of the paper;
 // cmd/obdrepro prints them all, and EXPERIMENTS.md records paper-versus-
-// measured values.
+// measured values. cmd/obdserve exposes the compute core as an HTTP/JSON
+// service (see README.md "Serving").
 //
 // Quick start (see examples/quickstart):
 //
@@ -34,436 +51,3 @@
 //	m, _ := h.Measure(res, pr, 1e-9, 50e-12)
 //	fmt.Printf("%v delay: %.0f ps\n", inj.Stage, m.Delay*1e12)
 package gobd
-
-import (
-	"gobd/internal/atpg"
-	"gobd/internal/bist"
-	"gobd/internal/cells"
-	"gobd/internal/diag"
-	"gobd/internal/fault"
-	"gobd/internal/logic"
-	"gobd/internal/mission"
-	"gobd/internal/netcheck"
-	"gobd/internal/obd"
-	"gobd/internal/sched"
-	"gobd/internal/seq"
-	"gobd/internal/spice"
-	"gobd/internal/timing"
-	"gobd/internal/waveform"
-)
-
-// Analog simulator layer.
-type (
-	// AnalogCircuit is a flat transistor-level netlist.
-	AnalogCircuit = spice.Circuit
-	// Process is the synthetic CMOS process card.
-	Process = spice.Process
-	// Solution is a committed DC solution.
-	Solution = spice.Solution
-	// TranResult is a committed transient simulation.
-	TranResult = spice.TranResult
-	// Waveform drives independent sources.
-	Waveform = spice.Waveform
-	// MOSFET is the Level-1 transistor device.
-	MOSFET = spice.MOSFET
-)
-
-// DefaultProcess returns the calibrated 3.3 V process card used by every
-// experiment in the repository.
-func DefaultProcess() *Process { return spice.Default350() }
-
-// NewAnalogCircuit creates an empty analog netlist (ground pre-defined).
-func NewAnalogCircuit() *AnalogCircuit { return spice.NewCircuit() }
-
-// OperatingPoint solves the DC bias point of an analog circuit.
-func OperatingPoint(c *AnalogCircuit) (*Solution, error) { return spice.OperatingPoint(c, nil) }
-
-// Transient runs a transient analysis with the default solver options.
-func Transient(c *AnalogCircuit, tstop, dt float64) (*TranResult, error) {
-	return spice.Transient(c, tstop, dt, nil)
-}
-
-// OBD model layer.
-type (
-	// Stage is a breakdown progression point (FaultFree … HBD).
-	Stage = obd.Stage
-	// Injection is a breakdown network wired around one transistor.
-	Injection = obd.Injection
-	// Progression is the exponential SBD→HBD parameter trajectory.
-	Progression = obd.Progression
-)
-
-// Breakdown stages (the paper's Table 1 rows).
-const (
-	FaultFree = obd.FaultFree
-	MBD1      = obd.MBD1
-	MBD2      = obd.MBD2
-	MBD3      = obd.MBD3
-	HBD       = obd.HBD
-)
-
-// Inject attaches the diode-resistor breakdown network to a transistor.
-func Inject(c *AnalogCircuit, name string, m *MOSFET, stage Stage) *Injection {
-	return obd.Inject(c, name, m, stage)
-}
-
-// Stages lists all breakdown stages in progression order.
-func Stages() []Stage { return obd.Stages() }
-
-// MOSPolarity distinguishes NMOS and PMOS devices.
-type MOSPolarity = spice.MOSPolarity
-
-// Device polarities.
-const (
-	NMOS = spice.NMOS
-	PMOS = spice.PMOS
-)
-
-// NewProgression builds the default exponential SBD→HBD trajectory for a
-// device polarity (27 h window, per Linder et al.).
-func NewProgression(pol MOSPolarity) *Progression { return obd.NewProgression(pol) }
-
-// Cell library layer.
-type (
-	// CellBuilder accumulates transistor-level cells into one circuit.
-	CellBuilder = cells.Builder
-	// Cell is one gate instance at transistor level.
-	Cell = cells.Cell
-	// NANDHarness is the paper's Fig. 5 measurement set-up.
-	NANDHarness = cells.NANDHarness
-	// FullAdderRig is the transistor-level Fig. 8 circuit.
-	FullAdderRig = cells.FullAdderRig
-)
-
-// NewCellBuilder creates a builder with a powered supply rail.
-func NewCellBuilder(p *Process) *CellBuilder { return cells.NewBuilder(p) }
-
-// NewNANDHarness builds the Fig. 5 harness (driveChain=2 reproduces the
-// paper; 0 is the ideal-source ablation).
-func NewNANDHarness(p *Process, driveChain int) *NANDHarness {
-	return cells.NewNANDHarness(p, driveChain)
-}
-
-// FullAdderSumLogic returns the reconstructed Fig. 8 gate-level netlist
-// (14 NAND2 + 11 INV, depth 9, intentional redundancy).
-func FullAdderSumLogic() *Circuit { return cells.FullAdderSumLogic() }
-
-// FullAdderTarget names the NAND gate with four upstream and four
-// downstream stages — the paper's Fig. 9 injection site.
-const FullAdderTarget = cells.FullAdderTarget
-
-// NewFullAdderRig elaborates the Fig. 8 circuit to transistors.
-func NewFullAdderRig(p *Process) (*FullAdderRig, error) { return cells.NewFullAdderRig(p) }
-
-// CalibrateDelays measures the primitive cells on the analog simulator and
-// returns a gate-level delay model grounded in the same process card.
-var CalibrateDelays = cells.CalibrateDelays
-
-// Gate-level layer.
-type (
-	// Circuit is a gate-level combinational netlist.
-	Circuit = logic.Circuit
-	// Gate is one gate instance.
-	Gate = logic.Gate
-	// GateType enumerates gate functions.
-	GateType = logic.GateType
-	// Value is a three-valued logic level.
-	Value = logic.Value
-)
-
-// Gate-level constructors and parsing.
-var (
-	// NewCircuit creates an empty gate-level circuit.
-	NewCircuit = logic.New
-	// ParseNetlist reads the textual netlist format.
-	ParseNetlist = logic.ParseString
-	// FormatNetlist writes the textual netlist format.
-	FormatNetlist = logic.Format
-	// ParseVerilog reads a structural Verilog module.
-	ParseVerilog = logic.ParseVerilogString
-	// FormatVerilog writes a structural Verilog module.
-	FormatVerilog = logic.FormatVerilog
-	// ComputeTestability runs SCOAP controllability/observability analysis.
-	ComputeTestability = logic.ComputeTestability
-)
-
-// Fault model layer.
-type (
-	// OBDFault is a per-transistor gate-oxide-breakdown fault.
-	OBDFault = fault.OBD
-	// StuckAtFault is the classical stuck-at fault.
-	StuckAtFault = fault.StuckAt
-	// TransitionFault is the classical slow-to-rise/fall fault.
-	TransitionFault = fault.Transition
-	// EMFault is an intra-gate electromigration fault.
-	EMFault = fault.EM
-	// Pair is a two-pattern local input assignment, e.g. (01,11).
-	Pair = fault.Pair
-	// Side distinguishes pull-up (PMOS) and pull-down (NMOS) networks.
-	Side = fault.Side
-)
-
-// Network sides.
-const (
-	PullUp   = fault.PullUp
-	PullDown = fault.PullDown
-)
-
-// Fault-universe generators and the Section 4.1/5 analyses.
-var (
-	// OBDUniverse enumerates all per-transistor OBD faults of a circuit.
-	OBDUniverse = fault.OBDUniverse
-	// StuckAtUniverse enumerates stuck-at faults on every net.
-	StuckAtUniverse = fault.StuckAtUniverse
-	// TransitionUniverse enumerates transition faults on every net.
-	TransitionUniverse = fault.TransitionUniverse
-	// ParsePair parses the paper's pair notation, e.g. "(11,01)".
-	ParsePair = fault.ParsePair
-	// GatePairTable maps each OBD fault of a gate type to its pairs.
-	GatePairTable = fault.GatePairTable
-	// MinimalPairCover computes the exact minimum exciting pair set.
-	MinimalPairCover = fault.MinimalPairCover
-)
-
-// ATPG layer.
-type (
-	// Pattern is a primary-input assignment.
-	Pattern = atpg.Pattern
-	// TwoPattern is an ordered vector pair.
-	TwoPattern = atpg.TwoPattern
-	// ATPGOptions tunes the generators.
-	ATPGOptions = atpg.Options
-	// Coverage summarizes a fault-grading run.
-	Coverage = atpg.Coverage
-	// Scheduler is the deterministic worker pool behind the batch graders
-	// and generators.
-	Scheduler = atpg.Scheduler
-	// WorkerStats is one worker's share of a scheduler run.
-	WorkerStats = atpg.WorkerStats
-)
-
-// Test generation and fault simulation.
-var (
-	// GenerateOBDTest produces a two-pattern test for one OBD fault.
-	GenerateOBDTest = atpg.GenerateOBDTest
-	// GenerateOBDTests runs the OBD generator over a fault list.
-	GenerateOBDTests = atpg.GenerateOBDTests
-	// GenerateTransitionTests runs the classical transition generator.
-	GenerateTransitionTests = atpg.GenerateTransitionTests
-	// GenerateStuckAtTests runs the classical stuck-at generator.
-	GenerateStuckAtTests = atpg.GenerateStuckAtTests
-	// DetectsOBD fault-simulates one vector pair against one OBD fault.
-	DetectsOBD = atpg.DetectsOBD
-	// GradeOBD fault-simulates a test set against an OBD fault list
-	// (scalar reference engine).
-	GradeOBD = atpg.GradeOBD
-	// GradeOBDParallel is the bit-parallel multicore grader; its Coverage
-	// is bit-identical to GradeOBD for any worker count.
-	GradeOBDParallel = atpg.GradeOBDParallel
-	// NewScheduler builds a scheduler with an explicit worker count.
-	NewScheduler = atpg.NewScheduler
-	// SetDefaultWorkers resizes the pool behind the package-level
-	// graders and generators.
-	SetDefaultWorkers = atpg.SetDefaultWorkers
-	// AnalyzeExhaustive enumerates all input transitions of a circuit.
-	AnalyzeExhaustive = atpg.AnalyzeExhaustive
-)
-
-// Hardened scheduler layer: typed errors, panic confinement and
-// context-aware batch runs.
-type (
-	// InvalidCircuitError reports a batch entry point given a circuit
-	// failing validation.
-	InvalidCircuitError = atpg.InvalidCircuitError
-	// InputLimitError reports an exhaustive enumeration beyond the
-	// supported primary-input count.
-	InputLimitError = atpg.InputLimitError
-	// PanicError is a worker panic confined to an ordinary error.
-	PanicError = atpg.PanicError
-	// ItemError ties a failure to its work-item index.
-	ItemError = atpg.ItemError
-	// RunReport is the outcome of a hardened ForEachCtx run.
-	RunReport = atpg.RunReport
-)
-
-// Context-aware generator variants: same results as their plain
-// counterparts, plus prompt cancellation with a deterministic prefix.
-var (
-	GenerateOBDTestsCtx        = atpg.GenerateOBDTestsCtx
-	GenerateTransitionTestsCtx = atpg.GenerateTransitionTestsCtx
-	GenerateStuckAtTestsCtx    = atpg.GenerateStuckAtTestsCtx
-)
-
-// Scheduling layer (Section 4.2).
-type (
-	// DelayPoint is one sample of a delay-versus-time trajectory.
-	DelayPoint = sched.DelayPoint
-	// Window is a detection window for one detector slack.
-	Window = sched.Window
-)
-
-// ComputeWindow locates the detection window for a given slack.
-var ComputeWindow = sched.ComputeWindow
-
-// Measurement layer.
-type (
-	// Series is a sampled waveform.
-	Series = waveform.Series
-	// DelayMeasurement is a measured transition (delay or sa-0/sa-1).
-	DelayMeasurement = waveform.DelayMeasurement
-)
-
-// Diagnosis layer.
-type (
-	// FaultDictionary maps test-set responses back to candidate defects.
-	FaultDictionary = diag.Dictionary
-	// FaultResponse is a pass/fail observation of a test set.
-	FaultResponse = diag.Response
-)
-
-// Diagnosis constructors.
-var (
-	// BuildDictionary simulates every fault against a test set.
-	BuildDictionary = diag.Build
-	// SimulateResponse computes one fault's response signature.
-	SimulateResponse = diag.SimulateResponse
-)
-
-// Sequential/DFT layer.
-type (
-	// SeqCircuit is a combinational core with a scan chain.
-	SeqCircuit = seq.Circuit
-	// ScanFF is one scan flip-flop (Q feeds a core input, D captures a net).
-	ScanFF = seq.FF
-	// ScanMode is a two-pattern test-application style.
-	ScanMode = seq.Mode
-)
-
-// Scan application modes.
-const (
-	EnhancedScanMode    = seq.EnhancedScan
-	LaunchOnShiftMode   = seq.LaunchOnShift
-	LaunchOnCaptureMode = seq.LaunchOnCapture
-)
-
-// Sequential constructors.
-var (
-	// NewSeqCircuit wraps a combinational core with a scan chain.
-	NewSeqCircuit = seq.New
-	// Accumulator builds the n-bit accumulator testbed.
-	Accumulator = seq.Accumulator
-)
-
-// Gate-level timing layer.
-type (
-	// TimingSimulator is the event-driven gate-level timing simulator.
-	TimingSimulator = timing.Simulator
-	// TimingTrace is a simulated per-net waveform set.
-	TimingTrace = timing.Trace
-	// DelayPenalty injects a directional per-gate delay (an OBD defect).
-	DelayPenalty = timing.Penalty
-)
-
-// Timing constructors and helpers.
-var (
-	// NewTimingSimulator builds a simulator over a gate-level circuit.
-	NewTimingSimulator = timing.New
-	// DetectsAtCapture compares good/faulty traces at a capture time.
-	DetectsAtCapture = timing.DetectsAt
-	// TraceVCD renders a timing trace as a Value Change Dump.
-	TraceVCD = timing.VCD
-)
-
-// Benchmark circuits.
-var (
-	// C17 is the ISCAS-85 c17 benchmark.
-	C17 = logic.C17
-	// RippleCarryAdder builds an n-bit NAND-only adder.
-	RippleCarryAdder = logic.RippleCarryAdder
-	// ParityTree builds an n-input XOR tree.
-	ParityTree = logic.ParityTree
-	// Mux41 builds a 4:1 multiplexer.
-	Mux41 = logic.Mux41
-)
-
-// AnalogNetlist renders a transistor-level circuit as SPICE-deck text.
-var AnalogNetlist = spice.Netlist
-
-// BIST layer.
-type (
-	// BISTSession is an LFSR test-per-clock self-test run with MISR
-	// signature compaction.
-	BISTSession = bist.Session
-	// LFSR is a maximal-length Galois linear-feedback shift register.
-	LFSR = bist.LFSR
-	// MISR is a multiple-input signature register.
-	MISR = bist.MISR
-)
-
-// BIST constructors.
-var (
-	// NewBISTSession prepares an n-clock self-test session.
-	NewBISTSession = bist.NewSession
-	// NewLFSR builds a maximal-length LFSR (widths 2–16).
-	NewLFSR = bist.NewLFSR
-	// NewMISR builds a signature register (widths 2–16).
-	NewMISR = bist.NewMISR
-)
-
-// Mission layer (cmd/obdmission front-end): a deterministic, seeded
-// discrete-event simulation of a chip population running the paper's
-// concurrent test/diagnose/repair loop under injected adversity.
-type (
-	// MissionConfig parameterizes a campaign.
-	MissionConfig = mission.Config
-	// MissionCampaign is a configured, reusable campaign.
-	MissionCampaign = mission.Campaign
-	// MissionAdversity is the operational hazard profile.
-	MissionAdversity = mission.Adversity
-	// MissionReport is the aggregated campaign outcome.
-	MissionReport = mission.Report
-	// MissionChipResult is one chip's outcome.
-	MissionChipResult = mission.ChipResult
-)
-
-// Mission constructors and profiles.
-var (
-	// NewMission validates a config and precomputes the shared bench.
-	NewMission = mission.New
-	// ParseAdversity parses "off", "light", "heavy" or a key=value list.
-	ParseAdversity = mission.ParseAdversity
-	// AdversityOff/Light/Heavy are the canned hazard profiles.
-	AdversityOff   = mission.Off
-	AdversityLight = mission.Light
-	AdversityHeavy = mission.Heavy
-)
-
-// Static netlist analysis layer (cmd/obdlint front-end).
-type (
-	// NetReport is a full netcheck analysis: lint diagnostics, constant
-	// nets, OBD untestability verdicts and a SCOAP hard-fault ranking.
-	NetReport = netcheck.Report
-	// NetDiagnostic is one structural lint finding.
-	NetDiagnostic = netcheck.Diagnostic
-	// NetcheckOptions tunes the analysis passes.
-	NetcheckOptions = netcheck.Options
-	// OBDVerdict is a per-fault untestability verdict with its proof.
-	OBDVerdict = netcheck.Verdict
-	// ImplicationProof is a machine-checkable implication chain.
-	ImplicationProof = netcheck.Proof
-)
-
-// Static analysis entry points.
-var (
-	// AnalyzeNetlist runs every netcheck pass over a circuit.
-	AnalyzeNetlist = netcheck.Analyze
-	// LintNetlist runs only the structural lint pass.
-	LintNetlist = netcheck.Lint
-	// ProveOBDUntestable attempts a static untestability proof for one
-	// OBD fault; the verdict is sound but one-sided (see DESIGN.md).
-	ProveOBDUntestable = netcheck.ProveOBD
-	// StaticConstants derives implication-proved constant nets.
-	StaticConstants = netcheck.Constants
-	// VerifyImplicationProof independently replays a proof chain.
-	VerifyImplicationProof = netcheck.VerifyProof
-)

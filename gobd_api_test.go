@@ -1,6 +1,7 @@
 package gobd_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -87,12 +88,49 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("vcd broken")
 	}
 
-	// Diagnosis.
+	// Diagnosis. BuildDictionary is the deprecated spelling of
+	// NewFaultDictionary; both must keep compiling and agree.
 	dict := gobd.BuildDictionary(c, faults, ts.Tests)
+	if dict2 := gobd.NewFaultDictionary(c, faults, ts.Tests); dict2 == nil {
+		t.Fatal("NewFaultDictionary returned nil")
+	}
 	sig := gobd.SimulateResponse(c, faults[0], ts.Tests)
 	cands, dist, err := dict.Diagnose(sig)
 	if err != nil || dist != 0 || len(cands) == 0 {
 		t.Fatalf("diagnose %v %d %v", cands, dist, err)
+	}
+
+	// Structural fingerprint: invariant under net renaming.
+	fp, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed, err := gobd.ParseNetlist("circuit g2\ninput a b\noutput out\nnand u1 out a b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := renamed.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != fp2 {
+		t.Fatalf("fingerprint not rename-invariant: %s vs %s", fp, fp2)
+	}
+
+	// Mission facade: NewMission is the deprecated spelling of
+	// NewMissionCampaign; both must keep compiling.
+	if gobd.NewMission == nil || gobd.NewMissionCampaign == nil {
+		t.Fatal("mission constructors missing")
+	}
+	camp, err := gobd.NewMissionCampaign(gobd.MissionConfig{
+		Circuit: c, Seed: 1, Chips: 2, Duration: 100, FaultRate: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := camp.Run(context.Background())
+	if err != nil || rep.Chips != 2 {
+		t.Fatalf("mission %+v %v", rep, err)
 	}
 
 	// Analog layer construction through the facade.

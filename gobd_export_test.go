@@ -1,0 +1,186 @@
+package gobd_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api.golden from the current exported surface")
+
+// TestExportedAPILock locks the facade's exported surface against a
+// golden file. Any addition, removal or signature change of an exported
+// name fails this test with a readable diff; after reviewing an
+// INTENTIONAL change, regenerate the golden with
+//
+//	go test -run TestExportedAPILock -update .
+//
+// and commit testdata/api.golden alongside the API change. This is what
+// turns accidental facade drift (a refactor silently renaming or
+// dropping a re-export) into a reviewed decision.
+func TestExportedAPILock(t *testing.T) {
+	got, err := exportedSurface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "api.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", golden, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s: %v (run `go test -run TestExportedAPILock -update .` to create it)", golden, err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	for _, d := range diffLines(want, got) {
+		t.Error(d)
+	}
+	t.Fatalf("exported API differs from %s; if the change is intentional, regenerate with `go test -run TestExportedAPILock -update .`", golden)
+}
+
+// exportedSurface renders every exported top-level declaration of the
+// package in dir as one sorted line per name.
+func exportedSurface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	pkg, ok := pkgs["gobd"]
+	if !ok {
+		return "", fmt.Errorf("package gobd not found in %s", dir)
+	}
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue
+				}
+				sig := strings.TrimPrefix(render(fset, stripNames(d.Type)), "func")
+				lines = append(lines, "func "+d.Name.Name+sig)
+			case *ast.GenDecl:
+				lines = append(lines, genDeclLines(fset, d)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// genDeclLines renders the exported names of one type/const/var block.
+func genDeclLines(fset *token.FileSet, d *ast.GenDecl) []string {
+	var lines []string
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if !sp.Name.IsExported() {
+				continue
+			}
+			eq := ""
+			if sp.Assign != token.NoPos {
+				eq = "= "
+			}
+			lines = append(lines, "type "+sp.Name.Name+" "+eq+render(fset, sp.Type))
+		case *ast.ValueSpec:
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			for i, name := range sp.Names {
+				if !name.IsExported() {
+					continue
+				}
+				line := kind + " " + name.Name
+				switch {
+				case sp.Type != nil:
+					line += " " + render(fset, sp.Type)
+				case i < len(sp.Values):
+					line += " = " + render(fset, sp.Values[i])
+				}
+				lines = append(lines, line)
+			}
+		}
+	}
+	return lines
+}
+
+// stripNames removes parameter names from a signature so renaming a
+// parameter (not an API change) does not trip the lock.
+func stripNames(ft *ast.FuncType) *ast.FuncType {
+	strip := func(fl *ast.FieldList) *ast.FieldList {
+		if fl == nil {
+			return nil
+		}
+		out := &ast.FieldList{}
+		for _, f := range fl.List {
+			n := len(f.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				out.List = append(out.List, &ast.Field{Type: f.Type})
+			}
+		}
+		return out
+	}
+	return &ast.FuncType{Params: strip(ft.Params), Results: strip(ft.Results)}
+}
+
+// render prints an AST node as compact source text.
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// diffLines reports which golden lines disappeared and which new lines
+// appeared — a set diff, which reads better than a positional diff for a
+// sorted inventory.
+func diffLines(want, got string) []string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimRight(want, "\n"), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		gotSet[l] = true
+	}
+	var out []string
+	for l := range wantSet {
+		if !gotSet[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			out = append(out, "+ "+l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

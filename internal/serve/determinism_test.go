@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ripple8 is a larger DUT for the determinism property: a NAND-only
+// 4-bit ripple-carry adder netlist, rendered once via the logic package.
+func ripple8(t *testing.T) string {
+	t.Helper()
+	return "circuit rca\n" +
+		"input a0 b0 a1 b1 cin\n" +
+		"output s0 s1 cout\n" +
+		"nand n1 w1 a0 b0\n" +
+		"nand n2 w2 a0 w1\n" +
+		"nand n3 w3 b0 w1\n" +
+		"nand n4 x0 w2 w3\n" +
+		"nand n5 w5 x0 cin\n" +
+		"nand n6 w6 x0 w5\n" +
+		"nand n7 w7 cin w5\n" +
+		"nand n8 s0 w6 w7\n" +
+		"nand n9 c1 w1 w5\n" +
+		"nand m1 v1 a1 b1\n" +
+		"nand m2 v2 a1 v1\n" +
+		"nand m3 v3 b1 v1\n" +
+		"nand m4 x1 v2 v3\n" +
+		"nand m5 v5 x1 c1\n" +
+		"nand m6 v6 x1 v5\n" +
+		"nand m7 v7 c1 v5\n" +
+		"nand m8 s1 v6 v7\n" +
+		"nand m9 cout v1 v5\n"
+}
+
+// detRequests are the representative workloads of the wire-determinism
+// property: one per compute-heavy endpoint, all fully seeded.
+func detRequests(t *testing.T) map[string]any {
+	rca := ripple8(t)
+	var pairs []WirePair
+	for i := 0; i < 12; i++ {
+		pairs = append(pairs, WirePair{
+			V1: fmt.Sprintf("%05b", (7*i+3)%32),
+			V2: fmt.Sprintf("%05b", (11*i+5)%32),
+		})
+	}
+	return map[string]any{
+		"/v1/grade":   GradeRequest{Netlist: rca, Tests: pairs},
+		"/v1/atpg":    ATPGRequest{Netlist: rca, Prune: true},
+		"/v1/lint":    LintRequest{Netlist: rca},
+		"/v1/mission": MissionRequest{Netlist: rca, Seed: 42, Chips: 6, Duration: 500, FaultRate: 1, PerChip: true},
+	}
+}
+
+// TestWireDeterminism is the tentpole property: the same request body
+// yields byte-identical JSON regardless of worker count (1, 2, 8) and
+// cache state (cold vs warm).
+func TestWireDeterminism(t *testing.T) {
+	reqs := detRequests(t)
+	// reference[endpoint] = body from the first configuration.
+	reference := map[string][]byte{}
+	for _, workers := range []int{1, 2, 8} {
+		_, ts := newTestServer(t, Config{Workers: workers})
+		for endpoint, req := range reqs {
+			for pass, wantSource := range []string{"computed", "cache"} {
+				status, body, resp := post(t, ts.URL+endpoint, req)
+				if status != 200 {
+					t.Fatalf("workers=%d %s pass %d: status %d: %s", workers, endpoint, pass, status, body)
+				}
+				if got := resp.Header.Get("Obdserve-Source"); got != wantSource {
+					t.Fatalf("workers=%d %s pass %d: source %q, want %q", workers, endpoint, pass, got, wantSource)
+				}
+				if ref, ok := reference[endpoint]; !ok {
+					reference[endpoint] = body
+				} else if !bytes.Equal(ref, body) {
+					t.Fatalf("workers=%d %s pass %d: body differs from reference\nref: %s\ngot: %s", workers, endpoint, pass, ref, body)
+				}
+			}
+		}
+	}
+}
+
+// TestSingleFlightCoalescing launches 16 identical concurrent requests
+// against a gated server: exactly one computation runs, the other 15 are
+// served from its flight, asserted via the hit/miss counters. The gate
+// plus the parked-waiter poll make the ordering deterministic (no sleeps
+// racing the compute).
+func TestSingleFlightCoalescing(t *testing.T) {
+	const clients = 16
+	s := New(Config{})
+	gate := make(chan struct{})
+	s.computeGate = gate
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := detRequests(t)["/v1/grade"]
+	bodies := make([][]byte, clients)
+	status := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status[i], bodies[i], _ = postNoFatal(t, ts.URL+"/v1/grade", req)
+		}(i)
+	}
+	// The leader is parked on the gate; wait until the other 15 are all
+	// parked on its flight, then release.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flights.parked() != clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers parked", s.flights.parked(), clients-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if status[i] != 200 {
+			t.Fatalf("client %d: status %d: %s", i, status[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d body differs", i)
+		}
+	}
+	m := s.Metrics()
+	if m.Computed.Value() != 1 {
+		t.Fatalf("computed = %d, want 1", m.Computed.Value())
+	}
+	if m.Coalesced.Value() != clients-1 {
+		t.Fatalf("coalesced = %d, want %d", m.Coalesced.Value(), clients-1)
+	}
+	if m.CacheHits.Value() != 0 || m.CacheMisses.Value() != clients {
+		t.Fatalf("hits/misses = %d/%d, want 0/%d", m.CacheHits.Value(), m.CacheMisses.Value(), clients)
+	}
+}
+
+// postNoFatal is post for goroutines (no t.Fatal off the test goroutine).
+func postNoFatal(t *testing.T, url string, req any) (int, []byte, *http.Response) {
+	body, err := jsonBody(req)
+	if err != nil {
+		t.Error(err)
+		return 0, nil, nil
+	}
+	resp, err := http.Post(url, "application/json", body)
+	if err != nil {
+		t.Error(err)
+		return 0, nil, nil
+	}
+	defer resp.Body.Close()
+	out := new(bytes.Buffer)
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Error(err)
+		return 0, nil, nil
+	}
+	return resp.StatusCode, out.Bytes(), resp
+}
+
+func jsonBody(v any) (*bytes.Reader, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(b), nil
+}
+
+// TestClientDisconnectMidCompute cancels the leader's request while its
+// computation is parked on the gate: the run must never be cached, the
+// Canceled counter must tick, and a later identical request must
+// recompute the full, byte-identical result (the user-visible face of
+// the scheduler's deterministic-prefix cancellation semantics: partial
+// work is discarded, never served).
+func TestClientDisconnectMidCompute(t *testing.T) {
+	s := New(Config{})
+	gate := make(chan struct{})
+	s.computeGate = gate
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := detRequests(t)["/v1/grade"]
+	b, err := jsonBody(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the handler directly with a cancellable request context —
+	// the same signal net/http delivers on a client disconnect, minus
+	// the TCP-timing nondeterminism.
+	ctx, cancel := context.WithCancel(context.Background())
+	hr := httptest.NewRequest(http.MethodPost, "/v1/grade", b).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.handleGrade(rec, hr)
+		close(done)
+	}()
+	// Wait for the request to be admitted (parked on the gate), then
+	// vanish like an impatient client.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.queue.inFlight() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(gate)
+	<-done
+
+	// The handler noticed the dead client; nothing may enter the cache.
+	if got := s.Metrics().Canceled.Value(); got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
+	}
+	if entries, _ := s.cache.stats(); entries != 0 {
+		t.Fatalf("cancelled run was cached (%d entries)", entries)
+	}
+
+	// A patient client now gets the full result, computed fresh and
+	// byte-identical to an undisturbed server's answer.
+	s.computeGate = nil
+	status, body, resp := post(t, ts.URL+"/v1/grade", req)
+	if status != 200 || resp.Header.Get("Obdserve-Source") != "computed" {
+		t.Fatalf("retry: status %d source %q", status, resp.Header.Get("Obdserve-Source"))
+	}
+	_, ref := newTestServer(t, Config{})
+	refStatus, refBody, _ := post(t, ref.URL+"/v1/grade", req)
+	if refStatus != 200 || !bytes.Equal(body, refBody) {
+		t.Fatalf("post-disconnect result differs from reference\ngot: %s\nref: %s", body, refBody)
+	}
+}
+
+// TestFollowerRetryAfterLeaderDisconnect parks a leader and a follower on
+// the same flight, kills only the leader's client, and checks the
+// follower retries into leadership and still gets the full result.
+func TestFollowerRetryAfterLeaderDisconnect(t *testing.T) {
+	s := New(Config{})
+	gate := make(chan struct{})
+	s.computeGate = gate
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := detRequests(t)["/v1/grade"]
+	leaderBody, err := jsonBody(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leader driven directly so its context cancellation is exact, not
+	// subject to TCP disconnect-detection timing.
+	leaderCtx, killLeader := context.WithCancel(context.Background())
+	lr := httptest.NewRequest(http.MethodPost, "/v1/grade", leaderBody).WithContext(leaderCtx)
+	leaderDone := make(chan struct{})
+	go func() {
+		s.handleGrade(httptest.NewRecorder(), lr)
+		close(leaderDone)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.queue.inFlight() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	followerStatus := make(chan int, 1)
+	followerBody := make(chan []byte, 1)
+	go func() {
+		st, b, _ := postNoFatal(t, ts.URL+"/v1/grade", req)
+		followerStatus <- st
+		followerBody <- b
+	}()
+	for s.flights.parked() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	killLeader()
+	<-leaderDone
+	// Unblock computes: the follower's retry passes the gate from here.
+	close(gate)
+
+	if st := <-followerStatus; st != 200 {
+		t.Fatalf("follower status %d", st)
+	}
+	body := <-followerBody
+	_, ref := newTestServer(t, Config{})
+	_, refBody, _ := post(t, ref.URL+"/v1/grade", req)
+	if !bytes.Equal(body, refBody) {
+		t.Fatalf("follower result differs from reference\ngot: %s\nref: %s", body, refBody)
+	}
+	if got := s.Metrics().Computed.Value(); got != 1 {
+		t.Fatalf("computed = %d, want 1 (the follower's retry)", got)
+	}
+}

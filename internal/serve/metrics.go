@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+)
+
+// Metrics are the server's expvar counters. They are instance-scoped
+// (never registered on the global expvar map by the package, so tests
+// can build servers freely); cmd/obdserve publishes a snapshot function
+// under "obdserve" once per process. Everything here is operational
+// telemetry — nothing from this struct may leak into a /v1 response
+// body, which is what keeps the wire deterministic under load.
+type Metrics struct {
+	Requests     expvar.Int // HTTP requests accepted by /v1 handlers
+	Computed     expvar.Int // computations actually run (cache+coalesce misses)
+	CacheHits    expvar.Int // served straight from the LRU
+	CacheMisses  expvar.Int // digest not in cache on arrival
+	Coalesced    expvar.Int // followers served by another request's flight
+	Rejected     expvar.Int // 429 backpressure rejections
+	Canceled     expvar.Int // requests whose client went away mid-compute
+	ClientErrors expvar.Int // 4xx responses (malformed requests)
+	ServerErrors expvar.Int // 5xx responses
+	BatchFaults  expvar.Int // total faults graded/targeted across requests
+	BatchTests   expvar.Int // total patterns/pairs received across requests
+	SchedItems   expvar.Int // scheduler work items across per-request pools
+	SchedPairs   expvar.Int // scheduler pattern(-pair) simulations
+
+	perEndpoint expvar.Map // requests by endpoint
+}
+
+func newMetrics() *Metrics {
+	m := &Metrics{}
+	m.perEndpoint.Init()
+	return m
+}
+
+// endpoint counts one request against its endpoint.
+func (m *Metrics) endpoint(name string) {
+	m.Requests.Add(1)
+	m.perEndpoint.Add(name, 1)
+}
+
+// Snapshot renders every counter as a flat ordered map for /metrics.
+func (m *Metrics) Snapshot(extra map[string]int64) map[string]int64 {
+	out := map[string]int64{
+		"requests":      m.Requests.Value(),
+		"computed":      m.Computed.Value(),
+		"cache_hits":    m.CacheHits.Value(),
+		"cache_misses":  m.CacheMisses.Value(),
+		"coalesced":     m.Coalesced.Value(),
+		"rejected":      m.Rejected.Value(),
+		"canceled":      m.Canceled.Value(),
+		"client_errors": m.ClientErrors.Value(),
+		"server_errors": m.ServerErrors.Value(),
+		"batch_faults":  m.BatchFaults.Value(),
+		"batch_tests":   m.BatchTests.Value(),
+		"sched_items":   m.SchedItems.Value(),
+		"sched_pairs":   m.SchedPairs.Value(),
+	}
+	m.perEndpoint.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			out["requests_"+kv.Key] = v.Value()
+		}
+	})
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
+// renderMetrics marshals a snapshot (json.Marshal sorts map keys, so
+// /metrics output is stable for a given counter state).
+func renderMetrics(snap map[string]int64) []byte {
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		// A map[string]int64 cannot fail to marshal; keep the handler
+		// total anyway.
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}

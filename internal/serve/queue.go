@@ -1,0 +1,43 @@
+package serve
+
+import "errors"
+
+// Admission control. The serving hot path is compute-bound (each
+// admitted job already parallelizes over its own atpg.Scheduler pool),
+// so the work queue is a bounded admission semaphore: at most
+// MaxInFlight computations are admitted, and an arrival beyond that is
+// rejected immediately with 429 + Retry-After rather than parked — a
+// queue in front of a saturated compute pool only converts backpressure
+// into latency. Cache hits and coalesced followers never consume a slot.
+var (
+	errQueueFull    = errors.New("serve: work queue full")
+	errShuttingDown = errors.New("serve: shutting down")
+)
+
+// admitQueue is the bounded admission semaphore.
+type admitQueue struct {
+	slots chan struct{}
+}
+
+func newAdmitQueue(depth int) *admitQueue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &admitQueue{slots: make(chan struct{}, depth)}
+}
+
+// tryAcquire claims a slot without blocking; false means saturated.
+func (q *admitQueue) tryAcquire() bool {
+	select {
+	case q.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a slot.
+func (q *admitQueue) release() { <-q.slots }
+
+// inFlight reports the currently admitted computations.
+func (q *admitQueue) inFlight() int { return len(q.slots) }

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"gobd/internal/atpg"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production default applied by New.
+type Config struct {
+	// Workers sizes the per-request atpg.Scheduler pool (0 = GOMAXPROCS).
+	// By the scheduler's determinism contract this changes wall-clock
+	// only, never response bytes.
+	Workers int
+	// MaxInFlight bounds admitted concurrent computations; arrivals
+	// beyond it get 429 + Retry-After (0 = 2×GOMAXPROCS). Cache hits and
+	// coalesced followers never consume a slot.
+	MaxInFlight int
+	// CacheEntries bounds the response LRU (0 = 256; negative disables).
+	CacheEntries int
+	// RequestTimeout is the per-request compute deadline propagated into
+	// the scheduler's Ctx entry points (0 = 60s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+	// MissionMaxChips bounds /v1/mission population size (0 = 100000).
+	MissionMaxChips int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// withDefaults resolves zero fields to production defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MissionMaxChips == 0 {
+		c.MissionMaxChips = 100_000
+	}
+	return c
+}
+
+// Server is the HTTP serving layer over the deterministic compute core.
+// Create with New, expose via Handler, and Close when force-stopping
+// (graceful drains go through http.Server.Shutdown, which lets admitted
+// computations finish; Close additionally cancels them).
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *lruCache
+	flights *flightGroup
+	queue   *admitQueue
+	mux     *http.ServeMux
+
+	stopCtx  context.Context // cancelled by Close: force-stops compute
+	stopStop context.CancelFunc
+
+	// computeGate, when non-nil (tests only), parks every admitted
+	// computation until the channel is closed — the hook that lets the
+	// coalescing and disconnect tests order events deterministically.
+	computeGate <-chan struct{}
+}
+
+// New builds a Server with cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		cache:   newLRUCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		queue:   newAdmitQueue(cfg.MaxInFlight),
+		mux:     http.NewServeMux(),
+	}
+	s.stopCtx, s.stopStop = context.WithCancel(context.Background())
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/grade", s.handleGrade)
+	s.mux.HandleFunc("/v1/atpg", s.handleATPG)
+	s.mux.HandleFunc("/v1/lint", s.handleLint)
+	s.mux.HandleFunc("/v1/mission", s.handleMission)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the route tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counters (tests and cmd/obdserve's expvar hook).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close force-stops in-flight computations. Call after a graceful
+// http.Server.Shutdown deadline expires (or on the second SIGTERM).
+func (s *Server) Close() { s.stopStop() }
+
+// Snapshot folds the live gauges into the counter snapshot.
+func (s *Server) Snapshot() map[string]int64 {
+	entries, bytes := s.cache.stats()
+	return s.metrics.Snapshot(map[string]int64{
+		"in_flight":     int64(s.queue.inFlight()),
+		"cache_entries": int64(entries),
+		"cache_bytes":   bytes,
+	})
+}
+
+// job is one cacheable unit of work: a digest identifying it and the
+// compute closure producing its response value.
+type job struct {
+	digest  string
+	faults  int // batch telemetry: targeted faults (0 when unknown up front)
+	tests   int // batch telemetry: patterns/pairs in the request
+	compute func(ctx context.Context, sched *atpg.Scheduler) (any, error)
+}
+
+// serveJob is the shared pipeline: cache lookup, single-flight
+// coalescing, bounded admission, deadline propagation, response write.
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, build func() (*job, *apiError)) {
+	j, aerr := build()
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	s.metrics.BatchFaults.Add(int64(j.faults))
+	s.metrics.BatchTests.Add(int64(j.tests))
+	if body, ok := s.cache.get(j.digest); ok {
+		s.metrics.CacheHits.Add(1)
+		s.writeBody(w, body, "cache")
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+	for {
+		body, leader, err := s.flights.do(r.Context(), j.digest, func() ([]byte, error) {
+			return s.runCompute(r.Context(), j)
+		})
+		switch {
+		case err == nil:
+			if leader {
+				s.metrics.Computed.Add(1)
+				s.writeBody(w, body, "computed")
+			} else {
+				s.metrics.Coalesced.Add(1)
+				s.writeBody(w, body, "coalesced")
+			}
+			return
+		case !leader && errors.Is(err, context.Canceled) && r.Context().Err() == nil && s.stopCtx.Err() == nil:
+			// The flight died with its leader's client; this follower is
+			// still live, so it retries (and typically becomes leader).
+			continue
+		case r.Context().Err() != nil:
+			// Our own client is gone; nothing can be written. Count it.
+			s.metrics.Canceled.Add(1)
+			return
+		default:
+			s.writeError(w, coreError(err))
+			return
+		}
+	}
+}
+
+// runCompute runs a job under admission control and the request
+// deadline, marshals the response value, and caches the bytes. Failed
+// or cancelled computations are never cached.
+func (s *Server) runCompute(reqCtx context.Context, j *job) ([]byte, error) {
+	if s.stopCtx.Err() != nil {
+		return nil, errShuttingDown
+	}
+	if !s.queue.tryAcquire() {
+		return nil, errQueueFull
+	}
+	defer s.queue.release()
+	ctx, cancel := context.WithTimeout(reqCtx, s.cfg.RequestTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.stopCtx, cancel)
+	defer stop()
+	if s.computeGate != nil {
+		select {
+		case <-s.computeGate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	sched := atpg.NewScheduler(s.cfg.Workers)
+	sched.CollectStats = true
+	v, err := j.compute(ctx, sched)
+	for _, ws := range sched.Stats() {
+		s.metrics.SchedItems.Add(ws.Items)
+		s.metrics.SchedPairs.Add(ws.Pairs)
+	}
+	if err == nil && ctx.Err() != nil {
+		// The scheduler checks cancellation at chunk boundaries, so a
+		// small workload can finish after its client died. Hold the
+		// contract unconditionally: a cancelled request's run is
+		// discarded, never cached, never served.
+		err = ctx.Err()
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && reqCtx.Err() == nil && s.stopCtx.Err() == nil {
+			return nil, &apiError{status: 503, code: CodeDeadline, msg: fmt.Sprintf("request exceeded the %s compute deadline", s.cfg.RequestTimeout)}
+		}
+		if s.stopCtx.Err() != nil {
+			return nil, errShuttingDown
+		}
+		return nil, err
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, '\n')
+	s.cache.put(j.digest, body)
+	return body, nil
+}
+
+// writeBody writes a 200 JSON response. The Obdserve-Source header names
+// how the body was produced (computed, cache, coalesced) — operational
+// only; the body bytes are identical whatever the source.
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, source string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Obdserve-Source", source)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck // client writes are best-effort
+}
+
+// writeError writes a typed error body.
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	if e.status >= 500 {
+		s.metrics.ServerErrors.Add(1)
+	} else {
+		s.metrics.ClientErrors.Add(1)
+	}
+	if e.status == http.StatusTooManyRequests {
+		s.metrics.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	body, err := json.Marshal(ErrorBody{Error: WireError{Code: e.code, Message: e.msg}})
+	if err != nil {
+		return
+	}
+	w.Write(append(body, '\n')) //nolint:errcheck // client writes are best-effort
+}
+
+// decodeJSON strictly decodes a request body into dst.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *apiError {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &apiError{status: http.StatusRequestEntityTooLarge, code: CodePayloadTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return badRequest(CodeBadJSON, "%v", err)
+	}
+	if dec.More() {
+		return badRequest(CodeBadJSON, "trailing data after JSON body")
+	}
+	return nil
+}
+
+// requirePost enforces the /v1 method contract and counts the request.
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+	s.metrics.endpoint(endpoint)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethod,
+			msg: endpoint + " accepts POST only"})
+		return false
+	}
+	return true
+}
+
+// handleHealthz reports liveness (GET).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.stopCtx.Err() != nil {
+		status = "stopping"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q,\"workers\":%d}\n", status, atpg.NewScheduler(s.cfg.Workers).WorkerCount())
+}
+
+// handleMetrics renders the expvar counters plus live gauges (GET).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(renderMetrics(s.Snapshot())) //nolint:errcheck // client writes are best-effort
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent identical requests: while a digest's
+// computation is in flight, followers with the same digest wait for the
+// leader's result instead of recomputing. This is a small, context-aware
+// single-flight (the stdlib has none and the module is dependency-free).
+//
+// Cancellation semantics: the leader computes under its own request
+// context. If the leader's client disconnects, its flight fails with a
+// context error; a follower whose own context is still live then retries
+// as the new leader (see server.compute), so one impatient client cannot
+// starve the patient ones.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	waiters int // followers currently parked on done (guarded by group mu)
+	body    []byte
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// do runs fn once per digest among concurrent callers. It returns the
+// result body, whether this caller led the computation, and an error.
+// A waiting follower returns early with ctx's error when its own
+// context dies first.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, leader bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.body, false, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.body, f.err = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.body, true, f.err
+}
+
+// parked reports how many followers are waiting across all live flights.
+// Tests use it to make coalescing assertions deterministic instead of
+// timing-dependent.
+func (g *flightGroup) parked() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, f := range g.flights {
+		n += f.waiters
+	}
+	return n
+}

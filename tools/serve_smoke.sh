@@ -1,0 +1,54 @@
+#!/bin/sh
+# CI smoke test for cmd/obdserve: build it, start it on an ephemeral-ish
+# port, wait for /healthz, run one real grade request, check the answer,
+# and shut it down with SIGTERM (exercising the graceful drain path).
+set -eu
+
+ADDR="${OBDSERVE_ADDR:-127.0.0.1:18080}"
+GO="${GO:-go}"
+
+$GO build -o bin/obdserve ./cmd/obdserve
+
+./bin/obdserve -addr "$ADDR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait up to ~10s for the listener.
+ok=""
+i=0
+while [ $i -lt 100 ]; do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$ok" ]; then
+    echo "obdserve never became healthy on $ADDR" >&2
+    exit 1
+fi
+
+body='{"netlist":"circuit g\ninput a b\noutput y\nnand g1 y a b\n","model":"obd","tests":[{"v1":"01","v2":"11"},{"v1":"11","v2":"01"}]}'
+resp="$(curl -sf -X POST "http://$ADDR/v1/grade" -d "$body")"
+echo "grade: $resp"
+case "$resp" in
+*'"faults":4'*'"detected":3'*) ;;
+*)
+    echo "unexpected grade response" >&2
+    exit 1
+    ;;
+esac
+
+# A second identical request must be served from the cache.
+src="$(curl -sf -o /dev/null -D - -X POST "http://$ADDR/v1/grade" -d "$body" | tr -d '\r' | sed -n 's/^Obdserve-Source: //p')"
+echo "second request source: $src"
+[ "$src" = "cache" ] || { echo "expected a cache hit" >&2; exit 1; }
+
+curl -sf "http://$ADDR/metrics" >/dev/null
+
+# Graceful drain: SIGTERM must make the process exit cleanly on its own.
+kill -TERM "$PID"
+trap - EXIT
+wait "$PID"
+echo "obdserve smoke: OK"
