@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet obdcheck detlint lint serve serve-smoke test test-race short bench repro artifacts fuzz fuzz-smoke clean
+.PHONY: all build vet obdcheck detlint lint serve serve-smoke test test-race short bench bench-big repro artifacts fuzz fuzz-smoke clean
 
 all: build test test-race
 
@@ -54,6 +54,12 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Big-circuit grading perf trajectory: full-sweep vs levelized
+# event-driven grading on the committed c432-scale circuit at one worker,
+# recorded as BENCH_big.json (one snapshot per optimization PR).
+bench-big:
+	$(GO) run ./tools/benchbig -out BENCH_big.json
 
 # All 26 experiments with shape checks, paper-style text.
 repro:

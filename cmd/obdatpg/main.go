@@ -17,8 +17,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
-	"strings"
 
 	"gobd/internal/atpg"
 	"gobd/internal/bist"
@@ -29,8 +29,11 @@ import (
 
 func main() {
 	var (
-		netlist   = flag.String("netlist", "", "gate-level netlist file (.v = structural Verilog, otherwise the internal/logic format)")
+		netlist   = flag.String("netlist", "", "gate-level netlist file (.bench = ISCAS-85, .v = structural Verilog, otherwise the internal/logic format)")
 		fulladder = flag.Bool("fulladder", false, "use the built-in Fig. 8 full-adder sum circuit")
+		randGates = flag.Int("random-gates", 0, "generate a seeded random primitive-gate circuit with this many gates")
+		randIns   = flag.Int("random-inputs", 16, "primary input count for -random-gates")
+		randSeed  = flag.Int64("random-seed", 1, "generator seed for -random-gates")
 		model     = flag.String("model", "obd", "fault model: obd, transition, stuckat, ndetect, los, bist")
 		nDetect   = flag.Int("n", 3, "detection multiplicity for -model ndetect")
 		cycles    = flag.Int("cycles", 256, "stream length for -model bist")
@@ -58,23 +61,16 @@ func main() {
 	case *fulladder:
 		lc = cells.FullAdderSumLogic()
 	case *netlist != "":
-		f, err := os.Open(*netlist)
-		if err != nil {
-			die(err)
-		}
-		var c *logic.Circuit
-		if strings.HasSuffix(*netlist, ".v") {
-			c, err = logic.ParseVerilog(f)
-		} else {
-			c, err = logic.Parse(f)
-		}
-		f.Close()
+		c, err := logic.ParseFile(*netlist)
 		if err != nil {
 			die(err)
 		}
 		lc = c
+	case *randGates > 0:
+		rng := rand.New(rand.NewSource(*randSeed))
+		lc = logic.RandomCircuit(rng, logic.RandomOptions{Inputs: *randIns, Gates: *randGates, Primitive: true})
 	default:
-		die(fmt.Errorf("need -netlist FILE or -fulladder"))
+		die(fmt.Errorf("need -netlist FILE, -fulladder or -random-gates N"))
 	}
 	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates, depth %d\n",
 		lc.Name, len(lc.Inputs), len(lc.Outputs), len(lc.Gates), lc.Depth())

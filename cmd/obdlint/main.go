@@ -69,6 +69,8 @@ func main() {
 		var c *logic.Circuit
 		if strings.HasSuffix(*netlist, ".v") {
 			c, err = logic.ParseVerilog(f)
+		} else if strings.HasSuffix(*netlist, ".bench") {
+			c, err = logic.ParseBench(f)
 		} else {
 			// Lenient: structurally broken circuits are exactly what the
 			// lint passes are for; only line-level syntax errors die here.

@@ -1,0 +1,65 @@
+package gobd_test
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"gobd"
+)
+
+// c432Class deterministically regenerates the committed c432-scale
+// benchmark circuit: ISCAS-85 c432's shape (36 primary inputs, 160 gates)
+// drawn from the primitive-gate random generator at seed 432. The .bench
+// file in testdata is this circuit, so tools and examples can load a
+// stable big circuit from disk while the generator remains the source of
+// truth.
+func c432Class() *gobd.Circuit {
+	rng := rand.New(rand.NewSource(432))
+	c := gobd.RandomCircuit(rng, gobd.RandomOptions{Inputs: 36, Gates: 160, Primitive: true})
+	c.Name = "c432s: synthetic c432-scale benchmark (36 PI, 160 gates, seed 432)"
+	return c
+}
+
+// TestC432BenchInSync guards testdata/c432.bench against drift: the file
+// must be byte-identical to the regenerated circuit's .bench rendering
+// (refresh with `go test -run TestC432BenchInSync -update .`), and parsing
+// it back must reproduce the exact structure.
+func TestC432BenchInSync(t *testing.T) {
+	const path = "testdata/c432.bench"
+	c := c432Class()
+	want, err := gobd.FormatBench(c)
+	if err != nil {
+		t.Fatalf("formatting the generated circuit: %v", err)
+	}
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v (run `go test -run TestC432BenchInSync -update .` to create it)", path, err)
+	}
+	if string(got) != want {
+		t.Fatalf("%s has drifted from the seed-432 generator output; regenerate with `go test -run TestC432BenchInSync -update .`", path)
+	}
+	parsed, err := gobd.ParseCircuitFile(path)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	if len(parsed.Inputs) != 36 || len(parsed.Gates) != 160 {
+		t.Fatalf("parsed %d inputs / %d gates, want 36 / 160", len(parsed.Inputs), len(parsed.Gates))
+	}
+	pfp, err := parsed.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfp, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfp != cfp {
+		t.Fatal("parsed circuit is not structurally identical to the generator output")
+	}
+}

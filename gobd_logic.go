@@ -26,6 +26,8 @@ type (
 	// across gate reordering and net renaming, and the cache shard key of
 	// the serving layer (Circuit.Fingerprint computes it).
 	Fingerprint = logic.Fingerprint
+	// RandomOptions configures the seeded random-circuit generator.
+	RandomOptions = logic.RandomOptions
 )
 
 // Gate-level constructors and parsing.
@@ -40,6 +42,16 @@ var (
 	ParseVerilog = logic.ParseVerilogString
 	// FormatVerilog writes a structural Verilog module.
 	FormatVerilog = logic.FormatVerilog
+	// ParseBench reads an ISCAS-85 .bench netlist.
+	ParseBench = logic.ParseBenchString
+	// FormatBench writes an ISCAS-85 .bench netlist.
+	FormatBench = logic.FormatBench
+	// ParseCircuitFile reads a netlist file, dispatching on its extension
+	// (.bench, .v, or the textual format).
+	ParseCircuitFile = logic.ParseFile
+	// RandomCircuit generates a seeded random combinational circuit —
+	// the scale testbed for big-circuit grading.
+	RandomCircuit = logic.RandomCircuit
 	// ComputeTestability runs SCOAP controllability/observability analysis.
 	ComputeTestability = logic.ComputeTestability
 )

@@ -118,7 +118,7 @@ func DetectMaskOBD(c *logic.Circuit, f fault.OBD, v1, v2 PackedPatterns) uint64 
 }
 
 // detectMaskWithEvals is DetectMaskOBD with the good-machine frame
-// evaluations precomputed (shared across faults by PairGrader).
+// evaluations precomputed (shared across faults by SweepGrader).
 func detectMaskWithEvals(c *logic.Circuit, f fault.OBD, v2 PackedPatterns, g1v, g1k, g2v, g2k map[string]uint64) uint64 {
 	nets, ok := fault.GateNetworks(f.Gate.Type, len(f.Gate.Inputs))
 	if !ok {
@@ -163,12 +163,16 @@ func detectMaskWithEvals(c *logic.Circuit, f fault.OBD, v2 PackedPatterns, g1v, 
 	return detected & excited
 }
 
-// PairGrader precomputes the packed blocks and good-machine evaluations of
-// a test set, so many faults can be graded against it cheaply (the good
-// frames are evaluated once per block instead of once per fault). It is
-// immutable after construction and safe for concurrent use by the
-// Scheduler's workers.
-type PairGrader struct {
+// SweepGrader is the full-sweep reference grader: every fault evaluation
+// re-walks the whole circuit with the map-keyed bit-parallel evaluators.
+// It precomputes the packed blocks and good-machine evaluations of a test
+// set so the good frames are shared across faults, is immutable after
+// construction and safe for concurrent use. PairGrader (the levelized
+// event-driven engine in event.go) is property-tested bit-identical to it
+// and supersedes it on the hot paths; the sweep stays as the semantic
+// baseline, the perf-trajectory comparison point, and the fallback for
+// faults on gates outside the circuit.
+type SweepGrader struct {
 	c      *logic.Circuit
 	blocks []gradeBlock
 }
@@ -180,9 +184,9 @@ type gradeBlock struct {
 	n        int
 }
 
-// NewPairGrader packs vector pairs into 64-wide dual-rail blocks.
-func NewPairGrader(c *logic.Circuit, tests []TwoPattern) *PairGrader {
-	pg := &PairGrader{c: c}
+// NewSweepGrader packs vector pairs into 64-wide dual-rail blocks.
+func NewSweepGrader(c *logic.Circuit, tests []TwoPattern) *SweepGrader {
+	pg := &SweepGrader{c: c}
 	for start := 0; start < len(tests); start += 64 {
 		end := start + 64
 		if end > len(tests) {
@@ -204,12 +208,12 @@ func NewPairGrader(c *logic.Circuit, tests []TwoPattern) *PairGrader {
 }
 
 // Detects reports whether any pair in the set detects the fault.
-func (pg *PairGrader) Detects(f fault.OBD) bool {
+func (pg *SweepGrader) Detects(f fault.OBD) bool {
 	return pg.FirstDetecting(f) >= 0
 }
 
 // FirstDetecting returns the index of the first detecting pair, or -1.
-func (pg *PairGrader) FirstDetecting(f fault.OBD) int {
+func (pg *SweepGrader) FirstDetecting(f fault.OBD) int {
 	for bi, b := range pg.blocks {
 		mask := detectMaskWithEvals(pg.c, f, b.v2, b.g1v, b.g1k, b.g2v, b.g2k)
 		mask &= laneMask(b.n)
@@ -218,6 +222,16 @@ func (pg *PairGrader) FirstDetecting(f fault.OBD) int {
 		}
 	}
 	return -1
+}
+
+// CountDetecting returns how many pairs of the set detect the fault.
+func (pg *SweepGrader) CountDetecting(f fault.OBD) int {
+	n := 0
+	for _, b := range pg.blocks {
+		mask := detectMaskWithEvals(pg.c, f, b.v2, b.g1v, b.g1k, b.g2v, b.g2k)
+		n += bits.OnesCount64(mask & laneMask(b.n))
+	}
+	return n
 }
 
 // GradeOBDParallel fault-simulates a test set against an OBD fault list

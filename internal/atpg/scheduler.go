@@ -312,31 +312,14 @@ func mergeCoverage(det []bool, name func(i int) string) Coverage {
 }
 
 // GradeOBD fault-simulates a test set against an OBD fault list with the
-// 64-way bit-parallel engine sharded across the pool. The Coverage —
-// including the order of Undetected — is identical to the scalar GradeOBD
-// for any worker count.
+// levelized event-driven 64-way engine sharded across the pool. The
+// Coverage — including the order of Undetected — is identical to the
+// scalar GradeOBD for any worker count. On complete test sets,
+// collapsed-equivalent fault sites are graded once through a class
+// representative and the verdict fanned back out (an exact, not
+// approximate, sharing — see netcheck.CollapseOBDComplete).
 func (s *Scheduler) GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) (Coverage, error) {
-	if err := ensureValid(c); err != nil {
-		return Coverage{}, err
-	}
-	if len(faults) == 0 {
-		return Coverage{Total: 0}, nil
-	}
-	pg := NewPairGrader(c, tests)
-	det := make([]bool, len(faults))
-	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
-		for i := lo; i < hi; i++ {
-			idx := pg.FirstDetecting(faults[i])
-			det[i] = idx >= 0
-			ws.Items++
-			if idx >= 0 {
-				ws.Pairs += int64(idx + 1)
-			} else {
-				ws.Pairs += int64(len(tests))
-			}
-		}
-	})
-	return mergeCoverage(det, func(i int) string { return faults[i].String() }), nil
+	return s.gradeOBD(context.Background(), c, faults, tests, true)
 }
 
 // GradeOBDCtx is GradeOBD with cooperative cancellation: when ctx is
@@ -344,6 +327,17 @@ func (s *Scheduler) GradeOBD(c *logic.Circuit, faults []fault.OBD, tests []TwoPa
 // Coverage is zero — a partial grade would silently understate coverage,
 // so none is reported. A completed grade is bit-identical to GradeOBD.
 func (s *Scheduler) GradeOBDCtx(ctx context.Context, c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) (Coverage, error) {
+	return s.gradeOBD(ctx, c, faults, tests, true)
+}
+
+// gradeOBD is the shared GradeOBD implementation. collapse gates the
+// fault-collapsing fast path (the equivalence tests exercise both arms);
+// it only ever engages on complete test sets, where class equivalence is
+// exact per pair. Work sharding is per class, and every class writes only
+// its own members' verdict slots, so the determinism contract holds for
+// any worker count. Items counts every fault settled; Pairs counts the
+// pair simulations actually run (collapsing makes the two diverge).
+func (s *Scheduler) gradeOBD(ctx context.Context, c *logic.Circuit, faults []fault.OBD, tests []TwoPattern, collapse bool) (Coverage, error) {
 	if err := ensureValid(c); err != nil {
 		return Coverage{}, err
 	}
@@ -351,13 +345,26 @@ func (s *Scheduler) GradeOBDCtx(ctx context.Context, c *logic.Circuit, faults []
 		return Coverage{Total: 0}, nil
 	}
 	pg := NewPairGrader(c, tests)
+	classes := [][]int(nil)
+	if collapse && pg.Complete() && len(faults) > 1 {
+		classes = netcheck.CollapseOBDComplete(c, faults)
+	} else {
+		classes = make([][]int, len(faults))
+		for i := range faults {
+			classes[i] = []int{i}
+		}
+	}
 	det := make([]bool, len(faults))
-	err := s.runCtx(ctx, len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
-		for i := lo; i < hi; i++ {
-			idx := pg.FirstDetecting(faults[i])
-			det[i] = idx >= 0
-			ws.Items++
-			if idx >= 0 {
+	err := s.runCtx(ctx, len(classes), gradeGrain(len(classes), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+		for ci := lo; ci < hi; ci++ {
+			cl := classes[ci]
+			idx := pg.FirstDetecting(faults[cl[0]])
+			hit := idx >= 0
+			for _, fi := range cl {
+				det[fi] = hit
+			}
+			ws.Items += int64(len(cl))
+			if hit {
 				ws.Pairs += int64(idx + 1)
 			} else {
 				ws.Pairs += int64(len(tests))
@@ -512,7 +519,9 @@ func (s *Scheduler) GradeOBDMulti(c *logic.Circuit, ensembles [][]fault.OBD, tes
 }
 
 // DetectionCounts returns, per fault, how many pairs of the test set
-// detect it, sharding the fault list across the pool.
+// detect it, sharding the fault list across the pool. Counts come from
+// the event-driven engine's per-lane masks (popcounts), which the
+// property tests pin to the scalar DetectsOBD verdicts.
 func (s *Scheduler) DetectionCounts(c *logic.Circuit, faults []fault.OBD, tests []TwoPattern) ([]int, error) {
 	out := make([]int, len(faults))
 	if err := ensureValid(c); err != nil {
@@ -521,13 +530,10 @@ func (s *Scheduler) DetectionCounts(c *logic.Circuit, faults []fault.OBD, tests 
 	if len(faults) == 0 {
 		return out, nil
 	}
+	pg := NewPairGrader(c, tests)
 	s.run(len(faults), gradeGrain(len(faults), s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
 		for i := lo; i < hi; i++ {
-			for _, tp := range tests {
-				if DetectsOBD(c, faults[i], tp) {
-					out[i]++
-				}
-			}
+			out[i] = pg.CountDetecting(faults[i])
 			ws.Items++
 			ws.Pairs += int64(len(tests))
 		}
@@ -636,13 +642,17 @@ func genBatch(workers int) int {
 }
 
 // dropOBD marks every fault at or after index from that the new test
-// detects, sharding the drop simulation across the pool.
+// detects, sharding the drop simulation across the pool. The single pair
+// is packed once and each fault graded with the event-driven engine, so
+// a drop pass costs two good-machine evaluations plus one cone
+// propagation per fault instead of per-fault full sweeps.
 func (s *Scheduler) dropOBD(c *logic.Circuit, faults []fault.OBD, covered []bool, from int, tp TwoPattern) {
+	pg := NewPairGrader(c, []TwoPattern{tp})
 	m := len(faults) - from
 	s.run(m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
 		for k := lo; k < hi; k++ {
 			j := from + k
-			if !covered[j] && DetectsOBD(c, faults[j], tp) {
+			if !covered[j] && pg.Detects(faults[j]) {
 				covered[j] = true
 			}
 			ws.Pairs++

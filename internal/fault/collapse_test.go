@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"gobd/internal/logic"
+)
+
+// TestEdgeComplete pins the structural characterization: a fault is
+// edge-complete exactly when its transistor sits on every conducting path
+// of its pull network — series stacks and inverter devices, never members
+// of a parallel group.
+func TestEdgeComplete(t *testing.T) {
+	mk := func(typ logic.GateType, n int) *logic.Gate {
+		ins := []string{"a", "b", "c"}[:n]
+		return &logic.Gate{Name: "g", Type: typ, Inputs: ins, Output: "y"}
+	}
+	cases := []struct {
+		typ   logic.GateType
+		n     int
+		input int
+		side  Side
+		want  bool
+	}{
+		{logic.Inv, 1, 0, PullUp, true},
+		{logic.Inv, 1, 0, PullDown, true},
+		{logic.Nand, 2, 0, PullDown, true}, // series NMOS stack
+		{logic.Nand, 2, 1, PullDown, true},
+		{logic.Nand, 2, 0, PullUp, false}, // parallel PMOS
+		{logic.Nand, 3, 2, PullDown, true},
+		{logic.Nor, 2, 0, PullUp, true},    // series PMOS stack
+		{logic.Nor, 2, 1, PullDown, false}, // parallel NMOS
+		{logic.Aoi21, 3, 2, PullUp, true},  // c in series with the (a|b) pair
+		{logic.Aoi21, 3, 0, PullUp, false}, // a inside the parallel pair
+		{logic.Aoi21, 3, 1, PullUp, false},
+		{logic.Aoi21, 3, 0, PullDown, false}, // every PD path has a parallel sibling
+		{logic.Aoi21, 3, 2, PullDown, false},
+		{logic.Oai21, 3, 2, PullDown, true},
+		{logic.Oai21, 3, 2, PullUp, false},
+	}
+	for _, tc := range cases {
+		f := OBD{Gate: mk(tc.typ, tc.n), Input: tc.input, Side: tc.side}
+		if got := f.EdgeComplete(); got != tc.want {
+			t.Errorf("%v %d-input %v@%d: EdgeComplete = %v, want %v",
+				tc.typ, tc.n, tc.side, tc.input, got, tc.want)
+		}
+	}
+	// Gates without transistor networks are never edge-complete.
+	xor := OBD{Gate: mk(logic.Xor, 2), Input: 0, Side: PullDown}
+	if xor.EdgeComplete() {
+		t.Error("XOR fault reported edge-complete despite having no network")
+	}
+}
+
+// TestCollapseIndicesKeyedByGateIdentity: two distinct gates with the SAME
+// name must never merge — equivalence classes are per gate instance.
+func TestCollapseIndicesKeyedByGateIdentity(t *testing.T) {
+	g1 := &logic.Gate{Name: "g", Type: logic.Nand, Inputs: []string{"a", "b"}, Output: "y"}
+	g2 := &logic.Gate{Name: "g", Type: logic.Nand, Inputs: []string{"a", "b"}, Output: "z"}
+	faults := []OBD{
+		{Gate: g1, Input: 0, Side: PullDown},
+		{Gate: g2, Input: 0, Side: PullDown},
+		{Gate: g1, Input: 1, Side: PullDown},
+		{Gate: g2, Input: 1, Side: PullDown},
+	}
+	want := [][]int{{0, 2}, {1, 3}}
+	if got := CollapseOBDIndices(faults); !reflect.DeepEqual(got, want) {
+		t.Fatalf("CollapseOBDIndices = %v, want %v", got, want)
+	}
+}
+
+// TestCollapseIndicesMatchCollapse: the index form is exactly CollapseOBD
+// over positions, classes in first-member order, members ascending.
+func TestCollapseIndicesMatchCollapse(t *testing.T) {
+	g := &logic.Gate{Name: "g", Type: logic.Nand, Inputs: []string{"a", "b", "c"}, Output: "y"}
+	faults := make([]OBD, 0, 6)
+	for i := 0; i < 3; i++ {
+		faults = append(faults, OBD{Gate: g, Input: i, Side: PullUp})
+		faults = append(faults, OBD{Gate: g, Input: i, Side: PullDown})
+	}
+	idxs := CollapseOBDIndices(faults)
+	cls := CollapseOBD(faults)
+	if len(idxs) != len(cls) {
+		t.Fatalf("index classes %d, fault classes %d", len(idxs), len(cls))
+	}
+	for ci, cl := range idxs {
+		for mi, fi := range cl {
+			if faults[fi] != cls[ci][mi] {
+				t.Fatalf("class %d member %d: index %d resolves to %v, CollapseOBD has %v",
+					ci, mi, fi, faults[fi], cls[ci][mi])
+			}
+			if mi > 0 && cl[mi-1] >= fi {
+				t.Fatalf("class %d not ascending: %v", ci, cl)
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package logic
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file reads and writes the ISCAS-85 ".bench" netlist format — the
+// interchange format the classical benchmark circuits (c432, c880,
+// c6288, ...) are distributed in, and the ingestion path that takes the
+// repo past the paper's ~25-gate worked examples:
+//
+//	# c17
+//	INPUT(1)
+//	INPUT(2)
+//	OUTPUT(22)
+//	22 = NAND(10, 16)
+//	10 = NAND(1, 3)
+//
+// Nets and gates share names: a gate is named by the net it drives.
+// Keywords are matched case-insensitively. Sequential elements (DFF) are
+// rejected — this package models combinational logic only.
+
+var benchTypes = map[string]GateType{
+	"AND": And, "NAND": Nand, "OR": Or, "NOR": Nor,
+	"NOT": Inv, "INV": Inv, "BUFF": Buf, "BUF": Buf,
+	"XOR": Xor, "XNOR": Xnor,
+}
+
+var benchNames = map[GateType]string{
+	Inv: "NOT", Buf: "BUFF", Nand: "NAND", Nor: "NOR",
+	And: "AND", Or: "OR", Xor: "XOR", Xnor: "XNOR",
+}
+
+// ParseBench reads an ISCAS-85 .bench netlist into a validated Circuit.
+// Single-input AND/OR collapse to BUFF and single-input NAND/NOR to NOT
+// (degenerate forms some netlist generators emit).
+func ParseBench(r io.Reader) (*Circuit, error) {
+	c := New("")
+	sc := netlistScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if eq := strings.IndexByte(line, '='); eq >= 0 {
+			name := strings.TrimSpace(line[:eq])
+			if name == "" {
+				return nil, fmt.Errorf("bench: line %d: gate without an output net", lineNo)
+			}
+			typ, args, err := benchCall(line[eq+1:])
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+			}
+			if err := benchAddGate(c, name, typ, args); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		typ, args, err := benchCall(line)
+		if err != nil {
+			return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+		}
+		switch strings.ToUpper(typ) {
+		case "INPUT":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("bench: line %d: INPUT wants one net", lineNo)
+			}
+			if err := c.AddInput(args[0]); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
+			}
+		case "OUTPUT":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("bench: line %d: OUTPUT wants one net", lineNo)
+			}
+			c.AddOutput(args[0])
+		default:
+			return nil, fmt.Errorf("bench: line %d: unexpected directive %q", lineNo, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// benchCall parses `TYPE(a, b, ...)`, returning the keyword and the
+// comma-separated argument names.
+func benchCall(s string) (string, []string, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	closeP := strings.LastIndexByte(s, ')')
+	if open < 0 || closeP < open {
+		return "", nil, fmt.Errorf("malformed call %q", trunc(s))
+	}
+	if tail := strings.TrimSpace(s[closeP+1:]); tail != "" {
+		return "", nil, fmt.Errorf("trailing text %q after call", trunc(tail))
+	}
+	typ := strings.TrimSpace(s[:open])
+	if typ == "" {
+		return "", nil, fmt.Errorf("malformed call %q", trunc(s))
+	}
+	args := splitNames(s[open+1 : closeP])
+	return typ, args, nil
+}
+
+// benchAddGate maps one `out = TYPE(args)` line onto AddGate.
+func benchAddGate(c *Circuit, name, typ string, args []string) error {
+	upper := strings.ToUpper(typ)
+	if upper == "DFF" {
+		return fmt.Errorf("sequential element DFF is not supported (combinational circuits only)")
+	}
+	t, ok := benchTypes[upper]
+	if !ok {
+		return fmt.Errorf("unknown gate type %q", typ)
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("gate %q has no inputs", name)
+	}
+	if len(args) == 1 {
+		switch t {
+		case And, Or, Buf:
+			t = Buf
+		case Nand, Nor, Inv:
+			t = Inv
+		default:
+			return fmt.Errorf("gate %q: %s wants two inputs", name, upper)
+		}
+	}
+	_, err := c.AddGate(name, t, name, args...)
+	return err
+}
+
+// ParseBenchString is ParseBench over a string.
+func ParseBenchString(s string) (*Circuit, error) { return ParseBench(strings.NewReader(s)) }
+
+// FormatBench renders the circuit in .bench format. Gate types without a
+// .bench primitive (AOI21/OAI21) are rejected, as are gates whose name
+// differs from their output net (the format has no way to say that).
+func FormatBench(c *Circuit) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if c.Name != "" {
+		fmt.Fprintf(&b, "# %s\n", c.Name)
+	}
+	for _, in := range c.Inputs {
+		fmt.Fprintf(&b, "INPUT(%s)\n", in)
+	}
+	for _, out := range c.Outputs {
+		fmt.Fprintf(&b, "OUTPUT(%s)\n", out)
+	}
+	for _, g := range c.Gates {
+		prim, ok := benchNames[g.Type]
+		if !ok {
+			return "", fmt.Errorf("bench: gate %q type %v has no .bench primitive", g.Name, g.Type)
+		}
+		if g.Name != g.Output {
+			return "", fmt.Errorf("bench: gate %q drives net %q; .bench requires gate name == output net", g.Name, g.Output)
+		}
+		fmt.Fprintf(&b, "%s = %s(%s)\n", g.Output, prim, strings.Join(g.Inputs, ", "))
+	}
+	return b.String(), nil
+}
+
+// ParseFile loads a netlist from disk, dispatching on the extension:
+// ".bench" → ParseBench, ".v" → ParseVerilog, anything else → the native
+// Parse text format.
+func ParseFile(path string) (*Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bench":
+		return ParseBench(f)
+	case ".v":
+		return ParseVerilog(f)
+	default:
+		return Parse(f)
+	}
+}

@@ -225,17 +225,20 @@ type Circuit struct {
 	driver    map[string]*Gate   // net -> driving gate
 	fanout    map[string][]*Gate // net -> consuming gates
 	isInput   map[string]bool
+	isOutput  map[string]bool
 	ordered   []*Gate // topological order, built by Validate
 	validated bool
+	index     *Index // levelized evaluation index, built lazily by Index
 }
 
 // New creates an empty circuit.
 func New(name string) *Circuit {
 	return &Circuit{
-		Name:    name,
-		driver:  make(map[string]*Gate),
-		fanout:  make(map[string][]*Gate),
-		isInput: make(map[string]bool),
+		Name:     name,
+		driver:   make(map[string]*Gate),
+		fanout:   make(map[string][]*Gate),
+		isInput:  make(map[string]bool),
+		isOutput: make(map[string]bool),
 	}
 }
 
@@ -249,15 +252,34 @@ func (c *Circuit) AddInput(name string) error {
 	}
 	c.isInput[name] = true
 	c.Inputs = append(c.Inputs, name)
-	c.validated = false
+	c.invalidate()
 	return nil
 }
 
 // AddOutput declares a primary output net (it must be driven by Validate
-// time).
+// time). Declaring the same net twice is a no-op: a duplicate entry in
+// Outputs would silently double the net in pattern/response rendering and
+// in serve JSON, so repeat declarations are collapsed here. (Circuits
+// assembled by writing Outputs directly can still carry duplicates; the
+// netcheck lint reports those.)
 func (c *Circuit) AddOutput(name string) {
+	if c.isOutput == nil {
+		c.isOutput = make(map[string]bool)
+	}
+	if c.isOutput[name] {
+		return
+	}
+	c.isOutput[name] = true
 	c.Outputs = append(c.Outputs, name)
+	c.invalidate()
+}
+
+// invalidate drops the validation verdict and every structure derived
+// from it (the topological order stays in place but is recomputed by the
+// next Validate; the evaluation index is rebuilt on demand).
+func (c *Circuit) invalidate() {
 	c.validated = false
+	c.index = nil
 }
 
 // AddGate adds a gate driving net output from the input nets.
@@ -277,7 +299,7 @@ func (c *Circuit) AddGate(name string, t GateType, output string, inputs ...stri
 	for _, in := range inputs {
 		c.fanout[in] = append(c.fanout[in], g)
 	}
-	c.validated = false
+	c.invalidate()
 	return g, nil
 }
 
@@ -305,6 +327,7 @@ func (c *Circuit) IsInput(net string) bool { return c.isInput[net] }
 // order and gate levels. It must be called before evaluation; evaluation
 // helpers call it implicitly.
 func (c *Circuit) Validate() error {
+	c.index = nil // rebuilt on demand; the order/levels below may change
 	// Every gate input must be a PI or driven.
 	for _, g := range c.Gates {
 		for _, in := range g.Inputs {

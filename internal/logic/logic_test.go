@@ -36,6 +36,35 @@ func buildXorNand(t *testing.T) *Circuit {
 	return c
 }
 
+// TestAddOutputDedup: declaring the same output twice must not duplicate
+// it — a doubled Outputs entry silently doubles the net in pattern and
+// response rendering and in serve JSON.
+func TestAddOutputDedup(t *testing.T) {
+	c := New("m")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "g1", Inv, "y", "a")
+	c.AddOutput("y")
+	c.AddOutput("y")
+	c.AddOutput("z2")
+	mustGate(t, c, "g2", Inv, "z2", "y")
+	c.AddOutput("z2")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Outputs) != 2 || c.Outputs[0] != "y" || c.Outputs[1] != "z2" {
+		t.Fatalf("Outputs = %v, want [y z2]", c.Outputs)
+	}
+	// A circuit assembled without New must not panic on AddOutput.
+	var raw Circuit
+	raw.AddOutput("q")
+	raw.AddOutput("q")
+	if len(raw.Outputs) != 1 {
+		t.Fatalf("raw Outputs = %v", raw.Outputs)
+	}
+}
+
 func TestXorFromNands(t *testing.T) {
 	c := buildXorNand(t)
 	tt := c.TruthTable("y")

@@ -28,6 +28,20 @@ func Parse(r io.Reader) (*Circuit, error) {
 	return c, nil
 }
 
+// maxNetlistLine bounds one line of netlist text. Generated big-circuit
+// netlists routinely put thousands of input or output names on a single
+// line, far past bufio's 64 KiB default token size, so every netlist
+// scanner in this package grows its buffer to this limit.
+const maxNetlistLine = 16 << 20
+
+// netlistScanner returns a line scanner sized for machine-generated
+// netlists (see maxNetlistLine).
+func netlistScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxNetlistLine)
+	return sc
+}
+
 // ParseLenient reads the Parse text format but skips the final Validate,
 // returning structurally broken circuits (undriven outputs, dangling
 // nets, cycles) for diagnosis. Line-level syntax errors still fail.
@@ -35,7 +49,7 @@ func Parse(r io.Reader) (*Circuit, error) {
 // their whole purpose is reporting on circuits Validate would refuse.
 func ParseLenient(r io.Reader) (*Circuit, error) {
 	c := New("")
-	sc := bufio.NewScanner(r)
+	sc := netlistScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++

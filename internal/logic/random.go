@@ -56,8 +56,11 @@ func RandomCircuit(rng *rand.Rand, opt RandomOptions) *Circuit {
 		}
 		nets = append(nets, out)
 	}
+	// Read the construction fanout map directly: Fanout would re-Validate
+	// after every AddOutput invalidation, turning this loop quadratic on
+	// the thousands-of-gates circuits the generator exists for.
 	for _, n := range nets {
-		if len(c.Fanout(n)) == 0 && !c.IsInput(n) {
+		if len(c.fanout[n]) == 0 && !c.isInput[n] {
 			c.AddOutput(n)
 		}
 	}

@@ -42,7 +42,9 @@ func ParseVerilog(r io.Reader) (*Circuit, error) {
 		if rest == "" {
 			break
 		}
-		if strings.HasPrefix(rest, "endmodule") {
+		// Keywords must match on token boundaries: "endmodulex" is an
+		// identifier, not endmodule followed by garbage.
+		if tok, _ := identToken(rest); tok == "endmodule" {
 			sawEnd = true
 			rest = rest[len("endmodule"):]
 			continue
@@ -53,31 +55,32 @@ func ParseVerilog(r io.Reader) (*Circuit, error) {
 		}
 		stmt := line(rest[:semi])
 		rest = rest[semi+1:]
-		switch {
-		case strings.HasPrefix(stmt, "module"):
+		kw, tail := identToken(stmt)
+		switch kw {
+		case "module":
 			if sawModule {
 				return nil, fmt.Errorf("verilog: multiple modules are not supported")
 			}
 			sawModule = true
-			header := strings.TrimSpace(stmt[len("module"):])
+			header := strings.TrimSpace(tail)
 			if i := strings.IndexByte(header, '('); i >= 0 {
 				header = header[:i]
 			}
 			c.Name = strings.TrimSpace(header)
-			if c.Name == "" {
-				return nil, fmt.Errorf("verilog: module without a name")
+			if c.Name == "" || strings.ContainsAny(c.Name, " \t\n") {
+				return nil, fmt.Errorf("verilog: bad module name %q", c.Name)
 			}
-		case strings.HasPrefix(stmt, "input"):
-			for _, n := range splitNames(stmt[len("input"):]) {
+		case "input":
+			for _, n := range splitNames(tail) {
 				if err := c.AddInput(n); err != nil {
 					return nil, fmt.Errorf("verilog: %w", err)
 				}
 			}
-		case strings.HasPrefix(stmt, "output"):
-			for _, n := range splitNames(stmt[len("output"):]) {
+		case "output":
+			for _, n := range splitNames(tail) {
 				c.AddOutput(n)
 			}
-		case strings.HasPrefix(stmt, "wire"):
+		case "wire":
 			// Declarations only; connectivity comes from the instances.
 		default:
 			f := strings.Fields(stmt)
@@ -203,6 +206,25 @@ func stripVerilogComments(src string) string {
 		i++
 	}
 	return b.String()
+}
+
+// identToken splits the leading identifier off s (Verilog simple
+// identifier characters: letters, digits, '_', '$'; no leading digit).
+// tok is empty when s does not start with an identifier. Keyword
+// dispatch goes through this so `inputs` or `endmodulex` is an ordinary
+// identifier rather than a keyword with trailing garbage.
+func identToken(s string) (tok, rest string) {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		isAlpha := c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if isAlpha || (i > 0 && c >= '0' && c <= '9') {
+			i++
+			continue
+		}
+		break
+	}
+	return s[:i], s[i:]
 }
 
 func trunc(s string) string {

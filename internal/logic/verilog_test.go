@@ -70,6 +70,35 @@ func TestVerilogErrors(t *testing.T) {
 	}
 }
 
+// TestVerilogKeywordBoundaries: keywords must match whole tokens.
+// `inputs a;` once parsed as an input declaration of a net "s a", and
+// `modulexyz`, `output_reg`, `wires` were all swallowed as keyword
+// statements; they are unsupported constructs and must be rejected.
+func TestVerilogKeywordBoundaries(t *testing.T) {
+	bad := map[string]string{
+		"inputs":     "module m (a, y); inputs a; output y; not g1 (y, a); endmodule",
+		"output_reg": "module m (a, y); input a; output_reg y; not g1 (y, a); endmodule",
+		"modulexyz":  "modulexyz (a, y); input a; output y; not g1 (y, a); endmodule",
+		"wires":      "module m (a, y); input a; output y; wires n1; not g1 (y, a); endmodule",
+		"endmodulex": "module m (a, y); input a; output y; not g1 (y, a); endmodulex",
+	}
+	for name, src := range bad {
+		if _, err := ParseVerilogString(src); err == nil {
+			t.Errorf("%s: accepted bad verilog %q", name, src)
+		}
+	}
+	// Keyword-prefixed identifiers in identifier positions stay legal.
+	good := `module m (input1, wire2); input input1; output wire2;
+	  not endmodule_g (wire2, input1); endmodule`
+	c, err := ParseVerilogString(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Name != "endmodule_g" {
+		t.Fatalf("gates: %v", c.Gates)
+	}
+}
+
 func TestFormatVerilogRoundTrip(t *testing.T) {
 	c, err := ParseVerilogString(verilogXor)
 	if err != nil {

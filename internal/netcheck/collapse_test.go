@@ -1,0 +1,159 @@
+package netcheck
+
+import (
+	"testing"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// chainCircuit builds NAND(a,b) → s → INV → t → INV → u with u a PO, the
+// canonical inverter chain, optionally perturbed by the mutators below.
+func chainCircuit(t *testing.T, mutate func(c *logic.Circuit)) *logic.Circuit {
+	t.Helper()
+	c := logic.New("chain")
+	for _, in := range []string{"a", "b"} {
+		if err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, g := range []struct {
+		name string
+		typ  logic.GateType
+		out  string
+		ins  []string
+	}{
+		{"g1", logic.Nand, "s", []string{"a", "b"}},
+		{"h", logic.Inv, "t", []string{"s"}},
+		{"k", logic.Inv, "u", []string{"t"}},
+	} {
+		if _, err := c.AddGate(g.name, g.typ, g.out, g.ins...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mutate != nil {
+		mutate(c)
+	}
+	c.AddOutput("u")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// classOf returns the class (as fault strings) containing the given fault.
+func classOf(t *testing.T, faults []fault.OBD, classes [][]int, name string) map[string]bool {
+	t.Helper()
+	for _, cl := range classes {
+		for _, fi := range cl {
+			if faults[fi].String() == name {
+				set := make(map[string]bool, len(cl))
+				for _, fj := range cl {
+					set[faults[fj].String()] = true
+				}
+				return set
+			}
+		}
+	}
+	t.Fatalf("fault %s not in any class", name)
+	return nil
+}
+
+func TestCollapseCompleteChainMerges(t *testing.T) {
+	c := chainCircuit(t, nil)
+	faults, _ := fault.OBDUniverse(c)
+	classes := CollapseOBDComplete(c, faults)
+	if len(classes) != 4 {
+		t.Fatalf("got %d classes, want 4", len(classes))
+	}
+	chain := classOf(t, faults, classes, "g1/NMOS@a")
+	for _, want := range []string{"g1/NMOS@b", "h/PMOS@s", "k/NMOS@t"} {
+		if !chain[want] {
+			t.Errorf("chain class misses %s: %v", want, chain)
+		}
+	}
+	if len(chain) != 4 {
+		t.Errorf("chain class has %d members, want 4: %v", len(chain), chain)
+	}
+	comp := classOf(t, faults, classes, "h/NMOS@s")
+	if len(comp) != 2 || !comp["k/PMOS@t"] {
+		t.Errorf("complementary chain class wrong: %v", comp)
+	}
+	// The parallel PMOS defects of the NAND are not edge-complete and must
+	// remain singletons.
+	for _, name := range []string{"g1/PMOS@a", "g1/PMOS@b"} {
+		if cl := classOf(t, faults, classes, name); len(cl) != 1 {
+			t.Errorf("%s merged into %v; parallel devices must stay singletons", name, cl)
+		}
+	}
+}
+
+// TestCollapseCompleteGuards: each structural precondition of the chain
+// rule, removed, must block the merge.
+func TestCollapseCompleteGuards(t *testing.T) {
+	countClasses := func(c *logic.Circuit) ([]fault.OBD, [][]int) {
+		faults, _ := fault.OBDUniverse(c)
+		return faults, CollapseOBDComplete(c, faults)
+	}
+
+	t.Run("intermediate net is a PO", func(t *testing.T) {
+		c := chainCircuit(t, func(c *logic.Circuit) { c.AddOutput("s") })
+		faults, classes := countClasses(c)
+		// g1's NMOS pair still merges locally, but must not chain into h.
+		cl := classOf(t, faults, classes, "g1/NMOS@a")
+		if cl["h/PMOS@s"] {
+			t.Errorf("merged across a PO net: %v", cl)
+		}
+	})
+
+	t.Run("multi-fanout net", func(t *testing.T) {
+		c := chainCircuit(t, func(c *logic.Circuit) {
+			if _, err := c.AddGate("h2", logic.Inv, "t2", "s"); err != nil {
+				t.Fatal(err)
+			}
+		})
+		faults, classes := countClasses(c)
+		cl := classOf(t, faults, classes, "g1/NMOS@a")
+		if cl["h/PMOS@s"] || cl["h2/PMOS@s"] {
+			t.Errorf("merged across a multi-fanout net: %v", cl)
+		}
+	})
+
+	t.Run("fanout gate is not an inverter", func(t *testing.T) {
+		c := logic.New("nandload")
+		for _, in := range []string{"a", "b", "e"} {
+			if err := c.AddInput(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.AddGate("g1", logic.Nand, "s", "a", "b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AddGate("h", logic.Nand, "t", "s", "e"); err != nil {
+			t.Fatal(err)
+		}
+		c.AddOutput("t")
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		faults, classes := countClasses(c)
+		cl := classOf(t, faults, classes, "g1/NMOS@a")
+		if len(cl) != 2 || !cl["g1/NMOS@b"] {
+			t.Errorf("NAND-loaded net class wrong: %v", cl)
+		}
+	})
+
+	t.Run("synthetic gate sharing the net name", func(t *testing.T) {
+		c := chainCircuit(t, nil)
+		faults, _ := fault.OBDUniverse(c)
+		// A gate that drives "s" by name but is not wired into the circuit:
+		// the Driver identity check must keep its faults out of chains.
+		syn := &logic.Gate{Name: "syn", Type: logic.Inv, Inputs: []string{"a"}, Output: "s"}
+		faults = append(faults, fault.OBD{Gate: syn, Input: 0, Side: fault.PullDown})
+		classes := CollapseOBDComplete(c, faults)
+		cl := classOf(t, faults, classes, "syn/NMOS@a")
+		if len(cl) != 1 {
+			t.Errorf("synthetic gate fault merged via net-name collision: %v", cl)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Command benchbig records the big-circuit grading perf trajectory: it
+// loads the committed c432-scale .bench circuit, builds the full OBD
+// universe and a seeded complete two-pattern set, then times a full
+// test-set grade through the full-sweep reference grader and through the
+// levelized event-driven engine (with and without fault collapsing) at
+// one worker, so the numbers measure work and allocation reduction, not
+// parallelism. The result is written as JSON (BENCH_big.json at the repo
+// root via `make bench-big`), one snapshot per optimization PR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"gobd/internal/atpg"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+type result struct {
+	NsPerGrade    int64   `json:"ns_per_grade"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	PairSims      int64   `json:"pair_sims,omitempty"`
+	SpeedupVsSwep float64 `json:"speedup_vs_sweep,omitempty"`
+}
+
+type report struct {
+	Circuit    string `json:"circuit"`
+	Inputs     int    `json:"inputs"`
+	Gates      int    `json:"gates"`
+	Faults     int    `json:"faults"`
+	Pairs      int    `json:"pairs"`
+	Workers    int    `json:"workers"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+
+	Sweep          result `json:"sweep"`
+	Event          result `json:"event"`
+	EventCollapsed result `json:"event_collapsed"`
+}
+
+func main() {
+	netlist := flag.String("netlist", "testdata/c432.bench", "circuit to grade")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	pairs := flag.Int("pairs", 256, "number of complete two-pattern tests")
+	seed := flag.Int64("seed", 1, "test-set RNG seed")
+	flag.Parse()
+
+	c, err := logic.ParseFile(*netlist)
+	if err != nil {
+		fatal(err)
+	}
+	faults, _ := fault.OBDUniverse(c)
+	tests := completeTests(rand.New(rand.NewSource(*seed)), c, *pairs)
+
+	rep := report{
+		Circuit:    *netlist,
+		Inputs:     len(c.Inputs),
+		Gates:      len(c.Gates),
+		Faults:     len(faults),
+		Pairs:      len(tests),
+		Workers:    1,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	// The sweep baseline is what grading did before the event engine: one
+	// shared set of good-machine block evaluations, then a whole-circuit
+	// faulty re-evaluation per fault per block.
+	rep.Sweep = measure(func() {
+		sg := atpg.NewSweepGrader(c, tests)
+		for _, f := range faults {
+			sg.FirstDetecting(f)
+		}
+	})
+	rep.Event = measure(func() {
+		pg := atpg.NewPairGrader(c, tests)
+		for _, f := range faults {
+			pg.FirstDetecting(f)
+		}
+	})
+	s := atpg.NewScheduler(1)
+	rep.EventCollapsed = measure(func() {
+		if _, err := s.GradeOBD(c, faults, tests); err != nil {
+			fatal(err)
+		}
+	})
+	// One instrumented grade for the pair-simulation count (collapsing
+	// makes it diverge from faults × pairs).
+	counter := atpg.NewScheduler(1)
+	counter.CollectStats = true
+	if _, err := counter.GradeOBD(c, faults, tests); err != nil {
+		fatal(err)
+	}
+	for _, ws := range counter.Stats() {
+		rep.EventCollapsed.PairSims += ws.Pairs
+	}
+	rep.Event.SpeedupVsSwep = ratio(rep.Sweep.NsPerGrade, rep.Event.NsPerGrade)
+	rep.EventCollapsed.SpeedupVsSwep = ratio(rep.Sweep.NsPerGrade, rep.EventCollapsed.NsPerGrade)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: sweep %d ns/grade, event %d ns/grade (%.1fx), collapsed %d ns/grade (%.1fx)\n",
+		*out, rep.Sweep.NsPerGrade, rep.Event.NsPerGrade, rep.Event.SpeedupVsSwep,
+		rep.EventCollapsed.NsPerGrade, rep.EventCollapsed.SpeedupVsSwep)
+}
+
+func measure(fn func()) result {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return result{
+		NsPerGrade:  r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func ratio(base, opt int64) float64 {
+	if opt == 0 {
+		return 0
+	}
+	return float64(base) / float64(opt)
+}
+
+func completeTests(rng *rand.Rand, c *logic.Circuit, n int) []atpg.TwoPattern {
+	mk := func() atpg.Pattern {
+		p := make(atpg.Pattern, len(c.Inputs))
+		for _, in := range c.Inputs {
+			p[in] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		return p
+	}
+	out := make([]atpg.TwoPattern, n)
+	for i := range out {
+		out[i] = atpg.TwoPattern{V1: mk(), V2: mk()}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchbig:", err)
+	os.Exit(1)
+}
