@@ -10,13 +10,14 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-# Standard vet plus the obdcheck multi-rule suite (determinism,
-# enum exhaustiveness, typed-error panic contract, scheduler closure
-# discipline, suppression hygiene) over the whole module — see
-# tools/analyzers/obdcheck. Exits non-zero on any unsuppressed finding.
+# Standard vet plus the obdcheck contract-enforcement suite (determinism,
+# enum exhaustiveness, cross-package panic contract, context threading,
+# hot-path allocations, error wrapping, facade delegation, suppression
+# hygiene) over the whole module — see tools/analyzers/obdcheck. Exits
+# non-zero on any unsuppressed finding or stale allow annotation.
 vet: obdcheck
 	$(GO) vet ./...
-	$(GO) vet -vettool=$(CURDIR)/bin/obdcheck ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/obdcheck -staleallows ./...
 
 obdcheck:
 	$(GO) build -o bin/obdcheck ./tools/analyzers/obdcheck
@@ -72,6 +73,7 @@ artifacts:
 # Short fuzzing sessions on the parsers, validators and BIST generator.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 30s ./internal/logic/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseBench$$' -fuzztime 30s ./internal/logic/
 	$(GO) test -run '^$$' -fuzz '^FuzzCircuitValidate$$' -fuzztime 30s ./internal/logic/
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePair$$' -fuzztime 30s ./internal/fault/
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 30s ./internal/netcheck/
@@ -81,6 +83,7 @@ fuzz:
 # catch a target that breaks on its own seed corpus or first mutations.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/logic/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseBench$$' -fuzztime 5s ./internal/logic/
 	$(GO) test -run '^$$' -fuzz '^FuzzCircuitValidate$$' -fuzztime 5s ./internal/logic/
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePair$$' -fuzztime 5s ./internal/fault/
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 5s ./internal/netcheck/

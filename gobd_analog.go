@@ -66,6 +66,7 @@ const (
 
 // Inject attaches the diode-resistor breakdown network to a transistor.
 func Inject(c *AnalogCircuit, name string, m *MOSFET, stage Stage) *Injection {
+	//obdcheck:allow paniccontract — passes the documented StageParams contract through: every Stage constant above is a defined Table 1 row
 	return obd.Inject(c, name, m, stage)
 }
 
@@ -83,6 +84,7 @@ const (
 
 // NewProgression builds the default exponential SBD→HBD trajectory for a
 // device polarity (27 h window, per Linder et al.).
+//obdcheck:allow paniccontract — passes the documented StageParams contract through: the default trajectory visits only defined stages
 func NewProgression(pol MOSPolarity) *Progression { return obd.NewProgression(pol) }
 
 // Cell library layer.

@@ -28,6 +28,9 @@ type (
 	Fingerprint = logic.Fingerprint
 	// RandomOptions configures the seeded random-circuit generator.
 	RandomOptions = logic.RandomOptions
+	// ParseError is ParseCircuitFile's typed failure: it names the file,
+	// the format its extension dispatched to, and the parser's error.
+	ParseError = logic.ParseError
 )
 
 // Gate-level constructors and parsing.
@@ -47,8 +50,12 @@ var (
 	// FormatBench writes an ISCAS-85 .bench netlist.
 	FormatBench = logic.FormatBench
 	// ParseCircuitFile reads a netlist file, dispatching on its extension
-	// (.bench, .v, or the textual format).
+	// (.bench, .v, or the textual format). Parse failures are *ParseError;
+	// a file yielding an empty circuit fails with ErrEmptyNetlist under it.
 	ParseCircuitFile = logic.ParseFile
+	// ErrEmptyNetlist is the sentinel under a ParseCircuitFile failure on
+	// a file that parses to a completely empty circuit.
+	ErrEmptyNetlist = logic.ErrEmptyNetlist
 	// RandomCircuit generates a seeded random combinational circuit —
 	// the scale testbed for big-circuit grading.
 	RandomCircuit = logic.RandomCircuit

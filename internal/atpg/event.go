@@ -45,6 +45,12 @@ type PairGrader struct {
 	blocks   []eventBlock
 	complete bool // every block complete: enables single-rail math and fault collapsing
 
+	// nets caches GateNetworks per gate position (valid where netsOK):
+	// building the series-parallel trees per graded fault would be the
+	// hot path's only allocation.
+	nets   []fault.Networks
+	netsOK []bool
+
 	scratch sync.Pool
 
 	legacyOnce sync.Once
@@ -97,6 +103,8 @@ func (sc *eventScratch) grow(n int) {
 }
 
 // begin opens a new fault simulation epoch.
+//
+//obdcheck:hotpath
 func (sc *eventScratch) begin() {
 	sc.epoch++
 	if sc.epoch == 0 { // stamp wrap: stale stamps could alias, reset them
@@ -118,6 +126,11 @@ func NewPairGrader(c *logic.Circuit, tests []TwoPattern) *PairGrader {
 	idx := c.Index()
 	pg := &PairGrader{c: c, idx: idx, tests: tests, complete: true}
 	pg.scratch.New = func() any { return newEventScratch(idx) }
+	pg.nets = make([]fault.Networks, len(idx.Gates))
+	pg.netsOK = make([]bool, len(idx.Gates))
+	for gi, g := range idx.Gates {
+		pg.nets[gi], pg.netsOK[gi] = fault.GateNetworks(g.Type, len(idx.GateIn[gi]))
+	}
 	for start := 0; start < len(tests); start += 64 {
 		end := start + 64
 		if end > len(tests) {
@@ -182,6 +195,8 @@ func packEventBlock(x *logic.Index, pairs []TwoPattern) eventBlock {
 
 // forwardEval2 completes a two-valued evaluation in place: val holds the
 // input words on entry and every net's word on return.
+//
+//obdcheck:hotpath
 func forwardEval2(x *logic.Index, val []uint64) {
 	var buf [8]uint64
 	for _, bucket := range x.Levels {
@@ -197,6 +212,8 @@ func forwardEval2(x *logic.Index, val []uint64) {
 }
 
 // forwardEval3 is forwardEval2 in dual-rail form.
+//
+//obdcheck:hotpath
 func forwardEval3(x *logic.Index, val, known []uint64) {
 	var vb, kb [8]uint64
 	for _, bucket := range x.Levels {
@@ -264,12 +281,16 @@ func (pg *PairGrader) legacyGrader() *SweepGrader {
 // laneMask-clipped bitmask of detecting pairs. The excitation rule is the
 // same bit-parallel condition the sweep applies; the faulty frame is then
 // propagated event-driven from the site through its fanout cone only.
+// The zero-allocation contract (DESIGN.md §11) is enforced statically by
+// the marker below and dynamically by TestDetectMaskEventZeroAlloc.
+//
+//obdcheck:hotpath
 func (pg *PairGrader) detectMaskEvent(b *eventBlock, f fault.OBD, gp int, sc *eventScratch) uint64 {
 	x := pg.idx
-	nets, ok := fault.GateNetworks(f.Gate.Type, len(x.GateIn[gp]))
-	if !ok {
+	if !pg.netsOK[gp] {
 		return 0
 	}
+	nets := pg.nets[gp]
 	site := int(x.GateOut[gp])
 	o1, o2 := b.g1v[site], b.g2v[site]
 	ins := x.GateIn[gp]

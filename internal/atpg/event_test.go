@@ -304,3 +304,42 @@ func TestPairGraderForeignGateFallback(t *testing.T) {
 		t.Fatalf("foreign-gate FirstDetecting %d, scalar %d", got, want)
 	}
 }
+
+// TestDetectMaskEventZeroAlloc is the dynamic half of the hot-path
+// contract: detectMaskEvent (marked //obdcheck:hotpath, statically
+// audited by the hotalloc rule) must allocate nothing per graded fault
+// once a worker's scratch is warm.
+func TestDetectMaskEventZeroAlloc(t *testing.T) {
+	c := logic.C17()
+	rng := rand.New(rand.NewSource(7))
+	tests := completeRandomTests(rng, c, 130) // three blocks, last partial-width
+	pg := NewPairGrader(c, tests)
+	faults, _ := fault.OBDUniverse(c)
+	if len(faults) == 0 {
+		t.Fatal("no faults in the universe")
+	}
+	sc := pg.scratch.Get().(*eventScratch)
+	defer pg.scratch.Put(sc)
+	// Warm pass: lets grow() size the gather buffers once.
+	for _, f := range faults {
+		if gp := pg.idx.GatePos(f.Gate); gp >= 0 {
+			for bi := range pg.blocks {
+				pg.detectMaskEvent(&pg.blocks[bi], f, gp, sc)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, f := range faults {
+			gp := pg.idx.GatePos(f.Gate)
+			if gp < 0 {
+				t.Fatalf("fault %v not on an indexed gate", f)
+			}
+			for bi := range pg.blocks {
+				pg.detectMaskEvent(&pg.blocks[bi], f, gp, sc)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("detectMaskEvent allocated %v times per full-universe grade, want 0", allocs)
+	}
+}

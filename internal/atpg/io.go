@@ -29,6 +29,24 @@ func WriteTests(w io.Writer, c *logic.Circuit, tests []TwoPattern) error {
 	return nil
 }
 
+// TestFileError is a typed parse or validation failure from ReadTests.
+// Line is 1-based in the input stream; Err, when non-nil, is the
+// underlying vector parse error (reachable through errors.Unwrap).
+type TestFileError struct {
+	Line int
+	Msg  string
+	Err  error
+}
+
+func (e *TestFileError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("atpg: line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("atpg: line %d: %s", e.Line, e.Msg)
+}
+
+func (e *TestFileError) Unwrap() error { return e.Err }
+
 // ReadTests parses the WriteTests format and validates it against the
 // circuit (the input list must match the circuit's, in order).
 func ReadTests(r io.Reader, c *logic.Circuit) ([]TwoPattern, error) {
@@ -52,32 +70,32 @@ func ReadTests(r io.Reader, c *logic.Circuit) ([]TwoPattern, error) {
 			// can be replayed on renamed circuits.
 		case "inputs":
 			if len(f)-1 != len(c.Inputs) {
-				return nil, fmt.Errorf("atpg: line %d: %d inputs, circuit has %d", line, len(f)-1, len(c.Inputs))
+				return nil, &TestFileError{Line: line, Msg: fmt.Sprintf("%d inputs, circuit has %d", len(f)-1, len(c.Inputs))}
 			}
 			for i, in := range f[1:] {
 				if in != c.Inputs[i] {
-					return nil, fmt.Errorf("atpg: line %d: input %d is %q, circuit has %q", line, i, in, c.Inputs[i])
+					return nil, &TestFileError{Line: line, Msg: fmt.Sprintf("input %d is %q, circuit has %q", i, in, c.Inputs[i])}
 				}
 			}
 			sawInputs = true
 		case "pair":
 			if !sawInputs {
-				return nil, fmt.Errorf("atpg: line %d: pair before inputs declaration", line)
+				return nil, &TestFileError{Line: line, Msg: "pair before inputs declaration"}
 			}
 			if len(f) != 3 {
-				return nil, fmt.Errorf("atpg: line %d: pair wants two vectors", line)
+				return nil, &TestFileError{Line: line, Msg: "pair wants two vectors"}
 			}
 			v1, err := parseBits(f[1], c)
 			if err != nil {
-				return nil, fmt.Errorf("atpg: line %d: %w", line, err)
+				return nil, &TestFileError{Line: line, Err: err}
 			}
 			v2, err := parseBits(f[2], c)
 			if err != nil {
-				return nil, fmt.Errorf("atpg: line %d: %w", line, err)
+				return nil, &TestFileError{Line: line, Err: err}
 			}
 			tests = append(tests, TwoPattern{V1: v1, V2: v2})
 		default:
-			return nil, fmt.Errorf("atpg: line %d: unknown directive %q", line, f[0])
+			return nil, &TestFileError{Line: line, Msg: fmt.Sprintf("unknown directive %q", f[0])}
 		}
 	}
 	if err := sc.Err(); err != nil {

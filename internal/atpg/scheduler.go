@@ -700,9 +700,13 @@ func (s *Scheduler) GenerateOBDTestsCtx(ctx context.Context, c *logic.Circuit, f
 		// them. The mask is computed across the pool; marking done[] up
 		// front keeps the commit loop's speculation contract untouched.
 		pruned := make([]bool, n)
-		s.ForEach(n, func(i int) {
+		rep := s.ForEachCtx(ctx, n, func(i int) error {
 			pruned[i] = netcheck.ProveOBD(c, faults[i]).Untestable
+			return nil
 		})
+		if rep.Err != nil {
+			return ts, rep.Err
+		}
 		for i := range pruned {
 			if pruned[i] {
 				done[i] = true
@@ -744,7 +748,7 @@ func (s *Scheduler) GenerateOBDTestsCtx(ctx context.Context, c *logic.Circuit, f
 		}
 		ts.Results = append(ts.Results, res)
 	}
-	cov, err := s.GradeOBD(c, faults, ts.Tests)
+	cov, err := s.GradeOBDCtx(ctx, c, faults, ts.Tests)
 	if err != nil {
 		return ts, err
 	}
@@ -810,7 +814,10 @@ func (s *Scheduler) GenerateTransitionTestsCtx(ctx context.Context, c *logic.Cir
 			ts.Tests = append(ts.Tests, *tp)
 			if opt.FaultDropping {
 				m := n - i
-				s.run(m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+				// A cancelled drop is caught by the ctx check at the top of
+				// the next iteration; the partially updated covered[] only
+				// concerns items that check never reaches.
+				_ = s.runCtx(ctx, m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
 					for k := lo; k < hi; k++ {
 						j := i + k
 						if !covered[j] && DetectsTransition(c, faults[j], *tp) {
@@ -823,7 +830,7 @@ func (s *Scheduler) GenerateTransitionTestsCtx(ctx context.Context, c *logic.Cir
 		}
 		ts.Results = append(ts.Results, res)
 	}
-	cov, err := s.GradeTransition(c, faults, ts.Tests)
+	cov, err := s.GradeTransitionCtx(ctx, c, faults, ts.Tests)
 	if err != nil {
 		return ts, err
 	}
@@ -888,7 +895,9 @@ func (s *Scheduler) GenerateStuckAtTestsCtx(ctx context.Context, c *logic.Circui
 			ts.Tests = append(ts.Tests, p)
 			if opt.FaultDropping {
 				m := n - i
-				s.run(m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+				// Same contract as the transition drop above: cancellation
+				// is re-checked before the next item commits.
+				_ = s.runCtx(ctx, m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
 					for k := lo; k < hi; k++ {
 						j := i + k
 						if !covered[j] && DetectsStuckAt(c, faults[j], p) {
@@ -901,7 +910,7 @@ func (s *Scheduler) GenerateStuckAtTestsCtx(ctx context.Context, c *logic.Circui
 		}
 		ts.Results = append(ts.Results, res)
 	}
-	cov, err := s.GradeStuckAt(c, faults, ts.Tests)
+	cov, err := s.GradeStuckAtCtx(ctx, c, faults, ts.Tests)
 	if err != nil {
 		return ts, err
 	}
@@ -954,7 +963,7 @@ func (s *Scheduler) GenerateLOSTestsCtx(ctx context.Context, c *logic.Circuit, f
 		out.Tests = append(out.Tests, tp)
 		s.dropOBD(c, faults, covered, i, tp)
 	}
-	cov, err := s.GradeOBD(c, faults, out.Tests)
+	cov, err := s.GradeOBDCtx(ctx, c, faults, out.Tests)
 	if err != nil {
 		return out, err
 	}

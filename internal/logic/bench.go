@@ -1,6 +1,7 @@
 package logic
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -175,21 +176,58 @@ func FormatBench(c *Circuit) (string, error) {
 	return b.String(), nil
 }
 
+// ErrEmptyNetlist is the sentinel under a ParseFile failure on a file
+// that parses to a circuit with no inputs, gates or outputs — almost
+// always the wrong file or the wrong format for its extension.
+var ErrEmptyNetlist = errors.New("logic: empty netlist")
+
+// ParseError is ParseFile's typed failure: it names the file and the
+// format its extension dispatched to, and wraps that parser's error so
+// errors.Is and errors.As see through the dispatch. I/O failures
+// (os.Open) are returned as-is, not wrapped: no format was chosen yet.
+type ParseError struct {
+	Path   string
+	Format string // "bench", "verilog" or "native"
+	Err    error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("logic: parse %s as %s: %v", e.Path, e.Format, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // ParseFile loads a netlist from disk, dispatching on the extension:
 // ".bench" → ParseBench, ".v" → ParseVerilog, anything else → the native
-// Parse text format.
+// Parse text format. Every parse failure comes back as a *ParseError,
+// and a file that yields a completely empty circuit fails with one
+// wrapping ErrEmptyNetlist.
 func ParseFile(path string) (*Circuit, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	var (
+		c      *Circuit
+		format string
+	)
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".bench":
-		return ParseBench(f)
+		format = "bench"
+		c, err = ParseBench(f)
 	case ".v":
-		return ParseVerilog(f)
+		format = "verilog"
+		c, err = ParseVerilog(f)
 	default:
-		return Parse(f)
+		format = "native"
+		c, err = Parse(f)
 	}
+	if err != nil {
+		return nil, &ParseError{Path: path, Format: format, Err: err}
+	}
+	if len(c.Inputs) == 0 && len(c.Gates) == 0 && len(c.Outputs) == 0 {
+		return nil, &ParseError{Path: path, Format: format, Err: ErrEmptyNetlist}
+	}
+	return c, nil
 }

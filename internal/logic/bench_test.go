@@ -1,6 +1,7 @@
 package logic
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -145,6 +146,61 @@ func TestParseFileDispatch(t *testing.T) {
 	}
 	if _, err := ParseFile(filepath.Join(dir, "missing.bench")); err == nil {
 		t.Fatal("missing file should error")
+	}
+}
+
+// TestParseFileTypedErrors pins the dispatch's failure contract: every
+// parse-stage failure is a *ParseError naming the dispatched format and
+// wrapping the parser's error, an empty netlist wraps ErrEmptyNetlist,
+// and an I/O failure (no format chosen yet) stays unwrapped.
+func TestParseFileTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+	nativeC17 := "circuit m\ninput a\noutput y\ninv g1 y a\n"
+	cases := []struct {
+		name    string
+		file    string
+		content string
+		format  string
+		wantIs  error // optional sentinel the chain must contain
+	}{
+		{"unknown extension with bench content", "c.xyz", benchC17, "native", nil},
+		{"bench extension with native content", "c.bench", nativeC17, "bench", nil},
+		{"verilog extension with bench content", "c.v", benchC17, "verilog", nil},
+		{"empty bench file", "empty.bench", "", "bench", ErrEmptyNetlist},
+		{"empty native file", "empty.net", "", "native", ErrEmptyNetlist},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.file)
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ParseFile(path)
+			if err == nil {
+				t.Fatal("want an error")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Format != tc.format {
+				t.Fatalf("dispatched format %q, want %q", pe.Format, tc.format)
+			}
+			if pe.Path != path {
+				t.Fatalf("path %q, want %q", pe.Path, path)
+			}
+			if pe.Err == nil {
+				t.Fatal("ParseError wraps no cause")
+			}
+			if tc.wantIs != nil && !errors.Is(err, tc.wantIs) {
+				t.Fatalf("error %v does not wrap %v", err, tc.wantIs)
+			}
+		})
+	}
+	// I/O failures predate format dispatch and must stay unwrapped.
+	var pe *ParseError
+	if _, err := ParseFile(filepath.Join(dir, "missing.bench")); errors.As(err, &pe) {
+		t.Fatalf("open failure %v should not be a *ParseError", err)
 	}
 }
 

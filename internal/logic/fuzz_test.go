@@ -136,3 +136,55 @@ func FuzzEval(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseBench hardens the ISCAS-85 ingestion path: arbitrary input
+// must either error or parse to a circuit that validates, exports back
+// to .bench (every parseable primitive is exportable and gate name ==
+// output net by construction), and re-parses with structure and function
+// intact.
+func FuzzParseBench(f *testing.F) {
+	seeds := []string{
+		benchC17,
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+		"# only a comment\n",
+		"INPUT(a)\nOUTPUT(y)\ny = AND(a)\n", // degenerate arity: AND/1 → BUFF
+		"INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n", // sequential: must be rejected
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a) x\n",
+		"garbage\n",
+		"y = (a, b)\n",
+		"OUTPUT(y)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBenchString(src)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parsed circuit does not validate: %v", err)
+		}
+		out, err := FormatBench(c)
+		if err != nil {
+			t.Fatalf("parsed circuit does not export: %v", err)
+		}
+		back, err := ParseBenchString(out)
+		if err != nil {
+			t.Fatalf("FormatBench output does not re-parse: %v", err)
+		}
+		if len(back.Gates) != len(c.Gates) || len(back.Inputs) != len(c.Inputs) || len(back.Outputs) != len(c.Outputs) {
+			t.Fatal("round trip changed structure")
+		}
+		if len(c.Inputs) <= 12 && len(c.Outputs) > 0 {
+			a := c.TruthTable(c.Outputs[0])
+			b := back.TruthTable(back.Outputs[0])
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round trip changed function at %d", i)
+				}
+			}
+		}
+	})
+}

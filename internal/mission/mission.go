@@ -198,8 +198,8 @@ func buildBench(cfg *Config) (*bench, error) {
 	// defect's delay contribution is taken as test-observable from the
 	// MBD2 stage onward, and the mission is lost at hard breakdown.
 	for _, side := range []fault.Side{fault.PullUp, fault.PullDown} {
-		prog := obd.NewProgression(polarity(side))
-		st := prog.StageTimes()
+		prog := obd.NewProgression(polarity(side)) //obdcheck:allow paniccontract — polarity() returns only the two defined MOS polarities, whose default progressions visit only defined stages
+		st := prog.StageTimes()                    //obdcheck:allow paniccontract — same contract: the default progression's stages are all Table 1 rows
 		b.obsStart[side] = st[obd.MBD2]
 		b.hbdAt[side] = st[obd.HBD]
 	}

@@ -323,6 +323,15 @@ func Constants(c *logic.Circuit) []Constant {
 	return out
 }
 
+// ProofError is a typed replay failure from VerifyProof: the proof does
+// not establish what it claims. Step indexes the first offending step.
+type ProofError struct {
+	Step int
+	Msg  string
+}
+
+func (e *ProofError) Error() string { return "netcheck: " + e.Msg }
+
 // VerifyProof independently replays an implication chain: every assume
 // must be fresh, every imply must be re-derivable from the values
 // established by the preceding steps alone, and a conflict step must
@@ -394,45 +403,45 @@ func VerifyProof(c *logic.Circuit, p Proof) error {
 		switch s.Rule {
 		case RuleAssume:
 			if v, ok := val[s.Net]; ok && v != s.Val {
-				return fmt.Errorf("netcheck: step %d assumes %s=%v over established %v without a conflict step", i, s.Net, s.Val, v)
+				return &ProofError{Step: i, Msg: fmt.Sprintf("step %d assumes %s=%v over established %v without a conflict step", i, s.Net, s.Val, v)}
 			}
 			val[s.Net] = s.Val
 		case RuleImply:
 			g, ok := gates[s.Gate]
 			if !ok {
-				return fmt.Errorf("netcheck: step %d implies via unknown gate %q", i, s.Gate)
+				return &ProofError{Step: i, Msg: fmt.Sprintf("step %d implies via unknown gate %q", i, s.Gate)}
 			}
 			perNet, any := feasibleAt(g)
 			if !any {
-				return fmt.Errorf("netcheck: step %d implies at gate %s which is already contradictory", i, s.Gate)
+				return &ProofError{Step: i, Msg: fmt.Sprintf("step %d implies at gate %s which is already contradictory", i, s.Gate)}
 			}
 			forced, touched := perNet[s.Net]
 			if !touched || !forced.IsKnown() || forced != s.Val {
-				return fmt.Errorf("netcheck: step %d claims %s=%v forced by gate %s, but it is not", i, s.Net, s.Val, s.Gate)
+				return &ProofError{Step: i, Msg: fmt.Sprintf("step %d claims %s=%v forced by gate %s, but it is not", i, s.Net, s.Val, s.Gate)}
 			}
 			val[s.Net] = s.Val
 		case RuleConflict:
 			if i != len(p)-1 {
-				return fmt.Errorf("netcheck: conflict step %d is not terminal", i)
+				return &ProofError{Step: i, Msg: fmt.Sprintf("conflict step %d is not terminal", i)}
 			}
 			if s.Gate == "" {
 				// Assumption clash: the conflicting value must already be set.
 				v, ok := val[s.Net]
 				if !ok || v == s.Val {
-					return fmt.Errorf("netcheck: step %d claims an assumption clash on %s that does not exist", i, s.Net)
+					return &ProofError{Step: i, Msg: fmt.Sprintf("step %d claims an assumption clash on %s that does not exist", i, s.Net)}
 				}
 				return nil
 			}
 			g, ok := gates[s.Gate]
 			if !ok {
-				return fmt.Errorf("netcheck: conflict step %d names unknown gate %q", i, s.Gate)
+				return &ProofError{Step: i, Msg: fmt.Sprintf("conflict step %d names unknown gate %q", i, s.Gate)}
 			}
 			if _, any := feasibleAt(g); any {
-				return fmt.Errorf("netcheck: conflict step %d at gate %s is not a real contradiction", i, s.Gate)
+				return &ProofError{Step: i, Msg: fmt.Sprintf("conflict step %d at gate %s is not a real contradiction", i, s.Gate)}
 			}
 			return nil
 		default:
-			return fmt.Errorf("netcheck: step %d has unknown rule %q", i, s.Rule)
+			return &ProofError{Step: i, Msg: fmt.Sprintf("step %d has unknown rule %q", i, s.Rule)}
 		}
 	}
 	return nil

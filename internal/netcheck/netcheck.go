@@ -24,11 +24,16 @@
 package netcheck
 
 import (
+	"errors"
 	"fmt"
 
 	"gobd/internal/fault"
 	"gobd/internal/logic"
 )
+
+// ErrUnknownSeverity is the sentinel under every Severity.UnmarshalText
+// failure (matchable with errors.Is across the /v1/lint wire format).
+var ErrUnknownSeverity = errors.New("netcheck: unknown severity")
 
 // Severity classifies a lint diagnostic.
 type Severity int
@@ -61,7 +66,7 @@ func (s *Severity) UnmarshalText(b []byte) error {
 	case "error":
 		*s = Error
 	default:
-		return fmt.Errorf("netcheck: unknown severity %q", b)
+		return fmt.Errorf("%w %q", ErrUnknownSeverity, b)
 	}
 	return nil
 }

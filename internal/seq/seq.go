@@ -35,6 +35,12 @@ type Circuit struct {
 	POs  []string // observable core outputs
 }
 
+// ChainError is a typed scan-chain construction failure from New: the
+// flip-flop list does not fit the combinational core.
+type ChainError struct{ Msg string }
+
+func (e *ChainError) Error() string { return "seq: " + e.Msg }
+
 // New validates and builds the sequential wrapper: every FF.Q must be a
 // core input, every FF.D a driven core net; the primary inputs are the
 // remaining core inputs and the primary outputs the declared core outputs.
@@ -45,14 +51,14 @@ func New(core *logic.Circuit, ffs []FF) (*Circuit, error) {
 	isQ := make(map[string]bool, len(ffs))
 	for _, ff := range ffs {
 		if !core.IsInput(ff.Q) {
-			return nil, fmt.Errorf("seq: FF output %q is not a core input", ff.Q)
+			return nil, &ChainError{Msg: fmt.Sprintf("FF output %q is not a core input", ff.Q)}
 		}
 		if isQ[ff.Q] {
-			return nil, fmt.Errorf("seq: core input %q fed by two flip-flops", ff.Q)
+			return nil, &ChainError{Msg: fmt.Sprintf("core input %q fed by two flip-flops", ff.Q)}
 		}
 		isQ[ff.Q] = true
 		if core.Driver(ff.D) == nil && !core.IsInput(ff.D) {
-			return nil, fmt.Errorf("seq: FF input net %q is undriven", ff.D)
+			return nil, &ChainError{Msg: fmt.Sprintf("FF input net %q is undriven", ff.D)}
 		}
 	}
 	s := &Circuit{Core: core, FFs: ffs}
@@ -68,11 +74,17 @@ func New(core *logic.Circuit, ffs []FF) (*Circuit, error) {
 // State is a present-state assignment in scan-chain order.
 type State []logic.Value
 
+// AssignError is a typed pattern-assembly failure from CoreAssign: the
+// state or primary-input assignment does not cover the core's inputs.
+type AssignError struct{ Msg string }
+
+func (e *AssignError) Error() string { return "seq: " + e.Msg }
+
 // CoreAssign merges a state and a primary-input assignment into a complete
 // core input pattern.
 func (s *Circuit) CoreAssign(st State, pi atpg.Pattern) (atpg.Pattern, error) {
 	if len(st) != len(s.FFs) {
-		return nil, fmt.Errorf("seq: state width %d, want %d", len(st), len(s.FFs))
+		return nil, &AssignError{Msg: fmt.Sprintf("state width %d, want %d", len(st), len(s.FFs))}
 	}
 	p := make(atpg.Pattern, len(s.Core.Inputs))
 	for i, ff := range s.FFs {
@@ -81,7 +93,7 @@ func (s *Circuit) CoreAssign(st State, pi atpg.Pattern) (atpg.Pattern, error) {
 	for _, in := range s.PIs {
 		v, ok := pi[in]
 		if !ok {
-			return nil, fmt.Errorf("seq: primary input %q unassigned", in)
+			return nil, &AssignError{Msg: fmt.Sprintf("primary input %q unassigned", in)}
 		}
 		p[in] = v
 	}
@@ -161,6 +173,24 @@ func enumPatterns(nets []string) ([]atpg.Pattern, error) {
 // maxPairSpaceBits bounds the enumerated pair spaces.
 const maxPairSpaceBits = 18
 
+// SpaceLimitError is a typed PairSpace failure: the mode's pair space
+// needs more bits than maxPairSpaceBits allows to enumerate.
+type SpaceLimitError struct {
+	Mode  Mode
+	Bits  int // bits the space would span
+	Limit int // the maxPairSpaceBits cap
+}
+
+func (e *SpaceLimitError) Error() string {
+	return fmt.Sprintf("seq: %s pair space needs %d bits (limit %d)", e.Mode, e.Bits, e.Limit)
+}
+
+// ModeError is a typed PairSpace failure naming a Mode outside the
+// declared enum.
+type ModeError struct{ Mode Mode }
+
+func (e *ModeError) Error() string { return fmt.Sprintf("seq: unknown mode %v", e.Mode) }
+
 // PairSpace enumerates every vector pair the application mode can deliver
 // to the combinational core. The total search space must stay within
 // maxPairSpaceBits bits.
@@ -172,7 +202,7 @@ func (s *Circuit) PairSpace(mode Mode) ([]atpg.TwoPattern, error) {
 		LaunchOnCapture: nFF + 2*nPI,
 	}[mode]
 	if bits > maxPairSpaceBits {
-		return nil, fmt.Errorf("seq: %s pair space needs %d bits (limit %d)", mode, bits, maxPairSpaceBits)
+		return nil, &SpaceLimitError{Mode: mode, Bits: bits, Limit: maxPairSpaceBits}
 	}
 	v1s, err := enumPatterns(s.Core.Inputs)
 	if err != nil {
@@ -245,7 +275,7 @@ func (s *Circuit) PairSpace(mode Mode) ([]atpg.TwoPattern, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("seq: unknown mode %v", mode)
+		return nil, &ModeError{Mode: mode}
 	}
 	return out, nil
 }
@@ -258,6 +288,7 @@ func (s *Circuit) GenerateTest(f fault.OBD, mode Mode) (*atpg.TwoPattern, atpg.S
 		return nil, atpg.Aborted
 	}
 	pg := atpg.NewPairGrader(s.Core, space)
+	//obdcheck:allow paniccontract — PairSpace bounds the space to maxPairSpaceBits, so PackPatterns' input-count precondition holds
 	if i := pg.FirstDetecting(f); i >= 0 {
 		return &space[i], atpg.Detected
 	}
@@ -276,6 +307,7 @@ func (s *Circuit) ModeCoverage(mode Mode) (atpg.Coverage, error) {
 	pg := atpg.NewPairGrader(s.Core, space)
 	cov := atpg.Coverage{Total: len(faults)}
 	for _, f := range faults {
+		//obdcheck:allow paniccontract — PairSpace bounds the space to maxPairSpaceBits, so PackPatterns' input-count precondition holds
 		if pg.Detects(f) {
 			cov.Detected++
 		} else {

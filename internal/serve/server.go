@@ -89,7 +89,7 @@ func New(cfg Config) *Server {
 		queue:   newAdmitQueue(cfg.MaxInFlight),
 		mux:     http.NewServeMux(),
 	}
-	s.stopCtx, s.stopStop = context.WithCancel(context.Background())
+	s.stopCtx, s.stopStop = context.WithCancel(context.Background()) //obdcheck:allow ctxflow — server-lifetime root context, cancelled by Close
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/grade", s.handleGrade)

@@ -29,6 +29,17 @@ func (e *LengthError) Error() string {
 	return fmt.Sprintf("waveform: %s: time/value length mismatch %d vs %d", e.Name, e.TimeLen, e.ValueLen)
 }
 
+// CrossingError reports a stimulus series with no 50% supply crossing in
+// the measured window, so no transition can be timed from it.
+type CrossingError struct {
+	Name  string  // series name
+	After float64 // start of the searched window
+}
+
+func (e *CrossingError) Error() string {
+	return fmt.Sprintf("waveform: stimulus %s has no 50%% crossing after %g", e.Name, e.After)
+}
+
 // TimeOrderError reports a time axis that fails to strictly increase:
 // T[Index] <= T[Index-1].
 type TimeOrderError struct {
@@ -202,7 +213,7 @@ func MeasureTransition(stimulus, output *Series, vdd float64, rising bool, tMin 
 	case okf:
 		t0 = tf
 	default:
-		return DelayMeasurement{}, fmt.Errorf("waveform: stimulus %s has no 50%% crossing after %g", stimulus.Name, tMin)
+		return DelayMeasurement{}, &CrossingError{Name: stimulus.Name, After: tMin}
 	}
 	return MeasureTransitionFrom(output, vdd, rising, t0)
 }

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The ctxflow rule: PR 3 threaded context.Context through the batch
+// entry points (ForEachCtx, RunFaultsCtx, Generate*Ctx, the serve
+// handlers); this rule keeps the threading honest. Four arms:
+//
+//  1. A function that receives a ctx must not mint a fresh
+//     context.Background()/context.TODO() — that silently detaches the
+//     work from the caller's cancellation.
+//  2. A function that receives a ctx must not call the non-Ctx variant
+//     of a callee whose FooCtx sibling exists — the sibling is exactly
+//     the cancellation-aware path the ctx should flow into.
+//  3. A declared ctx parameter must be used (or renamed _): an ignored
+//     ctx advertises cancellation the function does not deliver.
+//  4. Library code (non-main packages) must not mint
+//     context.Background()/TODO() at all, except inside the blessed
+//     wrapper idiom: a function Foo whose FooCtx sibling exists in the
+//     same package is the documented compatibility shim (Foo calls
+//     FooCtx(context.Background(), ...)). Package main creates root
+//     contexts legitimately.
+//
+// False-positive policy: the rule is syntactic about what "receives a
+// ctx" means (a parameter of type context.Context, under whatever local
+// import name), and sibling discovery falls back from type-resolved
+// package/method lookup to the same-package declaration set when type
+// information is missing. Deliberate detachment (server-lifetime
+// contexts, goroutines that must outlive the request) takes a reasoned
+// //obdcheck:allow ctxflow annotation.
+
+// checkCtxFlow runs the ctxflow arms over one file.
+func (p *pass) checkCtxFlow(f *ast.File) {
+	imports := importTable(f)
+	ctxName := ""
+	for name, path := range imports {
+		if path == "context" {
+			ctxName = name
+		}
+	}
+	if ctxName == "" {
+		return // no context import, nothing to misthread
+	}
+	declNames := p.declaredFuncNames()
+	isMain := f.Name.Name == "main"
+
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ctxParams := ctxParamNames(fd.Type, ctxName)
+		takesCtx := len(ctxParams) > 0 || hasCtxParam(fd.Type, ctxName)
+		hasCtxSibling := declNames[fd.Name.Name+"Ctx"]
+
+		// Arm 3: unused ctx parameter.
+		for _, name := range ctxParams {
+			if !identUsed(fd.Body, name) {
+				p.report(fd.Pos(), ruleCtxFlow,
+					"ctx parameter "+name+" is never used; thread it into the callees or rename it _")
+			}
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isCtxRoot(call, ctxName) {
+				switch {
+				case takesCtx:
+					// Arm 1: minting a root context while holding one.
+					p.report(call.Pos(), ruleCtxFlow,
+						"function receives a ctx but mints context."+rootName(call)+"(); thread the parameter instead")
+				case !isMain && !hasCtxSibling:
+					// Arm 4: root context in library code outside the
+					// Foo/FooCtx wrapper idiom.
+					p.report(call.Pos(), ruleCtxFlow,
+						"library code mints context."+rootName(call)+"(); accept a ctx (or add a "+fd.Name.Name+"Ctx variant and make this the compatibility wrapper)")
+				}
+				return true
+			}
+			// Arm 2: dropping the ctx on a callee with a Ctx sibling.
+			if takesCtx {
+				if callee, sibling := p.ctxSibling(call, declNames); sibling != "" {
+					p.report(call.Pos(), ruleCtxFlow,
+						"call to "+callee+" drops the ctx; call "+sibling+" with it")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rootName renders Background or TODO for the diagnostic.
+func rootName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Background"
+}
+
+// isCtxRoot reports whether the call is context.Background() or
+// context.TODO() under the file's local import name.
+func isCtxRoot(call *ast.CallExpr, ctxName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || base.Name != ctxName {
+		return false
+	}
+	return sel.Sel.Name == "Background" || sel.Sel.Name == "TODO"
+}
+
+// hasCtxParam reports whether the signature declares any context.Context
+// parameter (named or not).
+func hasCtxParam(ft *ast.FuncType, ctxName string) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(field.Type, ctxName) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxParamNames returns the declared (non-blank) names of the signature's
+// context.Context parameters.
+func ctxParamNames(ft *ast.FuncType, ctxName string) []string {
+	if ft.Params == nil {
+		return nil
+	}
+	var names []string
+	for _, field := range ft.Params.List {
+		if !isCtxType(field.Type, ctxName) {
+			continue
+		}
+		for _, id := range field.Names {
+			if id.Name != "_" {
+				names = append(names, id.Name)
+			}
+		}
+	}
+	return names
+}
+
+// isCtxType matches the context.Context selector under the local import
+// name.
+func isCtxType(expr ast.Expr, ctxName string) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	return ok && base.Name == ctxName && sel.Sel.Name == "Context"
+}
+
+// identUsed reports whether the identifier name occurs in the body.
+func identUsed(body *ast.BlockStmt, name string) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}
+
+// declaredFuncNames collects the names of every function and method
+// declared in the package — the sibling-discovery set for the syntactic
+// fallback (receiver types are deliberately ignored: Foo/FooCtx naming is
+// a package-wide convention here).
+func (p *pass) declaredFuncNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, f := range p.files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				names[fd.Name.Name] = true
+			}
+		}
+	}
+	return names
+}
+
+// ctxSibling reports the rendered callee and its Ctx-sibling name when
+// the call resolves to a function Foo with an existing FooCtx variant and
+// the call itself passes no context. Empty sibling means no finding.
+func (p *pass) ctxSibling(call *ast.CallExpr, declNames map[string]bool) (callee, sibling string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", ""
+	}
+	if strings.HasSuffix(id.Name, "Ctx") {
+		return "", ""
+	}
+	// Typed path: resolve the callee and look the sibling up in its own
+	// package scope or method set.
+	if p.info != nil {
+		if fn, ok := p.info.Uses[id].(*types.Func); ok && fn.Pkg() != nil {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || signatureTakesCtx(sig) {
+				return "", "" // the ctx is (or can be) passed already
+			}
+			want := fn.Name() + "Ctx"
+			if recv := sig.Recv(); recv != nil {
+				t := recv.Type()
+				if ptr, isPtr := t.(*types.Pointer); isPtr {
+					t = ptr.Elem()
+				}
+				if named, isNamed := t.(*types.Named); isNamed {
+					for i := 0; i < named.NumMethods(); i++ {
+						if named.Method(i).Name() == want {
+							return named.Obj().Name() + "." + fn.Name(), want
+						}
+					}
+				}
+				return "", ""
+			}
+			if obj := fn.Pkg().Scope().Lookup(want); obj != nil {
+				if _, isFunc := obj.(*types.Func); isFunc {
+					return fn.Name(), want
+				}
+			}
+			return "", ""
+		}
+	}
+	// Syntactic fallback: same-package declaration-set lookup only (an
+	// unresolved imported callee stays invisible — one-sided by design).
+	if declNames[id.Name] && declNames[id.Name+"Ctx"] {
+		return id.Name, id.Name + "Ctx"
+	}
+	return "", ""
+}
+
+// signatureTakesCtx reports whether any parameter is context.Context.
+func signatureTakesCtx(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if named, ok := params.At(i).Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}

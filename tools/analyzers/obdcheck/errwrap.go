@@ -1,0 +1,208 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The errwrap rule: the typed-error contract (PR 3/PR 4) promises
+// callers matchable errors — errors.Is/As must work across every
+// exported boundary. Inside the body of an exported function or method
+// of a non-exempt, non-main package this flags:
+//
+//   - errors.New(...) — an anonymous leaf error no caller can match;
+//     sentinel `var ErrFoo = errors.New(...)` at package level is the
+//     approved idiom and stays legal (the rule is lexical to exported
+//     bodies);
+//   - fmt.Errorf(...) whose format verb for an error operand is not %w —
+//     formatting an error with %v/%s discards the chain that errors.Is
+//     needs;
+//   - fmt.Errorf(...) with no error operand and no %w — a bare
+//     stringly-typed leaf at an exported boundary; define a typed error
+//     (the *ParseError pattern) or wrap a sentinel.
+//
+// Scope: the contract applies to typed-error packages — those that have
+// opted in by declaring an exported FooError type or an exported ErrFoo
+// sentinel anywhere in the package. Wholly stringly-typed packages are
+// grandfathered until their first typed error appears (at which point
+// every exported boundary is held to the standard), package main is out
+// of scope (a binary's errors go to stderr, not to matchers), and
+// -errwrap.exempt removes path segments the same way paniccontract's
+// exemption does.
+//
+// False-positive policy: one-sided and lexical. Helpers called by
+// exported functions are not chased (a bare error built in an unexported
+// helper is caught when the helper gets promoted, or by review), format
+// strings that are not literals are skipped, and error-operand detection
+// degrades from go/types to the err-ish identifier-name heuristic when
+// type information is missing. Deliberate leaf errors take a reasoned
+// //obdcheck:allow errwrap.
+
+// checkErrWrap runs the errwrap arms over one file.
+func (p *pass) checkErrWrap(f *ast.File) {
+	if f.Name.Name == "main" || pathHasSegment(p.pkgPath, p.cfg.errwrapExempt) {
+		return
+	}
+	if !p.typedErrorPackage() {
+		return
+	}
+	imports := importTable(f)
+	errorsName, fmtName := "", ""
+	for name, path := range imports {
+		switch path {
+		case "errors":
+			errorsName = name
+		case "fmt":
+			fmtName = name
+		}
+	}
+	if errorsName == "" && fmtName == "" {
+		return
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		boundary := exportedName(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case base.Name == errorsName && sel.Sel.Name == "New":
+				p.report(call.Pos(), ruleErrWrap,
+					"errors.New inside exported "+boundary+" builds an unmatchable leaf error; define a typed error or wrap a package sentinel with %w")
+			case base.Name == fmtName && sel.Sel.Name == "Errorf":
+				p.checkErrorf(call, boundary)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf audits one fmt.Errorf call inside an exported body.
+func (p *pass) checkErrorf(call *ast.CallExpr, boundary string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return // non-literal format: cannot judge, skip (one-sided)
+	}
+	wraps := strings.Contains(lit.Value, "%w")
+	hasErrOperand := false
+	for _, arg := range call.Args[1:] {
+		if p.errorOperand(arg) {
+			hasErrOperand = true
+			break
+		}
+	}
+	switch {
+	case hasErrOperand && !wraps:
+		p.report(call.Pos(), ruleErrWrap,
+			"fmt.Errorf in exported "+boundary+" formats an error operand without %w, discarding the chain errors.Is needs")
+	case !hasErrOperand && !wraps:
+		p.report(call.Pos(), ruleErrWrap,
+			"bare fmt.Errorf in exported "+boundary+" returns a stringly-typed error; define a typed error or wrap a package sentinel with %w")
+	}
+}
+
+// typedErrorPackage reports whether the package has adopted the
+// typed-error contract: it declares an exported type named ...Error or
+// an exported Err... sentinel var.
+func (p *pass) typedErrorPackage() bool {
+	for _, f := range p.files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && strings.HasSuffix(s.Name.Name, "Error") {
+						return true
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if name.IsExported() && strings.HasPrefix(name.Name, "Err") {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// errorOperand reports whether the argument is an error value: typed
+// when resolvable, otherwise by the err-ish identifier heuristic.
+func (p *pass) errorOperand(arg ast.Expr) bool {
+	if p.info != nil {
+		if tv, ok := p.info.Types[arg]; ok && tv.Type != nil {
+			if isErrorType(tv.Type) {
+				return true
+			}
+			// Resolved to a non-error: trust the types, except through
+			// interface{} (a formatted any could still hold an error —
+			// fall through to the name heuristic).
+			if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface {
+				return false
+			}
+		}
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		if sel, isSel := arg.(*ast.SelectorExpr); isSel {
+			id = sel.Sel
+		} else {
+			return false
+		}
+	}
+	lower := strings.ToLower(id.Name)
+	return lower == "err" || strings.HasSuffix(lower, "err") || strings.HasPrefix(lower, "err")
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i)
+			if m.Name() == "Error" {
+				sig, _ := m.Type().(*types.Signature)
+				if sig != nil && sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Concrete types: look for an Error() string method.
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if m.Name() == "Error" {
+			sig, _ := m.Type().(*types.Signature)
+			if sig != nil && sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// The facadesync rule: the public facade (the gobd_*.go files PR 5 split
+// out) is a delegation layer — every exported symbol is an alias, a var
+// binding, a const re-export or a thin wrapper over the internal
+// packages, and the api.golden export-lock test pins the symbol set.
+// What the export lock cannot see is the two ways the facade rots:
+//
+//   1. An exported facade symbol that stops delegating — a type declared
+//     in the facade instead of aliased, or a var/const/function whose
+//     definition never references an internal package. Logic living in
+//     the facade escapes the internal packages' tests and contracts.
+//   2. A "// Deprecated:" alias whose doc no longer names a live
+//     replacement: the deprecation text is prose, so renaming the
+//     replacement compiles fine while the migration hint goes stale.
+//
+// The rule audits every file whose basename matches gobd*.go: each
+// exported declaration must reference at least one import with an
+// "internal" path segment (delegation), and each Deprecated comment
+// must say "use <Name>" where <Name> is an exported symbol declared in
+// the same package.
+//
+// False-positive policy: syntactic on purpose — the facade package is
+// the module root, whose internal imports cannot resolve in standalone
+// runs. A facade symbol that is deliberately self-contained (doc-only
+// helpers, pure re-exports of stdlib) takes a reasoned
+// //obdcheck:allow facadesync.
+
+var deprecatedUseRE = regexp.MustCompile(`[Uu]se ([A-Z][A-Za-z0-9]*)`)
+
+// checkFacadeSync audits the facade files of the package.
+func (p *pass) checkFacadeSync() {
+	exported := p.exportedDeclNames()
+	for _, f := range p.files {
+		base := filepath.Base(p.fset.Position(f.Pos()).Filename)
+		if !strings.HasPrefix(base, "gobd") || !strings.HasSuffix(base, ".go") {
+			continue
+		}
+		imports := importTable(f)
+		internal := make(map[string]bool)
+		for name, path := range imports {
+			if pathHasSegment(path, []string{"internal"}) {
+				internal[name] = true
+			}
+		}
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				if !decl.Name.IsExported() || decl.Body == nil {
+					continue
+				}
+				if !referencesInternal(decl.Body, internal) {
+					p.report(decl.Pos(), ruleFacadeSync,
+						"exported facade func "+decl.Name.Name+" does not delegate to an internal package; move the logic into internal/ and wrap it here")
+				}
+				p.checkDeprecatedDoc(decl.Doc, decl.Pos(), decl.Name.Name, exported)
+			case *ast.GenDecl:
+				p.checkFacadeGenDecl(decl, internal, exported)
+			}
+		}
+	}
+}
+
+// checkFacadeGenDecl audits one type/var/const declaration group in a
+// facade file.
+func (p *pass) checkFacadeGenDecl(decl *ast.GenDecl, internal map[string]bool, exported map[string]bool) {
+	for _, spec := range decl.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil {
+				doc = decl.Doc
+			}
+			if !s.Assign.IsValid() {
+				p.report(s.Pos(), ruleFacadeSync,
+					"exported facade type "+s.Name.Name+" is declared here instead of aliased; define it in internal/ and alias it")
+			} else if !referencesInternal(s.Type, internal) {
+				p.report(s.Pos(), ruleFacadeSync,
+					"exported facade alias "+s.Name.Name+" does not resolve to an internal package symbol")
+			}
+			p.checkDeprecatedDoc(doc, s.Pos(), s.Name.Name, exported)
+		case *ast.ValueSpec:
+			doc := s.Doc
+			if doc == nil {
+				doc = decl.Doc
+			}
+			hasExported := false
+			for _, name := range s.Names {
+				if name.IsExported() {
+					hasExported = true
+				}
+			}
+			if !hasExported {
+				continue
+			}
+			delegates := false
+			for _, v := range s.Values {
+				if referencesInternal(v, internal) {
+					delegates = true
+				}
+			}
+			if s.Type != nil && referencesInternal(s.Type, internal) {
+				delegates = true
+			}
+			if !delegates {
+				p.report(s.Pos(), ruleFacadeSync,
+					"exported facade binding "+s.Names[0].Name+" does not delegate to an internal package symbol")
+			}
+			p.checkDeprecatedDoc(doc, s.Pos(), s.Names[0].Name, exported)
+		}
+	}
+}
+
+// checkDeprecatedDoc enforces arm 2: a Deprecated comment must name a
+// live exported replacement.
+func (p *pass) checkDeprecatedDoc(doc *ast.CommentGroup, pos token.Pos, name string, exported map[string]bool) {
+	if doc == nil {
+		return
+	}
+	text := doc.Text()
+	idx := strings.Index(text, "Deprecated:")
+	if idx < 0 {
+		return
+	}
+	m := deprecatedUseRE.FindStringSubmatch(text[idx:])
+	if m == nil {
+		p.report(pos, ruleFacadeSync,
+			"Deprecated facade symbol "+name+" does not say which replacement to use; write \"Deprecated: use <Name>\"")
+		return
+	}
+	if !exported[m[1]] {
+		p.report(pos, ruleFacadeSync,
+			"Deprecated facade symbol "+name+" points at "+m[1]+", which is not declared in this package; name a live replacement")
+	}
+}
+
+// referencesInternal reports whether the expression tree contains a
+// selector rooted at one of the internal import names.
+func referencesInternal(node ast.Node, internal map[string]bool) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if base, ok := sel.X.(*ast.Ident); ok && internal[base.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exportedDeclNames collects every exported top-level name declared in
+// the package — the liveness set for Deprecated replacements.
+func (p *pass) exportedDeclNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, f := range p.files {
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				if decl.Recv == nil && decl.Name.IsExported() {
+					names[decl.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							names[s.Name.Name] = true
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() {
+								names[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}

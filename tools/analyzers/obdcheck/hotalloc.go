@@ -1,0 +1,234 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The hotalloc rule: the event grader's contract (DESIGN.md §11) is
+// zero allocations per graded fault, enforced dynamically by
+// testing.AllocsPerRun. This rule enforces it statically: a function,
+// method or function literal marked //obdcheck:hotpath (in its doc
+// comment, or on the line immediately above a literal) may not contain
+//
+//   - make(...) or new(...) — including the pooled scratch's own grow
+//     path, which therefore must live in a separate unmarked function;
+//   - append into a slice freshly declared inside the marked body
+//     (`var x []T` then append(x, ...)) — growth of a zero-capacity
+//     slice always allocates. Appends into parameters, struct fields,
+//     reslices and indexed storage pass: that is exactly the pooled
+//     amortized-growth idiom the hot path uses;
+//   - map or slice composite literals, and &T{} literals (escape to the
+//     heap by construction);
+//   - function literals (closure environments allocate);
+//   - go statements (goroutine stacks allocate);
+//   - boxing calls: passing non-interface values into ...interface{}
+//     variadics (fmt and friends) converts to interface{} and escapes.
+//     With type information the check is precise; without it, calls
+//     into the fmt package are flagged.
+//
+// False-positive policy: the rule is per-marked-function and purely
+// local — it does not chase callees, so a marked function calling an
+// allocating helper is the AllocsPerRun test's job to catch, not this
+// rule's. Value struct literals (T{...}) pass: they stay on the stack
+// unless escape analysis says otherwise, and flagging them would ban
+// ordinary struct assembly. Anything deliberate (a slow path behind a
+// once-guard) takes a reasoned //obdcheck:allow hotalloc.
+
+const hotpathMarker = "obdcheck:hotpath"
+
+// checkHotAlloc finds the marked functions and literals and audits their
+// bodies.
+func (p *pass) checkHotAlloc() {
+	for _, f := range p.files {
+		markerLines := hotpathMarkerLines(p, f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The marker is a directive comment, which CommentGroup.Text
+			// strips — scan the raw comment list.
+			marked := false
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.Contains(c.Text, hotpathMarker) {
+						marked = true
+					}
+				}
+			}
+			if marked {
+				p.auditHotBody(fd.Name.Name, fd.Body)
+			}
+			// Marked literals inside this declaration.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				line := p.fset.Position(lit.Pos()).Line
+				if markerLines[line] || markerLines[line-1] {
+					p.auditHotBody("func literal", lit.Body)
+					return false // its body is audited; don't double-report nested literals
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hotpathMarkerLines maps the end line of every marker comment, for
+// attaching markers to function literals. (The marker string itself is
+// spelled via the constant here: naming it literally in this doc would
+// mark this very function.)
+func hotpathMarkerLines(p *pass, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, hotpathMarker) {
+				lines[p.fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// auditHotBody reports every allocation site in one marked body.
+func (p *pass) auditHotBody(name string, body *ast.BlockStmt) {
+	freshSlices := freshNilSlices(body)
+	msg := func(what string) string {
+		return "hotpath " + name + " " + what + "; hoist it out of the marked function or pool it"
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "make":
+					p.report(node.Pos(), ruleHotAlloc, msg("allocates with make"))
+					return true
+				case "new":
+					p.report(node.Pos(), ruleHotAlloc, msg("allocates with new"))
+					return true
+				case "append":
+					if len(node.Args) > 0 {
+						if dst, ok := node.Args[0].(*ast.Ident); ok && freshSlices[dst.Name] {
+							p.report(node.Pos(), ruleHotAlloc, msg("appends into the fresh nil slice "+dst.Name))
+						}
+					}
+					return true
+				}
+			}
+			if p.boxingCall(node) {
+				p.report(node.Pos(), ruleHotAlloc, msg("boxes its arguments into interface{}"))
+			}
+		case *ast.CompositeLit:
+			switch node.Type.(type) {
+			case *ast.MapType:
+				p.report(node.Pos(), ruleHotAlloc, msg("allocates a map literal"))
+			case *ast.ArrayType:
+				if node.Type.(*ast.ArrayType).Len == nil {
+					p.report(node.Pos(), ruleHotAlloc, msg("allocates a slice literal"))
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := node.X.(*ast.CompositeLit); ok {
+					p.report(node.Pos(), ruleHotAlloc, msg("heap-allocates a &composite literal"))
+				}
+			}
+		case *ast.FuncLit:
+			p.report(node.Pos(), ruleHotAlloc, msg("creates a closure"))
+			return false // the literal's own body is out of scope
+		case *ast.GoStmt:
+			p.report(node.Pos(), ruleHotAlloc, msg("spawns a goroutine"))
+		}
+		return true
+	})
+}
+
+// freshNilSlices collects names declared as `var x []T` (no initializer)
+// in the body: appends into those always grow from zero capacity.
+func freshNilSlices(body *ast.BlockStmt) map[string]bool {
+	fresh := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) > 0 {
+				continue
+			}
+			if at, ok := vs.Type.(*ast.ArrayType); !ok || at.Len != nil {
+				continue
+			}
+			for _, id := range vs.Names {
+				fresh[id.Name] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// boxingCall reports whether the call passes non-interface values into an
+// ...interface{} variadic. Typed when possible; otherwise any call into
+// the fmt package counts.
+func (p *pass) boxingCall(call *ast.CallExpr) bool {
+	var id *ast.Ident
+	var sel *ast.SelectorExpr
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		sel = fun
+		id = fun.Sel
+	default:
+		return false
+	}
+	if p.info != nil {
+		if fn, ok := p.info.Uses[id].(*types.Func); ok {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || !sig.Variadic() {
+				return false
+			}
+			last := sig.Params().At(sig.Params().Len() - 1)
+			slice, ok := last.Type().(*types.Slice)
+			if !ok {
+				return false
+			}
+			iface, ok := slice.Elem().Underlying().(*types.Interface)
+			if !ok || !iface.Empty() {
+				return false
+			}
+			// Only boxing if some variadic argument is not already an
+			// interface value.
+			fixed := sig.Params().Len() - 1
+			for i := fixed; i < len(call.Args); i++ {
+				tv, ok := p.info.Types[call.Args[i]]
+				if !ok {
+					return true // unresolved: assume the worst in a hot path
+				}
+				if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Syntactic fallback: fmt.* calls box.
+	if sel != nil {
+		if base, ok := sel.X.(*ast.Ident); ok && base.Name == "fmt" {
+			return true
+		}
+	}
+	return false
+}

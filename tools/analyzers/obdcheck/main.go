@@ -88,6 +88,10 @@ func parseFlags(args []string) (*config, []string, error) {
 	stale := fs.Bool("staleallows", false, "report //obdcheck:allow annotations that suppress nothing")
 	exempt := fs.String("paniccontract.exempt", strings.Join(cfg.panicExempt, ","),
 		"comma-separated package-path segments exempt from paniccontract")
+	errExempt := fs.String("errwrap.exempt", strings.Join(cfg.errwrapExempt, ","),
+		"comma-separated package-path segments exempt from errwrap")
+	factsModule := fs.String("xpkg.module", cfg.factsModule,
+		"import-path prefix whose packages exchange cross-package panic facts")
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
@@ -98,13 +102,21 @@ func parseFlags(args []string) (*config, []string, error) {
 	cfg.baselinePath = *baselinePath
 	cfg.writeBaseline = *writeBase
 	cfg.staleAllows = *stale
-	cfg.panicExempt = nil
-	for _, seg := range strings.Split(*exempt, ",") {
+	cfg.factsModule = *factsModule
+	cfg.panicExempt = splitSegments(*exempt)
+	cfg.errwrapExempt = splitSegments(*errExempt)
+	return cfg, fs.Args(), nil
+}
+
+// splitSegments parses a comma-separated exemption list.
+func splitSegments(s string) []string {
+	var out []string
+	for _, seg := range strings.Split(s, ",") {
 		if seg = strings.TrimSpace(seg); seg != "" {
-			cfg.panicExempt = append(cfg.panicExempt, seg)
+			out = append(out, seg)
 		}
 	}
-	return cfg, fs.Args(), nil
+	return out
 }
 
 // printFlagDefs answers cmd/go's -flags handshake: a JSON list of the
@@ -125,6 +137,8 @@ func printFlagDefs() {
 		flagDef{Name: "writebaseline", Bool: false, Usage: "write current findings as a baseline"},
 		flagDef{Name: "staleallows", Bool: true, Usage: "report suppressions that suppress nothing"},
 		flagDef{Name: "paniccontract.exempt", Bool: false, Usage: "package segments exempt from paniccontract"},
+		flagDef{Name: "errwrap.exempt", Bool: false, Usage: "package segments exempt from errwrap"},
+		flagDef{Name: "xpkg.module", Bool: false, Usage: "import-path prefix exchanging panic facts"},
 	)
 	data, _ := json.Marshal(defs)
 	fmt.Println(string(data))
@@ -175,16 +189,20 @@ func vetUnit(cfg *config, cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "obdcheck: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// cmd/go expects the facts file to exist even though obdcheck exports
-	// none; write it before anything can fail.
-	if unit.VetxOutput != "" {
-		if err := os.WriteFile(unit.VetxOutput, nil, 0666); err != nil {
-			fmt.Fprintf(os.Stderr, "obdcheck: %v\n", err)
-			return 1
+	// Only module packages exchange panic facts: the cross-package chains
+	// the contract cares about are module-internal, and parsing the whole
+	// stdlib during VetxOnly dependency passes would be pure waste.
+	wantFacts := cfg.factsModule != "" && (unit.ImportPath == cfg.factsModule ||
+		strings.HasPrefix(unit.ImportPath, cfg.factsModule+"/"))
+	if unit.VetxOnly && !wantFacts {
+		// cmd/go expects the facts file to exist regardless.
+		if unit.VetxOutput != "" {
+			if err := os.WriteFile(unit.VetxOutput, nil, 0666); err != nil {
+				fmt.Fprintf(os.Stderr, "obdcheck: %v\n", err)
+				return 1
+			}
 		}
-	}
-	if unit.VetxOnly {
-		return 0 // dependency pass: facts only, no diagnostics wanted
+		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -201,15 +219,62 @@ func vetUnit(cfg *config, cfgPath string) int {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
+		if unit.VetxOutput != "" {
+			if err := os.WriteFile(unit.VetxOutput, nil, 0666); err != nil {
+				fmt.Fprintf(os.Stderr, "obdcheck: %v\n", err)
+				return 1
+			}
+		}
 		return 0
 	}
 
 	info, pkg := typecheckUnit(fset, files, &unit)
+	p := newPass(cfg, fset, files, info, pkg, unit.ImportPath)
+	p.deps = readVetxFacts(&unit)
+	p.prepare()
+
+	// Publish this unit's facts for downstream units before reporting, so
+	// a diagnostic failure does not starve dependents of facts.
+	if unit.VetxOutput != "" {
+		data, err := json.Marshal(p.facts())
+		if err == nil {
+			err = os.WriteFile(unit.VetxOutput, data, 0666)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obdcheck: %v\n", err)
+			return 1
+		}
+	}
+	if unit.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
 	if info == nil && unit.SucceedOnTypecheckFailure {
 		return 0
 	}
-	findings := newPass(cfg, fset, files, info, pkg, unit.ImportPath).run()
+	findings := p.run()
 	return finish(cfg, findings)
+}
+
+// readVetxFacts loads the panic facts of the unit's imports from the
+// vetx files cmd/go hands over. Empty or missing files mean "no known
+// panics" — the rule stays one-sided.
+func readVetxFacts(unit *vetConfig) map[string]*pkgFacts {
+	if len(unit.PackageVetx) == 0 {
+		return nil
+	}
+	deps := make(map[string]*pkgFacts, len(unit.PackageVetx))
+	for path, file := range unit.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		var facts pkgFacts
+		if json.Unmarshal(data, &facts) != nil || len(facts.Panics) == 0 {
+			continue
+		}
+		deps[path] = &facts
+	}
+	return deps
 }
 
 // typecheckUnit resolves the unit against the export data cmd/go
@@ -286,7 +351,7 @@ func standalone(cfg *config, dirs []string) int {
 	}
 	sort.Strings(pkgDirs)
 
-	var all []finding
+	passes := make([]*pass, 0, len(pkgDirs))
 	for _, dir := range pkgDirs {
 		fset := token.NewFileSet()
 		var files []*ast.File
@@ -303,9 +368,39 @@ func standalone(cfg *config, dirs []string) int {
 			continue
 		}
 		info, pkg := typecheckLoose(fset, files, dir)
-		all = append(all, newPass(cfg, fset, files, info, pkg, dir).run()...)
+		p := newPass(cfg, fset, files, info, pkg, filepath.ToSlash(dir))
+		p.prepare()
+		passes = append(passes, p)
 	}
+	all := analyzePackages(passes)
 	return finish(cfg, all)
+}
+
+// analyzePackages runs the prepared passes with cross-package panic
+// facts: a fixpoint over the whole group (standalone mode has no
+// dependency order from cmd/go, and directory trees may even contain
+// import cycles as far as the syntactic resolver can tell), then the
+// rule runs. Fact lookups match import paths to analyzed directories by
+// path suffix — see (*pass).depFact.
+func analyzePackages(passes []*pass) []finding {
+	facts := make(map[string]*pkgFacts, len(passes))
+	for changed := true; changed; {
+		changed = false
+		for _, p := range passes {
+			p.deps = facts
+			next := p.facts()
+			if !next.equal(facts[p.pkgPath]) {
+				facts[p.pkgPath] = next
+				changed = true
+			}
+		}
+	}
+	var all []finding
+	for _, p := range passes {
+		p.deps = facts
+		all = append(all, p.run()...)
+	}
+	return all
 }
 
 // typecheckLoose typechecks a standalone package with the source

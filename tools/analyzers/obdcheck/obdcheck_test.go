@@ -17,9 +17,8 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden files")
 
-// runFixture analyzes one testdata/src package with the given config and
-// returns its findings.
-func runFixture(t *testing.T, cfg *config, dir string) []finding {
+// loadFixturePass parses and prepares one testdata/src package.
+func loadFixturePass(t *testing.T, cfg *config, dir string) *pass {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -45,7 +44,28 @@ func runFixture(t *testing.T, cfg *config, dir string) []finding {
 	if info == nil {
 		t.Fatalf("fixture %s failed to typecheck entirely", dir)
 	}
-	return newPass(cfg, fset, files, info, pkg, dir).run()
+	p := newPass(cfg, fset, files, info, pkg, filepath.ToSlash(dir))
+	p.prepare()
+	return p
+}
+
+// runFixtureDirs analyzes the fixture packages together — the same
+// cross-package facts fixpoint standalone mode runs — and returns the
+// combined findings.
+func runFixtureDirs(t *testing.T, cfg *config, dirs ...string) []finding {
+	t.Helper()
+	passes := make([]*pass, 0, len(dirs))
+	for _, dir := range dirs {
+		passes = append(passes, loadFixturePass(t, cfg, dir))
+	}
+	return analyzePackages(passes)
+}
+
+// runFixture analyzes one testdata/src package with the given config and
+// returns its findings.
+func runFixture(t *testing.T, cfg *config, dir string) []finding {
+	t.Helper()
+	return runFixtureDirs(t, cfg, dir)
 }
 
 // onlyRules returns a config with exactly the named rules enabled.
@@ -77,6 +97,8 @@ func render(fs []finding) string {
 func TestRuleGoldens(t *testing.T) {
 	cases := []struct {
 		rule  string
+		name  string   // fixture/golden name; defaults to the rule
+		dirs  []string // fixture dirs; defaults to testdata/src/<name>
 		extra []string // companion rules the fixture needs enabled
 	}{
 		{rule: ruleRangeMap},
@@ -84,18 +106,33 @@ func TestRuleGoldens(t *testing.T) {
 		{rule: ruleRand},
 		{rule: ruleEnumSwitch},
 		{rule: rulePanicContract},
+		{rule: rulePanicContract, name: "panicxpkg", dirs: []string{
+			filepath.Join("testdata", "src", "panicxpkg", "inner"),
+			filepath.Join("testdata", "src", "panicxpkg", "outer"),
+		}},
 		{rule: ruleSchedMisuse},
+		{rule: ruleCtxFlow},
+		{rule: ruleHotAlloc},
+		{rule: ruleErrWrap},
+		{rule: ruleFacadeSync},
 		{rule: ruleAllowCheck, extra: []string{ruleTimeNow}},
 	}
 	for _, c := range cases {
-		t.Run(c.rule, func(t *testing.T) {
-			dir := filepath.Join("testdata", "src", c.rule)
+		name := c.name
+		if name == "" {
+			name = c.rule
+		}
+		dirs := c.dirs
+		if len(dirs) == 0 {
+			dirs = []string{filepath.Join("testdata", "src", name)}
+		}
+		t.Run(name, func(t *testing.T) {
 			cfg := onlyRules(append([]string{c.rule}, c.extra...)...)
-			got := render(runFixture(t, cfg, dir))
+			got := render(runFixtureDirs(t, cfg, dirs...))
 			if got == "" {
-				t.Fatalf("fixture %s produced no findings; the rule is dead", dir)
+				t.Fatalf("fixture %s produced no findings; the rule is dead", dirs[0])
 			}
-			goldenPath := filepath.Join("testdata", "golden", c.rule+".golden")
+			goldenPath := filepath.Join("testdata", "golden", name+".golden")
 			if *update {
 				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
 					t.Fatal(err)
@@ -111,7 +148,7 @@ func TestRuleGoldens(t *testing.T) {
 
 			t.Run("disabled", func(t *testing.T) {
 				off := onlyRules(c.extra...)
-				for _, f := range runFixture(t, off, dir) {
+				for _, f := range runFixtureDirs(t, off, dirs...) {
 					if f.Rule == c.rule {
 						t.Errorf("disabled rule still reported: %s", f)
 					}

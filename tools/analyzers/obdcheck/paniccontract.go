@@ -3,134 +3,443 @@ package main
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
 // The paniccontract rule: in packages that adopted the typed-error
-// contract (CHANGES.md PR 3), a panic statement reachable from an
-// exported function is a contract violation — misuse and overflow
-// conditions must surface as matchable error values, not process-killing
-// panics. Reachability is a same-package static call graph seeded at the
-// exported functions and methods, so a panic in an unexported helper
-// called by exported API is caught (the internal/seq enumPatterns case),
-// while a panic in purely internal plumbing nobody exported is not.
+// contract (CHANGES.md PR 3), a panic reachable from an exported function
+// is a contract violation — misuse and overflow conditions must surface
+// as matchable error values, not process-killing panics. Reachability is
+// a static call graph seeded at the exported functions and methods, and
+// since PR 7 it crosses package boundaries: each package exports "panic
+// facts" (which of its exported functions can reach a panic, and through
+// which chain), and a call from package Q into a may-panic function of
+// package P counts as a panic site in Q. In vet mode the facts ride the
+// vettool's vetx files, which cmd/go hands each unit for its imports; in
+// standalone mode the driver runs a module-wide fixpoint.
 //
 // False-positive policy:
 //   - Packages named by -paniccontract.exempt (path-segment match;
 //     default spice,cells,logic — the analog layer until it migrates,
 //     and logic's documented structural-query panic contract) are
-//     skipped entirely.
+//     skipped for reporting AND contribute no facts: their panics are
+//     documented API contracts whose preconditions callers are trusted
+//     to honor, the same one-sidedness DESIGN.md §9 records.
 //   - A panic inside the default clause of an enum switch that covers
 //     every declared constant is a machine-verified unreachability
 //     assertion and exempt (see enumswitch).
 //   - Deliberate contracts (Must* constructors, documented preconditions)
 //     are annotated //obdcheck:allow paniccontract — <reason> at the
-//     panic site.
+//     panic site. The allow silences the local finding but the panic
+//     still propagates into the package's facts: a caller in another
+//     typed-error package that reaches it from exported API must either
+//     guard the precondition or carry its own reasoned allow at the call.
+//   - Cross-package findings are deduplicated per (calling function,
+//     callee): one finding per dependency edge, at the first call site.
 //
-// The rule requires type information and reports nothing without it.
+// The rule requires type information for same-package method resolution;
+// without it, it degrades to syntactic matching (plain calls and
+// imported pkg.Fn selectors), which is what the fixture tree exercises.
 
-// checkPanicContract runs the rule over the package.
-func (p *pass) checkPanicContract() {
-	if p.info == nil || p.panicExempt() {
-		return
+// panicFact records that one exported function of a package can reach a
+// panic, with a display chain for diagnostics.
+type panicFact struct {
+	Chain string `json:"chain"`
+}
+
+// pkgFacts is the per-package fact set exchanged between units (the JSON
+// body of the vetx file in vet mode). Keys are "Func" for functions and
+// "Recv.Method" for methods.
+type pkgFacts struct {
+	Panics map[string]panicFact `json:"panics,omitempty"`
+}
+
+func (f *pkgFacts) equal(o *pkgFacts) bool {
+	if f == nil || o == nil {
+		return f == o
 	}
-	type fnInfo struct {
-		decl    *ast.FuncDecl
-		panics  []ast.Node     // panic call sites outside exhaustive defaults
-		callees []types.Object // same-package functions invoked directly
+	if len(f.Panics) != len(o.Panics) {
+		return false
 	}
-	var decls []*fnInfo // file/declaration order, for deterministic output
-	byObj := make(map[types.Object]*fnInfo)
+	for k, v := range f.Panics {
+		if o.Panics[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// panicSite is one direct panic(...) call outside exhaustive defaults.
+type panicSite struct {
+	pos        token.Pos
+	suppressed bool
+}
+
+// xcall is one call into another package's function.
+type xcall struct {
+	pos        token.Pos
+	path       string // callee package path (import path or fixture dir)
+	key        string // fact key: "Func" or "Recv.Method"
+	display    string // rendered callee, e.g. "logic.MustParse"
+	suppressed bool
+}
+
+// panicNode is one function declaration in the package's panic graph.
+type panicNode struct {
+	decl    *ast.FuncDecl
+	sites   []panicSite
+	callees []*panicNode // same-package direct calls
+	xcalls  []xcall
+
+	mayPanic bool
+	chain    string // representative chain, e.g. "MustNew → build → panic"
+}
+
+// panicGraph is the package's call graph restricted to what the rule
+// needs: panic sites, same-package edges and cross-package edges.
+type panicGraph struct {
+	nodes []*panicNode // declaration order
+}
+
+// buildPanicGraph walks every function declaration once. It runs even for
+// exempt packages and when the rule is disabled — fact computation must
+// not depend on reporting configuration — but tolerates missing type
+// information by degrading to syntactic resolution.
+func (p *pass) buildPanicGraph() *panicGraph {
+	g := &panicGraph{}
+	byObj := make(map[types.Object]*panicNode)
+	byName := make(map[string]*panicNode) // plain function name → node (syntactic fallback)
 	for _, f := range p.files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			obj := p.info.Defs[fd.Name]
-			if obj == nil {
+			n := &panicNode{decl: fd}
+			g.nodes = append(g.nodes, n)
+			if p.info != nil {
+				if obj := p.info.Defs[fd.Name]; obj != nil {
+					byObj[obj] = n
+				}
+			}
+			if fd.Recv == nil {
+				byName[fd.Name.Name] = n
+			}
+		}
+	}
+
+	// Second walk: resolve calls now that every node exists.
+	i := 0
+	for _, f := range p.files {
+		imports := importTable(f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
 				continue
 			}
-			fi := &fnInfo{decl: fd}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
+			n := g.nodes[i]
+			i++
+			ast.Inspect(fd.Body, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
 				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-					if _, isBuiltin := p.info.Uses[id].(*types.Builtin); isBuiltin || p.info.Uses[id] == nil {
-						if !p.inExhaustiveDefault(call.Pos()) {
-							fi.panics = append(fi.panics, call)
+					isBuiltin := true
+					if p.info != nil {
+						if obj, resolved := p.info.Uses[id]; resolved {
+							_, isBuiltin = obj.(*types.Builtin)
 						}
+					}
+					if isBuiltin && !p.inExhaustiveDefault(call.Pos()) {
+						pos := p.fset.Position(call.Pos())
+						n.sites = append(n.sites, panicSite{
+							pos:        call.Pos(),
+							suppressed: p.allows != nil && p.allows.suppress(pos, rulePanicContract),
+						})
 						return true
 					}
 				}
-				if callee := p.calleeObject(call); callee != nil {
-					fi.callees = append(fi.callees, callee)
-				}
+				p.resolveCall(call, imports, byObj, byName, n)
 				return true
 			})
-			decls = append(decls, fi)
-			byObj[obj] = fi
 		}
 	}
-
-	// BFS from the exported functions and methods; rootOf remembers one
-	// exported entry point per reachable function for the message.
-	rootOf := make(map[*fnInfo]string)
-	var queue []*fnInfo
-	for _, fi := range decls {
-		if fi.decl.Name.IsExported() {
-			rootOf[fi] = exportedName(fi.decl)
-			queue = append(queue, fi)
-		}
-	}
-	for len(queue) > 0 {
-		fi := queue[0]
-		queue = queue[1:]
-		for _, callee := range fi.callees {
-			target, ok := byObj[callee]
-			if !ok {
-				continue
-			}
-			if _, seen := rootOf[target]; seen {
-				continue
-			}
-			rootOf[target] = rootOf[fi]
-			queue = append(queue, target)
-		}
-	}
-
-	for _, fi := range decls {
-		root, reachable := rootOf[fi]
-		if !reachable {
-			continue
-		}
-		for _, site := range fi.panics {
-			p.report(site.Pos(), rulePanicContract,
-				fmt.Sprintf("panic reachable from exported %s in a typed-error package; return a matchable error value instead", root))
-		}
-	}
+	return g
 }
 
-// calleeObject resolves a direct call to a same-package function or
-// method object, or nil.
-func (p *pass) calleeObject(call *ast.CallExpr) types.Object {
+// resolveCall classifies one call as a same-package edge, a cross-package
+// edge, or neither, appending to the node.
+func (p *pass) resolveCall(call *ast.CallExpr, imports map[string]string, byObj map[types.Object]*panicNode, byName map[string]*panicNode, n *panicNode) {
 	var id *ast.Ident
+	var sel *ast.SelectorExpr
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		id = fun
 	case *ast.SelectorExpr:
+		sel = fun
 		id = fun.Sel
 	default:
-		return nil
+		return
 	}
-	obj, ok := p.info.Uses[id].(*types.Func)
-	if !ok || obj.Pkg() == nil || obj.Pkg() != p.pkg {
-		return nil
+	if p.info != nil {
+		if fn, ok := p.info.Uses[id].(*types.Func); ok && fn.Pkg() != nil {
+			if p.pkg != nil && fn.Pkg() == p.pkg {
+				if target, ok := byObj[fn]; ok {
+					n.callees = append(n.callees, target)
+				}
+				return
+			}
+			key := factKey(fn)
+			n.xcalls = append(n.xcalls, p.newXcall(call, fn.Pkg().Path(), key, fn.Pkg().Name()+"."+key))
+			return
+		}
 	}
-	return obj
+	// Syntactic fallback (partial or missing type info).
+	if sel == nil {
+		if target, ok := byName[id.Name]; ok {
+			n.callees = append(n.callees, target)
+		}
+		return
+	}
+	if base, ok := sel.X.(*ast.Ident); ok {
+		if path, ok := imports[base.Name]; ok {
+			n.xcalls = append(n.xcalls, p.newXcall(call, path, sel.Sel.Name, base.Name+"."+sel.Sel.Name))
+		}
+	}
+}
+
+func (p *pass) newXcall(call *ast.CallExpr, path, key, display string) xcall {
+	pos := p.fset.Position(call.Pos())
+	return xcall{
+		pos: call.Pos(), path: path, key: key, display: display,
+		suppressed: p.allows != nil && p.allows.suppress(pos, rulePanicContract),
+	}
+}
+
+// factKey renders the fact-map key of a function object.
+func factKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// nodeKey renders the fact-map key of a declared function.
+func nodeKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return types.ExprString(t) + "." + fd.Name.Name
+}
+
+// nodeExported reports whether the function is callable from another
+// package: an exported function, or an exported method on an exported
+// receiver type.
+func nodeExported(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// depFact looks up a callee fact in the imported fact sets. Standalone
+// mode injects facts keyed by package directory, so the lookup also
+// accepts suffix matches between the import path and the analyzed dirs.
+func (p *pass) depFact(path, key string) (panicFact, bool) {
+	if p.deps == nil {
+		return panicFact{}, false
+	}
+	if facts, ok := p.deps[path]; ok && facts != nil {
+		f, ok := facts.Panics[key]
+		return f, ok
+	}
+	depPaths := make([]string, 0, len(p.deps))
+	for depPath := range p.deps {
+		depPaths = append(depPaths, depPath)
+	}
+	sort.Strings(depPaths)
+	for _, depPath := range depPaths {
+		facts := p.deps[depPath]
+		if facts == nil || depPath == p.pkgPath {
+			continue
+		}
+		if strings.HasSuffix(depPath, "/"+path) || strings.HasSuffix(path, "/"+depPath) {
+			if f, ok := facts.Panics[key]; ok {
+				return f, true
+			}
+		}
+	}
+	return panicFact{}, false
+}
+
+// propagate recomputes mayPanic and the representative chains over the
+// package graph given the current imported facts. Deterministic: the
+// worklist is seeded in declaration order and chains prefer the first
+// source in that order.
+func (g *panicGraph) propagate(p *pass) {
+	for _, n := range g.nodes {
+		n.mayPanic = false
+		n.chain = ""
+		name := nodeKey(n.decl)
+		for _, s := range n.sites {
+			if !s.suppressed {
+				n.mayPanic = true
+				n.chain = name + " → panic"
+				break
+			}
+		}
+		if !n.mayPanic {
+			for _, s := range n.sites {
+				if s.suppressed {
+					n.mayPanic = true
+					n.chain = name + " → panic (allowed contract)"
+					break
+				}
+			}
+		}
+		if !n.mayPanic {
+			for _, x := range n.xcalls {
+				if fact, ok := p.depFact(x.path, x.key); ok {
+					n.mayPanic = true
+					n.chain = name + " → " + x.display + " (" + fact.Chain + ")"
+					break
+				}
+			}
+		}
+	}
+	// Fixpoint over same-package edges.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			if n.mayPanic {
+				continue
+			}
+			for _, c := range n.callees {
+				if c.mayPanic {
+					n.mayPanic = true
+					n.chain = nodeKey(n.decl) + " → " + c.chain
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// facts computes the package's exported panic facts from the prepared
+// graph and the current imported facts. Exempt packages publish none.
+func (p *pass) facts() *pkgFacts {
+	out := &pkgFacts{}
+	if p.graph == nil || p.panicExempt() {
+		return out
+	}
+	p.graph.propagate(p)
+	for _, n := range p.graph.nodes {
+		if !n.mayPanic || !nodeExported(n.decl) {
+			continue
+		}
+		if out.Panics == nil {
+			out.Panics = make(map[string]panicFact)
+		}
+		out.Panics[nodeKey(n.decl)] = panicFact{Chain: n.chain}
+	}
+	return out
+}
+
+// checkPanicContract reports the rule's findings for a typed-error
+// package: direct panics and calls into may-panic imports, wherever
+// reachable from exported API.
+func (p *pass) checkPanicContract() {
+	if p.graph == nil || p.panicExempt() {
+		return
+	}
+	p.graph.propagate(p)
+
+	// BFS from the exported functions and methods; rootOf remembers one
+	// exported entry point per reachable function for the message.
+	rootOf := make(map[*panicNode]string)
+	var queue []*panicNode
+	for _, n := range p.graph.nodes {
+		if n.decl.Name.IsExported() {
+			rootOf[n] = exportedName(n.decl)
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, callee := range n.callees {
+			if _, seen := rootOf[callee]; seen {
+				continue
+			}
+			rootOf[callee] = rootOf[n]
+			queue = append(queue, callee)
+		}
+	}
+
+	for _, n := range p.graph.nodes {
+		root, reachable := rootOf[n]
+		if !reachable {
+			continue
+		}
+		for _, site := range n.sites {
+			if site.suppressed {
+				continue
+			}
+			p.reportRaw(site.pos, rulePanicContract,
+				fmt.Sprintf("panic reachable from exported %s in a typed-error package; return a matchable error value instead", root))
+		}
+		seen := make(map[string]bool)
+		for _, x := range n.xcalls {
+			fact, ok := p.depFact(x.path, x.key)
+			if !ok || x.suppressed {
+				continue
+			}
+			edge := x.path + "." + x.key
+			if seen[edge] {
+				continue // one finding per (caller, callee) dependency edge
+			}
+			seen[edge] = true
+			p.reportRaw(x.pos, rulePanicContract,
+				fmt.Sprintf("call to %s can panic (%s) and is reachable from exported %s in a typed-error package; guard the precondition with a reasoned allow or return a typed error", x.display, fact.Chain, root))
+		}
+	}
+}
+
+// reportRaw appends a finding without re-consulting the allow set (the
+// graph already resolved suppression when it classified the sites).
+func (p *pass) reportRaw(pos token.Pos, rule, msg string) {
+	position := p.fset.Position(pos)
+	p.findings = append(p.findings, finding{
+		File: position.Filename, Line: position.Line, Col: position.Column,
+		Rule: rule, Msg: msg,
+	})
 }
 
 // exportedName renders a function or method name for diagnostics.
@@ -145,13 +454,16 @@ func exportedName(fd *ast.FuncDecl) string {
 // panicExempt reports whether the package path contains an exempt
 // segment.
 func (p *pass) panicExempt() bool {
-	segments := strings.Split(strings.Trim(p.pkgPath, "/"), "/")
-	for _, seg := range segments {
-		for _, ex := range p.cfg.panicExempt {
-			if seg == ex {
-				return true
-			}
-		}
+	return pathHasSegment(p.pkgPath, p.cfg.panicExempt)
+}
+
+// factKeys returns the sorted fact keys, for deterministic debugging
+// output.
+func (f *pkgFacts) factKeys() []string {
+	keys := make([]string, 0, len(f.Panics))
+	for k := range f.Panics {
+		keys = append(keys, k)
 	}
-	return false
+	sort.Strings(keys)
+	return keys
 }

@@ -23,6 +23,10 @@ const (
 	ruleEnumSwitch    = "enumswitch"
 	rulePanicContract = "paniccontract"
 	ruleSchedMisuse   = "schedmisuse"
+	ruleCtxFlow       = "ctxflow"
+	ruleHotAlloc      = "hotalloc"
+	ruleErrWrap       = "errwrap"
+	ruleFacadeSync    = "facadesync"
 	ruleAllowCheck    = "allowcheck"
 )
 
@@ -40,8 +44,12 @@ var registry = []ruleInfo{
 	{ruleTimeNow, "time.Now calls (wall-clock nondeterminism)"},
 	{ruleRand, "math/rand package-level functions drawing from the shared global source; rand.New(rand.NewSource(seed)) is the allowed idiom"},
 	{ruleEnumSwitch, "switches over declared enums must cover every constant or carry a non-panicking default"},
-	{rulePanicContract, "panic reachable from an exported function in a package under the typed-error contract"},
+	{rulePanicContract, "panic reachable from an exported function in a package under the typed-error contract, including through cross-package call chains"},
 	{ruleSchedMisuse, "scheduler ForEach/ForEachCtx closures writing captured state outside their own index slot"},
+	{ruleCtxFlow, "context-carrying functions must thread their ctx into every context-capable callee; no context.Background/TODO in library code"},
+	{ruleHotAlloc, "functions marked //obdcheck:hotpath may not allocate (make, new, fresh-slice append, map/slice literals, closures, boxing calls)"},
+	{ruleErrWrap, "exported boundaries of typed-error packages must return wrapped (%w) or typed errors, never bare fmt.Errorf/errors.New"},
+	{ruleFacadeSync, "every exported facade (gobd_*.go) symbol must delegate to an internal symbol; Deprecated aliases must name a live replacement"},
 	{ruleAllowCheck, "malformed, unknown-rule, deprecated or (with -staleallows) stale suppression annotations"},
 }
 
@@ -64,6 +72,8 @@ type config struct {
 	writeBaseline string
 	staleAllows   bool
 	panicExempt   []string // package-path segments exempt from paniccontract
+	errwrapExempt []string // package-path segments exempt from errwrap
+	factsModule   string   // import-path prefix whose packages get panic facts computed
 }
 
 func defaultConfig() *config {
@@ -73,9 +83,23 @@ func defaultConfig() *config {
 		panicExempt: []string{
 			// The analog layer keeps its construction panics until it
 			// migrates to typed errors; logic predates the contract and
-			// documents its structural-query panics (mustValidate).
+			// documents its structural-query panics (mustValidate); exper
+			// is the figure-generation harness — experiment scripts whose
+			// deliberate Must* usage is not library API.
+			"spice", "cells", "logic", "exper",
+		},
+		errwrapExempt: []string{
+			// The analog layer predates the typed-error contract entirely;
+			// logic's parse layer adopted *ParseError (PR 7) but its
+			// structural-query layer is still stringly-typed, so the
+			// exemption stays until that migrates too (mirroring
+			// panicExempt).
 			"spice", "cells", "logic",
 		},
+		// Panic facts are only worth computing for module packages: the
+		// cross-package chains the contract cares about are module-internal,
+		// and parsing the stdlib on every facts pass would be pure waste.
+		factsModule: "gobd",
 	}
 	for _, r := range registry {
 		c.enabled[r.Name] = true
@@ -123,17 +147,34 @@ type pass struct {
 	// cases cover every declared constant: a panic there is a machine-
 	// verified unreachability assertion, not a contract violation.
 	exhaustiveDefaults []span
+
+	// deps maps an imported package path to the panic facts its own pass
+	// produced (vet mode: read from the vetx files; standalone mode:
+	// injected by the cross-package fixpoint). Missing entries degrade to
+	// "no known panics" — the rule stays one-sided.
+	deps map[string]*pkgFacts
+	// graph is the package's panic call graph, built once by prepare so
+	// fact computation (which the driver may repeat during the standalone
+	// fixpoint) does not re-walk the syntax trees.
+	graph *panicGraph
 }
 
 func newPass(cfg *config, fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package, pkgPath string) *pass {
 	return &pass{cfg: cfg, fset: fset, files: files, info: info, pkg: pkg, pkgPath: pkgPath}
 }
 
-// run executes every enabled rule over the package and returns the
-// findings sorted by position.
-func (p *pass) run() []finding {
+// prepare runs the analyses shared by fact computation and reporting:
+// suppression parsing, exhaustive-default discovery and the panic call
+// graph. It must be called exactly once, before facts() or run().
+func (p *pass) prepare() {
 	p.allows = collectAllows(p)
 	p.exhaustiveDefaults = findExhaustiveDefaults(p)
+	p.graph = p.buildPanicGraph()
+}
+
+// run executes every enabled rule over the package and returns the
+// findings sorted by position. prepare must have run first.
+func (p *pass) run() []finding {
 	for _, f := range p.files {
 		if p.cfg.enabled[ruleRangeMap] || p.cfg.enabled[ruleTimeNow] || p.cfg.enabled[ruleRand] {
 			p.checkDeterminism(f)
@@ -144,6 +185,18 @@ func (p *pass) run() []finding {
 		if p.cfg.enabled[ruleSchedMisuse] {
 			p.checkSchedMisuse(f)
 		}
+		if p.cfg.enabled[ruleCtxFlow] {
+			p.checkCtxFlow(f)
+		}
+		if p.cfg.enabled[ruleErrWrap] {
+			p.checkErrWrap(f)
+		}
+	}
+	if p.cfg.enabled[ruleHotAlloc] {
+		p.checkHotAlloc()
+	}
+	if p.cfg.enabled[ruleFacadeSync] {
+		p.checkFacadeSync()
 	}
 	if p.cfg.enabled[rulePanicContract] {
 		p.checkPanicContract()
@@ -279,4 +332,41 @@ func fileImports(f *ast.File, path string) bool {
 		}
 	}
 	return false
+}
+
+// pathHasSegment reports whether any "/"-separated segment of path equals
+// one of the given segments — the matching used by the per-rule package
+// exemption lists.
+func pathHasSegment(path string, segments []string) bool {
+	for _, seg := range strings.Split(strings.Trim(path, "/"), "/") {
+		for _, ex := range segments {
+			if seg == ex {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// importTable maps each file's local import names to import paths, so
+// syntax-only analysis can resolve pkg.Sym selectors. The default local
+// name is the last path segment (close enough for this module's layout;
+// typed analysis does not use the table).
+func importTable(f *ast.File) map[string]string {
+	t := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				continue
+			}
+			name = imp.Name.Name
+		}
+		t[name] = path
+	}
+	return t
 }

@@ -1,0 +1,63 @@
+// Package ctxflow is the fixture for the ctxflow rule: ctx threading,
+// root-context minting and the Foo/FooCtx wrapper idiom.
+package ctxflow
+
+import "context"
+
+// FetchCtx is the cancellation-aware implementation: clean.
+func FetchCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n * 2
+}
+
+// Fetch is the compatibility wrapper: minting Background inside the
+// function whose FetchCtx sibling exists is the blessed idiom.
+func Fetch(n int) int {
+	return FetchCtx(context.Background(), n)
+}
+
+// Detach mints a root context in library code with no Ctx sibling.
+func Detach() context.Context {
+	return context.Background() // want arm 4
+}
+
+// Reroot holds a ctx but mints a fresh one anyway.
+func Reroot(ctx context.Context) context.Context {
+	if ctx.Err() != nil {
+		return ctx
+	}
+	return context.TODO() // want arm 1
+}
+
+// Sum holds a ctx but calls the non-Ctx variant of Fetch.
+func Sum(ctx context.Context, ns []int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	total := 0
+	for _, n := range ns {
+		total += Fetch(n) // want arm 2
+	}
+	return total
+}
+
+// Ignore declares a ctx it never consults.
+func Ignore(ctx context.Context, n int) int { // want arm 3
+	return n + 1
+}
+
+// Thread does everything right: clean.
+func Thread(ctx context.Context, ns []int) int {
+	total := 0
+	for _, n := range ns {
+		total += FetchCtx(ctx, n)
+	}
+	return total
+}
+
+// ServerLifetime deliberately detaches from any caller: suppressed.
+func ServerLifetime() context.Context {
+	return context.Background() //obdcheck:allow ctxflow — server-lifetime context by design
+}

@@ -1,0 +1,48 @@
+// Package errwrap is the fixture for the errwrap rule: matchable errors
+// at exported boundaries of typed-error packages.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMissing is a package sentinel: errors.New at package level is the
+// approved idiom, not a finding.
+var ErrMissing = errors.New("errwrap: missing")
+
+// Lookup trips each positive arm.
+func Lookup(key string) error {
+	if key == "" {
+		return errors.New("empty key") // want leaf errors.New
+	}
+	if key == "legacy" {
+		return fmt.Errorf("legacy key %q rejected", key) // want bare Errorf
+	}
+	if err := probe(key); err != nil {
+		return fmt.Errorf("probing %q: %v", key, err) // want %v on error operand
+	}
+	return nil
+}
+
+// Wrap stays clean: %w wrapping and a sentinel return.
+func Wrap(key string) error {
+	if err := probe(key); err != nil {
+		return fmt.Errorf("probing %q: %w", key, err)
+	}
+	return ErrMissing
+}
+
+// Allowed returns a deliberately opaque error under a reasoned allow.
+func Allowed() error {
+	return errors.New("deliberate opaque error") //obdcheck:allow errwrap — intentionally unmatchable, probed by Lookup tests
+}
+
+// probe is unexported: bare errors here are out of the rule's lexical
+// scope (one-sided by design).
+func probe(key string) error {
+	if key == "bad" {
+		return errors.New("probe failed")
+	}
+	return nil
+}

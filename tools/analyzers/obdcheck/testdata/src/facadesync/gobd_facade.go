@@ -1,0 +1,50 @@
+// Package facadesync is the fixture for the facadesync rule: gobd-style
+// facade files must delegate to internal packages and keep their
+// Deprecated pointers live. The internal import deliberately does not
+// resolve — the rule is syntactic, like real standalone runs over the
+// module root.
+package facadesync
+
+import (
+	"strings"
+
+	"facadesync/internal/impl"
+)
+
+// Circuit is the canonical alias shape: delegates, clean.
+type Circuit = impl.Circuit
+
+// Grade re-exports the internal entry point: clean.
+var Grade = impl.Grade
+
+// MaxInputs re-exports the internal limit: clean.
+const MaxInputs = impl.MaxInputs
+
+// Local is declared in the facade instead of aliased.
+type Local struct { // want facade-declared type
+	Name string
+}
+
+// Normalize carries real logic without touching an internal package.
+func Normalize(s string) string { // want non-delegating func
+	return strings.ToUpper(strings.TrimSpace(s))
+}
+
+// Doc is deliberately self-contained, under a reasoned allow.
+func Doc() string { //obdcheck:allow facadesync — documentation helper, no internal counterpart
+	return "facade fixture"
+}
+
+// NewGrade is the replacement the live Deprecated alias points at.
+var NewGrade = impl.Grade
+
+// Old still delegates, but its migration hint names a symbol that does
+// not exist in this package.
+//
+// Deprecated: use GradeAll instead.
+var Old = impl.Grade // want stale Deprecated pointer
+
+// Older delegates and names a live replacement: clean.
+//
+// Deprecated: use NewGrade instead.
+var Older = impl.Grade

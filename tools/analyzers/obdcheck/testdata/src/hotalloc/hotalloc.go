@@ -1,0 +1,90 @@
+// Package hotalloc is the fixture for the hotalloc rule: allocation
+// classes inside //obdcheck:hotpath-marked functions and literals.
+package hotalloc
+
+import "fmt"
+
+// Scratch is pooled storage the hot path reuses between calls.
+type Scratch struct {
+	vals []int
+}
+
+// grow is the slow path: unmarked, so its make is legal.
+func (s *Scratch) grow(n int) {
+	if cap(s.vals) < n {
+		s.vals = make([]int, 0, n)
+	}
+}
+
+// Accumulate is marked and allocates in every way the rule knows.
+//
+//obdcheck:hotpath
+func Accumulate(xs []int) []int {
+	var out []int
+	counts := map[int]int{} // want map literal
+	for _, x := range xs {
+		out = append(out, x) // want fresh-slice append
+		counts[x]++
+	}
+	extra := make([]int, 4) // want make
+	_ = extra
+	box := new(int) // want new
+	_ = box
+	bump := func() { *box = *box + 1 } // want closure
+	bump()
+	go bump() // want goroutine
+	return out
+}
+
+// Describe boxes its argument into fmt's ...interface{}.
+//
+//obdcheck:hotpath
+func Describe(n int) string {
+	return fmt.Sprintf("n=%d", n) // want boxing
+}
+
+// Fill reuses the pooled storage: reslice plus field-rooted appends are
+// the amortized-growth idiom and stay clean.
+//
+//obdcheck:hotpath
+func (s *Scratch) Fill(xs []int) {
+	s.vals = s.vals[:0]
+	for _, x := range xs {
+		s.vals = append(s.vals, x)
+	}
+}
+
+type point struct{ x, y int }
+
+// Mid builds a value struct literal: stack-allocated, clean.
+//
+//obdcheck:hotpath
+func Mid(a, b point) point {
+	return point{(a.x + b.x) / 2, (a.y + b.y) / 2}
+}
+
+// Seed allocates once at warmup under a reasoned allow.
+//
+//obdcheck:hotpath
+func Seed() []int {
+	return make([]int, 8) //obdcheck:allow hotalloc — one-time warmup, measured cold
+}
+
+// Collect returns a marked literal that allocates per call.
+func Collect() func(int) []int {
+	//obdcheck:hotpath
+	return func(x int) []int {
+		return []int{x} // want slice literal
+	}
+}
+
+// Counter returns a marked literal that is clean.
+func Counter() func() int {
+	n := 0
+	//obdcheck:hotpath
+	inc := func() int {
+		n++
+		return n
+	}
+	return inc
+}

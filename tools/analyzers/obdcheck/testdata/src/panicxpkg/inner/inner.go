@@ -1,0 +1,22 @@
+// Package inner is the callee side of the cross-package paniccontract
+// fixture: its allowed Must* panic is silent locally but still exports a
+// panic fact that callers must answer for.
+package inner
+
+// MustPick panics on empty input — a documented contract, locally
+// allowed, but the fact propagates.
+func MustPick(xs []int) int {
+	if len(xs) == 0 {
+		panic("inner: empty input") //obdcheck:allow paniccontract — documented Must* contract
+	}
+	return xs[0]
+}
+
+// Total is panic-free: no fact, no findings at its callers.
+func Total(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

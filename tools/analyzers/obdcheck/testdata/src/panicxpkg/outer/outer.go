@@ -1,0 +1,34 @@
+// Package outer is the caller side of the cross-package paniccontract
+// fixture: calls into inner's may-panic contract are findings wherever
+// they are reachable from outer's exported API.
+package outer
+
+import "panicxpkg/inner"
+
+// First hands the contract straight to its caller.
+func First(xs []int) int {
+	return inner.MustPick(xs) // want cross-package finding
+}
+
+// Guarded checks the precondition and says so: suppressed.
+func Guarded(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return inner.MustPick(xs) //obdcheck:allow paniccontract — precondition guarded above
+}
+
+// Sum calls only the panic-free callee: clean.
+func Sum(xs []int) int {
+	return inner.Total(xs)
+}
+
+// Report reaches the contract through an unexported helper: the chain
+// Report → pick → inner.MustPick is still a finding.
+func Report(xs []int) int {
+	return pick(xs) * 2
+}
+
+func pick(xs []int) int {
+	return inner.MustPick(xs) // want cross-package finding via Report
+}
