@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet obdcheck detlint lint serve serve-smoke test test-race short bench bench-big repro artifacts fuzz fuzz-smoke clean
+.PHONY: all build vet obdcheck detlint lint serve serve-smoke test test-race short bench bench-big repro artifacts fuzz fuzz-smoke kill-matrix clean
 
 all: build test test-race
 
@@ -78,6 +78,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePair$$' -fuzztime 30s ./internal/fault/
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 30s ./internal/netcheck/
 	$(GO) test -run '^$$' -fuzz '^FuzzLFSRPeriod$$' -fuzztime 30s ./internal/bist/
+	$(GO) test -run '^$$' -fuzz '^FuzzStoreManifest$$' -fuzztime 30s ./internal/store/
 
 # The CI smoke variant: every fuzz target for a few seconds, enough to
 # catch a target that breaks on its own seed corpus or first mutations.
@@ -88,6 +89,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePair$$' -fuzztime 5s ./internal/fault/
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 5s ./internal/netcheck/
 	$(GO) test -run '^$$' -fuzz '^FuzzLFSRPeriod$$' -fuzztime 5s ./internal/bist/
+	$(GO) test -run '^$$' -fuzz '^FuzzStoreManifest$$' -fuzztime 5s ./internal/store/
+
+# The kill-injection robustness suite: crash the job runtime at every
+# store/journal failpoint occurrence and require byte-identical recovery,
+# under the race detector (see internal/jobs/kill_test.go, DESIGN.md §13).
+kill-matrix:
+	$(GO) test -race -run 'TestKillInjection|TestStore|TestJournal' ./internal/jobs/ ./internal/store/
 
 clean:
 	$(GO) clean -testcache

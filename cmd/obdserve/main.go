@@ -36,17 +36,23 @@ func main() {
 		body    = flag.Int64("max-body", 0, "max request body bytes (0 = 8 MiB)")
 		pprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before in-flight work is cancelled")
+		dataDir = flag.String("data", "", "durable data directory: enables the crash-safe artifact store and /v1/jobs (empty = in-memory only)")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers:        *workers,
 		MaxInFlight:    *queue,
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *body,
 		EnablePprof:    *pprof,
+		DataDir:        *dataDir,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obdserve:", err)
+		os.Exit(1)
+	}
 	// Publish the counters on the process-global expvar map exactly once
 	// (the serve package keeps them instance-scoped so tests can build
 	// servers freely).
@@ -73,12 +79,18 @@ func main() {
 	}
 	stop() // a second signal kills the process the default way
 
-	// Graceful drain: stop accepting, let admitted computations finish
-	// inside the budget, then cancel whatever is left.
+	// Graceful drain: flip /healthz to draining, stop accepting, let
+	// admitted computations finish inside the budget, checkpoint the job
+	// runtime, then cancel whatever is left. A job interrupted here is
+	// journaled back to queued and resumes losslessly on restart.
 	fmt.Fprintf(os.Stderr, "obdserve: draining (budget %s)\n", *drain)
+	srv.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	err := hs.Shutdown(shutCtx)
+	err = hs.Shutdown(shutCtx)
+	if derr := srv.DrainJobs(shutCtx); derr != nil {
+		fmt.Fprintln(os.Stderr, "obdserve:", derr)
+	}
 	srv.Close()
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "obdserve:", err)

@@ -1,0 +1,79 @@
+// Durable layer of the public facade: the crash-safe content-addressed
+// artifact store and the checkpointed job runtime behind /v1/jobs
+// (DESIGN.md §13). Same determinism contract as the synchronous API —
+// a job's artifact is byte-identical to the synchronous response for
+// the same canonical request, across worker counts, restarts and
+// crash-resume at any failpoint.
+package gobd
+
+import (
+	"gobd/internal/jobs"
+	"gobd/internal/store"
+)
+
+// Artifact store layer: write-temp + fsync + atomic-rename objects with
+// digest-verified reads; corrupt objects are quarantined, never served.
+type (
+	// ArtifactStore is the crash-safe content-addressed object store.
+	ArtifactStore = store.Store
+	// StoreFailpoint names one crash-injection point inside the store.
+	StoreFailpoint = store.Failpoint
+	// StoreHook observes failpoints (tests inject crashes through it).
+	StoreHook = store.Hook
+	// CorruptArtifactError reports a digest-verification failure; the
+	// offending object is already quarantined when it is returned.
+	CorruptArtifactError = store.CorruptArtifactError
+)
+
+var (
+	// OpenArtifactStore opens (creating if needed) a store rooted at dir.
+	OpenArtifactStore = store.Open
+	// ErrArtifactNotFound is returned by ArtifactStore.Get for absent keys.
+	ErrArtifactNotFound = store.ErrNotFound
+)
+
+// Job runtime layer: journaled, checkpointed mission/ATPG jobs that
+// resume losslessly after a crash or drain.
+type (
+	// JobsManager runs durable jobs over an ArtifactStore and a journal.
+	JobsManager = jobs.Manager
+	// JobsConfig parameterizes a JobsManager.
+	JobsConfig = jobs.Config
+	// JobSpec is a job submission (kind, netlist, per-kind parameters).
+	JobSpec = jobs.Spec
+	// JobMissionSpec parameterizes a mission-campaign job.
+	JobMissionSpec = jobs.MissionSpec
+	// JobATPGSpec parameterizes an ATPG-generation job.
+	JobATPGSpec = jobs.ATPGSpec
+	// JobKind discriminates mission vs atpg jobs.
+	JobKind = jobs.Kind
+	// JobState is the lifecycle state of a job.
+	JobState = jobs.State
+	// JobSnapshot is a point-in-time view of one job.
+	JobSnapshot = jobs.Job
+	// JobNotFoundError reports an unknown job ID.
+	JobNotFoundError = jobs.NotFoundError
+	// JobNotDoneError reports a result fetch before completion.
+	JobNotDoneError = jobs.NotDoneError
+	// JobSpecError reports an invalid job submission.
+	JobSpecError = jobs.SpecError
+)
+
+var (
+	// OpenJobs replays the journal and starts the job runtime.
+	OpenJobs = jobs.Open
+	// ErrJobsDraining is returned by Submit while the manager drains.
+	ErrJobsDraining = jobs.ErrDraining
+)
+
+// Job kinds and lifecycle states.
+const (
+	JobKindMission = jobs.KindMission
+	JobKindATPG    = jobs.KindATPG
+
+	JobStateQueued    = jobs.StateQueued
+	JobStateRunning   = jobs.StateRunning
+	JobStateDone      = jobs.StateDone
+	JobStateFailed    = jobs.StateFailed
+	JobStateCancelled = jobs.StateCancelled
+)

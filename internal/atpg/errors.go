@@ -39,6 +39,22 @@ func (e *InputLimitError) Error() string {
 	return fmt.Sprintf("atpg: exhaustive analysis limited to %d inputs, circuit has %d", e.Limit, e.Inputs)
 }
 
+// ResumeMismatchError reports that a prior partial test set handed to a
+// Resume entry point is not a committable prefix of the given fault
+// list — the checkpoint and the request have drifted apart (different
+// netlist, different fault universe, or a corrupted snapshot). Resuming
+// anyway would break the bit-identical-to-uninterrupted contract, so
+// the caller must restart generation from scratch instead.
+type ResumeMismatchError struct {
+	Index  int    // offending result index (-1 when the mismatch is structural)
+	Reason string // what disagreed
+}
+
+// Error implements error.
+func (e *ResumeMismatchError) Error() string {
+	return fmt.Sprintf("atpg: resume prefix mismatch: %s", e.Reason)
+}
+
 // PanicError is a panic recovered inside a scheduler worker, converted
 // into an ordinary error so one poisoned work item (e.g. a fault whose
 // gate pointer was corrupted) cannot abort the run or take down the

@@ -1,0 +1,442 @@
+package atpg
+
+import (
+	"context"
+	"fmt"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/netcheck"
+)
+
+// This file adds checkpoint/resume to the generation drivers. The
+// commit loops of GenerateOBDTestsCtx and friends settle faults
+// strictly in list order, and the verdict committed for fault i depends
+// only on (circuit, faults[i], options) plus the tests committed at
+// indices before i — speculation runs ahead in parallel but its results
+// are discarded whenever an earlier commit drop-covers the fault. That
+// dependency structure makes any Results prefix a complete checkpoint:
+// re-seeding the fault-dropping state by regrading the prefix's tests
+// against the uncommitted tail reconstructs the loop state at the
+// boundary exactly, so a resumed run commits bit-identical Results,
+// Tests and Coverage to an uninterrupted one. The durable job runtime
+// (internal/jobs) leans on this to survive crashes mid-generation.
+//
+// The Resume entry points also serve as bounded-segment drivers: upto
+// caps how many faults are committed before returning, so a caller can
+// alternate generate-segment / persist-checkpoint without cancelling
+// and restarting the scheduler.
+
+// checkResumePrefix validates that results is a committable prefix of
+// an n-fault list: not longer than the list, and naming the same faults
+// in the same order. It returns the resume index.
+func checkResumePrefix(n int, results []Result, faultName func(i int) string) (int, error) {
+	start := len(results)
+	if start > n {
+		return 0, &ResumeMismatchError{Index: -1,
+			Reason: fmt.Sprintf("prior has %d results, fault list has %d faults", start, n)}
+	}
+	for i := range results {
+		if want := faultName(i); results[i].Fault != want {
+			return 0, &ResumeMismatchError{Index: i,
+				Reason: fmt.Sprintf("prior result %d is for fault %q, fault list has %q", i, results[i].Fault, want)}
+		}
+	}
+	return start, nil
+}
+
+// countTests cross-checks the test list length against the results that
+// should have contributed a test.
+func countTests(results []Result, tests int) error {
+	withTest := 0
+	for i := range results {
+		if results[i].Test != nil {
+			withTest++
+		}
+	}
+	if withTest != tests {
+		return &ResumeMismatchError{Index: -1,
+			Reason: fmt.Sprintf("prior has %d tests but %d generated results", tests, withTest)}
+	}
+	return nil
+}
+
+// clampUpto normalizes the segment bound: negative or oversized means
+// run to completion, and a bound inside the committed prefix is a no-op
+// segment.
+func clampUpto(upto, start, n int) int {
+	if upto < 0 || upto > n {
+		upto = n
+	}
+	if upto < start {
+		upto = start
+	}
+	return upto
+}
+
+// ResumeOBDTestsCtx continues an OBD generation run from a previously
+// committed prefix. prior carries the Results (and their Tests) of an
+// earlier Resume or cancelled Generate call over the same circuit,
+// fault list and options; nil (or empty) starts from scratch. The run
+// commits faults up to index upto (exclusive; pass len(faults) or -1 to
+// finish) and returns the extended set — Coverage is graded only when
+// the whole list is committed, and a partial set's Coverage stays zero.
+//
+// Chaining segments over any boundaries yields Tests, Results and
+// Coverage bit-identical to a single uninterrupted GenerateOBDTestsCtx
+// with the same inputs, for any worker count. A prior that does not
+// match the fault list is rejected with a *ResumeMismatchError; prior
+// itself is never mutated.
+func (s *Scheduler) ResumeOBDTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.OBD, opt *Options, prior *TestSet, upto int) (*TestSet, error) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	if err := ensureValid(c); err != nil {
+		return nil, err
+	}
+	n := len(faults)
+	ts := &TestSet{}
+	start := 0
+	if prior != nil {
+		var err error
+		start, err = checkResumePrefix(n, prior.Results, func(i int) string { return faults[i].String() })
+		if err != nil {
+			return nil, err
+		}
+		if err := countTests(prior.Results, len(prior.Tests)); err != nil {
+			return nil, err
+		}
+		ts.Tests = append(ts.Tests, prior.Tests...)
+		ts.Results = append(ts.Results, prior.Results...)
+	}
+	upto = clampUpto(upto, start, n)
+	tb := guidance(c, opt)
+	covered := make([]bool, n)
+	done := make([]bool, n)
+	specTP := make([]*TwoPattern, n)
+	specSt := make([]Status, n)
+	specErr := make([]error, n)
+	batch := genBatch(s.WorkerCount())
+	if opt.BacktrackSink != nil {
+		batch = 1
+	}
+	// Re-seed the fault-dropping state for the uncommitted tail:
+	// covered[j] at commit time means "a test committed before index j
+	// detects fault j", and every committed test precedes every
+	// uncommitted index, so regrading the prefix's tests reconstructs
+	// the loop state at the boundary exactly.
+	if opt.FaultDropping && len(ts.Tests) > 0 && start < n {
+		pg := NewPairGrader(c, ts.Tests)
+		m := n - start
+		err := s.runCtx(ctx, m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+			for k := lo; k < hi; k++ {
+				j := start + k
+				covered[j] = pg.FirstDetecting(faults[j]) >= 0
+				ws.Items++
+				ws.Pairs += int64(len(ts.Tests))
+			}
+		})
+		if err != nil {
+			return ts, err
+		}
+	}
+	if opt.Prune {
+		// Static untestability proofs settle tail faults before PODEM
+		// sees them (committed indices already carry their verdicts).
+		pruned := make([]bool, n-start)
+		rep := s.ForEachCtx(ctx, n-start, func(k int) error {
+			pruned[k] = netcheck.ProveOBD(c, faults[start+k]).Untestable
+			return nil
+		})
+		if rep.Err != nil {
+			return ts, rep.Err
+		}
+		for k, p := range pruned {
+			if p {
+				done[start+k] = true
+				specSt[start+k] = Untestable
+			}
+		}
+	}
+	for i := start; i < upto; i++ {
+		f := faults[i]
+		if err := ctx.Err(); err != nil {
+			return ts, err
+		}
+		if covered[i] {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
+			continue
+		}
+		if !done[i] {
+			s.speculate(ctx, i, batch, covered, done, func(j int) {
+				specErr[j] = protect(func() error {
+					specTP[j], specSt[j] = generateOBDTestWith(c, faults[j], opt, tb)
+					return nil
+				})
+			})
+			if !done[i] { // speculation cut short by cancellation
+				return ts, ctx.Err()
+			}
+		}
+		tp, st := specTP[i], specSt[i]
+		if specErr[i] != nil {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
+			continue
+		}
+		res := Result{Fault: f.String(), Status: st}
+		if st == Detected {
+			res.Test = tp
+			ts.Tests = append(ts.Tests, *tp)
+			if opt.FaultDropping {
+				s.dropOBD(c, faults, covered, i, *tp)
+			}
+		}
+		ts.Results = append(ts.Results, res)
+	}
+	if upto < n {
+		return ts, ctx.Err()
+	}
+	cov, err := s.GradeOBDCtx(ctx, c, faults, ts.Tests)
+	if err != nil {
+		return ts, err
+	}
+	ts.Coverage = cov
+	return ts, nil
+}
+
+// ResumeTransitionTestsCtx continues a transition-fault generation run
+// from a committed prefix (see ResumeOBDTestsCtx for the segment and
+// bit-identity contract).
+func (s *Scheduler) ResumeTransitionTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.Transition, opt *Options, prior *TestSet, upto int) (*TestSet, error) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	if err := ensureValid(c); err != nil {
+		return nil, err
+	}
+	n := len(faults)
+	ts := &TestSet{}
+	start := 0
+	if prior != nil {
+		var err error
+		start, err = checkResumePrefix(n, prior.Results, func(i int) string { return faults[i].String() })
+		if err != nil {
+			return nil, err
+		}
+		if err := countTests(prior.Results, len(prior.Tests)); err != nil {
+			return nil, err
+		}
+		ts.Tests = append(ts.Tests, prior.Tests...)
+		ts.Results = append(ts.Results, prior.Results...)
+	}
+	upto = clampUpto(upto, start, n)
+	tb := guidance(c, opt)
+	covered := make([]bool, n)
+	done := make([]bool, n)
+	specTP := make([]*TwoPattern, n)
+	specSt := make([]Status, n)
+	specErr := make([]error, n)
+	batch := genBatch(s.WorkerCount())
+	if opt.BacktrackSink != nil {
+		batch = 1
+	}
+	if opt.FaultDropping && len(ts.Tests) > 0 && start < n {
+		m := n - start
+		err := s.runCtx(ctx, m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+			for k := lo; k < hi; k++ {
+				j := start + k
+				scanned := len(ts.Tests)
+				for ti := range ts.Tests {
+					if DetectsTransition(c, faults[j], ts.Tests[ti]) {
+						covered[j] = true
+						scanned = ti + 1
+						break
+					}
+				}
+				ws.Items++
+				ws.Pairs += int64(scanned)
+			}
+		})
+		if err != nil {
+			return ts, err
+		}
+	}
+	for i := start; i < upto; i++ {
+		f := faults[i]
+		if err := ctx.Err(); err != nil {
+			return ts, err
+		}
+		if covered[i] {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
+			continue
+		}
+		if !done[i] {
+			s.speculate(ctx, i, batch, covered, done, func(j int) {
+				specErr[j] = protect(func() error {
+					specTP[j], specSt[j] = generateTransitionTestWith(c, faults[j], opt, tb)
+					return nil
+				})
+			})
+			if !done[i] {
+				return ts, ctx.Err()
+			}
+		}
+		tp, st := specTP[i], specSt[i]
+		if specErr[i] != nil {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
+			continue
+		}
+		res := Result{Fault: f.String(), Status: st}
+		if st == Detected {
+			res.Test = tp
+			ts.Tests = append(ts.Tests, *tp)
+			if opt.FaultDropping {
+				m := n - i
+				// A cancelled drop is caught by the ctx check at the top of
+				// the next iteration; the partially updated covered[] only
+				// concerns items that check never reaches.
+				_ = s.runCtx(ctx, m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+					for k := lo; k < hi; k++ {
+						j := i + k
+						if !covered[j] && DetectsTransition(c, faults[j], *tp) {
+							covered[j] = true
+						}
+						ws.Pairs++
+					}
+				})
+			}
+		}
+		ts.Results = append(ts.Results, res)
+	}
+	if upto < n {
+		return ts, ctx.Err()
+	}
+	cov, err := s.GradeTransitionCtx(ctx, c, faults, ts.Tests)
+	if err != nil {
+		return ts, err
+	}
+	ts.Coverage = cov
+	return ts, nil
+}
+
+// ResumeStuckAtTestsCtx continues a stuck-at generation run from a
+// committed prefix (see ResumeOBDTestsCtx for the segment and
+// bit-identity contract). Stuck-at Results never carry a Test pointer,
+// so the prefix check bounds the test list by the Detected count
+// instead of an exact cross-check.
+func (s *Scheduler) ResumeStuckAtTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.StuckAt, opt *Options, prior *StuckAtTestSet, upto int) (*StuckAtTestSet, error) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	if err := ensureValid(c); err != nil {
+		return nil, err
+	}
+	n := len(faults)
+	ts := &StuckAtTestSet{}
+	start := 0
+	if prior != nil {
+		var err error
+		start, err = checkResumePrefix(n, prior.Results, func(i int) string { return faults[i].String() })
+		if err != nil {
+			return nil, err
+		}
+		detected := 0
+		for i := range prior.Results {
+			if prior.Results[i].Status == Detected {
+				detected++
+			}
+		}
+		if len(prior.Tests) > detected {
+			return nil, &ResumeMismatchError{Index: -1,
+				Reason: fmt.Sprintf("prior has %d tests but only %d detected results", len(prior.Tests), detected)}
+		}
+		ts.Tests = append(ts.Tests, prior.Tests...)
+		ts.Results = append(ts.Results, prior.Results...)
+	}
+	upto = clampUpto(upto, start, n)
+	tb := guidance(c, opt)
+	covered := make([]bool, n)
+	done := make([]bool, n)
+	specP := make([]Pattern, n)
+	specSt := make([]Status, n)
+	specErr := make([]error, n)
+	batch := genBatch(s.WorkerCount())
+	if opt.BacktrackSink != nil {
+		batch = 1
+	}
+	if opt.FaultDropping && len(ts.Tests) > 0 && start < n {
+		m := n - start
+		err := s.runCtx(ctx, m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+			for k := lo; k < hi; k++ {
+				j := start + k
+				scanned := len(ts.Tests)
+				for ti := range ts.Tests {
+					if DetectsStuckAt(c, faults[j], ts.Tests[ti]) {
+						covered[j] = true
+						scanned = ti + 1
+						break
+					}
+				}
+				ws.Items++
+				ws.Pairs += int64(scanned)
+			}
+		})
+		if err != nil {
+			return ts, err
+		}
+	}
+	for i := start; i < upto; i++ {
+		f := faults[i]
+		if err := ctx.Err(); err != nil {
+			return ts, err
+		}
+		if covered[i] {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
+			continue
+		}
+		if !done[i] {
+			s.speculate(ctx, i, batch, covered, done, func(j int) {
+				specErr[j] = protect(func() error {
+					specP[j], specSt[j] = generateStuckAtTestWith(c, faults[j], opt, tb)
+					return nil
+				})
+			})
+			if !done[i] {
+				return ts, ctx.Err()
+			}
+		}
+		p, st := specP[i], specSt[i]
+		if specErr[i] != nil {
+			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
+			continue
+		}
+		res := Result{Fault: f.String(), Status: st}
+		if st == Detected {
+			ts.Tests = append(ts.Tests, p)
+			if opt.FaultDropping {
+				m := n - i
+				// Same contract as the transition drop above: cancellation
+				// is re-checked before the next item commits.
+				_ = s.runCtx(ctx, m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
+					for k := lo; k < hi; k++ {
+						j := i + k
+						if !covered[j] && DetectsStuckAt(c, faults[j], p) {
+							covered[j] = true
+						}
+						ws.Pairs++
+					}
+				})
+			}
+		}
+		ts.Results = append(ts.Results, res)
+	}
+	if upto < n {
+		return ts, ctx.Err()
+	}
+	cov, err := s.GradeStuckAtCtx(ctx, c, faults, ts.Tests)
+	if err != nil {
+		return ts, err
+	}
+	ts.Coverage = cov
+	return ts, nil
+}

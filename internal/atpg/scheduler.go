@@ -676,84 +676,10 @@ func (s *Scheduler) GenerateOBDTests(c *logic.Circuit, faults []fault.OBD, opt *
 // is left zero — grading a cut-short test list would be misleading). A
 // per-fault generator panic is confined to that fault's Result (Status
 // Errored, Err carrying the *PanicError) without perturbing the others.
+// The commit loop lives in ResumeOBDTestsCtx (resume.go); this is the
+// from-scratch, run-to-completion entry point.
 func (s *Scheduler) GenerateOBDTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.OBD, opt *Options) (*TestSet, error) {
-	if opt == nil {
-		opt = DefaultOptions()
-	}
-	if err := ensureValid(c); err != nil {
-		return nil, err
-	}
-	n := len(faults)
-	tb := guidance(c, opt)
-	ts := &TestSet{}
-	covered := make([]bool, n)
-	done := make([]bool, n)
-	specTP := make([]*TwoPattern, n)
-	specSt := make([]Status, n)
-	specErr := make([]error, n)
-	batch := genBatch(s.WorkerCount())
-	if opt.BacktrackSink != nil {
-		batch = 1
-	}
-	if opt.Prune {
-		// Static untestability proofs settle faults before PODEM sees
-		// them. The mask is computed across the pool; marking done[] up
-		// front keeps the commit loop's speculation contract untouched.
-		pruned := make([]bool, n)
-		rep := s.ForEachCtx(ctx, n, func(i int) error {
-			pruned[i] = netcheck.ProveOBD(c, faults[i]).Untestable
-			return nil
-		})
-		if rep.Err != nil {
-			return ts, rep.Err
-		}
-		for i := range pruned {
-			if pruned[i] {
-				done[i] = true
-				specSt[i] = Untestable
-			}
-		}
-	}
-	for i, f := range faults {
-		if err := ctx.Err(); err != nil {
-			return ts, err
-		}
-		if covered[i] {
-			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
-			continue
-		}
-		if !done[i] {
-			s.speculate(ctx, i, batch, covered, done, func(j int) {
-				specErr[j] = protect(func() error {
-					specTP[j], specSt[j] = generateOBDTestWith(c, faults[j], opt, tb)
-					return nil
-				})
-			})
-			if !done[i] { // speculation cut short by cancellation
-				return ts, ctx.Err()
-			}
-		}
-		tp, st := specTP[i], specSt[i]
-		if specErr[i] != nil {
-			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
-			continue
-		}
-		res := Result{Fault: f.String(), Status: st}
-		if st == Detected {
-			res.Test = tp
-			ts.Tests = append(ts.Tests, *tp)
-			if opt.FaultDropping {
-				s.dropOBD(c, faults, covered, i, *tp)
-			}
-		}
-		ts.Results = append(ts.Results, res)
-	}
-	cov, err := s.GradeOBDCtx(ctx, c, faults, ts.Tests)
-	if err != nil {
-		return ts, err
-	}
-	ts.Coverage = cov
-	return ts, nil
+	return s.ResumeOBDTestsCtx(ctx, c, faults, opt, nil, len(faults))
 }
 
 // GenerateTransitionTests runs the transition-fault generator over a
@@ -765,77 +691,9 @@ func (s *Scheduler) GenerateTransitionTests(c *logic.Circuit, faults []fault.Tra
 
 // GenerateTransitionTestsCtx is GenerateTransitionTests with cooperative
 // cancellation and per-fault panic confinement (see GenerateOBDTestsCtx).
+// The commit loop lives in ResumeTransitionTestsCtx (resume.go).
 func (s *Scheduler) GenerateTransitionTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.Transition, opt *Options) (*TestSet, error) {
-	if opt == nil {
-		opt = DefaultOptions()
-	}
-	if err := ensureValid(c); err != nil {
-		return nil, err
-	}
-	n := len(faults)
-	tb := guidance(c, opt)
-	ts := &TestSet{}
-	covered := make([]bool, n)
-	done := make([]bool, n)
-	specTP := make([]*TwoPattern, n)
-	specSt := make([]Status, n)
-	specErr := make([]error, n)
-	batch := genBatch(s.WorkerCount())
-	if opt.BacktrackSink != nil {
-		batch = 1
-	}
-	for i, f := range faults {
-		if err := ctx.Err(); err != nil {
-			return ts, err
-		}
-		if covered[i] {
-			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
-			continue
-		}
-		if !done[i] {
-			s.speculate(ctx, i, batch, covered, done, func(j int) {
-				specErr[j] = protect(func() error {
-					specTP[j], specSt[j] = generateTransitionTestWith(c, faults[j], opt, tb)
-					return nil
-				})
-			})
-			if !done[i] {
-				return ts, ctx.Err()
-			}
-		}
-		tp, st := specTP[i], specSt[i]
-		if specErr[i] != nil {
-			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
-			continue
-		}
-		res := Result{Fault: f.String(), Status: st}
-		if st == Detected {
-			res.Test = tp
-			ts.Tests = append(ts.Tests, *tp)
-			if opt.FaultDropping {
-				m := n - i
-				// A cancelled drop is caught by the ctx check at the top of
-				// the next iteration; the partially updated covered[] only
-				// concerns items that check never reaches.
-				_ = s.runCtx(ctx, m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
-					for k := lo; k < hi; k++ {
-						j := i + k
-						if !covered[j] && DetectsTransition(c, faults[j], *tp) {
-							covered[j] = true
-						}
-						ws.Pairs++
-					}
-				})
-			}
-		}
-		ts.Results = append(ts.Results, res)
-	}
-	cov, err := s.GradeTransitionCtx(ctx, c, faults, ts.Tests)
-	if err != nil {
-		return ts, err
-	}
-	ts.Coverage = cov
-	return ts, nil
+	return s.ResumeTransitionTestsCtx(ctx, c, faults, opt, nil, len(faults))
 }
 
 // GenerateStuckAtTests runs the stuck-at generator over a fault list with
@@ -847,75 +705,9 @@ func (s *Scheduler) GenerateStuckAtTests(c *logic.Circuit, faults []fault.StuckA
 
 // GenerateStuckAtTestsCtx is GenerateStuckAtTests with cooperative
 // cancellation and per-fault panic confinement (see GenerateOBDTestsCtx).
+// The commit loop lives in ResumeStuckAtTestsCtx (resume.go).
 func (s *Scheduler) GenerateStuckAtTestsCtx(ctx context.Context, c *logic.Circuit, faults []fault.StuckAt, opt *Options) (*StuckAtTestSet, error) {
-	if opt == nil {
-		opt = DefaultOptions()
-	}
-	if err := ensureValid(c); err != nil {
-		return nil, err
-	}
-	n := len(faults)
-	tb := guidance(c, opt)
-	ts := &StuckAtTestSet{}
-	covered := make([]bool, n)
-	done := make([]bool, n)
-	specP := make([]Pattern, n)
-	specSt := make([]Status, n)
-	specErr := make([]error, n)
-	batch := genBatch(s.WorkerCount())
-	if opt.BacktrackSink != nil {
-		batch = 1
-	}
-	for i, f := range faults {
-		if err := ctx.Err(); err != nil {
-			return ts, err
-		}
-		if covered[i] {
-			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Detected})
-			continue
-		}
-		if !done[i] {
-			s.speculate(ctx, i, batch, covered, done, func(j int) {
-				specErr[j] = protect(func() error {
-					specP[j], specSt[j] = generateStuckAtTestWith(c, faults[j], opt, tb)
-					return nil
-				})
-			})
-			if !done[i] {
-				return ts, ctx.Err()
-			}
-		}
-		p, st := specP[i], specSt[i]
-		if specErr[i] != nil {
-			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
-			continue
-		}
-		res := Result{Fault: f.String(), Status: st}
-		if st == Detected {
-			ts.Tests = append(ts.Tests, p)
-			if opt.FaultDropping {
-				m := n - i
-				// Same contract as the transition drop above: cancellation
-				// is re-checked before the next item commits.
-				_ = s.runCtx(ctx, m, gradeGrain(m, s.WorkerCount()), func(lo, hi int, ws *WorkerStats) {
-					for k := lo; k < hi; k++ {
-						j := i + k
-						if !covered[j] && DetectsStuckAt(c, faults[j], p) {
-							covered[j] = true
-						}
-						ws.Pairs++
-					}
-				})
-			}
-		}
-		ts.Results = append(ts.Results, res)
-	}
-	cov, err := s.GradeStuckAtCtx(ctx, c, faults, ts.Tests)
-	if err != nil {
-		return ts, err
-	}
-	ts.Coverage = cov
-	return ts, nil
+	return s.ResumeStuckAtTestsCtx(ctx, c, faults, opt, nil, len(faults))
 }
 
 // GenerateLOSTests runs the launch-on-shift generator over a fault list

@@ -1,0 +1,53 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDraining reports a submission rejected because the manager is
+// draining for shutdown. Match with errors.Is; the serving layer maps
+// it to 503 so a load balancer retries against a live replica.
+var ErrDraining = errors.New("jobs: manager is draining")
+
+// errHalted marks the manager after an injected crash (tests only): the
+// simulated process is dead, so every durable operation is refused.
+var errHalted = errors.New("jobs: runtime halted by injected crash")
+
+// NotFoundError reports a job ID with no record in the journal. Match
+// with errors.As; the serving layer maps it to 404.
+type NotFoundError struct {
+	ID string
+}
+
+// Error implements error.
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("jobs: job %s not found", e.ID)
+}
+
+// NotDoneError reports a result fetch on a job that has not (or not
+// yet) produced an artifact. State carries where the job actually is.
+type NotDoneError struct {
+	ID    string
+	State State
+}
+
+// Error implements error.
+func (e *NotDoneError) Error() string {
+	return fmt.Sprintf("jobs: job %s is %s, not done", e.ID, e.State)
+}
+
+// SpecError reports an invalid job specification at submission time.
+// The serving layer maps it to 400.
+type SpecError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("jobs: invalid spec: %s", e.Reason)
+}
+
+func badSpec(format string, args ...any) *SpecError {
+	return &SpecError{Reason: fmt.Sprintf(format, args...)}
+}

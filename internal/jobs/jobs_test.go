@@ -1,0 +1,458 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gobd/internal/cells"
+	"gobd/internal/logic"
+	"gobd/internal/obd"
+	"gobd/internal/store"
+)
+
+// testNetlist is the full-adder sum cell — the paper's running example:
+// big enough for several checkpoint segments, small enough to simulate
+// in milliseconds.
+func testNetlist(t *testing.T) string {
+	t.Helper()
+	return logic.Format(cells.FullAdderSumLogic())
+}
+
+func missionSpec(netlist string) Spec {
+	return Spec{Kind: KindMission, Netlist: netlist, Mission: &MissionSpec{
+		Seed:      42,
+		Chips:     10,
+		Duration:  5 * obd.DefaultWindow,
+		FaultRate: 3,
+		Adversity: "heavy",
+		PerChip:   true,
+	}}
+}
+
+func atpgSpec(netlist, model string) Spec {
+	return Spec{Kind: KindATPG, Netlist: netlist, ATPG: &ATPGSpec{Model: model}}
+}
+
+// openTestManager opens a store+manager pair rooted at dir with small
+// checkpoint segments so even tiny jobs cross several boundaries.
+func openTestManager(t *testing.T, dir string, hook store.Hook) (*store.Store, *Manager) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(dir, "store"), hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(Config{
+		Store:         st,
+		JournalPath:   filepath.Join(dir, "journal"),
+		Workers:       2,
+		SegmentChips:  3,
+		SegmentFaults: 4,
+		Hook:          hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, m
+}
+
+// waitState polls until the job reaches want (returning its snapshot)
+// or the deadline expires.
+func waitState(t *testing.T, m *Manager, id string, want State) *Job {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		j, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == want {
+			return j
+		}
+		if j.State == StateFailed && want != StateFailed {
+			t.Fatalf("job %s failed: %s", id, j.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	j, _ := m.Get(id)
+	t.Fatalf("job %s stuck in %s (want %s)", id, j.State, want)
+	return nil
+}
+
+// TestMissionJobLifecycle: submit → poll → fetch, and the artifact is
+// the same JSON the synchronous mission path computes.
+func TestMissionJobLifecycle(t *testing.T) {
+	_, m := openTestManager(t, t.TempDir(), nil)
+	defer m.Close()
+
+	j, err := m.Submit(missionSpec(testNetlist(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Kind != KindMission || j.Total != 10 {
+		t.Fatalf("snapshot = %+v", j)
+	}
+	done := waitState(t, m, j.ID, StateDone)
+	if done.Committed != done.Total {
+		t.Fatalf("done job committed %d/%d", done.Committed, done.Total)
+	}
+	body, err := m.Result(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res MissionResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("artifact is not MissionResult JSON: %v", err)
+	}
+	if res.Report == nil || res.Report.Chips != 10 || res.Report.Complete != 10 {
+		t.Fatalf("report = %+v", res.Report)
+	}
+	if !bytes.HasSuffix(body, []byte("\n")) {
+		t.Fatal("artifact missing trailing newline (wire-format parity)")
+	}
+}
+
+// TestATPGJobLifecycle for each fault model.
+func TestATPGJobLifecycle(t *testing.T) {
+	for _, model := range []string{"obd", "transition", "stuckat"} {
+		_, m := openTestManager(t, t.TempDir(), nil)
+		j, err := m.Submit(atpgSpec(testNetlist(t), model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, j.ID, StateDone)
+		body, err := m.Result(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res ATPGResult
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Model != model || res.Faults == 0 || res.Coverage.Total != res.Faults {
+			t.Fatalf("%s result = %+v", model, res)
+		}
+		m.Close()
+	}
+}
+
+// TestSubmitDedupes: spelling variants of one canonical spec map to one
+// job ID; resubmission of a done job returns the done snapshot.
+func TestSubmitDedupes(t *testing.T) {
+	_, m := openTestManager(t, t.TempDir(), nil)
+	defer m.Close()
+
+	nl := testNetlist(t)
+	a, err := m.Submit(missionSpec(nl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whitespace/comment variant of the same netlist, same params.
+	variant := missionSpec("# a comment\n" + nl + "\n\n")
+	b, err := m.Submit(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("canonicalization failed: %s vs %s", a.ID, b.ID)
+	}
+	waitState(t, m, a.ID, StateDone)
+	c, err := m.Submit(missionSpec(nl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != a.ID || c.State != StateDone {
+		t.Fatalf("resubmit of done job = %+v", c)
+	}
+
+	other := missionSpec(nl)
+	other.Mission.Seed = 43
+	d, err := m.Submit(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID == a.ID {
+		t.Fatal("different seed must be a different job")
+	}
+}
+
+// TestSpecValidation: invalid submissions are typed *SpecError and
+// never reach the journal.
+func TestSpecValidation(t *testing.T) {
+	_, m := openTestManager(t, t.TempDir(), nil)
+	defer m.Close()
+
+	nl := testNetlist(t)
+	bad := []Spec{
+		{Kind: KindMission, Netlist: nl}, // missing params
+		{Kind: "bake", Netlist: nl},      // unknown kind
+		{Kind: KindMission, Netlist: "circuit g\nbogus\n", Mission: &MissionSpec{Chips: 1}}, // parse error
+		{Kind: KindMission, Netlist: nl, Mission: &MissionSpec{Chips: 0, Duration: 1}},      // bad chips
+		{Kind: KindMission, Netlist: nl, Mission: &MissionSpec{Chips: 1, Duration: 1, Adversity: "bogus=1"}},
+		{Kind: KindATPG, Netlist: nl, ATPG: &ATPGSpec{Model: "parity"}},               // bad model
+		{Kind: KindATPG, Netlist: nl, ATPG: &ATPGSpec{Model: "stuckat", Prune: true}}, // prune misuse
+		{Kind: KindATPG, Netlist: nl, ATPG: &ATPGSpec{MaxBacktracks: -1}},             // bad limit
+		{Kind: KindATPG, Netlist: nl, Mission: &MissionSpec{Chips: 1}},                // cross-kind params
+	}
+	for i, sp := range bad {
+		_, err := m.Submit(sp)
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Fatalf("bad[%d]: err = %v, want *SpecError", i, err)
+		}
+	}
+	if n := m.Stats()["jobs_queued"] + m.Stats()["jobs_running"]; n != 0 {
+		t.Fatalf("invalid specs enqueued %d jobs", n)
+	}
+}
+
+// TestNotFoundAndNotDone: the typed negative-path errors.
+func TestNotFoundAndNotDone(t *testing.T) {
+	_, m := openTestManager(t, t.TempDir(), nil)
+	defer m.Close()
+
+	var nfe *NotFoundError
+	if _, err := m.Get("jdeadbeef"); !errors.As(err, &nfe) {
+		t.Fatalf("Get unknown: %v", err)
+	}
+	if _, err := m.Result("jdeadbeef"); !errors.As(err, &nfe) {
+		t.Fatalf("Result unknown: %v", err)
+	}
+	if _, err := m.Cancel("jdeadbeef"); !errors.As(err, &nfe) {
+		t.Fatalf("Cancel unknown: %v", err)
+	}
+	if nfe.ID != "jdeadbeef" {
+		t.Fatalf("NotFoundError.ID = %q", nfe.ID)
+	}
+
+	j, err := m.Submit(missionSpec(testNetlist(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(j.ID); err != nil {
+		var nde *NotDoneError
+		if !errors.As(err, &nde) {
+			t.Fatalf("Result before done: %v, want *NotDoneError", err)
+		}
+	} else {
+		// The tiny job may already be done; that's fine.
+		waitState(t, m, j.ID, StateDone)
+	}
+}
+
+// TestCancelRunningJob: cancel lands at a checkpoint boundary and the
+// job can be revived by resubmission, finishing from its checkpoint.
+func TestCancelRunningJob(t *testing.T) {
+	_, m := openTestManager(t, t.TempDir(), nil)
+	defer m.Close()
+
+	j, err := m.Submit(missionSpec(testNetlist(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		snap, err := m.Get(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State == StateCancelled || snap.State == StateDone {
+			break
+		}
+		if i > 2000 {
+			t.Fatalf("cancel never settled: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Revive: a cancelled job resubmits and completes.
+	if _, err := m.Submit(missionSpec(testNetlist(t))); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateDone)
+	if _, err := m.Result(j.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartCompletesJournaledJob: a job interrupted by a hard Close
+// (no drain) is requeued by journal replay and finishes with artifact
+// bytes identical to an uninterrupted run.
+func TestRestartCompletesJournaledJob(t *testing.T) {
+	base := t.TempDir()
+	_, ref := openTestManager(t, filepath.Join(base, "ref"), nil)
+	defer ref.Close()
+	refJob, err := ref.Submit(missionSpec(testNetlist(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ref, refJob.ID, StateDone)
+	want, err := ref.Result(refJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(base, "victim")
+	_, m := openTestManager(t, dir, nil)
+	j, err := m.Submit(missionSpec(testNetlist(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close() // interrupt: no drain, in-flight work is abandoned
+
+	_, m2 := openTestManager(t, dir, nil)
+	defer m2.Close()
+	got, err := m2.Get(j.ID)
+	if err != nil {
+		t.Fatalf("journal lost the job across restart: %v", err)
+	}
+	if got.State != StateQueued && got.State != StateRunning && got.State != StateDone {
+		t.Fatalf("replayed state = %s", got.State)
+	}
+	waitState(t, m2, j.ID, StateDone)
+	body, err := m2.Result(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("artifact after restart differs from uninterrupted run")
+	}
+}
+
+// TestDrainParksAndRestartResumes: Drain checkpoints the in-flight job,
+// journals it back to queued, refuses new submissions, and a fresh
+// manager on the same directory completes it byte-identically.
+func TestDrainParksAndRestartResumes(t *testing.T) {
+	base := t.TempDir()
+	_, ref := openTestManager(t, filepath.Join(base, "ref"), nil)
+	defer ref.Close()
+	refJob, err := ref.Submit(missionSpec(testNetlist(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ref, refJob.ID, StateDone)
+	want, err := ref.Result(refJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(base, "drained")
+	_, m := openTestManager(t, dir, nil)
+	j, err := m.Submit(missionSpec(testNetlist(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	if _, err := m.Submit(atpgSpec(testNetlist(t), "obd")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+	snap, err := m.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateQueued && snap.State != StateDone {
+		t.Fatalf("drained job state = %s, want queued or done", snap.State)
+	}
+	m.Close()
+
+	_, m2 := openTestManager(t, dir, nil)
+	defer m2.Close()
+	waitState(t, m2, j.ID, StateDone)
+	body, err := m2.Result(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("artifact after drain+restart differs from uninterrupted run")
+	}
+}
+
+// TestCorruptArtifactRequeues: a done job whose artifact rots on disk is
+// never served corrupt bytes — the fetch returns the typed store error,
+// the job recomputes, and the next fetch returns intact bytes.
+func TestCorruptArtifactRequeues(t *testing.T) {
+	st, m := openTestManager(t, t.TempDir(), nil)
+	defer m.Close()
+
+	j, err := m.Submit(atpgSpec(testNetlist(t), "obd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateDone)
+	want, err := m.Result(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the artifact in place (flip one payload byte).
+	var path string
+	err = filepath.Walk(filepath.Join(st.Root(), "objects"), func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(p) != ".ckpt" {
+			path = p
+		}
+		return err
+	})
+	if err != nil || path == "" {
+		t.Fatalf("artifact file not found: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = m.Result(j.ID)
+	var cae *store.CorruptArtifactError
+	if !errors.As(err, &cae) {
+		t.Fatalf("corrupt fetch: %v, want *store.CorruptArtifactError", err)
+	}
+	if cae.Quarantined == "" {
+		t.Fatal("corrupt artifact was not quarantined")
+	}
+
+	waitState(t, m, j.ID, StateDone)
+	got, err := m.Result(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recomputed artifact differs from the original")
+	}
+}
+
+// TestStatsGauges: the /metrics-facing counters move.
+func TestStatsGauges(t *testing.T) {
+	_, m := openTestManager(t, t.TempDir(), nil)
+	defer m.Close()
+
+	j, err := m.Submit(missionSpec(testNetlist(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateDone)
+	stats := m.Stats()
+	if stats["jobs_done"] != 1 {
+		t.Fatalf("jobs_done = %d", stats["jobs_done"])
+	}
+	if stats["jobs_checkpoints"] == 0 {
+		t.Fatal("no checkpoints recorded for a multi-segment job")
+	}
+	if stats["jobs_journal_records"] < 3 {
+		t.Fatalf("journal_records = %d, want >= 3 (submit, running, done)", stats["jobs_journal_records"])
+	}
+}

@@ -1,0 +1,146 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gobd/internal/store"
+)
+
+// crashArm is the kill-injection trigger: it counts every failpoint the
+// store and journal fire and, when armed, simulates a process kill at
+// the at-th occurrence by returning store.ErrInjectedCrash — after
+// which the store leaves the disk exactly as a real crash would (torn
+// temp files, missing renames, half-written journal lines included).
+type crashArm struct {
+	mu    sync.Mutex
+	at    int // 0 = count only, never fire
+	count int
+	fired bool
+}
+
+func (a *crashArm) hook(fp store.Failpoint) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.fired {
+		return nil // the simulated process is already dead
+	}
+	a.count++
+	if a.at > 0 && a.count == a.at {
+		a.fired = true
+		return store.ErrInjectedCrash
+	}
+	return nil
+}
+
+func (a *crashArm) total() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.count
+}
+
+// runKillMatrix is the crash-recovery property test: run the job once
+// uninterrupted to get the baseline artifact and the failpoint count N,
+// then for every k in 1..N kill the worker at the k-th failpoint,
+// reboot a fresh manager on the survivor directory, and require the
+// finished artifact to be byte-identical to the baseline.
+func runKillMatrix(t *testing.T, sp Spec) {
+	t.Helper()
+	baseArm := &crashArm{}
+	_, base := openTestManager(t, t.TempDir(), baseArm.hook)
+	j, err := base.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, base, j.ID, StateDone)
+	want, err := base.Result(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Close()
+	total := baseArm.total()
+	if total < 15 {
+		t.Fatalf("only %d failpoint occurrences — the job is not crossing checkpoint boundaries", total)
+	}
+
+	resumed := 0
+	for k := 1; k <= total; k++ {
+		k := k
+		t.Run(fmt.Sprintf("kill-at-%03d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			arm := &crashArm{at: k}
+			_, victim := openTestManager(t, dir, arm.hook)
+			if _, serr := victim.Submit(sp); serr != nil && !errors.Is(serr, store.ErrInjectedCrash) {
+				t.Fatalf("submit: %v", serr)
+			}
+			// Wait for the kill to land or the job to finish (a crash
+			// after the final fsync still completes the work).
+			for i := 0; i < 4000; i++ {
+				if victim.halted.Load() {
+					break
+				}
+				if snap, gerr := victim.Get(j.ID); gerr == nil && snap.State == StateDone {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			victim.Close()
+
+			// Reboot: fresh store and manager over the crashed state.
+			st, err := store.Open(filepath.Join(dir, "store"), nil)
+			if err != nil {
+				t.Fatalf("store did not recover: %v", err)
+			}
+			m, err := Open(Config{
+				Store:         st,
+				JournalPath:   filepath.Join(dir, "journal"),
+				Workers:       2,
+				SegmentChips:  3,
+				SegmentFaults: 4,
+			})
+			if err != nil {
+				t.Fatalf("journal did not recover: %v", err)
+			}
+			defer m.Close()
+			// Resubmit: a no-op when the journal kept the job, a fresh
+			// submission when the crash preceded the submit record.
+			j2, err := m.Submit(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j2.ID != j.ID {
+				t.Fatalf("job ID drifted across crash: %s vs %s", j2.ID, j.ID)
+			}
+			waitState(t, m, j2.ID, StateDone)
+			got, err := m.Result(j2.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("artifact after kill-at-%d differs from uninterrupted run:\n got %d bytes\nwant %d bytes", k, len(got), len(want))
+			}
+			if m.Stats()["jobs_resumes"] > 0 {
+				resumed++
+			}
+		})
+	}
+	if resumed == 0 {
+		t.Fatal("no kill point resumed from a checkpoint — the matrix is not exercising resume")
+	}
+}
+
+// TestKillInjectionMission: every failpoint occurrence of a mission
+// campaign job is a survivable kill point.
+func TestKillInjectionMission(t *testing.T) {
+	runKillMatrix(t, missionSpec(testNetlist(t)))
+}
+
+// TestKillInjectionATPG: same property for OBD test generation.
+func TestKillInjectionATPG(t *testing.T) {
+	runKillMatrix(t, atpgSpec(testNetlist(t), "obd"))
+}

@@ -1,0 +1,608 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gobd/internal/store"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Store holds artifacts and checkpoints (required). It may be shared
+	// with the serving layer's durable response cache: keys are
+	// namespaced by the digest scheme, not by the consumer.
+	Store *store.Store
+	// JournalPath is the crash-safe lifecycle journal file (required).
+	JournalPath string
+	// Workers sizes the scheduler pool each job computes with (0 = 1).
+	// The worker count never changes results — only wall-clock time.
+	Workers int
+	// SegmentChips is the mission checkpoint granularity in chips (0 = 16).
+	SegmentChips int
+	// SegmentFaults is the ATPG checkpoint granularity in faults (0 = 32).
+	SegmentFaults int
+	// Hook receives journal failpoints (tests only).
+	Hook store.Hook
+}
+
+// journalRec is one journal entry: a submission (with its canonical
+// spec) or a state transition.
+type journalRec struct {
+	Op    string `json:"op"` // "submit" | "state"
+	ID    string `json:"id"`
+	Spec  *Spec  `json:"spec,omitempty"`
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// jobEntry is the in-memory record of a job. All fields are guarded by
+// Manager.mu except norm, which is immutable after creation.
+type jobEntry struct {
+	id              string
+	norm            *normalized
+	state           State
+	errMsg          string
+	committed       int
+	resumed         bool
+	cancelRequested bool
+	ctx             context.Context
+	cancel          context.CancelFunc
+}
+
+// Manager is the durable job runtime: a journaled job table and a
+// single background runner that executes queued jobs with checkpointed
+// progress. Open it on a directory that survived a crash and every
+// queued or interrupted job resumes from its last checkpoint.
+type Manager struct {
+	cfg     Config
+	journal *store.Journal
+
+	runCtx  context.Context
+	runStop context.CancelFunc
+	wg      sync.WaitGroup
+	wakeCh  chan struct{}
+
+	// halted marks the manager dead after an injected crash (tests):
+	// from that instant nothing may touch the disk, mimicking a killed
+	// process whose on-disk state is frozen mid-operation.
+	halted atomic.Bool
+
+	checkpoints atomic.Int64
+	resumes     atomic.Int64
+
+	mu          sync.Mutex
+	jobs        map[string]*jobEntry
+	queue       []string
+	draining    bool
+	drainCh     chan struct{}
+	drainedCh   chan struct{}
+	drainedOnce sync.Once
+	closeOnce   sync.Once
+	closeErr    error
+}
+
+// Open replays the journal, requeues every job that had not reached a
+// terminal state, and starts the runner.
+func Open(cfg Config) (*Manager, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("jobs: open: %w", badSpec("Config.Store is required"))
+	}
+	if cfg.JournalPath == "" {
+		return nil, fmt.Errorf("jobs: open: %w", badSpec("Config.JournalPath is required"))
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.SegmentChips <= 0 {
+		cfg.SegmentChips = 16
+	}
+	if cfg.SegmentFaults <= 0 {
+		cfg.SegmentFaults = 32
+	}
+	journal, recs, err := store.OpenJournal(cfg.JournalPath, cfg.Hook)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	m := &Manager{
+		cfg:       cfg,
+		journal:   journal,
+		wakeCh:    make(chan struct{}, 1),
+		jobs:      make(map[string]*jobEntry),
+		drainCh:   make(chan struct{}),
+		drainedCh: make(chan struct{}),
+	}
+	m.runCtx, m.runStop = context.WithCancel(context.Background()) //obdcheck:allow ctxflow — manager-lifetime root context: the runner outlives any request and is cancelled by Close
+	if err := m.replay(recs); err != nil {
+		_ = journal.Close()
+		return nil, err
+	}
+	m.wg.Add(1)
+	go m.runner()
+	return m, nil
+}
+
+// replay rebuilds the job table from journal records and queues every
+// non-terminal job in submission order. A job that was running when the
+// process died is indistinguishable from a queued one here — its
+// checkpoint (if any) carries the progress.
+func (m *Manager) replay(recs [][]byte) error {
+	var order []string
+	for i, raw := range recs {
+		var rec journalRec
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("jobs: journal record %d: %w", i, err)
+		}
+		switch rec.Op {
+		case "submit":
+			if rec.Spec == nil || rec.ID == "" {
+				return fmt.Errorf("jobs: journal record %d: %w", i, badSpec("submit without spec or id"))
+			}
+			norm, err := rec.Spec.normalize()
+			if err != nil {
+				// The spec was valid when journaled; if it no longer
+				// normalizes (format drift across versions) the job is
+				// failed, not silently dropped.
+				m.jobs[rec.ID] = &jobEntry{id: rec.ID, state: StateFailed, errMsg: err.Error()}
+				continue
+			}
+			m.jobs[rec.ID] = &jobEntry{id: rec.ID, norm: norm, state: StateQueued}
+			order = append(order, rec.ID)
+		case "state":
+			e := m.jobs[rec.ID]
+			if e == nil {
+				return fmt.Errorf("jobs: journal record %d: %w", i, badSpec("state for unknown job %s", rec.ID))
+			}
+			e.state = rec.State
+			e.errMsg = rec.Error
+		default:
+			return fmt.Errorf("jobs: journal record %d: %w", i, badSpec("unknown op %q", rec.Op))
+		}
+	}
+	for _, id := range order {
+		e := m.jobs[id]
+		switch e.state {
+		case StateRunning:
+			// Died mid-run: requeue; the checkpoint carries progress.
+			e.state = StateQueued
+			e.resumed = true
+			m.queue = append(m.queue, id)
+		case StateQueued:
+			m.queue = append(m.queue, id)
+		case StateDone:
+			e.committed = e.norm.total
+		case StateFailed, StateCancelled:
+		}
+	}
+	return nil
+}
+
+// Submit validates, canonicalizes and journals a job, returning its
+// snapshot. Identical specs dedupe onto one job; resubmitting a failed
+// or cancelled job requeues it.
+func (m *Manager) Submit(sp Spec) (*Job, error) {
+	if m.halted.Load() {
+		return nil, fmt.Errorf("jobs: submit: %w", errHalted)
+	}
+	norm, err := sp.normalize()
+	if err != nil {
+		return nil, err
+	}
+	id := jobID(norm.digest)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, fmt.Errorf("jobs: submit: %w", ErrDraining)
+	}
+	if e, ok := m.jobs[id]; ok {
+		if e.state == StateFailed || e.state == StateCancelled {
+			if err := m.appendLocked(journalRec{Op: "state", ID: id, State: StateQueued}); err != nil {
+				return nil, err
+			}
+			e.state = StateQueued
+			e.errMsg = ""
+			e.cancelRequested = false
+			e.committed = 0
+			m.queue = append(m.queue, id)
+			m.wakeLocked()
+		}
+		return e.snapshotLocked(), nil
+	}
+	e := &jobEntry{id: id, norm: norm, state: StateQueued}
+	if err := m.appendLocked(journalRec{Op: "submit", ID: id, Spec: &norm.spec}); err != nil {
+		return nil, err
+	}
+	m.jobs[id] = e
+	m.queue = append(m.queue, id)
+	m.wakeLocked()
+	return e.snapshotLocked(), nil
+}
+
+// Get returns a job snapshot.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.jobs[id]
+	if e == nil {
+		return nil, &NotFoundError{ID: id}
+	}
+	return e.snapshotLocked(), nil
+}
+
+// Result returns the artifact bytes of a done job. A corrupt or missing
+// artifact is never served: the store quarantines it, the job is
+// requeued for recomputation, and the caller gets the typed error.
+func (m *Manager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	e := m.jobs[id]
+	if e == nil {
+		m.mu.Unlock()
+		return nil, &NotFoundError{ID: id}
+	}
+	if e.state != StateDone {
+		st := e.state
+		m.mu.Unlock()
+		return nil, &NotDoneError{ID: id, State: st}
+	}
+	key := artifactKey(e.norm.digest)
+	m.mu.Unlock()
+	body, err := m.cfg.Store.Get(key)
+	if err == nil {
+		return body, nil
+	}
+	m.mu.Lock()
+	if e.state == StateDone {
+		if jerr := m.appendLocked(journalRec{Op: "state", ID: id, State: StateQueued}); jerr == nil {
+			e.state = StateQueued
+			e.committed = 0
+			m.queue = append(m.queue, id)
+			m.wakeLocked()
+		}
+	}
+	m.mu.Unlock()
+	return nil, fmt.Errorf("jobs: result %s: %w", id, err)
+}
+
+// Cancel stops a job: queued jobs are cancelled immediately, running
+// jobs at the next checkpoint boundary (the runner journals the
+// transition when it observes the cancellation). Terminal jobs are
+// unchanged.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.jobs[id]
+	if e == nil {
+		return nil, &NotFoundError{ID: id}
+	}
+	switch e.state {
+	case StateQueued:
+		if err := m.appendLocked(journalRec{Op: "state", ID: id, State: StateCancelled}); err != nil {
+			return nil, err
+		}
+		e.state = StateCancelled
+		for i, qid := range m.queue {
+			if qid == id {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+	case StateRunning:
+		e.cancelRequested = true
+		if e.cancel != nil {
+			e.cancel()
+		}
+	case StateDone, StateFailed, StateCancelled:
+	}
+	return e.snapshotLocked(), nil
+}
+
+// Drain stops accepting submissions and parks the runner at the next
+// checkpoint boundary, journaling the in-flight job back to queued so a
+// restart resumes it from its checkpoint. It returns once the runner
+// has parked or ctx expires.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.drainCh)
+	}
+	m.mu.Unlock()
+	m.wake()
+	select {
+	case <-m.drainedCh:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: drain: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Close stops the runner and closes the journal. In-flight work is
+// interrupted (not checkpointed); use Drain first for a clean handoff.
+func (m *Manager) Close() error {
+	m.closeOnce.Do(func() {
+		m.runStop()
+		m.wg.Wait()
+		if err := m.journal.Close(); err != nil && !m.halted.Load() {
+			m.closeErr = fmt.Errorf("jobs: close: %w", err)
+		}
+	})
+	return m.closeErr
+}
+
+// Stats reports job and runtime gauges for /metrics.
+func (m *Manager) Stats() map[string]int64 {
+	counts := map[State]int64{}
+	m.mu.Lock()
+	for _, e := range m.jobs {
+		counts[e.state]++
+	}
+	m.mu.Unlock()
+	records, truncated := m.journal.Stats()
+	return map[string]int64{
+		"jobs_queued":                  counts[StateQueued],
+		"jobs_running":                 counts[StateRunning],
+		"jobs_done":                    counts[StateDone],
+		"jobs_failed":                  counts[StateFailed],
+		"jobs_cancelled":               counts[StateCancelled],
+		"jobs_checkpoints":             m.checkpoints.Load(),
+		"jobs_resumes":                 m.resumes.Load(),
+		"jobs_journal_records":         records,
+		"jobs_journal_truncated_bytes": truncated,
+	}
+}
+
+// snapshotLocked builds the public view; the caller holds m.mu.
+func (e *jobEntry) snapshotLocked() *Job {
+	j := &Job{ID: e.id, State: e.state, Error: e.errMsg, Committed: e.committed, Resumed: e.resumed}
+	if e.norm != nil {
+		j.Kind = e.norm.spec.Kind
+		j.Total = e.norm.total
+	}
+	return j
+}
+
+// appendLocked journals a record; the caller holds m.mu. A failed
+// append on the injected-crash path halts the manager — the simulated
+// process is dead and must not touch the disk again.
+func (m *Manager) appendLocked(rec journalRec) error {
+	if m.halted.Load() {
+		return fmt.Errorf("jobs: journal: %w", errHalted)
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: journal: %w", err)
+	}
+	if err := m.journal.Append(raw); err != nil {
+		if errors.Is(err, store.ErrInjectedCrash) {
+			m.halted.Store(true)
+		}
+		return fmt.Errorf("jobs: journal: %w", err)
+	}
+	return nil
+}
+
+func (m *Manager) append(rec journalRec) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.appendLocked(rec)
+}
+
+func (m *Manager) wakeLocked() {
+	select {
+	case m.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) wake() {
+	m.mu.Lock()
+	m.wakeLocked()
+	m.mu.Unlock()
+}
+
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+func (m *Manager) signalDrained() {
+	m.drainedOnce.Do(func() { close(m.drainedCh) })
+}
+
+// runner is the single job-execution goroutine.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for {
+		e := m.next()
+		if e == nil {
+			return
+		}
+		m.runJob(e)
+		if m.halted.Load() {
+			return
+		}
+	}
+}
+
+// next blocks until a job is runnable, returning nil when the manager
+// is draining, closing, or (tests) crash-halted.
+func (m *Manager) next() *jobEntry {
+	for {
+		m.mu.Lock()
+		if m.draining {
+			m.mu.Unlock()
+			m.signalDrained()
+			return nil
+		}
+		for len(m.queue) > 0 {
+			id := m.queue[0]
+			m.queue = m.queue[1:]
+			e := m.jobs[id]
+			if e == nil || e.state != StateQueued {
+				continue // stale queue entry (cancelled while queued)
+			}
+			if err := m.appendLocked(journalRec{Op: "state", ID: id, State: StateRunning}); err != nil {
+				m.mu.Unlock()
+				return nil // journal unwritable: park rather than run unjournaled
+			}
+			e.state = StateRunning
+			e.ctx, e.cancel = context.WithCancel(m.runCtx)
+			m.mu.Unlock()
+			return e
+		}
+		m.mu.Unlock()
+		select {
+		case <-m.wakeCh:
+		case <-m.drainCh:
+		case <-m.runCtx.Done():
+			return nil
+		}
+	}
+}
+
+// runJob executes one job to its next terminal state (or parks it back
+// to queued on drain/shutdown). Every durable write it performs is
+// crash-ordered: artifact before done-record, checkpoint before
+// progress is considered committed.
+func (m *Manager) runJob(e *jobEntry) {
+	m.mu.Lock()
+	ctx := e.ctx
+	norm := e.norm
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		if e.cancel != nil {
+			e.cancel()
+			e.cancel = nil
+			e.ctx = nil
+		}
+		m.mu.Unlock()
+	}()
+
+	// Fast path: the artifact already exists and verifies (journal lost
+	// the done record to a crash, or a resubmitted spec). Get verifies
+	// the digest, so a corrupt object falls through to recompute.
+	if _, err := m.cfg.Store.Get(artifactKey(norm.digest)); err == nil {
+		m.finalize(e, norm)
+		return
+	}
+
+	var body []byte
+	var err error
+	switch norm.spec.Kind {
+	case KindMission:
+		body, err = m.runMission(ctx, e, norm)
+	case KindATPG:
+		body, err = m.runATPG(ctx, e, norm)
+	default:
+		err = badSpec("unknown kind %q", norm.spec.Kind)
+	}
+
+	switch {
+	case err == nil:
+		if perr := m.cfg.Store.Put(artifactKey(norm.digest), body); perr != nil {
+			if errors.Is(perr, store.ErrInjectedCrash) {
+				m.halted.Store(true)
+				return
+			}
+			m.settle(e, StateFailed, perr.Error())
+			return
+		}
+		m.finalize(e, norm)
+	case errors.Is(err, store.ErrInjectedCrash):
+		m.halted.Store(true)
+	case errors.Is(err, errPaused):
+		// Drain: the last checkpoint carries progress; journal the job
+		// back to queued so a restarted process resumes it.
+		m.settle(e, StateQueued, "")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.mu.Lock()
+		cancelled := e.cancelRequested
+		closing := m.runCtx.Err() != nil
+		m.mu.Unlock()
+		switch {
+		case cancelled:
+			m.settle(e, StateCancelled, "")
+		case closing:
+			// Close without drain: leave the journal at running; replay
+			// requeues the job exactly like a crash would.
+			m.mu.Lock()
+			e.state = StateQueued
+			m.mu.Unlock()
+		default:
+			m.settle(e, StateQueued, "")
+		}
+	default:
+		m.settle(e, StateFailed, err.Error())
+	}
+}
+
+// finalize journals the done record (the artifact is already durable)
+// and drops the checkpoint, which is now dead weight.
+func (m *Manager) finalize(e *jobEntry, norm *normalized) {
+	if err := m.append(journalRec{Op: "state", ID: e.id, State: StateDone}); err != nil {
+		return // halted (injected crash) or unwritable journal: replay will re-run the fast path
+	}
+	m.mu.Lock()
+	e.state = StateDone
+	e.errMsg = ""
+	e.committed = norm.total
+	m.mu.Unlock()
+	_ = m.cfg.Store.Delete(checkpointKey(norm.digest))
+}
+
+// settle journals and applies a terminal (or requeued) state.
+func (m *Manager) settle(e *jobEntry, st State, msg string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.appendLocked(journalRec{Op: "state", ID: e.id, State: st, Error: msg}); err != nil {
+		return
+	}
+	e.state = st
+	e.errMsg = msg
+	if st == StateQueued {
+		m.queue = append(m.queue, e.id)
+	}
+}
+
+// errPaused signals a drain interruption out of a run loop.
+var errPaused = errors.New("jobs: paused for drain")
+
+// putCheckpoint persists a progress prefix. Checkpoint writes go
+// through the same atomic-rename path as artifacts, so a crash leaves
+// either the previous checkpoint or the new one, never a torn file.
+func (m *Manager) putCheckpoint(norm *normalized, payload []byte) error {
+	if m.halted.Load() {
+		return fmt.Errorf("jobs: checkpoint: %w", errHalted)
+	}
+	if err := m.cfg.Store.Put(checkpointKey(norm.digest), payload); err != nil {
+		return fmt.Errorf("jobs: checkpoint: %w", err)
+	}
+	m.checkpoints.Add(1)
+	return nil
+}
+
+func (m *Manager) setCommitted(e *jobEntry, n int) {
+	m.mu.Lock()
+	e.committed = n
+	m.mu.Unlock()
+}
+
+func (m *Manager) markResumed(e *jobEntry) {
+	m.resumes.Add(1)
+	m.mu.Lock()
+	e.resumed = true
+	m.mu.Unlock()
+}

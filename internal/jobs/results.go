@@ -1,0 +1,66 @@
+package jobs
+
+import (
+	"gobd/internal/atpg"
+	"gobd/internal/logic"
+	"gobd/internal/mission"
+)
+
+// Pair is a two-pattern test rendered over the circuit's input order,
+// matching the synchronous API's wire shape.
+type Pair struct {
+	V1 string `json:"v1"`
+	V2 string `json:"v2"`
+}
+
+// CoverageResult summarizes grading, matching the synchronous wire shape.
+type CoverageResult struct {
+	Total      int      `json:"total"`
+	Detected   int      `json:"detected"`
+	Ratio      float64  `json:"ratio"`
+	Undetected []string `json:"undetected,omitempty"`
+}
+
+// MissionResult is the artifact body of a done mission job — the same
+// JSON a successful /v1/mission call returns.
+type MissionResult struct {
+	Circuit     string          `json:"circuit"`
+	Fingerprint string          `json:"fingerprint"`
+	Report      *mission.Report `json:"report"`
+}
+
+// ATPGResult is the artifact body of a done atpg job — the same JSON a
+// successful /v1/atpg call returns.
+type ATPGResult struct {
+	Circuit     string         `json:"circuit"`
+	Fingerprint string         `json:"fingerprint"`
+	Model       string         `json:"model"`
+	Faults      int            `json:"faults"`
+	Pairs       []Pair         `json:"pairs,omitempty"`    // obd, transition
+	Patterns    []string       `json:"patterns,omitempty"` // stuckat
+	Detected    int            `json:"detected"`
+	Untestable  int            `json:"untestable"`
+	Aborted     int            `json:"aborted"`
+	Errored     int            `json:"errored"`
+	Coverage    CoverageResult `json:"coverage"`
+}
+
+func coverageResult(c atpg.Coverage) CoverageResult {
+	return CoverageResult{Total: c.Total, Detected: c.Detected, Ratio: c.Ratio(), Undetected: c.Undetected}
+}
+
+func pairsFor(c *logic.Circuit, tests []atpg.TwoPattern) []Pair {
+	var out []Pair
+	for _, tp := range tests {
+		out = append(out, Pair{V1: tp.V1.KeyFor(c), V2: tp.V2.KeyFor(c)})
+	}
+	return out
+}
+
+func patternsFor(c *logic.Circuit, tests []atpg.Pattern) []string {
+	var out []string
+	for _, p := range tests {
+		out = append(out, p.KeyFor(c))
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+// Package jobs is the durable job runtime: mission campaigns and ATPG
+// generation submitted as background jobs that survive process crashes.
+// Every job is keyed by a content digest of its canonicalized spec, its
+// lifecycle is recorded in a crash-safe journal, and its progress is
+// checkpointed into the artifact store at deterministic boundaries —
+// chip-index prefixes for missions, committed-fault prefixes for ATPG.
+// Because both compute cores guarantee bit-identical prefix/resume
+// semantics (mission.SimulateRange, atpg.Resume*TestsCtx), a job killed
+// at any checkpoint and resumed by a fresh process produces an artifact
+// byte-identical to an uninterrupted run. See DESIGN.md §13.
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"gobd/internal/atpg"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/mission"
+)
+
+// Kind names a job type.
+type Kind string
+
+// Job kinds.
+const (
+	KindMission Kind = "mission"
+	KindATPG    Kind = "atpg"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job states. Queued and running jobs are requeued on restart; done,
+// failed and cancelled are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// MissionSpec parameterizes a mission-campaign job. It mirrors the
+// synchronous /v1/mission request (minus the netlist, which lives on
+// the enclosing Spec); see mission.Config for field semantics.
+type MissionSpec struct {
+	Seed                uint64  `json:"seed"`
+	Chips               int     `json:"chips"`
+	Duration            float64 `json:"duration"`
+	Period              float64 `json:"period,omitempty"`
+	FaultRate           float64 `json:"fault_rate"`
+	BISTCycles          int     `json:"bist_cycles,omitempty"`
+	Adversity           string  `json:"adversity,omitempty"`
+	IncludeUndetectable bool    `json:"include_undetectable,omitempty"`
+	PerChip             bool    `json:"per_chip,omitempty"`
+}
+
+// ATPGSpec parameterizes a test-generation job, mirroring /v1/atpg.
+type ATPGSpec struct {
+	Model         string `json:"model,omitempty"`
+	Prune         bool   `json:"prune,omitempty"`
+	MaxBacktracks int    `json:"max_backtracks,omitempty"`
+}
+
+// Spec is a job submission. Exactly the sub-spec matching Kind must be
+// populated (a nil ATPG spec means all-defaults generation).
+type Spec struct {
+	Kind    Kind         `json:"kind"`
+	Netlist string       `json:"netlist"`
+	Mission *MissionSpec `json:"mission,omitempty"`
+	ATPG    *ATPGSpec    `json:"atpg,omitempty"`
+}
+
+// Job is a point-in-time snapshot of a job's public state.
+type Job struct {
+	ID    string `json:"id"`
+	Kind  Kind   `json:"kind"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Committed/Total report checkpoint progress in work units (chips
+	// for missions, faults for ATPG).
+	Committed int `json:"committed"`
+	Total     int `json:"total"`
+	// Resumed is set when this process continued the job from a
+	// checkpoint written by an earlier (possibly crashed) run.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// normalized is a validated, canonicalized spec ready to run: the
+// netlist re-rendered by logic.Format, model/limit defaults resolved,
+// and the content digest that keys the job's artifacts.
+type normalized struct {
+	spec    Spec // canonical form — what the journal records
+	circuit *logic.Circuit
+	fp      logic.Fingerprint
+	digest  string
+	total   int
+	adv     mission.Adversity // mission jobs
+	opt     *atpg.Options     // atpg jobs
+}
+
+// normalize validates a spec and derives its canonical form and digest.
+// It is deterministic and idempotent: normalizing the canonical spec
+// reproduces the same digest, which is what makes journal replay safe.
+func (sp Spec) normalize() (*normalized, error) {
+	if strings.TrimSpace(sp.Netlist) == "" {
+		return nil, badSpec("netlist is required")
+	}
+	c, err := logic.ParseLenientString(sp.Netlist)
+	if err != nil {
+		return nil, badSpec("netlist: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, badSpec("netlist: %v", err)
+	}
+	fp, err := c.Fingerprint()
+	if err != nil {
+		return nil, badSpec("netlist: %v", err)
+	}
+	n := &normalized{circuit: c, fp: fp}
+	canon := Spec{Kind: sp.Kind, Netlist: logic.Format(c)}
+
+	var params any
+	switch sp.Kind {
+	case KindMission:
+		ms := sp.Mission
+		if ms == nil {
+			return nil, badSpec("mission job needs mission params")
+		}
+		if sp.ATPG != nil {
+			return nil, badSpec("mission job carries atpg params")
+		}
+		if ms.Chips <= 0 {
+			return nil, badSpec("mission.chips = %d, need > 0", ms.Chips)
+		}
+		if ms.Duration <= 0 {
+			return nil, badSpec("mission.duration = %g, need > 0", ms.Duration)
+		}
+		if ms.Period < 0 {
+			return nil, badSpec("mission.period = %g, need >= 0", ms.Period)
+		}
+		if ms.FaultRate < 0 || ms.FaultRate > 100 {
+			return nil, badSpec("mission.fault_rate = %g outside [0, 100]", ms.FaultRate)
+		}
+		if ms.BISTCycles < 0 {
+			return nil, badSpec("mission.bist_cycles = %d, need >= 0", ms.BISTCycles)
+		}
+		advSpec := ms.Adversity
+		if advSpec == "" {
+			advSpec = "off"
+		}
+		adv, err := mission.ParseAdversity(advSpec)
+		if err != nil {
+			return nil, badSpec("mission.adversity: %v", err)
+		}
+		msCopy := *ms
+		canon.Mission = &msCopy
+		n.adv = adv
+		n.total = ms.Chips
+		// Hash the parsed profile instead of its spelling so adversity
+		// spec variants of the same profile share one artifact.
+		hashed := msCopy
+		hashed.Adversity = ""
+		params = struct {
+			MissionSpec
+			Profile mission.Adversity `json:"profile"`
+		}{MissionSpec: hashed, Profile: adv}
+	case KindATPG:
+		if sp.Mission != nil {
+			return nil, badSpec("atpg job carries mission params")
+		}
+		as := sp.ATPG
+		if as == nil {
+			as = &ATPGSpec{}
+		}
+		model := as.Model
+		if model == "" {
+			model = "obd"
+		}
+		switch model {
+		case "obd", "transition", "stuckat":
+		default:
+			return nil, badSpec("unknown model %q (want obd, transition or stuckat)", model)
+		}
+		if as.MaxBacktracks < 0 {
+			return nil, badSpec("atpg.max_backtracks = %d, need >= 0", as.MaxBacktracks)
+		}
+		if as.Prune && model != "obd" {
+			return nil, badSpec("atpg.prune applies to the obd model only")
+		}
+		opt := atpg.DefaultOptions()
+		opt.Prune = as.Prune
+		if as.MaxBacktracks > 0 {
+			opt.MaxBacktracks = as.MaxBacktracks
+		}
+		resolved := ATPGSpec{Model: model, Prune: as.Prune, MaxBacktracks: opt.MaxBacktracks}
+		canon.ATPG = &resolved
+		n.opt = opt
+		switch model {
+		case "obd":
+			u, _ := fault.OBDUniverse(c)
+			n.total = len(u)
+		case "transition":
+			n.total = len(fault.TransitionUniverse(c))
+		default:
+			n.total = len(fault.StuckAtUniverse(c))
+		}
+		params = resolved
+	default:
+		return nil, badSpec("unknown kind %q (want mission or atpg)", sp.Kind)
+	}
+
+	n.spec = canon
+	dig, err := digestOf(string(sp.Kind), fp, canon.Netlist, params)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: digest: %w", err)
+	}
+	n.digest = dig
+	return n, nil
+}
+
+// digestOf mirrors the serving layer's cache-key scheme with a "jobs/"
+// endpoint namespace: endpoint, structural fingerprint, a hash of the
+// canonical netlist, and the remaining params in canonical JSON.
+func digestOf(kind string, fp logic.Fingerprint, canonicalNetlist string, params any) (string, error) {
+	pj, err := json.Marshal(params)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte("jobs/" + kind))
+	h.Write([]byte{0})
+	h.Write(fp[:])
+	h.Write([]byte{0})
+	nl := sha256.Sum256([]byte(canonicalNetlist))
+	h.Write(nl[:])
+	h.Write([]byte{0})
+	h.Write(pj)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// jobID derives the public job ID from the content digest. IDs are
+// content-addressed, so resubmitting an identical spec dedupes.
+func jobID(digest string) string { return "j" + digest[:16] }
+
+// artifactKey and checkpointKey name a job's durable objects in the
+// store; the digest is 64 hex chars, a valid store key.
+func artifactKey(digest string) string   { return digest }
+func checkpointKey(digest string) string { return digest + ".ckpt" }

@@ -18,7 +18,9 @@ package mission
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 
 	"gobd/internal/atpg"
 	"gobd/internal/bist"
@@ -392,4 +394,72 @@ func (m *Campaign) Run(ctx context.Context) (*Report, error) {
 	})
 	report := aggregate(&m.cfg, m.b, results, rep)
 	return report, rep.Err
+}
+
+// SimulateRange simulates the chip interval [lo, hi) of the population
+// and returns the per-chip results in chip order. Each chip is a pure
+// function of (config, bench, chip index), so a campaign can be split
+// into arbitrary ranges — across calls, goroutines or process restarts
+// — and stitched back together with Aggregate into a report
+// bit-identical to an uninterrupted Run. This is the checkpoint surface
+// of the durable job runtime (internal/jobs): a crashed campaign
+// resumes at the last committed chip boundary.
+//
+// A chip whose simulation panics is confined to a ChipFailure (its
+// result slot stays zero and must be excluded from aggregation, which
+// Aggregate does). Cancelling ctx abandons the range with ctx's error;
+// no partial range is returned.
+func (m *Campaign) SimulateRange(ctx context.Context, lo, hi int) ([]ChipResult, []ChipFailure, error) {
+	if lo < 0 || hi > m.cfg.Chips || lo > hi {
+		return nil, nil, fmt.Errorf("mission: chip range [%d, %d) outside population [0, %d)", lo, hi, m.cfg.Chips)
+	}
+	s := m.cfg.Scheduler
+	if s == nil {
+		s = atpg.DefaultScheduler()
+	}
+	results := make([]ChipResult, hi-lo)
+	rep := s.ForEachCtx(ctx, hi-lo, func(k int) error {
+		chip := lo + k
+		if m.testHook != nil {
+			m.testHook(chip)
+		}
+		results[k] = simulateChip(&m.cfg, m.b, chip)
+		return nil
+	})
+	if rep.Err != nil {
+		return nil, nil, rep.Err
+	}
+	var failed []ChipFailure
+	for _, e := range rep.Errors {
+		failed = append(failed, ChipFailure{Chip: lo + e.Index, Error: e.Err.Error()})
+	}
+	return results, failed, nil
+}
+
+// Aggregate folds externally accumulated per-chip results — typically
+// SimulateRange outputs stitched across checkpoints — into a campaign
+// Report. results must cover the whole population in chip order; failed
+// names the chips whose simulation failed (their slots are excluded,
+// exactly as Run excludes them). For a complete, failure-free result
+// set the report is bit-identical to Run's; with failures, the
+// JSON-visible fields (including Failed) still match Run, while the
+// unserialized Errors field carries reconstructed errors that preserve
+// only the failure text.
+func (m *Campaign) Aggregate(results []ChipResult, failed []ChipFailure) (*Report, error) {
+	if len(results) != m.cfg.Chips {
+		return nil, fmt.Errorf("mission: %d results for a %d-chip campaign", len(results), m.cfg.Chips)
+	}
+	rep := &atpg.RunReport{N: m.cfg.Chips, Done: make([]bool, m.cfg.Chips)}
+	for i := range rep.Done {
+		rep.Done[i] = true
+	}
+	sorted := append([]ChipFailure(nil), failed...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Chip < sorted[b].Chip })
+	for _, f := range sorted {
+		if f.Chip < 0 || f.Chip >= m.cfg.Chips {
+			return nil, fmt.Errorf("mission: failure for chip %d outside population [0, %d)", f.Chip, m.cfg.Chips)
+		}
+		rep.Errors = append(rep.Errors, &atpg.ItemError{Index: f.Chip, Err: errors.New(f.Error)})
+	}
+	return aggregate(&m.cfg, m.b, results, rep), nil
 }

@@ -68,7 +68,10 @@ func BenchmarkServeGrade(b *testing.B) {
 	}
 
 	b.Run("cold", func(b *testing.B) {
-		s := New(Config{CacheEntries: -1})
+		s, err := New(Config{CacheEntries: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
 		ts := httptest.NewServer(s.Handler())
 		defer ts.Close()
 		run(b, s, ts)
@@ -77,7 +80,10 @@ func BenchmarkServeGrade(b *testing.B) {
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
-		s := New(Config{})
+		s, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		ts := httptest.NewServer(s.Handler())
 		defer ts.Close()
 		// Prime the cache outside the timed region.

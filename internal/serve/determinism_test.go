@@ -93,7 +93,10 @@ func TestWireDeterminism(t *testing.T) {
 // racing the compute).
 func TestSingleFlightCoalescing(t *testing.T) {
 	const clients = 16
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	gate := make(chan struct{})
 	s.computeGate = gate
 	ts := httptest.NewServer(s.Handler())
@@ -178,7 +181,10 @@ func jsonBody(v any) (*bytes.Reader, error) {
 // the scheduler's deterministic-prefix cancellation semantics: partial
 // work is discarded, never served).
 func TestClientDisconnectMidCompute(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	gate := make(chan struct{})
 	s.computeGate = gate
 	ts := httptest.NewServer(s.Handler())
@@ -239,7 +245,10 @@ func TestClientDisconnectMidCompute(t *testing.T) {
 // the same flight, kills only the leader's client, and checks the
 // follower retries into leadership and still gets the full result.
 func TestFollowerRetryAfterLeaderDisconnect(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	gate := make(chan struct{})
 	s.computeGate = gate
 	ts := httptest.NewServer(s.Handler())

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+
+	"gobd/internal/jobs"
+	"gobd/internal/store"
+)
+
+// JobSubmitRequest is the POST /v1/jobs body — exactly a jobs.Spec:
+// {"kind": "mission"|"atpg", "netlist": "...", "mission": {...}} or
+// {"kind": "atpg", "netlist": "...", "atpg": {...}}.
+type JobSubmitRequest = jobs.Spec
+
+// JobResponse is the snapshot returned by the job endpoints.
+type JobResponse = jobs.Job
+
+// Wire error codes of the job endpoints.
+const (
+	CodeJobNotFound     = "job-not-found"
+	CodeJobNotDone      = "job-not-done"
+	CodeArtifactCorrupt = "artifact-corrupt"
+	CodeDraining        = "draining"
+)
+
+// jobsError maps the jobs runtime's typed errors to wire errors: 404
+// for unknown IDs, 409 for premature result fetches, 400 for invalid
+// specs, and 503 for draining or a quarantined artifact (the job is
+// already requeued for recompute — the client retries).
+func jobsError(err error) *apiError {
+	var nfe *jobs.NotFoundError
+	if errors.As(err, &nfe) {
+		return &apiError{status: http.StatusNotFound, code: CodeJobNotFound, msg: nfe.Error()}
+	}
+	var nde *jobs.NotDoneError
+	if errors.As(err, &nde) {
+		return &apiError{status: http.StatusConflict, code: CodeJobNotDone, msg: nde.Error()}
+	}
+	var se *jobs.SpecError
+	if errors.As(err, &se) {
+		return &apiError{status: http.StatusBadRequest, code: CodeBadRequest, msg: se.Error()}
+	}
+	if errors.Is(err, jobs.ErrDraining) {
+		return &apiError{status: http.StatusServiceUnavailable, code: CodeDraining, msg: "server is draining; jobs are checkpointed for restart"}
+	}
+	var cae *store.CorruptArtifactError
+	if errors.As(err, &cae) || errors.Is(err, store.ErrNotFound) {
+		return &apiError{status: http.StatusServiceUnavailable, code: CodeArtifactCorrupt,
+			msg: "stored artifact failed verification and was quarantined; the job is recomputing — retry shortly"}
+	}
+	return &apiError{status: http.StatusInternalServerError, code: CodeInternal, msg: err.Error()}
+}
+
+// handleJobSubmit accepts a durable job (POST /v1/jobs, 202).
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.metrics.endpoint("jobs")
+	if s.draining.Load() {
+		s.writeError(w, &apiError{status: http.StatusServiceUnavailable, code: CodeDraining, msg: "server is draining"})
+		return
+	}
+	var req JobSubmitRequest
+	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	snap, err := s.jobs.Submit(req)
+	if err != nil {
+		s.writeError(w, jobsError(err))
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, snap)
+}
+
+// handleJobGet reports a job snapshot (GET /v1/jobs/{id}).
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.metrics.endpoint("jobs")
+	snap, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, jobsError(err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+// handleJobResult streams a done job's artifact verbatim (GET
+// /v1/jobs/{id}/result) — byte-identical to the synchronous endpoint's
+// response for the same canonical request.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	s.metrics.endpoint("jobs")
+	body, err := s.jobs.Result(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, jobsError(err))
+		return
+	}
+	s.writeBody(w, body, "job")
+}
+
+// handleJobCancel cancels a job (POST /v1/jobs/{id}/cancel). Queued
+// jobs cancel immediately, running ones at the next checkpoint.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.metrics.endpoint("jobs")
+	snap, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, jobsError(err))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}

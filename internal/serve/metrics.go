@@ -16,6 +16,7 @@ type Metrics struct {
 	Computed     expvar.Int // computations actually run (cache+coalesce misses)
 	CacheHits    expvar.Int // served straight from the LRU
 	CacheMisses  expvar.Int // digest not in cache on arrival
+	StoreHits    expvar.Int // served from the durable artifact store (L2)
 	Coalesced    expvar.Int // followers served by another request's flight
 	Rejected     expvar.Int // 429 backpressure rejections
 	Canceled     expvar.Int // requests whose client went away mid-compute
@@ -48,6 +49,7 @@ func (m *Metrics) Snapshot(extra map[string]int64) map[string]int64 {
 		"computed":      m.Computed.Value(),
 		"cache_hits":    m.CacheHits.Value(),
 		"cache_misses":  m.CacheMisses.Value(),
+		"store_hits":    m.StoreHits.Value(),
 		"coalesced":     m.Coalesced.Value(),
 		"rejected":      m.Rejected.Value(),
 		"canceled":      m.Canceled.Value(),

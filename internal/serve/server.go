@@ -7,10 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"gobd/internal/atpg"
+	"gobd/internal/jobs"
+	"gobd/internal/store"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -35,6 +39,16 @@ type Config struct {
 	MissionMaxChips int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// DataDir, when non-empty, enables the durable layer rooted there: a
+	// crash-safe artifact store that doubles as a cross-restart response
+	// cache, and the /v1/jobs runtime for checkpointed background jobs.
+	// Empty keeps the server fully in-memory (the pre-durability mode).
+	DataDir string
+	// SegmentChips/SegmentFaults tune job checkpoint granularity
+	// (0 = the jobs package defaults). Checkpoint placement never
+	// changes job results — only how much work a crash can lose.
+	SegmentChips  int
+	SegmentFaults int
 }
 
 // withDefaults resolves zero fields to production defaults.
@@ -72,14 +86,22 @@ type Server struct {
 	stopCtx  context.Context // cancelled by Close: force-stops compute
 	stopStop context.CancelFunc
 
+	// Durable layer (nil when Config.DataDir is empty).
+	store *store.Store
+	jobs  *jobs.Manager
+	// draining flips at BeginDrain: /healthz reports it and job
+	// submissions are refused while in-flight work checkpoints.
+	draining atomic.Bool
+
 	// computeGate, when non-nil (tests only), parks every admitted
 	// computation until the channel is closed — the hook that lets the
 	// coalescing and disconnect tests order events deterministically.
 	computeGate <-chan struct{}
 }
 
-// New builds a Server with cfg (zero fields defaulted).
-func New(cfg Config) *Server {
+// New builds a Server with cfg (zero fields defaulted). It fails only
+// when Config.DataDir is set and the durable layer cannot open there.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -90,12 +112,36 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.stopCtx, s.stopStop = context.WithCancel(context.Background()) //obdcheck:allow ctxflow — server-lifetime root context, cancelled by Close
+	if cfg.DataDir != "" {
+		st, err := store.Open(filepath.Join(cfg.DataDir, "store"), nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		//obdcheck:allow paniccontract — the chain bottoms out in the obd stage tables, which cover every defined Stage by construction (the jobs runner validates every spec before it reaches mission.New)
+		mgr, err := jobs.Open(jobs.Config{
+			Store:         st,
+			JournalPath:   filepath.Join(cfg.DataDir, "jobs.journal"),
+			Workers:       cfg.Workers,
+			SegmentChips:  cfg.SegmentChips,
+			SegmentFaults: cfg.SegmentFaults,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.store, s.jobs = st, mgr
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/grade", s.handleGrade)
 	s.mux.HandleFunc("/v1/atpg", s.handleATPG)
 	s.mux.HandleFunc("/v1/lint", s.handleLint)
 	s.mux.HandleFunc("/v1/mission", s.handleMission)
+	if s.jobs != nil {
+		s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+		s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	}
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -103,7 +149,7 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the route tree.
@@ -112,18 +158,55 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the counters (tests and cmd/obdserve's expvar hook).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close force-stops in-flight computations. Call after a graceful
-// http.Server.Shutdown deadline expires (or on the second SIGTERM).
-func (s *Server) Close() { s.stopStop() }
+// BeginDrain marks the server draining: /healthz flips to "draining"
+// (503, so load balancers stop routing here) and job submissions are
+// refused. Call it before http.Server.Shutdown, then DrainJobs.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// DrainJobs parks the job runtime at its next checkpoint boundary,
+// journaling in-flight work back to queued so a restarted process
+// resumes it losslessly. No-op without a durable layer.
+func (s *Server) DrainJobs(ctx context.Context) error {
+	s.BeginDrain()
+	if s.jobs == nil {
+		return nil
+	}
+	if err := s.jobs.Drain(ctx); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// Close force-stops in-flight computations and the job runtime. Call
+// after a graceful http.Server.Shutdown deadline expires (or on the
+// second SIGTERM).
+func (s *Server) Close() {
+	s.stopStop()
+	if s.jobs != nil {
+		s.jobs.Close() //nolint:errcheck // force-stop: journal is already fsynced per append
+	}
+}
 
 // Snapshot folds the live gauges into the counter snapshot.
 func (s *Server) Snapshot() map[string]int64 {
 	entries, bytes := s.cache.stats()
-	return s.metrics.Snapshot(map[string]int64{
+	extra := map[string]int64{
 		"in_flight":     int64(s.queue.inFlight()),
 		"cache_entries": int64(entries),
 		"cache_bytes":   bytes,
-	})
+	}
+	if s.store != nil {
+		objects, storeBytes, quarantined := s.store.Stats()
+		extra["store_objects"] = int64(objects)
+		extra["store_bytes"] = storeBytes
+		extra["store_quarantined"] = quarantined
+	}
+	if s.jobs != nil {
+		for k, v := range s.jobs.Stats() {
+			extra[k] = v
+		}
+	}
+	return s.metrics.Snapshot(extra)
 }
 
 // job is one cacheable unit of work: a digest identifying it and the
@@ -151,6 +234,17 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, build func() (
 		return
 	}
 	s.metrics.CacheMisses.Add(1)
+	if s.store != nil {
+		// Durable second-level cache: digest-verified artifacts survive
+		// restarts. A corrupt object is quarantined by Get and falls
+		// through to recompute — bad bytes are never served.
+		if body, err := s.store.Get(j.digest); err == nil {
+			s.metrics.StoreHits.Add(1)
+			s.cache.put(j.digest, body)
+			s.writeBody(w, body, "store")
+			return
+		}
+	}
 	for {
 		body, leader, err := s.flights.do(r.Context(), j.digest, func() ([]byte, error) {
 			return s.runCompute(r.Context(), j)
@@ -232,6 +326,11 @@ func (s *Server) runCompute(reqCtx context.Context, j *job) ([]byte, error) {
 	}
 	body = append(body, '\n')
 	s.cache.put(j.digest, body)
+	if s.store != nil {
+		// Write-through to the durable cache; a failed write only costs
+		// a future recompute, so it is best-effort by design.
+		s.store.Put(j.digest, body) //nolint:errcheck // durable cache write-through is best-effort
+	}
 	return body, nil
 }
 
@@ -262,6 +361,19 @@ func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
 	if err != nil {
 		return
 	}
+	w.Write(append(body, '\n')) //nolint:errcheck // client writes are best-effort
+}
+
+// writeJSON writes a JSON value with the given status — job snapshots
+// and other non-cacheable bodies that bypass the artifact pipeline.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, &apiError{status: http.StatusInternalServerError, code: CodeInternal, msg: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	w.Write(append(body, '\n')) //nolint:errcheck // client writes are best-effort
 }
 
@@ -300,6 +412,10 @@ func (s *Server) requirePost(w http.ResponseWriter, r *http.Request, endpoint st
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
 	if s.stopCtx.Err() != nil {
 		status = "stopping"
 		code = http.StatusServiceUnavailable

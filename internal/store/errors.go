@@ -1,0 +1,31 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound reports a key with no artifact. Match with errors.Is.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// ErrBadKey reports a key outside the store's key grammar (see Open).
+var ErrBadKey = errors.New("store: invalid key")
+
+// CorruptArtifactError reports an artifact that failed its integrity
+// check on read — a torn write that survived a crash, a truncated or
+// bit-flipped payload, or a mangled manifest header. The store never
+// returns corrupt bytes: by the time this error is surfaced the file
+// has been moved to the quarantine directory (Quarantined names its new
+// path) so the next Put can rebuild the artifact cleanly and auditors
+// can inspect the corpse.
+type CorruptArtifactError struct {
+	Key         string // the requested key
+	Path        string // the object path that failed verification
+	Quarantined string // where the corrupt file was moved ("" if the move itself failed)
+	Reason      string // what the verifier saw
+}
+
+// Error implements error.
+func (e *CorruptArtifactError) Error() string {
+	return fmt.Sprintf("store: artifact %s corrupt: %s", e.Key, e.Reason)
+}

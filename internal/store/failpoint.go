@@ -1,0 +1,63 @@
+package store
+
+import "errors"
+
+// Failpoint names one instant in a durability-critical sequence where a
+// crash would leave distinguishable on-disk state. The kill-injection
+// harness (internal/jobs) arms a Hook that aborts at a chosen failpoint
+// occurrence, simulating a process death at exactly that instant; the
+// robustness contract is that recovery from every failpoint yields a
+// final artifact byte-identical to an uninterrupted run.
+type Failpoint string
+
+// Store and journal failpoints, in write-path order. Each name states
+// what IS on disk when a crash lands there.
+const (
+	// FailPutBeforeWrite: nothing of this Put is on disk yet.
+	FailPutBeforeWrite Failpoint = "store/put/before-write"
+	// FailPutTorn: the temp file holds a prefix of the encoded artifact
+	// (a torn write); the final path is untouched.
+	FailPutTorn Failpoint = "store/put/torn-write"
+	// FailPutAfterWrite: the temp file is complete but not fsynced.
+	FailPutAfterWrite Failpoint = "store/put/after-write"
+	// FailPutAfterSync: the temp file is durable but not yet renamed.
+	FailPutAfterSync Failpoint = "store/put/after-sync"
+	// FailPutAfterRename: the object is visible under its final name but
+	// the directory entry is not yet fsynced.
+	FailPutAfterRename Failpoint = "store/put/after-rename"
+
+	// FailJournalBeforeAppend: the record is not on disk.
+	FailJournalBeforeAppend Failpoint = "store/journal/before-append"
+	// FailJournalTorn: a prefix of the encoded record is on disk (torn
+	// tail) — exactly what replay must tolerate and truncate.
+	FailJournalTorn Failpoint = "store/journal/torn-write"
+	// FailJournalAfterWrite: the record is written but not fsynced.
+	FailJournalAfterWrite Failpoint = "store/journal/after-write"
+	// FailJournalAfterSync: the record is durable.
+	FailJournalAfterSync Failpoint = "store/journal/after-sync"
+)
+
+// Hook is a failpoint callback (tests only; production passes nil). It
+// runs at every failpoint of the store or journal it was installed on;
+// returning a non-nil error aborts the surrounding operation
+// immediately, leaving the on-disk state exactly as a crash at that
+// instant would — no cleanup, no further writes. The conventional abort
+// value is ErrInjectedCrash.
+//
+// Hooks must be deterministic and race-clean: they are called from
+// whatever goroutine performs the write.
+type Hook func(Failpoint) error
+
+// ErrInjectedCrash is the sentinel a Hook returns to simulate a process
+// death at a failpoint. Callers that see it must stop dead: no recovery
+// writes, no state transitions — the next Open over the same directory
+// plays the part of the restarted process.
+var ErrInjectedCrash = errors.New("store: injected crash")
+
+// fire runs the hook, if any, at fp.
+func fire(h Hook, fp Failpoint) error {
+	if h == nil {
+		return nil
+	}
+	return h(fp)
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreManifest fuzzes the two on-disk decoders — the artifact
+// manifest and the journal record line — with the invariants the crash
+// model depends on: decoders never panic on arbitrary bytes (every
+// corrupt file must route to quarantine/truncation, not a crash loop),
+// and encode→decode round-trips exactly for any valid key and payload.
+func FuzzStoreManifest(f *testing.F) {
+	f.Add([]byte("abc123"), []byte(`{"coverage":1}`+"\n"))
+	f.Add([]byte("k-"), []byte{})
+	f.Add([]byte("obdstore1 abc123 3 zz\nxyz"), []byte("obdj1 3 00000000 616263\n"))
+	f.Add([]byte("obdstore1"), []byte("obdj1"))
+	f.Add([]byte{0xff, 0x00, '\n'}, []byte{0xff, 0x00, '\n'})
+	f.Fuzz(func(t *testing.T, keyBytes, payload []byte) {
+		// Arbitrary bytes through both decoders: must not panic, and a
+		// successful manifest decode must re-verify.
+		if mkey, mpayload, reason := decodeManifest(keyBytes); reason == "" {
+			if !validKey(mkey) {
+				t.Fatalf("decodeManifest accepted invalid key %q", mkey)
+			}
+			reEnc := encodeManifest(mkey, mpayload)
+			if !bytes.Equal(reEnc, keyBytes) {
+				t.Fatalf("accepted manifest is not canonical: %q", keyBytes)
+			}
+		}
+		decodeJournalRecord(bytes.TrimSuffix(keyBytes, []byte{'\n'})) //nolint:errcheck // must-not-panic probe
+		decodeJournalRecord(payload)                                  //nolint:errcheck // must-not-panic probe
+
+		// Round-trip: any valid key + arbitrary payload survives
+		// encode→decode bit-exactly.
+		key := string(keyBytes)
+		if validKey(key) {
+			mkey, got, reason := decodeManifest(encodeManifest(key, payload))
+			if reason != "" || mkey != key || !bytes.Equal(got, payload) {
+				t.Fatalf("manifest round-trip failed for key %q: reason=%q", key, reason)
+			}
+		}
+		rec, err := decodeJournalRecord(bytes.TrimSuffix(encodeJournalRecord(payload), []byte{'\n'}))
+		if err != nil || !bytes.Equal(rec, payload) {
+			t.Fatalf("journal round-trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package store
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Journal is an append-only record log with per-record checksums and
+// torn-tail recovery: the durability substrate of the job runtime's
+// state machine. Each Append is one fsynced, self-delimiting line; a
+// crash mid-append leaves a torn final line that the next OpenJournal
+// detects, truncates, and ignores — every record before it replays
+// intact. Records are opaque byte slices to the journal (internal/jobs
+// stores canonical JSON).
+//
+// Record format (one line):
+//
+//	obdj1 <len> <crc32c-hex8> <payload-hex>\n
+//
+// The hex payload keeps records line-delimited whatever bytes the
+// caller logs; crc32c catches torn and bit-flipped tails that still
+// parse.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	hook Hook
+
+	records   int64
+	truncated int64 // bytes dropped by torn-tail recovery at open
+}
+
+const journalMagic = "obdj1"
+
+// castagnoli is the CRC-32C table (same polynomial as iSCSI/ext4).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeJournalRecord renders one record line.
+func encodeJournalRecord(payload []byte) []byte {
+	crc := crc32.Checksum(payload, castagnoli)
+	return []byte(fmt.Sprintf("%s %d %08x %s\n", journalMagic, len(payload), crc, hex.EncodeToString(payload)))
+}
+
+// decodeJournalRecord parses one record line (without the trailing
+// newline), verifying framing and checksum.
+func decodeJournalRecord(line []byte) ([]byte, error) {
+	fields := bytes.Split(line, []byte{' '})
+	if len(fields) != 4 {
+		return nil, fmt.Errorf("journal record has %d fields, want 4", len(fields))
+	}
+	if string(fields[0]) != journalMagic {
+		return nil, fmt.Errorf("bad journal magic %q", fields[0])
+	}
+	n, err := strconv.Atoi(string(fields[1]))
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("bad journal record length %q", fields[1])
+	}
+	wantCRC, err := strconv.ParseUint(string(fields[2]), 16, 32)
+	if err != nil || len(fields[2]) != 8 {
+		return nil, fmt.Errorf("bad journal record crc %q", fields[2])
+	}
+	payload, err := hex.DecodeString(string(fields[3]))
+	if err != nil {
+		return nil, fmt.Errorf("bad journal record payload: %v", err)
+	}
+	if len(payload) != n {
+		return nil, fmt.Errorf("journal record payload is %d bytes, header says %d", len(payload), n)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != uint32(wantCRC) {
+		return nil, fmt.Errorf("journal record crc %08x, header says %08x", got, wantCRC)
+	}
+	return payload, nil
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// every intact record, and truncates a torn tail left by a crash
+// mid-append. The returned records are in append order. hook, when
+// non-nil, receives the append-path failpoints (tests only).
+func OpenJournal(path string, hook Hook) (*Journal, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening journal %s: %w", path, err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		f.Close() //nolint:errcheck // read error is the one to report
+		return nil, nil, fmt.Errorf("store: opening journal %s: %w", path, err)
+	}
+	j := &Journal{f: f, path: path, hook: hook}
+	var records [][]byte
+	good := 0 // byte offset of the end of the last intact record
+	for off := 0; off < len(b); {
+		nl := bytes.IndexByte(b[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		payload, derr := decodeJournalRecord(b[off : off+nl])
+		if derr != nil {
+			break // torn or corrupt: drop this record and everything after
+		}
+		records = append(records, payload)
+		off += nl + 1
+		good = off
+	}
+	if good < len(b) {
+		j.truncated = int64(len(b) - good)
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close() //nolint:errcheck // truncate error is the one to report
+			return nil, nil, fmt.Errorf("store: recovering journal %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close() //nolint:errcheck // seek error is the one to report
+		return nil, nil, fmt.Errorf("store: recovering journal %s: %w", path, err)
+	}
+	j.records = int64(len(records))
+	return j, records, nil
+}
+
+// Append durably logs one record: the record line is written and
+// fsynced before Append returns nil.
+func (j *Journal) Append(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := fire(j.hook, FailJournalBeforeAppend); err != nil {
+		return err
+	}
+	line := encodeJournalRecord(payload)
+	if err := fire(j.hook, FailJournalTorn); err != nil {
+		j.f.Write(line[:len(line)/2]) //nolint:errcheck // simulating a torn append
+		return err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := fire(j.hook, FailJournalAfterWrite); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	j.records++
+	return fire(j.hook, FailJournalAfterSync)
+}
+
+// Stats reports the record count (replayed plus appended) and the bytes
+// truncated by torn-tail recovery at open.
+func (j *Journal) Stats() (records, truncatedBytes int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records, j.truncated
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("store: closing journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// Artifact file format: a single self-describing header line followed by
+// the raw payload bytes. The header carries the logical key (so a file
+// is meaningful without its directory context), the payload length (so
+// truncation is detectable before hashing) and the payload's SHA-256
+// (so any bit flip is detectable). Every read re-verifies all three;
+// an artifact that fails any check is quarantined, never served.
+//
+//	obdstore1 <key> <len> <sha256-hex>\n
+//	<payload bytes>
+
+const manifestMagic = "obdstore1"
+
+// maxManifestHeader bounds the header-line scan so a corrupt file cannot
+// make the decoder walk an arbitrarily long prefix looking for '\n'.
+const maxManifestHeader = 1 + len(manifestMagic) + maxKeyLen + 20 + 64 + 8
+
+// encodeManifest renders the artifact file bytes for (key, payload).
+// key must already be valid (see validKey).
+func encodeManifest(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	head := fmt.Sprintf("%s %s %d %s\n", manifestMagic, key, len(payload), hex.EncodeToString(sum[:]))
+	out := make([]byte, 0, len(head)+len(payload))
+	out = append(out, head...)
+	return append(out, payload...)
+}
+
+// decodeManifest parses and verifies an artifact file. On failure the
+// reason names the first check that failed; key is returned when the
+// header parsed far enough to recover it (for quarantine reporting).
+func decodeManifest(b []byte) (key string, payload []byte, reason string) {
+	limit := len(b)
+	if limit > maxManifestHeader {
+		limit = maxManifestHeader
+	}
+	nl := bytes.IndexByte(b[:limit], '\n')
+	if nl < 0 {
+		return "", nil, "missing manifest header"
+	}
+	fields := bytes.Split(b[:nl], []byte{' '})
+	if len(fields) != 4 {
+		return "", nil, fmt.Sprintf("manifest header has %d fields, want 4", len(fields))
+	}
+	if string(fields[0]) != manifestMagic {
+		return "", nil, fmt.Sprintf("bad magic %q", fields[0])
+	}
+	key = string(fields[1])
+	if !validKey(key) {
+		return "", nil, fmt.Sprintf("invalid key %q in manifest", key)
+	}
+	n, err := strconv.Atoi(string(fields[2]))
+	if err != nil || n < 0 {
+		return key, nil, fmt.Sprintf("bad payload length %q", fields[2])
+	}
+	want, err := hex.DecodeString(string(fields[3]))
+	if err != nil || len(want) != sha256.Size {
+		return key, nil, fmt.Sprintf("bad digest %q", fields[3])
+	}
+	payload = b[nl+1:]
+	if len(payload) != n {
+		return key, nil, fmt.Sprintf("payload is %d bytes, manifest says %d", len(payload), n)
+	}
+	got := sha256.Sum256(payload)
+	if !bytes.Equal(got[:], want) {
+		return key, nil, fmt.Sprintf("payload digest %x, manifest says %x", got, want)
+	}
+	return key, payload, ""
+}

@@ -1,0 +1,301 @@
+// Package store is a crash-safe, content-verified artifact store: the
+// persistence layer under the async job runtime (internal/jobs) and the
+// cross-restart response cache of the serving layer (internal/serve).
+//
+// Artifacts are small immutable blobs — response bodies, job
+// checkpoints, generated test sets — keyed by a caller-chosen string
+// (in practice the SHA-256 digest of (logic.Fingerprint, canonical
+// params), so identical requests share one artifact across process
+// restarts). The durability discipline is write-temp + fsync +
+// atomic-rename + directory fsync: a crash at any instant leaves either
+// the old object, the new object, or inert debris in tmp/ that the next
+// Open sweeps. Every read re-verifies the manifest (key, length,
+// SHA-256); an artifact that fails verification is moved to
+// quarantine/ and reported as a typed *CorruptArtifactError, so a torn
+// or bit-rotted file is recomputed, never served.
+//
+// The package also provides Journal, an append-only checksummed record
+// log with torn-tail recovery, used by internal/jobs for its state
+// machine. Both carry failpoint hooks (failpoint.go) so the
+// kill-injection harness can simulate a crash at every durability
+// boundary. See DESIGN.md §13.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// maxKeyLen bounds artifact keys.
+const maxKeyLen = 128
+
+// validKey reports whether key fits the store's key grammar: 2..128
+// characters of [A-Za-z0-9._-], not starting with a dot. The grammar is
+// filename- and manifest-safe by construction (no separators, spaces or
+// newlines); the two-character minimum feeds the objects/ fan-out.
+func validKey(key string) bool {
+	if len(key) < 2 || len(key) > maxKeyLen || key[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Store is a crash-safe artifact store rooted at a directory. It is safe
+// for concurrent use by multiple goroutines; concurrent Puts of the same
+// key race benignly (both write a complete object, the later rename
+// wins, and — keys being content-derived — both wrote identical bytes).
+type Store struct {
+	root string
+	hook Hook
+
+	seq atomic.Uint64 // temp/quarantine filename uniqueness within the process
+
+	mu          sync.Mutex // guards the gauges below
+	objects     int
+	bytes       int64
+	quarantined int64
+}
+
+// Open creates (if needed) and opens a store rooted at dir, sweeping any
+// temp-file debris a previous crash left behind. hook, when non-nil,
+// receives every durability failpoint (tests only; see Hook).
+func Open(dir string, hook Hook) (*Store, error) {
+	s := &Store{root: dir, hook: hook}
+	for _, d := range []string{dir, s.objectsDir(), s.tmpDir(), s.quarantineDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+		}
+	}
+	// Crash debris: anything in tmp/ was never renamed into place and is
+	// invisible to readers; remove it so it cannot accumulate.
+	ents, err := os.ReadDir(s.tmpDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	for _, e := range ents {
+		os.Remove(filepath.Join(s.tmpDir(), e.Name())) //nolint:errcheck // best-effort sweep
+	}
+	// Prime the object/byte gauges from the existing population.
+	err = filepath.WalkDir(s.objectsDir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if info, ierr := d.Info(); ierr == nil {
+			s.objects++
+			s.bytes += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) objectsDir() string    { return filepath.Join(s.root, "objects") }
+func (s *Store) tmpDir() string        { return filepath.Join(s.root, "tmp") }
+func (s *Store) quarantineDir() string { return filepath.Join(s.root, "quarantine") }
+
+// objectPath fans keys out over 256 subdirectories by their first two
+// characters (keys are typically hex digests, so this spreads evenly).
+func (s *Store) objectPath(key string) string {
+	return filepath.Join(s.objectsDir(), key[:2], key)
+}
+
+// Put durably stores payload under key, replacing any existing artifact
+// atomically. The sequence is write-temp, fsync, rename, directory
+// fsync; a crash at any point leaves either the old object or the new
+// one, never a torn file at the final path.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: put %q: %w", key, ErrBadKey)
+	}
+	final := s.objectPath(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := fire(s.hook, FailPutBeforeWrite); err != nil {
+		return err
+	}
+	enc := encodeManifest(key, payload)
+	tmp := filepath.Join(s.tmpDir(), fmt.Sprintf("%s.%d.%d", key, os.Getpid(), s.seq.Add(1)))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	// A failpoint abort must leave the file exactly as written so far —
+	// no cleanup — so the error paths distinguish injected crashes.
+	if err := fire(s.hook, FailPutTorn); err != nil {
+		f.Write(enc[:len(enc)/2]) //nolint:errcheck // simulating a torn write
+		f.Close()                 //nolint:errcheck // crash simulation keeps the torn file
+		return err
+	}
+	if _, err := f.Write(enc); err != nil {
+		f.Close()      //nolint:errcheck // write error is the one to report
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := fire(s.hook, FailPutAfterWrite); err != nil {
+		f.Close() //nolint:errcheck // crash simulation
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()      //nolint:errcheck // sync error is the one to report
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := fire(s.hook, FailPutAfterSync); err != nil {
+		return err
+	}
+	// The gauge update and rename share the mutex so concurrent Puts of
+	// the same key cannot double-count the object.
+	s.mu.Lock()
+	var oldSize int64
+	existed := false
+	if info, err := os.Stat(final); err == nil {
+		existed, oldSize = true, info.Size()
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		s.mu.Unlock()
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if existed {
+		s.bytes += int64(len(enc)) - oldSize
+	} else {
+		s.objects++
+		s.bytes += int64(len(enc))
+	}
+	s.mu.Unlock()
+	if err := fire(s.hook, FailPutAfterRename); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Dir(final)); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get returns the verified payload stored under key. A missing artifact
+// is ErrNotFound; one that fails verification is quarantined and
+// reported as a *CorruptArtifactError — corrupt bytes are never
+// returned.
+func (s *Store) Get(key string) ([]byte, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("store: get %q: %w", key, ErrBadKey)
+	}
+	path := s.objectPath(key)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: get %s: %w", key, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: get %s: %w", key, err)
+	}
+	mkey, payload, reason := decodeManifest(b)
+	if reason == "" && mkey != key {
+		reason = fmt.Sprintf("manifest key %q under object name %q", mkey, key)
+	}
+	if reason != "" {
+		return nil, s.quarantine(key, path, int64(len(b)), reason)
+	}
+	return payload, nil
+}
+
+// Has reports whether an object file exists under key (without
+// verifying its content — use Get for verified reads).
+func (s *Store) Has(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	_, err := os.Stat(s.objectPath(key))
+	return err == nil
+}
+
+// Delete removes the artifact under key. Deleting a missing key is a
+// no-op.
+func (s *Store) Delete(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: delete %q: %w", key, ErrBadKey)
+	}
+	path := s.objectPath(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, err := os.Stat(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: delete %s: %w", key, err)
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete %s: %w", key, err)
+	}
+	s.objects--
+	s.bytes -= info.Size()
+	return nil
+}
+
+// quarantine moves a corrupt object out of the readable namespace and
+// builds the typed error. The move uses a unique name so repeated
+// corruption of the same key cannot collide.
+func (s *Store) quarantine(key, path string, size int64, reason string) error {
+	dst := filepath.Join(s.quarantineDir(), fmt.Sprintf("%s.%d.%d", key, os.Getpid(), s.seq.Add(1)))
+	cerr := &CorruptArtifactError{Key: key, Path: path, Reason: reason}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Rename(path, dst); err == nil {
+		cerr.Quarantined = dst
+		s.objects--
+		s.bytes -= size
+		s.quarantined++
+	} else if errors.Is(err, fs.ErrNotExist) {
+		// A concurrent reader already quarantined it; nothing to move.
+		s.objects--
+		s.bytes -= size
+	}
+	return cerr
+}
+
+// Stats reports the live gauges: verified-namespace object count and
+// byte total, and the number of artifacts quarantined since Open.
+func (s *Store) Stats() (objects int, bytes int64, quarantined int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.objects, s.bytes, s.quarantined
+}
+
+// syncDir fsyncs a directory so a preceding rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTest(t *testing.T, hook Hook) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s := openTest(t, nil)
+	payload := []byte(`{"answer":42}` + "\n")
+	if err := s.Put("abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q, want %q", got, payload)
+	}
+	if !s.Has("abc123") || s.Has("zz-missing") {
+		t.Fatal("Has disagrees with Put")
+	}
+	objects, bb, q := s.Stats()
+	if objects != 1 || bb <= int64(len(payload)) || q != 0 {
+		t.Fatalf("stats = (%d, %d, %d)", objects, bb, q)
+	}
+	// Overwrite is atomic and idempotent.
+	if err := s.Put("abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	if objects, _, _ = s.Stats(); objects != 1 {
+		t.Fatalf("objects after overwrite = %d, want 1", objects)
+	}
+}
+
+func TestStoreGetMissingAndBadKeys(t *testing.T) {
+	s := openTest(t, nil)
+	if _, err := s.Get("no-such-key"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v, want ErrNotFound", err)
+	}
+	for _, key := range []string{"", "x", ".hidden", "sp ace", "new\nline", "sla/sh", string(make([]byte, 200))} {
+		if err := s.Put(key, []byte("x")); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("Put(%q): %v, want ErrBadKey", key, err)
+		}
+		if _, err := s.Get(key); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("Get(%q): %v, want ErrBadKey", key, err)
+		}
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := openTest(t, nil)
+	if err := s.Put("k1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("k1"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if objects, bb, _ := s.Stats(); objects != 0 || bb != 0 {
+		t.Fatalf("stats after delete = (%d, %d)", objects, bb)
+	}
+}
+
+// TestStoreCorruptionQuarantined covers the never-serve-a-bad-digest
+// contract: truncation, bit flips and manifest mangling are all
+// detected, quarantined, and reported as *CorruptArtifactError; after
+// recompute (a fresh Put) the key serves clean bytes again.
+func TestStoreCorruptionQuarantined(t *testing.T) {
+	payload := []byte("the artifact payload bytes")
+	corruptions := []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"flipped-payload-bit", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }},
+		{"flipped-digest", func(b []byte) []byte { b[bytes.IndexByte(b, '\n')-1] ^= 1; return b }},
+		{"mangled-manifest", func(b []byte) []byte { return append([]byte("garbage header\n"), b...) }},
+		{"empty-file", func(b []byte) []byte { return nil }},
+		{"wrong-key", func(b []byte) []byte { return bytes.Replace(b, []byte(" k-corrupt "), []byte(" k-someone "), 1) }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTest(t, nil)
+			if err := s.Put("k-corrupt", payload); err != nil {
+				t.Fatal(err)
+			}
+			path := s.objectPath("k-corrupt")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mut(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = s.Get("k-corrupt")
+			var ce *CorruptArtifactError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Get on corrupt artifact: %v, want *CorruptArtifactError", err)
+			}
+			if ce.Key != "k-corrupt" || ce.Reason == "" || ce.Quarantined == "" {
+				t.Fatalf("corrupt error %+v", ce)
+			}
+			if _, err := os.Stat(ce.Quarantined); err != nil {
+				t.Fatalf("quarantined file missing: %v", err)
+			}
+			// The bad object is out of the namespace: the key now reads as
+			// missing, and a recompute serves clean bytes.
+			if _, err := s.Get("k-corrupt"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("after quarantine: %v, want ErrNotFound", err)
+			}
+			if _, _, q := s.Stats(); q != 1 {
+				t.Fatalf("quarantined gauge = %d, want 1", q)
+			}
+			if err := s.Put("k-corrupt", payload); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("k-corrupt")
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("recomputed read = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+// TestStoreConcurrentSameKey is the write-race contract: many goroutines
+// Put the same key concurrently, exactly one object results, and every
+// subsequent read returns identical verified bytes. Run under -race.
+func TestStoreConcurrentSameKey(t *testing.T) {
+	s := openTest(t, nil)
+	payload := bytes.Repeat([]byte("deterministic bytes "), 64)
+	const writers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := s.Put("contended-key", payload); err != nil {
+					errs[w] = err
+					return
+				}
+				if got, err := s.Get("contended-key"); err != nil || !bytes.Equal(got, payload) {
+					errs[w] = fmt.Errorf("read-back mismatch: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	got, err := s.Get("contended-key")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("final read: %v", err)
+	}
+	if objects, _, _ := s.Stats(); objects != 1 {
+		t.Fatalf("objects = %d, want 1", objects)
+	}
+}
+
+// TestStoreCrashDebrisSwept arms the torn-write failpoint, crashes a
+// Put, and checks that the torn temp file is invisible to readers and
+// swept by the next Open.
+func TestStoreCrashDebrisSwept(t *testing.T) {
+	dir := t.TempDir()
+	crash := func(fp Failpoint) error {
+		if fp == FailPutTorn {
+			return ErrInjectedCrash
+		}
+		return nil
+	}
+	s, err := Open(dir, crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("victim-key", []byte("payload")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("Put under torn failpoint: %v", err)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("tmp debris = %d files (%v), want 1", len(ents), err)
+	}
+	// Invisible to readers, even on the crashed handle.
+	if _, err := s.Get("victim-key"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn temp visible: %v", err)
+	}
+	// The restarted process sweeps it.
+	s2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err = os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("tmp debris after reopen = %d files (%v), want 0", len(ents), err)
+	}
+	if err := s2.Put("victim-key", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, records, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(records))
+	}
+	want := [][]byte{[]byte(`{"op":"submit"}`), []byte(`{"op":"state"}`), {0, 1, 2, 0xff}}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, records, err = OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(records[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, records[i], want[i])
+		}
+	}
+}
+
+// TestJournalTornTail appends records, then simulates every flavor of
+// torn tail; replay must recover exactly the intact prefix and truncate
+// the rest so subsequent appends land on a clean boundary.
+func TestJournalTornTail(t *testing.T) {
+	tails := []struct {
+		name string
+		tail string
+	}{
+		{"half-line", "obdj1 13 00000000 6162"},
+		{"no-newline-garbage", "garbage"},
+		{"bad-crc", "obdj1 2 00000000 6162\n"},
+		{"bad-magic", "nope 2 abcdef01 6162\n"},
+	}
+	for _, tc := range tails {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "journal")
+			j, _, err := OpenJournal(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append([]byte("first")); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append([]byte("second")); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j2, records, err := OpenJournal(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(records) != 2 || string(records[0]) != "first" || string(records[1]) != "second" {
+				t.Fatalf("replayed %q", records)
+			}
+			if _, truncated := j2.Stats(); truncated == 0 {
+				t.Fatal("torn tail not accounted")
+			}
+			// Appends after recovery land on a clean boundary.
+			if err := j2.Append([]byte("third")); err != nil {
+				t.Fatal(err)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, records, err = OpenJournal(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(records) != 3 || string(records[2]) != "third" {
+				t.Fatalf("post-recovery replay %q", records)
+			}
+		})
+	}
+}
+
+// TestJournalTornAppendFailpoint drives the torn-append failpoint end to
+// end: the crash leaves a half-written line, and replay recovers the
+// prefix.
+func TestJournalTornAppendFailpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	crash := func(fp Failpoint) error {
+		if fp == FailJournalTorn {
+			return ErrInjectedCrash
+		}
+		return nil
+	}
+	j, _, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, _, err = OpenJournal(path, crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("torn")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("append under torn failpoint: %v", err)
+	}
+	// The crashed process is abandoned; the restart replays the prefix.
+	_, records, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || string(records[0]) != "durable" {
+		t.Fatalf("replayed %q", records)
+	}
+}

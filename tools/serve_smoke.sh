@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI smoke test for cmd/obdserve: build it, start it on an ephemeral-ish
-# port, wait for /healthz, run one real grade request, check the answer,
-# and shut it down with SIGTERM (exercising the graceful drain path).
+# CI smoke test for cmd/obdserve: build it, start it (with a durable
+# data directory) on an ephemeral-ish port, wait for /healthz with
+# bounded exponential backoff, run one real grade request, one durable
+# job submit -> poll -> fetch round-trip, and shut it down with SIGTERM
+# (exercising the graceful drain path).
 set -eu
 
 ADDR="${OBDSERVE_ADDR:-127.0.0.1:18080}"
@@ -9,20 +11,26 @@ GO="${GO:-go}"
 
 $GO build -o bin/obdserve ./cmd/obdserve
 
-./bin/obdserve -addr "$ADDR" &
+DATA="$(mktemp -d)"
+./bin/obdserve -addr "$ADDR" -data "$DATA" &
 PID=$!
-trap 'kill "$PID" 2>/dev/null || true' EXIT
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DATA"' EXIT
 
-# Wait up to ~10s for the listener.
+# Wait for the listener: bounded retries with exponential backoff
+# (50ms doubling to a 1.6s cap, ~12s total) instead of a fixed sleep —
+# fast when the server is fast, patient when CI is slow.
 ok=""
-i=0
-while [ $i -lt 100 ]; do
+delay_ms=50
+tries=0
+while [ $tries -lt 12 ]; do
     if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
         ok=1
         break
     fi
-    i=$((i + 1))
-    sleep 0.1
+    sleep "$(awk "BEGIN{printf \"%.3f\", $delay_ms/1000}")"
+    delay_ms=$((delay_ms * 2))
+    [ $delay_ms -gt 1600 ] && delay_ms=1600
+    tries=$((tries + 1))
 done
 if [ -z "$ok" ]; then
     echo "obdserve never became healthy on $ADDR" >&2
@@ -45,10 +53,52 @@ src="$(curl -sf -o /dev/null -D - -X POST "http://$ADDR/v1/grade" -d "$body" | t
 echo "second request source: $src"
 [ "$src" = "cache" ] || { echo "expected a cache hit" >&2; exit 1; }
 
+# Durable job round-trip: submit a small mission campaign, poll the
+# snapshot until done (same backoff discipline), fetch the artifact.
+job='{"kind":"mission","netlist":"circuit g\ninput a b\noutput y\nnand g1 y a b\n","mission":{"seed":7,"chips":4,"duration":1000,"fault_rate":2,"per_chip":true}}'
+snap="$(curl -sf -X POST "http://$ADDR/v1/jobs" -d "$job")"
+echo "job submit: $snap"
+id="$(printf '%s' "$snap" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$id" ] || { echo "job submit returned no id" >&2; exit 1; }
+
+state=""
+delay_ms=50
+tries=0
+while [ $tries -lt 12 ]; do
+    snap="$(curl -sf "http://$ADDR/v1/jobs/$id")"
+    case "$snap" in
+    *'"state":"done"'*)
+        state=done
+        break
+        ;;
+    *'"state":"failed"'*)
+        echo "job failed: $snap" >&2
+        exit 1
+        ;;
+    esac
+    sleep "$(awk "BEGIN{printf \"%.3f\", $delay_ms/1000}")"
+    delay_ms=$((delay_ms * 2))
+    [ $delay_ms -gt 1600 ] && delay_ms=1600
+    tries=$((tries + 1))
+done
+[ "$state" = "done" ] || { echo "job $id never finished: $snap" >&2; exit 1; }
+
+result="$(curl -sf "http://$ADDR/v1/jobs/$id/result")"
+echo "job result: $(printf '%s' "$result" | head -c 120)..."
+case "$result" in
+*'"fingerprint"'*'"report"'*) ;;
+*)
+    echo "unexpected job artifact" >&2
+    exit 1
+    ;;
+esac
+
 curl -sf "http://$ADDR/metrics" >/dev/null
 
 # Graceful drain: SIGTERM must make the process exit cleanly on its own.
 kill -TERM "$PID"
-trap - EXIT
+trap 'rm -rf "$DATA"' EXIT
 wait "$PID"
+rm -rf "$DATA"
+trap - EXIT
 echo "obdserve smoke: OK"
