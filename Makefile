@@ -79,6 +79,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 30s ./internal/netcheck/
 	$(GO) test -run '^$$' -fuzz '^FuzzLFSRPeriod$$' -fuzztime 30s ./internal/bist/
 	$(GO) test -run '^$$' -fuzz '^FuzzStoreManifest$$' -fuzztime 30s ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzSAT$$' -fuzztime 30s ./internal/sat/
 
 # The CI smoke variant: every fuzz target for a few seconds, enough to
 # catch a target that breaks on its own seed corpus or first mutations.
@@ -90,6 +91,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 5s ./internal/netcheck/
 	$(GO) test -run '^$$' -fuzz '^FuzzLFSRPeriod$$' -fuzztime 5s ./internal/bist/
 	$(GO) test -run '^$$' -fuzz '^FuzzStoreManifest$$' -fuzztime 5s ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzSAT$$' -fuzztime 5s ./internal/sat/
 
 # The kill-injection robustness suite: crash the job runtime at every
 # store/journal failpoint occurrence and require byte-identical recovery,

@@ -7,6 +7,7 @@
 //
 //	obdatpg -fulladder -model obd -v
 //	obdatpg -fulladder -model obd -prune
+//	obdatpg -netlist c432.bench -model obd -sat-fallback -stats
 //	obdatpg -netlist mydesign.net -model transition -grade-obd
 //	obdatpg -fulladder -model ndetect -n 3 -o tests.vec
 //	obdatpg -fulladder -apply tests.vec
@@ -39,6 +40,8 @@ func main() {
 		cycles    = flag.Int("cycles", 256, "stream length for -model bist")
 		gradeOBD  = flag.Bool("grade-obd", false, "also grade the generated set against the OBD universe")
 		prune     = flag.Bool("prune", false, "statically prove OBD faults untestable (netcheck) before running PODEM on them")
+		satFB     = flag.Bool("sat-fallback", false, "resolve PODEM aborts with the exact SAT prover (model obd only)")
+		maxBT     = flag.Int("max-backtracks", 0, "PODEM backtrack limit (0 = default); low limits force aborts, which -sat-fallback then resolves")
 		outFile   = flag.String("o", "", "write the generated vector pairs to this file")
 		applyFile = flag.String("apply", "", "skip generation: grade a saved vector-pair file against the OBD universe")
 		verbose   = flag.Bool("v", false, "print every generated vector")
@@ -108,12 +111,25 @@ func main() {
 		}
 		opt := atpg.DefaultOptions()
 		opt.Prune = *prune
+		if *maxBT > 0 {
+			opt.MaxBacktracks = *maxBT
+		}
+		var satStats *atpg.SATStats
+		if *satFB {
+			opt.SATFallback = true
+			satStats = &atpg.SATStats{}
+			opt.SATStats = satStats
+		}
 		ts, err := atpg.GenerateOBDTests(lc, faults, opt)
 		if err != nil {
 			die(err)
 		}
 		pairs = ts.Tests
 		report2(lc, ts, *verbose)
+		if satStats != nil {
+			fmt.Printf("sat fallback: %d aborts handed over, %d resolved detected, %d resolved untestable, %d undecided\n",
+				satStats.Aborts, satStats.Detected, satStats.Untestable, satStats.Undecided)
+		}
 	case "ndetect":
 		faults, _ := fault.OBDUniverse(lc)
 		ts, err := atpg.GenerateNDetectOBDTests(lc, faults, *nDetect)

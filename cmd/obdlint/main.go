@@ -8,6 +8,7 @@
 //	obdlint -circuit fulladder
 //	obdlint -netlist mydesign.net -json
 //	obdlint -circuit fulladder -proofs
+//	obdlint -circuit fulladder -sat
 //	obdlint -circuit c17 -circuit rca4 -no-faults
 //
 // The exit status is 2 when any circuit carries Error-severity
@@ -44,6 +45,7 @@ func main() {
 		noFaults = flag.Bool("no-faults", false, "skip the OBD untestability and hard-fault passes")
 		proofs   = flag.Bool("proofs", false, "print the implication chains behind constants and refutations")
 		topHard  = flag.Int("top", 10, "hard-fault ranking length (0 = all)")
+		exact    = flag.Bool("sat", false, "run the exact SAT prover: complete testable/untestable verdicts with witnesses and RUP proofs")
 	)
 	flag.Var(&circuits, "circuit", "built-in circuit (fulladder, c17, mux41, rca<N>, parity<N>); repeatable")
 	flag.Parse()
@@ -91,6 +93,7 @@ func main() {
 		reports = append(reports, netcheck.Analyze(c, netcheck.Options{
 			SkipFaults: *noFaults,
 			TopHard:    *topHard,
+			Exact:      *exact,
 		}))
 	}
 
@@ -170,6 +173,22 @@ func printReport(r *netcheck.Report, proofs bool) {
 					fmt.Printf("      pair %s frame %d:\n", p.Pair, p.Frame)
 					printProof(p.Proof)
 				}
+			}
+		}
+	}
+	if r.Exact != nil {
+		fmt.Printf("  exact: %d faults, %d testable, %d untestable, %d aborted\n",
+			r.Exact.Faults, r.Exact.Testable, r.Exact.Untestable, r.Exact.Aborted)
+		for _, v := range r.Exact.Verdicts {
+			switch {
+			case v.Aborted:
+				fmt.Printf("    aborted %s (conflict budget exhausted)\n", v.Fault)
+			case v.Testable:
+				if proofs {
+					fmt.Printf("    testable %s: witness pair %s\n", v.Fault, v.Witness.Pair)
+				}
+			default:
+				fmt.Printf("    untestable %s: %s (%d pair refutations)\n", v.Fault, v.Reason, len(v.Pairs))
 			}
 		}
 	}

@@ -23,6 +23,9 @@ type (
 	Scheduler = atpg.Scheduler
 	// WorkerStats is one worker's share of a scheduler run.
 	WorkerStats = atpg.WorkerStats
+	// SATStats counts how ATPGOptions.SATFallback resolved PODEM aborts
+	// (Aborts == Detected + Untestable + Undecided).
+	SATStats = atpg.SATStats
 )
 
 // Test generation and fault simulation.

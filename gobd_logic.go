@@ -1,13 +1,12 @@
 // Gate-level layer of the public facade: combinational circuits, the
 // textual and Verilog netlist formats, structural fingerprints, benchmark
-// generators, the event-driven timing simulator, scan/DFT wrapping and
-// static netlist analysis.
+// generators, the event-driven timing simulator and scan/DFT wrapping.
+// Static netlist analysis lives in gobd_netcheck.go.
 package gobd
 
 import (
 	"gobd/internal/cells"
 	"gobd/internal/logic"
-	"gobd/internal/netcheck"
 	"gobd/internal/seq"
 	"gobd/internal/timing"
 )
@@ -126,34 +125,4 @@ var (
 	DetectsAtCapture = timing.DetectsAt
 	// TraceVCD renders a timing trace as a Value Change Dump.
 	TraceVCD = timing.VCD
-)
-
-// Static netlist analysis layer (cmd/obdlint front-end).
-type (
-	// NetReport is a full netcheck analysis: lint diagnostics, constant
-	// nets, OBD untestability verdicts and a SCOAP hard-fault ranking.
-	NetReport = netcheck.Report
-	// NetDiagnostic is one structural lint finding.
-	NetDiagnostic = netcheck.Diagnostic
-	// NetcheckOptions tunes the analysis passes.
-	NetcheckOptions = netcheck.Options
-	// OBDVerdict is a per-fault untestability verdict with its proof.
-	OBDVerdict = netcheck.Verdict
-	// ImplicationProof is a machine-checkable implication chain.
-	ImplicationProof = netcheck.Proof
-)
-
-// Static analysis entry points.
-var (
-	// AnalyzeNetlist runs every netcheck pass over a circuit.
-	AnalyzeNetlist = netcheck.Analyze
-	// LintNetlist runs only the structural lint pass.
-	LintNetlist = netcheck.Lint
-	// ProveOBDUntestable attempts a static untestability proof for one
-	// OBD fault; the verdict is sound but one-sided (see DESIGN.md).
-	ProveOBDUntestable = netcheck.ProveOBD
-	// StaticConstants derives implication-proved constant nets.
-	StaticConstants = netcheck.Constants
-	// VerifyImplicationProof independently replays a proof chain.
-	VerifyImplicationProof = netcheck.VerifyProof
 )

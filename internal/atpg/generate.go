@@ -98,7 +98,11 @@ func GenerateOBDTest(c *logic.Circuit, f fault.OBD, opt *Options) (*TwoPattern, 
 	if opt.Prune && netcheck.ProveOBD(c, f).Untestable {
 		return nil, Untestable
 	}
-	return generateOBDTestWith(c, f, opt, guidance(c, opt))
+	tp, st := generateOBDTestWith(c, f, opt, guidance(c, opt))
+	if st == Aborted && opt.SATFallback {
+		return satResolveOBD(c, f, opt)
+	}
+	return tp, st
 }
 
 // generateOBDTestWith is GenerateOBDTest with the SCOAP guidance

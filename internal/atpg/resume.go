@@ -183,6 +183,12 @@ func (s *Scheduler) ResumeOBDTestsCtx(ctx context.Context, c *logic.Circuit, fau
 			ts.Results = append(ts.Results, Result{Fault: f.String(), Status: Errored, Err: &ItemError{Index: i, Err: specErr[i]}})
 			continue
 		}
+		if st == Aborted && opt.SATFallback {
+			// Resolved here in the sequential commit loop — speculation
+			// results stay advisory and worker counts cannot change what
+			// is committed (or the SATStats counters).
+			tp, st = satResolveOBD(c, f, opt)
+		}
 		res := Result{Fault: f.String(), Status: st}
 		if st == Detected {
 			res.Test = tp

@@ -1,0 +1,161 @@
+package atpg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// abortingSetup builds a random primitive circuit plus options strangled
+// enough (1 backtrack) that PODEM aborts on a real share of the
+// universe.
+func abortingSetup(seed int64) (*logic.Circuit, []fault.OBD, Options) {
+	rng := rand.New(rand.NewSource(seed))
+	c := logic.RandomCircuit(rng, logic.RandomOptions{
+		Inputs:    4 + rng.Intn(3),
+		Gates:     12 + rng.Intn(10),
+		Primitive: true,
+	})
+	faults, _ := fault.OBDUniverse(c)
+	opt := *DefaultOptions()
+	opt.MaxBacktracks = 1
+	opt.FaultDropping = false
+	return c, faults, opt
+}
+
+// TestSATFallbackResolvesAborts pins the fallback contract on batch
+// runs: versus a plain run the only status drift is Aborted →
+// Detected/Untestable, every committed fallback test is simulator
+// -validated, and the stats decompose exactly.
+func TestSATFallbackResolvesAborts(t *testing.T) {
+	resolved := 0
+	for _, seed := range []int64{3, 5, 9, 21} {
+		c, faults, opt := abortingSetup(seed)
+		plain, err := NewScheduler(1).GenerateOBDTests(c, faults, &opt)
+		if err != nil {
+			t.Fatalf("seed %d plain: %v", seed, err)
+		}
+		fb := opt
+		fb.SATFallback = true
+		stats := &SATStats{}
+		fb.SATStats = stats
+		got, err := NewScheduler(1).GenerateOBDTests(c, faults, &fb)
+		if err != nil {
+			t.Fatalf("seed %d fallback: %v", seed, err)
+		}
+		if stats.Aborts != stats.Detected+stats.Untestable+stats.Undecided {
+			t.Fatalf("seed %d: stats do not decompose: %+v", seed, stats)
+		}
+		for i := range plain.Results {
+			ps, gs := plain.Results[i].Status, got.Results[i].Status
+			if ps == gs {
+				continue
+			}
+			if ps != Aborted {
+				t.Errorf("seed %d: %s drifted %v → %v (only aborts may move)", seed, faults[i], ps, gs)
+				continue
+			}
+			if gs != Detected && gs != Untestable {
+				t.Errorf("seed %d: %s abort resolved to %v", seed, faults[i], gs)
+				continue
+			}
+			resolved++
+			if gs == Detected {
+				if got.Results[i].Test == nil {
+					t.Errorf("seed %d: %s resolved Detected without a test", seed, faults[i])
+				} else if !DetectsOBD(c, faults[i], *got.Results[i].Test) {
+					t.Errorf("seed %d: %s fallback test fails simulation", seed, faults[i])
+				}
+			}
+		}
+		// Any abort left must be accounted as Undecided.
+		left := 0
+		for i := range got.Results {
+			if got.Results[i].Status == Aborted {
+				left++
+			}
+		}
+		if left != stats.Undecided {
+			t.Errorf("seed %d: %d aborts remain but stats say %d undecided", seed, left, stats.Undecided)
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("fallback never resolved an abort; the property was not exercised")
+	}
+	t.Logf("fallback resolved %d aborts across the sweep", resolved)
+}
+
+// TestSATFallbackWorkerInvariance checks the scheduler contract
+// survives the fallback: Tests, Results and SATStats must be
+// bit-identical for every worker count, with fault dropping both off
+// and on.
+func TestSATFallbackWorkerInvariance(t *testing.T) {
+	for _, dropping := range []bool{false, true} {
+		c, faults, opt := abortingSetup(7)
+		opt.FaultDropping = dropping
+		opt.SATFallback = true
+		var refTS *TestSet
+		var refStats *SATStats
+		for _, w := range sweepWorkers {
+			o := opt
+			stats := &SATStats{}
+			o.SATStats = stats
+			ts, err := NewScheduler(w).GenerateOBDTests(c, faults, &o)
+			if err != nil {
+				t.Fatalf("dropping=%v workers=%d: %v", dropping, w, err)
+			}
+			if refTS == nil {
+				refTS, refStats = ts, stats
+				continue
+			}
+			if !reflect.DeepEqual(refTS.Tests, ts.Tests) {
+				t.Errorf("dropping=%v workers=%d: Tests differ from workers=%d", dropping, w, sweepWorkers[0])
+			}
+			if !reflect.DeepEqual(refTS.Results, ts.Results) {
+				t.Errorf("dropping=%v workers=%d: Results differ from workers=%d", dropping, w, sweepWorkers[0])
+			}
+			if !reflect.DeepEqual(refStats, stats) {
+				t.Errorf("dropping=%v workers=%d: stats %+v differ from %+v", dropping, w, stats, refStats)
+			}
+		}
+	}
+}
+
+// TestSATFallbackSingleFault checks GenerateOBDTest parity: the
+// single-fault entry point must resolve its aborts the same way the
+// batch commit loop does.
+func TestSATFallbackSingleFault(t *testing.T) {
+	c, faults, opt := abortingSetup(5)
+	fb := opt
+	fb.SATFallback = true
+	stats := &SATStats{}
+	fb.SATStats = stats
+	exercised := false
+	for _, f := range faults {
+		_, st := GenerateOBDTest(c, f, &opt)
+		if st != Aborted {
+			continue
+		}
+		exercised = true
+		tp2, st2 := GenerateOBDTest(c, f, &fb)
+		switch st2 {
+		case Detected:
+			if tp2 == nil || !DetectsOBD(c, f, *tp2) {
+				t.Errorf("%s: fallback test invalid", f)
+			}
+		case Untestable, Aborted:
+			// proven untestable, or honestly undecided
+		default:
+			t.Errorf("%s: fallback returned %v", f, st2)
+		}
+	}
+	if !exercised {
+		t.Skip("no aborts at this seed; covered by the batch test")
+	}
+	if stats.Aborts == 0 {
+		t.Fatal("stats never incremented on the single-fault path")
+	}
+}

@@ -112,6 +112,18 @@ type Options struct {
 	// BacktrackSink, when non-nil, accumulates the PODEM backtracks spent
 	// by the generator — the observable of the guidance ablation.
 	BacktrackSink *int
+	// SATFallback hands every PODEM Aborted verdict to netcheck's exact
+	// SAT prover, which either produces a validated test, proves the
+	// fault untestable, or (budget exhausted) leaves the Aborted verdict
+	// standing. Detected/Untestable verdicts never change, so the only
+	// possible drift versus a plain run is Aborted → Detected/Untestable.
+	// The fallback runs in the sequential commit loop, keeping batch
+	// results bit-identical for any worker count.
+	SATFallback bool
+	// SATStats, when non-nil, accumulates SATFallback counters. It is
+	// only ever touched from the sequential commit path (or the
+	// single-fault generators), never from worker goroutines.
+	SATStats *SATStats
 }
 
 // DefaultOptions returns the settings used by the experiments.

@@ -110,6 +110,28 @@ func (c *Circuit) cacheIndex(x *Index) *Index {
 // NumNets returns the number of distinct nets (PIs plus gate outputs).
 func (x *Index) NumNets() int { return len(x.NetNames) }
 
+// FanoutCone returns the transitive fanout cone of a net as a dense
+// mask over net IDs, including the net itself — the set of nets a value
+// change at the root can influence. CNF encoders (netcheck's exact
+// prover) use it to bound the faulty-copy duplication of a miter.
+func (x *Index) FanoutCone(net int32) []bool {
+	cone := make([]bool, x.NumNets())
+	cone[net] = true
+	stack := []int32{net}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, gi := range x.Fanouts[n] {
+			out := x.GateOut[gi]
+			if !cone[out] {
+				cone[out] = true
+				stack = append(stack, out)
+			}
+		}
+	}
+	return cone
+}
+
 // GatePos returns the slice position of g in Gates, or -1 when g is not a
 // gate of the indexed circuit (fault lists sometimes carry synthetic
 // gates that were never added to a circuit; callers must fall back to a

@@ -1,0 +1,292 @@
+package netcheck_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gobd/internal/atpg"
+	"gobd/internal/cells"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+	"gobd/internal/netcheck"
+	"gobd/internal/sat"
+)
+
+// witnessTP converts an exact witness into an atpg two-pattern (Pattern
+// IS map[string]logic.Value, so the conversion is direct).
+func witnessTP(w *netcheck.ExactWitness) atpg.TwoPattern {
+	return atpg.TwoPattern{V1: atpg.Pattern(w.V1), V2: atpg.Pattern(w.V2)}
+}
+
+// TestExactFullAdder is the headline acceptance check: the exact prover
+// must classify ALL 78 pair faults of the full-adder sum logic with
+// zero aborts, matching the Section 4.3 census (65 testable, 13
+// untestable), every untestable verdict must survive independent
+// verification (re-encoded CNFs + RUP checker), and every testable
+// witness must replay through atpg.DetectsOBD.
+func TestExactFullAdder(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	faults, skipped := fault.OBDUniverse(c)
+	if len(skipped) != 0 {
+		t.Fatalf("full adder has non-primitive gates: %v", skipped)
+	}
+	if len(faults) != 78 {
+		t.Fatalf("OBD universe = %d faults, want 78", len(faults))
+	}
+	verdicts := netcheck.ProveOBDExactList(c, faults, 0)
+	truth := must(atpg.AnalyzeExhaustive(c, faults))
+	testable, untestable := 0, 0
+	for i, v := range verdicts {
+		if v.Aborted {
+			t.Fatalf("%s: aborted under an unlimited budget", faults[i])
+		}
+		if v.Testable != truth.Testable[i] {
+			t.Errorf("%s: exact says testable=%v, exhaustive enumeration says %v",
+				faults[i], v.Testable, truth.Testable[i])
+		}
+		if err := netcheck.VerifyExactVerdict(c, faults[i], v); err != nil {
+			t.Errorf("%s: verdict failed verification: %v", faults[i], err)
+		}
+		if v.Testable {
+			testable++
+			if v.Witness == nil {
+				t.Fatalf("%s: testable without witness", faults[i])
+			}
+			if !atpg.DetectsOBD(c, faults[i], witnessTP(v.Witness)) {
+				t.Errorf("%s: witness %s does not replay through DetectsOBD", faults[i], v.Witness.Pair)
+			}
+		} else {
+			untestable++
+			if len(v.Pairs) != len(faults[i].ExcitationPairs()) {
+				t.Errorf("%s: %d refutations for %d excitation pairs", faults[i], len(v.Pairs), len(faults[i].ExcitationPairs()))
+			}
+		}
+	}
+	if testable != 65 || untestable != 13 {
+		t.Errorf("census = %d testable / %d untestable, want 65/13", testable, untestable)
+	}
+}
+
+// TestExactMatchesExhaustive is the completeness property test: on
+// random primitive circuits with few inputs, the exact verdicts must
+// agree with full two-pattern enumeration, for every worker count of
+// the enumeration scheduler (whose results are worker-invariant).
+func TestExactMatchesExhaustive(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{
+			Inputs:    3 + rng.Intn(3),
+			Gates:     5 + rng.Intn(8),
+			Primitive: true,
+		})
+		faults, _ := fault.OBDUniverse(c)
+		verdicts := netcheck.ProveOBDExactList(c, faults, 0)
+		for _, workers := range []int{1, 2, 8} {
+			truth := must(atpg.NewScheduler(workers).AnalyzeExhaustive(c, faults))
+			for i, v := range verdicts {
+				if v.Aborted {
+					t.Fatalf("seed %d: %s aborted under unlimited budget", seed, faults[i])
+				}
+				if v.Testable != truth.Testable[i] {
+					t.Errorf("seed %d workers %d: %s exact=%v exhaustive=%v",
+						seed, workers, faults[i], v.Testable, truth.Testable[i])
+				}
+			}
+		}
+		for i, v := range verdicts {
+			if err := netcheck.VerifyExactVerdict(c, faults[i], v); err != nil {
+				t.Errorf("seed %d: %s verification: %v", seed, faults[i], err)
+			}
+		}
+	}
+}
+
+// TestExactSupersetOfStructural pins the relationship between the two
+// provers: everything the one-sided structural prover discharges, the
+// complete prover must also prove untestable (never testable, never
+// aborted under an unlimited budget).
+func TestExactSupersetOfStructural(t *testing.T) {
+	checked := 0
+	for _, seed := range []int64{7, 11, 13, 17, 19, 23} {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{
+			Inputs:    3 + rng.Intn(4),
+			Gates:     6 + rng.Intn(10),
+			Primitive: true,
+		})
+		faults, _ := fault.OBDUniverse(c)
+		structural := netcheck.ProveOBDList(c, faults)
+		for i, sv := range structural {
+			if !sv.Untestable {
+				continue
+			}
+			checked++
+			ev := netcheck.ProveOBDExact(c, faults[i])
+			if ev.Testable || ev.Aborted {
+				t.Errorf("seed %d: %s structurally untestable but exact says testable=%v aborted=%v",
+					seed, faults[i], ev.Testable, ev.Aborted)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("property test never exercised the structural prover")
+	}
+	t.Logf("cross-checked %d structural discharges against the exact prover", checked)
+}
+
+// TestPODEMImpliesSATTestable pins the other inclusion: any fault PODEM
+// finds a test for must be SAT-testable, and the SAT witness must be a
+// working test in its own right.
+func TestPODEMImpliesSATTestable(t *testing.T) {
+	opt := atpg.DefaultOptions()
+	for _, seed := range []int64{29, 31, 37} {
+		rng := rand.New(rand.NewSource(seed))
+		c := logic.RandomCircuit(rng, logic.RandomOptions{
+			Inputs:    3 + rng.Intn(3),
+			Gates:     5 + rng.Intn(8),
+			Primitive: true,
+		})
+		faults, _ := fault.OBDUniverse(c)
+		for _, f := range faults {
+			tp, st := atpg.GenerateOBDTest(c, f, opt)
+			if st != atpg.Detected {
+				continue
+			}
+			ev := netcheck.ProveOBDExact(c, f)
+			if !ev.Testable {
+				t.Errorf("seed %d: PODEM detects %s (pair %v) but exact prover says untestable",
+					seed, f, tp)
+				continue
+			}
+			if !atpg.DetectsOBD(c, f, witnessTP(ev.Witness)) {
+				t.Errorf("seed %d: %s SAT witness fails DetectsOBD replay", seed, f)
+			}
+		}
+	}
+}
+
+// TestVerifyExactVerdictRejectsTampering checks the verifier is not a
+// rubber stamp: corrupting any part of a verdict must fail with a typed
+// *ExactProofError.
+func TestVerifyExactVerdictRejectsTampering(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	faults, _ := fault.OBDUniverse(c)
+	verdicts := netcheck.ProveOBDExactList(c, faults, 0)
+	testableIdx, untestableIdx := -1, -1
+	for i, v := range verdicts {
+		if v.Testable {
+			testableIdx = i
+			continue
+		}
+		// For tampering we need an untestable verdict that carries at
+		// least one RUP proof (not only pin conflicts).
+		for _, ref := range v.Pairs {
+			if !ref.PinConflict {
+				untestableIdx = i
+				break
+			}
+		}
+	}
+	if testableIdx < 0 || untestableIdx < 0 {
+		t.Fatalf("full adder lacks a usable verdict pair (testable %d, untestable %d)", testableIdx, untestableIdx)
+	}
+	wantTyped := func(name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s: tampered verdict verified", name)
+			return
+		}
+		var pe *netcheck.ExactProofError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error is %T, want *ExactProofError", name, err)
+		}
+	}
+
+	// Flip a testable verdict to untestable without refutations.
+	v := verdicts[testableIdx]
+	v.Testable = false
+	v.Witness = nil
+	wantTyped("testable→untestable", netcheck.VerifyExactVerdict(c, faults[testableIdx], v))
+
+	// Flip an untestable verdict to testable with no witness.
+	v = verdicts[untestableIdx]
+	v.Testable = true
+	wantTyped("untestable→testable", netcheck.VerifyExactVerdict(c, faults[untestableIdx], v))
+
+	// Corrupt a witness pattern.
+	v = verdicts[testableIdx]
+	w := *v.Witness
+	w.V1 = map[string]logic.Value{}
+	w.V2 = map[string]logic.Value{}
+	v.Witness = &w
+	wantTyped("gutted witness", netcheck.VerifyExactVerdict(c, faults[testableIdx], v))
+
+	// Corrupt a refutation proof (append a clause over a fresh variable —
+	// never RUP).
+	v = verdicts[untestableIdx]
+	tampered := append([]netcheck.ExactRefutation(nil), v.Pairs...)
+	found := false
+	for i, ref := range tampered {
+		if ref.PinConflict {
+			continue
+		}
+		bogus := append(sat.Proof{{sat.Lit(9999)}}, ref.Proof...)
+		tampered[i].Proof = bogus
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("untestable verdict has no proof-backed refutation to tamper with")
+	}
+	v.Pairs = tampered
+	wantTyped("corrupted proof", netcheck.VerifyExactVerdict(c, faults[untestableIdx], v))
+
+	// Drop a refutation.
+	v = verdicts[untestableIdx]
+	v.Pairs = v.Pairs[:len(v.Pairs)-1]
+	wantTyped("missing refutation", netcheck.VerifyExactVerdict(c, faults[untestableIdx], v))
+}
+
+// TestExactBudgetAborts checks the budget path stays honest: a absurdly
+// small conflict budget may abort faults but must never misclassify
+// them, and ExactAnalyze must count the three outcomes consistently.
+func TestExactBudgetAborts(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	faults, _ := fault.OBDUniverse(c)
+	full := netcheck.ProveOBDExactList(c, faults, 0)
+	tiny := netcheck.ProveOBDExactList(c, faults, 1)
+	for i := range tiny {
+		if tiny[i].Aborted {
+			continue
+		}
+		if tiny[i].Testable != full[i].Testable {
+			t.Errorf("%s: budget run classified testable=%v, unlimited run %v",
+				faults[i], tiny[i].Testable, full[i].Testable)
+		}
+	}
+	r := netcheck.ExactAnalyze(c, 0)
+	if r.Faults != len(faults) || r.Testable+r.Untestable+r.Aborted != r.Faults {
+		t.Fatalf("inconsistent report counts: %+v", r)
+	}
+	if r.Testable != 65 || r.Untestable != 13 || r.Aborted != 0 {
+		t.Fatalf("report census = %d/%d/%d, want 65/13/0", r.Testable, r.Untestable, r.Aborted)
+	}
+}
+
+// TestAnalyzeExactStanza checks the Report wiring: Options.Exact hangs
+// an ExactReport off Analyze's result under the "sat" JSON key.
+func TestAnalyzeExactStanza(t *testing.T) {
+	c := cells.FullAdderSumLogic()
+	r := netcheck.Analyze(c, netcheck.Options{Exact: true})
+	if r.Exact == nil {
+		t.Fatal("Options.Exact set but Report.Exact is nil")
+	}
+	if r.Exact.Untestable != 13 || r.Exact.Testable != 65 {
+		t.Fatalf("exact stanza census = %d/%d, want 65 testable / 13 untestable",
+			r.Exact.Testable, r.Exact.Untestable)
+	}
+	if r2 := netcheck.Analyze(c, netcheck.Options{}); r2.Exact != nil {
+		t.Fatal("Report.Exact attached without Options.Exact")
+	}
+}

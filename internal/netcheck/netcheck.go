@@ -114,6 +114,10 @@ type Report struct {
 	// HardFaults ranks the faults the prover could NOT discharge by SCOAP
 	// effort, hardest first.
 	HardFaults []HardFault `json:"hard_faults,omitempty"`
+	// Exact holds the complete SAT-backed verdicts (testable with
+	// witness / untestable with proof / aborted) when Options.Exact asked
+	// for them; the wire key is "sat".
+	Exact *ExactReport `json:"sat,omitempty"`
 }
 
 // Errors reports how many Error-severity diagnostics the lint pass found.
@@ -145,6 +149,12 @@ type Options struct {
 	SkipFaults bool
 	// TopHard caps the hard-fault ranking length (0 = all).
 	TopHard int
+	// Exact runs the SAT-backed exact prover over the OBD universe and
+	// attaches an ExactReport (ignored under SkipFaults).
+	Exact bool
+	// ExactBudget caps the solver conflicts per SAT instance when Exact
+	// is set (0 = DefaultExactBudget).
+	ExactBudget int
 }
 
 // Analyze runs every pass that the circuit's structural health permits:
@@ -185,5 +195,8 @@ func Analyze(c *logic.Circuit, opt Options) *Report {
 		}
 	}
 	r.HardFaults = HardFaults(c, surviving, opt.TopHard)
+	if opt.Exact {
+		r.Exact = ExactAnalyze(c, opt.ExactBudget)
+	}
 	return r
 }

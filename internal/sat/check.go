@@ -1,0 +1,203 @@
+package sat
+
+import "fmt"
+
+// CheckError reports where an independent verification failed: Step is
+// the offending proof clause index (-1 for formula/model-level faults).
+type CheckError struct {
+	Step int
+	Msg  string
+}
+
+// Error implements error.
+func (e *CheckError) Error() string {
+	if e.Step < 0 {
+		return "sat: " + e.Msg
+	}
+	return fmt.Sprintf("sat: proof step %d: %s", e.Step, e.Msg)
+}
+
+// checker is a deliberately simple propagation engine — no watched
+// literals, no learning — so a Check verdict depends on nothing but
+// clause semantics. It shares no code with Solver.
+type checker struct {
+	nVars   int
+	clauses [][]Lit
+	assign  []int8
+	trail   []Lit
+}
+
+func (c *checker) val(l Lit) int8 {
+	v := l
+	if v < 0 {
+		v = -v
+	}
+	a := c.assign[v]
+	if l < 0 {
+		return -a
+	}
+	return a
+}
+
+// assume asserts a literal, reporting an immediate conflict.
+func (c *checker) assume(l Lit) (conflict bool) {
+	switch c.val(l) {
+	case 1:
+		return false
+	case -1:
+		return true
+	}
+	v := l
+	s := int8(1)
+	if v < 0 {
+		v, s = -v, -1
+	}
+	c.assign[v] = s
+	c.trail = append(c.trail, l)
+	return false
+}
+
+// propagate runs naive unit propagation to fixpoint over every clause,
+// returning true when a conflict (fully falsified clause) appears.
+func (c *checker) propagate() bool {
+	for {
+		changed := false
+		for _, cl := range c.clauses {
+			unassigned := 0
+			var unit Lit
+			satisfied := false
+			for _, l := range cl {
+				switch c.val(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					// Count distinct unassigned literals so duplicated
+					// literals still form a unit clause.
+					if unassigned == 0 {
+						unit = l
+						unassigned = 1
+					} else if l != unit {
+						unassigned = 2
+					}
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch unassigned {
+			case 0:
+				return true
+			case 1:
+				if c.assume(unit) {
+					return true
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+}
+
+// undoTo pops the trail back to length n.
+func (c *checker) undoTo(n int) {
+	for len(c.trail) > n {
+		l := c.trail[len(c.trail)-1]
+		c.trail = c.trail[:len(c.trail)-1]
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		c.assign[v] = 0
+	}
+}
+
+// validLits rejects zero or out-of-range literals.
+func validLits(nVars int, cl []Lit) error {
+	for _, l := range cl {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		if v == 0 || int(v) > nVars {
+			return &CheckError{Step: -1, Msg: fmt.Sprintf("literal %d out of range (1..%d)", l, nVars)}
+		}
+	}
+	return nil
+}
+
+// Check verifies that proof is a valid RUP refutation of the CNF over
+// variables 1..nVars: every proof clause must be derivable from the
+// formula plus the preceding proof clauses by unit propagation (negate
+// the clause, propagate, demand a conflict), and the final clause must
+// be empty — certifying unsatisfiability. Check is independent of
+// Solver; it trusts nothing but the clause lists it is handed.
+func Check(nVars int, cnf [][]Lit, proof Proof) error {
+	for _, cl := range cnf {
+		if err := validLits(nVars, cl); err != nil {
+			return err
+		}
+	}
+	if len(proof) == 0 {
+		return &CheckError{Step: -1, Msg: "empty proof (no refutation)"}
+	}
+	if len(proof[len(proof)-1]) != 0 {
+		return &CheckError{Step: len(proof) - 1, Msg: "refutation does not end with the empty clause"}
+	}
+	ck := &checker{
+		nVars:   nVars,
+		clauses: append(make([][]Lit, 0, len(cnf)+len(proof)), cnf...),
+		assign:  make([]int8, nVars+1),
+	}
+	for i, cl := range proof {
+		if err := validLits(nVars, cl); err != nil {
+			return &CheckError{Step: i, Msg: err.Error()}
+		}
+		mark := len(ck.trail)
+		conflict := false
+		for _, l := range cl {
+			if ck.assume(-l) {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			conflict = ck.propagate()
+		}
+		ck.undoTo(mark)
+		if !conflict {
+			return &CheckError{Step: i, Msg: "clause is not RUP (no conflict under negation)"}
+		}
+		ck.clauses = append(ck.clauses, cl)
+	}
+	return nil
+}
+
+// CheckModel verifies that the 1-indexed assignment satisfies every
+// clause of the CNF.
+func CheckModel(cnf [][]Lit, model []bool) error {
+	for i, cl := range cnf {
+		satisfied := false
+		for _, l := range cl {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if int(v) >= len(model) {
+				return &CheckError{Step: -1, Msg: fmt.Sprintf("clause %d: literal %d beyond model", i, l)}
+			}
+			if (l > 0) == model[v] {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			return &CheckError{Step: -1, Msg: fmt.Sprintf("clause %d unsatisfied by model", i)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package sat
+
+import (
+	"reflect"
+	"testing"
+)
+
+// bruteForce decides satisfiability by enumerating all assignments.
+func bruteForce(nVars int, cnf [][]Lit) (bool, []bool) {
+	model := make([]bool, nVars+1)
+	for m := 0; m < 1<<nVars; m++ {
+		for v := 1; v <= nVars; v++ {
+			model[v] = m&(1<<(v-1)) != 0
+		}
+		if CheckModel(cnf, model) == nil {
+			return true, append([]bool(nil), model...)
+		}
+	}
+	return false, nil
+}
+
+// solveCNF runs a fresh proof-logging solver over the clause list.
+func solveCNF(cnf [][]Lit) (*Solver, Status) {
+	s := &Solver{ProofEnabled: true}
+	for _, cl := range cnf {
+		s.AddClause(cl...)
+	}
+	return s, s.Solve()
+}
+
+func TestSimpleSat(t *testing.T) {
+	cnf := [][]Lit{{1, 2}, {-1, 3}, {-2, -3}, {3}}
+	s, st := solveCNF(cnf)
+	if st != Sat {
+		t.Fatalf("status = %v, want sat", st)
+	}
+	if err := CheckModel(cnf, s.Model()); err != nil {
+		t.Fatalf("model rejected: %v", err)
+	}
+}
+
+func TestSimpleUnsat(t *testing.T) {
+	cnf := [][]Lit{{1, 2}, {1, -2}, {-1, 2}, {-1, -2}}
+	s, st := solveCNF(cnf)
+	if st != Unsat {
+		t.Fatalf("status = %v, want unsat", st)
+	}
+	if err := Check(s.NumVars(), cnf, s.Proof()); err != nil {
+		t.Fatalf("refutation rejected: %v", err)
+	}
+}
+
+// TestPigeonhole solves PHP(4,3): 4 pigeons in 3 holes, classically
+// unsatisfiable and conflict-heavy enough to exercise learning,
+// restarts and the proof logger.
+func TestPigeonhole(t *testing.T) {
+	const pigeons, holes = 4, 3
+	v := func(p, h int) Lit { return Lit(p*holes + h + 1) }
+	var cnf [][]Lit
+	for p := 0; p < pigeons; p++ {
+		var cl []Lit
+		for h := 0; h < holes; h++ {
+			cl = append(cl, v(p, h))
+		}
+		cnf = append(cnf, cl)
+	}
+	for h := 0; h < holes; h++ {
+		for p := 0; p < pigeons; p++ {
+			for q := p + 1; q < pigeons; q++ {
+				cnf = append(cnf, []Lit{-v(p, h), -v(q, h)})
+			}
+		}
+	}
+	s, st := solveCNF(cnf)
+	if st != Unsat {
+		t.Fatalf("PHP(4,3) = %v, want unsat", st)
+	}
+	if len(s.Proof()) < 2 {
+		t.Fatalf("refutation suspiciously short: %d clauses", len(s.Proof()))
+	}
+	if err := Check(s.NumVars(), cnf, s.Proof()); err != nil {
+		t.Fatalf("refutation rejected: %v", err)
+	}
+}
+
+func TestEmptyAndUnitClauses(t *testing.T) {
+	s := &Solver{ProofEnabled: true}
+	s.AddClause() // empty clause: immediately unsat
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("empty clause solve = %v", st)
+	}
+	if err := Check(1, [][]Lit{{}}, Proof{{}}); err != nil {
+		t.Fatalf("empty-clause refutation rejected: %v", err)
+	}
+
+	s = &Solver{ProofEnabled: true}
+	s.AddClause(1)
+	s.AddClause(-1)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("contradictory units = %v", st)
+	}
+	if err := Check(1, [][]Lit{{1}, {-1}}, s.Proof()); err != nil {
+		t.Fatalf("unit refutation rejected: %v", err)
+	}
+
+	// Tautologies and duplicates must not derail anything.
+	s = &Solver{}
+	s.AddClause(1, -1)
+	s.AddClause(2, 2, 3)
+	s.AddClause(-3)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("taut/dup solve = %v", st)
+	}
+	if !s.Value(2) {
+		t.Fatal("clause (2 2 3) with -3 must force 2")
+	}
+}
+
+// TestIncrementalSolve adds clauses between Solve calls: the verdict
+// must tighten monotonically and stay correct.
+func TestIncrementalSolve(t *testing.T) {
+	s := &Solver{ProofEnabled: true}
+	s.AddClause(1, 2)
+	s.AddClause(-1, 2)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("phase 1 = %v", st)
+	}
+	if !s.Value(2) {
+		t.Fatal("2 must hold in every model")
+	}
+	s.AddClause(-2)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("phase 2 = %v", st)
+	}
+	cnf := [][]Lit{{1, 2}, {-1, 2}, {-2}}
+	if err := Check(s.NumVars(), cnf, s.Proof()); err != nil {
+		t.Fatalf("incremental refutation rejected: %v", err)
+	}
+}
+
+// TestDeterminism pins the solver's contract: identical inputs (clauses,
+// order, seed) produce identical models and proofs across fresh solvers.
+func TestDeterminism(t *testing.T) {
+	cnf := [][]Lit{
+		{1, 2, 3}, {-1, 4}, {-2, 5}, {-3, -4}, {-4, -5},
+		{2, 6}, {-6, 1}, {5, 6, -3}, {-1, -2, -3},
+	}
+	run := func(seed uint64) (Status, []bool, Proof) {
+		s := &Solver{ProofEnabled: true, Seed: seed}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		st := s.Solve()
+		return st, s.Model(), s.Proof()
+	}
+	st1, m1, p1 := run(0)
+	st2, m2, p2 := run(0)
+	if st1 != st2 || !reflect.DeepEqual(m1, m2) || !reflect.DeepEqual(p1, p2) {
+		t.Fatal("two identical runs disagree")
+	}
+	// A different seed may search differently but must agree on the verdict.
+	st3, m3, _ := run(12345)
+	if st3 != st1 {
+		t.Fatalf("seed changed the verdict: %v vs %v", st3, st1)
+	}
+	if st3 == Sat {
+		if err := CheckModel(cnf, m3); err != nil {
+			t.Fatalf("seeded model rejected: %v", err)
+		}
+	}
+}
+
+func TestMaxConflicts(t *testing.T) {
+	// PHP(5,4) needs well over one conflict; a budget of 1 must abort.
+	const pigeons, holes = 5, 4
+	v := func(p, h int) Lit { return Lit(p*holes + h + 1) }
+	s := &Solver{MaxConflicts: 1}
+	for p := 0; p < pigeons; p++ {
+		var cl []Lit
+		for h := 0; h < holes; h++ {
+			cl = append(cl, v(p, h))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p := 0; p < pigeons; p++ {
+			for q := p + 1; q < pigeons; q++ {
+				s.AddClause(-v(p, h), -v(q, h))
+			}
+		}
+	}
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("budget-1 solve = %v, want unknown", st)
+	}
+	s.MaxConflicts = 0
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("unlimited re-solve = %v, want unsat", st)
+	}
+}
+
+func TestCheckRejectsBogusProofs(t *testing.T) {
+	cnf := [][]Lit{{1, 2}, {1, -2}, {-1, 2}, {-1, -2}}
+	s, st := solveCNF(cnf)
+	if st != Unsat {
+		t.Fatalf("setup: %v", st)
+	}
+	good := s.Proof()
+	// Truncated: missing the empty clause.
+	if err := Check(2, cnf, good[:len(good)-1]); err == nil {
+		t.Fatal("truncated proof accepted")
+	}
+	// A clause over a fresh variable is never RUP from this CNF.
+	bogus := append(Proof{{3}}, good...)
+	if err := Check(3, cnf, bogus); err == nil {
+		t.Fatal("non-RUP clause accepted")
+	}
+	// A SAT formula must never admit a refutation.
+	satCNF := [][]Lit{{1, 2}, {-1, 2}}
+	if err := Check(2, satCNF, Proof{{2}, {}}); err == nil {
+		t.Fatal("refutation of a satisfiable formula accepted")
+	}
+	// Out-of-range literal.
+	if err := Check(2, cnf, Proof{{7}, {}}); err == nil {
+		t.Fatal("out-of-range literal accepted")
+	}
+}
+
+// TestSolveZeroAllocSteadyState is the dynamic half of the hot-path
+// contract (propagate/analyze are //obdcheck:hotpath and statically
+// audited by hotalloc): once the trail, watch lists and order heap are
+// warm, re-solving with saved phases must allocate nothing. The
+// instance forces real work per call — a decision cascading unit
+// propagation through binary and ternary clauses.
+func TestSolveZeroAllocSteadyState(t *testing.T) {
+	s := &Solver{}
+	const chain = 40
+	// d=false propagates x1..xn through (d ∨ x_i) and (¬x_i ∨ x_{i+1});
+	// ternary clauses add watch migration to the steady-state loop.
+	d := Lit(1)
+	x := func(i int) Lit { return Lit(2 + i) }
+	s.AddClause(d, x(0))
+	for i := 0; i+1 < chain; i++ {
+		s.AddClause(-x(i), x(i+1))
+		if i+2 < chain {
+			s.AddClause(d, x(i), x(i+2))
+		}
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("warmup solve = %v", st)
+	}
+	// Extra warmup rounds let watch-list capacities reach their fixpoint.
+	for i := 0; i < 50; i++ {
+		if st := s.Solve(); st != Sat {
+			t.Fatalf("warmup re-solve = %v", st)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if st := s.Solve(); st != Sat {
+			t.Fatal("steady-state solve not sat")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Solve allocated %v times per call, want 0", allocs)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}

@@ -244,6 +244,31 @@ func TestServeLint(t *testing.T) {
 		t.Fatalf("response %+v", lr)
 	}
 
+	// The exact SAT stanza ("sat" on the wire) is always on for valid
+	// circuits: every fault classified, nothing silently dropped.
+	if lr.Report.Exact == nil {
+		t.Fatal("lint response is missing the sat stanza")
+	}
+	if got := lr.Report.Exact.Testable + lr.Report.Exact.Untestable + lr.Report.Exact.Aborted; got != lr.Report.Exact.Faults {
+		t.Fatalf("sat stanza counts do not decompose: %+v", lr.Report.Exact)
+	}
+	if len(lr.Report.Exact.Verdicts) != lr.Report.Exact.Faults {
+		t.Fatalf("sat stanza has %d verdicts for %d faults", len(lr.Report.Exact.Verdicts), lr.Report.Exact.Faults)
+	}
+
+	// SkipFaults also skips the exact pass.
+	status, body, _ = post(t, ts.URL+"/v1/lint", LintRequest{Netlist: nand2, SkipFaults: true})
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	lr = LintResponse{}
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Report.Exact != nil {
+		t.Fatal("skip_faults response still carries the sat stanza")
+	}
+
 	// Lint is the endpoint that must ACCEPT structurally invalid
 	// circuits: same netlist that /v1/grade rejects with 400 gets a 200
 	// report here, with diagnostics and no fingerprint.
