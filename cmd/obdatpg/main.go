@@ -13,6 +13,13 @@
 //	obdatpg -fulladder -apply tests.vec
 //	obdatpg -fulladder -model los
 //	obdatpg -fulladder -model bist -cycles 256
+//	obdatpg -netlist s27.bench -style loc
+//	obdatpg -netlist s27.bench -style enhanced -grade-obd
+//
+// A DFF-bearing netlist needs -style: the circuit is lifted into its scan
+// model (internal/seq) and OBD tests are generated for the combinational
+// core under the chosen scan discipline — enhanced (arbitrary pairs), los
+// (launch-on-shift) or loc (launch-on-capture/broadside).
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"gobd/internal/cells"
 	"gobd/internal/fault"
 	"gobd/internal/logic"
+	"gobd/internal/seq"
 )
 
 func main() {
@@ -34,8 +42,10 @@ func main() {
 		fulladder = flag.Bool("fulladder", false, "use the built-in Fig. 8 full-adder sum circuit")
 		randGates = flag.Int("random-gates", 0, "generate a seeded random primitive-gate circuit with this many gates")
 		randIns   = flag.Int("random-inputs", 16, "primary input count for -random-gates")
+		randFFs   = flag.Int("random-ffs", 0, "flip-flop count for -random-gates (makes the circuit sequential)")
 		randSeed  = flag.Int64("random-seed", 1, "generator seed for -random-gates")
 		model     = flag.String("model", "obd", "fault model: obd, transition, stuckat, ndetect, los, bist")
+		style     = flag.String("style", "", "scan style for sequential circuits: enhanced, los, loc (lifts the netlist into its scan model and targets the combinational core's OBD universe)")
 		nDetect   = flag.Int("n", 3, "detection multiplicity for -model ndetect")
 		cycles    = flag.Int("cycles", 256, "stream length for -model bist")
 		gradeOBD  = flag.Bool("grade-obd", false, "also grade the generated set against the OBD universe")
@@ -71,7 +81,7 @@ func main() {
 		lc = c
 	case *randGates > 0:
 		rng := rand.New(rand.NewSource(*randSeed))
-		lc = logic.RandomCircuit(rng, logic.RandomOptions{Inputs: *randIns, Gates: *randGates, Primitive: true})
+		lc = logic.RandomCircuit(rng, logic.RandomOptions{Inputs: *randIns, Gates: *randGates, FFs: *randFFs, Primitive: true})
 	default:
 		die(fmt.Errorf("need -netlist FILE, -fulladder or -random-gates N"))
 	}
@@ -103,108 +113,143 @@ func main() {
 	}
 
 	var pairs []atpg.TwoPattern
-	switch *model {
-	case "obd":
-		faults, skipped := fault.OBDUniverse(lc)
+	if *style != "" {
+		st, err := seq.ParseStyle(*style)
+		if err != nil {
+			die(err)
+		}
+		s, err := seq.FromCircuit(lc)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("scan model: %d flip-flops, %d primary inputs, core %d gates\n",
+			len(s.FFs), len(s.PIs), len(s.Core.Gates))
+		faults, skipped := fault.OBDUniverse(s.Core)
 		if len(skipped) > 0 {
 			fmt.Printf("note: %d composite gates carry no OBD faults\n", len(skipped))
 		}
-		opt := atpg.DefaultOptions()
-		opt.Prune = *prune
-		if *maxBT > 0 {
-			opt.MaxBacktracks = *maxBT
-		}
-		var satStats *atpg.SATStats
-		if *satFB {
-			opt.SATFallback = true
-			satStats = &atpg.SATStats{}
-			opt.SATStats = satStats
-		}
-		ts, err := atpg.GenerateOBDTests(lc, faults, opt)
+		res, err := seq.GenerateTests(s, faults, st, nil)
 		if err != nil {
 			die(err)
 		}
-		pairs = ts.Tests
-		report2(lc, ts, *verbose)
-		if satStats != nil {
-			fmt.Printf("sat fallback: %d aborts handed over, %d resolved detected, %d resolved untestable, %d undecided\n",
-				satStats.Aborts, satStats.Detected, satStats.Untestable, satStats.Undecided)
-		}
-	case "ndetect":
-		faults, _ := fault.OBDUniverse(lc)
-		ts, err := atpg.GenerateNDetectOBDTests(lc, faults, *nDetect)
-		if err != nil {
-			die(err)
-		}
-		pairs = ts.Tests
-		report2(lc, ts, *verbose)
-	case "los":
-		faults, _ := fault.OBDUniverse(lc)
-		res, err := atpg.GenerateLOSTests(lc, faults, nil)
-		if err != nil {
-			die(err)
-		}
-		pairs = res.Tests
 		exact := ""
 		if res.Exact {
 			exact = " (exact)"
 		}
-		fmt.Printf("generated %d launch-on-shift pairs, coverage %s%s\n",
-			len(res.Tests), res.Coverage, exact)
+		fmt.Printf("%s: generated %d pairs, coverage %s%s\n",
+			st, len(res.Tests), res.Coverage, exact)
 		if *verbose {
 			for _, tp := range res.Tests {
-				fmt.Println("  " + tp.StringFor(lc))
+				fmt.Println("  " + tp.StringFor(s.Core))
 			}
 		}
-	case "bist":
-		faults, _ := fault.OBDUniverse(lc)
-		s, err := bist.NewSession(lc, 0xACE1, *cycles)
-		if err != nil {
-			die(err)
-		}
-		golden, err := s.GoldenSignature()
-		if err != nil {
-			die(err)
-		}
-		results, err := s.RunFaults(faults, golden, sched)
-		if err != nil {
-			die(err)
-		}
-		detected, aliased := 0, 0
-		for _, res := range results {
-			if res.DetectedCycles > 0 {
-				detected++
-				if res.Aliased {
-					aliased++
+		// The tail flags (-grade-obd, -o) operate on core patterns.
+		pairs = res.Tests
+		lc = s.Core
+	} else {
+		switch *model {
+		case "obd":
+			faults, skipped := fault.OBDUniverse(lc)
+			if len(skipped) > 0 {
+				fmt.Printf("note: %d composite gates carry no OBD faults\n", len(skipped))
+			}
+			opt := atpg.DefaultOptions()
+			opt.Prune = *prune
+			if *maxBT > 0 {
+				opt.MaxBacktracks = *maxBT
+			}
+			var satStats *atpg.SATStats
+			if *satFB {
+				opt.SATFallback = true
+				satStats = &atpg.SATStats{}
+				opt.SATStats = satStats
+			}
+			ts, err := atpg.GenerateOBDTests(lc, faults, opt)
+			if err != nil {
+				die(err)
+			}
+			pairs = ts.Tests
+			report2(lc, ts, *verbose)
+			if satStats != nil {
+				fmt.Printf("sat fallback: %d aborts handed over, %d resolved detected, %d resolved untestable, %d undecided\n",
+					satStats.Aborts, satStats.Detected, satStats.Untestable, satStats.Undecided)
+			}
+		case "ndetect":
+			faults, _ := fault.OBDUniverse(lc)
+			ts, err := atpg.GenerateNDetectOBDTests(lc, faults, *nDetect)
+			if err != nil {
+				die(err)
+			}
+			pairs = ts.Tests
+			report2(lc, ts, *verbose)
+		case "los":
+			faults, _ := fault.OBDUniverse(lc)
+			res, err := atpg.GenerateLOSTests(lc, faults, nil)
+			if err != nil {
+				die(err)
+			}
+			pairs = res.Tests
+			exact := ""
+			if res.Exact {
+				exact = " (exact)"
+			}
+			fmt.Printf("generated %d launch-on-shift pairs, coverage %s%s\n",
+				len(res.Tests), res.Coverage, exact)
+			if *verbose {
+				for _, tp := range res.Tests {
+					fmt.Println("  " + tp.StringFor(lc))
 				}
 			}
-		}
-		fmt.Printf("%d-cycle BIST (golden signature %04x): %d/%d detected, %d aliased\n",
-			*cycles, golden, detected, len(faults), aliased)
-		pairs = s.Pairs()
-	case "transition":
-		ts, err := atpg.GenerateTransitionTests(lc, fault.TransitionUniverse(lc), nil)
-		if err != nil {
-			die(err)
-		}
-		pairs = ts.Tests
-		report2(lc, ts, *verbose)
-	case "stuckat":
-		ts, err := atpg.GenerateStuckAtTests(lc, fault.StuckAtUniverse(lc), nil)
-		if err != nil {
-			die(err)
-		}
-		fmt.Printf("generated %d patterns, coverage %s\n", len(ts.Tests), ts.Coverage)
-		if *verbose {
-			for _, p := range ts.Tests {
-				fmt.Println("  " + p.KeyFor(lc))
+		case "bist":
+			faults, _ := fault.OBDUniverse(lc)
+			s, err := bist.NewSession(lc, 0xACE1, *cycles)
+			if err != nil {
+				die(err)
 			}
+			golden, err := s.GoldenSignature()
+			if err != nil {
+				die(err)
+			}
+			results, err := s.RunFaults(faults, golden, sched)
+			if err != nil {
+				die(err)
+			}
+			detected, aliased := 0, 0
+			for _, res := range results {
+				if res.DetectedCycles > 0 {
+					detected++
+					if res.Aliased {
+						aliased++
+					}
+				}
+			}
+			fmt.Printf("%d-cycle BIST (golden signature %04x): %d/%d detected, %d aliased\n",
+				*cycles, golden, detected, len(faults), aliased)
+			pairs = s.Pairs()
+		case "transition":
+			ts, err := atpg.GenerateTransitionTests(lc, fault.TransitionUniverse(lc), nil)
+			if err != nil {
+				die(err)
+			}
+			pairs = ts.Tests
+			report2(lc, ts, *verbose)
+		case "stuckat":
+			ts, err := atpg.GenerateStuckAtTests(lc, fault.StuckAtUniverse(lc), nil)
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("generated %d patterns, coverage %s\n", len(ts.Tests), ts.Coverage)
+			if *verbose {
+				for _, p := range ts.Tests {
+					fmt.Println("  " + p.KeyFor(lc))
+				}
+			}
+			for i := 1; i < len(ts.Tests); i++ {
+				pairs = append(pairs, atpg.TwoPattern{V1: ts.Tests[i-1], V2: ts.Tests[i]})
+			}
+		default:
+			die(fmt.Errorf("unknown model %q", *model))
 		}
-		for i := 1; i < len(ts.Tests); i++ {
-			pairs = append(pairs, atpg.TwoPattern{V1: ts.Tests[i-1], V2: ts.Tests[i]})
-		}
-	default:
-		die(fmt.Errorf("unknown model %q", *model))
 	}
 	if *gradeOBD {
 		faults, _ := fault.OBDUniverse(lc)

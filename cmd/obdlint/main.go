@@ -10,6 +10,12 @@
 //	obdlint -circuit fulladder -proofs
 //	obdlint -circuit fulladder -sat
 //	obdlint -circuit c17 -circuit rca4 -no-faults
+//	obdlint -netlist s27.bench
+//
+// Sequential (DFF-bearing) netlists are linted whole — including
+// scan-chain diagnostics like floating D pins and unobservable state
+// bits — and then the fault-level passes run over the combinational core
+// (state bits as pseudo-inputs, next-state functions as pseudo-outputs).
 //
 // The exit status is 2 when any circuit carries Error-severity
 // diagnostics (a netlist Validate would refuse), 0 otherwise — warnings,
@@ -142,6 +148,9 @@ func builtin(name string) (*logic.Circuit, error) {
 func printReport(r *netcheck.Report, proofs bool) {
 	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates\n",
 		r.Circuit, r.Inputs, r.Outputs, r.Gates)
+	if r.FFs > 0 {
+		fmt.Printf("  sequential: %d flip-flops; fault passes ran on the combinational core\n", r.FFs)
+	}
 	for _, d := range r.Diagnostics {
 		fmt.Printf("  %s\n", d)
 	}

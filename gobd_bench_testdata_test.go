@@ -21,6 +21,63 @@ func c432Class() *gobd.Circuit {
 	return c
 }
 
+// s27Class deterministically regenerates the committed s27-scale
+// sequential benchmark: ISCAS-89 s27's shape (4 primary inputs, 3 DFFs,
+// 10 combinational gates) drawn from the primitive-gate random generator
+// at seed 39 — the first small seed whose circuit reads every primary
+// input and every state bit. The .bench file in testdata is this circuit.
+func s27Class() *gobd.Circuit {
+	rng := rand.New(rand.NewSource(39))
+	c := gobd.RandomCircuit(rng, gobd.RandomOptions{Inputs: 4, Gates: 10, FFs: 3, Primitive: true})
+	c.Name = "s27s: synthetic s27-class sequential benchmark (4 PI, 3 DFF, 10 gates, seed 39)"
+	return c
+}
+
+// TestS27BenchInSync guards testdata/s27.bench against drift, exactly as
+// TestC432BenchInSync does for the combinational benchmark: byte-identical
+// .bench rendering (refresh with `go test -run TestS27BenchInSync -update .`)
+// and a structurally identical reparse — which exercises the DFF round
+// trip through the .bench reader and writer.
+func TestS27BenchInSync(t *testing.T) {
+	const path = "testdata/s27.bench"
+	c := s27Class()
+	want, err := gobd.FormatBench(c)
+	if err != nil {
+		t.Fatalf("formatting the generated circuit: %v", err)
+	}
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v (run `go test -run TestS27BenchInSync -update .` to create it)", path, err)
+	}
+	if string(got) != want {
+		t.Fatalf("%s has drifted from the seed-39 generator output; regenerate with `go test -run TestS27BenchInSync -update .`", path)
+	}
+	parsed, err := gobd.ParseCircuitFile(path)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	if len(parsed.Inputs) != 4 || len(parsed.Gates) != 13 || len(parsed.DFFs()) != 3 {
+		t.Fatalf("parsed %d inputs / %d gates / %d DFFs, want 4 / 13 / 3",
+			len(parsed.Inputs), len(parsed.Gates), len(parsed.DFFs()))
+	}
+	pfp, err := parsed.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfp, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfp != cfp {
+		t.Fatal("parsed circuit is not structurally identical to the generator output")
+	}
+}
+
 // TestC432BenchInSync guards testdata/c432.bench against drift: the file
 // must be byte-identical to the regenerated circuit's .bench rendering
 // (refresh with `go test -run TestC432BenchInSync -update .`), and parsing

@@ -1,13 +1,12 @@
 // Gate-level layer of the public facade: combinational circuits, the
 // textual and Verilog netlist formats, structural fingerprints, benchmark
-// generators, the event-driven timing simulator and scan/DFT wrapping.
-// Static netlist analysis lives in gobd_netcheck.go.
+// generators and the event-driven timing simulator. Scan/DFT wrapping
+// lives in gobd_seq.go; static netlist analysis in gobd_netcheck.go.
 package gobd
 
 import (
 	"gobd/internal/cells"
 	"gobd/internal/logic"
-	"gobd/internal/seq"
 	"gobd/internal/timing"
 )
 
@@ -80,31 +79,6 @@ var (
 	ParityTree = logic.ParityTree
 	// Mux41 builds a 4:1 multiplexer.
 	Mux41 = logic.Mux41
-)
-
-// Sequential/DFT layer.
-type (
-	// SeqCircuit is a combinational core with a scan chain.
-	SeqCircuit = seq.Circuit
-	// ScanFF is one scan flip-flop (Q feeds a core input, D captures a net).
-	ScanFF = seq.FF
-	// ScanMode is a two-pattern test-application style.
-	ScanMode = seq.Mode
-)
-
-// Scan application modes.
-const (
-	EnhancedScanMode    = seq.EnhancedScan
-	LaunchOnShiftMode   = seq.LaunchOnShift
-	LaunchOnCaptureMode = seq.LaunchOnCapture
-)
-
-// Sequential constructors.
-var (
-	// NewSeqCircuit wraps a combinational core with a scan chain.
-	NewSeqCircuit = seq.New
-	// Accumulator builds the n-bit accumulator testbed.
-	Accumulator = seq.Accumulator
 )
 
 // Gate-level timing layer.

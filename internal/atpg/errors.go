@@ -27,6 +27,20 @@ func (e *InvalidCircuitError) Error() string {
 // Unwrap exposes the underlying validation error.
 func (e *InvalidCircuitError) Unwrap() error { return e.Err }
 
+// SequentialCircuitError reports that a combinational entry point was
+// handed a DFF-bearing circuit. The combinational generators and graders
+// have no clock model; route sequential circuits through internal/seq
+// (FromCircuit for the scan model, Unroll for time-frame expansion) or
+// grade their logic.CombinationalCore directly.
+type SequentialCircuitError struct {
+	DFFs int // flip-flop count of the offending circuit
+}
+
+// Error implements error.
+func (e *SequentialCircuitError) Error() string {
+	return fmt.Sprintf("atpg: circuit has %d flip-flops; combinational ATPG needs the combinational core (see internal/seq)", e.DFFs)
+}
+
 // InputLimitError reports that an exhaustive enumeration was requested
 // for a circuit with more primary inputs than the enumerator supports.
 type InputLimitError struct {

@@ -33,6 +33,9 @@ func GenerateStuckAtTest(c *logic.Circuit, f fault.StuckAt, opt *Options) (Patte
 	if opt == nil {
 		opt = DefaultOptions()
 	}
+	if c.HasDFF() {
+		return nil, Errored // sequential circuit: use internal/seq or the combinational core
+	}
 	return generateStuckAtTestWith(c, f, opt, guidance(c, opt))
 }
 
@@ -58,6 +61,9 @@ func generateStuckAtTestWith(c *logic.Circuit, f fault.StuckAt, opt *Options, tb
 func GenerateTransitionTest(c *logic.Circuit, f fault.Transition, opt *Options) (*TwoPattern, Status) {
 	if opt == nil {
 		opt = DefaultOptions()
+	}
+	if c.HasDFF() {
+		return nil, Errored // sequential circuit: use internal/seq or the combinational core
 	}
 	return generateTransitionTestWith(c, f, opt, guidance(c, opt))
 }
@@ -94,6 +100,9 @@ func generateTransitionTestWith(c *logic.Circuit, f fault.Transition, opt *Optio
 func GenerateOBDTest(c *logic.Circuit, f fault.OBD, opt *Options) (*TwoPattern, Status) {
 	if opt == nil {
 		opt = DefaultOptions()
+	}
+	if c.HasDFF() {
+		return nil, Errored // sequential circuit: use internal/seq or the combinational core
 	}
 	if opt.Prune && netcheck.ProveOBD(c, f).Untestable {
 		return nil, Untestable

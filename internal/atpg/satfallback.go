@@ -31,6 +31,7 @@ func satResolveOBD(c *logic.Circuit, f fault.OBD, opt *Options) (*TwoPattern, St
 	if opt.SATStats != nil {
 		opt.SATStats.Aborts++
 	}
+	//obdcheck:allow paniccontract — the encoder's DFF panic is unreachable: GenerateOBDTest(s) return Errored on DFF-bearing circuits before any fallback runs
 	ev := netcheck.ProveOBDExactBudget(c, f, netcheck.DefaultExactBudget)
 	switch {
 	case ev.Testable:

@@ -29,6 +29,12 @@ func ShiftPattern(c *logic.Circuit, v1 Pattern, scanIn logic.Value) Pattern {
 }
 
 // LOSOptions configures the launch-on-shift generator.
+//
+// Deprecated: use seq.Options with seq.GenerateTests(s, faults, seq.LOS,
+// opt), which applies the shift to the scan chain only (state bits)
+// instead of treating every circuit input as part of the chain. This
+// flat-chain generator remains for circuits without an explicit scan
+// model.
 type LOSOptions struct {
 	// SampleBudget bounds the random search used beyond ExhaustiveMaxIn
 	// inputs.
@@ -51,6 +57,9 @@ func DefaultLOSOptions() *LOSOptions {
 func GenerateLOSTest(c *logic.Circuit, f fault.OBD, opt *LOSOptions) (*TwoPattern, Status) {
 	if opt == nil {
 		opt = DefaultLOSOptions()
+	}
+	if c.HasDFF() {
+		return nil, Errored // sequential circuit: use seq.Generate with seq.LOS
 	}
 	n := len(c.Inputs)
 	try := func(v1 Pattern, scanIn logic.Value) *TwoPattern {

@@ -289,10 +289,16 @@ func (s *Scheduler) ForEachCtx(ctx context.Context, n int, fn func(i int) error)
 
 // ensureValid levelizes the circuit up-front so the workers never race on
 // the lazy validation cache. An invalid circuit is reported as a typed
-// *InvalidCircuitError instead of the panic earlier revisions threw.
+// *InvalidCircuitError instead of the panic earlier revisions threw, and
+// a DFF-bearing circuit as a *SequentialCircuitError: the combinational
+// engines would treat flip-flops as transparent, silently grading a
+// different machine.
 func ensureValid(c *logic.Circuit) error {
 	if err := c.Validate(); err != nil {
 		return &InvalidCircuitError{Err: err}
+	}
+	if ffs := c.DFFs(); len(ffs) > 0 {
+		return &SequentialCircuitError{DFFs: len(ffs)}
 	}
 	return nil
 }

@@ -22,18 +22,20 @@ import (
 //	10 = NAND(1, 3)
 //
 // Nets and gates share names: a gate is named by the net it drives.
-// Keywords are matched case-insensitively. Sequential elements (DFF) are
-// rejected — this package models combinational logic only.
+// Keywords are matched case-insensitively. Single-input DFF lines (the
+// ISCAS-89 sequential element, e.g. `G5 = DFF(G10)`) parse into the Dff
+// gate type; sequential constructs beyond that (multi-input DFF) fail with
+// a *ParseError naming the construct and line.
 
 var benchTypes = map[string]GateType{
 	"AND": And, "NAND": Nand, "OR": Or, "NOR": Nor,
 	"NOT": Inv, "INV": Inv, "BUFF": Buf, "BUF": Buf,
-	"XOR": Xor, "XNOR": Xnor,
+	"XOR": Xor, "XNOR": Xnor, "DFF": Dff,
 }
 
 var benchNames = map[GateType]string{
 	Inv: "NOT", Buf: "BUFF", Nand: "NAND", Nor: "NOR",
-	And: "AND", Or: "OR", Xor: "XOR", Xnor: "XNOR",
+	And: "AND", Or: "OR", Xor: "XOR", Xnor: "XNOR", Dff: "DFF",
 }
 
 // ParseBench reads an ISCAS-85 .bench netlist into a validated Circuit.
@@ -62,6 +64,11 @@ func ParseBench(r io.Reader) (*Circuit, error) {
 				return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
 			}
 			if err := benchAddGate(c, name, typ, args); err != nil {
+				var pe *ParseError
+				if errors.As(err, &pe) {
+					pe.Line = lineNo
+					return nil, pe
+				}
 				return nil, fmt.Errorf("bench: line %d: %w", lineNo, err)
 			}
 			continue
@@ -119,9 +126,6 @@ func benchCall(s string) (string, []string, error) {
 // benchAddGate maps one `out = TYPE(args)` line onto AddGate.
 func benchAddGate(c *Circuit, name, typ string, args []string) error {
 	upper := strings.ToUpper(typ)
-	if upper == "DFF" {
-		return fmt.Errorf("sequential element DFF is not supported (combinational circuits only)")
-	}
 	t, ok := benchTypes[upper]
 	if !ok {
 		return fmt.Errorf("unknown gate type %q", typ)
@@ -129,7 +133,18 @@ func benchAddGate(c *Circuit, name, typ string, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("gate %q has no inputs", name)
 	}
-	if len(args) == 1 {
+	if t == Dff {
+		if len(args) != 1 {
+			// Set/reset/enable-style flip-flops are not modeled; report
+			// the construct so the failure is actionable. ParseBench
+			// fills Line, ParseFile fills Path.
+			return &ParseError{
+				Format:    "bench",
+				Construct: fmt.Sprintf("%d-input DFF %q", len(args), name),
+				Err:       ErrUnsupportedSeq,
+			}
+		}
+	} else if len(args) == 1 {
 		switch t {
 		case And, Or, Buf:
 			t = Buf
@@ -181,18 +196,36 @@ func FormatBench(c *Circuit) (string, error) {
 // always the wrong file or the wrong format for its extension.
 var ErrEmptyNetlist = errors.New("logic: empty netlist")
 
-// ParseError is ParseFile's typed failure: it names the file and the
-// format its extension dispatched to, and wraps that parser's error so
-// errors.Is and errors.As see through the dispatch. I/O failures
-// (os.Open) are returned as-is, not wrapped: no format was chosen yet.
+// ErrUnsupportedSeq is the sentinel under parse failures on sequential
+// constructs the netlist formats cannot represent in this model — e.g. a
+// multi-input (set/reset/enable) DFF. Plain single-input DFFs parse fine.
+var ErrUnsupportedSeq = errors.New("logic: unsupported sequential construct")
+
+// ParseError is the typed parse failure: it names the file (when parsing
+// came through ParseFile), the format, and — when known — the 1-based line
+// and the offending construct, and wraps the underlying error so errors.Is
+// and errors.As see through the dispatch. I/O failures (os.Open) are
+// returned as-is, not wrapped: no format was chosen yet.
 type ParseError struct {
-	Path   string
-	Format string // "bench", "verilog" or "native"
-	Err    error
+	Path      string
+	Format    string // "bench", "verilog" or "native"
+	Line      int    // 1-based source line, 0 when unknown
+	Construct string // offending construct (e.g. `2-input DFF "G5"`), "" when unknown
+	Err       error
 }
 
 func (e *ParseError) Error() string {
-	return fmt.Sprintf("logic: parse %s as %s: %v", e.Path, e.Format, e.Err)
+	loc := e.Path
+	if loc == "" {
+		loc = "netlist"
+	}
+	if e.Line > 0 {
+		loc = fmt.Sprintf("%s:%d", loc, e.Line)
+	}
+	if e.Construct != "" {
+		return fmt.Sprintf("logic: parse %s as %s: %s: %v", loc, e.Format, e.Construct, e.Err)
+	}
+	return fmt.Sprintf("logic: parse %s as %s: %v", loc, e.Format, e.Err)
 }
 
 func (e *ParseError) Unwrap() error { return e.Err }
@@ -224,6 +257,13 @@ func ParseFile(path string) (*Circuit, error) {
 		c, err = Parse(f)
 	}
 	if err != nil {
+		var pe *ParseError
+		if errors.As(err, &pe) && pe.Path == "" {
+			// The format parser already built a typed error (line and
+			// construct attribution); just attach the path.
+			pe.Path = path
+			return nil, pe
+		}
 		return nil, &ParseError{Path: path, Format: format, Err: err}
 	}
 	if len(c.Inputs) == 0 && len(c.Gates) == 0 && len(c.Outputs) == 0 {

@@ -59,7 +59,7 @@ func TestParseBenchSingleInputCollapse(t *testing.T) {
 
 func TestParseBenchErrors(t *testing.T) {
 	bad := map[string]string{
-		"dff":       "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n",
+		"dff2":      "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n",
 		"unknown":   "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n",
 		"malformed": "INPUT(a)\nOUTPUT(y)\ny = NAND a, a\n",
 		"trailing":  "INPUT(a)\nOUTPUT(y)\ny = NOT(a) junk\n",

@@ -71,18 +71,42 @@ func (c *Circuit) Fingerprint() (Fingerprint, error) {
 		writeInt(h, inputPos[in])
 		memo[in] = Fingerprint(h.Sum(nil))
 	}
+	// Flip-flop outputs are pseudo primary inputs seeded by chain position
+	// (DFFs in netlist order — the canonical scan order), so Q consumers can
+	// hash before the flip-flop gate is reached in the topological walk. The
+	// flip-flop gate itself hashes its chain position over the D-cone hash
+	// below, which binds each state bit to its next-state function: swapping
+	// two D wires between flip-flops changes the fingerprint.
+	ffPos := make(map[*Gate]int)
+	for _, g := range c.Gates {
+		if g.Type != Dff {
+			continue
+		}
+		ffPos[g] = len(ffPos)
+		h := sha256.New()
+		h.Write([]byte("dffq"))
+		writeInt(h, ffPos[g])
+		memo[g.Output] = Fingerprint(h.Sum(nil))
+	}
 	gateHashes := make([]Fingerprint, 0, len(c.Gates))
 	for _, g := range c.ordered {
 		h := sha256.New()
 		h.Write([]byte("gate"))
 		writeInt(h, int(g.Type))
+		if g.Type == Dff {
+			writeInt(h, ffPos[g])
+		}
 		writeInt(h, len(g.Inputs))
 		for _, in := range g.Inputs {
 			fh := netHash(in)
 			h.Write(fh[:])
 		}
 		fp := Fingerprint(h.Sum(nil))
-		memo[g.Output] = fp
+		if g.Type != Dff {
+			// Q keeps its pseudo-input hash; the gate hash still enters
+			// the multiset fold so the D cone shapes the fingerprint.
+			memo[g.Output] = fp
+		}
 		gateHashes = append(gateHashes, fp)
 	}
 	// Gate-order independence: fold the per-gate hashes as a sorted

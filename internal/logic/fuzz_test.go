@@ -148,8 +148,11 @@ func FuzzParseBench(f *testing.F) {
 		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
 		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
 		"# only a comment\n",
-		"INPUT(a)\nOUTPUT(y)\ny = AND(a)\n", // degenerate arity: AND/1 → BUFF
-		"INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n", // sequential: must be rejected
+		"INPUT(a)\nOUTPUT(y)\ny = AND(a)\n",                             // degenerate arity: AND/1 → BUFF
+		"INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n",                             // sequential: single-input DFF parses
+		"INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n",                          // multi-input DFF: must be rejected
+		"INPUT(a)\nOUTPUT(y)\nq = DFF(g)\ng = NAND(a, q)\ny = NOT(q)\n", // state feedback loop
+
 		"INPUT(a)\nOUTPUT(y)\ny = NOT(a) x\n",
 		"garbage\n",
 		"y = (a, b)\n",

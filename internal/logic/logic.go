@@ -16,7 +16,13 @@ type GateType int
 
 // Gate types. NAND/NOR/AND/OR accept 2+ inputs; INV and BUF exactly one;
 // XOR/XNOR exactly two; AOI21/OAI21 exactly three (inputs a, b, c with
-// AOI21 = !(a·b + c) and OAI21 = !((a+b)·c)).
+// AOI21 = !(a·b + c) and OAI21 = !((a+b)·c)). DFF is the one sequential
+// element: a D flip-flop with exactly one input (D) whose output net is
+// the stored state Q. The clock is implicit (single global edge). For
+// combinational analysis Q is a level-0 pseudo primary input and D a
+// pseudo primary output: Validate cuts the Q edges, the evaluators seed Q
+// from the assignment (default X) and never evaluate the gate function,
+// and CombinationalCore extracts the DFF-free core.
 const (
 	Inv GateType = iota
 	Buf
@@ -28,11 +34,13 @@ const (
 	Xnor
 	Aoi21
 	Oai21
+	Dff
 )
 
 var gateTypeNames = map[GateType]string{
 	Inv: "inv", Buf: "buf", Nand: "nand", Nor: "nor", And: "and",
 	Or: "or", Xor: "xor", Xnor: "xnor", Aoi21: "aoi21", Oai21: "oai21",
+	Dff: "dff",
 }
 
 // String implements fmt.Stringer.
@@ -56,7 +64,7 @@ func ParseGateType(s string) (GateType, error) {
 // arityOK validates the input count for a gate type.
 func arityOK(t GateType, n int) bool {
 	switch t {
-	case Inv, Buf:
+	case Inv, Buf, Dff:
 		return n == 1
 	case Xor, Xnor:
 		return n == 2
@@ -101,6 +109,10 @@ func (g *Gate) Eval(in []Value) Value {
 		return or3([]Value{and3(in[:2]), in[2]}).Not()
 	case Oai21:
 		return and3([]Value{or3(in[:2]), in[2]}).Not()
+	case Dff:
+		// The stored state, not a function of D; the circuit evaluators
+		// seed Q from the assignment instead of calling this.
+		return X
 	default:
 		panic(fmt.Sprintf("logic: gate %s has unknown type", g.Name))
 	}
@@ -143,6 +155,9 @@ func (g *Gate) EvalBits(in []uint64) uint64 {
 		return ^((in[0] & in[1]) | in[2])
 	case Oai21:
 		return ^((in[0] | in[1]) & in[2])
+	case Dff:
+		// Stored state; circuit evaluators seed Q from the assignment.
+		return 0
 	default:
 		panic(fmt.Sprintf("logic: gate %s has unknown type", g.Name))
 	}
@@ -183,6 +198,10 @@ func (g *Gate) EvalBits3(val, known []uint64) (uint64, uint64) {
 		ov, ok := or3Bits(val[:2], known[:2])
 		av, ak := and3Bits([]uint64{ov, val[2]}, []uint64{ok, known[2]})
 		return ^av & ak, ak
+	case Dff:
+		// Stored state (all lanes unknown); circuit evaluators seed Q
+		// from the assignment.
+		return 0, 0
 	default:
 		panic(fmt.Sprintf("logic: gate %s has unknown type", g.Name))
 	}
@@ -345,13 +364,15 @@ func (c *Circuit) Validate() error {
 			}
 		}
 	}
-	// Kahn levelization.
+	// Kahn levelization. Q edges (nets driven by a DFF) are cut: the
+	// stored state is a level-0 pseudo primary input for its consumers, so
+	// only combinational driving edges contribute to indegree and level.
 	indeg := make(map[*Gate]int, len(c.Gates))
 	var ready []*Gate
 	for _, g := range c.Gates {
 		n := 0
 		for _, in := range g.Inputs {
-			if _, ok := c.driver[in]; ok {
+			if d, ok := c.driver[in]; ok && d.Type != Dff {
 				n++
 			}
 		}
@@ -367,6 +388,11 @@ func (c *Circuit) Validate() error {
 		g := ready[0]
 		ready = ready[1:]
 		ordered = append(ordered, g)
+		if g.Type == Dff {
+			// Q consumers do not wait on the flip-flop: their indegree
+			// never counted this edge, so don't relax it either.
+			continue
+		}
 		for _, succ := range c.fanout[g.Output] {
 			indeg[succ]--
 			if lvl := g.Level + 1; lvl > succ.Level {
@@ -422,7 +448,9 @@ func (c *Circuit) FindCycle() []*Gate {
 		stack = append(stack, g)
 		for _, in := range g.Inputs {
 			d := driver[in]
-			if d == nil {
+			if d == nil || d.Type == Dff {
+				// Q edges are sequential, not combinational: a feedback
+				// loop through a flip-flop is legal state, not a cycle.
 				continue
 			}
 			switch color[d] {
@@ -490,7 +518,9 @@ func (c *Circuit) mustValidate() {
 // Eval evaluates the circuit under a PI assignment, returning every net's
 // value. Unassigned inputs evaluate to X. The optional override map forces
 // net values regardless of their drivers — the hook used by fault
-// simulation to impose a faulty value at a fault site.
+// simulation to impose a faulty value at a fault site. DFF output nets are
+// pseudo primary inputs: their value comes from the assignment (default X),
+// never from evaluating the flip-flop.
 func (c *Circuit) Eval(assign map[string]Value, override map[string]Value) map[string]Value {
 	c.mustValidate()
 	vals := make(map[string]Value, len(c.Gates)+len(c.Inputs))
@@ -504,8 +534,24 @@ func (c *Circuit) Eval(assign map[string]Value, override map[string]Value) map[s
 		}
 		vals[in] = v
 	}
+	for _, g := range c.Gates {
+		if g.Type != Dff {
+			continue
+		}
+		v, ok := assign[g.Output]
+		if !ok {
+			v = X
+		}
+		if ov, ok := override[g.Output]; ok {
+			v = ov
+		}
+		vals[g.Output] = v
+	}
 	buf := make([]Value, 0, 4)
 	for _, g := range c.ordered {
+		if g.Type == Dff {
+			continue
+		}
 		buf = buf[:0]
 		for _, in := range g.Inputs {
 			buf = append(buf, vals[in])
@@ -537,8 +583,16 @@ func (c *Circuit) EvalBits(assign map[string]uint64, overrideMask, overrideValue
 	for _, in := range c.Inputs {
 		vals[in] = apply(in, assign[in])
 	}
+	for _, g := range c.Gates {
+		if g.Type == Dff {
+			vals[g.Output] = apply(g.Output, assign[g.Output])
+		}
+	}
 	buf := make([]uint64, 0, 4)
 	for _, g := range c.ordered {
+		if g.Type == Dff {
+			continue
+		}
 		buf = buf[:0]
 		for _, in := range g.Inputs {
 			buf = append(buf, vals[in])
@@ -574,9 +628,20 @@ func (c *Circuit) EvalBits3(assignVal, assignKnown map[string]uint64, overrideMa
 		v, k := apply(in, assignVal[in]&k, k)
 		vals[in], knowns[in] = v, k
 	}
+	for _, g := range c.Gates {
+		if g.Type != Dff {
+			continue
+		}
+		k := assignKnown[g.Output]
+		v, k := apply(g.Output, assignVal[g.Output]&k, k)
+		vals[g.Output], knowns[g.Output] = v, k
+	}
 	vbuf := make([]uint64, 0, 4)
 	kbuf := make([]uint64, 0, 4)
 	for _, g := range c.ordered {
+		if g.Type == Dff {
+			continue
+		}
 		vbuf, kbuf = vbuf[:0], kbuf[:0]
 		for _, in := range g.Inputs {
 			vbuf = append(vbuf, vals[in])

@@ -9,27 +9,42 @@ import (
 type RandomOptions struct {
 	Inputs int // number of primary inputs (>=1)
 	Gates  int // number of gates (>=1)
+	// FFs adds this many D flip-flops (default 0 = purely combinational).
+	// Flip-flop i stores net q<i> and samples a random combinational gate
+	// output, so state feeds back into the logic: the result is a valid
+	// sequential circuit with chain order ff0, ff1, ...
+	FFs int
 	// Primitive restricts gate choice to INV/NAND2/NOR2 — the static-CMOS
 	// primitive set for which per-transistor OBD faults are defined.
 	Primitive bool
 }
 
-// RandomCircuit generates a random valid combinational circuit. Gate
-// inputs are drawn from earlier nets so the result is acyclic by
-// construction; every net with no fanout becomes a primary output, which
-// guarantees full structural observability.
+// RandomCircuit generates a random valid circuit. Combinational gate
+// inputs are drawn from earlier nets (including flip-flop outputs) so the
+// core is acyclic by construction; flip-flop D inputs are drawn from the
+// full gate pool, which is where sequential feedback loops come from.
+// Every net with no fanout becomes a primary output, which guarantees
+// full structural observability.
 func RandomCircuit(rng *rand.Rand, opt RandomOptions) *Circuit {
 	if opt.Inputs < 1 || opt.Gates < 1 {
 		panic("logic: RandomCircuit needs at least one input and one gate")
 	}
 	c := New("random")
-	nets := make([]string, 0, opt.Inputs+opt.Gates)
+	nets := make([]string, 0, opt.Inputs+opt.FFs+opt.Gates)
 	for i := 0; i < opt.Inputs; i++ {
 		n := fmt.Sprintf("i%d", i)
 		if err := c.AddInput(n); err != nil {
 			panic(err)
 		}
 		nets = append(nets, n)
+	}
+	for i := 0; i < opt.FFs; i++ {
+		q := fmt.Sprintf("q%d", i)
+		d := fmt.Sprintf("g%d", rng.Intn(opt.Gates)) // forward reference, resolved below
+		if _, err := c.AddGate(q, Dff, q, d); err != nil {
+			panic(err)
+		}
+		nets = append(nets, q)
 	}
 	types := []GateType{Inv, Nand, Nand, Nor, Nor}
 	if !opt.Primitive {

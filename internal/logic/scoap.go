@@ -28,7 +28,19 @@ func ComputeTestability(c *Circuit) *Testability {
 		t.CC0[in] = 1
 		t.CC1[in] = 1
 	}
+	// Under the scan model flip-flop outputs are scan-in controllable like
+	// primary inputs and flip-flop D nets scan-out observable like primary
+	// outputs; the DFF gates themselves are skipped in both walks.
+	for _, g := range c.Gates {
+		if g.Type == Dff {
+			t.CC0[g.Output] = 1
+			t.CC1[g.Output] = 1
+		}
+	}
 	for _, g := range c.Ordered() {
+		if g.Type == Dff {
+			continue
+		}
 		t.CC0[g.Output], t.CC1[g.Output] = gateControllability(g, t)
 	}
 	// Observability: POs are free; walk gates in reverse topological order.
@@ -38,9 +50,17 @@ func ComputeTestability(c *Circuit) *Testability {
 	for _, po := range c.Outputs {
 		t.CO[po] = 0
 	}
+	for _, g := range c.Gates {
+		if g.Type == Dff {
+			t.CO[g.Inputs[0]] = 0
+		}
+	}
 	ordered := c.Ordered()
 	for i := len(ordered) - 1; i >= 0; i-- {
 		g := ordered[i]
+		if g.Type == Dff {
+			continue
+		}
 		outCO := t.CO[g.Output]
 		if outCO >= coUnreachable {
 			continue
@@ -128,7 +148,7 @@ func gateControllability(g *Gate, t *Testability) (int, int) {
 func sensitizeCost(g *Gate, idx int, t *Testability) int {
 	cost := 0
 	switch g.Type {
-	case Inv, Buf:
+	case Inv, Buf, Dff:
 		return 0
 	case And, Nand:
 		for i, in := range g.Inputs {

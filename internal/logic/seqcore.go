@@ -1,0 +1,72 @@
+package logic
+
+import "fmt"
+
+// Sequential-circuit views. A DFF-bearing circuit is analyzed through its
+// combinational core: every flip-flop output Q becomes a pseudo primary
+// input (scan-in controllable state) and every flip-flop input D a pseudo
+// primary output (scan-out observable next state). The helpers here expose
+// that cut without the caller having to know which nets are state; the
+// internal/seq package builds its scan model on top of them.
+
+// HasDFF reports whether the circuit contains any flip-flop.
+func (c *Circuit) HasDFF() bool {
+	for _, g := range c.Gates {
+		if g.Type == Dff {
+			return true
+		}
+	}
+	return false
+}
+
+// DFFs returns the flip-flop gates in netlist (insertion) order. That order
+// is the canonical scan-chain order everywhere in the module: state bit i of
+// a scan pattern is the Q net of DFFs()[i].
+func (c *Circuit) DFFs() []*Gate {
+	var ffs []*Gate
+	for _, g := range c.Gates {
+		if g.Type == Dff {
+			ffs = append(ffs, g)
+		}
+	}
+	return ffs
+}
+
+// CombinationalCore extracts the flip-flop-free core: inputs are the
+// original primary inputs followed by the Q nets in chain order, gates are
+// the non-DFF gates (copied), and outputs are the original primary outputs
+// followed by the D nets in chain order (duplicates collapsed). For a
+// circuit with no flip-flops it returns an equivalent copy. The returned
+// circuit is validated.
+func (c *Circuit) CombinationalCore() (*Circuit, error) {
+	core := New(c.Name + "_core")
+	for _, in := range c.Inputs {
+		if err := core.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	ffs := c.DFFs()
+	for _, ff := range ffs {
+		if err := core.AddInput(ff.Output); err != nil {
+			return nil, fmt.Errorf("logic: flip-flop %q output: %w", ff.Name, err)
+		}
+	}
+	for _, g := range c.Gates {
+		if g.Type == Dff {
+			continue
+		}
+		if _, err := core.AddGate(g.Name, g.Type, g.Output, g.Inputs...); err != nil {
+			return nil, err
+		}
+	}
+	for _, out := range c.Outputs {
+		core.AddOutput(out)
+	}
+	for _, ff := range ffs {
+		core.AddOutput(ff.Inputs[0])
+	}
+	if err := core.Validate(); err != nil {
+		return nil, err
+	}
+	return core, nil
+}

@@ -1,0 +1,242 @@
+package logic
+
+import (
+	"testing"
+)
+
+// toggler builds the canonical minimal sequential circuit: a flip-flop
+// whose next state is its own inversion gated by an enable input.
+//
+//	q  = DFF(d)
+//	nq = NOT(q)
+//	d  = AND(en, nq)
+//	y  = NOT(q)   (well, y = nq is the observed output)
+func toggler(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("toggler")
+	if err := c.AddInput("en"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate := func(name string, gt GateType, out string, ins ...string) {
+		t.Helper()
+		if _, err := c.AddGate(name, gt, out, ins...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGate("q", Dff, "q", "d")
+	mustGate("nq", Inv, "nq", "q")
+	mustGate("d", And, "d", "en", "nq")
+	c.AddOutput("nq")
+	if err := c.Validate(); err != nil {
+		t.Fatalf("toggler does not validate: %v", err)
+	}
+	return c
+}
+
+func TestDFFValidateBreaksSequentialLoops(t *testing.T) {
+	c := toggler(t)
+	if !c.HasDFF() {
+		t.Fatal("HasDFF = false for a DFF-bearing circuit")
+	}
+	if got := len(c.DFFs()); got != 1 {
+		t.Fatalf("DFFs() returned %d gates, want 1", got)
+	}
+	// The q -> nq -> d -> q loop runs through the flip-flop, so it is a
+	// sequential loop, not a combinational cycle.
+	if cyc := c.FindCycle(); cyc != nil {
+		t.Fatalf("FindCycle flagged the sequential loop: %v", cyc)
+	}
+	// A genuine combinational cycle must still be refused.
+	bad := New("comb-loop")
+	if err := bad.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.AddGate("x", And, "x", "a", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.AddGate("y", And, "y", "a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	bad.AddOutput("y")
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a combinational cycle")
+	}
+}
+
+func TestDFFOrderedTreatsQAsLevelZero(t *testing.T) {
+	c := toggler(t)
+	// Every non-DFF gate must appear after the nets it reads are
+	// available; the DFF's Q is available from the start.
+	seen := map[string]bool{"en": true, "q": true}
+	for _, g := range c.Ordered() {
+		if g.Type == Dff {
+			continue
+		}
+		for _, in := range g.Inputs {
+			if !seen[in] {
+				t.Fatalf("gate %q reads %q before it is computed", g.Name, in)
+			}
+		}
+		seen[g.Output] = true
+	}
+}
+
+func TestDFFEvalSeedsState(t *testing.T) {
+	c := toggler(t)
+	for _, tc := range []struct {
+		q, en, wantD, wantNQ Value
+	}{
+		{Zero, One, One, One},   // q=0: toggle arms, nq=1, d=1
+		{One, One, Zero, Zero},  // q=1: nq=0, d=0
+		{Zero, Zero, Zero, One}, // disabled: d=0
+	} {
+		vals := c.Eval(map[string]Value{"en": tc.en, "q": tc.q}, nil)
+		if vals["d"] != tc.wantD || vals["nq"] != tc.wantNQ {
+			t.Fatalf("q=%v en=%v: d=%v nq=%v, want d=%v nq=%v",
+				tc.q, tc.en, vals["d"], vals["nq"], tc.wantD, tc.wantNQ)
+		}
+	}
+	// Unseeded state is unknown, and the X must flow through the cone.
+	vals := c.Eval(map[string]Value{"en": One}, nil)
+	if vals["nq"] != X || vals["d"] != X {
+		t.Fatalf("unseeded state: nq=%v d=%v, want X X", vals["nq"], vals["d"])
+	}
+}
+
+func TestCombinationalCore(t *testing.T) {
+	c := toggler(t)
+	core, err := c.CombinationalCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.HasDFF() {
+		t.Fatal("core still has flip-flops")
+	}
+	wantIns := []string{"en", "q"}
+	if len(core.Inputs) != len(wantIns) {
+		t.Fatalf("core inputs %v, want %v", core.Inputs, wantIns)
+	}
+	for i, in := range wantIns {
+		if core.Inputs[i] != in {
+			t.Fatalf("core inputs %v, want %v", core.Inputs, wantIns)
+		}
+	}
+	// Outputs: the original PO then the next-state net.
+	wantOuts := []string{"nq", "d"}
+	if len(core.Outputs) != len(wantOuts) {
+		t.Fatalf("core outputs %v, want %v", core.Outputs, wantOuts)
+	}
+	for i, out := range wantOuts {
+		if core.Outputs[i] != out {
+			t.Fatalf("core outputs %v, want %v", core.Outputs, wantOuts)
+		}
+	}
+	if len(core.Gates) != len(c.Gates)-1 {
+		t.Fatalf("core has %d gates, want %d", len(core.Gates), len(c.Gates)-1)
+	}
+	if err := core.Validate(); err != nil {
+		t.Fatalf("core does not validate: %v", err)
+	}
+}
+
+// TestDFFFingerprintBindsChain checks the fingerprint distinguishes which
+// next-state function feeds which state bit: swapping the D nets of two
+// flip-flops rewires the machine and must change the hash.
+func TestDFFFingerprintBindsChain(t *testing.T) {
+	build := func(d0, d1 string) *Circuit {
+		c := New("pair")
+		for _, in := range []string{"a", "b"} {
+			if err := c.AddInput(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustGate := func(name string, gt GateType, out string, ins ...string) {
+			if _, err := c.AddGate(name, gt, out, ins...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustGate("n0", And, "n0", "a", "q1")
+		mustGate("n1", Or, "n1", "b", "q0")
+		mustGate("q0", Dff, "q0", d0)
+		mustGate("q1", Dff, "q1", d1)
+		mustGate("y", Xor, "y", "q0", "q1")
+		c.AddOutput("y")
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	straight := build("n0", "n1")
+	swapped := build("n1", "n0")
+	fp1, err := straight.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := swapped.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp2 {
+		t.Fatal("fingerprint did not change when the DFF chain was rewired")
+	}
+}
+
+func TestDFFNetlistFormatRoundTrip(t *testing.T) {
+	c := toggler(t)
+	text := Format(c)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parsing the formatted netlist: %v", err)
+	}
+	fp1, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := back.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("native-format round trip changed structure:\n%s", text)
+	}
+}
+
+func TestDFFBenchRoundTrip(t *testing.T) {
+	c := toggler(t)
+	text, err := FormatBench(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBenchString(text)
+	if err != nil {
+		t.Fatalf("re-parsing the formatted bench: %v", err)
+	}
+	fp1, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := back.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf(".bench round trip changed structure:\n%s", text)
+	}
+}
+
+func TestParseBenchMultiInputDFFError(t *testing.T) {
+	_, err := ParseBenchString("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n")
+	if err == nil {
+		t.Fatal("multi-input DFF accepted")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Fatalf("ParseError.Line = %d, want 4", pe.Line)
+	}
+	if pe.Construct == "" {
+		t.Fatal("ParseError.Construct is empty; it should name the offending DFF")
+	}
+}

@@ -107,6 +107,12 @@ func (b *cnfBuilder) encodeGate(t logic.GateType, out sat.Lit, ins []sat.Lit) {
 		t1 := b.newVar()
 		b.encodeGate(logic.Or, t1, ins[:2])
 		b.encodeGate(logic.Nand, out, []sat.Lit{t1, ins[2]})
+	case logic.Dff:
+		// A flip-flop has no combinational biconditional. Unreachable:
+		// Analyze and the atpg scheduler route DFF-bearing circuits
+		// through CombinationalCore before any CNF is built.
+		//obdcheck:allow paniccontract — encoder precondition: callers encode combinational cores only (Analyze extracts the core first)
+		panic("netcheck: encodeGate reached a DFF; encode the combinational core instead")
 	}
 }
 

@@ -74,31 +74,40 @@ func Lint(c *logic.Circuit) []Diagnostic {
 	}
 
 	// Floating nets: read by a gate or declared as an output, but neither
-	// a primary input nor driven.
-	type use struct{ net, by string }
+	// a primary input nor driven. A flip-flop sampling a floating net gets
+	// its own code — the broken wire corrupts state, not just one cone.
+	type use struct{ net, by, code string }
 	var floating []use
 	seenFloat := make(map[string]bool)
 	for _, g := range c.Gates {
 		for _, in := range g.Inputs {
 			if !isInput[in] && len(drivers[in]) == 0 && !seenFloat[in] {
 				seenFloat[in] = true
-				floating = append(floating, use{in, "gate " + g.Name})
+				code := CodeUndriven
+				if g.Type == logic.Dff {
+					code = CodeFFFloatingD
+				}
+				floating = append(floating, use{in, "gate " + g.Name, code})
 			}
 		}
 	}
 	for _, out := range c.Outputs {
 		if !isInput[out] && len(drivers[out]) == 0 && !seenFloat[out] {
 			seenFloat[out] = true
-			floating = append(floating, use{out, "primary output list"})
+			floating = append(floating, use{out, "primary output list", CodeUndriven})
 		}
 	}
 	sort.Slice(floating, func(i, j int) bool { return floating[i].net < floating[j].net })
 	for _, f := range floating {
+		msg := fmt.Sprintf("net %q is floating: used by %s but never driven and not a primary input", f.net, f.by)
+		if f.code == CodeFFFloatingD {
+			msg = fmt.Sprintf("flip-flop %s samples net %q which is never driven and not a primary input", f.by, f.net)
+		}
 		diags = append(diags, Diagnostic{
-			Code:     CodeUndriven,
+			Code:     f.code,
 			Severity: Error,
 			Net:      f.net,
-			Message:  fmt.Sprintf("net %q is floating: used by %s but never driven and not a primary input", f.net, f.by),
+			Message:  msg,
 		})
 	}
 
@@ -146,7 +155,9 @@ func Lint(c *logic.Circuit) []Diagnostic {
 		}
 	}
 	for _, g := range c.Gates {
-		if !reachesPO[g.Output] {
+		// Flip-flops are judged by the scan-chain pass below (a dead state
+		// bit is ff-unobservable-q, not generic dead logic).
+		if g.Type != logic.Dff && !reachesPO[g.Output] {
 			diags = append(diags, Diagnostic{
 				Code:     CodeUnreachable,
 				Severity: Warning,
@@ -166,6 +177,33 @@ func Lint(c *logic.Circuit) []Diagnostic {
 				Severity: Warning,
 				Net:      in,
 				Message:  fmt.Sprintf("primary input %q feeds no gate and no output", in),
+			})
+		}
+	}
+
+	// Scan-chain pass: per-flip-flop structural health, in gate order (the
+	// canonical chain order used by seq.FromCircuit).
+	for _, g := range c.Gates {
+		if g.Type != logic.Dff {
+			continue
+		}
+		d := g.Inputs[0]
+		if d == g.Output {
+			diags = append(diags, Diagnostic{
+				Code:     CodeFFSelfLoop,
+				Severity: Warning,
+				Gate:     g.Name,
+				Net:      g.Output,
+				Message:  fmt.Sprintf("flip-flop %q samples its own output %q: the state bit can never change functionally", g.Name, g.Output),
+			})
+		}
+		if len(readers[g.Output]) == 0 && seenPO[g.Output] == 0 {
+			diags = append(diags, Diagnostic{
+				Code:     CodeFFUnobservableQ,
+				Severity: Warning,
+				Gate:     g.Name,
+				Net:      g.Output,
+				Message:  fmt.Sprintf("flip-flop %q output %q feeds no gate and no primary output (dead state bit)", g.Name, g.Output),
 			})
 		}
 	}

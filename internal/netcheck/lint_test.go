@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"gobd/internal/fault"
 	"gobd/internal/logic"
 )
 
@@ -174,5 +175,112 @@ func TestReportErrorsGating(t *testing.T) {
 	}
 	if r.Verdicts != nil || r.Constants != nil || r.HardFaults != nil {
 		t.Fatal("Analyze ran fault passes on a broken circuit")
+	}
+}
+
+// seqCircuit builds a small healthy sequential netlist:
+//
+//	q = DFF(d); d = NAND(a, q); y = NOT(q)
+func seqCircuit(t *testing.T) *logic.Circuit {
+	t.Helper()
+	c := logic.New("seq")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "q", logic.Dff, "q", "d")
+	mustGate(t, c, "d", logic.Nand, "d", "a", "q")
+	mustGate(t, c, "y", logic.Inv, "y", "q")
+	c.AddOutput("y")
+	return c
+}
+
+func TestLintSequentialClean(t *testing.T) {
+	c := seqCircuit(t)
+	if diags := Lint(c); len(diags) != 0 {
+		t.Fatalf("healthy sequential circuit should lint clean, got %v", diags)
+	}
+}
+
+func TestLintFFFloatingD(t *testing.T) {
+	c := logic.New("ffd")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "q", logic.Dff, "q", "ghost") // samples an undriven net
+	mustGate(t, c, "y", logic.And, "y", "a", "q")
+	c.AddOutput("y")
+	diags := Lint(c)
+	m := codes(diags)
+	if m[CodeFFFloatingD] != 1 {
+		t.Fatalf("want 1 ff-floating-d diagnostic, got %v", diags)
+	}
+	if m[CodeUndriven] != 0 {
+		t.Fatalf("floating D pin double-reported as undriven-net: %v", diags)
+	}
+	for _, d := range diags {
+		if d.Code == CodeFFFloatingD && d.Severity != Error {
+			t.Fatalf("ff-floating-d severity = %v, want error", d.Severity)
+		}
+	}
+}
+
+func TestLintFFUnobservableQ(t *testing.T) {
+	c := logic.New("deadq")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "q", logic.Dff, "q", "d") // q feeds nothing
+	mustGate(t, c, "d", logic.Inv, "d", "a")
+	mustGate(t, c, "y", logic.Buf, "y", "a")
+	c.AddOutput("y")
+	diags := Lint(c)
+	m := codes(diags)
+	if m[CodeFFUnobservableQ] != 1 {
+		t.Fatalf("want 1 ff-unobservable-q diagnostic, got %v", diags)
+	}
+	// The flip-flop itself must not also be flagged as generic dead logic.
+	for _, d := range diags {
+		if d.Code == CodeUnreachable && d.Gate == "q" {
+			t.Fatalf("DFF double-reported as unreachable: %v", diags)
+		}
+	}
+}
+
+func TestLintFFSelfLoop(t *testing.T) {
+	c := logic.New("selfloop")
+	if err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate(t, c, "q", logic.Dff, "q", "q") // D == Q: frozen state bit
+	mustGate(t, c, "y", logic.And, "y", "a", "q")
+	c.AddOutput("y")
+	diags := Lint(c)
+	if codes(diags)[CodeFFSelfLoop] != 1 {
+		t.Fatalf("want 1 ff-self-loop diagnostic, got %v", diags)
+	}
+}
+
+// TestAnalyzeSequentialCore checks Analyze routes the fault-level passes
+// of a DFF-bearing circuit through its combinational core: the report
+// counts flip-flops and carries verdicts over the core's OBD universe.
+func TestAnalyzeSequentialCore(t *testing.T) {
+	c := seqCircuit(t)
+	r := Analyze(c, Options{Exact: true})
+	if r.FFs != 1 {
+		t.Fatalf("Report.FFs = %d, want 1", r.FFs)
+	}
+	if r.Errors() > 0 {
+		t.Fatalf("unexpected error diagnostics: %v", r.Diagnostics)
+	}
+	core, err := c.CombinationalCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreFaults, _ := fault.OBDUniverse(core)
+	if len(r.Verdicts) != len(coreFaults) {
+		t.Fatalf("verdicts over %d faults, want the core universe %d", len(r.Verdicts), len(coreFaults))
+	}
+	if r.Exact == nil || r.Exact.Faults != len(coreFaults) {
+		t.Fatalf("exact pass did not run over the core universe: %+v", r.Exact)
 	}
 }

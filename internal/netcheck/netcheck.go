@@ -5,7 +5,9 @@
 //   - a structural lint pass (Lint) producing typed diagnostics:
 //     combinational cycles with the gate path named, floating and
 //     multi-driven nets, gates whose output reaches no primary output,
-//     and dangling primary inputs;
+//     dangling primary inputs, and scan-chain findings on sequential
+//     netlists (floating D pins, unobservable state bits, self-looped
+//     flip-flops);
 //   - a static implication engine (Implications) doing constant
 //     propagation from structurally tied nets and direct implications
 //     across gates, with every derived value carrying a machine-checkable
@@ -80,6 +82,10 @@ const (
 	CodeDanglingPI  = "dangling-input"
 	CodeDupOutput   = "duplicate-output"
 	CodeConstantNet = "constant-net"
+	// Scan-chain diagnostics for sequential (DFF-bearing) netlists.
+	CodeFFFloatingD     = "ff-floating-d"     // a flip-flop samples a net nothing drives
+	CodeFFUnobservableQ = "ff-unobservable-q" // a state bit feeds no logic and no output
+	CodeFFSelfLoop      = "ff-self-loop"      // D == Q: the bit can never change
 )
 
 // Diagnostic is one typed lint finding.
@@ -99,10 +105,14 @@ func (d Diagnostic) String() string {
 
 // Report is the combined outcome of every netcheck pass over one circuit.
 type Report struct {
-	Circuit     string       `json:"circuit"`
-	Inputs      int          `json:"inputs"`
-	Outputs     int          `json:"outputs"`
-	Gates       int          `json:"gates"`
+	Circuit string `json:"circuit"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+	Gates   int    `json:"gates"`
+	// FFs counts the circuit's flip-flops; when non-zero the fault-level
+	// passes below ran over the combinational core (state bits as
+	// pseudo-inputs, next-state functions as pseudo-outputs).
+	FFs         int          `json:"ffs,omitempty"`
 	Diagnostics []Diagnostic `json:"diagnostics"`
 	// Constants lists nets proved to hold one value under every input
 	// assignment (empty unless the circuit lints clean enough to run the
@@ -160,17 +170,35 @@ type Options struct {
 // Analyze runs every pass that the circuit's structural health permits:
 // lint always; constants, OBD verdicts and the hard-fault ranking only
 // when lint found no Error diagnostics (the downstream passes assume a
-// circuit Validate accepts).
+// circuit Validate accepts). Sequential circuits are linted whole —
+// including the scan-chain pass — and then analyzed through their
+// combinational core, so the fault universe and every verdict name the
+// same gates concurrent test hardware can actually reach.
 func Analyze(c *logic.Circuit, opt Options) *Report {
 	r := &Report{
 		Circuit: c.Name,
 		Inputs:  len(c.Inputs),
 		Outputs: len(c.Outputs),
 		Gates:   len(c.Gates),
+		FFs:     len(c.DFFs()),
 	}
 	r.Diagnostics = Lint(c)
 	if r.Errors() > 0 {
 		return r
+	}
+	if r.FFs > 0 {
+		core, err := c.CombinationalCore()
+		if err != nil {
+			// Unreachable after a clean lint (a Q net colliding with a
+			// primary input is multi-driven), but report rather than guess.
+			r.Diagnostics = append(r.Diagnostics, Diagnostic{
+				Code:     CodeMultiDriven,
+				Severity: Error,
+				Message:  fmt.Sprintf("combinational core extraction failed: %v", err),
+			})
+			return r
+		}
+		c = core
 	}
 	consts := Constants(c)
 	r.Constants = consts

@@ -1,0 +1,211 @@
+package seq
+
+import (
+	"math/rand"
+
+	"gobd/internal/atpg"
+	"gobd/internal/fault"
+	"gobd/internal/logic"
+)
+
+// Options is the one knob set shared by every style's generator,
+// replacing the per-style option structs of the old API (atpg.LOSOptions).
+type Options struct {
+	// SampleBudget bounds the random search used beyond ExhaustiveMaxIn
+	// free bits.
+	SampleBudget int
+	// ExhaustiveMaxIn is the free-bit count (styleBits) up to which the
+	// style's pair space is searched exhaustively, making Untestable
+	// verdicts exact.
+	ExhaustiveMaxIn int
+	// Seed drives the random sampling. Batch runs derive a per-fault seed
+	// from it, so results are bit-identical for any worker count.
+	Seed int64
+}
+
+// DefaultOptions returns the settings used by the experiments (the same
+// numbers as the old atpg.DefaultLOSOptions).
+func DefaultOptions() *Options {
+	return &Options{SampleBudget: 4096, ExhaustiveMaxIn: 14, Seed: 1}
+}
+
+// stateOf reads the present-state bits out of a complete core pattern.
+func (s *Circuit) stateOf(p atpg.Pattern) State {
+	st := make(State, len(s.FFs))
+	for i, ff := range s.FFs {
+		st[i] = p[ff.Q]
+	}
+	return st
+}
+
+// buildPair assembles the pair selected by a free-bit assignment: bit(i)
+// is the i-th free choice of the style's pair space (see styleBits). It
+// returns nil for assignments the style cannot deliver (a LOC launch whose
+// captured state is unknown — impossible for complete cores, kept for
+// safety).
+func buildPair(s *Circuit, style Style, bit func(i int) logic.Value) (*atpg.TwoPattern, error) {
+	n := len(s.Core.Inputs)
+	v1 := make(atpg.Pattern, n)
+	for i, in := range s.Core.Inputs {
+		v1[in] = bit(i)
+	}
+	piOf := func(base int) atpg.Pattern {
+		pi := make(atpg.Pattern, len(s.PIs))
+		for i, in := range s.PIs {
+			pi[in] = bit(base + i)
+		}
+		return pi
+	}
+	switch style {
+	case Enhanced:
+		v2 := make(atpg.Pattern, n)
+		for i, in := range s.Core.Inputs {
+			v2[in] = bit(n + i)
+		}
+		return &atpg.TwoPattern{V1: v1, V2: v2}, nil
+	case LOS:
+		st2 := shiftState(s.stateOf(v1), bit(n))
+		v2, err := s.CoreAssign(st2, piOf(n+1))
+		if err != nil {
+			return nil, err
+		}
+		return &atpg.TwoPattern{V1: v1, V2: v2}, nil
+	case LOC:
+		pi1 := make(atpg.Pattern, len(s.PIs))
+		for _, in := range s.PIs {
+			pi1[in] = v1[in]
+		}
+		st2, err := s.NextState(s.stateOf(v1), pi1)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range st2 {
+			if !v.IsKnown() {
+				return nil, nil
+			}
+		}
+		v2, err := s.CoreAssign(st2, piOf(n))
+		if err != nil {
+			return nil, err
+		}
+		return &atpg.TwoPattern{V1: v1, V2: v2}, nil
+	default:
+		return nil, &StyleError{Style: style}
+	}
+}
+
+// Generate searches the style's pair space for a two-pattern test of one
+// core OBD fault. Free-bit spaces up to opt.ExhaustiveMaxIn are searched
+// exhaustively (Untestable verdicts are then exact); larger spaces fall
+// back to opt.SampleBudget seeded random tries, where a miss is reported
+// as Aborted. The error return is reserved for structural failures
+// (unknown style, a chain that does not fit the core) — search exhaustion
+// is a status, not an error.
+func Generate(s *Circuit, f fault.OBD, style Style, opt *Options) (*atpg.TwoPattern, atpg.Status, error) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	bits, err := styleBits(s, style)
+	if err != nil {
+		return nil, atpg.Errored, err
+	}
+	// The exhaustive loop iterates one machine word; 30 bits is already a
+	// billion pairs, far past any sensible ExhaustiveMaxIn.
+	if bits <= opt.ExhaustiveMaxIn && bits <= 30 {
+		for m := 0; m < 1<<uint(bits); m++ {
+			tp, err := buildPair(s, style, func(i int) logic.Value {
+				return logic.FromBool(m&(1<<uint(i)) != 0)
+			})
+			if err != nil {
+				return nil, atpg.Errored, err
+			}
+			if tp != nil && atpg.DetectsOBD(s.Core, f, *tp) {
+				return tp, atpg.Detected, nil
+			}
+		}
+		return nil, atpg.Untestable, nil
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for k := 0; k < opt.SampleBudget; k++ {
+		draw := make([]logic.Value, bits)
+		for i := range draw {
+			draw[i] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		tp, err := buildPair(s, style, func(i int) logic.Value { return draw[i] })
+		if err != nil {
+			return nil, atpg.Errored, err
+		}
+		if tp != nil && atpg.DetectsOBD(s.Core, f, *tp) {
+			return tp, atpg.Detected, nil
+		}
+	}
+	return nil, atpg.Aborted, nil
+}
+
+// GenerateLOCTest is Generate specialized to launch-on-capture — the
+// broadside style the old API had no generator for.
+func GenerateLOCTest(s *Circuit, f fault.OBD, opt *Options) (*atpg.TwoPattern, atpg.Status, error) {
+	return Generate(s, f, LOC, opt)
+}
+
+// Result is the outcome of a batch generation run over one style.
+type Result struct {
+	Style    Style
+	Tests    []atpg.TwoPattern // one per Detected fault, in fault order
+	Statuses []atpg.Status     // per input fault
+	Coverage atpg.Coverage
+	Exact    bool // the Untestable verdicts are exhaustive
+}
+
+// GenerateTests runs the style's generator over a fault list across the
+// default scheduler's pool. Every fault is searched independently with a
+// seed derived from its index, so the result is bit-identical for any
+// worker count.
+func GenerateTests(s *Circuit, faults []fault.OBD, style Style, opt *Options) (*Result, error) {
+	return GenerateTestsOn(atpg.DefaultScheduler(), s, faults, style, opt)
+}
+
+// GenerateTestsOn is GenerateTests on an explicit scheduler, for callers
+// (the serving layer) that own a configured pool. The result does not
+// depend on the scheduler's worker count.
+func GenerateTestsOn(sched *atpg.Scheduler, s *Circuit, faults []fault.OBD, style Style, opt *Options) (*Result, error) {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	bits, err := styleBits(s, style)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Style:    style,
+		Statuses: make([]atpg.Status, len(faults)),
+		Exact:    bits <= opt.ExhaustiveMaxIn && bits <= 30,
+	}
+	tps := make([]*atpg.TwoPattern, len(faults))
+	errs := make([]error, len(faults))
+	sched.ForEach(len(faults), func(i int) {
+		o := *opt
+		o.Seed = opt.Seed + int64(i)*0x9E3779B9 // decorrelate per-fault sampling
+		tps[i], out.Statuses[i], errs[i] = Generate(s, faults[i], style, &o)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.Coverage = atpg.Coverage{Total: len(faults)}
+	for i, f := range faults {
+		if out.Statuses[i] == atpg.Detected {
+			out.Tests = append(out.Tests, *tps[i])
+			out.Coverage.Detected++
+		} else {
+			out.Coverage.Undetected = append(out.Coverage.Undetected, f.String())
+		}
+	}
+	return out, nil
+}
+
+// GenerateLOCTests is GenerateTests specialized to launch-on-capture.
+func GenerateLOCTests(s *Circuit, faults []fault.OBD, opt *Options) (*Result, error) {
+	return GenerateTests(s, faults, LOC, opt)
+}

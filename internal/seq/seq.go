@@ -7,6 +7,17 @@
 // (broadside) derives it through the circuit's own next-state function —
 // each tighter constraint shrinks the reachable pair space and with it the
 // OBD coverage.
+//
+// The primary entry points are netlist-first: FromCircuit lifts any
+// DFF-bearing logic.Circuit into the scan model (chain order = netlist
+// order), Insert stitches a scan model back into a flat netlist, and
+// Unroll time-frame-expands the model into one combinational circuit the
+// combinational ATPG/SAT stack runs unchanged. Test generation is unified
+// behind the Style enum (Enhanced, LOS, LOC) and shared Options:
+// GenerateTests / GenerateLOCTests for batches, Generate for one fault,
+// StyleCoverage for exhaustive pair-space grading. The older
+// constructor-centric spellings (New, Mode, PairSpace, GenerateTest,
+// ModeCoverage) remain as deprecated aliases delegating to the new API.
 package seq
 
 import (
@@ -35,16 +46,15 @@ type Circuit struct {
 	POs  []string // observable core outputs
 }
 
-// ChainError is a typed scan-chain construction failure from New: the
-// flip-flop list does not fit the combinational core.
+// ChainError is a typed scan-chain construction failure from FromCircuit,
+// Insert or New: the flip-flop list does not fit the combinational core.
 type ChainError struct{ Msg string }
 
 func (e *ChainError) Error() string { return "seq: " + e.Msg }
 
-// New validates and builds the sequential wrapper: every FF.Q must be a
-// core input, every FF.D a driven core net; the primary inputs are the
-// remaining core inputs and the primary outputs the declared core outputs.
-func New(core *logic.Circuit, ffs []FF) (*Circuit, error) {
+// build validates and assembles the scan model shared by FromCircuit,
+// Insert and the deprecated New.
+func build(core *logic.Circuit, ffs []FF) (*Circuit, error) {
 	if err := core.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,6 +80,14 @@ func New(core *logic.Circuit, ffs []FF) (*Circuit, error) {
 	s.POs = append(s.POs, core.Outputs...)
 	return s, nil
 }
+
+// New validates and builds the sequential wrapper from an explicit core
+// and flip-flop list.
+//
+// Deprecated: use FromCircuit on a DFF-bearing netlist, or Insert followed
+// by FromCircuit to go through the flat form; New remains for callers that
+// already hold a hand-built core.
+func New(core *logic.Circuit, ffs []FF) (*Circuit, error) { return build(core, ffs) }
 
 // State is a present-state assignment in scan-chain order.
 type State []logic.Value
@@ -115,29 +133,77 @@ func (s *Circuit) NextState(st State, pi atpg.Pattern) (State, error) {
 	return next, nil
 }
 
-// Mode is a two-pattern test-application style.
-type Mode int
+// Style is a two-pattern test-application style — the one enum every
+// generator in this package dispatches on.
+type Style int
 
-// Test-application styles.
+// Test-application styles, ordered by shrinking pair space: every LOS or
+// LOC pair is also an enhanced-scan pair.
 const (
-	EnhancedScan    Mode = iota // arbitrary vector pairs (hold-scan cells)
-	LaunchOnShift               // second state = 1-bit chain shift of the first
-	LaunchOnCapture             // second state = the circuit's own next state
+	Enhanced Style = iota // arbitrary vector pairs (hold-scan cells)
+	LOS                   // launch-on-shift: second state = 1-bit chain shift of the first
+	LOC                   // launch-on-capture (broadside): second state = the circuit's own next state
+)
+
+// Mode is the old name of Style.
+//
+// Deprecated: use Style.
+type Mode = Style
+
+// Deprecated aliases of the Style constants.
+const (
+	EnhancedScan    = Enhanced // Deprecated: use Enhanced.
+	LaunchOnShift   = LOS      // Deprecated: use LOS.
+	LaunchOnCapture = LOC      // Deprecated: use LOC.
 )
 
 // String implements fmt.Stringer.
-func (m Mode) String() string {
+func (m Style) String() string {
 	switch m {
-	case EnhancedScan:
+	case Enhanced:
 		return "enhanced-scan"
-	case LaunchOnShift:
+	case LOS:
 		return "launch-on-shift"
-	case LaunchOnCapture:
+	case LOC:
 		return "launch-on-capture"
 	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
+		return fmt.Sprintf("Style(%d)", int(m))
 	}
 }
+
+// ParseStyle resolves a style name: the CLI spellings "enhanced", "los",
+// "loc" or the long String forms.
+func ParseStyle(name string) (Style, error) {
+	switch name {
+	case "enhanced", "enhanced-scan":
+		return Enhanced, nil
+	case "los", "launch-on-shift":
+		return LOS, nil
+	case "loc", "launch-on-capture":
+		return LOC, nil
+	default:
+		return 0, &StyleError{Name: name}
+	}
+}
+
+// StyleError is a typed failure naming a Style outside the declared enum
+// (Style set, Name empty) or an unparseable style name (Name set).
+type StyleError struct {
+	Style Style
+	Name  string
+}
+
+func (e *StyleError) Error() string {
+	if e.Name != "" {
+		return fmt.Sprintf("seq: unknown style %q (want enhanced, los or loc)", e.Name)
+	}
+	return fmt.Sprintf("seq: unknown style %v", e.Style)
+}
+
+// ModeError is the old name of StyleError.
+//
+// Deprecated: use StyleError.
+type ModeError = StyleError
 
 // enumLimit caps the number of nets a full 0/1 enumeration may span.
 const enumLimit = 20
@@ -173,10 +239,10 @@ func enumPatterns(nets []string) ([]atpg.Pattern, error) {
 // maxPairSpaceBits bounds the enumerated pair spaces.
 const maxPairSpaceBits = 18
 
-// SpaceLimitError is a typed PairSpace failure: the mode's pair space
-// needs more bits than maxPairSpaceBits allows to enumerate.
+// SpaceLimitError is a typed EnumeratePairs failure: the style's pair
+// space needs more bits than maxPairSpaceBits allows to enumerate.
 type SpaceLimitError struct {
-	Mode  Mode
+	Mode  Style
 	Bits  int // bits the space would span
 	Limit int // the maxPairSpaceBits cap
 }
@@ -185,24 +251,32 @@ func (e *SpaceLimitError) Error() string {
 	return fmt.Sprintf("seq: %s pair space needs %d bits (limit %d)", e.Mode, e.Bits, e.Limit)
 }
 
-// ModeError is a typed PairSpace failure naming a Mode outside the
-// declared enum.
-type ModeError struct{ Mode Mode }
+// styleBits returns the free-bit count of one style's pair space: the
+// number of independent 0/1 choices that determine a deliverable pair.
+func styleBits(s *Circuit, style Style) (int, error) {
+	nCore, nPI := len(s.Core.Inputs), len(s.PIs)
+	switch style {
+	case Enhanced:
+		return 2 * nCore, nil
+	case LOS:
+		return nCore + 1 + nPI, nil
+	case LOC:
+		return nCore + nPI, nil
+	default:
+		return 0, &StyleError{Style: style}
+	}
+}
 
-func (e *ModeError) Error() string { return fmt.Sprintf("seq: unknown mode %v", e.Mode) }
-
-// PairSpace enumerates every vector pair the application mode can deliver
-// to the combinational core. The total search space must stay within
-// maxPairSpaceBits bits.
-func (s *Circuit) PairSpace(mode Mode) ([]atpg.TwoPattern, error) {
-	nFF, nPI := len(s.FFs), len(s.PIs)
-	bits := map[Mode]int{
-		EnhancedScan:    2*nFF + 2*nPI,
-		LaunchOnShift:   nFF + 2*nPI + 1,
-		LaunchOnCapture: nFF + 2*nPI,
-	}[mode]
+// EnumeratePairs enumerates every vector pair the application style can
+// deliver to the combinational core. The total search space must stay
+// within maxPairSpaceBits bits.
+func EnumeratePairs(s *Circuit, style Style) ([]atpg.TwoPattern, error) {
+	bits, err := styleBits(s, style)
+	if err != nil {
+		return nil, err
+	}
 	if bits > maxPairSpaceBits {
-		return nil, &SpaceLimitError{Mode: mode, Bits: bits, Limit: maxPairSpaceBits}
+		return nil, &SpaceLimitError{Mode: style, Bits: bits, Limit: maxPairSpaceBits}
 	}
 	v1s, err := enumPatterns(s.Core.Inputs)
 	if err != nil {
@@ -213,30 +287,25 @@ func (s *Circuit) PairSpace(mode Mode) ([]atpg.TwoPattern, error) {
 		return nil, err
 	}
 	stateOf := func(p atpg.Pattern) State {
-		st := make(State, nFF)
+		st := make(State, len(s.FFs))
 		for i, ff := range s.FFs {
 			st[i] = p[ff.Q]
 		}
 		return st
 	}
 	var out []atpg.TwoPattern
-	switch mode {
-	case EnhancedScan:
+	switch style {
+	case Enhanced:
 		for _, v1 := range v1s {
 			for _, v2 := range v1s {
 				out = append(out, atpg.TwoPattern{V1: v1, V2: v2})
 			}
 		}
-	case LaunchOnShift:
+	case LOS:
 		for _, v1 := range v1s {
 			st1 := stateOf(v1)
 			for _, scanIn := range []logic.Value{logic.Zero, logic.One} {
-				st2 := make(State, nFF)
-				prev := scanIn
-				for i := range st1 {
-					st2[i] = prev
-					prev = st1[i]
-				}
+				st2 := shiftState(st1, scanIn)
 				for _, pi2 := range pi2s {
 					v2, err := s.CoreAssign(st2, pi2)
 					if err != nil {
@@ -246,10 +315,10 @@ func (s *Circuit) PairSpace(mode Mode) ([]atpg.TwoPattern, error) {
 				}
 			}
 		}
-	case LaunchOnCapture:
+	case LOC:
 		for _, v1 := range v1s {
 			st1 := stateOf(v1)
-			pi1 := make(atpg.Pattern, nPI)
+			pi1 := make(atpg.Pattern, len(s.PIs))
 			for _, in := range s.PIs {
 				pi1[in] = v1[in]
 			}
@@ -275,31 +344,57 @@ func (s *Circuit) PairSpace(mode Mode) ([]atpg.TwoPattern, error) {
 			}
 		}
 	default:
-		return nil, &ModeError{Mode: mode}
+		return nil, &StyleError{Style: style}
 	}
 	return out, nil
 }
 
-// GenerateTest searches the mode's pair space for a test of the core OBD
+// shiftState returns the 1-bit launch-on-shift successor of a state:
+// scanIn enters at index 0 (the scan-in end) and every bit moves one
+// position down the chain.
+func shiftState(st State, scanIn logic.Value) State {
+	next := make(State, len(st))
+	prev := scanIn
+	for i := range st {
+		next[i] = prev
+		prev = st[i]
+	}
+	return next
+}
+
+// PairSpace enumerates every deliverable vector pair of one style.
+//
+// Deprecated: use EnumeratePairs.
+func (s *Circuit) PairSpace(mode Mode) ([]atpg.TwoPattern, error) {
+	return EnumeratePairs(s, mode)
+}
+
+// GenerateTest searches the style's pair space for a test of the core OBD
 // fault.
+//
+// Deprecated: use Generate, which also distinguishes search failures from
+// untestable verdicts through its error return.
 func (s *Circuit) GenerateTest(f fault.OBD, mode Mode) (*atpg.TwoPattern, atpg.Status) {
-	space, err := s.PairSpace(mode)
+	tp, st, err := Generate(s, f, mode, nil)
 	if err != nil {
 		return nil, atpg.Aborted
 	}
-	pg := atpg.NewPairGrader(s.Core, space)
-	//obdcheck:allow paniccontract — PairSpace bounds the space to maxPairSpaceBits, so PackPatterns' input-count precondition holds
-	if i := pg.FirstDetecting(f); i >= 0 {
-		return &space[i], atpg.Detected
-	}
-	return nil, atpg.Untestable
+	return tp, st
 }
 
 // ModeCoverage grades every OBD fault of the core against the full pair
-// space of one application mode (exhaustive, via the bit-parallel fault
-// simulator).
+// space of one application style.
+//
+// Deprecated: use StyleCoverage.
 func (s *Circuit) ModeCoverage(mode Mode) (atpg.Coverage, error) {
-	space, err := s.PairSpace(mode)
+	return StyleCoverage(s, mode)
+}
+
+// StyleCoverage grades every OBD fault of the core against the full pair
+// space of one application style (exhaustive, via the bit-parallel fault
+// simulator).
+func StyleCoverage(s *Circuit, style Style) (atpg.Coverage, error) {
+	space, err := EnumeratePairs(s, style)
 	if err != nil {
 		return atpg.Coverage{}, err
 	}
@@ -307,7 +402,7 @@ func (s *Circuit) ModeCoverage(mode Mode) (atpg.Coverage, error) {
 	pg := atpg.NewPairGrader(s.Core, space)
 	cov := atpg.Coverage{Total: len(faults)}
 	for _, f := range faults {
-		//obdcheck:allow paniccontract — PairSpace bounds the space to maxPairSpaceBits, so PackPatterns' input-count precondition holds
+		//obdcheck:allow paniccontract — EnumeratePairs bounds the space to maxPairSpaceBits, so PackPatterns' input-count precondition holds
 		if pg.Detects(f) {
 			cov.Detected++
 		} else {

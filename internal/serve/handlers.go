@@ -9,6 +9,7 @@ import (
 	"gobd/internal/logic"
 	"gobd/internal/mission"
 	"gobd/internal/netcheck"
+	"gobd/internal/seq"
 )
 
 // handleGrade grades a pattern set against a fault universe (POST).
@@ -30,6 +31,13 @@ func (s *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
 		if aerr != nil {
 			return nil, aerr
 		}
+		// Sequential netlists are graded through the combinational core:
+		// vectors span the core's inputs (originals, then state bits in
+		// chain order), exactly what the scan hardware can apply.
+		core, ffs, aerr := coreOf(c)
+		if aerr != nil {
+			return nil, aerr
+		}
 		var pairs []atpg.TwoPattern
 		var pats []atpg.Pattern
 		switch model {
@@ -38,7 +46,7 @@ func (s *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
 				return nil, badRequest(CodeBadRequest, "model %q grades single vectors; use \"patterns\", not \"tests\"", model)
 			}
 			for i, v := range req.Patterns {
-				p, err := parsePattern(v, c)
+				p, err := parsePattern(v, core)
 				if err != nil {
 					return nil, badRequest(CodeBadRequest, "patterns[%d]: %v", i, err)
 				}
@@ -48,26 +56,28 @@ func (s *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
 			if len(req.Patterns) > 0 {
 				return nil, badRequest(CodeBadRequest, "model %q grades vector pairs; use \"tests\", not \"patterns\"", model)
 			}
-			pairs, aerr = parsePairs(req.Tests, c)
+			pairs, aerr = parsePairs(req.Tests, core)
 			if aerr != nil {
 				return nil, aerr
 			}
 		}
 		// Canonicalize the request before hashing so formatting variants
-		// of the same workload ("x" vs "X") share a cache entry.
+		// of the same workload ("x" vs "X") share a cache entry. The
+		// digest covers the ORIGINAL netlist, so a sequential circuit and
+		// its bare core occupy distinct entries.
 		canon := GradeRequest{Model: model}
 		for _, tp := range pairs {
-			canon.Tests = append(canon.Tests, WirePair{V1: tp.V1.KeyFor(c), V2: tp.V2.KeyFor(c)})
+			canon.Tests = append(canon.Tests, WirePair{V1: tp.V1.KeyFor(core), V2: tp.V2.KeyFor(core)})
 		}
 		for _, p := range pats {
-			canon.Patterns = append(canon.Patterns, p.KeyFor(c))
+			canon.Patterns = append(canon.Patterns, p.KeyFor(core))
 		}
 		fp := fingerprintOf(c)
 		dig, err := digest("/v1/grade", fp, logic.Format(c), canon)
 		if err != nil {
 			return nil, coreError(err)
 		}
-		obdFaults, transFaults, saFaults, nFaults := universe(c, model)
+		obdFaults, transFaults, saFaults, nFaults := universe(core, model)
 		return &job{
 			digest: dig,
 			faults: nFaults,
@@ -77,11 +87,11 @@ func (s *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
 				var err error
 				switch model {
 				case ModelOBD:
-					cov, err = sched.GradeOBDCtx(ctx, c, obdFaults, pairs)
+					cov, err = sched.GradeOBDCtx(ctx, core, obdFaults, pairs)
 				case ModelTransition:
-					cov, err = sched.GradeTransitionCtx(ctx, c, transFaults, pairs)
+					cov, err = sched.GradeTransitionCtx(ctx, core, transFaults, pairs)
 				default:
-					cov, err = sched.GradeStuckAtCtx(ctx, c, saFaults, pats)
+					cov, err = sched.GradeStuckAtCtx(ctx, core, saFaults, pats)
 				}
 				if err != nil {
 					return nil, err
@@ -90,6 +100,7 @@ func (s *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
 					Circuit:     c.Name,
 					Fingerprint: fp.String(),
 					Model:       model,
+					FFs:         ffs,
 					Faults:      nFaults,
 					Tests:       len(pairs) + len(pats),
 					Coverage:    toWire(cov),
@@ -97,6 +108,21 @@ func (s *Server) handleGrade(w http.ResponseWriter, r *http.Request) {
 			},
 		}, nil
 	})
+}
+
+// coreOf resolves the circuit a grading job actually runs on: the circuit
+// itself when combinational, its combinational core (plus the flip-flop
+// count) when sequential.
+func coreOf(c *logic.Circuit) (*logic.Circuit, int, *apiError) {
+	ffs := len(c.DFFs())
+	if ffs == 0 {
+		return c, 0, nil
+	}
+	core, err := c.CombinationalCore()
+	if err != nil {
+		return nil, 0, badRequest(CodeInvalidCircuit, "%v", err)
+	}
+	return core, ffs, nil
 }
 
 // handleATPG generates a compacted test set for a fault universe (POST).
@@ -120,6 +146,15 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.MaxBacktracks < 0 {
 			return nil, badRequest(CodeBadRequest, "max_backtracks must be >= 0, got %d", req.MaxBacktracks)
+		}
+		// Sequential requests route through the scan-style generators; a
+		// DFF-bearing netlist with no explicit style gets enhanced scan.
+		styleName := req.Style
+		if styleName == "" && c.HasDFF() {
+			styleName = "enhanced"
+		}
+		if styleName != "" {
+			return s.seqATPGJob(c, model, styleName, &req)
 		}
 		if req.Prune && model != ModelOBD {
 			return nil, badRequest(CodeBadRequest, "prune applies to the obd model only")
@@ -197,6 +232,71 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// seqATPGJob builds the /v1/atpg job for a scan-style request: the
+// netlist is lifted into its scan model (internal/seq) and the style's
+// generator runs over the combinational core's OBD universe. Results are
+// worker-count invariant by construction (per-fault derived seeds).
+func (s *Server) seqATPGJob(c *logic.Circuit, model, styleName string, req *ATPGRequest) (*job, *apiError) {
+	if model != ModelOBD {
+		return nil, badRequest(CodeBadRequest, "scan styles apply to the obd model only, got %q", model)
+	}
+	if req.Prune {
+		return nil, badRequest(CodeBadRequest, "prune applies to the combinational obd generator only")
+	}
+	st, err := seq.ParseStyle(styleName)
+	if err != nil {
+		return nil, badRequest(CodeBadRequest, "%v", err)
+	}
+	sc, err := seq.FromCircuit(c)
+	if err != nil {
+		return nil, badRequest(CodeInvalidCircuit, "%v", err)
+	}
+	fp := fingerprintOf(c)
+	// Canonical params carry the style in its long form, so "los" and
+	// "launch-on-shift" spellings share a cache entry.
+	canon := ATPGRequest{Model: model, Style: st.String()}
+	dig, err := digest("/v1/atpg", fp, logic.Format(c), canon)
+	if err != nil {
+		return nil, coreError(err)
+	}
+	faults, _ := fault.OBDUniverse(sc.Core)
+	return &job{
+		digest: dig,
+		faults: len(faults),
+		compute: func(ctx context.Context, sched *atpg.Scheduler) (any, error) {
+			res, err := seq.GenerateTestsOn(sched, sc, faults, st, nil)
+			if err != nil {
+				return nil, err
+			}
+			resp := &ATPGResponse{
+				Circuit:     c.Name,
+				Fingerprint: fp.String(),
+				Model:       model,
+				Style:       st.String(),
+				FFs:         len(sc.FFs),
+				Faults:      len(faults),
+				Coverage:    toWire(res.Coverage),
+			}
+			for _, tp := range res.Tests {
+				resp.Pairs = append(resp.Pairs, WirePair{V1: tp.V1.KeyFor(sc.Core), V2: tp.V2.KeyFor(sc.Core)})
+			}
+			for _, verdict := range res.Statuses {
+				switch verdict {
+				case atpg.Detected:
+					resp.Detected++
+				case atpg.Untestable:
+					resp.Untestable++
+				case atpg.Aborted:
+					resp.Aborted++
+				case atpg.Errored:
+					resp.Errored++
+				}
+			}
+			return resp, nil
+		},
+	}, nil
+}
+
 // handleLint runs static netlist analysis; unlike the other endpoints it
 // accepts circuits that fail structural validation — diagnosing those is
 // its purpose (POST).
@@ -258,6 +358,9 @@ func (s *Server) handleMission(w http.ResponseWriter, r *http.Request) {
 		c, aerr := parseNetlist(req.Netlist, true)
 		if aerr != nil {
 			return nil, aerr
+		}
+		if n := len(c.DFFs()); n > 0 {
+			return nil, badRequest(CodeSequential, "mission campaigns are combinational-only; circuit has %d flip-flops", n)
 		}
 		if req.Chips > s.cfg.MissionMaxChips {
 			return nil, badRequest(CodeBadRequest, "chips = %d exceeds the server limit %d", req.Chips, s.cfg.MissionMaxChips)

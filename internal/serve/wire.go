@@ -64,11 +64,14 @@ func toWire(c atpg.Coverage) WireCoverage {
 	return WireCoverage{Total: c.Total, Detected: c.Detected, Ratio: c.Ratio(), Undetected: c.Undetected}
 }
 
-// GradeResponse is the /v1/grade reply.
+// GradeResponse is the /v1/grade reply. Sequential netlists are graded
+// through their combinational core (vectors span the core's inputs:
+// originals, then state bits in chain order) and report FFs.
 type GradeResponse struct {
 	Circuit     string       `json:"circuit"`
 	Fingerprint string       `json:"fingerprint"`
 	Model       string       `json:"model"`
+	FFs         int          `json:"ffs,omitempty"` // flip-flop count (sequential requests)
 	Faults      int          `json:"faults"`
 	Tests       int          `json:"tests"`
 	Coverage    WireCoverage `json:"coverage"`
@@ -79,19 +82,28 @@ type ATPGRequest struct {
 	Netlist string `json:"netlist"`
 	// Model selects the generator: obd (default), transition, stuckat.
 	Model string `json:"model,omitempty"`
+	// Style selects the scan discipline for sequential (DFF-bearing)
+	// netlists: enhanced, los, loc (obd model only). A sequential netlist
+	// with no style defaults to enhanced; combinational requests leave it
+	// empty, keeping their cache digests unchanged.
+	Style string `json:"style,omitempty"`
 	// Prune runs netcheck's static untestability prover before PODEM
-	// (OBD model only; see atpg.Options.Prune).
+	// (combinational OBD model only; see atpg.Options.Prune).
 	Prune bool `json:"prune,omitempty"`
 	// MaxBacktracks overrides the per-fault PODEM backtrack limit (0 =
-	// the package default).
+	// the package default; combinational generators only).
 	MaxBacktracks int `json:"max_backtracks,omitempty"`
 }
 
-// ATPGResponse is the /v1/atpg reply.
+// ATPGResponse is the /v1/atpg reply. For sequential requests the pairs
+// are patterns of the combinational core (original inputs in declaration
+// order, then the state bits in chain order) and FFs/Style are set.
 type ATPGResponse struct {
 	Circuit     string       `json:"circuit"`
 	Fingerprint string       `json:"fingerprint"`
 	Model       string       `json:"model"`
+	Style       string       `json:"style,omitempty"` // scan style (sequential requests)
+	FFs         int          `json:"ffs,omitempty"`   // flip-flop count (sequential requests)
 	Faults      int          `json:"faults"`
 	Pairs       []WirePair   `json:"pairs,omitempty"`    // obd, transition
 	Patterns    []string     `json:"patterns,omitempty"` // stuckat
@@ -150,6 +162,7 @@ const (
 	CodeBadJSON         = "bad-json"
 	CodeBadNetlist      = "bad-netlist"
 	CodeInvalidCircuit  = "invalid-circuit"
+	CodeSequential      = "sequential-circuit"
 	CodeInputLimit      = "input-limit"
 	CodeBadRequest      = "bad-request"
 	CodeMethod          = "method-not-allowed"
@@ -187,13 +200,17 @@ func badRequest(code, format string, args ...any) *apiError {
 }
 
 // coreError maps a compute-core error onto a typed wire error: the
-// scheduler's *InvalidCircuitError and *InputLimitError become 400s
-// mirroring their messages, context deadline becomes 503, anything else
-// a 500.
+// scheduler's *InvalidCircuitError, *SequentialCircuitError and
+// *InputLimitError become 400s mirroring their messages, context
+// deadline becomes 503, anything else a 500.
 func coreError(err error) *apiError {
 	var ice *atpg.InvalidCircuitError
 	if errors.As(err, &ice) {
 		return &apiError{status: 400, code: CodeInvalidCircuit, msg: ice.Error()}
+	}
+	var sce *atpg.SequentialCircuitError
+	if errors.As(err, &sce) {
+		return &apiError{status: 400, code: CodeSequential, msg: sce.Error()}
 	}
 	var ile *atpg.InputLimitError
 	if errors.As(err, &ile) {

@@ -20,6 +20,7 @@ import (
 	"gobd/internal/atpg"
 	"gobd/internal/fault"
 	"gobd/internal/logic"
+	"gobd/internal/seq"
 )
 
 type result struct {
@@ -43,11 +44,39 @@ type report struct {
 	Sweep          result `json:"sweep"`
 	Event          result `json:"event"`
 	EventCollapsed result `json:"event_collapsed"`
+
+	Sequential *seqReport `json:"sequential,omitempty"`
+}
+
+// seqReport is the sequential snapshot: the committed s27-class circuit
+// lifted into the scan model, time-frame ATPG per scan style (each an
+// exhaustive search over its launch space, so the timing tracks the
+// pair-enumeration and grading cost), and a two-frame unrolled grade
+// through the event engine.
+type seqReport struct {
+	Circuit  string `json:"circuit"`
+	FFs      int    `json:"ffs"`
+	CoreGate int    `json:"core_gates"`
+	Faults   int    `json:"faults"`
+
+	Enhanced styleResult `json:"enhanced"`
+	LOS      styleResult `json:"los"`
+	LOC      styleResult `json:"loc"`
+
+	UnrolledGates int    `json:"unrolled_gates"`
+	UnrolledGrade result `json:"unrolled_grade"`
+}
+
+type styleResult struct {
+	Coverage  string `json:"coverage"`
+	Exact     bool   `json:"exact"`
+	NsPerATPG int64  `json:"ns_per_atpg"`
 }
 
 func main() {
 	netlist := flag.String("netlist", "testdata/c432.bench", "circuit to grade")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	seqNetlist := flag.String("seq-netlist", "testdata/s27.bench", "sequential circuit for the scan-style snapshot (empty disables)")
 	pairs := flag.Int("pairs", 256, "number of complete two-pattern tests")
 	seed := flag.Int64("seed", 1, "test-set RNG seed")
 	flag.Parse()
@@ -104,6 +133,14 @@ func main() {
 	rep.Event.SpeedupVsSwep = ratio(rep.Sweep.NsPerGrade, rep.Event.NsPerGrade)
 	rep.EventCollapsed.SpeedupVsSwep = ratio(rep.Sweep.NsPerGrade, rep.EventCollapsed.NsPerGrade)
 
+	if *seqNetlist != "" {
+		sr, err := measureSequential(*seqNetlist, rand.New(rand.NewSource(*seed)), *pairs)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Sequential = sr
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -119,6 +156,61 @@ func main() {
 	fmt.Printf("wrote %s: sweep %d ns/grade, event %d ns/grade (%.1fx), collapsed %d ns/grade (%.1fx)\n",
 		*out, rep.Sweep.NsPerGrade, rep.Event.NsPerGrade, rep.Event.SpeedupVsSwep,
 		rep.EventCollapsed.NsPerGrade, rep.EventCollapsed.SpeedupVsSwep)
+}
+
+// measureSequential records the scan-style snapshot on a DFF-bearing
+// netlist: per-style full-universe ATPG (coverage + ns per run) and a
+// two-frame unrolled grade through the collapsed event engine.
+func measureSequential(netlist string, rng *rand.Rand, pairs int) (*seqReport, error) {
+	c, err := logic.ParseFile(netlist)
+	if err != nil {
+		return nil, err
+	}
+	s, err := seq.FromCircuit(c)
+	if err != nil {
+		return nil, err
+	}
+	faults, _ := fault.OBDUniverse(s.Core)
+	sr := &seqReport{
+		Circuit:  netlist,
+		FFs:      len(s.FFs),
+		CoreGate: len(s.Core.Gates),
+		Faults:   len(faults),
+	}
+	for _, st := range []struct {
+		style seq.Style
+		slot  *styleResult
+	}{
+		{seq.Enhanced, &sr.Enhanced},
+		{seq.LOS, &sr.LOS},
+		{seq.LOC, &sr.LOC},
+	} {
+		res, err := seq.GenerateTests(s, faults, st.style, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.slot.Coverage = res.Coverage.String()
+		st.slot.Exact = res.Exact
+		st.slot.NsPerATPG = measure(func() {
+			if _, err := seq.GenerateTests(s, faults, st.style, nil); err != nil {
+				fatal(err)
+			}
+		}).NsPerGrade
+	}
+	u, err := seq.Unroll(s, 2)
+	if err != nil {
+		return nil, err
+	}
+	sr.UnrolledGates = len(u.Gates)
+	uFaults, _ := fault.OBDUniverse(u)
+	uTests := completeTests(rng, u, pairs)
+	sched := atpg.NewScheduler(1)
+	sr.UnrolledGrade = measure(func() {
+		if _, err := sched.GradeOBD(u, uFaults, uTests); err != nil {
+			fatal(err)
+		}
+	})
+	return sr, nil
 }
 
 func measure(fn func()) result {
